@@ -1,0 +1,366 @@
+//! The chunk-level basecaller.
+
+use crate::emission::EmissionModel;
+use crate::quality::QualityCalibration;
+use crate::viterbi::{decode, Transitions};
+use genpip_genomics::{Base, DnaSeq, Phred};
+use genpip_signal::{chunk_boundaries, normalize_to_model, PoreModel};
+
+/// The decoder state carried from one chunk of a read to the next, so that
+/// chunk boundaries do not reset the k-mer context. GenPIP's chunk-based
+/// pipeline hands this from each chunk's basecall to the next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarryState(pub u16);
+
+/// Workload counters for one basecalled chunk — the quantities the PIM
+/// timing/energy model charges for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChunkStats {
+    /// Signal samples consumed.
+    pub samples: usize,
+    /// Emission MVMs performed (one per sample).
+    pub mvm_ops: usize,
+    /// Viterbi DP cells computed.
+    pub viterbi_cells: usize,
+}
+
+/// One basecalled chunk: bases, per-base qualities, the chunk quality-score
+/// sum the PIM-CQS unit produces, and the carry state for the next chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasecalledChunk {
+    /// Bases decoded from this chunk.
+    pub bases: DnaSeq,
+    /// Per-base Phred qualities (same length as `bases`).
+    pub quals: Vec<Phred>,
+    /// Sum of the chunk's quality scores — the scalar PIM-CQS ships to the
+    /// GenPIP controller (paper Section 4.3.1).
+    pub sqs: f64,
+    /// Decoder state after the last sample, for stitching.
+    pub carry: Option<CarryState>,
+    /// Workload counters.
+    pub stats: ChunkStats,
+}
+
+impl BasecalledChunk {
+    /// Average quality score of the chunk; 0 for an empty chunk.
+    pub fn average_quality(&self) -> f64 {
+        if self.quals.is_empty() {
+            0.0
+        } else {
+            self.sqs / self.quals.len() as f64
+        }
+    }
+}
+
+/// A fully basecalled read assembled from its chunks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasecalledRead {
+    /// The assembled sequence.
+    pub seq: DnaSeq,
+    /// Per-base qualities.
+    pub quals: Vec<Phred>,
+    /// Number of bases contributed by each chunk (in order).
+    pub chunk_lengths: Vec<usize>,
+    /// Aggregate workload counters.
+    pub stats: ChunkStats,
+}
+
+impl BasecalledRead {
+    /// Whole-read average quality score.
+    pub fn average_quality(&self) -> f64 {
+        genpip_genomics::average_quality(&self.quals)
+    }
+}
+
+/// The basecaller: normalization + MVM emission + Viterbi decode + quality
+/// scoring, operating one chunk at a time.
+#[derive(Debug, Clone)]
+pub struct Basecaller {
+    pore: PoreModel,
+    emission: EmissionModel,
+    transitions: Transitions,
+    calibration: QualityCalibration,
+    normalize: bool,
+}
+
+impl Basecaller {
+    /// Creates a basecaller for the given pore model and mean dwell time
+    /// (samples per base) with the default quality calibration.
+    ///
+    /// Normalization is off by default: the synthetic signals are already on
+    /// the pore-model's pA scale, and median/MAD normalization — which keys
+    /// on the *read's* sample distribution rather than the level table —
+    /// would introduce a composition-dependent scale error larger than the
+    /// level spacing. Enable it with [`Basecaller::with_normalization`] when
+    /// feeding signals with offset/gain corruption.
+    pub fn new(pore: &PoreModel, mean_dwell: f64) -> Basecaller {
+        Basecaller {
+            pore: pore.clone(),
+            emission: EmissionModel::from_pore_model(pore),
+            transitions: Transitions::from_mean_dwell(mean_dwell),
+            calibration: QualityCalibration::default_r9(),
+            normalize: false,
+        }
+    }
+
+    /// Overrides the quality calibration.
+    pub fn with_calibration(mut self, calibration: QualityCalibration) -> Basecaller {
+        self.calibration = calibration;
+        self
+    }
+
+    /// Enables or disables per-chunk median/MAD normalization.
+    pub fn with_normalization(mut self, normalize: bool) -> Basecaller {
+        self.normalize = normalize;
+        self
+    }
+
+    /// The pore model in use.
+    pub fn pore_model(&self) -> &PoreModel {
+        &self.pore
+    }
+
+    /// The emission model (e.g. for programming the PIM crossbar).
+    pub fn emission_model(&self) -> &EmissionModel {
+        &self.emission
+    }
+
+    /// Basecalls one chunk of raw samples.
+    ///
+    /// `carry` stitches this chunk to the previous one; pass `None` for the
+    /// first chunk of a read. Empty input produces an empty chunk.
+    pub fn call_chunk(&self, samples: &[f32], carry: Option<CarryState>) -> BasecalledChunk {
+        if samples.is_empty() {
+            return BasecalledChunk {
+                bases: DnaSeq::new(),
+                quals: Vec::new(),
+                sqs: 0.0,
+                carry,
+                stats: ChunkStats::default(),
+            };
+        }
+        let mut normalized = samples.to_vec();
+        if self.normalize {
+            normalize_to_model(&mut normalized, &self.pore);
+        }
+        let outcome = decode(
+            &self.emission,
+            &normalized,
+            self.transitions,
+            carry.map(|c| c.0),
+        );
+
+        let k = self.pore.k();
+        let assumed_var = {
+            let s = self.emission.assumed_std();
+            s * s
+        };
+        let mut bases = DnaSeq::new();
+        let mut quals: Vec<Phred> = Vec::new();
+
+        // Walk dwell segments: [start, end) ranges of samples decoded as one
+        // k-mer occupancy.
+        let n = normalized.len();
+        let mut seg_start = 0usize;
+        let mut first_segment = true;
+        let mut t = 1usize;
+        loop {
+            let at_end = t >= n;
+            let boundary = at_end || outcome.advanced[t];
+            if boundary {
+                let state = outcome.states[seg_start];
+                let z2 = mean_residual(
+                    &normalized[seg_start..t],
+                    self.pore.level_bits(state as u64),
+                    assumed_var,
+                );
+                let q = self.calibration.phred_from_residual(z2);
+                if first_segment {
+                    first_segment = false;
+                    if carry.is_none() {
+                        // The initial k-mer contributes its full k bases.
+                        for i in 0..k {
+                            bases.push(kmer_base(state, k, i));
+                            quals.push(q);
+                        }
+                    } else if outcome.advanced[0] {
+                        // Chunk-boundary advance: one new base.
+                        bases.push(Base::from_code((state & 3) as u8));
+                        quals.push(q);
+                    }
+                    // Otherwise the segment continues the carried k-mer and
+                    // emits nothing new.
+                } else {
+                    bases.push(Base::from_code((state & 3) as u8));
+                    quals.push(q);
+                }
+                seg_start = t;
+            }
+            if at_end {
+                break;
+            }
+            t += 1;
+        }
+
+        let sqs = genpip_genomics::quality::sum_quality(&quals);
+        BasecalledChunk {
+            bases,
+            quals,
+            sqs,
+            carry: outcome.final_state().map(CarryState).or(carry),
+            stats: ChunkStats {
+                samples: n,
+                mvm_ops: outcome.mvm_ops,
+                viterbi_cells: outcome.cells,
+            },
+        }
+    }
+
+    /// Basecalls an entire read by splitting its signal into chunks of
+    /// `chunk_samples` samples and stitching the results — the conventional
+    /// (non-pipelined) flow of Figure 5(a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_samples` is 0.
+    pub fn call_read(&self, samples: &[f32], chunk_samples: usize) -> BasecalledRead {
+        let mut seq = DnaSeq::new();
+        let mut quals = Vec::new();
+        let mut chunk_lengths = Vec::new();
+        let mut stats = ChunkStats::default();
+        let mut carry = None;
+        for spec in chunk_boundaries(samples.len(), chunk_samples) {
+            let chunk = self.call_chunk(&samples[spec.start..spec.end], carry);
+            chunk_lengths.push(chunk.bases.len());
+            seq.extend_from_seq(&chunk.bases);
+            quals.extend_from_slice(&chunk.quals);
+            stats.samples += chunk.stats.samples;
+            stats.mvm_ops += chunk.stats.mvm_ops;
+            stats.viterbi_cells += chunk.stats.viterbi_cells;
+            carry = chunk.carry;
+        }
+        BasecalledRead { seq, quals, chunk_lengths, stats }
+    }
+}
+
+/// Base `i` (0 = earliest) of the k-mer packed in `state`.
+#[inline]
+fn kmer_base(state: u16, k: usize, i: usize) -> Base {
+    let shift = 2 * (k - 1 - i);
+    Base::from_code((state >> shift) as u8)
+}
+
+fn mean_residual(samples: &[f32], level: f32, assumed_var: f32) -> f32 {
+    if samples.is_empty() {
+        return 1.0;
+    }
+    let sum: f32 = samples.iter().map(|x| (x - level) * (x - level)).sum();
+    sum / (samples.len() as f32 * assumed_var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::identity;
+    use genpip_genomics::GenomeBuilder;
+    use genpip_signal::SignalSynthesizer;
+
+    fn setup() -> (SignalSynthesizer, Basecaller) {
+        let pore = PoreModel::synthetic(3, 7);
+        let synth = SignalSynthesizer::new(pore.clone());
+        let caller = Basecaller::new(&pore, synth.mean_dwell());
+        (synth, caller)
+    }
+
+    fn truth(n: usize, seed: u64) -> DnaSeq {
+        GenomeBuilder::new(n).seed(seed).repeat_fraction(0.0).build().sequence().clone()
+    }
+
+    #[test]
+    fn empty_chunk() {
+        let (_, caller) = setup();
+        let chunk = caller.call_chunk(&[], None);
+        assert!(chunk.bases.is_empty());
+        assert_eq!(chunk.stats, ChunkStats::default());
+    }
+
+    #[test]
+    fn clean_signal_calls_accurately() {
+        let (synth, caller) = setup();
+        let t = truth(1_000, 1);
+        let sig = synth.synthesize(&t, 0.6, 2);
+        let called = caller.call_read(&sig.samples, 2400);
+        let id = identity(&called.seq, &t);
+        assert!(id > 0.95, "identity {id}");
+        assert_eq!(called.quals.len(), called.seq.len());
+    }
+
+    #[test]
+    fn noisy_signal_degrades_accuracy_and_quality() {
+        let (synth, caller) = setup();
+        let t = truth(1_500, 3);
+        let clean = caller.call_read(&synth.synthesize(&t, 1.0, 4).samples, 2400);
+        let noisy = caller.call_read(&synth.synthesize(&t, 3.0, 4).samples, 2400);
+        assert!(identity(&clean.seq, &t) > identity(&noisy.seq, &t));
+        assert!(
+            clean.average_quality() > 9.0,
+            "clean AQS {}",
+            clean.average_quality()
+        );
+        assert!(
+            noisy.average_quality() < 7.0,
+            "noisy AQS {}",
+            noisy.average_quality()
+        );
+    }
+
+    #[test]
+    fn chunked_equals_unchunked_approximately() {
+        let (synth, caller) = setup();
+        let t = truth(2_000, 5);
+        let sig = synth.synthesize(&t, 1.0, 6);
+        let whole = caller.call_read(&sig.samples, usize::MAX / 2);
+        let chunked = caller.call_read(&sig.samples, 1_000);
+        let id = identity(&whole.seq, &chunked.seq);
+        assert!(id > 0.97, "identity between chunked and whole: {id}");
+    }
+
+    #[test]
+    fn counters_add_up() {
+        let (synth, caller) = setup();
+        let t = truth(800, 7);
+        let sig = synth.synthesize(&t, 1.0, 8);
+        let called = caller.call_read(&sig.samples, 1_000);
+        assert_eq!(called.stats.samples, sig.samples.len());
+        assert_eq!(called.stats.mvm_ops, sig.samples.len());
+        assert_eq!(
+            called.stats.viterbi_cells,
+            sig.samples.len() * caller.emission_model().states()
+        );
+        assert_eq!(
+            called.chunk_lengths.iter().sum::<usize>(),
+            called.seq.len()
+        );
+    }
+
+    #[test]
+    fn sqs_matches_sum_of_quals() {
+        let (synth, caller) = setup();
+        let t = truth(600, 9);
+        let sig = synth.synthesize(&t, 1.5, 10);
+        let chunk = caller.call_chunk(&sig.samples, None);
+        let expected: f64 = chunk.quals.iter().map(|q| q.0 as f64).sum();
+        assert!((chunk.sqs - expected).abs() < 1e-9);
+        assert!((chunk.average_quality() - expected / chunk.quals.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn called_length_tracks_truth_length() {
+        let (synth, caller) = setup();
+        let t = truth(1_200, 11);
+        let sig = synth.synthesize(&t, 1.0, 12);
+        let called = caller.call_read(&sig.samples, 2400);
+        let ratio = called.seq.len() as f64 / t.len() as f64;
+        assert!((ratio - 1.0).abs() < 0.1, "length ratio {ratio}");
+    }
+}

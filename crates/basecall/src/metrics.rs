@@ -1,0 +1,164 @@
+//! Basecalling accuracy metrics.
+
+use genpip_genomics::DnaSeq;
+
+/// Banded Levenshtein distance between two sequences.
+///
+/// The band is centred on the diagonal and must cover the true alignment
+/// drift; [`identity`] picks a band generous enough for nanopore-style error
+/// rates. Out-of-band cells are treated as unreachable, so an insufficient
+/// band can only over-estimate the distance (never under-estimate).
+pub fn banded_edit_distance(a: &DnaSeq, b: &DnaSeq, band: usize) -> usize {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let band = band.max(n.abs_diff(m) + 1);
+    let big = usize::MAX / 4;
+    // Row-wise DP over a clamped column window.
+    let mut prev = vec![big; m + 1];
+    let mut curr = vec![big; m + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(band.min(m) + 1) {
+        *p = j;
+    }
+    let a_bases = a.to_bases();
+    let b_bases = b.to_bases();
+    for i in 1..=n {
+        let centre = i * m / n;
+        let lo = centre.saturating_sub(band).max(1);
+        let hi = (centre + band).min(m);
+        curr.fill(big);
+        if lo == 1 {
+            curr[0] = i;
+        }
+        for j in lo..=hi {
+            let sub = prev[j - 1] + usize::from(a_bases[i - 1] != b_bases[j - 1]);
+            let del = prev[j].saturating_add(1);
+            let ins = curr[j - 1].saturating_add(1);
+            curr[j] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m].min(n.max(m))
+}
+
+/// Sequence identity in `[0, 1]`: `1 − edit_distance / max(len_a, len_b)`.
+///
+/// Two empty sequences have identity 1. The band is sized for up to ~30 %
+/// length drift, ample for this workspace's error rates.
+///
+/// # Example
+///
+/// ```
+/// use genpip_basecall::metrics::identity;
+/// use genpip_genomics::DnaSeq;
+///
+/// let a: DnaSeq = "ACGTACGT".parse()?;
+/// let b: DnaSeq = "ACGTTCGT".parse()?;
+/// assert_eq!(identity(&a, &b), 1.0 - 1.0 / 8.0);
+/// # Ok::<(), genpip_genomics::base::ParseBaseError>(())
+/// ```
+pub fn identity(a: &DnaSeq, b: &DnaSeq) -> f64 {
+    let longest = a.len().max(b.len());
+    if longest == 0 {
+        return 1.0;
+    }
+    let band = (longest / 3).max(32);
+    let d = banded_edit_distance(a, b, band);
+    1.0 - d as f64 / longest as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    /// Reference quadratic Levenshtein for validation.
+    fn full_edit_distance(a: &DnaSeq, b: &DnaSeq) -> usize {
+        let (n, m) = (a.len(), b.len());
+        let mut dp = vec![0usize; m + 1];
+        for (j, d) in dp.iter_mut().enumerate() {
+            *d = j;
+        }
+        for i in 1..=n {
+            let mut diag = dp[0];
+            dp[0] = i;
+            for j in 1..=m {
+                let tmp = dp[j];
+                let sub = diag + usize::from(a.get(i - 1) != b.get(j - 1));
+                dp[j] = sub.min(dp[j] + 1).min(dp[j - 1] + 1);
+                diag = tmp;
+            }
+        }
+        dp[m]
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let a = seq("ACGTACGTACGT");
+        assert_eq!(banded_edit_distance(&a, &a, 8), 0);
+        assert_eq!(identity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let e = DnaSeq::new();
+        let a = seq("ACG");
+        assert_eq!(banded_edit_distance(&e, &a, 4), 3);
+        assert_eq!(banded_edit_distance(&a, &e, 4), 3);
+        assert_eq!(identity(&e, &e), 1.0);
+        assert_eq!(identity(&e, &a), 0.0);
+    }
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(banded_edit_distance(&seq("ACGT"), &seq("AGGT"), 4), 1);
+        assert_eq!(banded_edit_distance(&seq("ACGT"), &seq("ACGTT"), 4), 1);
+        assert_eq!(banded_edit_distance(&seq("ACGT"), &seq("CGT"), 4), 1);
+        assert_eq!(banded_edit_distance(&seq("AAAA"), &seq("TTTT"), 4), 4);
+    }
+
+    #[test]
+    fn banded_matches_full_dp_on_random_pairs() {
+        use genpip_genomics::rng::seeded;
+        use genpip_genomics::{Base, ErrorModel};
+        use rand::Rng;
+        let mut rng = seeded(42);
+        for trial in 0..20 {
+            let n = rng.random_range(10..200);
+            let a: DnaSeq = (0..n)
+                .map(|_| Base::from_code(rng.random_range(0..4u8)))
+                .collect();
+            let (b, _) = ErrorModel::with_total_rate(0.2).apply(&a, &mut rng);
+            let full = full_edit_distance(&a, &b);
+            let banded = banded_edit_distance(&a, &b, 64.max(n / 3));
+            assert_eq!(banded, full, "trial {trial}: banded {banded} vs full {full}");
+        }
+    }
+
+    #[test]
+    fn distance_never_exceeds_longer_length() {
+        let a = seq(&"ACGT".repeat(50));
+        let b = seq(&"TGCA".repeat(10));
+        let d = banded_edit_distance(&a, &b, 16);
+        assert!(d <= 200);
+    }
+
+    #[test]
+    fn identity_decreases_with_errors() {
+        use genpip_genomics::rng::seeded;
+        use genpip_genomics::{ErrorModel, GenomeBuilder};
+        let truth = GenomeBuilder::new(500).seed(1).build().sequence().clone();
+        let mut rng = seeded(2);
+        let (light, _) = ErrorModel::with_total_rate(0.05).apply(&truth, &mut rng);
+        let (heavy, _) = ErrorModel::with_total_rate(0.30).apply(&truth, &mut rng);
+        assert!(identity(&truth, &light) > identity(&truth, &heavy));
+        assert!(identity(&truth, &light) > 0.9);
+    }
+}

@@ -1,0 +1,331 @@
+//! Viterbi decoding over the k-mer state space.
+//!
+//! The HMM has one state per pore k-mer. At every signal sample the strand
+//! either *stays* (the same k-mer keeps occupying the pore) or *advances* by
+//! one base (the k-mer shifts left and a new base enters). The decoder finds
+//! the maximum-likelihood state path and reports, per sample, the state and
+//! whether the path advanced — which is all the basecaller needs to emit
+//! bases.
+
+use crate::emission::EmissionModel;
+
+/// Result of decoding one chunk of samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeOutcome {
+    /// Decoded state per sample.
+    pub states: Vec<u16>,
+    /// `true` at sample `t` if the path advanced into a new k-mer at `t`
+    /// (always `false` at sample 0: the initial state "appears" rather than
+    /// advances).
+    pub advanced: Vec<bool>,
+    /// Log-probability score of the winning path (emissions + transitions).
+    pub score: f64,
+    /// Number of emission MVMs performed (= number of samples).
+    pub mvm_ops: usize,
+    /// Number of Viterbi DP cells computed (= samples × states).
+    pub cells: usize,
+}
+
+impl DecodeOutcome {
+    /// The state occupying the pore after the last sample; feed this into the
+    /// next chunk's decode as `init_state` to stitch chunks together.
+    pub fn final_state(&self) -> Option<u16> {
+        self.states.last().copied()
+    }
+}
+
+/// Viterbi decoder configuration: the transition log-probabilities derived
+/// from the mean dwell time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transitions {
+    /// log P(stay in current k-mer for one more sample).
+    pub log_stay: f32,
+    /// log P(advance to one specific successor k-mer).
+    pub log_advance: f32,
+}
+
+impl Transitions {
+    /// Builds transitions from a mean dwell time in samples per base.
+    ///
+    /// `P(advance) = 1/mean_dwell`, split uniformly over the 4 successor
+    /// k-mers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean_dwell > 1` (a dwell of exactly 1 leaves zero
+    /// probability of staying, which degenerates the HMM).
+    pub fn from_mean_dwell(mean_dwell: f64) -> Transitions {
+        assert!(mean_dwell > 1.0, "mean dwell must be > 1 sample/base");
+        let p_adv = 1.0 / mean_dwell;
+        Transitions {
+            log_stay: (1.0 - p_adv).ln() as f32,
+            log_advance: (p_adv / 4.0).ln() as f32,
+        }
+    }
+}
+
+/// Decodes `samples` into the maximum-likelihood state path.
+///
+/// `init_state`, when present, pins the path's first state to the final state
+/// of the previous chunk (chunk stitching); otherwise the initial state is
+/// free (uniform prior).
+///
+/// Returns an empty outcome for an empty sample slice.
+pub fn decode(
+    emission: &EmissionModel,
+    samples: &[f32],
+    transitions: Transitions,
+    init_state: Option<u16>,
+) -> DecodeOutcome {
+    let n_states = emission.states();
+    debug_assert!(n_states.is_power_of_two() && n_states >= 4);
+    let n = samples.len();
+    if n == 0 {
+        return DecodeOutcome {
+            states: Vec::new(),
+            advanced: Vec::new(),
+            score: 0.0,
+            mvm_ops: 0,
+            cells: 0,
+        };
+    }
+    let k_shift = n_states.trailing_zeros() - 2; // 2(k-1) bits
+    let neg_inf = f32::NEG_INFINITY;
+
+    // Backpointers: 0 = stay, 1 + c = advance where the dropped leading base
+    // was c (predecessor = (s >> 2) | (c << k_shift)).
+    let mut backptr = vec![0u8; n * n_states];
+    let mut prev = vec![0.0f32; n_states];
+    let mut curr = vec![0.0f32; n_states];
+    let mut emit = vec![0.0f32; n_states];
+
+    emission.log_likelihoods(samples[0], &mut emit);
+    match init_state {
+        Some(s0) => {
+            // The previous chunk ended in s0; crossing the chunk boundary is
+            // one ordinary HMM step, so the first sample either stays in s0
+            // or advances into one of its successors.
+            let s0 = s0 as usize;
+            prev.fill(neg_inf);
+            prev[s0] = emit[s0] + transitions.log_stay;
+            for b in 0..4usize {
+                let succ = ((s0 << 2) | b) & (n_states - 1);
+                let cand = emit[succ] + transitions.log_advance;
+                if cand > prev[succ] {
+                    prev[succ] = cand;
+                    // Dropped leading base of the advance = s0's top 2 bits.
+                    backptr[succ] = 1 + (s0 >> k_shift) as u8;
+                }
+            }
+        }
+        None => {
+            prev.copy_from_slice(&emit);
+        }
+    }
+
+    for t in 1..n {
+        emission.log_likelihoods(samples[t], &mut emit);
+        let bp = &mut backptr[t * n_states..(t + 1) * n_states];
+        for s in 0..n_states {
+            // Stay.
+            let mut best = prev[s] + transitions.log_stay;
+            let mut choice = 0u8;
+            // Advance from each of the 4 predecessors.
+            let low = s >> 2;
+            for c in 0..4usize {
+                let p = low | (c << k_shift);
+                let cand = prev[p] + transitions.log_advance;
+                if cand > best {
+                    best = cand;
+                    choice = 1 + c as u8;
+                }
+            }
+            curr[s] = best + emit[s];
+            bp[s] = choice;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+
+    // Traceback.
+    let (mut state, score) = prev
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+        .map(|(s, &v)| (s, v as f64))
+        .expect("non-empty state space");
+    let mut states = vec![0u16; n];
+    let mut advanced = vec![false; n];
+    for t in (1..n).rev() {
+        states[t] = state as u16;
+        let choice = backptr[t * n_states + state];
+        if choice == 0 {
+            advanced[t] = false;
+        } else {
+            advanced[t] = true;
+            let c = (choice - 1) as usize;
+            state = (state >> 2) | (c << k_shift);
+        }
+    }
+    states[0] = state as u16;
+    // Sample 0 advanced only if we were stitched to a previous chunk and the
+    // winning path took the boundary-advance branch.
+    if init_state.is_some() {
+        let choice = backptr[state];
+        advanced[0] = choice != 0;
+        if choice != 0 {
+            // The path's true first state is init_state; states[0] already
+            // holds the advanced-into state, which is what callers emit from.
+        }
+    }
+
+    DecodeOutcome {
+        states,
+        advanced,
+        score,
+        mvm_ops: n,
+        cells: n * n_states,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpip_signal::PoreModel;
+
+    fn setup() -> (PoreModel, EmissionModel, Transitions) {
+        let pore = PoreModel::synthetic(3, 7);
+        let em = EmissionModel::from_pore_model(&pore);
+        (pore, em, Transitions::from_mean_dwell(8.0))
+    }
+
+    /// Builds a clean signal that dwells `dwell` samples in each state of
+    /// `path` (which must be a valid k-mer walk).
+    fn signal_for(pore: &PoreModel, path: &[u16], dwell: usize) -> Vec<f32> {
+        let mut out = Vec::new();
+        for &s in path {
+            for _ in 0..dwell {
+                out.push(pore.level_bits(s as u64));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let (_, em, tr) = setup();
+        let out = decode(&em, &[], tr, None);
+        assert!(out.states.is_empty());
+        assert_eq!(out.mvm_ops, 0);
+        assert_eq!(out.final_state(), None);
+    }
+
+    #[test]
+    fn clean_signal_recovers_state_path() {
+        let (pore, em, tr) = setup();
+        // Walk: AAA -> AAC -> ACG -> CGT (states 0b000000, 0b000001, ...).
+        let path = [0b000000u16, 0b000001, 0b000110, 0b011011];
+        // Validate it's a legal walk.
+        for w in path.windows(2) {
+            assert_eq!((w[1] >> 2), w[0] & 0b001111);
+        }
+        let samples = signal_for(&pore, &path, 8);
+        let out = decode(&em, &samples, tr, None);
+        // Decoded dwell blocks must match the path.
+        let mut decoded_path = vec![out.states[0]];
+        for t in 1..out.states.len() {
+            if out.advanced[t] {
+                decoded_path.push(out.states[t]);
+            }
+        }
+        assert_eq!(decoded_path, path);
+        assert_eq!(out.mvm_ops, samples.len());
+        assert_eq!(out.cells, samples.len() * em.states());
+    }
+
+    #[test]
+    fn advance_count_matches_transitions() {
+        let (pore, em, tr) = setup();
+        let path = [3u16, 12, 48, 65 & 63, 7];
+        // Make the path legal by construction instead: random walk.
+        let mut legal = vec![path[0]];
+        let mut s = path[0];
+        for b in [1u16, 3, 0, 2, 1, 0] {
+            s = ((s << 2) | b) & 63;
+            legal.push(s);
+        }
+        let samples = signal_for(&pore, &legal, 10);
+        let out = decode(&em, &samples, tr, None);
+        let advances = out.advanced.iter().filter(|&&a| a).count();
+        assert_eq!(advances, legal.len() - 1);
+    }
+
+    #[test]
+    fn stitched_decode_continues_path() {
+        let (pore, em, tr) = setup();
+        let mut states = vec![9u16];
+        let mut s = 9u16;
+        for b in [0u16, 2, 3, 1, 1, 0, 2] {
+            s = ((s << 2) | b) & 63;
+            states.push(s);
+        }
+        let samples = signal_for(&pore, &states, 8);
+        let (first, second) = samples.split_at(samples.len() / 2);
+        let a = decode(&em, first, tr, None);
+        let b = decode(&em, second, tr, a.final_state());
+        // The stitched decode must start where the previous chunk ended (or
+        // one advance past it).
+        let boundary_state = a.final_state().unwrap();
+        let succs: Vec<u16> = (0..4).map(|c| ((boundary_state << 2) | c) & 63).collect();
+        assert!(
+            b.states[0] == boundary_state || succs.contains(&b.states[0]),
+            "chunk 2 starts at {} which is neither {} nor its successor",
+            b.states[0],
+            boundary_state
+        );
+    }
+
+    #[test]
+    fn viterbi_matches_brute_force_on_tiny_input() {
+        let (pore, em, tr) = setup();
+        // 4 noisy samples; brute-force all 64 * 5^3 paths.
+        let samples = [
+            pore.level_bits(5) + 0.3,
+            pore.level_bits(5) - 0.2,
+            pore.level_bits(((5 << 2) | 1) & 63) + 0.1,
+            pore.level_bits(((5 << 2) | 1) & 63) - 0.4,
+        ];
+        let out = decode(&em, &samples, tr, None);
+
+        // Brute force: enumerate all state sequences where each step is stay
+        // or one of the 4 advances.
+        let mut best = f64::NEG_INFINITY;
+        let n_states = em.states();
+        let mut stack: Vec<(usize, usize, f64)> = (0..n_states)
+            .map(|s| (1usize, s, em.log_likelihood(samples[0], s) as f64))
+            .collect();
+        while let Some((t, s, score)) = stack.pop() {
+            if t == samples.len() {
+                best = best.max(score);
+                continue;
+            }
+            let e = |s2: usize| em.log_likelihood(samples[t], s2) as f64;
+            stack.push((t + 1, s, score + tr.log_stay as f64 + e(s)));
+            for b in 0..4usize {
+                let s2 = ((s << 2) | b) & (n_states - 1);
+                stack.push((t + 1, s2, score + tr.log_advance as f64 + e(s2)));
+            }
+        }
+        assert!(
+            (out.score - best).abs() < 1e-3,
+            "viterbi {} vs brute force {}",
+            out.score,
+            best
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mean dwell")]
+    fn transitions_reject_dwell_of_one() {
+        let _ = Transitions::from_mean_dwell(1.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Ablation sweeps beyond the paper: chunk size, DP-unit provisioning,
+//! basecaller initiation interval. See genpip_core::experiments::ablations.
+
+fn main() {
+    let scale = genpip_core::experiments::default_scale();
+    genpip_bench::run_harness("ablation_sweeps", || {
+        genpip_core::experiments::ablations::run(scale)
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig04 results; see genpip_core::experiments::fig04.
+
+fn main() {
+    let scale = genpip_core::experiments::default_scale();
+    genpip_bench::run_harness("fig04_potential", || genpip_core::experiments::fig04::run(scale));
+}

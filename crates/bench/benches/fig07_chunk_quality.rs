@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig07 results; see genpip_core::experiments::fig07.
+
+fn main() {
+    let scale = genpip_core::experiments::default_scale();
+    genpip_bench::run_harness("fig07_chunk_quality", || genpip_core::experiments::fig07::run(scale));
+}

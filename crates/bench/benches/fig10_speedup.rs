@@ -1,0 +1,6 @@
+//! Regenerates Figure 10 (speedups of the ten systems over CPU).
+
+fn main() {
+    let scale = genpip_core::experiments::default_scale();
+    genpip_bench::run_harness("fig10_speedup", || genpip_core::experiments::fig10::run(scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 11 (energy reduction of the ten systems over CPU).
+
+fn main() {
+    let scale = genpip_core::experiments::default_scale();
+    genpip_bench::run_harness("fig11_energy", || genpip_core::experiments::fig11::run(scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig12 results; see genpip_core::experiments::fig12.
+
+fn main() {
+    let scale = genpip_core::experiments::default_scale();
+    genpip_bench::run_harness("fig12_qsr_sensitivity", || genpip_core::experiments::fig12::run(scale));
+}

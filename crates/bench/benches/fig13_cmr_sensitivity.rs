@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig13 results; see genpip_core::experiments::fig13.
+
+fn main() {
+    let scale = genpip_core::experiments::default_scale();
+    genpip_bench::run_harness("fig13_cmr_sensitivity", || genpip_core::experiments::fig13::run(scale));
+}

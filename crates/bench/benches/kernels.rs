@@ -1,0 +1,160 @@
+//! Criterion micro-benchmarks of the computational kernels.
+//!
+//! These measure the *real* wall-clock cost of this reproduction's
+//! implementations (not the modelled hardware times): the MVM emission
+//! kernel, CAM search, Viterbi chunk decoding, minimizer extraction,
+//! chaining DP, banded alignment, and end-to-end single-read processing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use genpip_basecall::{Basecaller, EmissionModel};
+use genpip_genomics::GenomeBuilder;
+use genpip_mapping::{minimizers, Anchor, ChainParams, IncrementalChainer, Mapper, MapperParams};
+use genpip_pim::{CamBank, CrossbarArray};
+use genpip_signal::{PoreModel, SignalSynthesizer};
+use std::hint::black_box;
+
+fn bench_mvm(c: &mut Criterion) {
+    let pore = PoreModel::synthetic(3, 7);
+    let emission = EmissionModel::from_pore_model(&pore);
+    let mut group = c.benchmark_group("mvm");
+    group.throughput(Throughput::Elements(emission.states() as u64));
+
+    group.bench_function("emission_64_states", |b| {
+        let mut out = vec![0.0f32; emission.states()];
+        b.iter(|| {
+            emission.log_likelihoods(black_box(93.7), &mut out);
+            black_box(out[0])
+        });
+    });
+
+    group.bench_function("crossbar_64x3", |b| {
+        let mut xbar = CrossbarArray::new(3, 64);
+        xbar.program(&vec![0.5f32; 3 * 64]);
+        b.iter(|| black_box(xbar.mvm(black_box(&[1.0, 2.0, 3.0]))));
+    });
+    group.finish();
+}
+
+fn bench_cam(c: &mut Criterion) {
+    let keys: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let mut bank = CamBank::build(keys.iter().copied(), 128);
+    c.bench_function("cam_search_100k_keys", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(bank.search(black_box(keys[i])))
+        });
+    });
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    let pore = PoreModel::synthetic(3, 7);
+    let synth = SignalSynthesizer::new(pore.clone());
+    let caller = Basecaller::new(&pore, synth.mean_dwell());
+    let truth = GenomeBuilder::new(300).seed(1).build().sequence().clone();
+    let sig = synth.synthesize(&truth, 1.0, 2);
+    let mut group = c.benchmark_group("basecall");
+    group.throughput(Throughput::Elements(sig.samples.len() as u64));
+    group.bench_function("viterbi_chunk_300bases", |b| {
+        b.iter(|| black_box(caller.call_chunk(black_box(&sig.samples), None)));
+    });
+    group.finish();
+}
+
+fn bench_minimizers(c: &mut Criterion) {
+    let seq = GenomeBuilder::new(10_000).seed(3).build().sequence().clone();
+    let mut group = c.benchmark_group("sketch");
+    group.throughput(Throughput::Elements(seq.len() as u64));
+    group.bench_function("minimizers_10kb", |b| {
+        b.iter(|| black_box(minimizers(black_box(&seq), 15, 10)));
+    });
+    group.finish();
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let anchors: Vec<Anchor> = (0..2_000u32)
+        .map(|i| Anchor { qpos: i * 7, rpos: 10_000 + i * 7 + (i % 13) })
+        .collect();
+    c.bench_function("chain_2000_anchors", |b| {
+        b.iter_batched(
+            || IncrementalChainer::new(ChainParams::for_k(15)),
+            |mut chainer| {
+                chainer.extend(black_box(&anchors));
+                black_box(chainer.best_score())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_align(c: &mut Criterion) {
+    use genpip_mapping::align::{banded_global, AlignmentParams};
+    let genome = GenomeBuilder::new(3_000).seed(4).build();
+    let q = genome.sequence().subseq(0, 2_000);
+    let r = genome.sequence().subseq(0, 2_050);
+    let params = AlignmentParams::default();
+    let mut group = c.benchmark_group("align");
+    group.throughput(Throughput::Elements(q.len() as u64));
+    group.bench_function("banded_2kb_hw64", |b| {
+        b.iter(|| black_box(banded_global(black_box(&q), black_box(&r), &params, 0, 64)));
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let pore = PoreModel::synthetic(3, 7);
+    let synth = SignalSynthesizer::new(pore.clone());
+    let caller = Basecaller::new(&pore, synth.mean_dwell());
+    let genome = GenomeBuilder::new(100_000).seed(5).build();
+    let mapper = Mapper::build(&genome, MapperParams::default());
+    let truth = genome.sequence().subseq(40_000, 3_000);
+    let sig = synth.synthesize(&truth, 1.0, 6);
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(truth.len() as u64));
+    group.bench_function("basecall_and_map_3kb_read", |b| {
+        b.iter(|| {
+            let called = caller.call_read(black_box(&sig.samples), 2_400);
+            black_box(mapper.map(&called.seq))
+        });
+    });
+    group.finish();
+}
+
+fn bench_pipeline_sim(c: &mut Criterion) {
+    use genpip_sim::{Job, PipelineSim, SimTime, StageSpec};
+    let jobs: Vec<Job> = (0..10_000)
+        .map(|i| {
+            Job::new(
+                i / 10,
+                i % 10,
+                vec![SimTime::from_ns(100.0), SimTime::from_ns(40.0)],
+            )
+        })
+        .collect();
+    c.bench_function("pipeline_sim_10k_jobs", |b| {
+        b.iter_batched(
+            || {
+                PipelineSim::new(vec![
+                    StageSpec::new("a", 8).sequential_within_read(),
+                    StageSpec::new("b", 64),
+                ])
+            },
+            |mut sim| black_box(sim.run(black_box(&jobs))),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_mvm,
+    bench_cam,
+    bench_viterbi,
+    bench_minimizers,
+    bench_chain,
+    bench_align,
+    bench_end_to_end,
+    bench_pipeline_sim
+);
+criterion_main!(kernels);

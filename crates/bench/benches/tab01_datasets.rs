@@ -1,0 +1,6 @@
+//! Regenerates the paper's tab01 results; see genpip_core::experiments::tab01.
+
+fn main() {
+    let scale = genpip_core::experiments::default_scale();
+    genpip_bench::run_harness("tab01_datasets", || genpip_core::experiments::tab01::run(scale));
+}

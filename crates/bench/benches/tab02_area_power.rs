@@ -1,0 +1,5 @@
+//! Regenerates Table 2 (area/power breakdown); see genpip_core::experiments::tab02.
+
+fn main() {
+    genpip_bench::run_harness("tab02_area_power", genpip_core::experiments::tab02::run);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's useless results; see genpip_core::experiments::useless.
+
+fn main() {
+    let scale = genpip_core::experiments::default_scale();
+    genpip_bench::run_harness("useless_reads", || genpip_core::experiments::useless::run(scale));
+}

@@ -1,0 +1,105 @@
+//! GenPIP configuration.
+
+use genpip_datasets::DatasetProfile;
+use genpip_mapping::MapperParams;
+
+/// All knobs of the GenPIP system.
+///
+/// The dataset-dependent values follow the paper's sensitivity analysis
+/// (Section 6.3): `N_qs` = 2 (E. coli) / 5 (human) sampled chunks for QSR,
+/// `N_cm` = 5 (E. coli) / 3 (human) combined chunks for CMR, quality
+/// threshold `θ_qs` = 7 throughout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenPipConfig {
+    /// Chunk size in bases (the paper evaluates 300/400/500; 300 is the
+    /// basecaller default).
+    pub chunk_bases: usize,
+    /// Number of evenly-spaced chunks QSR samples (`N_qs`).
+    pub n_qs: usize,
+    /// Number of leading consecutive chunks CMR combines (`N_cm`).
+    pub n_cm: usize,
+    /// Read-quality threshold (`θ_qs`), in Phred units.
+    pub theta_qs: f64,
+    /// Chaining-score threshold (`θ_cm`) applied to the CMR large chunk and
+    /// to the whole read before alignment.
+    pub theta_cm: f64,
+    /// Read-mapper parameters.
+    pub mapper: MapperParams,
+}
+
+impl GenPipConfig {
+    /// The paper's operating point for a dataset profile.
+    pub fn for_dataset(profile: &DatasetProfile) -> GenPipConfig {
+        let mut config = GenPipConfig::default();
+        match profile.name {
+            "human" => {
+                config.n_qs = 5;
+                config.n_cm = 3;
+            }
+            _ => {
+                // E. coli defaults (also the fallback for custom profiles).
+                config.n_qs = 2;
+                config.n_cm = 5;
+            }
+        }
+        config
+    }
+
+    /// Overrides the chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bases` is 0.
+    pub fn with_chunk_bases(mut self, chunk_bases: usize) -> GenPipConfig {
+        assert!(chunk_bases > 0, "chunk size must be positive");
+        self.chunk_bases = chunk_bases;
+        self
+    }
+
+    /// Signal samples per chunk for a given mean dwell (samples/base).
+    pub fn samples_per_chunk(&self, mean_dwell: f64) -> usize {
+        genpip_signal::chunk::samples_per_chunk(self.chunk_bases, mean_dwell)
+    }
+}
+
+impl Default for GenPipConfig {
+    /// E. coli operating point, 300-base chunks.
+    fn default() -> GenPipConfig {
+        GenPipConfig {
+            chunk_bases: 300,
+            n_qs: 2,
+            n_cm: 5,
+            theta_qs: 7.0,
+            theta_cm: 55.0,
+            mapper: MapperParams::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_operating_points_match_the_paper() {
+        let e = GenPipConfig::for_dataset(&DatasetProfile::ecoli());
+        assert_eq!((e.n_qs, e.n_cm), (2, 5));
+        let h = GenPipConfig::for_dataset(&DatasetProfile::human());
+        assert_eq!((h.n_qs, h.n_cm), (5, 3));
+        assert_eq!(e.theta_qs, 7.0);
+        assert_eq!(h.theta_qs, 7.0);
+    }
+
+    #[test]
+    fn chunk_size_override() {
+        let c = GenPipConfig::default().with_chunk_bases(400);
+        assert_eq!(c.chunk_bases, 400);
+        assert_eq!(c.samples_per_chunk(8.0), 3200);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_chunk_rejected() {
+        let _ = GenPipConfig::default().with_chunk_bases(0);
+    }
+}

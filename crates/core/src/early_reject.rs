@@ -1,0 +1,151 @@
+//! Early rejection (ER): QSR and CMR.
+//!
+//! The paper's Section 3.2. ER predicts, from a few basecalled chunks,
+//! whether a read will be useless downstream (low-quality or unmapped) and
+//! stops the pipeline for such reads:
+//!
+//! * **QSR** (Quality-Score-based Rejection, Algorithm 1) samples `N_qs`
+//!   chunks *evenly distributed* along the read — the paper's Figure 7
+//!   analysis shows consecutive chunks are correlated, so spreading the
+//!   samples is essential — and rejects if their average quality falls below
+//!   `θ_qs`.
+//! * **CMR** (Chunk-Mapping-based Rejection) combines the first `N_cm`
+//!   consecutive chunks into one large chunk, maps it, and rejects if the
+//!   chaining score falls below `θ_cm`.
+
+/// The chunk indices QSR samples: `n_qs` indices evenly spread over
+/// `0..total_chunks`, always including the first and last chunk, duplicates
+/// removed (short reads may have fewer chunks than `n_qs`).
+///
+/// # Panics
+///
+/// Panics if `n_qs` is 0.
+///
+/// # Example
+///
+/// ```
+/// use genpip_core::early_reject::qsr_sample_indices;
+///
+/// assert_eq!(qsr_sample_indices(30, 2), vec![0, 29]);
+/// assert_eq!(qsr_sample_indices(30, 3), vec![0, 15, 29]);
+/// assert_eq!(qsr_sample_indices(2, 5), vec![0, 1]);
+/// assert_eq!(qsr_sample_indices(0, 3), Vec::<usize>::new());
+/// ```
+pub fn qsr_sample_indices(total_chunks: usize, n_qs: usize) -> Vec<usize> {
+    assert!(n_qs > 0, "QSR must sample at least one chunk");
+    if total_chunks == 0 {
+        return Vec::new();
+    }
+    if n_qs == 1 || total_chunks == 1 {
+        return vec![0];
+    }
+    let mut out = Vec::with_capacity(n_qs.min(total_chunks));
+    for i in 0..n_qs {
+        // Evenly spaced over [0, total-1], first and last inclusive
+        // (the intent of Algorithm 1's ⌊i·⌊N/C⌋/(N_qs−1)⌋ sampling).
+        let idx = (i * (total_chunks - 1) + (n_qs - 1) / 2) / (n_qs - 1);
+        if out.last() != Some(&idx) {
+            out.push(idx);
+        }
+    }
+    out
+}
+
+/// QSR verdict for one read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QsrDecision {
+    /// Average quality over the sampled chunks.
+    pub sampled_aqs: f64,
+    /// `true` if the read is predicted low-quality and must be rejected.
+    pub reject: bool,
+}
+
+/// Applies Algorithm 1's check to the sampled chunks' quality sums:
+/// `(sqs, bases)` pairs, one per sampled chunk.
+///
+/// Reads whose samples contain no bases (all-empty chunks) are rejected:
+/// a read that produces no bases is useless by definition.
+pub fn qsr_check(sampled: &[(f64, usize)], theta_qs: f64) -> QsrDecision {
+    let bases: usize = sampled.iter().map(|&(_, b)| b).sum();
+    if bases == 0 {
+        return QsrDecision { sampled_aqs: 0.0, reject: true };
+    }
+    let sum: f64 = sampled.iter().map(|&(s, _)| s).sum();
+    let sampled_aqs = sum / bases as f64;
+    QsrDecision { sampled_aqs, reject: sampled_aqs < theta_qs }
+}
+
+/// CMR verdict for one read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmrDecision {
+    /// Chaining score of the combined large chunk.
+    pub chain_score: f64,
+    /// `true` if the read is predicted unmapped and must be rejected.
+    pub reject: bool,
+}
+
+/// Applies the CMR check: the large chunk's chaining score against `θ_cm`.
+pub fn cmr_check(chain_score: f64, theta_cm: f64) -> CmrDecision {
+    CmrDecision { chain_score, reject: chain_score < theta_cm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_even_and_cover_ends() {
+        for total in [2usize, 3, 7, 10, 30, 100] {
+            for n in 2..=6usize {
+                let idx = qsr_sample_indices(total, n);
+                assert_eq!(*idx.first().unwrap(), 0, "total {total} n {n}");
+                assert_eq!(*idx.last().unwrap(), total - 1, "total {total} n {n}");
+                assert!(idx.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+                assert!(idx.len() <= n.min(total));
+                // Even spacing: gaps differ by at most 1 chunk.
+                if idx.len() > 2 {
+                    let gaps: Vec<usize> = idx.windows(2).map(|w| w[1] - w[0]).collect();
+                    let (min, max) = (gaps.iter().min().unwrap(), gaps.iter().max().unwrap());
+                    assert!(max - min <= 1, "uneven gaps {gaps:?} for total {total} n {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_chunk_and_single_sample() {
+        assert_eq!(qsr_sample_indices(1, 4), vec![0]);
+        assert_eq!(qsr_sample_indices(9, 1), vec![0]);
+    }
+
+    #[test]
+    fn qsr_rejects_below_threshold() {
+        // Two chunks of 300 bases each: one Q9, one Q4 → average Q6.5 < 7.
+        let d = qsr_check(&[(9.0 * 300.0, 300), (4.0 * 300.0, 300)], 7.0);
+        assert!(d.reject);
+        assert!((d.sampled_aqs - 6.5).abs() < 1e-9);
+
+        let d = qsr_check(&[(9.0 * 300.0, 300), (8.0 * 300.0, 300)], 7.0);
+        assert!(!d.reject);
+    }
+
+    #[test]
+    fn qsr_weighs_chunks_by_length() {
+        // A short low-quality tail chunk must not dominate.
+        let d = qsr_check(&[(10.0 * 300.0, 300), (2.0 * 10.0, 10)], 7.0);
+        assert!(!d.reject, "AQS {}", d.sampled_aqs);
+    }
+
+    #[test]
+    fn qsr_rejects_empty_reads() {
+        assert!(qsr_check(&[], 7.0).reject);
+        assert!(qsr_check(&[(0.0, 0)], 7.0).reject);
+    }
+
+    #[test]
+    fn cmr_thresholding() {
+        assert!(cmr_check(10.0, 55.0).reject);
+        assert!(!cmr_check(80.0, 55.0).reject);
+        assert!(!cmr_check(55.0, 55.0).reject, "boundary score passes");
+    }
+}

@@ -1,0 +1,193 @@
+//! Figure 7: chunk quality scores along a low-quality and a high-quality
+//! read.
+//!
+//! The paper's observations, which QSR's design rests on:
+//! 1. the two reads' chunk-score bands are clearly separated
+//!    (≈4–10 vs ≈11–18),
+//! 2. a single chunk cannot classify a read (bands are wide),
+//! 3. consecutive chunks are correlated, so QSR must sample *spread-out*
+//!    chunks.
+
+use crate::experiments::{sparkline, FigureTable};
+use genpip_basecall::Basecaller;
+use genpip_datasets::{DatasetProfile, SimulatedDataset};
+use genpip_signal::chunk_boundaries;
+use std::fmt;
+
+/// Chunk-quality profile of one read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkQualityProfile {
+    /// Read id in the dataset.
+    pub read_id: u32,
+    /// Ground-truth noise multiplier.
+    pub noise_sigma: f64,
+    /// Average quality score of each chunk, in read order.
+    pub chunk_scores: Vec<f64>,
+}
+
+impl ChunkQualityProfile {
+    /// Minimum chunk score.
+    pub fn min(&self) -> f64 {
+        self.chunk_scores.iter().cloned().fold(f64::MAX, f64::min)
+    }
+
+    /// Maximum chunk score.
+    pub fn max(&self) -> f64 {
+        self.chunk_scores.iter().cloned().fold(f64::MIN, f64::max)
+    }
+
+    /// Mean chunk score.
+    pub fn mean(&self) -> f64 {
+        self.chunk_scores.iter().sum::<f64>() / self.chunk_scores.len().max(1) as f64
+    }
+
+    /// Lag-1 autocorrelation of the chunk scores — the paper's
+    /// "consecutive chunks are close to each other" observation.
+    pub fn lag1_autocorrelation(&self) -> f64 {
+        let n = self.chunk_scores.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var: f64 = self.chunk_scores.iter().map(|x| (x - mean).powi(2)).sum();
+        if var < 1e-12 {
+            return 0.0;
+        }
+        let cov: f64 = self
+            .chunk_scores
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum();
+        cov / var
+    }
+}
+
+/// Result of the Figure 7 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig07 {
+    /// The representative low-quality read.
+    pub low: ChunkQualityProfile,
+    /// The representative high-quality read.
+    pub high: ChunkQualityProfile,
+}
+
+/// Runs the experiment on the E. coli profile at `scale`: basecalls the
+/// longest low-quality and the longest high-quality read chunk by chunk
+/// (300-base chunks) and records per-chunk average quality.
+///
+/// # Panics
+///
+/// Panics if the generated dataset lacks either population (it cannot at
+/// the profile's fractions and the minimum scale).
+pub fn run(scale: f64) -> Fig07 {
+    let dataset = DatasetProfile::ecoli().scaled(scale).generate();
+    let pick = |low: bool| -> u32 {
+        dataset
+            .reads
+            .iter()
+            .filter(|r| r.is_low_quality_truth() == low)
+            .max_by_key(|r| r.signal.samples.len())
+            .expect("population present")
+            .id
+    };
+    Fig07 {
+        low: profile_read(&dataset, pick(true)),
+        high: profile_read(&dataset, pick(false)),
+    }
+}
+
+/// Computes the chunk-quality profile of one read.
+pub fn profile_read(dataset: &SimulatedDataset, read_id: u32) -> ChunkQualityProfile {
+    let read = &dataset.reads[read_id as usize];
+    let caller = Basecaller::new(dataset.pore_model(), dataset.synthesizer().mean_dwell());
+    let spc = genpip_signal::chunk::samples_per_chunk(300, dataset.synthesizer().mean_dwell());
+    let mut scores = Vec::new();
+    let mut carry = None;
+    for spec in chunk_boundaries(read.signal.samples.len(), spc) {
+        let chunk = caller.call_chunk(&read.signal.samples[spec.start..spec.end], carry);
+        carry = chunk.carry;
+        if !chunk.quals.is_empty() {
+            scores.push(chunk.average_quality());
+        }
+    }
+    ChunkQualityProfile { read_id, noise_sigma: read.noise_sigma, chunk_scores: scores }
+}
+
+impl Fig07 {
+    /// Summary table (band extents, means, autocorrelation).
+    pub fn table(&self) -> FigureTable {
+        let mut t = FigureTable::new(
+            "Figure 7 — chunk quality scores (paper bands: low ≈4–10, high ≈11–18)",
+            vec!["min".into(), "mean".into(), "max".into(), "lag1-corr".into()],
+        );
+        for (label, p) in [("low-quality", &self.low), ("high-quality", &self.high)] {
+            t.push_row(
+                label,
+                vec![
+                    Some(p.min()),
+                    Some(p.mean()),
+                    Some(p.max()),
+                    Some(p.lag1_autocorrelation()),
+                ],
+            );
+        }
+        t
+    }
+}
+
+impl fmt::Display for Fig07 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.table())?;
+        let lo = self.low.min().min(self.high.min());
+        let hi = self.low.max().max(self.high.max());
+        writeln!(
+            f,
+            "low  (σ={:.2}, {} chunks): {}",
+            self.low.noise_sigma,
+            self.low.chunk_scores.len(),
+            sparkline(&self.low.chunk_scores, lo, hi)
+        )?;
+        writeln!(
+            f,
+            "high (σ={:.2}, {} chunks): {}",
+            self.high.noise_sigma,
+            self.high.chunk_scores.len(),
+            sparkline(&self.high.chunk_scores, lo, hi)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_are_separated_and_correlated() {
+        let fig = run(0.2);
+        // Observation 1: separated bands.
+        assert!(
+            fig.high.min() > fig.low.max() - 1.0,
+            "bands overlap badly: high {:?} vs low {:?}",
+            (fig.high.min(), fig.high.max()),
+            (fig.low.min(), fig.low.max())
+        );
+        assert!(fig.high.mean() > 8.0, "high mean {}", fig.high.mean());
+        assert!(fig.low.mean() < 7.0, "low mean {}", fig.low.mean());
+        // Observation 3: consecutive chunks correlate (positive lag-1).
+        assert!(
+            fig.high.lag1_autocorrelation() > 0.1,
+            "autocorrelation {}",
+            fig.high.lag1_autocorrelation()
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let fig = run(0.1);
+        let s = fig.to_string();
+        assert!(s.contains("low"));
+        assert!(s.contains("high"));
+        assert!(!fig.low.chunk_scores.is_empty());
+        assert!(!fig.high.chunk_scores.is_empty());
+    }
+}

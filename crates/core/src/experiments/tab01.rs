@@ -1,0 +1,156 @@
+//! Table 1: dataset statistics of the basecalled reads.
+//!
+//! The paper's Table 1 describes the *basecalled* datasets (read lengths and
+//! qualities as the basecaller reports them), so this experiment basecalls
+//! every simulated read and computes the same six statistics. The synthetic
+//! profiles are scaled down ~40× from the real datasets; lengths are
+//! therefore compared in *shape* (orderings, mean-vs-median skew), while the
+//! quality columns are directly comparable.
+
+use crate::experiments::FigureTable;
+use genpip_basecall::Basecaller;
+use genpip_datasets::{DatasetProfile, SimulatedDataset};
+use genpip_genomics::stats::ReadSetStats;
+use genpip_genomics::{Read, ReadSet};
+use std::fmt;
+
+/// Paper values for (mean length, mean quality, median length, median
+/// quality, reads, total bases).
+pub const PAPER_ECOLI: [f64; 6] = [9005.9, 7.9, 8652.0, 9.3, 58_221.0, 524_330_535.0];
+/// Paper values for the human dataset.
+pub const PAPER_HUMAN: [f64; 6] = [5738.3, 11.3, 6124.0, 12.1, 449_212.0, 2_577_692_011.0];
+
+/// One dataset's measured statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Measured statistics of the basecalled reads.
+    pub stats: ReadSetStats,
+}
+
+/// Result of the Table 1 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tab01 {
+    /// E. coli and human rows.
+    pub rows: Vec<DatasetRow>,
+}
+
+/// Basecalls a whole simulated dataset into a [`ReadSet`] (300-base chunks).
+pub fn basecall_dataset(dataset: &SimulatedDataset) -> ReadSet {
+    let caller = Basecaller::new(dataset.pore_model(), dataset.synthesizer().mean_dwell());
+    let spc = genpip_signal::chunk::samples_per_chunk(300, dataset.synthesizer().mean_dwell());
+    dataset
+        .reads
+        .iter()
+        .map(|r| {
+            let called = caller.call_read(&r.signal.samples, spc);
+            Read::new(r.id, called.seq, called.quals, r.origin)
+        })
+        .collect()
+}
+
+/// Runs the experiment at `scale`.
+pub fn run(scale: f64) -> Tab01 {
+    let rows = [DatasetProfile::ecoli(), DatasetProfile::human()]
+        .into_iter()
+        .map(|p| {
+            let profile = p.scaled(scale);
+            let dataset = profile.generate();
+            let reads = basecall_dataset(&dataset);
+            DatasetRow { dataset: profile.name.to_string(), stats: ReadSetStats::of(&reads) }
+        })
+        .collect();
+    Tab01 { rows }
+}
+
+impl Tab01 {
+    /// Renders the measured-vs-paper table.
+    pub fn table(&self) -> FigureTable {
+        let mut t = FigureTable::new(
+            "Table 1 — dataset statistics (synthetic, ≈40× scaled down in size)",
+            vec![
+                "mean len".into(),
+                "mean qual".into(),
+                "median len".into(),
+                "median qual".into(),
+                "reads".into(),
+                "total bases".into(),
+            ],
+        );
+        for row in &self.rows {
+            let s = &row.stats;
+            t.push_row(
+                row.dataset.clone(),
+                vec![
+                    Some(s.mean_read_length),
+                    Some(s.mean_read_quality),
+                    Some(s.median_read_length),
+                    Some(s.median_read_quality),
+                    Some(s.number_of_reads as f64),
+                    Some(s.total_bases as f64),
+                ],
+            );
+            let paper = if row.dataset == "human" { PAPER_HUMAN } else { PAPER_ECOLI };
+            t.push_row(
+                format!("{} (paper)", row.dataset),
+                paper.into_iter().map(Some).collect(),
+            );
+        }
+        t
+    }
+}
+
+impl fmt::Display for Tab01 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_structure_matches_the_paper() {
+        let tab = run(0.15);
+        let ecoli = &tab.rows[0].stats;
+        let human = &tab.rows[1].stats;
+        // Quality columns are directly comparable to Table 1.
+        assert!(
+            (ecoli.mean_read_quality - 7.9).abs() < 1.8,
+            "ecoli mean quality {}",
+            ecoli.mean_read_quality
+        );
+        assert!(
+            (human.mean_read_quality - 11.3).abs() < 1.8,
+            "human mean quality {}",
+            human.mean_read_quality
+        );
+        // Structural facts: human higher quality; both datasets have
+        // median quality above mean quality (low-quality tail).
+        assert!(human.mean_read_quality > ecoli.mean_read_quality);
+        assert!(ecoli.median_read_quality > ecoli.mean_read_quality);
+        assert!(human.median_read_quality > human.mean_read_quality);
+    }
+
+    #[test]
+    fn length_skews_match_the_paper() {
+        let tab = run(0.15);
+        let ecoli = &tab.rows[0].stats;
+        let human = &tab.rows[1].stats;
+        // E. coli: right-skewed (mean > median); human: left-skewed.
+        assert!(ecoli.mean_read_length > ecoli.median_read_length);
+        assert!(human.mean_read_length < human.median_read_length);
+        // E. coli reads are longer.
+        assert!(ecoli.mean_read_length > human.mean_read_length);
+    }
+
+    #[test]
+    fn table_renders_paper_rows() {
+        let tab = run(0.08);
+        let s = tab.to_string();
+        assert!(s.contains("ecoli (paper)"));
+        assert!(s.contains("human (paper)"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Table 2: GenPIP's area and power breakdown.
+
+use crate::experiments::FigureTable;
+use genpip_pim::area_power::{genpip_table2, Table2};
+use std::fmt;
+
+/// Paper totals: (power W, area mm²).
+pub const PAPER_TOTALS: (f64, f64) = (147.2, 163.8);
+
+/// Result of the Table 2 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tab02 {
+    /// The computed budget.
+    pub budget: Table2,
+}
+
+/// Builds the Table 2 report (no dataset needed — this is a hardware-model
+/// property).
+pub fn run() -> Tab02 {
+    Tab02 { budget: genpip_table2() }
+}
+
+impl Tab02 {
+    /// Summary table of module subtotals and chip totals vs the paper.
+    pub fn summary(&self) -> FigureTable {
+        let mut t = FigureTable::new(
+            "Table 2 — area and power breakdown (32 nm)",
+            vec!["power W".into(), "area mm²".into()],
+        );
+        for module in &self.budget.modules {
+            t.push_row(module.name, vec![Some(module.power_w()), Some(module.area_mm2())]);
+        }
+        t.push_row(
+            "GenPIP total",
+            vec![Some(self.budget.total_power_w()), Some(self.budget.total_area_mm2())],
+        );
+        t.push_row("paper total", vec![Some(PAPER_TOTALS.0), Some(PAPER_TOTALS.1)]);
+        t
+    }
+}
+
+impl fmt::Display for Tab02 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.budget)?;
+        writeln!(f)?;
+        write!(f, "{}", self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_reproduce_the_paper() {
+        let tab = run();
+        assert!((tab.budget.total_power_w() - PAPER_TOTALS.0).abs() < 0.5);
+        assert!((tab.budget.total_area_mm2() - PAPER_TOTALS.1).abs() < 0.5);
+    }
+
+    #[test]
+    fn report_renders_components_and_totals() {
+        let s = run().to_string();
+        assert!(s.contains("PIM Basecaller"));
+        assert!(s.contains("GenPIP total"));
+        assert!(s.contains("paper total"));
+    }
+}

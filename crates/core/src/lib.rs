@@ -1,0 +1,47 @@
+//! GenPIP: in-memory acceleration of genome analysis via tight integration
+//! of basecalling and read mapping.
+//!
+//! This crate is the paper's primary contribution:
+//!
+//! * [`config`] — the GenPIP configuration (chunk size, `N_qs`, `N_cm`,
+//!   `θ_qs`, `θ_cm`);
+//! * [`early_reject`] — the ER technique: Quality-Score-based Rejection
+//!   (QSR, the paper's Algorithm 1) and Chunk-Mapping-based Rejection (CMR);
+//! * [`pipeline`] — the *functional* execution of both the conventional
+//!   pipeline (Figure 5a) and GenPIP's chunk-based pipeline with optional
+//!   ER (Figures 5b and 6), producing per-read outcomes and the workload
+//!   counters every hardware model consumes;
+//! * [`systems`] — the ten evaluated system configurations (CPU, CPU-CP,
+//!   CPU-GP, GPU, GPU-CP, GPU-GP, PIM, GenPIP-CP, GenPIP-CP-QSR, GenPIP)
+//!   plus the Figure 4 potential study (Systems A–D), as timing/energy cost
+//!   models over the measured workload;
+//! * [`analysis`] — rejection/false-negative ratios (Figures 12–13),
+//!   useless-read statistics (Section 2.3), and accuracy audits;
+//! * [`experiments`] — one driver per paper figure/table, used by the bench
+//!   harness.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use genpip_core::{GenPipConfig, pipeline::{run_genpip, ErMode}};
+//! use genpip_datasets::DatasetProfile;
+//!
+//! let dataset = DatasetProfile::ecoli().scaled(0.05).generate();
+//! let config = GenPipConfig::for_dataset(&dataset.profile);
+//! let run = run_genpip(&dataset, &config, ErMode::Full);
+//! println!("{} reads, {} rejected early",
+//!          run.reads.len(),
+//!          run.reads.iter().filter(|r| r.outcome.is_early_rejected()).count());
+//! ```
+
+pub mod analysis;
+pub mod config;
+pub mod controller;
+pub mod early_reject;
+pub mod experiments;
+pub mod pipeline;
+pub mod systems;
+
+pub use config::GenPipConfig;
+pub use pipeline::{ChunkWork, ErMode, PipelineRun, ReadOutcome, ReadRun};
+pub use systems::SystemKind;

@@ -1,0 +1,691 @@
+//! Functional execution of the genome-analysis pipeline.
+//!
+//! Two flows are implemented:
+//!
+//! * [`run_conventional`] — the paper's Figure 5(a): basecall the whole read
+//!   (chunk by chunk with carried decoder state), read quality control on
+//!   the full-read average quality, then whole-read mapping. This is the
+//!   workload of the CPU, GPU and PIM baselines.
+//! * [`run_genpip`] — the chunk-based pipeline of Figure 5(b), optionally
+//!   with early rejection (Figure 6): every basecalled chunk immediately
+//!   flows through quality accumulation, seeding, and incremental chaining;
+//!   QSR samples evenly-spaced chunks first, CMR checks the chaining score
+//!   after the first `N_cm` chunks, and rejected reads stop consuming
+//!   resources.
+//!
+//! Both produce a [`PipelineRun`]: per-read outcomes plus the workload
+//! counters (samples, MVMs, seeding shifts, anchors, DP cells, bytes) that
+//! the system cost models in [`crate::systems`] consume. Nothing about
+//! rejection behaviour is modelled analytically — every decision replays the
+//! real algorithms on the synthetic signals.
+
+use crate::config::GenPipConfig;
+use crate::early_reject::{cmr_check, qsr_check, qsr_sample_indices};
+use genpip_basecall::{BasecalledChunk, Basecaller, CarryState};
+use genpip_datasets::SimulatedDataset;
+use genpip_genomics::quality::AqsAccumulator;
+use genpip_genomics::DnaSeq;
+use genpip_mapping::{Mapper, Mapping, MappingCounters};
+use genpip_signal::chunk_boundaries;
+use std::collections::BTreeMap;
+
+/// Which early-rejection stages are active on top of CP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErMode {
+    /// Chunk-based pipeline only (GenPIP-CP).
+    None,
+    /// CP + quality-score-based rejection (GenPIP-CP-QSR).
+    QsrOnly,
+    /// CP + QSR + chunk-mapping-based rejection (full GenPIP).
+    Full,
+}
+
+/// Why a read left the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadOutcome {
+    /// ER-QSR predicted the read low-quality after sampling `N_qs` chunks.
+    RejectedQsr {
+        /// Average quality of the sampled chunks.
+        sampled_aqs: f64,
+    },
+    /// ER-CMR predicted the read unmapped after chaining `N_cm` chunks.
+    RejectedCmr {
+        /// Chaining score at the decision point.
+        chain_score: f64,
+    },
+    /// Whole-read quality control discarded the read (AQS < θ_qs).
+    FilteredQc {
+        /// The read's full average quality score.
+        aqs: f64,
+    },
+    /// The read was fully processed but did not map to the reference.
+    Unmapped {
+        /// Best whole-read chaining score.
+        chain_score: f64,
+    },
+    /// The read mapped.
+    Mapped(Mapping),
+}
+
+impl ReadOutcome {
+    /// `true` for ER rejections (QSR or CMR).
+    pub fn is_early_rejected(&self) -> bool {
+        matches!(self, ReadOutcome::RejectedQsr { .. } | ReadOutcome::RejectedCmr { .. })
+    }
+
+    /// `true` if the read produced a mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, ReadOutcome::Mapped(_))
+    }
+
+    /// The mapping, if any.
+    pub fn mapping(&self) -> Option<&Mapping> {
+        match self {
+            ReadOutcome::Mapped(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Work performed at one pipeline step for one chunk.
+///
+/// GenPIP may touch a chunk twice — once when QSR samples it (basecall
+/// only) and once when its position arrives in the sequential pass (seeding
+/// and chaining only, reusing the basecalled result). Each touch is one
+/// `ChunkWork` entry, so counters never double-count and the hardware
+/// scheduler sees the true job sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChunkWork {
+    /// Chunk index within the read.
+    pub index: usize,
+    /// Raw samples basecalled at this step (0 when reusing a sampled chunk).
+    pub samples: usize,
+    /// Emission MVMs at this step.
+    pub mvm_ops: usize,
+    /// Bases produced at this step.
+    pub bases_called: usize,
+    /// Bases pushed through seeding at this step (0 for basecall-only
+    /// steps); the hardware QSG shifts once per base.
+    pub seed_bases: usize,
+    /// Minimizers extracted.
+    pub minimizers: usize,
+    /// Anchors produced (ReRAM location-list reads).
+    pub anchors: usize,
+    /// Chaining DP predecessor evaluations added.
+    pub chain_evals: usize,
+}
+
+/// One read's journey through the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadRun {
+    /// Read id.
+    pub id: u32,
+    /// Final outcome.
+    pub outcome: ReadOutcome,
+    /// Chunks the raw signal divides into (`N_total`).
+    pub total_chunks: usize,
+    /// Work entries in processing order.
+    pub chunks: Vec<ChunkWork>,
+    /// Full raw-signal samples (what a conventional flow must move/store).
+    pub signal_samples: usize,
+    /// Bases actually basecalled.
+    pub called_len: usize,
+    /// Whole-read AQS, if the read was fully basecalled.
+    pub full_aqs: Option<f64>,
+    /// Best whole-read chain score observed (0 if never chained).
+    pub best_chain_score: f64,
+    /// Query length of the final alignment (0 if none ran).
+    pub align_query_len: usize,
+    /// Alignment DP cells (0 if none ran).
+    pub align_cells: usize,
+    /// Aggregate mapping counters (seeding + chaining + alignment).
+    pub map_counters: MappingCounters,
+}
+
+impl ReadRun {
+    /// Raw-signal bytes of the full read.
+    pub fn raw_bytes(&self) -> usize {
+        self.signal_samples * genpip_signal::BYTES_PER_SAMPLE
+    }
+
+    /// Bytes of basecalled output (2-bit packed bases + one quality byte per
+    /// base), the unit the conventional flow ships between machines.
+    pub fn called_bytes(&self) -> usize {
+        self.called_len.div_ceil(4) + self.called_len
+    }
+
+    /// Total basecalled samples across work entries.
+    pub fn basecalled_samples(&self) -> usize {
+        self.chunks.iter().map(|c| c.samples).sum()
+    }
+}
+
+/// A full dataset run: configuration + per-read results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineRun {
+    /// The configuration used.
+    pub config: GenPipConfig,
+    /// Which ER stages were active (`None` marks the conventional flow too;
+    /// see [`PipelineRun::chunked`]).
+    pub er: ErMode,
+    /// `true` if produced by [`run_genpip`] (chunk-granularity seeding and
+    /// chaining), `false` for [`run_conventional`].
+    pub chunked: bool,
+    /// Per-read results, id-ordered.
+    pub reads: Vec<ReadRun>,
+}
+
+/// Aggregate workload counters over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkloadTotals {
+    /// Reads processed.
+    pub reads: usize,
+    /// Raw samples basecalled.
+    pub samples: usize,
+    /// Emission MVMs.
+    pub mvm_ops: usize,
+    /// Bases basecalled.
+    pub bases_called: usize,
+    /// Bases pushed through seeding.
+    pub seed_bases: usize,
+    /// Minimizers extracted.
+    pub minimizers: usize,
+    /// Anchors produced.
+    pub anchors: usize,
+    /// Chaining DP evaluations.
+    pub chain_evals: usize,
+    /// Alignment DP cells.
+    pub align_cells: usize,
+    /// Raw-signal bytes across all reads (full signals).
+    pub raw_bytes: usize,
+    /// Basecalled-output bytes across all reads.
+    pub called_bytes: usize,
+    /// Reads that reached the mapped outcome.
+    pub mapped_reads: usize,
+}
+
+impl PipelineRun {
+    /// Sums the workload counters.
+    ///
+    /// Basecalling quantities come from the chunk work entries; mapping
+    /// quantities come from the per-read [`MappingCounters`], which hold the
+    /// whole-read sketch for conventional runs and the per-chunk aggregation
+    /// for chunked runs.
+    pub fn totals(&self) -> WorkloadTotals {
+        let mut t = WorkloadTotals { reads: self.reads.len(), ..Default::default() };
+        for r in &self.reads {
+            for c in &r.chunks {
+                t.samples += c.samples;
+                t.mvm_ops += c.mvm_ops;
+                t.bases_called += c.bases_called;
+                t.seed_bases += c.seed_bases;
+            }
+            t.minimizers += r.map_counters.minimizers;
+            t.anchors += r.map_counters.anchors;
+            t.chain_evals += r.map_counters.chain_evals;
+            t.align_cells += r.align_cells;
+            t.raw_bytes += r.raw_bytes();
+            t.called_bytes += r.called_bytes();
+            if r.outcome.is_mapped() {
+                t.mapped_reads += 1;
+            }
+        }
+        t
+    }
+
+    /// A copy of the run containing only reads satisfying `pred` — used by
+    /// the Figure 4 potential study's oracle System D, which drops useless
+    /// reads before any processing.
+    pub fn filtered(&self, pred: impl Fn(&ReadRun) -> bool) -> PipelineRun {
+        PipelineRun {
+            config: self.config.clone(),
+            er: self.er,
+            chunked: self.chunked,
+            reads: self.reads.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// Count of reads with a given outcome predicate.
+    pub fn count_outcomes(&self, pred: impl Fn(&ReadOutcome) -> bool) -> usize {
+        self.reads.iter().filter(|r| pred(&r.outcome)).count()
+    }
+}
+
+/// Shared per-run context.
+struct RunContext<'a> {
+    config: &'a GenPipConfig,
+    caller: Basecaller,
+    mapper: Mapper,
+    samples_per_chunk: usize,
+}
+
+impl<'a> RunContext<'a> {
+    fn new(dataset: &SimulatedDataset, config: &'a GenPipConfig) -> RunContext<'a> {
+        let caller = Basecaller::new(dataset.pore_model(), dataset.synthesizer().mean_dwell());
+        let mapper = Mapper::build(&dataset.reference, config.mapper);
+        let samples_per_chunk = config.samples_per_chunk(dataset.synthesizer().mean_dwell());
+        RunContext { config, caller, mapper, samples_per_chunk }
+    }
+}
+
+/// Runs the conventional pipeline (Figure 5a) over a dataset.
+pub fn run_conventional(dataset: &SimulatedDataset, config: &GenPipConfig) -> PipelineRun {
+    let ctx = RunContext::new(dataset, config);
+    let reads = dataset
+        .reads
+        .iter()
+        .map(|read| conventional_read(&ctx, read.id, &read.signal.samples))
+        .collect();
+    PipelineRun { config: config.clone(), er: ErMode::None, chunked: false, reads }
+}
+
+fn conventional_read(ctx: &RunContext<'_>, id: u32, samples: &[f32]) -> ReadRun {
+    let specs = chunk_boundaries(samples.len(), ctx.samples_per_chunk);
+    let mut chunks = Vec::with_capacity(specs.len());
+    let mut seq = DnaSeq::new();
+    let mut aqs = AqsAccumulator::new();
+    let mut carry: Option<CarryState> = None;
+    for spec in &specs {
+        let called = ctx.caller.call_chunk(&samples[spec.start..spec.end], carry);
+        carry = called.carry;
+        aqs.add_chunk_sum(called.sqs, called.quals.len());
+        chunks.push(ChunkWork {
+            index: spec.index,
+            samples: called.stats.samples,
+            mvm_ops: called.stats.mvm_ops,
+            bases_called: called.bases.len(),
+            ..Default::default()
+        });
+        seq.extend_from_seq(&called.bases);
+    }
+
+    let full_aqs = aqs.average();
+    let mut run = ReadRun {
+        id,
+        outcome: ReadOutcome::FilteredQc { aqs: full_aqs },
+        total_chunks: specs.len(),
+        chunks,
+        signal_samples: samples.len(),
+        called_len: seq.len(),
+        full_aqs: Some(full_aqs),
+        best_chain_score: 0.0,
+        align_query_len: 0,
+        align_cells: 0,
+        map_counters: MappingCounters::default(),
+    };
+    if full_aqs < ctx.config.theta_qs {
+        return run; // QC filters the read before mapping.
+    }
+
+    let result = ctx.mapper.map(&seq);
+    run.map_counters = result.counters;
+    run.best_chain_score = result.best_chain_score;
+    run.align_cells = result.counters.align_cells;
+    run.align_query_len = if result.counters.align_cells > 0 { seq.len() } else { 0 };
+    run.outcome = match result.mapping {
+        Some(m) => ReadOutcome::Mapped(m),
+        None => ReadOutcome::Unmapped { chain_score: result.best_chain_score },
+    };
+    run
+}
+
+/// Runs GenPIP's chunk-based pipeline (Figure 5b / Figure 6) over a dataset.
+pub fn run_genpip(dataset: &SimulatedDataset, config: &GenPipConfig, er: ErMode) -> PipelineRun {
+    let ctx = RunContext::new(dataset, config);
+    let reads = dataset
+        .reads
+        .iter()
+        .map(|read| genpip_read(&ctx, read.id, &read.signal.samples, er))
+        .collect();
+    PipelineRun { config: config.clone(), er, chunked: true, reads }
+}
+
+fn genpip_read(ctx: &RunContext<'_>, id: u32, samples: &[f32], er: ErMode) -> ReadRun {
+    let specs = chunk_boundaries(samples.len(), ctx.samples_per_chunk);
+    let total = specs.len();
+    let mut run = ReadRun {
+        id,
+        outcome: ReadOutcome::FilteredQc { aqs: 0.0 },
+        total_chunks: total,
+        chunks: Vec::new(),
+        signal_samples: samples.len(),
+        called_len: 0,
+        full_aqs: None,
+        best_chain_score: 0.0,
+        align_query_len: 0,
+        align_cells: 0,
+        map_counters: MappingCounters::default(),
+    };
+    if total == 0 {
+        run.outcome = match er {
+            ErMode::None => ReadOutcome::FilteredQc { aqs: 0.0 },
+            _ => ReadOutcome::RejectedQsr { sampled_aqs: 0.0 },
+        };
+        return run;
+    }
+
+    // Chunks basecalled so far, by index.
+    let mut called: BTreeMap<usize, BasecalledChunk> = BTreeMap::new();
+    let basecall = |idx: usize,
+                        carry: Option<CarryState>,
+                        called: &mut BTreeMap<usize, BasecalledChunk>,
+                        chunks: &mut Vec<ChunkWork>| {
+        let spec = specs[idx];
+        let chunk = ctx.caller.call_chunk(&samples[spec.start..spec.end], carry);
+        chunks.push(ChunkWork {
+            index: idx,
+            samples: chunk.stats.samples,
+            mvm_ops: chunk.stats.mvm_ops,
+            bases_called: chunk.bases.len(),
+            ..Default::default()
+        });
+        called.insert(idx, chunk);
+    };
+
+    // ER-QSR phase: basecall the evenly-spaced sample chunks and check their
+    // quality (paper Figure 6 ➊➋).
+    if er != ErMode::None {
+        let sample_idx = qsr_sample_indices(total, ctx.config.n_qs);
+        for &idx in &sample_idx {
+            basecall(idx, None, &mut called, &mut run.chunks);
+        }
+        let sampled: Vec<(f64, usize)> = sample_idx
+            .iter()
+            .map(|idx| {
+                let c = &called[idx];
+                (c.sqs, c.quals.len())
+            })
+            .collect();
+        let decision = qsr_check(&sampled, ctx.config.theta_qs);
+        run.called_len = called.values().map(|c| c.bases.len()).sum();
+        if decision.reject {
+            run.outcome = ReadOutcome::RejectedQsr { sampled_aqs: decision.sampled_aqs };
+            return run;
+        }
+    }
+
+    // Sequential CP pass: basecall (or reuse) chunks in order; every chunk
+    // immediately goes through quality accumulation, seeding, and
+    // incremental chaining.
+    let (mut fwd, mut rev) = ctx.mapper.new_chainers();
+    let mut seq = DnaSeq::new();
+    let mut aqs = AqsAccumulator::new();
+    let mut cmr_checked = false;
+    for idx in 0..total {
+        if !called.contains_key(&idx) {
+            let carry = if idx == 0 { None } else { called[&(idx - 1)].carry };
+            basecall(idx, carry, &mut called, &mut run.chunks);
+        }
+        let offset = seq.len() as u32;
+        let chunk = &called[&idx];
+        let (batch, n_mins) = ctx.mapper.sketch_and_seed(&chunk.bases, offset);
+        let evals_before = fwd.dp_evaluations() + rev.dp_evaluations();
+        fwd.extend(&batch.forward);
+        rev.extend(&batch.reverse);
+        let evals_after = fwd.dp_evaluations() + rev.dp_evaluations();
+        run.chunks.push(ChunkWork {
+            index: idx,
+            seed_bases: chunk.bases.len(),
+            minimizers: n_mins,
+            anchors: batch.hits,
+            chain_evals: evals_after - evals_before,
+            ..Default::default()
+        });
+        run.map_counters.minimizers += n_mins;
+        run.map_counters.seed_queries += batch.queries;
+        run.map_counters.anchors += batch.hits;
+        run.map_counters.chain_evals += evals_after - evals_before;
+        aqs.add_chunk_sum(chunk.sqs, chunk.quals.len());
+        seq.extend_from_seq(&chunk.bases);
+
+        // ER-CMR: after the first N_cm chunks are chained, check whether the
+        // accumulated chaining score says the read will map (Figure 6 ➍➎).
+        // Short reads with ≤ N_cm chunks fall through to the whole-read
+        // check instead.
+        if er == ErMode::Full && !cmr_checked && idx + 1 == ctx.config.n_cm && total > ctx.config.n_cm
+        {
+            cmr_checked = true;
+            let score = fwd.best_score().max(rev.best_score());
+            let decision = cmr_check(score, ctx.config.theta_cm);
+            if decision.reject {
+                run.called_len = called.values().map(|c| c.bases.len()).sum();
+                run.best_chain_score = score;
+                run.outcome = ReadOutcome::RejectedCmr { chain_score: score };
+                return run;
+            }
+        }
+    }
+
+    run.called_len = seq.len();
+    let full_aqs = aqs.average();
+    run.full_aqs = Some(full_aqs);
+    run.best_chain_score = fwd.best_score().max(rev.best_score());
+    if full_aqs < ctx.config.theta_qs {
+        // Whole-read quality control (the AQS calculator's final check).
+        run.outcome = ReadOutcome::FilteredQc { aqs: full_aqs };
+        return run;
+    }
+
+    let (mapping, best_score, align_cells) = ctx.mapper.finalize_mapping(&seq, &fwd, &rev);
+    run.best_chain_score = best_score;
+    run.align_cells = align_cells;
+    run.map_counters.align_cells = align_cells;
+    run.align_query_len = if align_cells > 0 { seq.len() } else { 0 };
+    run.outcome = match mapping {
+        Some(m) => ReadOutcome::Mapped(m),
+        None => ReadOutcome::Unmapped { chain_score: best_score },
+    };
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpip_datasets::DatasetProfile;
+    use genpip_genomics::ReadOrigin;
+
+    fn dataset() -> SimulatedDataset {
+        DatasetProfile::ecoli().scaled(0.05).generate()
+    }
+
+    #[test]
+    fn conventional_processes_every_chunk() {
+        let d = dataset();
+        let config = GenPipConfig::for_dataset(&d.profile);
+        let run = run_conventional(&d, &config);
+        assert_eq!(run.reads.len(), d.reads.len());
+        for r in &run.reads {
+            assert_eq!(r.chunks.len(), r.total_chunks);
+            assert_eq!(r.basecalled_samples(), r.signal_samples);
+            assert!(r.full_aqs.is_some());
+        }
+        assert!(!run.chunked);
+    }
+
+    #[test]
+    fn conventional_outcomes_are_sane() {
+        let d = dataset();
+        let config = GenPipConfig::for_dataset(&d.profile);
+        let run = run_conventional(&d, &config);
+        let t = run.totals();
+        // Most reference-origin, good-quality reads must map.
+        let mut mappable = 0usize;
+        let mut mapped_of_mappable = 0usize;
+        for (rr, sr) in run.reads.iter().zip(&d.reads) {
+            if sr.origin.is_reference() && !sr.is_low_quality_truth() {
+                mappable += 1;
+                if rr.outcome.is_mapped() {
+                    mapped_of_mappable += 1;
+                }
+            }
+            // Contaminants never map.
+            if sr.origin == ReadOrigin::Contaminant {
+                assert!(!rr.outcome.is_mapped(), "contaminant read {} mapped", rr.id);
+            }
+        }
+        assert!(
+            mapped_of_mappable as f64 / mappable as f64 > 0.9,
+            "{mapped_of_mappable}/{mappable} mappable reads mapped"
+        );
+        assert!(t.mapped_reads > 0);
+        assert!(t.align_cells > 0);
+    }
+
+    #[test]
+    fn mapped_reads_land_on_their_true_origin() {
+        let d = dataset();
+        let config = GenPipConfig::for_dataset(&d.profile);
+        let run = run_conventional(&d, &config);
+        let mut checked = 0usize;
+        let mut correct = 0usize;
+        for (rr, sr) in run.reads.iter().zip(&d.reads) {
+            if let (ReadOutcome::Mapped(m), ReadOrigin::Reference { start, len, .. }) =
+                (&rr.outcome, sr.origin)
+            {
+                checked += 1;
+                let true_mid = start + len / 2;
+                if m.ref_start <= true_mid && true_mid <= m.ref_end {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(checked > 10);
+        assert!(
+            correct as f64 / checked as f64 > 0.95,
+            "{correct}/{checked} mapped reads on their true span"
+        );
+    }
+
+    #[test]
+    fn cp_without_er_matches_conventional_outcomes() {
+        let d = dataset();
+        let config = GenPipConfig::for_dataset(&d.profile);
+        let conv = run_conventional(&d, &config);
+        let cp = run_genpip(&d, &config, ErMode::None);
+        assert!(cp.chunked);
+        let mut agree = 0usize;
+        for (a, b) in conv.reads.iter().zip(&cp.reads) {
+            // Chunked sketching loses boundary minimizers, so demand outcome
+            // *category* agreement, not bit equality.
+            let same = matches!(
+                (&a.outcome, &b.outcome),
+                (ReadOutcome::Mapped(_), ReadOutcome::Mapped(_))
+                    | (ReadOutcome::Unmapped { .. }, ReadOutcome::Unmapped { .. })
+                    | (ReadOutcome::FilteredQc { .. }, ReadOutcome::FilteredQc { .. })
+            );
+            if same {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree as f64 / conv.reads.len() as f64 > 0.93,
+            "{agree}/{} outcome agreement",
+            conv.reads.len()
+        );
+    }
+
+    #[test]
+    fn cp_basecalls_everything_once() {
+        let d = dataset();
+        let config = GenPipConfig::for_dataset(&d.profile);
+        let cp = run_genpip(&d, &config, ErMode::None);
+        for r in &cp.reads {
+            assert_eq!(r.basecalled_samples(), r.signal_samples, "read {}", r.id);
+            // Every chunk appears exactly twice: one basecall entry and one
+            // seeding entry (fused in the same pass but recorded separately).
+            assert_eq!(r.chunks.len(), 2 * r.total_chunks);
+        }
+    }
+
+    #[test]
+    fn qsr_saves_work_on_low_quality_reads() {
+        let d = dataset();
+        let config = GenPipConfig::for_dataset(&d.profile);
+        let full = run_genpip(&d, &config, ErMode::None);
+        let qsr = run_genpip(&d, &config, ErMode::QsrOnly);
+        let rejected = qsr.count_outcomes(ReadOutcome::is_early_rejected);
+        assert!(rejected > 0, "no reads rejected by QSR");
+        let full_samples = full.totals().samples;
+        let qsr_samples = qsr.totals().samples;
+        assert!(
+            qsr_samples < full_samples,
+            "QSR did not save basecalling work ({qsr_samples} vs {full_samples})"
+        );
+        // Rejected reads only basecalled their sampled chunks.
+        for r in &qsr.reads {
+            if let ReadOutcome::RejectedQsr { .. } = r.outcome {
+                assert!(r.chunks.len() <= config.n_qs);
+                assert!(r.basecalled_samples() < r.signal_samples || r.total_chunks <= config.n_qs);
+            }
+        }
+    }
+
+    #[test]
+    fn cmr_rejects_contaminants() {
+        let d = dataset();
+        let config = GenPipConfig::for_dataset(&d.profile);
+        let run = run_genpip(&d, &config, ErMode::Full);
+        let mut cmr_rejected = 0usize;
+        let mut cmr_rejected_contaminant = 0usize;
+        for (rr, sr) in run.reads.iter().zip(&d.reads) {
+            if let ReadOutcome::RejectedCmr { .. } = rr.outcome {
+                cmr_rejected += 1;
+                if sr.origin == ReadOrigin::Contaminant {
+                    cmr_rejected_contaminant += 1;
+                }
+            }
+        }
+        assert!(cmr_rejected > 0, "no CMR rejections");
+        assert!(
+            cmr_rejected_contaminant as f64 / cmr_rejected as f64 > 0.7,
+            "{cmr_rejected_contaminant}/{cmr_rejected} CMR rejections are contaminants"
+        );
+    }
+
+    #[test]
+    fn er_only_removes_reads_never_changes_survivors() {
+        let d = dataset();
+        let config = GenPipConfig::for_dataset(&d.profile);
+        let cp = run_genpip(&d, &config, ErMode::None);
+        let er = run_genpip(&d, &config, ErMode::Full);
+        for (a, b) in cp.reads.iter().zip(&er.reads) {
+            if !b.outcome.is_early_rejected() {
+                // A survivor must map to the same place. Sampled chunks are
+                // basecalled without carried decoder state, so the assembled
+                // sequence may differ by a few bases — allow small slack.
+                match (a.outcome.mapping(), b.outcome.mapping()) {
+                    (Some(ma), Some(mb)) => {
+                        assert_eq!(ma.strand, mb.strand, "read {} strand changed", a.id);
+                        assert!(
+                            ma.ref_start.abs_diff(mb.ref_start) < 40,
+                            "read {} moved: {} vs {}",
+                            a.id,
+                            ma.ref_start,
+                            mb.ref_start
+                        );
+                    }
+                    (None, None) => {}
+                    (a_map, b_map) => panic!(
+                        "read {} mapped-ness changed under ER: {:?} vs {:?}",
+                        a.id,
+                        a_map.is_some(),
+                        b_map.is_some()
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn totals_are_internally_consistent() {
+        let d = dataset();
+        let config = GenPipConfig::for_dataset(&d.profile);
+        let run = run_genpip(&d, &config, ErMode::Full);
+        let t = run.totals();
+        assert_eq!(t.reads, d.reads.len());
+        assert!(t.samples <= d.total_samples());
+        assert!(t.mvm_ops == t.samples, "one emission MVM per sample");
+        assert!(t.seed_bases <= t.bases_called);
+        assert!(t.raw_bytes == d.total_samples() * genpip_signal::BYTES_PER_SAMPLE);
+    }
+}

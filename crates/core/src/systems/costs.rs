@@ -1,0 +1,109 @@
+//! Calibrated cost constants for the software baselines.
+//!
+//! Absolute wall-clock numbers on the paper's testbed (Xeon Gold 5118 +
+//! RTX 2080 Ti) are unobtainable without the hardware, so the software cost
+//! model is **calibrated to the ratios the paper publishes** and documents
+//! each constant's anchor:
+//!
+//! | Constant | Anchor |
+//! |---|---|
+//! | `cpu_basecall_per_base` | sets the time unit (CPU Bonito ≈ 25 kbase/s) |
+//! | mapping per-op costs | chosen so dataset-level basecall:mapping ≈ 3100:500 CPU·h (the paper's real-system study, Section 2.1) |
+//! | `gpu_basecall_speedup` | 13.7×, the value implied by the paper's 41.6× (CPU) vs 8.4× (GPU) speedups with mapping time fixed |
+//! | `link_bandwidth` | makes inter-machine transfer ≈3–4 % of the CPU pipeline, consistent with Figure 1's 3.9 TB raw-data movement and the CPU-CP gain of ≈1.2× |
+//! | powers | package powers under load (not TDP), tuned so the energy-ratio *structure* of Figure 11 holds |
+//!
+//! Everything these constants multiply is a *measured* workload counter, so
+//! system orderings and the CP/ER effects are emergent, not baked in.
+
+/// Software/system cost constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftwareCosts {
+    /// CPU basecalling cost per basecalled base (seconds).
+    pub cpu_basecall_per_base: f64,
+    /// GPU basecalling speedup over CPU.
+    pub gpu_basecall_speedup: f64,
+    /// CPU cost per extracted minimizer (seconds).
+    pub cpu_minimizer: f64,
+    /// CPU cost per seed anchor (hash lookup + record).
+    pub cpu_seed_per_anchor: f64,
+    /// CPU cost per chaining DP predecessor evaluation.
+    pub cpu_chain_per_eval: f64,
+    /// CPU cost per alignment DP cell.
+    pub cpu_align_per_cell: f64,
+    /// CPU cost per base of read quality control.
+    pub cpu_qc_per_base: f64,
+    /// Inter-machine link bandwidth (bytes/second).
+    pub link_bandwidth: f64,
+    /// Energy per byte moved across the link (network + storage hops).
+    pub link_energy_per_byte: f64,
+    /// CPU package power under load (watts).
+    pub p_cpu_busy: f64,
+    /// GPU board power under basecalling load (watts), including host share.
+    pub p_gpu_busy: f64,
+    /// GPU idle power while the host maps (watts).
+    pub p_gpu_idle: f64,
+    /// Leakage fraction of a PIM module's Table 2 power drawn for the whole
+    /// run regardless of utilization (analog periphery + eDRAM refresh).
+    pub pim_leakage_fraction: f64,
+    /// Energy per byte written to / read from main-memory DRAM, charged to
+    /// systems that stage intermediate basecalled reads in memory
+    /// (DDR4-class ≈30 pJ/B).
+    pub dram_energy_per_byte: f64,
+}
+
+impl SoftwareCosts {
+    /// The calibrated configuration used by all experiments.
+    pub fn calibrated() -> SoftwareCosts {
+        SoftwareCosts {
+            cpu_basecall_per_base: 4.0e-5,
+            gpu_basecall_speedup: 13.7,
+            cpu_minimizer: 6.0e-7,
+            cpu_seed_per_anchor: 3.0e-7,
+            cpu_chain_per_eval: 5.0e-8,
+            cpu_align_per_cell: 1.5e-8,
+            cpu_qc_per_base: 1.0e-8,
+            link_bandwidth: 8.0e6,
+            link_energy_per_byte: 1.0e-8,
+            p_cpu_busy: 65.0,
+            p_gpu_busy: 300.0,
+            p_gpu_idle: 85.0,
+            pim_leakage_fraction: 0.45,
+            dram_energy_per_byte: 30.0e-12,
+        }
+    }
+}
+
+impl Default for SoftwareCosts {
+    fn default() -> SoftwareCosts {
+        SoftwareCosts::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basecalling_dominates_mapping_per_base() {
+        // The structural fact behind the paper's 3100:500 split: per base,
+        // software basecalling costs far more than any single mapping op.
+        let c = SoftwareCosts::calibrated();
+        assert!(c.cpu_basecall_per_base > 100.0 * c.cpu_align_per_cell);
+        assert!(c.cpu_basecall_per_base > 10.0 * c.cpu_minimizer);
+    }
+
+    #[test]
+    fn gpu_is_faster_but_hungrier() {
+        let c = SoftwareCosts::calibrated();
+        assert!(c.gpu_basecall_speedup > 1.0);
+        assert!(c.p_gpu_busy > c.p_cpu_busy);
+        assert!(c.p_gpu_idle < c.p_gpu_busy);
+    }
+
+    #[test]
+    fn leakage_fraction_is_a_fraction() {
+        let c = SoftwareCosts::calibrated();
+        assert!((0.0..=1.0).contains(&c.pim_leakage_fraction));
+    }
+}

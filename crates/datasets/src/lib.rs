@@ -1,0 +1,36 @@
+//! Synthetic nanopore datasets.
+//!
+//! The paper evaluates on two ONT R9 datasets (Table 1): an E. coli run
+//! (Loman lab R9 release) and a human NA12878 run (PRJEB30620). Neither is
+//! redistributable here, so this crate generates synthetic stand-ins that
+//! preserve the properties the evaluation depends on:
+//!
+//! * read-length distribution (heavy-tailed, with the short-read population
+//!   that limits early rejection on few-chunk reads — Section 6.3),
+//! * per-read quality mixture (a low-quality population of ≈20 % for E. coli
+//!   / ≈8 % for human, giving the Table 1 quality means and the Figure 7
+//!   bands),
+//! * within-read quality correlation (chunk quality varies slowly along a
+//!   read),
+//! * a contaminant population (≈10 % for E. coli) that basecalls fine but
+//!   cannot map — the "unmapped reads" that ER-CMR exists to kill,
+//! * reference-vs-individual divergence (reads are drawn from a lightly
+//!   mutated copy of the reference).
+//!
+//! # Example
+//!
+//! ```
+//! use genpip_datasets::DatasetProfile;
+//!
+//! // A miniature dataset for quick experimentation.
+//! let profile = DatasetProfile::ecoli().scaled(0.02);
+//! let dataset = profile.generate();
+//! assert_eq!(dataset.reads.len(), profile.n_reads);
+//! assert!(dataset.reads.iter().all(|r| !r.signal.samples.is_empty()));
+//! ```
+
+pub mod profile;
+pub mod simulate;
+
+pub use profile::{DatasetProfile, LengthModel};
+pub use simulate::{SimulatedDataset, SimulatedRead};

@@ -1,0 +1,266 @@
+//! Minimal FASTA/FASTQ serialization.
+//!
+//! The reproduction keeps everything in memory, but examples and users need a
+//! way to inspect and exchange data with standard tooling, so reads and
+//! genomes round-trip through the ubiquitous text formats.
+
+use crate::genome::Genome;
+use crate::quality::Phred;
+use crate::read::{Read, ReadOrigin, ReadSet};
+use crate::seq::DnaSeq;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Error produced while parsing FASTA/FASTQ text.
+#[derive(Debug)]
+pub enum ParseFastxError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the text, with a line number (1-based).
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ParseFastxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseFastxError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseFastxError::Malformed { line, reason } => {
+                write!(f, "malformed record at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseFastxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseFastxError::Io(e) => Some(e),
+            ParseFastxError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseFastxError {
+    fn from(e: io::Error) -> ParseFastxError {
+        ParseFastxError::Io(e)
+    }
+}
+
+/// Writes a genome as FASTA with 80-column wrapping.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_fasta<W: Write>(mut w: W, genome: &Genome) -> io::Result<()> {
+    writeln!(w, ">{}", genome.name())?;
+    let s = genome.sequence().to_string();
+    for chunk in s.as_bytes().chunks(80) {
+        w.write_all(chunk)?;
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads the first record of a FASTA stream as a genome.
+///
+/// # Errors
+///
+/// Returns [`ParseFastxError::Malformed`] if the stream does not start with a
+/// `>` header or contains non-ACGT characters, and [`ParseFastxError::Io`]
+/// for reader failures.
+pub fn read_fasta<R: BufRead>(r: R) -> Result<Genome, ParseFastxError> {
+    let mut name = None;
+    let mut seq = DnaSeq::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if name.is_some() {
+                break; // only the first record
+            }
+            name = Some(header.trim().to_string());
+        } else {
+            if name.is_none() {
+                return Err(ParseFastxError::Malformed {
+                    line: idx + 1,
+                    reason: "sequence data before '>' header".to_string(),
+                });
+            }
+            for c in line.chars() {
+                seq.push(crate::base::Base::try_from(c).map_err(|e| {
+                    ParseFastxError::Malformed { line: idx + 1, reason: e.to_string() }
+                })?);
+            }
+        }
+    }
+    let name = name.ok_or(ParseFastxError::Malformed {
+        line: 1,
+        reason: "empty FASTA stream".to_string(),
+    })?;
+    Ok(Genome::from_seq(name, seq))
+}
+
+/// Writes a read set as FASTQ (`@read<id>` headers, Sanger qualities).
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_fastq<W: Write>(mut w: W, reads: &ReadSet) -> io::Result<()> {
+    for read in reads {
+        writeln!(w, "@read{}", read.id)?;
+        writeln!(w, "{}", read.seq)?;
+        writeln!(w, "+")?;
+        let quals: String = read.quals.iter().map(|q| q.to_fastq_char()).collect();
+        writeln!(w, "{quals}")?;
+    }
+    Ok(())
+}
+
+/// Parses a FASTQ stream into a read set.
+///
+/// FASTQ carries no ground truth, so each read is assigned a placeholder
+/// zero-length [`ReadOrigin::Reference`] origin; [`ReadOrigin::Contaminant`]
+/// is reserved for simulator-labelled contaminants.
+///
+/// # Errors
+///
+/// Returns [`ParseFastxError::Malformed`] for truncated records, length
+/// mismatches, or invalid characters.
+pub fn read_fastq<R: BufRead>(r: R) -> Result<ReadSet, ParseFastxError> {
+    let mut lines = r.lines().enumerate();
+    let mut reads = ReadSet::new();
+    let mut next_id = 0u32;
+    while let Some((idx, header)) = lines.next() {
+        let header = header?;
+        if header.trim().is_empty() {
+            continue;
+        }
+        if !header.starts_with('@') {
+            return Err(ParseFastxError::Malformed {
+                line: idx + 1,
+                reason: "expected '@' header".to_string(),
+            });
+        }
+        let mut take = |what: &str| -> Result<(usize, String), ParseFastxError> {
+            match lines.next() {
+                Some((i, l)) => Ok((i, l?)),
+                None => Err(ParseFastxError::Malformed {
+                    line: idx + 1,
+                    reason: format!("truncated record: missing {what}"),
+                }),
+            }
+        };
+        let (seq_line_no, seq_line) = take("sequence line")?;
+        let (_, _plus) = take("'+' separator")?;
+        let (qual_line_no, qual_line) = take("quality line")?;
+
+        let seq: DnaSeq = seq_line.trim_end().parse().map_err(|e: crate::base::ParseBaseError| {
+            ParseFastxError::Malformed { line: seq_line_no + 1, reason: e.to_string() }
+        })?;
+        let mut quals = Vec::with_capacity(seq.len());
+        for c in qual_line.trim_end().chars() {
+            quals.push(Phred::from_fastq_char(c).ok_or(ParseFastxError::Malformed {
+                line: qual_line_no + 1,
+                reason: format!("invalid quality character {c:?}"),
+            })?);
+        }
+        if quals.len() != seq.len() {
+            return Err(ParseFastxError::Malformed {
+                line: qual_line_no + 1,
+                reason: format!(
+                    "quality length {} does not match sequence length {}",
+                    quals.len(),
+                    seq.len()
+                ),
+            });
+        }
+        reads.push(Read::new(
+            next_id,
+            seq,
+            quals,
+            ReadOrigin::Reference { start: 0, len: 0, reverse: false },
+        ));
+        next_id += 1;
+    }
+    Ok(reads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GenomeBuilder;
+
+    #[test]
+    fn fasta_round_trip() {
+        let genome = GenomeBuilder::new(333).seed(1).name("rt").build();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &genome).unwrap();
+        let parsed = read_fasta(buf.as_slice()).unwrap();
+        assert_eq!(parsed.name(), "rt");
+        assert_eq!(parsed.sequence(), genome.sequence());
+    }
+
+    #[test]
+    fn fasta_wraps_lines() {
+        let genome = GenomeBuilder::new(200).seed(2).build();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &genome).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for line in text.lines().skip(1) {
+            assert!(line.len() <= 80);
+        }
+    }
+
+    #[test]
+    fn fasta_rejects_headerless_stream() {
+        let err = read_fasta("ACGT\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseFastxError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn fastq_round_trip() {
+        let mut reads = ReadSet::new();
+        let seq: DnaSeq = "ACGTACGT".parse().unwrap();
+        let quals: Vec<Phred> = (0..8).map(|i| Phred(i as f32)).collect();
+        reads.push(Read::new(
+            0,
+            seq.clone(),
+            quals.clone(),
+            ReadOrigin::Reference { start: 0, len: 0, reverse: false },
+        ));
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &reads).unwrap();
+        let parsed = read_fastq(buf.as_slice()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed.get(0).unwrap().seq, seq);
+        assert_eq!(parsed.get(0).unwrap().quals, quals);
+    }
+
+    #[test]
+    fn fastq_rejects_length_mismatch() {
+        let text = "@r\nACGT\n+\n!!\n";
+        let err = read_fastq(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn fastq_rejects_truncated_record() {
+        let text = "@r\nACGT\n";
+        let err = read_fastq(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn fastq_rejects_bad_header() {
+        let text = "read1\nACGT\n+\n!!!!\n";
+        assert!(read_fastq(text.as_bytes()).is_err());
+    }
+}

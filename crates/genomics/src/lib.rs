@@ -1,0 +1,48 @@
+//! Genomic primitives for the GenPIP reproduction.
+//!
+//! This crate is the foundation of the workspace: every other crate builds on
+//! the types defined here. It provides
+//!
+//! * [`Base`] — the four-letter DNA alphabet with complement arithmetic,
+//! * [`DnaSeq`] — a 2-bit-packed DNA sequence,
+//! * [`Kmer`] — fixed-length subsequences packed into a `u64`,
+//! * [`Phred`] — per-base quality scores and the average-quality-score (AQS)
+//!   arithmetic the paper's read-quality-control step relies on,
+//! * [`Read`] / [`ReadSet`] — sequenced reads with simulation ground truth,
+//! * [`Genome`] and [`GenomeBuilder`] — synthetic reference genomes with
+//!   repeats, used in place of the paper's E. coli / human references,
+//! * [`ErrorModel`] — a nanopore-style substitution/insertion/deletion model,
+//! * [`rng`] — deterministic random sampling helpers (normal, log-normal)
+//!   implemented on top of `rand` so the whole pipeline is reproducible from a
+//!   single seed.
+//!
+//! # Example
+//!
+//! ```
+//! use genpip_genomics::{DnaSeq, GenomeBuilder};
+//!
+//! let genome = GenomeBuilder::new(10_000).seed(7).build();
+//! let window: DnaSeq = genome.sequence().subseq(100, 50);
+//! assert_eq!(window.len(), 50);
+//! let rc = window.reverse_complement();
+//! assert_eq!(rc.reverse_complement(), window);
+//! ```
+
+pub mod base;
+pub mod fastx;
+pub mod genome;
+pub mod kmer;
+pub mod mutate;
+pub mod quality;
+pub mod read;
+pub mod rng;
+pub mod seq;
+pub mod stats;
+
+pub use base::Base;
+pub use genome::{Genome, GenomeBuilder};
+pub use kmer::{Kmer, KmerIter};
+pub use mutate::{ErrorModel, MutationOp};
+pub use quality::{average_quality, Phred};
+pub use read::{Read, ReadOrigin, ReadSet};
+pub use seq::DnaSeq;

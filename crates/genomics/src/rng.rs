@@ -1,0 +1,213 @@
+//! Deterministic random sampling helpers.
+//!
+//! Everything in this workspace must be reproducible from a single seed so
+//! that experiments regenerate identically. All randomness flows through
+//! [`SeededRng`] (a ChaCha8 stream cipher RNG) and the distribution samplers
+//! here; no crate calls `rand::rng()` (the OS-seeded thread RNG).
+//!
+//! The normal and log-normal samplers are implemented via Box–Muller rather
+//! than pulling in `rand_distr`, keeping the dependency set to the
+//! offline-approved list.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The deterministic RNG used throughout the workspace.
+pub type SeededRng = ChaCha8Rng;
+
+/// Creates a [`SeededRng`] from a `u64` seed.
+///
+/// # Example
+///
+/// ```
+/// use genpip_genomics::rng::{seeded, normal};
+///
+/// let mut a = seeded(42);
+/// let mut b = seeded(42);
+/// assert_eq!(normal(&mut a, 0.0, 1.0), normal(&mut b, 0.0, 1.0));
+/// ```
+pub fn seeded(seed: u64) -> SeededRng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Derives an independent child RNG from a parent seed and a stream label.
+///
+/// Used to give each read / each subsystem its own stream so that changing
+/// how many samples one consumer draws does not perturb the others.
+pub fn derive(seed: u64, stream: u64) -> SeededRng {
+    // SplitMix64-style mixing keeps nearby (seed, stream) pairs decorrelated.
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    seeded(z ^ (z >> 31))
+}
+
+/// Samples a standard-normal deviate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `N(mean, std²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Samples a log-normal deviate with the given parameters of the underlying
+/// normal (`mu`, `sigma`). Read lengths in nanopore datasets are heavy-tailed
+/// and commonly modelled this way.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Log-normal parameters `(mu, sigma)` such that the distribution has the
+/// given mean and median: `median = exp(mu)`, `mean = exp(mu + sigma²/2)`.
+///
+/// # Panics
+///
+/// Panics unless `mean >= median > 0` (a log-normal's mean never falls below
+/// its median).
+pub fn log_normal_params(mean: f64, median: f64) -> (f64, f64) {
+    assert!(median > 0.0 && mean >= median, "need mean >= median > 0");
+    let mu = median.ln();
+    let sigma = (2.0 * (mean / median).ln()).max(0.0).sqrt();
+    (mu, sigma)
+}
+
+/// Samples a geometric number of trials (≥ 1) with success probability `p`.
+/// Used for per-base dwell times in the signal synthesizer.
+///
+/// # Panics
+///
+/// Panics unless `0 < p <= 1`.
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u32 {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+    if p >= 1.0 {
+        return 1;
+    }
+    let u: f64 = 1.0 - rng.random::<f64>();
+    let n = (u.ln() / (1.0 - p).ln()).ceil();
+    n.max(1.0).min(u32::MAX as f64) as u32
+}
+
+/// Picks an index in `0..weights.len()` with probability proportional to the
+/// weights; used for mixture sampling (e.g. the low/high-quality read mix).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, any weight is negative, or all weights are 0.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0, "negative weight");
+            w
+        })
+        .sum();
+    assert!(total > 0.0, "all weights are zero");
+    let mut target = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(1);
+        let mut b = seeded(1);
+        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn derive_streams_differ() {
+        let mut a = derive(1, 0);
+        let mut b = derive(1, 1);
+        let xs: Vec<u64> = (0..4).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.random()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded(7);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_param_inversion() {
+        let (mu, sigma) = log_normal_params(9000.0, 8600.0);
+        let median = mu.exp();
+        let mean = (mu + sigma * sigma / 2.0).exp();
+        assert!((median - 8600.0).abs() < 1e-6);
+        assert!((mean - 9000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_normal_sample_mean() {
+        let (mu, sigma) = log_normal_params(5000.0, 4500.0);
+        let mut rng = seeded(11);
+        let n = 40_000;
+        let mean = (0..n).map(|_| log_normal(&mut rng, mu, sigma)).sum::<f64>() / n as f64;
+        assert!((mean - 5000.0).abs() / 5000.0 < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mean >= median")]
+    fn log_normal_params_rejects_mean_below_median() {
+        let _ = log_normal_params(100.0, 200.0);
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let mut rng = seeded(3);
+        let p = 0.125; // mean 8
+        let n = 30_000;
+        let mean = (0..n).map(|_| geometric(&mut rng, p) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 8.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_with_p_one_is_always_one() {
+        let mut rng = seeded(4);
+        assert!((0..100).all(|_| geometric(&mut rng, 1.0) == 1));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = seeded(5);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.35, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn weighted_index_rejects_empty() {
+        let mut rng = seeded(6);
+        let _ = weighted_index(&mut rng, &[]);
+    }
+}

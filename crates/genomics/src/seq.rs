@@ -1,0 +1,366 @@
+//! 2-bit-packed DNA sequences.
+
+use crate::base::{Base, ParseBaseError};
+use std::fmt;
+use std::str::FromStr;
+
+/// A DNA sequence stored with four bases per byte.
+///
+/// The packed layout matters for this reproduction beyond memory footprint:
+/// GenPIP's data-movement accounting (Section 2.3 of the paper) is driven by
+/// the number of *bytes* of basecalled output that must travel between the
+/// basecalling and read-mapping machines, so the sequence type exposes
+/// [`DnaSeq::packed_bytes`] alongside its base-level API.
+///
+/// # Example
+///
+/// ```
+/// use genpip_genomics::{Base, DnaSeq};
+///
+/// let s: DnaSeq = "ACGTAC".parse()?;
+/// assert_eq!(s.len(), 6);
+/// assert_eq!(s.get(1), Base::C);
+/// assert_eq!(s.reverse_complement().to_string(), "GTACGT");
+/// # Ok::<(), genpip_genomics::base::ParseBaseError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct DnaSeq {
+    packed: Vec<u8>,
+    len: usize,
+}
+
+impl DnaSeq {
+    /// Creates an empty sequence.
+    pub fn new() -> DnaSeq {
+        DnaSeq::default()
+    }
+
+    /// Creates an empty sequence with capacity for `n` bases.
+    pub fn with_capacity(n: usize) -> DnaSeq {
+        DnaSeq {
+            packed: Vec::with_capacity(n.div_ceil(4)),
+            len: 0,
+        }
+    }
+
+    /// Number of bases in the sequence.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the sequence holds no bases.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of bytes the packed representation occupies. This is the unit
+    /// GenPIP's data-movement model charges when basecalled reads are shipped
+    /// between pipeline steps.
+    #[inline]
+    pub fn packed_bytes(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Appends a base.
+    #[inline]
+    pub fn push(&mut self, base: Base) {
+        let slot = self.len & 3;
+        if slot == 0 {
+            self.packed.push(0);
+        }
+        let byte = self.packed.last_mut().expect("byte pushed above");
+        *byte |= base.code() << (slot * 2);
+        self.len += 1;
+    }
+
+    /// Returns the base at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[inline]
+    pub fn get(&self, index: usize) -> Base {
+        assert!(index < self.len, "index {index} out of bounds (len {})", self.len);
+        let byte = self.packed[index >> 2];
+        Base::from_code(byte >> ((index & 3) * 2))
+    }
+
+    /// Overwrites the base at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[inline]
+    pub fn set(&mut self, index: usize, base: Base) {
+        assert!(index < self.len, "index {index} out of bounds (len {})", self.len);
+        let shift = (index & 3) * 2;
+        let byte = &mut self.packed[index >> 2];
+        *byte = (*byte & !(0b11 << shift)) | (base.code() << shift);
+    }
+
+    /// Iterates over the bases.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { seq: self, index: 0 }
+    }
+
+    /// Copies `len` bases starting at `start` into a new sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len > self.len()`.
+    pub fn subseq(&self, start: usize, len: usize) -> DnaSeq {
+        assert!(
+            start + len <= self.len,
+            "subseq [{start}, {start}+{len}) out of bounds (len {})",
+            self.len
+        );
+        let mut out = DnaSeq::with_capacity(len);
+        for i in start..start + len {
+            out.push(self.get(i));
+        }
+        out
+    }
+
+    /// Returns the reverse complement of the sequence.
+    ///
+    /// Nanopore devices sequence either strand of the double helix with equal
+    /// probability, so the read simulator and the mapper both need this.
+    pub fn reverse_complement(&self) -> DnaSeq {
+        let mut out = DnaSeq::with_capacity(self.len);
+        for i in (0..self.len).rev() {
+            out.push(self.get(i).complement());
+        }
+        out
+    }
+
+    /// Appends every base of `other`.
+    pub fn extend_from_seq(&mut self, other: &DnaSeq) {
+        for b in other.iter() {
+            self.push(b);
+        }
+    }
+
+    /// Fraction of G/C bases, in `[0, 1]`. Returns 0 for an empty sequence.
+    pub fn gc_fraction(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let gc = self.iter().filter(|b| b.is_gc()).count();
+        gc as f64 / self.len as f64
+    }
+
+    /// Converts to a plain `Vec<Base>` (unpacked, one byte per base).
+    pub fn to_bases(&self) -> Vec<Base> {
+        self.iter().collect()
+    }
+}
+
+impl fmt::Debug for DnaSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len <= 40 {
+            write!(f, "DnaSeq({self})")
+        } else {
+            write!(
+                f,
+                "DnaSeq(len={}, {}…)",
+                self.len,
+                self.subseq(0, 24)
+            )
+        }
+    }
+}
+
+impl fmt::Display for DnaSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for DnaSeq {
+    type Err = ParseBaseError;
+
+    fn from_str(s: &str) -> Result<DnaSeq, ParseBaseError> {
+        let mut out = DnaSeq::with_capacity(s.len());
+        for c in s.chars() {
+            out.push(Base::try_from(c)?);
+        }
+        Ok(out)
+    }
+}
+
+impl FromIterator<Base> for DnaSeq {
+    fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> DnaSeq {
+        let mut out = DnaSeq::new();
+        for b in iter {
+            out.push(b);
+        }
+        out
+    }
+}
+
+impl Extend<Base> for DnaSeq {
+    fn extend<I: IntoIterator<Item = Base>>(&mut self, iter: I) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+impl From<&[Base]> for DnaSeq {
+    fn from(bases: &[Base]) -> DnaSeq {
+        bases.iter().copied().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a DnaSeq {
+    type Item = Base;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the bases of a [`DnaSeq`], created by [`DnaSeq::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    seq: &'a DnaSeq,
+    index: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Base;
+
+    #[inline]
+    fn next(&mut self) -> Option<Base> {
+        if self.index < self.seq.len {
+            let b = self.seq.get(self.index);
+            self.index += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.seq.len - self.index;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_round_trip() {
+        let mut s = DnaSeq::new();
+        let pattern = [Base::A, Base::C, Base::G, Base::T, Base::T, Base::G];
+        for &b in &pattern {
+            s.push(b);
+        }
+        assert_eq!(s.len(), 6);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(s.get(i), b);
+        }
+    }
+
+    #[test]
+    fn packing_density() {
+        let s: DnaSeq = "ACGTACGT".parse().unwrap();
+        assert_eq!(s.packed_bytes(), 2);
+        let s: DnaSeq = "ACGTA".parse().unwrap();
+        assert_eq!(s.packed_bytes(), 2);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let s: DnaSeq = "GATTACA".parse().unwrap();
+        assert_eq!(s.to_string(), "GATTACA");
+        assert!("GATXACA".parse::<DnaSeq>().is_err());
+    }
+
+    #[test]
+    fn set_overwrites_in_place() {
+        let mut s: DnaSeq = "AAAA".parse().unwrap();
+        s.set(2, Base::T);
+        assert_eq!(s.to_string(), "AATA");
+        s.set(0, Base::G);
+        assert_eq!(s.to_string(), "GATA");
+    }
+
+    #[test]
+    fn reverse_complement_known_value() {
+        let s: DnaSeq = "AACGT".parse().unwrap();
+        assert_eq!(s.reverse_complement().to_string(), "ACGTT");
+    }
+
+    #[test]
+    fn reverse_complement_involution() {
+        let s: DnaSeq = "ACGGTTACGATCG".parse().unwrap();
+        assert_eq!(s.reverse_complement().reverse_complement(), s);
+    }
+
+    #[test]
+    fn subseq_bounds() {
+        let s: DnaSeq = "ACGTACGT".parse().unwrap();
+        assert_eq!(s.subseq(2, 4).to_string(), "GTAC");
+        assert_eq!(s.subseq(0, 0).len(), 0);
+        assert_eq!(s.subseq(8, 0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn subseq_past_end_panics() {
+        let s: DnaSeq = "ACGT".parse().unwrap();
+        let _ = s.subseq(2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_past_end_panics() {
+        let s: DnaSeq = "ACGT".parse().unwrap();
+        let _ = s.get(4);
+    }
+
+    #[test]
+    fn gc_fraction_counts() {
+        let s: DnaSeq = "GGCC".parse().unwrap();
+        assert_eq!(s.gc_fraction(), 1.0);
+        let s: DnaSeq = "GATC".parse().unwrap();
+        assert_eq!(s.gc_fraction(), 0.5);
+        assert_eq!(DnaSeq::new().gc_fraction(), 0.0);
+    }
+
+    #[test]
+    fn iterator_matches_len() {
+        let s: DnaSeq = "ACGTACG".parse().unwrap();
+        assert_eq!(s.iter().len(), 7);
+        assert_eq!(s.iter().count(), 7);
+        let collected: DnaSeq = s.iter().collect();
+        assert_eq!(collected, s);
+    }
+
+    #[test]
+    fn extend_from_seq_appends() {
+        let mut a: DnaSeq = "ACG".parse().unwrap();
+        let b: DnaSeq = "TTT".parse().unwrap();
+        a.extend_from_seq(&b);
+        assert_eq!(a.to_string(), "ACGTTT");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", DnaSeq::new()).is_empty());
+        let long: DnaSeq = "ACGT".repeat(30).parse().unwrap();
+        let dbg = format!("{long:?}");
+        assert!(dbg.contains("len=120"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Descriptive statistics for read sets (Table 1 of the paper).
+
+use crate::read::ReadSet;
+
+/// Summary statistics matching the rows of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReadSetStats {
+    /// Mean read length in bases.
+    pub mean_read_length: f64,
+    /// Mean of per-read average quality scores.
+    pub mean_read_quality: f64,
+    /// Median read length in bases.
+    pub median_read_length: f64,
+    /// Median of per-read average quality scores.
+    pub median_read_quality: f64,
+    /// Number of reads.
+    pub number_of_reads: usize,
+    /// Total bases across all reads.
+    pub total_bases: usize,
+}
+
+impl ReadSetStats {
+    /// Computes the statistics of a read set. All fields are zero for an
+    /// empty set.
+    pub fn of(reads: &ReadSet) -> ReadSetStats {
+        if reads.is_empty() {
+            return ReadSetStats::default();
+        }
+        let mut lengths: Vec<f64> = reads.iter().map(|r| r.len() as f64).collect();
+        let mut quals: Vec<f64> = reads.iter().map(|r| r.average_quality()).collect();
+        let n = lengths.len() as f64;
+        let stats = ReadSetStats {
+            mean_read_length: lengths.iter().sum::<f64>() / n,
+            mean_read_quality: quals.iter().sum::<f64>() / n,
+            median_read_length: median(&mut lengths),
+            median_read_quality: median(&mut quals),
+            number_of_reads: reads.len(),
+            total_bases: reads.total_bases(),
+        };
+        stats
+    }
+}
+
+/// Median of a slice (sorts in place). Returns 0 for an empty slice.
+pub fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in stats input"));
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    }
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Geometric mean; 0 for an empty slice.
+///
+/// Figures 10 and 11 of the paper report GMEAN columns across dataset/chunk
+/// configurations.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::Phred;
+    use crate::read::{Read, ReadOrigin};
+    use crate::seq::DnaSeq;
+
+    fn read_of(id: u32, len: usize, q: f32) -> Read {
+        let seq: DnaSeq = "ACGT".repeat(len.div_ceil(4)).parse().unwrap();
+        let seq = seq.subseq(0, len);
+        Read::new(
+            id,
+            seq,
+            vec![Phred(q); len],
+            ReadOrigin::Reference { start: 0, len, reverse: false },
+        )
+    }
+
+    #[test]
+    fn empty_set_is_all_zero() {
+        let stats = ReadSetStats::of(&ReadSet::new());
+        assert_eq!(stats, ReadSetStats::default());
+    }
+
+    #[test]
+    fn stats_on_known_set() {
+        let reads: ReadSet = vec![read_of(0, 100, 8.0), read_of(1, 200, 10.0), read_of(2, 600, 12.0)]
+            .into_iter()
+            .collect();
+        let stats = ReadSetStats::of(&reads);
+        assert_eq!(stats.number_of_reads, 3);
+        assert_eq!(stats.total_bases, 900);
+        assert!((stats.mean_read_length - 300.0).abs() < 1e-9);
+        assert!((stats.median_read_length - 200.0).abs() < 1e-9);
+        assert!((stats.mean_read_quality - 10.0).abs() < 1e-6);
+        assert!((stats.median_read_quality - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut []), 0.0);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,193 @@
+//! The reference minimizer index.
+//!
+//! The paper's Figure 1 ⓐ: an offline pass extracts minimizers from the
+//! reference genome and stores them in a key–value hash table (minimizer →
+//! locations). GenPIP materializes this table inside ReRAM CAM (keys) and
+//! RAM (values) arrays; this module is the functional reference whose
+//! contents get "programmed" into the `genpip-pim` seeding-unit model.
+
+use crate::minimizer::{minimizers, Minimizer};
+use genpip_genomics::Genome;
+use std::collections::HashMap;
+
+/// One reference hit: where a minimizer occurs in the genome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefHit {
+    /// Position of the k-mer's first base in the reference.
+    pub pos: u32,
+    /// Strand flag of the canonical k-mer at that position.
+    pub reverse: bool,
+}
+
+/// Hash table from minimizer hash to reference locations.
+#[derive(Debug, Clone)]
+pub struct ReferenceIndex {
+    k: usize,
+    w: usize,
+    genome_len: usize,
+    table: HashMap<u64, Vec<RefHit>>,
+    max_occurrences: usize,
+}
+
+impl ReferenceIndex {
+    /// Default cap on hits per minimizer: more frequent minimizers are
+    /// treated as repetitive and skipped at query time (minimap2's
+    /// `--mask-level` analogue).
+    pub const DEFAULT_MAX_OCCURRENCES: usize = 128;
+
+    /// Builds the index of `genome` with minimizer parameters `(k, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `1..=32` or `w` is 0.
+    pub fn build(genome: &Genome, k: usize, w: usize) -> ReferenceIndex {
+        let mut table: HashMap<u64, Vec<RefHit>> = HashMap::new();
+        for m in minimizers(genome.sequence(), k, w) {
+            table
+                .entry(m.hash)
+                .or_default()
+                .push(RefHit { pos: m.pos, reverse: m.reverse });
+        }
+        ReferenceIndex {
+            k,
+            w,
+            genome_len: genome.len(),
+            table,
+            max_occurrences: Self::DEFAULT_MAX_OCCURRENCES,
+        }
+    }
+
+    /// Adjusts the repetitive-minimizer cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is 0.
+    pub fn with_max_occurrences(mut self, cap: usize) -> ReferenceIndex {
+        assert!(cap > 0, "occurrence cap must be positive");
+        self.max_occurrences = cap;
+        self
+    }
+
+    /// Minimizer k-mer length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Minimizer window size.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Length of the indexed genome.
+    pub fn genome_len(&self) -> usize {
+        self.genome_len
+    }
+
+    /// Number of distinct minimizer keys.
+    pub fn distinct_minimizers(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Total number of (key, location) entries.
+    pub fn total_entries(&self) -> usize {
+        self.table.values().map(Vec::len).sum()
+    }
+
+    /// Looks up a query minimizer, returning its reference hits, or an empty
+    /// slice if the key is absent **or** more frequent than the repetitive
+    /// cap.
+    pub fn lookup(&self, m: &Minimizer) -> &[RefHit] {
+        match self.table.get(&m.hash) {
+            Some(hits) if hits.len() <= self.max_occurrences => hits,
+            _ => &[],
+        }
+    }
+
+    /// Looks up by raw hash (used by the PIM CAM model, which stores hashes
+    /// directly).
+    pub fn lookup_hash(&self, hash: u64) -> &[RefHit] {
+        match self.table.get(&hash) {
+            Some(hits) if hits.len() <= self.max_occurrences => hits,
+            _ => &[],
+        }
+    }
+
+    /// Iterates over all `(hash, hits)` pairs (for loading the PIM arrays).
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &Vec<RefHit>)> {
+        self.table.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpip_genomics::GenomeBuilder;
+
+    fn genome(n: usize, seed: u64) -> Genome {
+        GenomeBuilder::new(n).seed(seed).build()
+    }
+
+    #[test]
+    fn index_contains_every_reference_minimizer() {
+        let g = genome(10_000, 1);
+        let idx = ReferenceIndex::build(&g, 15, 10);
+        for m in minimizers(g.sequence(), 15, 10) {
+            let hits = idx.lookup(&m);
+            assert!(
+                hits.iter().any(|h| h.pos == m.pos),
+                "minimizer at {} missing from index",
+                m.pos
+            );
+        }
+    }
+
+    #[test]
+    fn entry_count_matches_sketch_size() {
+        let g = genome(10_000, 2);
+        let idx = ReferenceIndex::build(&g, 15, 10);
+        let sketch = minimizers(g.sequence(), 15, 10);
+        assert_eq!(idx.total_entries(), sketch.len());
+        assert!(idx.distinct_minimizers() <= sketch.len());
+        assert_eq!(idx.genome_len(), 10_000);
+        assert_eq!((idx.k(), idx.w()), (15, 10));
+    }
+
+    #[test]
+    fn absent_key_returns_empty() {
+        let g = genome(1_000, 3);
+        let idx = ReferenceIndex::build(&g, 15, 10);
+        let phantom = Minimizer { hash: 0xDEAD_BEEF_DEAD_BEEF, pos: 0, reverse: false };
+        assert!(idx.lookup(&phantom).is_empty());
+        assert!(idx.lookup_hash(0xDEAD_BEEF_DEAD_BEEF).is_empty());
+    }
+
+    #[test]
+    fn repetitive_minimizers_are_masked() {
+        // A genome that is one repeated unit makes every minimizer highly
+        // repetitive; with a low cap all lookups come back empty.
+        let unit = genome(400, 4);
+        let mut seq = genpip_genomics::DnaSeq::new();
+        for _ in 0..50 {
+            seq.extend_from_seq(unit.sequence());
+        }
+        let g = Genome::from_seq("repeats", seq);
+        let idx = ReferenceIndex::build(&g, 15, 10).with_max_occurrences(4);
+        let masked = minimizers(g.sequence(), 15, 10)
+            .iter()
+            .filter(|m| idx.lookup(m).is_empty())
+            .count();
+        let total = minimizers(g.sequence(), 15, 10).len();
+        assert!(
+            masked as f64 / total as f64 > 0.9,
+            "only {masked}/{total} masked"
+        );
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let g = genome(5_000, 5);
+        let idx = ReferenceIndex::build(&g, 15, 10);
+        let visited: usize = idx.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(visited, idx.total_entries());
+    }
+}

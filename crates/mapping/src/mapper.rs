@@ -1,0 +1,439 @@
+//! End-to-end read mapping.
+//!
+//! [`Mapper`] composes sketching, seeding, chaining and alignment into the
+//! whole-read flow of a conventional pipeline ([`Mapper::map`]), and also
+//! exposes the per-chunk pieces ([`Mapper::sketch_and_seed`],
+//! [`Mapper::finalize_mapping`]) that GenPIP's chunk-based pipeline drives
+//! incrementally.
+
+use crate::align::{banded_global, Alignment, AlignmentParams, CigarOp};
+use crate::chain::{ChainParams, IncrementalChainer};
+use crate::index::ReferenceIndex;
+use crate::minimizer::minimizers;
+use crate::seed::{seed_batch, SeedBatch, Strand};
+use genpip_genomics::{DnaSeq, Genome};
+
+/// Mapper configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapperParams {
+    /// Minimizer k-mer length.
+    pub k: usize,
+    /// Minimizer window size.
+    pub w: usize,
+    /// Chaining parameters.
+    pub chain: ChainParams,
+    /// Alignment scoring.
+    pub align: AlignmentParams,
+    /// Reads whose best chain scores below this are unmapped without
+    /// alignment (the read-level `θ_cm` role in the conventional pipeline).
+    pub min_chain_score: f64,
+    /// Alignments below this identity are rejected as unmapped.
+    pub min_identity: f64,
+    /// Extra band half-width beyond the chain's diagonal spread.
+    pub band_margin: usize,
+}
+
+impl Default for MapperParams {
+    fn default() -> MapperParams {
+        let k = 15;
+        MapperParams {
+            k,
+            w: 10,
+            chain: ChainParams::for_k(k),
+            align: AlignmentParams::default(),
+            min_chain_score: 30.0,
+            min_identity: 0.55,
+            band_margin: 32,
+        }
+    }
+}
+
+/// Workload counters for one mapped read — inputs to the hardware cost
+/// models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MappingCounters {
+    /// Minimizers extracted from the query.
+    pub minimizers: usize,
+    /// Hash-table (CAM) lookups.
+    pub seed_queries: usize,
+    /// Anchors produced.
+    pub anchors: usize,
+    /// Chaining DP predecessor evaluations.
+    pub chain_evals: usize,
+    /// Alignment DP cells.
+    pub align_cells: usize,
+}
+
+impl MappingCounters {
+    /// Accumulates another counter set.
+    pub fn add(&mut self, other: &MappingCounters) {
+        self.minimizers += other.minimizers;
+        self.seed_queries += other.seed_queries;
+        self.anchors += other.anchors;
+        self.chain_evals += other.chain_evals;
+        self.align_cells += other.align_cells;
+    }
+}
+
+/// A successful mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    /// Reference start (forward-strand coordinates, inclusive).
+    pub ref_start: usize,
+    /// Reference end (exclusive).
+    pub ref_end: usize,
+    /// Mapping strand.
+    pub strand: Strand,
+    /// Best chain score.
+    pub chain_score: f64,
+    /// Alignment score.
+    pub align_score: i32,
+    /// BLAST identity of the alignment.
+    pub identity: f64,
+    /// Mapping quality (0–60).
+    pub mapq: u8,
+    /// Alignment CIGAR (query vs the reported reference span).
+    pub cigar: Vec<CigarOp>,
+}
+
+/// Outcome of mapping one read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingResult {
+    /// The mapping, or `None` if the read is unmapped.
+    pub mapping: Option<Mapping>,
+    /// Best chain score observed (even when unmapped — ER-CMR thresholds
+    /// use this).
+    pub best_chain_score: f64,
+    /// Workload counters.
+    pub counters: MappingCounters,
+}
+
+/// The read mapper.
+#[derive(Debug, Clone)]
+pub struct Mapper {
+    genome: Genome,
+    index: ReferenceIndex,
+    params: MapperParams,
+}
+
+impl Mapper {
+    /// Builds the reference index and returns a ready mapper.
+    pub fn build(genome: &Genome, params: MapperParams) -> Mapper {
+        let index = ReferenceIndex::build(genome, params.k, params.w);
+        Mapper { genome: genome.clone(), index, params }
+    }
+
+    /// The mapper's configuration.
+    pub fn params(&self) -> &MapperParams {
+        &self.params
+    }
+
+    /// The underlying reference index.
+    pub fn index(&self) -> &ReferenceIndex {
+        &self.index
+    }
+
+    /// The reference genome.
+    pub fn genome(&self) -> &Genome {
+        &self.genome
+    }
+
+    /// Fresh chainer pair (forward, reverse) for incremental chunk-based
+    /// mapping.
+    pub fn new_chainers(&self) -> (IncrementalChainer, IncrementalChainer) {
+        (
+            IncrementalChainer::new(self.params.chain),
+            IncrementalChainer::new(self.params.chain),
+        )
+    }
+
+    /// Sketches `seq` (a basecalled chunk or a whole read) and seeds its
+    /// minimizers, offsetting query positions by `qpos_offset`.
+    pub fn sketch_and_seed(&self, seq: &DnaSeq, qpos_offset: u32) -> (SeedBatch, usize) {
+        let mins = minimizers(seq, self.params.k, self.params.w);
+        let n = mins.len();
+        (seed_batch(&self.index, &mins, qpos_offset), n)
+    }
+
+    /// Completes a mapping from filled chainers: picks the best strand/chain,
+    /// aligns the query against the chain's reference window, and applies the
+    /// unmapped thresholds.
+    ///
+    /// Returns the (optional) mapping, the best chain score, and the number
+    /// of alignment DP cells spent.
+    pub fn finalize_mapping(
+        &self,
+        query: &DnaSeq,
+        forward: &IncrementalChainer,
+        reverse: &IncrementalChainer,
+    ) -> (Option<Mapping>, f64, usize) {
+        let fwd_score = forward.best_score();
+        let rev_score = reverse.best_score();
+        let best_score = fwd_score.max(rev_score);
+        if best_score < self.params.min_chain_score || query.is_empty() {
+            return (None, best_score, 0);
+        }
+        let (chainer, strand, other_best) = if fwd_score >= rev_score {
+            (forward, Strand::Forward, rev_score)
+        } else {
+            (reverse, Strand::Reverse, fwd_score)
+        };
+        let chain = chainer.best_chain().expect("score > 0 implies a chain");
+        let anchors = chainer.anchors();
+        let first = anchors[*chain.anchor_indices.first().expect("non-empty chain")];
+        let last = anchors[*chain.anchor_indices.last().expect("non-empty chain")];
+
+        // Extrapolate the chain to the query ends to get the reference
+        // window, in chain coordinates.
+        let g = self.genome.len() as i64;
+        let k = self.params.k as i64;
+        let qlen = query.len() as i64;
+        let wstart = (first.rpos as i64 - first.qpos as i64).clamp(0, g);
+        let wend = (last.rpos as i64 + k + (qlen - last.qpos as i64)).clamp(0, g);
+        if wend <= wstart {
+            return (None, best_score, 0);
+        }
+        let wlen = (wend - wstart) as usize;
+
+        // Extract the window sequence (chain coordinates are RC-genome
+        // coordinates on the reverse strand).
+        let window = match strand {
+            Strand::Forward => self.genome.sequence().subseq(wstart as usize, wlen),
+            Strand::Reverse => self
+                .genome
+                .sequence()
+                .subseq((g - wend) as usize, wlen)
+                .reverse_complement(),
+        };
+
+        // Band: centre on the chain's median diagonal, cover its spread.
+        let diags: Vec<i64> = chain
+            .anchor_indices
+            .iter()
+            .map(|&i| anchors[i].rpos as i64 - wstart - anchors[i].qpos as i64)
+            .collect();
+        let (dmin, dmax) = diags
+            .iter()
+            .fold((i64::MAX, i64::MIN), |(lo, hi), &d| (lo.min(d), hi.max(d)));
+        let center = (dmin + dmax) / 2;
+        let halfwidth = ((dmax - dmin) / 2) as usize
+            + self.params.band_margin
+            + query.len() / 20;
+
+        let alignment: Alignment =
+            banded_global(query, &window, &self.params.align, center, halfwidth);
+        let cells = alignment.cells;
+        if alignment.identity() < self.params.min_identity {
+            return (None, best_score, cells);
+        }
+
+        // Second-best chain score for MAPQ: the best competitor is either the
+        // other strand's best chain or a same-strand chain at another locus.
+        let exclusion_halo = query.len() as u32;
+        let lo = (wstart as u32).saturating_sub(exclusion_halo);
+        let hi = (wend as u32).saturating_add(exclusion_halo);
+        let second = other_best.max(chainer.best_score_outside(lo..hi));
+        let mapq = compute_mapq(chain.score, second, chain.anchor_indices.len());
+
+        // Report the window in forward-genome coordinates.
+        let (ref_start, ref_end) = match strand {
+            Strand::Forward => (wstart as usize, wend as usize),
+            Strand::Reverse => ((g - wend) as usize, (g - wstart) as usize),
+        };
+
+        let mapping = Mapping {
+            ref_start,
+            ref_end,
+            strand,
+            chain_score: chain.score,
+            align_score: alignment.score,
+            identity: alignment.identity(),
+            mapq,
+            cigar: alignment.cigar,
+        };
+        (Some(mapping), best_score, cells)
+    }
+
+    /// Maps a whole read through the conventional (non-chunked) flow.
+    pub fn map(&self, query: &DnaSeq) -> MappingResult {
+        let mut counters = MappingCounters::default();
+        let (batch, n_mins) = self.sketch_and_seed(query, 0);
+        counters.minimizers = n_mins;
+        counters.seed_queries = batch.queries;
+        counters.anchors = batch.hits;
+        let (mut fwd, mut rev) = self.new_chainers();
+        fwd.extend(&batch.forward);
+        rev.extend(&batch.reverse);
+        counters.chain_evals = fwd.dp_evaluations() + rev.dp_evaluations();
+        let (mapping, best_chain_score, align_cells) =
+            self.finalize_mapping(query, &fwd, &rev);
+        counters.align_cells = align_cells;
+        MappingResult { mapping, best_chain_score, counters }
+    }
+}
+
+/// minimap2-inspired mapping quality from best/second chain scores and chain
+/// length, clamped to 0–60.
+fn compute_mapq(best: f64, second: f64, chain_len: usize) -> u8 {
+    if best <= 0.0 {
+        return 0;
+    }
+    let ratio = (second / best).clamp(0.0, 1.0);
+    let len_factor = (chain_len as f64 / 10.0).min(1.0);
+    (40.0 * (1.0 - ratio) * len_factor).round().clamp(0.0, 60.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpip_genomics::rng::seeded;
+    use genpip_genomics::{ErrorModel, GenomeBuilder};
+
+    fn mapper(n: usize, seed: u64) -> Mapper {
+        let genome = GenomeBuilder::new(n).seed(seed).build();
+        Mapper::build(&genome, MapperParams::default())
+    }
+
+    #[test]
+    fn exact_substring_maps_to_its_origin() {
+        let m = mapper(50_000, 1);
+        for start in [0usize, 12_345, 49_000] {
+            let len = 900.min(50_000 - start);
+            let q = m.genome().sequence().subseq(start, len);
+            let result = m.map(&q);
+            let mapping = result.mapping.expect("exact substring must map");
+            assert_eq!(mapping.strand, Strand::Forward);
+            assert!(
+                mapping.ref_start.abs_diff(start) < 30,
+                "start {start} mapped to {}",
+                mapping.ref_start
+            );
+            assert!(mapping.identity > 0.98);
+            assert!(mapping.mapq > 10);
+        }
+    }
+
+    #[test]
+    fn reverse_complement_substring_maps_reverse() {
+        let m = mapper(50_000, 2);
+        let start = 20_000;
+        let q = m.genome().sequence().subseq(start, 800).reverse_complement();
+        let result = m.map(&q);
+        let mapping = result.mapping.expect("rc substring must map");
+        assert_eq!(mapping.strand, Strand::Reverse);
+        assert!(
+            mapping.ref_start.abs_diff(start) < 30,
+            "mapped to {} expected ~{start}",
+            mapping.ref_start
+        );
+        assert!(mapping.identity > 0.98);
+    }
+
+    #[test]
+    fn noisy_read_still_maps() {
+        let m = mapper(50_000, 3);
+        let mut rng = seeded(4);
+        let start = 30_000;
+        let truth = m.genome().sequence().subseq(start, 1_500);
+        let (noisy, _) = ErrorModel::with_total_rate(0.12).apply(&truth, &mut rng);
+        let result = m.map(&noisy);
+        let mapping = result.mapping.expect("12% error read must map");
+        assert!(mapping.ref_start.abs_diff(start) < 60);
+        assert!(mapping.identity > 0.8, "identity {}", mapping.identity);
+    }
+
+    #[test]
+    fn alien_read_is_unmapped() {
+        let m = mapper(50_000, 5);
+        let alien = GenomeBuilder::new(1_200).seed(777).build().sequence().clone();
+        let result = m.map(&alien);
+        assert!(result.mapping.is_none());
+        assert!(result.best_chain_score < m.params().min_chain_score);
+    }
+
+    #[test]
+    fn empty_read_is_unmapped() {
+        let m = mapper(10_000, 6);
+        let result = m.map(&DnaSeq::new());
+        assert!(result.mapping.is_none());
+        assert_eq!(result.counters.anchors, 0);
+    }
+
+    #[test]
+    fn chunked_mapping_matches_whole_read_mapping() {
+        // Drive the incremental API exactly as GenPIP's CP does and compare
+        // with Mapper::map.
+        let m = mapper(40_000, 7);
+        let start = 11_000;
+        let q = m.genome().sequence().subseq(start, 1_200);
+        let (mut fwd, mut rev) = m.new_chainers();
+        let chunk = 300;
+        let mut offset = 0usize;
+        while offset < q.len() {
+            let len = chunk.min(q.len() - offset);
+            let part = q.subseq(offset, len);
+            let (batch, _) = m.sketch_and_seed(&part, offset as u32);
+            fwd.extend(&batch.forward);
+            rev.extend(&batch.reverse);
+            offset += len;
+        }
+        let (mapping, _, _) = m.finalize_mapping(&q, &fwd, &rev);
+        let mapping = mapping.expect("chunked mapping must succeed");
+        let whole = m.map(&q).mapping.unwrap();
+        assert_eq!(mapping.strand, whole.strand);
+        assert!(mapping.ref_start.abs_diff(whole.ref_start) < 40);
+    }
+
+    #[test]
+    fn repeat_mapping_gets_low_mapq() {
+        // A genome that contains the same unit twice far apart: a read from
+        // the unit is ambiguous and must get a low MAPQ.
+        let unit = GenomeBuilder::new(2_000).seed(8).repeat_fraction(0.0).build();
+        let mut seq = GenomeBuilder::new(10_000).seed(9).repeat_fraction(0.0).build().sequence().clone();
+        seq.extend_from_seq(unit.sequence());
+        seq.extend_from_seq(
+            GenomeBuilder::new(10_000).seed(10).repeat_fraction(0.0).build().sequence(),
+        );
+        seq.extend_from_seq(unit.sequence());
+        seq.extend_from_seq(
+            GenomeBuilder::new(10_000).seed(11).repeat_fraction(0.0).build().sequence(),
+        );
+        let genome = genpip_genomics::Genome::from_seq("dup", seq);
+        let m = Mapper::build(&genome, MapperParams::default());
+        let q = unit.sequence().subseq(500, 800);
+        let result = m.map(&q);
+        let mapping = result.mapping.expect("repeat read still maps somewhere");
+        assert!(mapping.mapq <= 10, "ambiguous read got mapq {}", mapping.mapq);
+
+        // A unique read keeps a high MAPQ.
+        let uq = genome.sequence().subseq(3_000, 800);
+        let unique = m.map(&uq).mapping.unwrap();
+        assert!(unique.mapq > 20, "unique read got mapq {}", unique.mapq);
+    }
+
+    #[test]
+    fn counters_populate() {
+        let m = mapper(30_000, 12);
+        let q = m.genome().sequence().subseq(5_000, 1_000);
+        let r = m.map(&q);
+        let c = r.counters;
+        assert!(c.minimizers > 50);
+        assert_eq!(c.seed_queries, c.minimizers);
+        assert!(c.anchors >= 50);
+        assert!(c.chain_evals > 0);
+        assert!(c.align_cells > 0);
+        let mut acc = MappingCounters::default();
+        acc.add(&c);
+        acc.add(&c);
+        assert_eq!(acc.anchors, 2 * c.anchors);
+    }
+
+    #[test]
+    fn mapq_formula_behaviour() {
+        assert_eq!(compute_mapq(0.0, 0.0, 5), 0);
+        assert_eq!(compute_mapq(100.0, 100.0, 20), 0);
+        assert_eq!(compute_mapq(100.0, 0.0, 20), 40);
+        assert!(compute_mapq(100.0, 50.0, 20) > 0);
+        assert!(compute_mapq(100.0, 0.0, 2) < compute_mapq(100.0, 0.0, 20));
+    }
+}

@@ -1,0 +1,346 @@
+//! Functional models of the NVM-PIM primitives.
+//!
+//! Two array types carry all of GenPIP's in-memory computation
+//! (paper Section 2.2):
+//!
+//! * [`CrossbarArray`] — an NVM crossbar computing `O = V × M` in one read
+//!   cycle by storing matrix elements as cell conductances (Figure 2). The
+//!   basecaller's emission kernel and the PIM-CQS quality summation both run
+//!   on these.
+//! * [`CamArray`] / [`CamBank`] — content-addressable memory matching a
+//!   query word against all stored rows in parallel (Figure 3). The seeding
+//!   unit stores minimizer hashes in CAMs and their reference locations in
+//!   adjacent RAM arrays (Figure 9).
+//!
+//! These models are *functionally exact* (no analog noise): the paper's
+//! accelerators are engineered to preserve algorithm output, and accuracy
+//! effects of device non-idealities are outside its evaluation too.
+
+use std::collections::HashMap;
+
+/// An NVM crossbar of `rows × cols` programmable cells that computes
+/// matrix–vector products in-situ.
+///
+/// The stored matrix is addressed as `weight[row][col]`; an input vector of
+/// length `rows` drives the wordlines and the bitline currents read out the
+/// `cols`-length output (Kirchhoff summation).
+///
+/// # Example
+///
+/// ```
+/// use genpip_pim::CrossbarArray;
+///
+/// let mut xbar = CrossbarArray::new(2, 3);
+/// xbar.program(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // row-major 2×3
+/// let out = xbar.mvm(&[1.0, 1.0]);
+/// assert_eq!(out, vec![5.0, 7.0, 9.0]);
+/// assert_eq!(xbar.ops(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossbarArray {
+    rows: usize,
+    cols: usize,
+    weights: Vec<f32>,
+    ops: u64,
+}
+
+impl CrossbarArray {
+    /// Creates a zeroed crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is 0.
+    pub fn new(rows: usize, cols: usize) -> CrossbarArray {
+        assert!(rows > 0 && cols > 0, "crossbar dimensions must be positive");
+        CrossbarArray { rows, cols, weights: vec![0.0; rows * cols], ops: 0 }
+    }
+
+    /// Programs the full weight matrix (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != rows × cols`.
+    pub fn program(&mut self, weights: &[f32]) {
+        assert_eq!(
+            weights.len(),
+            self.rows * self.cols,
+            "weight count must match array size"
+        );
+        self.weights.copy_from_slice(weights);
+    }
+
+    /// Array rows (input-vector length).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array columns (output-vector length).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of MVM operations performed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Performs one in-situ MVM: `out[c] = Σ_r v[r] · w[r][c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != rows`.
+    pub fn mvm(&mut self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.rows, "input vector length must match rows");
+        let mut out = vec![0.0f32; self.cols];
+        for (r, &x) in v.iter().enumerate() {
+            let row = &self.weights[r * self.cols..(r + 1) * self.cols];
+            for (o, &w) in out.iter_mut().zip(row) {
+                *o += x * w;
+            }
+        }
+        self.ops += 1;
+        out
+    }
+}
+
+/// One CAM array: up to `rows` stored words of `width_bits` bits, searched
+/// associatively in a single cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CamArray {
+    width_bits: usize,
+    capacity: usize,
+    rows: Vec<u64>,
+    searches: u64,
+}
+
+impl CamArray {
+    /// Creates an empty CAM with `capacity` rows of `width_bits` bits
+    /// (≤ 64 in this model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits` is 0 or exceeds 64, or `capacity` is 0.
+    pub fn new(width_bits: usize, capacity: usize) -> CamArray {
+        assert!((1..=64).contains(&width_bits), "width must be 1..=64 bits");
+        assert!(capacity > 0, "capacity must be positive");
+        CamArray { width_bits, capacity, rows: Vec::new(), searches: 0 }
+    }
+
+    /// Word width in bits.
+    pub fn width_bits(&self) -> usize {
+        self.width_bits
+    }
+
+    /// Stored row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Searches performed so far.
+    pub fn searches(&self) -> u64 {
+        self.searches
+    }
+
+    /// Stores a word, returning its row index, or `None` if the array is
+    /// full. Words wider than `width_bits` are truncated (the caller is
+    /// responsible for collision handling, as with real CAM key truncation).
+    pub fn store(&mut self, word: u64) -> Option<usize> {
+        if self.rows.len() >= self.capacity {
+            return None;
+        }
+        self.rows.push(word & self.mask());
+        Some(self.rows.len() - 1)
+    }
+
+    /// Associative search: returns the index of the first matching row.
+    pub fn search(&mut self, word: u64) -> Option<usize> {
+        self.searches += 1;
+        let w = word & self.mask();
+        self.rows.iter().position(|&r| r == w)
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width_bits) - 1
+        }
+    }
+}
+
+/// A bank of CAM arrays plus an address map, holding a full key set (e.g.
+/// every minimizer hash of the reference index). Keys are distributed across
+/// arrays; a search probes the (single) array the key hashes to, matching
+/// the banked organization of Figure 9 where each seeding unit holds many
+/// 832×128 CAMs.
+#[derive(Debug, Clone)]
+pub struct CamBank {
+    arrays: Vec<CamArray>,
+    /// key → (array, row) directory, standing in for the address decoder.
+    directory: HashMap<u64, (u32, u32)>,
+    width_bits: usize,
+}
+
+impl CamBank {
+    /// Builds a bank sized for `keys`, `rows_per_array` keys per array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_array` is 0.
+    pub fn build<I: IntoIterator<Item = u64>>(keys: I, rows_per_array: usize) -> CamBank {
+        assert!(rows_per_array > 0, "rows_per_array must be positive");
+        let width_bits = 64;
+        let mut bank = CamBank { arrays: Vec::new(), directory: HashMap::new(), width_bits };
+        for key in keys {
+            if bank.directory.contains_key(&key) {
+                continue;
+            }
+            if bank
+                .arrays
+                .last()
+                .map(|a| a.len() >= rows_per_array)
+                .unwrap_or(true)
+            {
+                bank.arrays.push(CamArray::new(width_bits, rows_per_array));
+            }
+            let array = bank.arrays.len() - 1;
+            let row = bank.arrays[array].store(key).expect("fresh array has room");
+            bank.directory.insert(key, (array as u32, row as u32));
+        }
+        bank
+    }
+
+    /// Number of CAM arrays in the bank.
+    pub fn array_count(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Key width in bits (64 in this model).
+    pub fn width_bits(&self) -> usize {
+        self.width_bits
+    }
+
+    /// Total stored keys.
+    pub fn key_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Searches the bank. On a hit, performs the actual CAM search in the
+    /// owning array (counting it) and returns the global slot id
+    /// `(array, row)`.
+    pub fn search(&mut self, key: u64) -> Option<(u32, u32)> {
+        match self.directory.get(&key).copied() {
+            Some((array, _)) => {
+                let row = self.arrays[array as usize].search(key)?;
+                Some((array, row as u32))
+            }
+            None => {
+                // A miss still costs one search in the addressed array.
+                if let Some(first) = self.arrays.first_mut() {
+                    let _ = first.search(key);
+                }
+                None
+            }
+        }
+    }
+
+    /// Total searches across all arrays.
+    pub fn total_searches(&self) -> u64 {
+        self.arrays.iter().map(CamArray::searches).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_mvm_matches_reference() {
+        let mut x = CrossbarArray::new(3, 2);
+        x.program(&[1.0, 0.0, 0.0, 1.0, 2.0, 2.0]);
+        let out = x.mvm(&[1.0, 2.0, 3.0]);
+        assert_eq!(out, vec![1.0 + 6.0, 2.0 + 6.0]);
+        assert_eq!(x.ops(), 1);
+        let _ = x.mvm(&[0.0, 0.0, 0.0]);
+        assert_eq!(x.ops(), 2);
+    }
+
+    #[test]
+    fn crossbar_runs_emission_kernel() {
+        // The basecaller's states×3 emission matrix must run unchanged on
+        // the crossbar: weights rows = features, cols = states (transposed
+        // layout: V is the feature vector).
+        let states = 8;
+        let mut x = CrossbarArray::new(3, states);
+        // w[f][s] = (f+1) * (s+1) as a stand-in.
+        let weights: Vec<f32> = (0..3)
+            .flat_map(|f| (0..states).map(move |s| ((f + 1) * (s + 1)) as f32))
+            .collect();
+        x.program(&weights);
+        let v = [2.0f32, 1.0, 0.5];
+        let out = x.mvm(&v);
+        for s in 0..states {
+            let expected: f32 = (0..3).map(|f| v[f] * ((f + 1) * (s + 1)) as f32).sum();
+            assert_eq!(out[s], expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn crossbar_rejects_wrong_vector() {
+        let mut x = CrossbarArray::new(2, 2);
+        let _ = x.mvm(&[1.0]);
+    }
+
+    #[test]
+    fn cam_store_and_search() {
+        let mut cam = CamArray::new(64, 4);
+        assert!(cam.is_empty());
+        assert_eq!(cam.store(42), Some(0));
+        assert_eq!(cam.store(43), Some(1));
+        assert_eq!(cam.search(43), Some(1));
+        assert_eq!(cam.search(99), None);
+        assert_eq!(cam.searches(), 2);
+        assert_eq!(cam.len(), 2);
+    }
+
+    #[test]
+    fn cam_capacity_is_enforced() {
+        let mut cam = CamArray::new(16, 2);
+        assert!(cam.store(1).is_some());
+        assert!(cam.store(2).is_some());
+        assert!(cam.store(3).is_none());
+    }
+
+    #[test]
+    fn cam_truncates_to_width() {
+        let mut cam = CamArray::new(8, 2);
+        cam.store(0x1FF); // truncated to 0xFF
+        assert_eq!(cam.search(0xFF), Some(0));
+        assert_eq!(cam.search(0x2FF), Some(0), "matches modulo width");
+    }
+
+    #[test]
+    fn bank_finds_every_key() {
+        let keys: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let mut bank = CamBank::build(keys.iter().copied(), 128);
+        assert_eq!(bank.key_count(), 1000);
+        assert_eq!(bank.array_count(), 1000usize.div_ceil(128));
+        for &k in &keys {
+            assert!(bank.search(k).is_some(), "key {k} missing");
+        }
+        assert!(bank.search(0xDEAD).is_none());
+        assert_eq!(bank.total_searches(), 1001);
+    }
+
+    #[test]
+    fn bank_dedupes_keys() {
+        let bank = CamBank::build([7u64, 7, 7, 8].into_iter(), 128);
+        assert_eq!(bank.key_count(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Median/MAD signal normalization.
+//!
+//! Raw nanopore signals carry per-read offset and scale variation (channel
+//! gain, baseline drift). Basecallers normalize each chunk to a reference
+//! scale before inference; this module implements the standard median /
+//! median-absolute-deviation scheme, mapping a signal onto the pore model's
+//! own median and MAD.
+
+use crate::pore::PoreModel;
+
+/// The statistics removed from a signal by normalization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizationStats {
+    /// Median of the raw samples.
+    pub median: f32,
+    /// Median absolute deviation of the raw samples.
+    pub mad: f32,
+}
+
+/// Normalizes `samples` in place so their median/MAD match the pore model's
+/// level table, returning the statistics that were removed.
+///
+/// A signal whose MAD is zero (e.g. constant) is only median-shifted.
+/// An empty slice is returned unchanged with zeroed stats.
+pub fn normalize_to_model(samples: &mut [f32], model: &PoreModel) -> NormalizationStats {
+    if samples.is_empty() {
+        return NormalizationStats { median: 0.0, mad: 0.0 };
+    }
+    let median = median_of(samples);
+    let mut devs: Vec<f32> = samples.iter().map(|x| (x - median).abs()).collect();
+    let mad = median_of(&devs);
+    devs.clear();
+
+    let target_median = model.median_level();
+    let target_mad = model.mad_level();
+    if mad > f32::EPSILON {
+        let scale = target_mad / mad;
+        for x in samples.iter_mut() {
+            *x = (*x - median) * scale + target_median;
+        }
+    } else {
+        for x in samples.iter_mut() {
+            *x = *x - median + target_median;
+        }
+    }
+    NormalizationStats { median, mad }
+}
+
+fn median_of(values: &[f32]) -> f32 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{NoiseProfile, SignalSynthesizer};
+    use genpip_genomics::GenomeBuilder;
+
+    #[test]
+    fn empty_signal_is_noop() {
+        let model = PoreModel::synthetic(3, 7);
+        let mut samples: Vec<f32> = Vec::new();
+        let stats = normalize_to_model(&mut samples, &model);
+        assert_eq!(stats.median, 0.0);
+        assert!(samples.is_empty());
+    }
+
+    #[test]
+    fn constant_signal_is_shifted_to_model_median() {
+        let model = PoreModel::synthetic(3, 7);
+        let mut samples = vec![500.0f32; 64];
+        normalize_to_model(&mut samples, &model);
+        for x in &samples {
+            assert!((x - model.median_level()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn offset_and_scale_are_removed() {
+        let model = PoreModel::synthetic(3, 7);
+        let synth = SignalSynthesizer::new(model.clone());
+        let truth = GenomeBuilder::new(3_000).seed(1).build().sequence().clone();
+        let clean = synth.synthesize(&truth, 1.0, 2);
+
+        // Corrupt with an affine transform, then normalize back.
+        let mut corrupted: Vec<f32> = clean.samples.iter().map(|x| x * 1.7 + 40.0).collect();
+        let stats = normalize_to_model(&mut corrupted, &model);
+        assert!(stats.mad > 0.0);
+
+        let mut reference = clean.samples.clone();
+        normalize_to_model(&mut reference, &model);
+        for (a, b) in corrupted.iter().zip(&reference) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn normalized_signal_matches_pore_scale() {
+        let model = PoreModel::synthetic(3, 7);
+        let synth = SignalSynthesizer::new(model.clone());
+        let truth = GenomeBuilder::new(5_000).seed(3).build().sequence().clone();
+        let profile = NoiseProfile {
+            base_sigma: 1.0,
+            sigma_wander: 0.0,
+            wander_corr_bases: 1.0,
+            drift_per_kilosample: 0.2,
+        };
+        let mut sig = synth.synthesize_with_profile(&truth, &profile, 4);
+        normalize_to_model(&mut sig.samples, &model);
+        // After normalization the samples must sit inside (a margin around)
+        // the model's current range.
+        let lo = PoreModel::CURRENT_MIN - 15.0;
+        let hi = PoreModel::CURRENT_MAX + 15.0;
+        let inside = sig.samples.iter().filter(|x| (lo..hi).contains(*x)).count();
+        assert!(inside as f64 / sig.samples.len() as f64 > 0.99);
+    }
+
+    #[test]
+    fn median_of_handles_even_and_odd() {
+        assert_eq!(median_of(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_of(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+}

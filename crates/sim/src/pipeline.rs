@@ -1,0 +1,458 @@
+//! Multi-stage, multi-server pipeline scheduling.
+//!
+//! Models GenPIP's chunk-based pipeline (and the CP-augmented CPU/GPU
+//! systems): a sequence of stages, each with a number of identical servers,
+//! through which jobs (chunks) flow in FIFO order. Two dependency kinds are
+//! honoured:
+//!
+//! * **dataflow** — a job enters stage `s` only after finishing stage
+//!   `s − 1`;
+//! * **in-read sequential** — on stages marked
+//!   [`StageSpec::sequential_within_read`], jobs of the same read execute in
+//!   order (basecalling needs the previous chunk's carry state; incremental
+//!   chaining extends the previous chunk's DP).
+//!
+//! The scheduler computes completion times with the classic pipeline
+//! recurrence `start = max(data_ready, same_read_prev, server_free)` and
+//! reports makespan plus per-stage busy time, from which the speedup figures
+//! derive.
+
+use crate::time::SimTime;
+
+/// One pipeline stage: a name (for reports) and a server count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSpec {
+    name: String,
+    servers: usize,
+    sequential_within_read: bool,
+}
+
+impl StageSpec {
+    /// Creates a stage with `servers` identical servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is 0.
+    pub fn new(name: impl Into<String>, servers: usize) -> StageSpec {
+        assert!(servers > 0, "a stage needs at least one server");
+        StageSpec { name: name.into(), servers, sequential_within_read: false }
+    }
+
+    /// Marks the stage as in-read sequential (see module docs).
+    pub fn sequential_within_read(mut self) -> StageSpec {
+        self.sequential_within_read = true;
+        self
+    }
+
+    /// Stage name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Server count.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+}
+
+/// One job (a chunk, or a whole read for read-granularity systems) with its
+/// per-stage service times.
+///
+/// A zero service time means the job skips that stage instantly (still
+/// honouring dependencies) — used e.g. for chunks that never reach chaining
+/// because early rejection stopped the read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// Read this job belongs to.
+    pub read: u32,
+    /// Sequence number within the read (0-based chunk index).
+    pub seq_in_read: u32,
+    /// Service time at each stage; length must equal the stage count.
+    pub service: Vec<SimTime>,
+    /// Earliest time the job may start stage 0 (e.g. sequencer delivery
+    /// time); defaults to zero.
+    pub release: SimTime,
+}
+
+impl Job {
+    /// Creates a job released at time zero.
+    pub fn new(read: u32, seq_in_read: u32, service: Vec<SimTime>) -> Job {
+        Job { read, seq_in_read, service, release: SimTime::ZERO }
+    }
+
+    /// Sets the release time.
+    pub fn released_at(mut self, release: SimTime) -> Job {
+        self.release = release;
+        self
+    }
+}
+
+/// One scheduled execution interval: job × stage × server with its start
+/// and finish times. Produced by [`PipelineSim::run_traced`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Index of the job in the input list.
+    pub job: usize,
+    /// Read the job belongs to.
+    pub read: u32,
+    /// Stage index.
+    pub stage: usize,
+    /// Server within the stage.
+    pub server: usize,
+    /// Start time.
+    pub start: SimTime,
+    /// Finish time.
+    pub finish: SimTime,
+}
+
+/// Scheduling results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Completion time of the last job.
+    pub makespan: SimTime,
+    /// Per-stage total busy time (summed across servers).
+    pub stage_busy: Vec<SimTime>,
+    /// Per-stage utilization in `[0, 1]`: busy time / (makespan × servers).
+    pub stage_utilization: Vec<f64>,
+    /// Completion time of every job (same order as the input).
+    pub job_completion: Vec<SimTime>,
+    /// Execution trace (non-zero-service intervals only); populated by
+    /// [`PipelineSim::run_traced`], empty from [`PipelineSim::run`].
+    pub trace: Vec<TraceEntry>,
+}
+
+/// The pipeline scheduler. Create once per experiment; [`PipelineSim::run`]
+/// is pure with respect to the job list.
+#[derive(Debug, Clone)]
+pub struct PipelineSim {
+    stages: Vec<StageSpec>,
+}
+
+impl PipelineSim {
+    /// Creates a scheduler over the given stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(stages: Vec<StageSpec>) -> PipelineSim {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        PipelineSim { stages }
+    }
+
+    /// The stage specs.
+    pub fn stages(&self) -> &[StageSpec] {
+        &self.stages
+    }
+
+    /// Schedules `jobs` (in the given FIFO order) and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job's `service` length differs from the stage count.
+    pub fn run(&mut self, jobs: &[Job]) -> PipelineReport {
+        self.run_inner(jobs, false)
+    }
+
+    /// Like [`PipelineSim::run`], additionally recording the execution trace
+    /// (every non-zero service interval with its job, stage, server and
+    /// times) for timeline inspection and Gantt rendering.
+    pub fn run_traced(&mut self, jobs: &[Job]) -> PipelineReport {
+        self.run_inner(jobs, true)
+    }
+
+    fn run_inner(&mut self, jobs: &[Job], traced: bool) -> PipelineReport {
+        let n_stages = self.stages.len();
+        for job in jobs {
+            assert_eq!(
+                job.service.len(),
+                n_stages,
+                "job ({}, {}) has {} service times for {} stages",
+                job.read,
+                job.seq_in_read,
+                job.service.len(),
+                n_stages
+            );
+        }
+
+        // Per-stage server free times. Server choice is work-conserving
+        // best-fit: a job whose start is delayed by dependencies takes the
+        // server with the *latest* free time not exceeding its earliest
+        // start, leaving earlier-free servers for other jobs (a plain
+        // min-heap would let waiting jobs block idle servers).
+        let mut servers: Vec<Vec<SimTime>> = self
+            .stages
+            .iter()
+            .map(|s| vec![SimTime::ZERO; s.servers])
+            .collect();
+        // Per-stage: completion time of the previous job of each read
+        // (only needed for sequential stages; small maps are fine).
+        let mut read_prev: Vec<std::collections::HashMap<u32, SimTime>> =
+            vec![std::collections::HashMap::new(); n_stages];
+
+        let mut stage_busy = vec![SimTime::ZERO; n_stages];
+        let mut job_completion = Vec::with_capacity(jobs.len());
+        let mut makespan = SimTime::ZERO;
+        let mut trace = Vec::new();
+
+        for (job_index, job) in jobs.iter().enumerate() {
+            let mut ready = job.release;
+            for (s, stage) in self.stages.iter().enumerate() {
+                let mut earliest = ready;
+                if stage.sequential_within_read {
+                    if let Some(&prev) = read_prev[s].get(&job.read) {
+                        earliest = earliest.max(prev);
+                    }
+                }
+                // Best fit: latest free time ≤ earliest, else min free time.
+                let pool = &mut servers[s];
+                let mut chosen = 0usize;
+                let mut chosen_fits = pool[0] <= earliest;
+                for (i, &free) in pool.iter().enumerate().skip(1) {
+                    let fits = free <= earliest;
+                    let better = match (fits, chosen_fits) {
+                        (true, true) => free > pool[chosen],
+                        (true, false) => true,
+                        (false, true) => false,
+                        (false, false) => free < pool[chosen],
+                    };
+                    if better {
+                        chosen = i;
+                        chosen_fits = fits;
+                    }
+                }
+                let start = earliest.max(pool[chosen]);
+                let finish = start + job.service[s];
+                pool[chosen] = finish;
+                stage_busy[s] += job.service[s];
+                if stage.sequential_within_read {
+                    read_prev[s].insert(job.read, finish);
+                }
+                if traced && job.service[s] > SimTime::ZERO {
+                    trace.push(TraceEntry {
+                        job: job_index,
+                        read: job.read,
+                        stage: s,
+                        server: chosen,
+                        start,
+                        finish,
+                    });
+                }
+                ready = finish;
+            }
+            job_completion.push(ready);
+            makespan = makespan.max(ready);
+        }
+
+        let stage_utilization = self
+            .stages
+            .iter()
+            .zip(&stage_busy)
+            .map(|(spec, &busy)| {
+                if makespan == SimTime::ZERO {
+                    0.0
+                } else {
+                    busy.as_secs() / (makespan.as_secs() * spec.servers as f64)
+                }
+            })
+            .collect();
+
+        PipelineReport { makespan, stage_busy, stage_utilization, job_completion, trace }
+    }
+}
+
+/// Renders a trace as an ASCII Gantt chart, one row per (stage, server) that
+/// executed work, `width` characters across the makespan.
+///
+/// # Panics
+///
+/// Panics if `width` is 0.
+pub fn render_gantt(report: &PipelineReport, stage_names: &[&str], width: usize) -> String {
+    assert!(width > 0, "gantt width must be positive");
+    if report.trace.is_empty() || report.makespan == SimTime::ZERO {
+        return String::from("(empty trace)\n");
+    }
+    use std::collections::BTreeMap;
+    let span = report.makespan.as_secs();
+    let mut rows: BTreeMap<(usize, usize), Vec<char>> = BTreeMap::new();
+    for e in &report.trace {
+        let row = rows.entry((e.stage, e.server)).or_insert_with(|| vec!['.'; width]);
+        let a = ((e.start.as_secs() / span) * width as f64) as usize;
+        let b = (((e.finish.as_secs() / span) * width as f64).ceil() as usize).min(width);
+        let glyph = char::from_digit(e.read % 10, 10).unwrap_or('#');
+        for c in row.iter_mut().take(b.max(a + 1)).skip(a) {
+            *c = glyph;
+        }
+    }
+    let mut out = String::new();
+    for ((stage, server), row) in rows {
+        let name = stage_names.get(stage).copied().unwrap_or("?");
+        out.push_str(&format!("{name:<10}[{server:>3}] "));
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: f64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    #[test]
+    fn single_stage_single_server_serializes() {
+        let mut sim = PipelineSim::new(vec![StageSpec::new("s", 1)]);
+        let jobs: Vec<Job> = (0..5).map(|i| Job::new(0, i, vec![t(10.0)])).collect();
+        let report = sim.run(&jobs);
+        assert_eq!(report.makespan, t(50.0));
+        assert_eq!(report.stage_busy[0], t(50.0));
+        assert!((report.stage_utilization[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_servers_halve_the_makespan() {
+        let mut sim = PipelineSim::new(vec![StageSpec::new("s", 2)]);
+        let jobs: Vec<Job> = (0..6).map(|i| Job::new(i, 0, vec![t(10.0)])).collect();
+        let report = sim.run(&jobs);
+        assert_eq!(report.makespan, t(30.0));
+    }
+
+    #[test]
+    fn pipeline_overlaps_stages() {
+        // Classic 2-stage pipeline: makespan = fill + n * bottleneck.
+        let mut sim = PipelineSim::new(vec![
+            StageSpec::new("a", 1),
+            StageSpec::new("b", 1),
+        ]);
+        let jobs: Vec<Job> = (0..10).map(|i| Job::new(i, 0, vec![t(10.0), t(4.0)])).collect();
+        let report = sim.run(&jobs);
+        // Stage a serializes: 100 ns; last job then spends 4 ns in b.
+        assert_eq!(report.makespan, t(104.0));
+        // Sequential (non-pipelined) execution would be 140 ns.
+        let sequential: SimTime = jobs.iter().flat_map(|j| j.service.iter().copied()).sum();
+        assert!(report.makespan < sequential);
+    }
+
+    #[test]
+    fn sequential_within_read_is_enforced() {
+        // Two servers, but both jobs belong to one read on a sequential
+        // stage: they must not run in parallel.
+        let mut sim =
+            PipelineSim::new(vec![StageSpec::new("bc", 2).sequential_within_read()]);
+        let jobs = vec![
+            Job::new(7, 0, vec![t(10.0)]),
+            Job::new(7, 1, vec![t(10.0)]),
+        ];
+        let report = sim.run(&jobs);
+        assert_eq!(report.makespan, t(20.0));
+
+        // Different reads do run in parallel.
+        let jobs = vec![
+            Job::new(1, 0, vec![t(10.0)]),
+            Job::new(2, 0, vec![t(10.0)]),
+        ];
+        assert_eq!(sim.run(&jobs).makespan, t(10.0));
+    }
+
+    #[test]
+    fn release_times_delay_start() {
+        let mut sim = PipelineSim::new(vec![StageSpec::new("s", 1)]);
+        let jobs = vec![Job::new(0, 0, vec![t(5.0)]).released_at(t(100.0))];
+        let report = sim.run(&jobs);
+        assert_eq!(report.makespan, t(105.0));
+        // Utilization accounts for the idle head.
+        assert!(report.stage_utilization[0] < 0.1);
+    }
+
+    #[test]
+    fn zero_service_passes_through() {
+        let mut sim = PipelineSim::new(vec![
+            StageSpec::new("a", 1),
+            StageSpec::new("b", 1),
+        ]);
+        let jobs = vec![Job::new(0, 0, vec![t(10.0), SimTime::ZERO])];
+        let report = sim.run(&jobs);
+        assert_eq!(report.makespan, t(10.0));
+        assert_eq!(report.stage_busy[1], SimTime::ZERO);
+    }
+
+    #[test]
+    fn job_completion_is_per_job_and_monotone_per_read() {
+        let mut sim = PipelineSim::new(vec![
+            StageSpec::new("a", 1).sequential_within_read(),
+            StageSpec::new("b", 4),
+        ]);
+        let jobs: Vec<Job> = (0..8)
+            .map(|i| Job::new(i / 4, i % 4, vec![t(7.0), t(13.0)]))
+            .collect();
+        let report = sim.run(&jobs);
+        assert_eq!(report.job_completion.len(), 8);
+        for r in 0..2 {
+            let completions: Vec<SimTime> = (0..4)
+                .map(|c| report.job_completion[(r * 4 + c) as usize])
+                .collect();
+            assert!(completions.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn trace_records_intervals_and_gantt_renders() {
+        let mut sim = PipelineSim::new(vec![
+            StageSpec::new("a", 1),
+            StageSpec::new("b", 2),
+        ]);
+        let jobs: Vec<Job> = (0..4).map(|i| Job::new(i, 0, vec![t(10.0), t(5.0)])).collect();
+        let report = sim.run_traced(&jobs);
+        // One entry per non-zero service: 4 jobs × 2 stages.
+        assert_eq!(report.trace.len(), 8);
+        for e in &report.trace {
+            assert!(e.start < e.finish);
+            assert!(e.finish <= report.makespan);
+        }
+        // Stage-a entries never overlap (single server).
+        let mut a_entries: Vec<_> =
+            report.trace.iter().filter(|e| e.stage == 0).collect();
+        a_entries.sort_by_key(|e| e.start);
+        for w in a_entries.windows(2) {
+            assert!(w[0].finish <= w[1].start);
+        }
+        let gantt = render_gantt(&report, &["a", "b"], 40);
+        assert!(gantt.contains("a         [  0]"));
+        assert!(gantt.lines().count() >= 2);
+
+        // Untraced run has an empty trace but identical timing.
+        let untraced = sim.run(&jobs);
+        assert!(untraced.trace.is_empty());
+        assert_eq!(untraced.makespan, report.makespan);
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let mut sim = PipelineSim::new(vec![StageSpec::new("a", 1)]);
+        let report = sim.run_traced(&[]);
+        assert_eq!(render_gantt(&report, &["a"], 10), "(empty trace)\n");
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let mut sim = PipelineSim::new(vec![StageSpec::new("s", 3)]);
+        let report = sim.run(&[]);
+        assert_eq!(report.makespan, SimTime::ZERO);
+        assert_eq!(report.stage_utilization[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "service times")]
+    fn wrong_service_length_panics() {
+        let mut sim = PipelineSim::new(vec![StageSpec::new("s", 1)]);
+        let _ = sim.run(&[Job::new(0, 0, vec![])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = StageSpec::new("s", 0);
+    }
+}

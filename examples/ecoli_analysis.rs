@@ -1,0 +1,83 @@
+//! E. coli end-to-end analysis: workloads, system comparison, ER statistics.
+//!
+//! ```text
+//! cargo run --release --example ecoli_analysis [scale]
+//! ```
+//!
+//! Builds the E. coli-like dataset (optionally scaled, default 0.25 for a
+//! quick run), executes all four workloads (conventional, CP, CP+QSR,
+//! CP+ER), evaluates the ten systems of the paper's Figures 10–11, and
+//! prints speedups, energy reductions, and the early-rejection statistics.
+
+use genpip::core::analysis::{cmr_analysis, qsr_analysis, UselessReadStats};
+use genpip::core::systems::{
+    energy_reductions_vs, evaluate_all, speedups_vs, SystemCosts, SystemKind, WorkloadSet,
+};
+use genpip::core::GenPipConfig;
+use genpip::datasets::DatasetProfile;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let profile = DatasetProfile::ecoli().scaled(scale);
+    println!(
+        "dataset: {} reads over a {} bp genome (scale {scale})",
+        profile.n_reads, profile.genome_len
+    );
+    let dataset = profile.generate();
+    let config = GenPipConfig::for_dataset(&profile);
+
+    println!("running the four workloads (conventional, CP, CP+QSR, CP+ER)…");
+    let workloads = WorkloadSet::build(&dataset, &config);
+
+    // Early-rejection quality, judged against the conventional oracle.
+    let qsr = qsr_analysis(&workloads.cp_full, &workloads.conventional, config.theta_qs);
+    let cmr = cmr_analysis(&workloads.cp_full, &workloads.conventional);
+    let useless = UselessReadStats::of(&workloads.conventional);
+    println!("\nuseless reads (conventional flow):");
+    println!(
+        "  {:.1}% low quality + {:.1}% unmapped = {:.1}% useless (paper: 20.5% + 10% = 30.5%)",
+        useless.low_quality_fraction() * 100.0,
+        useless.unmapped_fraction() * 100.0,
+        useless.useless_fraction() * 100.0
+    );
+    println!("early rejection (full GenPIP):");
+    println!(
+        "  QSR rejected {:.1}% of reads ({:.1}% of rejections were false negatives)",
+        qsr.rejection_ratio() * 100.0,
+        qsr.false_negative_ratio() * 100.0
+    );
+    println!(
+        "  CMR rejected {:.1}% of reads ({:.1}% false negatives)",
+        cmr.rejection_ratio() * 100.0,
+        cmr.false_negative_ratio() * 100.0
+    );
+    let saved = 1.0
+        - workloads.cp_full.totals().samples as f64
+            / workloads.conventional.totals().samples as f64;
+    println!("  basecalling work saved: {:.1}%", saved * 100.0);
+
+    println!("\nevaluating the ten systems…");
+    let evals = evaluate_all(&workloads, &SystemCosts::default());
+    let speedups = speedups_vs(&evals, SystemKind::Cpu);
+    let energies = energy_reductions_vs(&evals, SystemKind::Cpu);
+    println!("{:<16} {:>12} {:>10} {:>12}", "system", "time", "speedup", "energy red.");
+    for (eval, ((_, s), (_, e))) in evals.iter().zip(speedups.iter().zip(&energies)) {
+        println!(
+            "{:<16} {:>12} {:>9.2}x {:>11.2}x",
+            eval.kind.name(),
+            eval.time.to_string(),
+            s,
+            e
+        );
+    }
+    let g = |k: SystemKind| speedups.iter().find(|(s, _)| *s == k).unwrap().1;
+    println!(
+        "\nheadlines: GenPIP is {:.1}x CPU (paper 41.6x), {:.1}x GPU (paper 8.4x), {:.2}x PIM (paper 1.39x)",
+        g(SystemKind::GenPip),
+        g(SystemKind::GenPip) / g(SystemKind::Gpu),
+        g(SystemKind::GenPip) / g(SystemKind::Pim)
+    );
+}

@@ -1,0 +1,77 @@
+//! Quickstart: simulate a small sequencing run and push it through GenPIP.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a miniature E. coli-like dataset (synthetic genome, synthetic
+//! raw nanopore signals), runs GenPIP's chunk-based pipeline with early
+//! rejection, and prints what happened to every class of read.
+
+use genpip::core::pipeline::{run_genpip, ErMode, ReadOutcome};
+use genpip::core::GenPipConfig;
+use genpip::datasets::DatasetProfile;
+
+fn main() {
+    // A ~20 kb genome with ~20 reads: enough to see every outcome class.
+    let profile = DatasetProfile::ecoli().scaled(0.03);
+    println!("generating dataset '{}' ({} reads, {} bp genome)…", profile.name, profile.n_reads, profile.genome_len);
+    let dataset = profile.generate();
+
+    let config = GenPipConfig::for_dataset(&dataset.profile);
+    println!(
+        "GenPIP config: {}-base chunks, N_qs={}, N_cm={}, θ_qs={}, θ_cm={}",
+        config.chunk_bases, config.n_qs, config.n_cm, config.theta_qs, config.theta_cm
+    );
+
+    let run = run_genpip(&dataset, &config, ErMode::Full);
+
+    let mut mapped = 0;
+    let mut qsr = 0;
+    let mut cmr = 0;
+    let mut qc = 0;
+    let mut unmapped = 0;
+    for read in &run.reads {
+        match &read.outcome {
+            ReadOutcome::Mapped(m) => {
+                mapped += 1;
+                println!(
+                    "read {:>3}: mapped {}:{}-{} ({}) identity {:.1}% mapq {}",
+                    read.id, dataset.reference.name(), m.ref_start, m.ref_end, m.strand,
+                    m.identity * 100.0, m.mapq
+                );
+            }
+            ReadOutcome::RejectedQsr { sampled_aqs } => {
+                qsr += 1;
+                println!(
+                    "read {:>3}: early-rejected by QSR after {} of {} chunks (sampled AQS {:.1})",
+                    read.id, read.chunks.len(), read.total_chunks, sampled_aqs
+                );
+            }
+            ReadOutcome::RejectedCmr { chain_score } => {
+                cmr += 1;
+                println!(
+                    "read {:>3}: early-rejected by CMR (chain score {:.0} after {} chunks)",
+                    read.id, chain_score, config.n_cm
+                );
+            }
+            ReadOutcome::FilteredQc { aqs } => {
+                qc += 1;
+                println!("read {:>3}: discarded by read quality control (AQS {aqs:.1})", read.id);
+            }
+            ReadOutcome::Unmapped { chain_score } => {
+                unmapped += 1;
+                println!("read {:>3}: unmapped (best chain score {chain_score:.0})", read.id);
+            }
+        }
+    }
+
+    let totals = run.totals();
+    println!("\nsummary: {mapped} mapped, {qsr} QSR-rejected, {cmr} CMR-rejected, {qc} QC-filtered, {unmapped} unmapped");
+    println!(
+        "work: {} samples basecalled of {} total ({:.1}% saved by early rejection)",
+        totals.samples,
+        dataset.total_samples(),
+        100.0 * (1.0 - totals.samples as f64 / dataset.total_samples() as f64)
+    );
+}

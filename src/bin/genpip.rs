@@ -1,0 +1,239 @@
+//! The `genpip` command-line tool.
+//!
+//! ```text
+//! genpip simulate --profile ecoli --scale 0.05 --out run1
+//! genpip map --reference run1.fasta --reads run1.fastq --paf run1.paf
+//! genpip run --profile ecoli --scale 0.1 --er full
+//! genpip experiment fig10 --scale 0.2
+//! ```
+//!
+//! Subcommands:
+//!
+//! * `simulate` — generate a synthetic dataset, basecall it, and write the
+//!   reference (FASTA) plus basecalled reads (FASTQ);
+//! * `map` — map a FASTQ of reads against a FASTA reference, printing (or
+//!   writing) PAF records;
+//! * `run` — execute the full GenPIP pipeline on a synthetic dataset and
+//!   print the outcome/workload summary;
+//! * `experiment` — regenerate one of the paper's figures/tables.
+
+use genpip::core::experiments;
+use genpip::core::pipeline::{run_genpip, ErMode, ReadOutcome};
+use genpip::core::GenPipConfig;
+use genpip::datasets::DatasetProfile;
+use genpip::genomics::fastx;
+use genpip::mapping::paf::{write_paf, PafRecord};
+use genpip::mapping::{Mapper, MapperParams};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate(&opts),
+        "map" => cmd_map(&opts),
+        "run" => cmd_run(&opts),
+        "experiment" => cmd_experiment(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "genpip — in-memory genome analysis (GenPIP reproduction)
+
+USAGE:
+  genpip simulate --profile <ecoli|human> [--scale F] --out <prefix>
+  genpip map --reference <ref.fasta> --reads <reads.fastq> [--paf <out.paf>]
+  genpip run [--profile <ecoli|human>] [--scale F] [--er <full|qsr|cp|off>]
+  genpip experiment <fig04|fig07|fig10|fig11|fig12|fig13|tab01|tab02|useless|ablations> [--scale F]
+
+OPTIONS:
+  --profile   dataset profile (default ecoli)
+  --scale     dataset scale factor in (0,1] (default 0.1 for simulate/run, 1.0 for experiment)
+  --er        early-rejection mode for `run` (default full)
+  --out       output file prefix for `simulate`
+  --paf       PAF output path for `map` (default: stdout)";
+
+type Options = HashMap<String, String>;
+
+fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
+    let mut opts = HashMap::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("option --{key} needs a value"))?;
+            opts.insert(key.to_string(), value.clone());
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((opts, positional))
+}
+
+type Parsed = (Options, Vec<String>);
+
+fn profile_from(parsed: &Parsed) -> Result<DatasetProfile, String> {
+    let name = parsed.0.get("profile").map(String::as_str).unwrap_or("ecoli");
+    let profile = match name {
+        "ecoli" => DatasetProfile::ecoli(),
+        "human" => DatasetProfile::human(),
+        other => return Err(format!("unknown profile {other:?} (use ecoli or human)")),
+    };
+    Ok(profile.scaled(scale_from(parsed, 0.1)?))
+}
+
+fn scale_from(parsed: &Parsed, default: f64) -> Result<f64, String> {
+    match parsed.0.get("scale") {
+        None => Ok(default),
+        Some(s) => {
+            let v: f64 = s.parse().map_err(|_| format!("invalid --scale {s:?}"))?;
+            if v > 0.0 && v <= 1.0 {
+                Ok(v)
+            } else {
+                Err("--scale must be in (0, 1]".into())
+            }
+        }
+    }
+}
+
+fn cmd_simulate(parsed: &Parsed) -> Result<(), String> {
+    let profile = profile_from(parsed)?;
+    let prefix = parsed
+        .0
+        .get("out")
+        .ok_or("simulate needs --out <prefix>")?;
+    println!(
+        "simulating {} ({} reads, {} bp genome)…",
+        profile.name, profile.n_reads, profile.genome_len
+    );
+    let dataset = profile.generate();
+    let reads = experiments::tab01::basecall_dataset(&dataset);
+
+    let fasta_path = format!("{prefix}.fasta");
+    let fastq_path = format!("{prefix}.fastq");
+    let fasta = File::create(&fasta_path).map_err(|e| e.to_string())?;
+    fastx::write_fasta(BufWriter::new(fasta), &dataset.reference).map_err(|e| e.to_string())?;
+    let fastq = File::create(&fastq_path).map_err(|e| e.to_string())?;
+    fastx::write_fastq(BufWriter::new(fastq), &reads).map_err(|e| e.to_string())?;
+    println!("wrote {fasta_path} (reference) and {fastq_path} ({} basecalled reads)", reads.len());
+    Ok(())
+}
+
+fn cmd_map(parsed: &Parsed) -> Result<(), String> {
+    let reference = parsed.0.get("reference").ok_or("map needs --reference")?;
+    let reads_path = parsed.0.get("reads").ok_or("map needs --reads")?;
+    let genome = fastx::read_fasta(BufReader::new(
+        File::open(reference).map_err(|e| format!("{reference}: {e}"))?,
+    ))
+    .map_err(|e| e.to_string())?;
+    let reads = fastx::read_fastq(BufReader::new(
+        File::open(reads_path).map_err(|e| format!("{reads_path}: {e}"))?,
+    ))
+    .map_err(|e| e.to_string())?;
+    eprintln!("indexing {}…", genome);
+    let mapper = Mapper::build(&genome, MapperParams::default());
+
+    let mut records = Vec::new();
+    let mut unmapped = 0usize;
+    for read in &reads {
+        match mapper.map(&read.seq).mapping {
+            Some(m) => records.push(PafRecord::from_mapping(
+                format!("read{}", read.id),
+                read.len(),
+                genome.name(),
+                genome.len(),
+                &m,
+            )),
+            None => unmapped += 1,
+        }
+    }
+    match parsed.0.get("paf") {
+        Some(path) => {
+            let f = File::create(path).map_err(|e| e.to_string())?;
+            write_paf(BufWriter::new(f), &records).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} records to {path} ({unmapped} unmapped)", records.len());
+        }
+        None => {
+            write_paf(std::io::stdout().lock(), &records).map_err(|e| e.to_string())?;
+            eprintln!("{} mapped, {unmapped} unmapped", records.len());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(parsed: &Parsed) -> Result<(), String> {
+    let profile = profile_from(parsed)?;
+    let er = match parsed.0.get("er").map(String::as_str).unwrap_or("full") {
+        "full" => ErMode::Full,
+        "qsr" => ErMode::QsrOnly,
+        "cp" | "off" | "none" => ErMode::None,
+        other => return Err(format!("unknown --er {other:?}")),
+    };
+    println!("running GenPIP ({:?}) on {}…", er, profile.name);
+    let dataset = profile.generate();
+    let config = GenPipConfig::for_dataset(&profile);
+    let run = run_genpip(&dataset, &config, er);
+    let totals = run.totals();
+    let count = |pred: fn(&ReadOutcome) -> bool| run.count_outcomes(pred);
+    println!("reads:          {}", run.reads.len());
+    println!("mapped:         {}", count(|o| matches!(o, ReadOutcome::Mapped(_))));
+    println!("QSR-rejected:   {}", count(|o| matches!(o, ReadOutcome::RejectedQsr { .. })));
+    println!("CMR-rejected:   {}", count(|o| matches!(o, ReadOutcome::RejectedCmr { .. })));
+    println!("QC-filtered:    {}", count(|o| matches!(o, ReadOutcome::FilteredQc { .. })));
+    println!("unmapped:       {}", count(|o| matches!(o, ReadOutcome::Unmapped { .. })));
+    println!(
+        "basecalled:     {} of {} samples ({:.1}% saved)",
+        totals.samples,
+        dataset.total_samples(),
+        100.0 * (1.0 - totals.samples as f64 / dataset.total_samples() as f64)
+    );
+    Ok(())
+}
+
+fn cmd_experiment(parsed: &Parsed) -> Result<(), String> {
+    let which = parsed
+        .1
+        .first()
+        .ok_or("experiment needs a name (e.g. fig10)")?;
+    let scale = scale_from(parsed, 1.0)?;
+    match which.as_str() {
+        "fig04" => println!("{}", experiments::fig04::run(scale)),
+        "fig07" => println!("{}", experiments::fig07::run(scale)),
+        "fig10" => println!("{}", experiments::fig10::run(scale)),
+        "fig11" => println!("{}", experiments::fig11::run(scale)),
+        "fig12" => println!("{}", experiments::fig12::run(scale)),
+        "fig13" => println!("{}", experiments::fig13::run(scale)),
+        "tab01" => println!("{}", experiments::tab01::run(scale)),
+        "tab02" => println!("{}", experiments::tab02::run()),
+        "useless" => println!("{}", experiments::useless::run(scale)),
+        "ablations" => println!("{}", experiments::ablations::run(scale)),
+        other => return Err(format!("unknown experiment {other:?}")),
+    }
+    Ok(())
+}

@@ -1,0 +1,198 @@
+//! Cross-crate property-based tests on the reproduction's core invariants.
+
+use genpip::basecall::{Basecaller, CarryState};
+use genpip::genomics::quality::{average_quality, AqsAccumulator, Phred};
+use genpip::genomics::{Base, DnaSeq, Kmer};
+use genpip::mapping::{minimizers, Anchor, ChainParams, IncrementalChainer};
+use genpip::signal::{PoreModel, SignalSynthesizer};
+use genpip::sim::{Job, PipelineSim, SimTime, StageSpec};
+use proptest::prelude::*;
+
+fn arb_dna(max_len: usize) -> impl Strategy<Value = DnaSeq> {
+    proptest::collection::vec(0u8..4, 0..max_len)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+}
+
+fn arb_dna_min(min_len: usize, max_len: usize) -> impl Strategy<Value = DnaSeq> {
+    proptest::collection::vec(0u8..4, min_len..max_len)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reverse_complement_is_involutive(seq in arb_dna(300)) {
+        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn subseq_concatenation_reconstructs(seq in arb_dna(300), cut in 0usize..300) {
+        let cut = cut.min(seq.len());
+        let mut rebuilt = seq.subseq(0, cut);
+        rebuilt.extend_from_seq(&seq.subseq(cut, seq.len() - cut));
+        prop_assert_eq!(rebuilt, seq);
+    }
+
+    #[test]
+    fn kmer_roll_matches_fresh_extraction(seq in arb_dna_min(8, 120), k in 2usize..8) {
+        let mut kmer = Kmer::from_seq(&seq, 0, k);
+        for offset in 1..=(seq.len() - k) {
+            kmer = kmer.roll(seq.get(offset + k - 1));
+            prop_assert_eq!(kmer, Kmer::from_seq(&seq, offset, k));
+        }
+    }
+
+    #[test]
+    fn chunked_aqs_equals_whole_read_aqs(
+        quals in proptest::collection::vec(0.0f32..30.0, 1..400),
+        chunk in 1usize..64,
+    ) {
+        let phreds: Vec<Phred> = quals.into_iter().map(Phred).collect();
+        let whole = average_quality(&phreds);
+        let mut acc = AqsAccumulator::new();
+        for c in phreds.chunks(chunk) {
+            acc.add_chunk(c);
+        }
+        prop_assert!((acc.average() - whole).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimizers_are_strand_symmetric(seq in arb_dna_min(40, 400)) {
+        use std::collections::HashSet;
+        let fwd: HashSet<u64> = minimizers(&seq, 15, 10).iter().map(|m| m.hash).collect();
+        let rev: HashSet<u64> =
+            minimizers(&seq.reverse_complement(), 15, 10).iter().map(|m| m.hash).collect();
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn chaining_is_batch_order_invariant(
+        spacings in proptest::collection::vec(1u32..60, 2..40),
+        splits in 1usize..8,
+    ) {
+        // Build a colinear anchor walk; feeding it in any chunking must give
+        // the same best chain score.
+        let mut anchors = Vec::new();
+        let (mut q, mut r) = (0u32, 1000u32);
+        for s in &spacings {
+            anchors.push(Anchor { qpos: q, rpos: r });
+            q += s;
+            r += s;
+        }
+        let mut whole = IncrementalChainer::new(ChainParams::for_k(15));
+        whole.extend(&anchors);
+        let mut chunked = IncrementalChainer::new(ChainParams::for_k(15));
+        for part in anchors.chunks(splits) {
+            chunked.extend(part);
+        }
+        prop_assert_eq!(whole.best_score(), chunked.best_score());
+    }
+
+    #[test]
+    fn chain_score_is_bounded_by_k_per_anchor(
+        raw in proptest::collection::vec((0u32..5_000, 0u32..5_000), 1..60),
+    ) {
+        let anchors: Vec<Anchor> =
+            raw.into_iter().map(|(q, r)| Anchor { qpos: q, rpos: r }).collect();
+        let mut chainer = IncrementalChainer::new(ChainParams::for_k(15));
+        chainer.extend(&anchors);
+        if let Some(chain) = chainer.best_chain() {
+            prop_assert!(chain.score <= 15.0 * chain.anchor_indices.len() as f64 + 1e-9);
+            // Chain is colinear: qpos and rpos strictly increase.
+            for w in chain.anchor_indices.windows(2) {
+                let a = chainer.anchors()[w[0]];
+                let b = chainer.anchors()[w[1]];
+                prop_assert!(a.qpos < b.qpos && a.rpos < b.rpos);
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_makespan_bounds(
+        services in proptest::collection::vec(1u64..1_000, 1..80),
+        servers in 1usize..6,
+    ) {
+        let jobs: Vec<Job> = services
+            .iter()
+            .enumerate()
+            .map(|(i, &ns)| Job::new(i as u32, 0, vec![SimTime::from_ns(ns as f64)]))
+            .collect();
+        let mut sim = PipelineSim::new(vec![StageSpec::new("s", servers)]);
+        let report = sim.run(&jobs);
+        let total: u64 = services.iter().sum();
+        let max = *services.iter().max().unwrap();
+        // Lower bounds: work conservation and the longest job.
+        let lower = (total as f64 / servers as f64).max(max as f64);
+        prop_assert!(report.makespan >= SimTime::from_ns(max as f64));
+        prop_assert!(report.makespan.as_ns() + 1e-9 >= lower / servers as f64);
+        // Upper bound: serial execution.
+        prop_assert!(report.makespan <= SimTime::from_ns(total as f64));
+    }
+
+    #[test]
+    fn basecalled_length_tracks_truth(seed in 0u64..30) {
+        let pore = PoreModel::synthetic(3, 7);
+        let synth = SignalSynthesizer::new(pore.clone());
+        let caller = Basecaller::new(&pore, synth.mean_dwell());
+        let truth = genpip::genomics::GenomeBuilder::new(500)
+            .seed(seed)
+            .build()
+            .sequence()
+            .clone();
+        let sig = synth.synthesize(&truth, 1.0, seed);
+        let called = caller.call_read(&sig.samples, 2_400);
+        let ratio = called.seq.len() as f64 / truth.len() as f64;
+        prop_assert!((0.85..1.15).contains(&ratio), "length ratio {}", ratio);
+        prop_assert_eq!(called.quals.len(), called.seq.len());
+    }
+
+    #[test]
+    fn chunk_stitching_never_drops_more_than_boundary_bases(
+        seed in 0u64..20,
+        chunk_samples in 300usize..2_000,
+    ) {
+        let pore = PoreModel::synthetic(3, 7);
+        let synth = SignalSynthesizer::new(pore.clone());
+        let caller = Basecaller::new(&pore, synth.mean_dwell());
+        let truth = genpip::genomics::GenomeBuilder::new(400)
+            .seed(seed ^ 0xABCD)
+            .build()
+            .sequence()
+            .clone();
+        let sig = synth.synthesize(&truth, 0.8, seed);
+        let whole = caller.call_read(&sig.samples, usize::MAX / 2);
+        let chunked = caller.call_read(&sig.samples, chunk_samples);
+        let diff = whole.seq.len().abs_diff(chunked.seq.len());
+        let boundaries = sig.samples.len() / chunk_samples + 1;
+        prop_assert!(
+            diff <= 4 * boundaries + 4,
+            "length difference {} over {} boundaries",
+            diff,
+            boundaries
+        );
+    }
+
+    #[test]
+    fn carry_state_is_consistent_with_final_kmer(seed in 0u64..20) {
+        let pore = PoreModel::synthetic(3, 7);
+        let synth = SignalSynthesizer::new(pore.clone());
+        let caller = Basecaller::new(&pore, synth.mean_dwell());
+        let truth = genpip::genomics::GenomeBuilder::new(200)
+            .seed(seed ^ 0xF00D)
+            .build()
+            .sequence()
+            .clone();
+        let sig = synth.synthesize(&truth, 0.3, seed);
+        let chunk = caller.call_chunk(&sig.samples, None);
+        // The carry state's k-mer must equal the last k decoded bases.
+        if let (Some(CarryState(state)), true) = (chunk.carry, chunk.bases.len() >= 3) {
+            let n = chunk.bases.len();
+            let mut expect = 0u16;
+            for i in n - 3..n {
+                expect = (expect << 2) | chunk.bases.get(i).code() as u16;
+            }
+            prop_assert_eq!(state, expect);
+        }
+    }
+}
