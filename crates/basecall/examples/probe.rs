@@ -9,11 +9,20 @@ fn main() {
     let pore = PoreModel::synthetic(3, 7);
     let synth = SignalSynthesizer::new(pore.clone());
     let caller = Basecaller::new(&pore, synth.mean_dwell());
-    let t = GenomeBuilder::new(3000).seed(3).repeat_fraction(0.0).build().sequence().clone();
+    let t = GenomeBuilder::new(3000)
+        .seed(3)
+        .repeat_fraction(0.0)
+        .build()
+        .sequence()
+        .clone();
     for sigma in [0.7, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5] {
         let sig = synth.synthesize(&t, sigma, 4);
         let called = caller.call_read(&sig.samples, 2400);
         let id = genpip_basecall::metrics::identity(&called.seq, &t);
-        println!("sigma {sigma:4}: AQS {:6.2}  identity {:.3}", called.average_quality(), id);
+        println!(
+            "sigma {sigma:4}: AQS {:6.2}  identity {:.3}",
+            called.average_quality(),
+            id
+        );
     }
 }

@@ -2,9 +2,25 @@
 
 use crate::emission::EmissionModel;
 use crate::quality::QualityCalibration;
-use crate::viterbi::{decode, Transitions};
+use crate::viterbi::{decode_with, DecodeScratch, Transitions};
 use genpip_genomics::{Base, DnaSeq, Phred};
 use genpip_signal::{chunk_boundaries, normalize_to_model, PoreModel};
+
+/// Reusable per-worker basecalling workspace: the Viterbi scratch plus the
+/// normalization buffer. One instance per thread keeps the steady-state
+/// decode free of heap allocations (see [`crate::viterbi::DecodeScratch`]).
+#[derive(Debug, Clone, Default)]
+pub struct CallScratch {
+    decode: DecodeScratch,
+    normalized: Vec<f32>,
+}
+
+impl CallScratch {
+    /// Creates an empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> CallScratch {
+        CallScratch::default()
+    }
+}
 
 /// The decoder state carried from one chunk of a read to the next, so that
 /// chunk boundaries do not reset the k-mer context. GenPIP's chunk-based
@@ -125,11 +141,26 @@ impl Basecaller {
         &self.emission
     }
 
-    /// Basecalls one chunk of raw samples.
+    /// Basecalls one chunk of raw samples with a fresh workspace.
+    ///
+    /// Convenience wrapper over [`Basecaller::call_chunk_with`]; hot loops
+    /// should own a [`CallScratch`] and pass it in to avoid per-chunk
+    /// allocation of the decode buffers.
+    pub fn call_chunk(&self, samples: &[f32], carry: Option<CarryState>) -> BasecalledChunk {
+        self.call_chunk_with(samples, carry, &mut CallScratch::new())
+    }
+
+    /// Basecalls one chunk of raw samples, reusing `scratch` for all decode
+    /// working memory.
     ///
     /// `carry` stitches this chunk to the previous one; pass `None` for the
     /// first chunk of a read. Empty input produces an empty chunk.
-    pub fn call_chunk(&self, samples: &[f32], carry: Option<CarryState>) -> BasecalledChunk {
+    pub fn call_chunk_with(
+        &self,
+        samples: &[f32],
+        carry: Option<CarryState>,
+        scratch: &mut CallScratch,
+    ) -> BasecalledChunk {
         if samples.is_empty() {
             return BasecalledChunk {
                 bases: DnaSeq::new(),
@@ -139,16 +170,20 @@ impl Basecaller {
                 stats: ChunkStats::default(),
             };
         }
-        let mut normalized = samples.to_vec();
+        scratch.normalized.clear();
+        scratch.normalized.extend_from_slice(samples);
+        let normalized = &mut scratch.normalized;
         if self.normalize {
-            normalize_to_model(&mut normalized, &self.pore);
+            normalize_to_model(normalized, &self.pore);
         }
-        let outcome = decode(
+        let stats = decode_with(
             &self.emission,
-            &normalized,
+            normalized,
             self.transitions,
             carry.map(|c| c.0),
+            &mut scratch.decode,
         );
+        let (dec_states, dec_advanced) = (scratch.decode.states(), scratch.decode.advanced());
 
         let k = self.pore.k();
         let assumed_var = {
@@ -166,9 +201,9 @@ impl Basecaller {
         let mut t = 1usize;
         loop {
             let at_end = t >= n;
-            let boundary = at_end || outcome.advanced[t];
+            let boundary = at_end || dec_advanced[t];
             if boundary {
-                let state = outcome.states[seg_start];
+                let state = dec_states[seg_start];
                 let z2 = mean_residual(
                     &normalized[seg_start..t],
                     self.pore.level_bits(state as u64),
@@ -183,7 +218,7 @@ impl Basecaller {
                             bases.push(kmer_base(state, k, i));
                             quals.push(q);
                         }
-                    } else if outcome.advanced[0] {
+                    } else if dec_advanced[0] {
                         // Chunk-boundary advance: one new base.
                         bases.push(Base::from_code((state & 3) as u8));
                         quals.push(q);
@@ -207,11 +242,11 @@ impl Basecaller {
             bases,
             quals,
             sqs,
-            carry: outcome.final_state().map(CarryState).or(carry),
+            carry: dec_states.last().copied().map(CarryState).or(carry),
             stats: ChunkStats {
                 samples: n,
-                mvm_ops: outcome.mvm_ops,
-                viterbi_cells: outcome.cells,
+                mvm_ops: stats.mvm_ops,
+                viterbi_cells: stats.cells,
             },
         }
     }
@@ -229,8 +264,9 @@ impl Basecaller {
         let mut chunk_lengths = Vec::new();
         let mut stats = ChunkStats::default();
         let mut carry = None;
+        let mut scratch = CallScratch::new();
         for spec in chunk_boundaries(samples.len(), chunk_samples) {
-            let chunk = self.call_chunk(&samples[spec.start..spec.end], carry);
+            let chunk = self.call_chunk_with(&samples[spec.start..spec.end], carry, &mut scratch);
             chunk_lengths.push(chunk.bases.len());
             seq.extend_from_seq(&chunk.bases);
             quals.extend_from_slice(&chunk.quals);
@@ -239,7 +275,12 @@ impl Basecaller {
             stats.viterbi_cells += chunk.stats.viterbi_cells;
             carry = chunk.carry;
         }
-        BasecalledRead { seq, quals, chunk_lengths, stats }
+        BasecalledRead {
+            seq,
+            quals,
+            chunk_lengths,
+            stats,
+        }
     }
 }
 
@@ -273,7 +314,12 @@ mod tests {
     }
 
     fn truth(n: usize, seed: u64) -> DnaSeq {
-        GenomeBuilder::new(n).seed(seed).repeat_fraction(0.0).build().sequence().clone()
+        GenomeBuilder::new(n)
+            .seed(seed)
+            .repeat_fraction(0.0)
+            .build()
+            .sequence()
+            .clone()
     }
 
     #[test]
@@ -337,10 +383,7 @@ mod tests {
             called.stats.viterbi_cells,
             sig.samples.len() * caller.emission_model().states()
         );
-        assert_eq!(
-            called.chunk_lengths.iter().sum::<usize>(),
-            called.seq.len()
-        );
+        assert_eq!(called.chunk_lengths.iter().sum::<usize>(), called.seq.len());
     }
 
     #[test]

@@ -41,7 +41,11 @@ impl EmissionModel {
             weights.push(2.0 * mu * inv2s2); // coefficient of x
             weights.push(-mu * mu * inv2s2); // constant term
         }
-        EmissionModel { weights, states, assumed_std: sigma }
+        EmissionModel {
+            weights,
+            states,
+            assumed_std: sigma,
+        }
     }
 
     /// Number of states (matrix rows).
@@ -80,6 +84,41 @@ impl EmissionModel {
         for (s, o) in out.iter_mut().enumerate() {
             let row = &self.weights[s * Self::FEATURES..(s + 1) * Self::FEATURES];
             *o = row[0] * f[0] + row[1] * f[1] + row[2] * f[2];
+        }
+    }
+
+    /// Number of samples [`EmissionModel::log_likelihoods_block`] handles
+    /// per call; the decoder batches its emission MVMs in blocks of this
+    /// size to amortize call overhead and keep the weight matrix hot.
+    pub const BLOCK: usize = 8;
+
+    /// Computes emission log-likelihoods for up to [`EmissionModel::BLOCK`]
+    /// samples in one strided pass: `out[i * states + s]` receives the
+    /// log-likelihood of state `s` for sample `xs[i]`.
+    ///
+    /// Each output value is computed with the same operation order as
+    /// [`EmissionModel::log_likelihoods`], so the two are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() > BLOCK` or `out.len() != xs.len() * states`.
+    pub fn log_likelihoods_block(&self, xs: &[f32], out: &mut [f32]) {
+        assert!(xs.len() <= Self::BLOCK, "block too large");
+        assert_eq!(
+            out.len(),
+            xs.len() * self.states,
+            "output buffer size mismatch"
+        );
+        let mut features = [[0.0f32; 3]; Self::BLOCK];
+        for (f, &x) in features.iter_mut().zip(xs) {
+            *f = Self::features(x);
+        }
+        for s in 0..self.states {
+            let row = &self.weights[s * Self::FEATURES..(s + 1) * Self::FEATURES];
+            let (w0, w1, w2) = (row[0], row[1], row[2]);
+            for (i, f) in features[..xs.len()].iter().enumerate() {
+                out[i * self.states + s] = w0 * f[0] + w1 * f[1] + w2 * f[2];
+            }
         }
     }
 
@@ -153,6 +192,32 @@ mod tests {
         for s in 0..em.states() {
             assert_eq!(em.log_likelihood(100.0, s), out[s]);
         }
+    }
+
+    #[test]
+    fn block_matches_single_sample_calls() {
+        let (_, em) = model();
+        let xs = [80.0f32, 95.5, 101.25, 60.0, 120.0];
+        let mut block = vec![0.0f32; xs.len() * em.states()];
+        em.log_likelihoods_block(&xs, &mut block);
+        let mut single = vec![0.0f32; em.states()];
+        for (i, &x) in xs.iter().enumerate() {
+            em.log_likelihoods(x, &mut single);
+            assert_eq!(
+                &block[i * em.states()..(i + 1) * em.states()],
+                &single[..],
+                "sample {i}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block too large")]
+    fn oversized_block_panics() {
+        let (_, em) = model();
+        let xs = [0.0f32; EmissionModel::BLOCK + 1];
+        let mut out = vec![0.0f32; xs.len() * em.states()];
+        em.log_likelihoods_block(&xs, &mut out);
     }
 
     #[test]

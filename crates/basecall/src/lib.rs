@@ -48,6 +48,6 @@ pub mod metrics;
 pub mod quality;
 pub mod viterbi;
 
-pub use basecaller::{BasecalledChunk, BasecalledRead, Basecaller, CarryState};
+pub use basecaller::{BasecalledChunk, BasecalledRead, Basecaller, CallScratch, CarryState};
 pub use emission::EmissionModel;
 pub use quality::QualityCalibration;

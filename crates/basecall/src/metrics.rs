@@ -127,18 +127,21 @@ mod tests {
     #[test]
     fn banded_matches_full_dp_on_random_pairs() {
         use genpip_genomics::rng::seeded;
+        use genpip_genomics::rng::Rng;
         use genpip_genomics::{Base, ErrorModel};
-        use rand::Rng;
         let mut rng = seeded(42);
         for trial in 0..20 {
-            let n = rng.random_range(10..200);
+            let n = rng.random_range(10..200usize);
             let a: DnaSeq = (0..n)
                 .map(|_| Base::from_code(rng.random_range(0..4u8)))
                 .collect();
             let (b, _) = ErrorModel::with_total_rate(0.2).apply(&a, &mut rng);
             let full = full_edit_distance(&a, &b);
             let banded = banded_edit_distance(&a, &b, 64.max(n / 3));
-            assert_eq!(banded, full, "trial {trial}: banded {banded} vs full {full}");
+            assert_eq!(
+                banded, full,
+                "trial {trial}: banded {banded} vs full {full}"
+            );
         }
     }
 

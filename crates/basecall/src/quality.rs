@@ -39,7 +39,12 @@ impl QualityCalibration {
     /// This places the paper's Q7 threshold at ≈2× noise, with clean reads
     /// in the Q9–Q17 band and noisy reads in the Q4–Q6 band (Figure 7).
     pub fn default_r9() -> QualityCalibration {
-        QualityCalibration { q_ref: 11.3, gamma: 5.0, q_floor: 0.5, q_ceil: 20.0 }
+        QualityCalibration {
+            q_ref: 11.3,
+            gamma: 5.0,
+            q_floor: 0.5,
+            q_ceil: 20.0,
+        }
     }
 
     /// Maps a mean normalized squared residual to a Phred score.

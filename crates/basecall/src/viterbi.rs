@@ -6,10 +6,28 @@
 //! the maximum-likelihood state path and reports, per sample, the state and
 //! whether the path advanced — which is all the basecaller needs to emit
 //! bases.
+//!
+//! # Hot-path organization
+//!
+//! The decode is the dominant kernel of the whole pipeline (n·n_states DP
+//! cells per chunk), so the implementation is built for steady-state reuse:
+//!
+//! * all working memory lives in a caller-owned [`DecodeScratch`], so
+//!   decoding a stream of equally sized chunks performs **zero heap
+//!   allocations** after the first chunk warms the buffers;
+//! * emissions are computed in strided blocks of [`EmissionModel::BLOCK`]
+//!   samples per call ([`EmissionModel::log_likelihoods_block`]), amortizing
+//!   per-call overhead;
+//! * the inner DP loop exploits the state-space structure: the advance
+//!   predecessor set of state `s` depends only on `s >> 2`, so the
+//!   4-predecessor gather is hoisted out and computed once per predecessor
+//!   group (a 4× reduction of the gather work), leaving two flat passes the
+//!   compiler can autovectorize.
 
 use crate::emission::EmissionModel;
 
-/// Result of decoding one chunk of samples.
+/// Result of decoding one chunk of samples (owning variant, produced by
+/// [`decode`]; the allocation-free path is [`decode_with`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecodeOutcome {
     /// Decoded state per sample.
@@ -31,6 +49,80 @@ impl DecodeOutcome {
     /// next chunk's decode as `init_state` to stitch chunks together.
     pub fn final_state(&self) -> Option<u16> {
         self.states.last().copied()
+    }
+}
+
+/// Scalar results of an in-place decode; the state path lives in the
+/// [`DecodeScratch`] that was passed in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeStats {
+    /// Log-probability score of the winning path.
+    pub score: f64,
+    /// Emission MVMs performed (= number of samples).
+    pub mvm_ops: usize,
+    /// Viterbi DP cells computed (= samples × states).
+    pub cells: usize,
+}
+
+/// Reusable decode workspace.
+///
+/// Holds every buffer the DP needs (backpointers, score rows, emission
+/// block, the hoisted advance-gather rows, and the output state path).
+/// Buffers grow to the largest chunk seen and are then reused, so a
+/// steady-state stream of chunks decodes without touching the allocator.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    backptr: Vec<u8>,
+    prev: Vec<f32>,
+    curr: Vec<f32>,
+    emit: Vec<f32>,
+    adv_best: Vec<f32>,
+    adv_choice: Vec<u8>,
+    states: Vec<u16>,
+    advanced: Vec<bool>,
+}
+
+impl DecodeScratch {
+    /// Creates an empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> DecodeScratch {
+        DecodeScratch::default()
+    }
+
+    /// Decoded state per sample of the most recent [`decode_with`] call.
+    pub fn states(&self) -> &[u16] {
+        &self.states
+    }
+
+    /// Per-sample advance flags of the most recent [`decode_with`] call.
+    pub fn advanced(&self) -> &[bool] {
+        &self.advanced
+    }
+
+    /// The state occupying the pore after the last decoded sample.
+    pub fn final_state(&self) -> Option<u16> {
+        self.states.last().copied()
+    }
+
+    /// Grows every buffer for an `n`-sample, `n_states`-state decode.
+    /// `resize` reuses existing capacity, so this allocates only when a
+    /// larger chunk than ever before arrives.
+    fn prepare(&mut self, n: usize, n_states: usize) {
+        self.backptr.clear();
+        self.backptr.resize(n * n_states, 0);
+        self.prev.clear();
+        self.prev.resize(n_states, 0.0);
+        self.curr.clear();
+        self.curr.resize(n_states, 0.0);
+        self.emit.clear();
+        self.emit.resize(EmissionModel::BLOCK * n_states, 0.0);
+        self.adv_best.clear();
+        self.adv_best.resize(n_states / 4, 0.0);
+        self.adv_choice.clear();
+        self.adv_choice.resize(n_states / 4, 0);
+        self.states.clear();
+        self.states.resize(n, 0);
+        self.advanced.clear();
+        self.advanced.resize(n, false);
     }
 }
 
@@ -64,42 +156,76 @@ impl Transitions {
     }
 }
 
-/// Decodes `samples` into the maximum-likelihood state path.
+/// Decodes `samples` into the maximum-likelihood state path, allocating the
+/// result.
 ///
-/// `init_state`, when present, pins the path's first state to the final state
-/// of the previous chunk (chunk stitching); otherwise the initial state is
-/// free (uniform prior).
-///
-/// Returns an empty outcome for an empty sample slice.
+/// Convenience wrapper over [`decode_with`] for one-shot callers; hot loops
+/// should own a [`DecodeScratch`] and call [`decode_with`] instead.
 pub fn decode(
     emission: &EmissionModel,
     samples: &[f32],
     transitions: Transitions,
     init_state: Option<u16>,
 ) -> DecodeOutcome {
+    let mut scratch = DecodeScratch::new();
+    let stats = decode_with(emission, samples, transitions, init_state, &mut scratch);
+    DecodeOutcome {
+        states: scratch.states,
+        advanced: scratch.advanced,
+        score: stats.score,
+        mvm_ops: stats.mvm_ops,
+        cells: stats.cells,
+    }
+}
+
+/// Decodes `samples` into the maximum-likelihood state path, writing the
+/// per-sample states and advance flags into `scratch`.
+///
+/// `init_state`, when present, pins the path's first state to the final state
+/// of the previous chunk (chunk stitching); otherwise the initial state is
+/// free (uniform prior).
+///
+/// Returns an empty outcome for an empty sample slice. In steady state
+/// (chunks no larger than previously decoded ones) this performs no heap
+/// allocation — verified by `tests/alloc_free.rs`.
+pub fn decode_with(
+    emission: &EmissionModel,
+    samples: &[f32],
+    transitions: Transitions,
+    init_state: Option<u16>,
+    scratch: &mut DecodeScratch,
+) -> DecodeStats {
     let n_states = emission.states();
     debug_assert!(n_states.is_power_of_two() && n_states >= 4);
     let n = samples.len();
+    scratch.prepare(n, n_states);
     if n == 0 {
-        return DecodeOutcome {
-            states: Vec::new(),
-            advanced: Vec::new(),
+        return DecodeStats {
             score: 0.0,
             mvm_ops: 0,
             cells: 0,
         };
     }
-    let k_shift = n_states.trailing_zeros() - 2; // 2(k-1) bits
+    let k_shift = (n_states.trailing_zeros() - 2) as usize; // 2(k-1) bits
+    let n_groups = n_states >> 2;
     let neg_inf = f32::NEG_INFINITY;
+    let log_stay = transitions.log_stay;
+    let log_advance = transitions.log_advance;
+
+    let DecodeScratch {
+        backptr,
+        prev,
+        curr,
+        emit,
+        adv_best,
+        adv_choice,
+        states,
+        advanced,
+    } = scratch;
 
     // Backpointers: 0 = stay, 1 + c = advance where the dropped leading base
     // was c (predecessor = (s >> 2) | (c << k_shift)).
-    let mut backptr = vec![0u8; n * n_states];
-    let mut prev = vec![0.0f32; n_states];
-    let mut curr = vec![0.0f32; n_states];
-    let mut emit = vec![0.0f32; n_states];
-
-    emission.log_likelihoods(samples[0], &mut emit);
+    emission.log_likelihoods(samples[0], &mut emit[..n_states]);
     match init_state {
         Some(s0) => {
             // The previous chunk ended in s0; crossing the chunk boundary is
@@ -107,10 +233,10 @@ pub fn decode(
             // or advances into one of its successors.
             let s0 = s0 as usize;
             prev.fill(neg_inf);
-            prev[s0] = emit[s0] + transitions.log_stay;
+            prev[s0] = emit[s0] + log_stay;
             for b in 0..4usize {
                 let succ = ((s0 << 2) | b) & (n_states - 1);
-                let cand = emit[succ] + transitions.log_advance;
+                let cand = emit[succ] + log_advance;
                 if cand > prev[succ] {
                     prev[succ] = cand;
                     // Dropped leading base of the advance = s0's top 2 bits.
@@ -119,31 +245,54 @@ pub fn decode(
             }
         }
         None => {
-            prev.copy_from_slice(&emit);
+            prev.copy_from_slice(&emit[..n_states]);
         }
     }
 
-    for t in 1..n {
-        emission.log_likelihoods(samples[t], &mut emit);
-        let bp = &mut backptr[t * n_states..(t + 1) * n_states];
-        for s in 0..n_states {
-            // Stay.
-            let mut best = prev[s] + transitions.log_stay;
-            let mut choice = 0u8;
-            // Advance from each of the 4 predecessors.
-            let low = s >> 2;
-            for c in 0..4usize {
-                let p = low | (c << k_shift);
-                let cand = prev[p] + transitions.log_advance;
-                if cand > best {
-                    best = cand;
-                    choice = 1 + c as u8;
+    // Main DP, in emission blocks: samples [t0, t0 + len) share one strided
+    // emission computation.
+    let mut t0 = 1usize;
+    while t0 < n {
+        let len = EmissionModel::BLOCK.min(n - t0);
+        emission.log_likelihoods_block(&samples[t0..t0 + len], &mut emit[..len * n_states]);
+        for i in 0..len {
+            let t = t0 + i;
+            let emit_row = &emit[i * n_states..(i + 1) * n_states];
+            let bp = &mut backptr[t * n_states..(t + 1) * n_states];
+
+            // Pass 1 (hoisted gather): the advance candidates of state `s`
+            // depend only on `low = s >> 2`, so find, per group, the best of
+            // the 4 predecessors `low | (c << k_shift)` once instead of four
+            // times per state.
+            for low in 0..n_groups {
+                let mut best = prev[low];
+                let mut choice = 1u8; // c = 0
+                for c in 1..4usize {
+                    let v = prev[low | (c << k_shift)];
+                    if v > best {
+                        best = v;
+                        choice = 1 + c as u8;
+                    }
+                }
+                adv_best[low] = best + log_advance;
+                adv_choice[low] = choice;
+            }
+
+            // Pass 2: flat stay-vs-advance select over all states.
+            for s in 0..n_states {
+                let stay = prev[s] + log_stay;
+                let adv = adv_best[s >> 2];
+                if adv > stay {
+                    curr[s] = adv + emit_row[s];
+                    bp[s] = adv_choice[s >> 2];
+                } else {
+                    curr[s] = stay + emit_row[s];
+                    bp[s] = 0;
                 }
             }
-            curr[s] = best + emit[s];
-            bp[s] = choice;
+            std::mem::swap(prev, curr);
         }
-        std::mem::swap(&mut prev, &mut curr);
+        t0 += len;
     }
 
     // Traceback.
@@ -153,8 +302,6 @@ pub fn decode(
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
         .map(|(s, &v)| (s, v as f64))
         .expect("non-empty state space");
-    let mut states = vec![0u16; n];
-    let mut advanced = vec![false; n];
     for t in (1..n).rev() {
         states[t] = state as u16;
         let choice = backptr[t * n_states + state];
@@ -168,19 +315,13 @@ pub fn decode(
     }
     states[0] = state as u16;
     // Sample 0 advanced only if we were stitched to a previous chunk and the
-    // winning path took the boundary-advance branch.
+    // winning path took the boundary-advance branch. states[0] then already
+    // holds the advanced-into state, which is what callers emit from.
     if init_state.is_some() {
-        let choice = backptr[state];
-        advanced[0] = choice != 0;
-        if choice != 0 {
-            // The path's true first state is init_state; states[0] already
-            // holds the advanced-into state, which is what callers emit from.
-        }
+        advanced[0] = backptr[state] != 0;
     }
 
-    DecodeOutcome {
-        states,
-        advanced,
+    DecodeStats {
         score,
         mvm_ops: n,
         cells: n * n_states,
@@ -282,6 +423,38 @@ mod tests {
             b.states[0],
             boundary_state
         );
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_decode() {
+        // The same scratch driven across chunks of varying sizes and noise
+        // must give results identical to a fresh allocation each time.
+        let (pore, em, tr) = setup();
+        let mut scratch = DecodeScratch::new();
+        let mut carry: Option<u16> = None;
+        for seed in 0..12u16 {
+            let mut path = vec![seed % 64];
+            let mut s = path[0];
+            for b in 0..(4 + seed % 7) {
+                s = ((s << 2) | (b % 4)) & 63;
+                path.push(s);
+            }
+            let mut samples = signal_for(&pore, &path, 6 + (seed as usize % 5));
+            // Perturb the signal deterministically so ties and near-ties
+            // occur in both code paths identically.
+            for (i, x) in samples.iter_mut().enumerate() {
+                *x += ((i * 2654435761) % 97) as f32 * 0.01 - 0.48;
+            }
+            let fresh = decode(&em, &samples, tr, carry);
+            let stats = decode_with(&em, &samples, tr, carry, &mut scratch);
+            assert_eq!(scratch.states(), &fresh.states[..], "seed {seed}");
+            assert_eq!(scratch.advanced(), &fresh.advanced[..], "seed {seed}");
+            assert_eq!(stats.score, fresh.score, "seed {seed}");
+            assert_eq!(stats.mvm_ops, fresh.mvm_ops);
+            assert_eq!(stats.cells, fresh.cells);
+            assert_eq!(scratch.final_state(), fresh.final_state());
+            carry = fresh.final_state();
+        }
     }
 
     #[test]

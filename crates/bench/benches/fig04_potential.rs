@@ -2,5 +2,7 @@
 
 fn main() {
     let scale = genpip_core::experiments::default_scale();
-    genpip_bench::run_harness("fig04_potential", || genpip_core::experiments::fig04::run(scale));
+    genpip_bench::run_harness("fig04_potential", || {
+        genpip_core::experiments::fig04::run(scale)
+    });
 }

@@ -2,5 +2,7 @@
 
 fn main() {
     let scale = genpip_core::experiments::default_scale();
-    genpip_bench::run_harness("fig07_chunk_quality", || genpip_core::experiments::fig07::run(scale));
+    genpip_bench::run_harness("fig07_chunk_quality", || {
+        genpip_core::experiments::fig07::run(scale)
+    });
 }

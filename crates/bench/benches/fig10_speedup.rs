@@ -2,5 +2,7 @@
 
 fn main() {
     let scale = genpip_core::experiments::default_scale();
-    genpip_bench::run_harness("fig10_speedup", || genpip_core::experiments::fig10::run(scale));
+    genpip_bench::run_harness("fig10_speedup", || {
+        genpip_core::experiments::fig10::run(scale)
+    });
 }

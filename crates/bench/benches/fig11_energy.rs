@@ -2,5 +2,7 @@
 
 fn main() {
     let scale = genpip_core::experiments::default_scale();
-    genpip_bench::run_harness("fig11_energy", || genpip_core::experiments::fig11::run(scale));
+    genpip_bench::run_harness("fig11_energy", || {
+        genpip_core::experiments::fig11::run(scale)
+    });
 }

@@ -2,5 +2,7 @@
 
 fn main() {
     let scale = genpip_core::experiments::default_scale();
-    genpip_bench::run_harness("fig12_qsr_sensitivity", || genpip_core::experiments::fig12::run(scale));
+    genpip_bench::run_harness("fig12_qsr_sensitivity", || {
+        genpip_core::experiments::fig12::run(scale)
+    });
 }

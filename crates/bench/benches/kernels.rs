@@ -1,160 +1,293 @@
-//! Criterion micro-benchmarks of the computational kernels.
+//! Micro-benchmarks of the computational kernels, plus the end-to-end
+//! parallel pipeline bench.
 //!
 //! These measure the *real* wall-clock cost of this reproduction's
 //! implementations (not the modelled hardware times): the MVM emission
-//! kernel, CAM search, Viterbi chunk decoding, minimizer extraction,
-//! chaining DP, banded alignment, and end-to-end single-read processing.
+//! kernel, CAM search, Viterbi chunk decoding (allocation-free scratch
+//! path), minimizer extraction, chaining DP, banded alignment, end-to-end
+//! single-read processing, and `run_genpip` at 1/2/4 worker threads with a
+//! serial-vs-parallel bit-identity check.
+//!
+//! Results are printed as a table and written to `BENCH_kernels.json` at the
+//! repo root so future PRs have a perf trajectory to compare against. Note
+//! that the parallel speedups are only meaningful relative to
+//! `host_threads` in the report: a single-core host shows ~1× regardless of
+//! worker count.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use genpip_basecall::{Basecaller, EmissionModel};
+use genpip_basecall::{Basecaller, CallScratch, EmissionModel};
+use genpip_bench::micro::{bench, bench_json, time_once, Json};
+use genpip_core::pipeline::{run_genpip, ErMode};
+use genpip_core::{GenPipConfig, Parallelism};
+use genpip_datasets::DatasetProfile;
 use genpip_genomics::GenomeBuilder;
-use genpip_mapping::{minimizers, Anchor, ChainParams, IncrementalChainer, Mapper, MapperParams};
+use genpip_mapping::{
+    minimizers_into, Anchor, ChainParams, IncrementalChainer, Mapper, MapperParams,
+    MinimizerScratch, SeedBatch, SeedScratch,
+};
 use genpip_pim::{CamBank, CrossbarArray};
 use genpip_signal::{PoreModel, SignalSynthesizer};
 use std::hint::black_box;
 
-fn bench_mvm(c: &mut Criterion) {
+fn main() {
+    let mut results = Vec::new();
+
+    // --- MVM emission kernel (single sample and strided block) ---
     let pore = PoreModel::synthetic(3, 7);
     let emission = EmissionModel::from_pore_model(&pore);
-    let mut group = c.benchmark_group("mvm");
-    group.throughput(Throughput::Elements(emission.states() as u64));
-
-    group.bench_function("emission_64_states", |b| {
-        let mut out = vec![0.0f32; emission.states()];
-        b.iter(|| {
-            emission.log_likelihoods(black_box(93.7), &mut out);
-            black_box(out[0])
-        });
-    });
-
-    group.bench_function("crossbar_64x3", |b| {
+    let n_states = emission.states();
+    {
+        let mut out = vec![0.0f32; n_states];
+        results.push(bench(
+            "mvm/emission_64_states",
+            Some((n_states as f64, "states")),
+            || {
+                emission.log_likelihoods(black_box(93.7), &mut out);
+                out[0]
+            },
+        ));
+        let xs = [88.0f32, 91.5, 95.2, 99.9, 104.1, 96.3, 90.0, 93.3];
+        let mut block = vec![0.0f32; xs.len() * n_states];
+        results.push(bench(
+            "mvm/emission_block8",
+            Some((xs.len() as f64 * n_states as f64, "states")),
+            || {
+                emission.log_likelihoods_block(black_box(&xs), &mut block);
+                block[0]
+            },
+        ));
         let mut xbar = CrossbarArray::new(3, 64);
         xbar.program(&vec![0.5f32; 3 * 64]);
-        b.iter(|| black_box(xbar.mvm(black_box(&[1.0, 2.0, 3.0]))));
-    });
-    group.finish();
-}
+        results.push(bench("mvm/crossbar_64x3", None, || {
+            xbar.mvm(black_box(&[1.0, 2.0, 3.0]))
+        }));
+    }
 
-fn bench_cam(c: &mut Criterion) {
-    let keys: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
-    let mut bank = CamBank::build(keys.iter().copied(), 128);
-    c.bench_function("cam_search_100k_keys", |b| {
+    // --- CAM search ---
+    {
+        let keys: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let mut bank = CamBank::build(keys.iter().copied(), 128);
         let mut i = 0usize;
-        b.iter(|| {
+        results.push(bench("cam/search_100k_keys", None, || {
             i = (i + 1) % keys.len();
-            black_box(bank.search(black_box(keys[i])))
-        });
-    });
-}
+            bank.search(black_box(keys[i]))
+        }));
+    }
 
-fn bench_viterbi(c: &mut Criterion) {
-    let pore = PoreModel::synthetic(3, 7);
+    // --- Viterbi chunk decode (the dominant kernel), scratch-reuse path ---
     let synth = SignalSynthesizer::new(pore.clone());
     let caller = Basecaller::new(&pore, synth.mean_dwell());
-    let truth = GenomeBuilder::new(300).seed(1).build().sequence().clone();
-    let sig = synth.synthesize(&truth, 1.0, 2);
-    let mut group = c.benchmark_group("basecall");
-    group.throughput(Throughput::Elements(sig.samples.len() as u64));
-    group.bench_function("viterbi_chunk_300bases", |b| {
-        b.iter(|| black_box(caller.call_chunk(black_box(&sig.samples), None)));
-    });
-    group.finish();
-}
-
-fn bench_minimizers(c: &mut Criterion) {
-    let seq = GenomeBuilder::new(10_000).seed(3).build().sequence().clone();
-    let mut group = c.benchmark_group("sketch");
-    group.throughput(Throughput::Elements(seq.len() as u64));
-    group.bench_function("minimizers_10kb", |b| {
-        b.iter(|| black_box(minimizers(black_box(&seq), 15, 10)));
-    });
-    group.finish();
-}
-
-fn bench_chain(c: &mut Criterion) {
-    let anchors: Vec<Anchor> = (0..2_000u32)
-        .map(|i| Anchor { qpos: i * 7, rpos: 10_000 + i * 7 + (i % 13) })
-        .collect();
-    c.bench_function("chain_2000_anchors", |b| {
-        b.iter_batched(
-            || IncrementalChainer::new(ChainParams::for_k(15)),
-            |mut chainer| {
-                chainer.extend(black_box(&anchors));
-                black_box(chainer.best_score())
-            },
-            BatchSize::SmallInput,
-        );
-    });
-}
-
-fn bench_align(c: &mut Criterion) {
-    use genpip_mapping::align::{banded_global, AlignmentParams};
-    let genome = GenomeBuilder::new(3_000).seed(4).build();
-    let q = genome.sequence().subseq(0, 2_000);
-    let r = genome.sequence().subseq(0, 2_050);
-    let params = AlignmentParams::default();
-    let mut group = c.benchmark_group("align");
-    group.throughput(Throughput::Elements(q.len() as u64));
-    group.bench_function("banded_2kb_hw64", |b| {
-        b.iter(|| black_box(banded_global(black_box(&q), black_box(&r), &params, 0, 64)));
-    });
-    group.finish();
-}
-
-fn bench_end_to_end(c: &mut Criterion) {
-    let pore = PoreModel::synthetic(3, 7);
-    let synth = SignalSynthesizer::new(pore.clone());
-    let caller = Basecaller::new(&pore, synth.mean_dwell());
-    let genome = GenomeBuilder::new(100_000).seed(5).build();
-    let mapper = Mapper::build(&genome, MapperParams::default());
-    let truth = genome.sequence().subseq(40_000, 3_000);
-    let sig = synth.synthesize(&truth, 1.0, 6);
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(20);
-    group.throughput(Throughput::Elements(truth.len() as u64));
-    group.bench_function("basecall_and_map_3kb_read", |b| {
-        b.iter(|| {
-            let called = caller.call_read(black_box(&sig.samples), 2_400);
-            black_box(mapper.map(&called.seq))
-        });
-    });
-    group.finish();
-}
-
-fn bench_pipeline_sim(c: &mut Criterion) {
-    use genpip_sim::{Job, PipelineSim, SimTime, StageSpec};
-    let jobs: Vec<Job> = (0..10_000)
-        .map(|i| {
-            Job::new(
-                i / 10,
-                i % 10,
-                vec![SimTime::from_ns(100.0), SimTime::from_ns(40.0)],
-            )
-        })
-        .collect();
-    c.bench_function("pipeline_sim_10k_jobs", |b| {
-        b.iter_batched(
+    {
+        let truth = GenomeBuilder::new(300).seed(1).build().sequence().clone();
+        let sig = synth.synthesize(&truth, 1.0, 2);
+        let mut scratch = CallScratch::new();
+        results.push(bench(
+            "basecall/viterbi_chunk_300bases",
+            Some((sig.samples.len() as f64, "samples")),
             || {
-                PipelineSim::new(vec![
+                caller
+                    .call_chunk_with(black_box(&sig.samples), None, &mut scratch)
+                    .bases
+                    .len()
+            },
+        ));
+    }
+
+    // --- Minimizer sketching, scratch-reuse path ---
+    {
+        let seq = GenomeBuilder::new(10_000)
+            .seed(3)
+            .build()
+            .sequence()
+            .clone();
+        let mut scratch = MinimizerScratch::default();
+        let mut out = Vec::new();
+        results.push(bench(
+            "sketch/minimizers_10kb",
+            Some((seq.len() as f64, "bases")),
+            || {
+                minimizers_into(black_box(&seq), 15, 10, &mut scratch, &mut out);
+                out.len()
+            },
+        ));
+    }
+
+    // --- Chaining DP ---
+    {
+        let anchors: Vec<Anchor> = (0..2_000u32)
+            .map(|i| Anchor {
+                qpos: i * 7,
+                rpos: 10_000 + i * 7 + (i % 13),
+            })
+            .collect();
+        let mut chainer = IncrementalChainer::new(ChainParams::for_k(15));
+        results.push(bench(
+            "chain/2000_anchors",
+            Some((anchors.len() as f64, "anchors")),
+            || {
+                chainer.reset();
+                chainer.extend(black_box(&anchors));
+                chainer.best_score()
+            },
+        ));
+    }
+
+    // --- Banded alignment ---
+    {
+        use genpip_mapping::align::{banded_global, AlignmentParams};
+        let genome = GenomeBuilder::new(3_000).seed(4).build();
+        let q = genome.sequence().subseq(0, 2_000);
+        let r = genome.sequence().subseq(0, 2_050);
+        let params = AlignmentParams::default();
+        results.push(bench(
+            "align/banded_2kb_hw64",
+            Some((q.len() as f64, "bases")),
+            || banded_global(black_box(&q), black_box(&r), &params, 0, 64).score,
+        ));
+    }
+
+    // --- End-to-end single read (basecall + map), scratch-reuse path ---
+    {
+        let genome = GenomeBuilder::new(100_000).seed(5).build();
+        let mapper = Mapper::build(&genome, MapperParams::default());
+        let truth = genome.sequence().subseq(40_000, 3_000);
+        let sig = synth.synthesize(&truth, 1.0, 6);
+        let mut call_scratch = CallScratch::new();
+        let mut seed_scratch = SeedScratch::new();
+        let mut batch = SeedBatch::default();
+        results.push(bench(
+            "end_to_end/basecall_and_map_3kb",
+            Some((truth.len() as f64, "bases")),
+            || {
+                let mut seq = genpip_genomics::DnaSeq::new();
+                let mut carry = None;
+                for spec in genpip_signal::chunk_boundaries(sig.samples.len(), 2_400) {
+                    let chunk = caller.call_chunk_with(
+                        &sig.samples[spec.start..spec.end],
+                        carry,
+                        &mut call_scratch,
+                    );
+                    carry = chunk.carry;
+                    seq.extend_from_seq(&chunk.bases);
+                }
+                let (mut fwd, mut rev) = mapper.new_chainers();
+                let n = mapper.sketch_and_seed_into(&seq, 0, &mut seed_scratch, &mut batch);
+                fwd.extend(&batch.forward);
+                rev.extend(&batch.reverse);
+                let (mapping, _, _) = mapper.finalize_mapping(&seq, &fwd, &rev);
+                (n, mapping.is_some())
+            },
+        ));
+    }
+
+    // --- Pipeline scheduler ---
+    {
+        use genpip_sim::{Job, PipelineSim, SimTime, StageSpec};
+        let jobs: Vec<Job> = (0..10_000)
+            .map(|i| {
+                Job::new(
+                    i / 10,
+                    i % 10,
+                    vec![SimTime::from_ns(100.0), SimTime::from_ns(40.0)],
+                )
+            })
+            .collect();
+        results.push(bench(
+            "sim/pipeline_10k_jobs",
+            Some((jobs.len() as f64, "jobs")),
+            || {
+                let mut sim = PipelineSim::new(vec![
                     StageSpec::new("a", 8).sequential_within_read(),
                     StageSpec::new("b", 64),
-                ])
+                ]);
+                sim.run(black_box(&jobs)).makespan
             },
-            |mut sim| black_box(sim.run(black_box(&jobs))),
-            BatchSize::SmallInput,
-        );
-    });
-}
+        ));
+    }
 
-criterion_group!(
-    kernels,
-    bench_mvm,
-    bench_cam,
-    bench_viterbi,
-    bench_minimizers,
-    bench_chain,
-    bench_align,
-    bench_end_to_end,
-    bench_pipeline_sim
-);
-criterion_main!(kernels);
+    println!("=== kernel micro-benchmarks ===");
+    for r in &results {
+        println!("{}", r.summary());
+    }
+
+    // --- End-to-end pipeline: run_genpip at 1/2/4 worker threads ---
+    let scale = std::env::var("GENPIP_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.1);
+    let dataset = DatasetProfile::ecoli().scaled(scale).generate();
+    let total_samples: usize = dataset.reads.iter().map(|r| r.signal.samples.len()).sum();
+    println!(
+        "\n=== pipeline bench (scale {scale}: {} reads, {total_samples} samples) ===",
+        dataset.reads.len()
+    );
+
+    let mut thread_rows = Vec::new();
+    let mut serial_reads = None;
+    let mut bit_identical = true;
+    for workers in [1usize, 2, 4] {
+        let config =
+            GenPipConfig::for_dataset(&dataset.profile).with_parallelism(if workers == 1 {
+                Parallelism::Serial
+            } else {
+                Parallelism::Threads(workers)
+            });
+        // One warm-up pass, then the timed pass.
+        let _ = run_genpip(&dataset, &config, ErMode::Full);
+        let (run, seconds) = time_once(|| run_genpip(&dataset, &config, ErMode::Full));
+        let reads_per_s = run.reads.len() as f64 / seconds;
+        match &serial_reads {
+            None => serial_reads = Some((run.reads.clone(), seconds)),
+            Some((reference, _)) => bit_identical &= reference == &run.reads,
+        }
+        let speedup = serial_reads
+            .as_ref()
+            .map(|(_, s0)| s0 / seconds)
+            .unwrap_or(1.0);
+        println!(
+            "threads {workers}: {seconds:.3} s  {reads_per_s:>8.1} reads/s  speedup {speedup:.2}x"
+        );
+        thread_rows.push(Json::obj([
+            ("threads", Json::Num(workers as f64)),
+            ("seconds", Json::Num(seconds)),
+            ("reads_per_s", Json::Num(reads_per_s)),
+            ("samples_per_s", Json::Num(total_samples as f64 / seconds)),
+            ("speedup_vs_serial", Json::Num(speedup)),
+        ]));
+    }
+    println!(
+        "serial vs parallel outputs bit-identical: {bit_identical} (host threads: {})",
+        Parallelism::Auto.workers()
+    );
+    assert!(
+        bit_identical,
+        "parallel pipeline diverged from serial output"
+    );
+
+    let report = Json::obj([
+        ("schema", Json::Str("genpip-bench-kernels-v1".into())),
+        (
+            "generated_by",
+            Json::Str("cargo bench --bench kernels".into()),
+        ),
+        (
+            "host_threads",
+            Json::Num(Parallelism::Auto.workers() as f64),
+        ),
+        ("dataset_scale", Json::Num(scale)),
+        ("dataset_reads", Json::Num(dataset.reads.len() as f64)),
+        ("dataset_samples", Json::Num(total_samples as f64)),
+        (
+            "kernels",
+            Json::Arr(results.iter().map(bench_json).collect()),
+        ),
+        ("pipeline_threads", Json::Arr(thread_rows)),
+        ("pipeline_bit_identical", Json::Bool(bit_identical)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    match std::fs::write(path, report.render()) {
+        Ok(()) => println!("[report written to {path}]"),
+        Err(e) => eprintln!("[failed to write {path}: {e}]"),
+    }
+}

@@ -2,5 +2,7 @@
 
 fn main() {
     let scale = genpip_core::experiments::default_scale();
-    genpip_bench::run_harness("tab01_datasets", || genpip_core::experiments::tab01::run(scale));
+    genpip_bench::run_harness("tab01_datasets", || {
+        genpip_core::experiments::tab01::run(scale)
+    });
 }

@@ -2,5 +2,7 @@
 
 fn main() {
     let scale = genpip_core::experiments::default_scale();
-    genpip_bench::run_harness("useless_reads", || genpip_core::experiments::useless::run(scale));
+    genpip_bench::run_harness("useless_reads", || {
+        genpip_core::experiments::useless::run(scale)
+    });
 }

@@ -2,9 +2,13 @@
 //!
 //! Two kinds of bench targets live in `benches/`:
 //!
-//! * `kernels` — Criterion micro-benchmarks of the real wall-clock cost of
+//! * `kernels` — micro-benchmarks (via the in-repo [`micro`] harness; the
+//!   workspace has no external dependencies) of the real wall-clock cost of
 //!   every computational kernel (MVM, CAM search, Viterbi decode, minimizer
-//!   extraction, chaining DP, banded alignment, end-to-end read processing);
+//!   extraction, chaining DP, banded alignment, end-to-end read processing)
+//!   plus the end-to-end pipeline at 1/2/4 threads. It writes a
+//!   machine-readable `BENCH_kernels.json` at the repo root so successive
+//!   PRs accumulate a perf trajectory;
 //! * `figNN_*` / `tabNN_*` / `useless_reads` — one regeneration harness per
 //!   paper figure/table. These are *model-output* harnesses (`harness =
 //!   false` binaries): they run the corresponding experiment driver from
@@ -12,6 +16,8 @@
 //!
 //! Run everything with `cargo bench --workspace`. Set `GENPIP_SCALE` (e.g.
 //! `GENPIP_SCALE=0.1`) to shrink the datasets for a quick pass.
+
+pub mod micro;
 
 use std::time::Instant;
 
@@ -26,7 +32,10 @@ pub fn run_harness<R: std::fmt::Display>(name: &str, body: impl FnOnce() -> R) {
     let rendered = report.to_string();
     println!("{rendered}");
     save_report(name, &rendered);
-    println!("[{name} regenerated in {:.1} s]\n", start.elapsed().as_secs_f64());
+    println!(
+        "[{name} regenerated in {:.1} s]\n",
+        start.elapsed().as_secs_f64()
+    );
 }
 
 /// Persists a harness report so figure text survives the bench run.

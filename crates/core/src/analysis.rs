@@ -52,9 +52,21 @@ impl RejectionAnalysis {
 /// # Panics
 ///
 /// Panics if the two runs cover different read counts.
-pub fn qsr_analysis(er_run: &PipelineRun, oracle: &PipelineRun, theta_qs: f64) -> RejectionAnalysis {
-    assert_eq!(er_run.reads.len(), oracle.reads.len(), "runs must cover the same dataset");
-    let mut out = RejectionAnalysis { reads: er_run.reads.len(), rejected: 0, false_negatives: 0 };
+pub fn qsr_analysis(
+    er_run: &PipelineRun,
+    oracle: &PipelineRun,
+    theta_qs: f64,
+) -> RejectionAnalysis {
+    assert_eq!(
+        er_run.reads.len(),
+        oracle.reads.len(),
+        "runs must cover the same dataset"
+    );
+    let mut out = RejectionAnalysis {
+        reads: er_run.reads.len(),
+        rejected: 0,
+        false_negatives: 0,
+    };
     for (er, oracle) in er_run.reads.iter().zip(&oracle.reads) {
         if let ReadOutcome::RejectedQsr { .. } = er.outcome {
             out.rejected += 1;
@@ -75,8 +87,16 @@ pub fn qsr_analysis(er_run: &PipelineRun, oracle: &PipelineRun, theta_qs: f64) -
 ///
 /// Panics if the two runs cover different read counts.
 pub fn cmr_analysis(er_run: &PipelineRun, oracle: &PipelineRun) -> RejectionAnalysis {
-    assert_eq!(er_run.reads.len(), oracle.reads.len(), "runs must cover the same dataset");
-    let mut out = RejectionAnalysis { reads: er_run.reads.len(), rejected: 0, false_negatives: 0 };
+    assert_eq!(
+        er_run.reads.len(),
+        oracle.reads.len(),
+        "runs must cover the same dataset"
+    );
+    let mut out = RejectionAnalysis {
+        reads: er_run.reads.len(),
+        rejected: 0,
+        false_negatives: 0,
+    };
     for (er, oracle) in er_run.reads.iter().zip(&oracle.reads) {
         if let ReadOutcome::RejectedCmr { .. } = er.outcome {
             out.rejected += 1;
@@ -150,7 +170,11 @@ pub struct FalseNegativeAudit {
 ///
 /// Panics if the two runs cover different read counts.
 pub fn false_negative_audit(er_run: &PipelineRun, oracle: &PipelineRun) -> FalseNegativeAudit {
-    assert_eq!(er_run.reads.len(), oracle.reads.len(), "runs must cover the same dataset");
+    assert_eq!(
+        er_run.reads.len(),
+        oracle.reads.len(),
+        "runs must cover the same dataset"
+    );
     let mut fn_aqs = Vec::new();
     let mut fn_chain = Vec::new();
     let mut lq_aqs = Vec::new();
@@ -166,7 +190,13 @@ pub fn false_negative_audit(er_run: &PipelineRun, oracle: &PipelineRun) -> False
             lq_aqs.push(aqs);
         }
     }
-    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     FalseNegativeAudit {
         mean_aqs_false_negatives: mean(&fn_aqs),
         mean_aqs_low_quality: mean(&lq_aqs),
@@ -218,8 +248,17 @@ impl AccuracyRetention {
 ///
 /// Panics if the two runs cover different read counts.
 pub fn accuracy_retention(er_run: &PipelineRun, oracle: &PipelineRun) -> AccuracyRetention {
-    assert_eq!(er_run.reads.len(), oracle.reads.len(), "runs must cover the same dataset");
-    let mut out = AccuracyRetention { oracle_mapped: 0, retained: 0, concordant: 0, gained: 0 };
+    assert_eq!(
+        er_run.reads.len(),
+        oracle.reads.len(),
+        "runs must cover the same dataset"
+    );
+    let mut out = AccuracyRetention {
+        oracle_mapped: 0,
+        retained: 0,
+        concordant: 0,
+        gained: 0,
+    };
     for (er, oracle) in er_run.reads.iter().zip(&oracle.reads) {
         match (oracle.outcome.mapping(), er.outcome.mapping()) {
             (Some(om), Some(em)) => {
@@ -276,7 +315,11 @@ mod tests {
             q.rejection_ratio()
         );
         // With well-separated quality bands the FN ratio stays small.
-        assert!(q.false_negative_ratio() < 0.35, "FN ratio {}", q.false_negative_ratio());
+        assert!(
+            q.false_negative_ratio() < 0.35,
+            "FN ratio {}",
+            q.false_negative_ratio()
+        );
     }
 
     #[test]
@@ -289,7 +332,11 @@ mod tests {
             "CMR rejection {} vs contaminants {truth_cont}",
             c.rejection_ratio()
         );
-        assert!(c.false_negative_ratio() < 0.25, "FN ratio {}", c.false_negative_ratio());
+        assert!(
+            c.false_negative_ratio() < 0.25,
+            "FN ratio {}",
+            c.false_negative_ratio()
+        );
     }
 
     #[test]
@@ -330,7 +377,11 @@ mod tests {
 
     #[test]
     fn empty_analysis_is_zero() {
-        let a = RejectionAnalysis { reads: 0, rejected: 0, false_negatives: 0 };
+        let a = RejectionAnalysis {
+            reads: 0,
+            rejected: 0,
+            false_negatives: 0,
+        };
         assert_eq!(a.rejection_ratio(), 0.0);
         assert_eq!(a.false_negative_ratio(), 0.0);
     }
@@ -341,7 +392,11 @@ mod tests {
         let (_, oracle, er) = setup();
         let acc = accuracy_retention(&er, &oracle);
         assert!(acc.oracle_mapped > 30, "want a meaningful mapped sample");
-        assert!(acc.recall() > 0.9, "ER lost too many mappings: recall {}", acc.recall());
+        assert!(
+            acc.recall() > 0.9,
+            "ER lost too many mappings: recall {}",
+            acc.recall()
+        );
         assert!(
             acc.concordance() > 0.97,
             "survivors moved: concordance {}",
@@ -352,7 +407,12 @@ mod tests {
 
     #[test]
     fn retention_edge_cases() {
-        let a = AccuracyRetention { oracle_mapped: 0, retained: 0, concordant: 0, gained: 0 };
+        let a = AccuracyRetention {
+            oracle_mapped: 0,
+            retained: 0,
+            concordant: 0,
+            gained: 0,
+        };
         assert_eq!(a.recall(), 1.0);
         assert_eq!(a.concordance(), 1.0);
     }

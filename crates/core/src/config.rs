@@ -3,6 +3,37 @@
 use genpip_datasets::DatasetProfile;
 use genpip_mapping::MapperParams;
 
+/// How many software worker threads the pipeline drivers
+/// ([`crate::pipeline::run_conventional`] / [`crate::pipeline::run_genpip`])
+/// spread reads across.
+///
+/// Results are **bit-identical** across all settings: reads are independent,
+/// every worker computes deterministically, and results are reassembled in
+/// read order. The knob only trades wall-clock time for cores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One thread, no pool — the reference execution.
+    Serial,
+    /// A fixed worker count (clamped to ≥ 1).
+    Threads(usize),
+    /// One worker per available hardware thread.
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// The concrete worker count this setting resolves to on this machine.
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
 /// All knobs of the GenPIP system.
 ///
 /// The dataset-dependent values follow the paper's sensitivity analysis
@@ -25,6 +56,9 @@ pub struct GenPipConfig {
     pub theta_cm: f64,
     /// Read-mapper parameters.
     pub mapper: MapperParams,
+    /// Software worker threading of the pipeline drivers (never changes
+    /// results, only wall-clock time).
+    pub parallelism: Parallelism,
 }
 
 impl GenPipConfig {
@@ -56,6 +90,12 @@ impl GenPipConfig {
         self
     }
 
+    /// Overrides the threading of the pipeline drivers.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> GenPipConfig {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Signal samples per chunk for a given mean dwell (samples/base).
     pub fn samples_per_chunk(&self, mean_dwell: f64) -> usize {
         genpip_signal::chunk::samples_per_chunk(self.chunk_bases, mean_dwell)
@@ -72,6 +112,7 @@ impl Default for GenPipConfig {
             theta_qs: 7.0,
             theta_cm: 55.0,
             mapper: MapperParams::default(),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -101,5 +142,19 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_chunk_rejected() {
         let _ = GenPipConfig::default().with_chunk_bases(0);
+    }
+
+    #[test]
+    fn parallelism_resolves_to_sane_worker_counts() {
+        assert_eq!(Parallelism::Serial.workers(), 1);
+        assert_eq!(Parallelism::Threads(4).workers(), 4);
+        assert_eq!(
+            Parallelism::Threads(0).workers(),
+            1,
+            "clamped to one worker"
+        );
+        assert!(Parallelism::Auto.workers() >= 1);
+        let c = GenPipConfig::default().with_parallelism(Parallelism::Threads(2));
+        assert_eq!(c.parallelism, Parallelism::Threads(2));
     }
 }

@@ -44,7 +44,11 @@ impl fmt::Display for ControllerReport {
             "chunk buffer high water: {} B ({} overflows)",
             self.chunk_buffer_high_water, self.chunk_buffer_overflows
         )?;
-        writeln!(f, "ER signals issued: {} QSR, {} CMR", self.qsr_signals, self.cmr_signals)?;
+        writeln!(
+            f,
+            "ER signals issued: {} QSR, {} CMR",
+            self.qsr_signals, self.cmr_signals
+        )?;
         write!(f, "buffer access energy: {:.3e} J", self.buffer_energy_j)
     }
 }

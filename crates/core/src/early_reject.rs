@@ -68,11 +68,17 @@ pub struct QsrDecision {
 pub fn qsr_check(sampled: &[(f64, usize)], theta_qs: f64) -> QsrDecision {
     let bases: usize = sampled.iter().map(|&(_, b)| b).sum();
     if bases == 0 {
-        return QsrDecision { sampled_aqs: 0.0, reject: true };
+        return QsrDecision {
+            sampled_aqs: 0.0,
+            reject: true,
+        };
     }
     let sum: f64 = sampled.iter().map(|&(s, _)| s).sum();
     let sampled_aqs = sum / bases as f64;
-    QsrDecision { sampled_aqs, reject: sampled_aqs < theta_qs }
+    QsrDecision {
+        sampled_aqs,
+        reject: sampled_aqs < theta_qs,
+    }
 }
 
 /// CMR verdict for one read.
@@ -86,7 +92,10 @@ pub struct CmrDecision {
 
 /// Applies the CMR check: the large chunk's chaining score against `θ_cm`.
 pub fn cmr_check(chain_score: f64, theta_cm: f64) -> CmrDecision {
-    CmrDecision { chain_score, reject: chain_score < theta_cm }
+    CmrDecision {
+        chain_score,
+        reject: chain_score < theta_cm,
+    }
 }
 
 #[cfg(test)]
@@ -106,7 +115,10 @@ mod tests {
                 if idx.len() > 2 {
                     let gaps: Vec<usize> = idx.windows(2).map(|w| w[1] - w[0]).collect();
                     let (min, max) = (gaps.iter().min().unwrap(), gaps.iter().max().unwrap());
-                    assert!(max - min <= 1, "uneven gaps {gaps:?} for total {total} n {n}");
+                    assert!(
+                        max - min <= 1,
+                        "uneven gaps {gaps:?} for total {total} n {n}"
+                    );
                 }
             }
         }

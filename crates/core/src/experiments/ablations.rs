@@ -56,8 +56,7 @@ pub fn chunk_size_sweep(scale: f64) -> Vec<ChunkSizePoint> {
                 chunk_bases: chunk,
                 speedup_vs_cpu: cpu.time.as_secs() / genpip.time.as_secs(),
                 mapped_fraction: mapped_fraction(&er),
-                work_saved: 1.0
-                    - er.totals().samples as f64 / conventional.totals().samples as f64,
+                work_saved: 1.0 - er.totals().samples as f64 / conventional.totals().samples as f64,
             }
         })
         .collect()
@@ -140,12 +139,20 @@ impl Ablations {
     pub fn chunk_table(&self) -> FigureTable {
         let mut t = FigureTable::new(
             "Ablation — chunk size (paper evaluates only 300–500)",
-            vec!["speedup vs CPU".into(), "mapped frac".into(), "work saved".into()],
+            vec![
+                "speedup vs CPU".into(),
+                "mapped frac".into(),
+                "work saved".into(),
+            ],
         );
         for p in &self.chunk_sizes {
             t.push_row(
                 format!("{} bases", p.chunk_bases),
-                vec![Some(p.speedup_vs_cpu), Some(p.mapped_fraction), Some(p.work_saved)],
+                vec![
+                    Some(p.speedup_vs_cpu),
+                    Some(p.mapped_fraction),
+                    Some(p.work_saved),
+                ],
             );
         }
         t
@@ -161,7 +168,11 @@ impl fmt::Display for Ablations {
         }
         writeln!(f, "basecaller initiation-interval sweep:")?;
         for p in &self.basecaller_ii {
-            writeln!(f, "  II = {:>2} cycles: makespan {:.4} s", p.value, p.makespan_s)?;
+            writeln!(
+                f,
+                "  II = {:>2} cycles: makespan {:.4} s",
+                p.value, p.makespan_s
+            )?;
         }
         Ok(())
     }
@@ -187,7 +198,12 @@ mod tests {
         assert!((0.7..1.4).contains(&ratio), "300 vs 500 ratio {ratio}");
         // Mapped fraction stays healthy at every size.
         for p in &points {
-            assert!(p.mapped_fraction > 0.4, "chunk {}: {}", p.chunk_bases, p.mapped_fraction);
+            assert!(
+                p.mapped_fraction > 0.4,
+                "chunk {}: {}",
+                p.chunk_bases,
+                p.mapped_fraction
+            );
         }
     }
 

@@ -24,7 +24,9 @@ pub fn run(scale: f64) -> Fig04 {
     let config = GenPipConfig::for_dataset(&dataset.profile);
     let conventional = run_conventional(&dataset, &config);
     let costs = SystemCosts::default();
-    Fig04 { rows: potential_study(&conventional, &costs.software, &costs.tech) }
+    Fig04 {
+        rows: potential_study(&conventional, &costs.software, &costs.tech),
+    }
 }
 
 impl Fig04 {

@@ -110,7 +110,11 @@ pub fn profile_read(dataset: &SimulatedDataset, read_id: u32) -> ChunkQualityPro
             scores.push(chunk.average_quality());
         }
     }
-    ChunkQualityProfile { read_id, noise_sigma: read.noise_sigma, chunk_scores: scores }
+    ChunkQualityProfile {
+        read_id,
+        noise_sigma: read.noise_sigma,
+        chunk_scores: scores,
+    }
 }
 
 impl Fig07 {
@@ -118,7 +122,12 @@ impl Fig07 {
     pub fn table(&self) -> FigureTable {
         let mut t = FigureTable::new(
             "Figure 7 — chunk quality scores (paper bands: low ≈4–10, high ≈11–18)",
-            vec!["min".into(), "mean".into(), "max".into(), "lag1-corr".into()],
+            vec![
+                "min".into(),
+                "mean".into(),
+                "max".into(),
+                "lag1-corr".into(),
+            ],
         );
         for (label, p) in [("low-quality", &self.low), ("high-quality", &self.high)] {
             t.push_row(

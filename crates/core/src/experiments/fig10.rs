@@ -141,7 +141,9 @@ pub struct Fig10 {
 
 /// Runs the Figure 10 experiment at `scale`.
 pub fn run(scale: f64) -> Fig10 {
-    Fig10 { matrix: systems_matrix(scale) }
+    Fig10 {
+        matrix: systems_matrix(scale),
+    }
 }
 
 impl Fig10 {
@@ -184,7 +186,10 @@ mod tests {
         for window in genpip.chunks(3) {
             let max = window.iter().cloned().fold(f64::MIN, f64::max);
             let min = window.iter().cloned().fold(f64::MAX, f64::min);
-            assert!(max / min < 1.5, "chunk-size sensitivity too high: {window:?}");
+            assert!(
+                max / min < 1.5,
+                "chunk-size sensitivity too high: {window:?}"
+            );
         }
     }
 

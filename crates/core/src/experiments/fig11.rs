@@ -30,7 +30,9 @@ pub struct Fig11 {
 
 /// Runs the Figure 11 experiment at `scale`.
 pub fn run(scale: f64) -> Fig11 {
-    Fig11 { matrix: systems_matrix(scale) }
+    Fig11 {
+        matrix: systems_matrix(scale),
+    }
 }
 
 /// Builds the Figure 11 report from an existing matrix (so a harness that

@@ -44,7 +44,10 @@ pub fn run(scale: f64) -> Fig12 {
             let er = run_genpip(&dataset, &config, ErMode::QsrOnly);
             points.push((n_qs, qsr_analysis(&er, &oracle, config.theta_qs)));
         }
-        sweeps.push(QsrSweep { dataset: profile.name.to_string(), points });
+        sweeps.push(QsrSweep {
+            dataset: profile.name.to_string(),
+            points,
+        });
     }
     Fig12 { sweeps }
 }
@@ -96,12 +99,19 @@ mod tests {
         assert_eq!(fig.sweeps.len(), 2);
         for sweep in &fig.sweeps {
             assert_eq!(sweep.points.len(), N_QS_RANGE.len());
-            let rejections: Vec<f64> =
-                sweep.points.iter().map(|(_, a)| a.rejection_ratio()).collect();
+            let rejections: Vec<f64> = sweep
+                .points
+                .iter()
+                .map(|(_, a)| a.rejection_ratio())
+                .collect();
             // Rejection ratio in a plausible band around the low-quality
             // population, mildly varying with N_qs.
             for &r in &rejections {
-                assert!((0.02..0.40).contains(&r), "{}: rejection {r}", sweep.dataset);
+                assert!(
+                    (0.02..0.40).contains(&r),
+                    "{}: rejection {r}",
+                    sweep.dataset
+                );
             }
             // Paper: rejection ratio slightly decreases as N_qs grows.
             assert!(

@@ -45,7 +45,10 @@ pub fn run(scale: f64) -> Fig13 {
             let er = run_genpip(&dataset, &config, ErMode::Full);
             points.push((n_cm, cmr_analysis(&er, &oracle)));
         }
-        sweeps.push(CmrSweep { dataset: profile.name.to_string(), points });
+        sweeps.push(CmrSweep {
+            dataset: profile.name.to_string(),
+            points,
+        });
     }
     Fig13 { sweeps }
 }
@@ -95,10 +98,16 @@ mod tests {
     fn sweep_shapes_match_the_paper() {
         let fig = run(0.15);
         for sweep in &fig.sweeps {
-            let rejections: Vec<f64> =
-                sweep.points.iter().map(|(_, a)| a.rejection_ratio()).collect();
-            let fns: Vec<f64> =
-                sweep.points.iter().map(|(_, a)| a.false_negative_ratio()).collect();
+            let rejections: Vec<f64> = sweep
+                .points
+                .iter()
+                .map(|(_, a)| a.rejection_ratio())
+                .collect();
+            let fns: Vec<f64> = sweep
+                .points
+                .iter()
+                .map(|(_, a)| a.false_negative_ratio())
+                .collect();
             // Paper observation 1: rejection ratio decreases with N_cm.
             assert!(
                 rejections[0] >= *rejections.last().unwrap(),

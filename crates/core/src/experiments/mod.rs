@@ -56,7 +56,11 @@ pub struct TableRow {
 impl FigureTable {
     /// Creates an empty table.
     pub fn new(title: impl Into<String>, columns: Vec<String>) -> FigureTable {
-        FigureTable { title: title.into(), columns, rows: Vec::new() }
+        FigureTable {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -65,8 +69,15 @@ impl FigureTable {
     ///
     /// Panics if the value count does not match the column count.
     pub fn push_row(&mut self, label: impl Into<String>, values: Vec<Option<f64>>) {
-        assert_eq!(values.len(), self.columns.len(), "row width must match columns");
-        self.rows.push(TableRow { label: label.into(), values });
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push(TableRow {
+            label: label.into(),
+            values,
+        });
     }
 
     /// Looks up a cell by row label and column index.

@@ -58,7 +58,10 @@ pub fn run(scale: f64) -> Tab01 {
             let profile = p.scaled(scale);
             let dataset = profile.generate();
             let reads = basecall_dataset(&dataset);
-            DatasetRow { dataset: profile.name.to_string(), stats: ReadSetStats::of(&reads) }
+            DatasetRow {
+                dataset: profile.name.to_string(),
+                stats: ReadSetStats::of(&reads),
+            }
         })
         .collect();
     Tab01 { rows }
@@ -91,7 +94,11 @@ impl Tab01 {
                     Some(s.total_bases as f64),
                 ],
             );
-            let paper = if row.dataset == "human" { PAPER_HUMAN } else { PAPER_ECOLI };
+            let paper = if row.dataset == "human" {
+                PAPER_HUMAN
+            } else {
+                PAPER_ECOLI
+            };
             t.push_row(
                 format!("{} (paper)", row.dataset),
                 paper.into_iter().map(Some).collect(),

@@ -17,7 +17,9 @@ pub struct Tab02 {
 /// Builds the Table 2 report (no dataset needed — this is a hardware-model
 /// property).
 pub fn run() -> Tab02 {
-    Tab02 { budget: genpip_table2() }
+    Tab02 {
+        budget: genpip_table2(),
+    }
 }
 
 impl Tab02 {
@@ -28,13 +30,22 @@ impl Tab02 {
             vec!["power W".into(), "area mm²".into()],
         );
         for module in &self.budget.modules {
-            t.push_row(module.name, vec![Some(module.power_w()), Some(module.area_mm2())]);
+            t.push_row(
+                module.name,
+                vec![Some(module.power_w()), Some(module.area_mm2())],
+            );
         }
         t.push_row(
             "GenPIP total",
-            vec![Some(self.budget.total_power_w()), Some(self.budget.total_area_mm2())],
+            vec![
+                Some(self.budget.total_power_w()),
+                Some(self.budget.total_area_mm2()),
+            ],
         );
-        t.push_row("paper total", vec![Some(PAPER_TOTALS.0), Some(PAPER_TOTALS.1)]);
+        t.push_row(
+            "paper total",
+            vec![Some(PAPER_TOTALS.0), Some(PAPER_TOTALS.1)],
+        );
         t
     }
 }

@@ -40,7 +40,10 @@ pub fn run(scale: f64) -> UselessReads {
             audit = Some(false_negative_audit(&er, &oracle));
         }
     }
-    UselessReads { rows, audit: audit.expect("ecoli profile present") }
+    UselessReads {
+        rows,
+        audit: audit.expect("ecoli profile present"),
+    }
 }
 
 impl UselessReads {
@@ -62,7 +65,11 @@ impl UselessReads {
         }
         t.push_row(
             "ecoli (paper)",
-            vec![Some(PAPER_ECOLI.0), Some(PAPER_ECOLI.1), Some(PAPER_ECOLI.2)],
+            vec![
+                Some(PAPER_ECOLI.0),
+                Some(PAPER_ECOLI.1),
+                Some(PAPER_ECOLI.2),
+            ],
         );
         t
     }

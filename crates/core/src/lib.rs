@@ -42,6 +42,6 @@ pub mod experiments;
 pub mod pipeline;
 pub mod systems;
 
-pub use config::GenPipConfig;
+pub use config::{GenPipConfig, Parallelism};
 pub use pipeline::{ChunkWork, ErMode, PipelineRun, ReadOutcome, ReadRun};
 pub use systems::SystemKind;

@@ -18,16 +18,34 @@
 //! the system cost models in [`crate::systems`] consume. Nothing about
 //! rejection behaviour is modelled analytically — every decision replays the
 //! real algorithms on the synthetic signals.
+//!
+//! # Threading model
+//!
+//! Both drivers execute reads across a pool of scoped worker threads sized
+//! by [`GenPipConfig::parallelism`] ([`crate::Parallelism`]). Reads are
+//! independent, so workers pull read indices from a shared atomic counter,
+//! process each read with **worker-local scratch** (basecaller decode
+//! buffers, sketch/seed buffers, a reusable chainer pair — so the hot path
+//! stays allocation-free in steady state), and the driver reassembles
+//! results in read order. The shared state ([`Basecaller`], [`Mapper`] with
+//! its `Arc`-shared reference genome) is immutable, therefore one mapper
+//! index serves every worker. Per-read computation never depends on other
+//! reads, which makes the output **bit-identical** for every `Parallelism`
+//! setting — asserted by this module's tests across all [`ErMode`]s.
 
 use crate::config::GenPipConfig;
 use crate::early_reject::{cmr_check, qsr_check, qsr_sample_indices};
-use genpip_basecall::{BasecalledChunk, Basecaller, CarryState};
-use genpip_datasets::SimulatedDataset;
+use genpip_basecall::{BasecalledChunk, Basecaller, CallScratch, CarryState};
+use genpip_datasets::{SimulatedDataset, SimulatedRead};
 use genpip_genomics::quality::AqsAccumulator;
 use genpip_genomics::DnaSeq;
-use genpip_mapping::{Mapper, Mapping, MappingCounters};
+use genpip_mapping::{
+    IncrementalChainer, Mapper, Mapping, MappingCounters, SeedBatch, SeedScratch,
+};
 use genpip_signal::chunk_boundaries;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Which early-rejection stages are active on top of CP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +88,10 @@ pub enum ReadOutcome {
 impl ReadOutcome {
     /// `true` for ER rejections (QSR or CMR).
     pub fn is_early_rejected(&self) -> bool {
-        matches!(self, ReadOutcome::RejectedQsr { .. } | ReadOutcome::RejectedCmr { .. })
+        matches!(
+            self,
+            ReadOutcome::RejectedQsr { .. } | ReadOutcome::RejectedCmr { .. }
+        )
     }
 
     /// `true` if the read produced a mapping.
@@ -163,8 +184,9 @@ impl ReadRun {
 /// A full dataset run: configuration + per-read results.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineRun {
-    /// The configuration used.
-    pub config: GenPipConfig,
+    /// The configuration used (shared, not deep-copied, across derived runs
+    /// such as [`PipelineRun::filtered`]).
+    pub config: Arc<GenPipConfig>,
     /// Which ER stages were active (`None` marks the conventional flow too;
     /// see [`PipelineRun::chunked`]).
     pub er: ErMode,
@@ -212,7 +234,10 @@ impl PipelineRun {
     /// whole-read sketch for conventional runs and the per-chunk aggregation
     /// for chunked runs.
     pub fn totals(&self) -> WorkloadTotals {
-        let mut t = WorkloadTotals { reads: self.reads.len(), ..Default::default() };
+        let mut t = WorkloadTotals {
+            reads: self.reads.len(),
+            ..Default::default()
+        };
         for r in &self.reads {
             for c in &r.chunks {
                 t.samples += c.samples;
@@ -238,7 +263,7 @@ impl PipelineRun {
     /// reads before any processing.
     pub fn filtered(&self, pred: impl Fn(&ReadRun) -> bool) -> PipelineRun {
         PipelineRun {
-            config: self.config.clone(),
+            config: Arc::clone(&self.config),
             er: self.er,
             chunked: self.chunked,
             reads: self.reads.iter().filter(|r| pred(r)).cloned().collect(),
@@ -251,7 +276,8 @@ impl PipelineRun {
     }
 }
 
-/// Shared per-run context.
+/// Shared per-run context. Immutable once built, so one instance serves all
+/// worker threads by shared reference.
 struct RunContext<'a> {
     config: &'a GenPipConfig,
     caller: Basecaller,
@@ -264,29 +290,117 @@ impl<'a> RunContext<'a> {
         let caller = Basecaller::new(dataset.pore_model(), dataset.synthesizer().mean_dwell());
         let mapper = Mapper::build(&dataset.reference, config.mapper);
         let samples_per_chunk = config.samples_per_chunk(dataset.synthesizer().mean_dwell());
-        RunContext { config, caller, mapper, samples_per_chunk }
+        RunContext {
+            config,
+            caller,
+            mapper,
+            samples_per_chunk,
+        }
     }
+}
+
+/// Worker-local working memory: every buffer a read needs on its way through
+/// basecalling, sketching, seeding and chaining. One instance per worker
+/// thread; steady-state processing reuses it without heap allocation.
+struct WorkerScratch {
+    call: CallScratch,
+    seed: SeedScratch,
+    batch: SeedBatch,
+    fwd: IncrementalChainer,
+    rev: IncrementalChainer,
+}
+
+impl WorkerScratch {
+    fn new(ctx: &RunContext<'_>) -> WorkerScratch {
+        let (fwd, rev) = ctx.mapper.new_chainers();
+        WorkerScratch {
+            call: CallScratch::new(),
+            seed: SeedScratch::new(),
+            batch: SeedBatch::default(),
+            fwd,
+            rev,
+        }
+    }
+}
+
+/// Maps every read through `work` across `workers` threads, preserving read
+/// order in the output.
+///
+/// Workers claim read indices from a shared atomic counter and collect
+/// `(index, result)` pairs locally; the pairs are merged and sorted at the
+/// end, so the result is identical to the serial loop regardless of worker
+/// count or scheduling. `work` receives a worker-local [`WorkerScratch`].
+fn par_map_reads<'a, F>(
+    ctx: &RunContext<'_>,
+    reads: &'a [SimulatedRead],
+    workers: usize,
+    work: F,
+) -> Vec<ReadRun>
+where
+    F: Fn(&mut WorkerScratch, &'a SimulatedRead) -> ReadRun + Sync,
+{
+    let workers = workers.min(reads.len()).max(1);
+    if workers == 1 {
+        let mut scratch = WorkerScratch::new(ctx);
+        return reads.iter().map(|read| work(&mut scratch, read)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, ReadRun)>> = Mutex::new(Vec::with_capacity(reads.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut scratch = WorkerScratch::new(ctx);
+                let mut local: Vec<(usize, ReadRun)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(read) = reads.get(i) else { break };
+                    local.push((i, work(&mut scratch, read)));
+                }
+                collected
+                    .lock()
+                    .expect("worker panicked")
+                    .append(&mut local);
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().expect("worker panicked");
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert!(pairs.len() == reads.len());
+    pairs.into_iter().map(|(_, run)| run).collect()
 }
 
 /// Runs the conventional pipeline (Figure 5a) over a dataset.
 pub fn run_conventional(dataset: &SimulatedDataset, config: &GenPipConfig) -> PipelineRun {
     let ctx = RunContext::new(dataset, config);
-    let reads = dataset
-        .reads
-        .iter()
-        .map(|read| conventional_read(&ctx, read.id, &read.signal.samples))
-        .collect();
-    PipelineRun { config: config.clone(), er: ErMode::None, chunked: false, reads }
+    let reads = par_map_reads(
+        &ctx,
+        &dataset.reads,
+        config.parallelism.workers(),
+        |scratch, read| conventional_read(&ctx, read.id, &read.signal.samples, scratch),
+    );
+    PipelineRun {
+        config: Arc::new(config.clone()),
+        er: ErMode::None,
+        chunked: false,
+        reads,
+    }
 }
 
-fn conventional_read(ctx: &RunContext<'_>, id: u32, samples: &[f32]) -> ReadRun {
+fn conventional_read(
+    ctx: &RunContext<'_>,
+    id: u32,
+    samples: &[f32],
+    scratch: &mut WorkerScratch,
+) -> ReadRun {
     let specs = chunk_boundaries(samples.len(), ctx.samples_per_chunk);
     let mut chunks = Vec::with_capacity(specs.len());
     let mut seq = DnaSeq::new();
     let mut aqs = AqsAccumulator::new();
     let mut carry: Option<CarryState> = None;
     for spec in &specs {
-        let called = ctx.caller.call_chunk(&samples[spec.start..spec.end], carry);
+        let called =
+            ctx.caller
+                .call_chunk_with(&samples[spec.start..spec.end], carry, &mut scratch.call);
         carry = called.carry;
         aqs.add_chunk_sum(called.sqs, called.quals.len());
         chunks.push(ChunkWork {
@@ -317,14 +431,26 @@ fn conventional_read(ctx: &RunContext<'_>, id: u32, samples: &[f32]) -> ReadRun 
         return run; // QC filters the read before mapping.
     }
 
-    let result = ctx.mapper.map(&seq);
+    let result = ctx.mapper.map_with(
+        &seq,
+        &mut scratch.seed,
+        &mut scratch.batch,
+        &mut scratch.fwd,
+        &mut scratch.rev,
+    );
     run.map_counters = result.counters;
     run.best_chain_score = result.best_chain_score;
     run.align_cells = result.counters.align_cells;
-    run.align_query_len = if result.counters.align_cells > 0 { seq.len() } else { 0 };
+    run.align_query_len = if result.counters.align_cells > 0 {
+        seq.len()
+    } else {
+        0
+    };
     run.outcome = match result.mapping {
         Some(m) => ReadOutcome::Mapped(m),
-        None => ReadOutcome::Unmapped { chain_score: result.best_chain_score },
+        None => ReadOutcome::Unmapped {
+            chain_score: result.best_chain_score,
+        },
     };
     run
 }
@@ -332,15 +458,54 @@ fn conventional_read(ctx: &RunContext<'_>, id: u32, samples: &[f32]) -> ReadRun 
 /// Runs GenPIP's chunk-based pipeline (Figure 5b / Figure 6) over a dataset.
 pub fn run_genpip(dataset: &SimulatedDataset, config: &GenPipConfig, er: ErMode) -> PipelineRun {
     let ctx = RunContext::new(dataset, config);
-    let reads = dataset
-        .reads
-        .iter()
-        .map(|read| genpip_read(&ctx, read.id, &read.signal.samples, er))
-        .collect();
-    PipelineRun { config: config.clone(), er, chunked: true, reads }
+    let reads = par_map_reads(
+        &ctx,
+        &dataset.reads,
+        config.parallelism.workers(),
+        |scratch, read| genpip_read(&ctx, read.id, &read.signal.samples, er, scratch),
+    );
+    PipelineRun {
+        config: Arc::new(config.clone()),
+        er,
+        chunked: true,
+        reads,
+    }
 }
 
-fn genpip_read(ctx: &RunContext<'_>, id: u32, samples: &[f32], er: ErMode) -> ReadRun {
+/// Basecalls chunk `idx` of a read (one QSR sample or one sequential step)
+/// and records its work entry.
+#[allow(clippy::too_many_arguments)]
+fn basecall_chunk(
+    ctx: &RunContext<'_>,
+    samples: &[f32],
+    specs: &[genpip_signal::ChunkSpec],
+    idx: usize,
+    carry: Option<CarryState>,
+    called: &mut BTreeMap<usize, BasecalledChunk>,
+    chunks: &mut Vec<ChunkWork>,
+    call_scratch: &mut CallScratch,
+) {
+    let spec = specs[idx];
+    let chunk = ctx
+        .caller
+        .call_chunk_with(&samples[spec.start..spec.end], carry, call_scratch);
+    chunks.push(ChunkWork {
+        index: idx,
+        samples: chunk.stats.samples,
+        mvm_ops: chunk.stats.mvm_ops,
+        bases_called: chunk.bases.len(),
+        ..Default::default()
+    });
+    called.insert(idx, chunk);
+}
+
+fn genpip_read(
+    ctx: &RunContext<'_>,
+    id: u32,
+    samples: &[f32],
+    er: ErMode,
+    scratch: &mut WorkerScratch,
+) -> ReadRun {
     let specs = chunk_boundaries(samples.len(), ctx.samples_per_chunk);
     let total = specs.len();
     let mut run = ReadRun {
@@ -366,28 +531,22 @@ fn genpip_read(ctx: &RunContext<'_>, id: u32, samples: &[f32], er: ErMode) -> Re
 
     // Chunks basecalled so far, by index.
     let mut called: BTreeMap<usize, BasecalledChunk> = BTreeMap::new();
-    let basecall = |idx: usize,
-                        carry: Option<CarryState>,
-                        called: &mut BTreeMap<usize, BasecalledChunk>,
-                        chunks: &mut Vec<ChunkWork>| {
-        let spec = specs[idx];
-        let chunk = ctx.caller.call_chunk(&samples[spec.start..spec.end], carry);
-        chunks.push(ChunkWork {
-            index: idx,
-            samples: chunk.stats.samples,
-            mvm_ops: chunk.stats.mvm_ops,
-            bases_called: chunk.bases.len(),
-            ..Default::default()
-        });
-        called.insert(idx, chunk);
-    };
 
     // ER-QSR phase: basecall the evenly-spaced sample chunks and check their
     // quality (paper Figure 6 ➊➋).
     if er != ErMode::None {
         let sample_idx = qsr_sample_indices(total, ctx.config.n_qs);
         for &idx in &sample_idx {
-            basecall(idx, None, &mut called, &mut run.chunks);
+            basecall_chunk(
+                ctx,
+                samples,
+                &specs,
+                idx,
+                None,
+                &mut called,
+                &mut run.chunks,
+                &mut scratch.call,
+            );
         }
         let sampled: Vec<(f64, usize)> = sample_idx
             .iter()
@@ -399,26 +558,50 @@ fn genpip_read(ctx: &RunContext<'_>, id: u32, samples: &[f32], er: ErMode) -> Re
         let decision = qsr_check(&sampled, ctx.config.theta_qs);
         run.called_len = called.values().map(|c| c.bases.len()).sum();
         if decision.reject {
-            run.outcome = ReadOutcome::RejectedQsr { sampled_aqs: decision.sampled_aqs };
+            run.outcome = ReadOutcome::RejectedQsr {
+                sampled_aqs: decision.sampled_aqs,
+            };
             return run;
         }
     }
 
     // Sequential CP pass: basecall (or reuse) chunks in order; every chunk
     // immediately goes through quality accumulation, seeding, and
-    // incremental chaining.
-    let (mut fwd, mut rev) = ctx.mapper.new_chainers();
+    // incremental chaining. The chainer pair is worker-local and reset per
+    // read, so steady-state chaining reuses its buffers.
+    scratch.fwd.reset();
+    scratch.rev.reset();
+    let (fwd, rev) = (&mut scratch.fwd, &mut scratch.rev);
     let mut seq = DnaSeq::new();
     let mut aqs = AqsAccumulator::new();
     let mut cmr_checked = false;
     for idx in 0..total {
         if !called.contains_key(&idx) {
-            let carry = if idx == 0 { None } else { called[&(idx - 1)].carry };
-            basecall(idx, carry, &mut called, &mut run.chunks);
+            let carry = if idx == 0 {
+                None
+            } else {
+                called[&(idx - 1)].carry
+            };
+            basecall_chunk(
+                ctx,
+                samples,
+                &specs,
+                idx,
+                carry,
+                &mut called,
+                &mut run.chunks,
+                &mut scratch.call,
+            );
         }
         let offset = seq.len() as u32;
         let chunk = &called[&idx];
-        let (batch, n_mins) = ctx.mapper.sketch_and_seed(&chunk.bases, offset);
+        let n_mins = ctx.mapper.sketch_and_seed_into(
+            &chunk.bases,
+            offset,
+            &mut scratch.seed,
+            &mut scratch.batch,
+        );
+        let batch = &scratch.batch;
         let evals_before = fwd.dp_evaluations() + rev.dp_evaluations();
         fwd.extend(&batch.forward);
         rev.extend(&batch.reverse);
@@ -442,7 +625,10 @@ fn genpip_read(ctx: &RunContext<'_>, id: u32, samples: &[f32], er: ErMode) -> Re
         // accumulated chaining score says the read will map (Figure 6 ➍➎).
         // Short reads with ≤ N_cm chunks fall through to the whole-read
         // check instead.
-        if er == ErMode::Full && !cmr_checked && idx + 1 == ctx.config.n_cm && total > ctx.config.n_cm
+        if er == ErMode::Full
+            && !cmr_checked
+            && idx + 1 == ctx.config.n_cm
+            && total > ctx.config.n_cm
         {
             cmr_checked = true;
             let score = fwd.best_score().max(rev.best_score());
@@ -466,14 +652,16 @@ fn genpip_read(ctx: &RunContext<'_>, id: u32, samples: &[f32], er: ErMode) -> Re
         return run;
     }
 
-    let (mapping, best_score, align_cells) = ctx.mapper.finalize_mapping(&seq, &fwd, &rev);
+    let (mapping, best_score, align_cells) = ctx.mapper.finalize_mapping(&seq, fwd, rev);
     run.best_chain_score = best_score;
     run.align_cells = align_cells;
     run.map_counters.align_cells = align_cells;
     run.align_query_len = if align_cells > 0 { seq.len() } else { 0 };
     run.outcome = match mapping {
         Some(m) => ReadOutcome::Mapped(m),
-        None => ReadOutcome::Unmapped { chain_score: best_score },
+        None => ReadOutcome::Unmapped {
+            chain_score: best_score,
+        },
     };
     run
 }
@@ -481,11 +669,53 @@ fn genpip_read(ctx: &RunContext<'_>, id: u32, samples: &[f32], er: ErMode) -> Re
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Parallelism;
     use genpip_datasets::DatasetProfile;
     use genpip_genomics::ReadOrigin;
 
     fn dataset() -> SimulatedDataset {
         DatasetProfile::ecoli().scaled(0.05).generate()
+    }
+
+    #[test]
+    fn parallel_output_is_bit_identical_to_serial_for_every_er_mode() {
+        let d = dataset();
+        let base = GenPipConfig::for_dataset(&d.profile);
+        let serial = base.clone().with_parallelism(Parallelism::Serial);
+        let threads = base.clone().with_parallelism(Parallelism::Threads(4));
+        let auto = base.with_parallelism(Parallelism::Auto);
+        for er in [ErMode::None, ErMode::QsrOnly, ErMode::Full] {
+            let a = run_genpip(&d, &serial, er);
+            let b = run_genpip(&d, &threads, er);
+            let c = run_genpip(&d, &auto, er);
+            assert_eq!(a.reads, b.reads, "serial vs 4 threads, {er:?}");
+            assert_eq!(a.reads, c.reads, "serial vs auto, {er:?}");
+        }
+        let a = run_conventional(&d, &serial);
+        let b = run_conventional(&d, &threads);
+        assert_eq!(a.reads, b.reads, "conventional serial vs 4 threads");
+    }
+
+    #[test]
+    fn worker_scratch_reuse_matches_fresh_scratch_per_read() {
+        // The serial path shares one WorkerScratch across all reads; a
+        // fresh scratch per read must give identical results (scratch is
+        // capacity reuse only, never state carry-over).
+        let d = dataset();
+        let config = GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Serial);
+        let ctx = RunContext::new(&d, &config);
+        let shared = run_genpip(&d, &config, ErMode::Full);
+        for (read, run) in d.reads.iter().zip(&shared.reads) {
+            let mut fresh = WorkerScratch::new(&ctx);
+            let alone = genpip_read(
+                &ctx,
+                read.id,
+                &read.signal.samples,
+                ErMode::Full,
+                &mut fresh,
+            );
+            assert_eq!(&alone, run, "read {}", read.id);
+        }
     }
 
     #[test]
@@ -571,7 +801,10 @@ mod tests {
                 (&a.outcome, &b.outcome),
                 (ReadOutcome::Mapped(_), ReadOutcome::Mapped(_))
                     | (ReadOutcome::Unmapped { .. }, ReadOutcome::Unmapped { .. })
-                    | (ReadOutcome::FilteredQc { .. }, ReadOutcome::FilteredQc { .. })
+                    | (
+                        ReadOutcome::FilteredQc { .. },
+                        ReadOutcome::FilteredQc { .. }
+                    )
             );
             if same {
                 agree += 1;

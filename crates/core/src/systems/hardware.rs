@@ -46,7 +46,10 @@ pub fn evaluate_genpip(
     costs: &SoftwareCosts,
     tech: &PimTech,
 ) -> HardwareEvaluation {
-    assert!(run.chunked, "GenPIP evaluation needs a chunk-granularity run");
+    assert!(
+        run.chunked,
+        "GenPIP evaluation needs a chunk-granularity run"
+    );
     let basecall = BasecallModule::new(*tech);
     let cqs = CqsModule::new(*tech);
     let seeding = SeedingModule::new(*tech);
@@ -65,7 +68,11 @@ pub fn evaluate_genpip(
         for work in &read.chunks {
             let service = vec![
                 basecall.chunk_service(work.samples),
-                if work.samples > 0 { cqs.chunk_service() } else { SimTime::ZERO },
+                if work.samples > 0 {
+                    cqs.chunk_service()
+                } else {
+                    SimTime::ZERO
+                },
                 seeding.chunk_service(work.seed_bases, work.anchors),
                 dp.chain_service(work.anchors),
             ];
@@ -96,7 +103,10 @@ pub fn evaluate_genpip(
         .map(|r| r.chunks.iter().filter(|c| c.samples > 0).count())
         .sum();
     energy.add("pim-cqs", basecall_entries as f64 * cqs.chunk_energy());
-    energy.add("seeding", seeding.chunk_energy(totals.seed_bases, totals.anchors));
+    energy.add(
+        "seeding",
+        seeding.chunk_energy(totals.seed_bases, totals.anchors),
+    );
     energy.add("dp-chain", dp.chain_energy(totals.anchors));
     energy.add("dp-align", dp.align_energy(totals.align_cells));
     // On-chip buffering: raw signal through the read queue, basecalled
@@ -117,7 +127,11 @@ pub fn evaluate_genpip(
         .map(|(s, &u)| (s.name().to_string(), u))
         .collect();
 
-    HardwareEvaluation { time: report.makespan, energy, stage_utilization }
+    HardwareEvaluation {
+        time: report.makespan,
+        energy,
+        stage_utilization,
+    }
 }
 
 /// Evaluates the Helix+PARC baseline on a conventional run.
@@ -131,7 +145,10 @@ pub fn evaluate_pim_baseline(
     tech: &PimTech,
     with_transfers: bool,
 ) -> HardwareEvaluation {
-    assert!(!run.chunked, "the PIM baseline consumes the conventional workload");
+    assert!(
+        !run.chunked,
+        "the PIM baseline consumes the conventional workload"
+    );
     let basecall = BasecallModule::new(*tech);
     let dp = DpModule::new(*tech);
     let totals = run.totals();
@@ -146,7 +163,11 @@ pub fn evaluate_pim_baseline(
         .iter()
         .flat_map(|read| {
             read.chunks.iter().map(move |work| {
-                Job::new(read.id, work.index as u32, vec![basecall.chunk_service(work.samples)])
+                Job::new(
+                    read.id,
+                    work.index as u32,
+                    vec![basecall.chunk_service(work.samples)],
+                )
             })
         })
         .collect();
@@ -170,7 +191,9 @@ pub fn evaluate_pim_baseline(
             Job::new(
                 r.id,
                 0,
-                vec![dp.chain_service(r.map_counters.anchors) + dp.align_service(r.align_query_len)],
+                vec![
+                    dp.chain_service(r.map_counters.anchors) + dp.align_service(r.align_query_len),
+                ],
             )
         })
         .collect();
@@ -212,7 +235,11 @@ pub fn evaluate_pim_baseline(
         );
     }
 
-    HardwareEvaluation { time, energy, stage_utilization: Vec::new() }
+    HardwareEvaluation {
+        time,
+        energy,
+        stage_utilization: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -287,7 +314,11 @@ mod tests {
         let util: std::collections::HashMap<_, _> = cp.stage_utilization.iter().cloned().collect();
         assert!(util["basecall"] > 10.0 * util["seed"]);
         assert!(util["basecall"] > util["dp"]);
-        assert!(util["basecall"] > 0.3, "basecall utilization {}", util["basecall"]);
+        assert!(
+            util["basecall"] > 0.3,
+            "basecall utilization {}",
+            util["basecall"]
+        );
     }
 
     #[test]

@@ -127,7 +127,10 @@ pub struct SystemCosts {
 
 impl Default for SystemCosts {
     fn default() -> SystemCosts {
-        SystemCosts { software: SoftwareCosts::calibrated(), tech: PimTech::paper_32nm() }
+        SystemCosts {
+            software: SoftwareCosts::calibrated(),
+            tech: PimTech::paper_32nm(),
+        }
     }
 }
 
@@ -150,7 +153,11 @@ impl SystemEvaluation {
 }
 
 /// Evaluates one system.
-pub fn evaluate(kind: SystemKind, workloads: &WorkloadSet, costs: &SystemCosts) -> SystemEvaluation {
+pub fn evaluate(
+    kind: SystemKind,
+    workloads: &WorkloadSet,
+    costs: &SystemCosts,
+) -> SystemEvaluation {
     use BasecallDevice::{Cpu, Gpu};
     let (time, energy) = match kind {
         SystemKind::Cpu => {

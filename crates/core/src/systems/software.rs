@@ -108,10 +108,16 @@ pub fn evaluate_software(
     let mut energy = EnergyMeter::new();
     match device {
         BasecallDevice::Cpu => {
-            energy.add("cpu-basecall", phases.t_basecall.as_secs() * costs.p_cpu_busy);
+            energy.add(
+                "cpu-basecall",
+                phases.t_basecall.as_secs() * costs.p_cpu_busy,
+            );
         }
         BasecallDevice::Gpu => {
-            energy.add("gpu-basecall", phases.t_basecall.as_secs() * costs.p_gpu_busy);
+            energy.add(
+                "gpu-basecall",
+                phases.t_basecall.as_secs() * costs.p_gpu_busy,
+            );
             // The GPU idles (but stays powered) while the host maps.
             energy.add(
                 "gpu-idle",
@@ -129,7 +135,11 @@ pub fn evaluate_software(
         "data-movement",
         (totals.raw_bytes + totals.called_bytes) as f64 * costs.link_energy_per_byte,
     );
-    SoftwareEvaluation { time, energy, phases }
+    SoftwareEvaluation {
+        time,
+        energy,
+        phases,
+    }
 }
 
 #[cfg(test)]
@@ -207,7 +217,10 @@ mod tests {
         let cpu = evaluate_software(&conv, &costs, BasecallDevice::Cpu, false);
         let gpu = evaluate_software(&conv, &costs, BasecallDevice::Gpu, false);
         let speedup = cpu.time.as_secs() / gpu.time.as_secs();
-        assert!((2.0..10.0).contains(&speedup), "GPU speedup {speedup}, paper ≈5");
+        assert!(
+            (2.0..10.0).contains(&speedup),
+            "GPU speedup {speedup}, paper ≈5"
+        );
         // GPU system still burns comparable energy (power-hungry device).
         assert!(gpu.energy.total() > 0.2 * cpu.energy.total());
         assert!(gpu.energy.total() < cpu.energy.total());

@@ -34,13 +34,17 @@ pub enum LengthModel {
 impl LengthModel {
     /// Samples one read length, clamped to `min_len`.
     pub fn sample(&self, rng: &mut SeededRng, min_len: usize) -> usize {
-        use rand::Rng;
+        use genpip_genomics::rng::Rng;
         let len = match *self {
             LengthModel::LogNormal { mean, median } => {
                 let (mu, sigma) = rng::log_normal_params(mean, median);
                 rng::log_normal(rng, mu, sigma)
             }
-            LengthModel::ShortTailed { median, spread, short_frac } => {
+            LengthModel::ShortTailed {
+                median,
+                spread,
+                short_frac,
+            } => {
                 if rng.random::<f64>() < short_frac {
                     rng.random_range(min_len as f64..median)
                 } else {
@@ -114,7 +118,10 @@ impl DatasetProfile {
             genome_gc: 0.508, // E. coli K-12 GC content
             repeat_fraction: 0.05,
             n_reads: 700,
-            lengths: LengthModel::LogNormal { mean: 3_000.0, median: 2_880.0 },
+            lengths: LengthModel::LogNormal {
+                mean: 3_000.0,
+                median: 2_880.0,
+            },
             min_read_len: 400,
             low_quality_fraction: 0.205,
             contaminant_fraction: 0.10,
@@ -141,7 +148,11 @@ impl DatasetProfile {
             genome_gc: 0.41, // human GC content
             repeat_fraction: 0.25,
             n_reads: 1_000,
-            lengths: LengthModel::ShortTailed { median: 2_150.0, spread: 300.0, short_frac: 0.32 },
+            lengths: LengthModel::ShortTailed {
+                median: 2_150.0,
+                spread: 300.0,
+                short_frac: 0.32,
+            },
             min_read_len: 400,
             low_quality_fraction: 0.09,
             contaminant_fraction: 0.08,
@@ -164,7 +175,10 @@ impl DatasetProfile {
     ///
     /// Panics unless `0 < factor <= 1`.
     pub fn scaled(mut self, factor: f64) -> DatasetProfile {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0, 1]"
+        );
         self.genome_len = ((self.genome_len as f64 * factor) as usize).max(20_000);
         self.n_reads = ((self.n_reads as f64 * factor) as usize).max(8);
         self
@@ -184,9 +198,14 @@ mod tests {
 
     #[test]
     fn log_normal_lengths_have_right_skew() {
-        let model = LengthModel::LogNormal { mean: 3_000.0, median: 2_880.0 };
+        let model = LengthModel::LogNormal {
+            mean: 3_000.0,
+            median: 2_880.0,
+        };
         let mut rng = seeded(1);
-        let lens: Vec<f64> = (0..20_000).map(|_| model.sample(&mut rng, 100) as f64).collect();
+        let lens: Vec<f64> = (0..20_000)
+            .map(|_| model.sample(&mut rng, 100) as f64)
+            .collect();
         let mean = lens.iter().sum::<f64>() / lens.len() as f64;
         let mut sorted = lens.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -198,9 +217,15 @@ mod tests {
 
     #[test]
     fn short_tailed_lengths_have_left_skew() {
-        let model = LengthModel::ShortTailed { median: 2_050.0, spread: 450.0, short_frac: 0.22 };
+        let model = LengthModel::ShortTailed {
+            median: 2_050.0,
+            spread: 450.0,
+            short_frac: 0.22,
+        };
         let mut rng = seeded(2);
-        let lens: Vec<f64> = (0..20_000).map(|_| model.sample(&mut rng, 400) as f64).collect();
+        let lens: Vec<f64> = (0..20_000)
+            .map(|_| model.sample(&mut rng, 400) as f64)
+            .collect();
         let mean = lens.iter().sum::<f64>() / lens.len() as f64;
         let mut sorted = lens.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -210,7 +235,11 @@ mod tests {
 
     #[test]
     fn min_length_is_respected() {
-        let model = LengthModel::ShortTailed { median: 500.0, spread: 400.0, short_frac: 0.5 };
+        let model = LengthModel::ShortTailed {
+            median: 500.0,
+            spread: 400.0,
+            short_frac: 0.5,
+        };
         let mut rng = seeded(3);
         assert!((0..5_000).all(|_| model.sample(&mut rng, 400) >= 400));
     }

@@ -1,10 +1,10 @@
 //! Dataset generation: genomes, reads, raw signals, ground truth.
 
 use crate::profile::DatasetProfile;
+use genpip_genomics::rng::Rng;
 use genpip_genomics::rng::{self};
 use genpip_genomics::{DnaSeq, ErrorModel, Genome, GenomeBuilder, ReadOrigin};
 use genpip_signal::{NoiseProfile, PoreModel, ReadSignal, SignalSynthesizer};
-use rand::Rng;
 
 /// One simulated read: its raw signal plus everything the oracle needs.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,14 +77,28 @@ impl SimulatedDataset {
             let (truth, origin) = if is_contaminant {
                 let len = len.min(contaminant.len());
                 let start = rng.random_range(0..=contaminant.len() - len);
-                (contaminant.sequence().subseq(start, len), ReadOrigin::Contaminant)
+                (
+                    contaminant.sequence().subseq(start, len),
+                    ReadOrigin::Contaminant,
+                )
             } else {
                 let len = len.min(individual.len());
                 let start = rng.random_range(0..=individual.len() - len);
                 let reverse = rng.random::<bool>();
                 let span = individual.subseq(start, len);
-                let seq = if reverse { span.reverse_complement() } else { span };
-                (seq, ReadOrigin::Reference { start, len, reverse })
+                let seq = if reverse {
+                    span.reverse_complement()
+                } else {
+                    span
+                };
+                (
+                    seq,
+                    ReadOrigin::Reference {
+                        start,
+                        len,
+                        reverse,
+                    },
+                )
             };
 
             let noise_sigma = if is_low_quality {
@@ -105,10 +119,20 @@ impl SimulatedDataset {
                 &noise,
                 profile.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             );
-            reads.push(SimulatedRead { id, signal, origin, noise_sigma });
+            reads.push(SimulatedRead {
+                id,
+                signal,
+                origin,
+                noise_sigma,
+            });
         }
 
-        SimulatedDataset { profile: profile.clone(), reference, reads, synth }
+        SimulatedDataset {
+            profile: profile.clone(),
+            reference,
+            reads,
+            synth,
+        }
     }
 
     /// The pore model the signals were generated with (and the basecaller
@@ -143,7 +167,10 @@ impl SimulatedDataset {
 
     /// The ground-truth fraction of low-quality reads.
     pub fn low_quality_fraction_truth(&self) -> f64 {
-        self.reads.iter().filter(|r| r.is_low_quality_truth()).count() as f64
+        self.reads
+            .iter()
+            .filter(|r| r.is_low_quality_truth())
+            .count() as f64
             / self.reads.len().max(1) as f64
     }
 
@@ -190,8 +217,14 @@ mod tests {
         let d = SimulatedDataset::generate(&p);
         let cont = d.contaminant_fraction_truth();
         let lq = d.low_quality_fraction_truth();
-        assert!((cont - p.contaminant_fraction).abs() < 0.05, "contaminant {cont}");
-        assert!((lq - p.low_quality_fraction).abs() < 0.06, "low quality {lq}");
+        assert!(
+            (cont - p.contaminant_fraction).abs() < 0.05,
+            "contaminant {cont}"
+        );
+        assert!(
+            (lq - p.low_quality_fraction).abs() < 0.06,
+            "low quality {lq}"
+        );
     }
 
     #[test]

@@ -96,7 +96,10 @@ pub fn read_fasta<R: BufRead>(r: R) -> Result<Genome, ParseFastxError> {
             }
             for c in line.chars() {
                 seq.push(crate::base::Base::try_from(c).map_err(|e| {
-                    ParseFastxError::Malformed { line: idx + 1, reason: e.to_string() }
+                    ParseFastxError::Malformed {
+                        line: idx + 1,
+                        reason: e.to_string(),
+                    }
                 })?);
             }
         }
@@ -162,9 +165,16 @@ pub fn read_fastq<R: BufRead>(r: R) -> Result<ReadSet, ParseFastxError> {
         let (_, _plus) = take("'+' separator")?;
         let (qual_line_no, qual_line) = take("quality line")?;
 
-        let seq: DnaSeq = seq_line.trim_end().parse().map_err(|e: crate::base::ParseBaseError| {
-            ParseFastxError::Malformed { line: seq_line_no + 1, reason: e.to_string() }
-        })?;
+        let seq: DnaSeq =
+            seq_line
+                .trim_end()
+                .parse()
+                .map_err(
+                    |e: crate::base::ParseBaseError| ParseFastxError::Malformed {
+                        line: seq_line_no + 1,
+                        reason: e.to_string(),
+                    },
+                )?;
         let mut quals = Vec::with_capacity(seq.len());
         for c in qual_line.trim_end().chars() {
             quals.push(Phred::from_fastq_char(c).ok_or(ParseFastxError::Malformed {
@@ -186,7 +196,11 @@ pub fn read_fastq<R: BufRead>(r: R) -> Result<ReadSet, ParseFastxError> {
             next_id,
             seq,
             quals,
-            ReadOrigin::Reference { start: 0, len: 0, reverse: false },
+            ReadOrigin::Reference {
+                start: 0,
+                len: 0,
+                reverse: false,
+            },
         ));
         next_id += 1;
     }
@@ -234,7 +248,11 @@ mod tests {
             0,
             seq.clone(),
             quals.clone(),
-            ReadOrigin::Reference { start: 0, len: 0, reverse: false },
+            ReadOrigin::Reference {
+                start: 0,
+                len: 0,
+                reverse: false,
+            },
         ));
         let mut buf = Vec::new();
         write_fastq(&mut buf, &reads).unwrap();

@@ -13,9 +13,9 @@
 //!   configurable GC fraction so minimizer densities resemble real data.
 
 use crate::base::Base;
+use crate::rng::Rng;
 use crate::rng::{self, SeededRng};
 use crate::seq::DnaSeq;
-use rand::Rng;
 use std::fmt;
 
 /// A reference genome: a named sequence.
@@ -28,7 +28,10 @@ pub struct Genome {
 impl Genome {
     /// Wraps an existing sequence as a genome.
     pub fn from_seq(name: impl Into<String>, seq: DnaSeq) -> Genome {
-        Genome { name: name.into(), seq }
+        Genome {
+            name: name.into(),
+            seq,
+        }
     }
 
     /// The genome's name (e.g. `"synthetic-ecoli"`).
@@ -123,7 +126,10 @@ impl GenomeBuilder {
     ///
     /// Panics if outside `[0, 0.9]`.
     pub fn repeat_fraction(mut self, f: f64) -> GenomeBuilder {
-        assert!((0.0..=0.9).contains(&f), "repeat fraction must be in [0, 0.9]");
+        assert!(
+            (0.0..=0.9).contains(&f),
+            "repeat fraction must be in [0, 0.9]"
+        );
         self.repeat_fraction = f;
         self
     }
@@ -164,10 +170,15 @@ impl GenomeBuilder {
             if insert_repeat {
                 self.copy_repeat(&mut rng, &mut seq, remaining);
             } else {
-                seq.push(Base::from_code(rng::weighted_index(&mut rng, &weights) as u8));
+                seq.push(Base::from_code(
+                    rng::weighted_index(&mut rng, &weights) as u8
+                ));
             }
         }
-        Genome { name: self.name.clone(), seq }
+        Genome {
+            name: self.name.clone(),
+            seq,
+        }
     }
 
     /// Probability per emitted base of starting a repeat copy, chosen so the

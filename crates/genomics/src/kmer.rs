@@ -46,7 +46,10 @@ impl Kmer {
         for &b in bases {
             bits = (bits << 2) | b.code() as u64;
         }
-        Kmer { bits, k: bases.len() as u8 }
+        Kmer {
+            bits,
+            k: bases.len() as u8,
+        }
     }
 
     /// Builds a k-mer from the first `k` bases at `offset` in `seq`.
@@ -56,7 +59,11 @@ impl Kmer {
     /// Panics if the window `[offset, offset + k)` is out of bounds or `k` is
     /// invalid.
     pub fn from_seq(seq: &DnaSeq, offset: usize, k: usize) -> Kmer {
-        assert!((1..=Kmer::MAX_K).contains(&k), "k must be in 1..={}", Kmer::MAX_K);
+        assert!(
+            (1..=Kmer::MAX_K).contains(&k),
+            "k must be in 1..={}",
+            Kmer::MAX_K
+        );
         assert!(offset + k <= seq.len(), "k-mer window out of bounds");
         let mut bits = 0u64;
         for i in 0..k {
@@ -71,8 +78,15 @@ impl Kmer {
     ///
     /// Panics if `k` is 0 or exceeds [`Kmer::MAX_K`].
     pub fn from_bits(bits: u64, k: usize) -> Kmer {
-        assert!((1..=Kmer::MAX_K).contains(&k), "k must be in 1..={}", Kmer::MAX_K);
-        Kmer { bits: bits & mask(k), k: k as u8 }
+        assert!(
+            (1..=Kmer::MAX_K).contains(&k),
+            "k must be in 1..={}",
+            Kmer::MAX_K
+        );
+        Kmer {
+            bits: bits & mask(k),
+            k: k as u8,
+        }
     }
 
     /// The k-mer length.
@@ -173,8 +187,17 @@ impl<'a> KmerIter<'a> {
     ///
     /// Panics if `k` is 0 or exceeds [`Kmer::MAX_K`].
     pub fn new(seq: &'a DnaSeq, k: usize) -> KmerIter<'a> {
-        assert!((1..=Kmer::MAX_K).contains(&k), "k must be in 1..={}", Kmer::MAX_K);
-        KmerIter { seq, k, offset: 0, current: None }
+        assert!(
+            (1..=Kmer::MAX_K).contains(&k),
+            "k must be in 1..={}",
+            Kmer::MAX_K
+        );
+        KmerIter {
+            seq,
+            k,
+            offset: 0,
+            current: None,
+        }
     }
 }
 

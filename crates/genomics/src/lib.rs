@@ -12,9 +12,9 @@
 //! * [`Genome`] and [`GenomeBuilder`] — synthetic reference genomes with
 //!   repeats, used in place of the paper's E. coli / human references,
 //! * [`ErrorModel`] — a nanopore-style substitution/insertion/deletion model,
-//! * [`rng`] — deterministic random sampling helpers (normal, log-normal)
-//!   implemented on top of `rand` so the whole pipeline is reproducible from a
-//!   single seed.
+//! * [`rng`] — self-contained deterministic random sampling (normal,
+//!   log-normal) so the whole pipeline is reproducible from a single seed
+//!   with no external dependencies.
 //!
 //! # Example
 //!

@@ -7,9 +7,9 @@
 //! sequence an imperfect basecaller would emit and to know the ground truth.
 
 use crate::base::Base;
+use crate::rng::Rng;
 use crate::rng::SeededRng;
 use crate::seq::DnaSeq;
-use rand::Rng;
 
 /// One edit applied by the error model, in true-sequence coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,7 +68,11 @@ pub struct ErrorModel {
 impl ErrorModel {
     /// A perfect (error-free) model.
     pub fn perfect() -> ErrorModel {
-        ErrorModel { substitution: 0.0, insertion: 0.0, deletion: 0.0 }
+        ErrorModel {
+            substitution: 0.0,
+            insertion: 0.0,
+            deletion: 0.0,
+        }
     }
 
     /// Splits `total` across the three error classes with the ONT-like
@@ -78,7 +82,10 @@ impl ErrorModel {
     ///
     /// Panics if `total` is outside `[0, 0.9]`.
     pub fn with_total_rate(total: f64) -> ErrorModel {
-        assert!((0.0..=0.9).contains(&total), "total error rate must be in [0, 0.9]");
+        assert!(
+            (0.0..=0.9).contains(&total),
+            "total error rate must be in [0, 0.9]"
+        );
         ErrorModel {
             substitution: total * 0.5,
             insertion: total * 0.25,
@@ -134,7 +141,9 @@ mod tests {
 
     fn truth(n: usize) -> DnaSeq {
         let mut rng = seeded(99);
-        (0..n).map(|_| Base::from_code(rng.random_range(0..4u8))).collect()
+        (0..n)
+            .map(|_| Base::from_code(rng.random_range(0..4u8)))
+            .collect()
     }
 
     #[test]
@@ -162,9 +171,18 @@ mod tests {
         let model = ErrorModel::with_total_rate(0.2);
         let mut rng = seeded(3);
         let (_, ops) = model.apply(&t, &mut rng);
-        let subs = ops.iter().filter(|o| matches!(o, MutationOp::Substitution { .. })).count();
-        let ins = ops.iter().filter(|o| matches!(o, MutationOp::Insertion { .. })).count();
-        let dels = ops.iter().filter(|o| matches!(o, MutationOp::Deletion { .. })).count();
+        let subs = ops
+            .iter()
+            .filter(|o| matches!(o, MutationOp::Substitution { .. }))
+            .count();
+        let ins = ops
+            .iter()
+            .filter(|o| matches!(o, MutationOp::Insertion { .. }))
+            .count();
+        let dels = ops
+            .iter()
+            .filter(|o| matches!(o, MutationOp::Deletion { .. }))
+            .count();
         let total = ops.len() as f64;
         assert!((subs as f64 / total - 0.5).abs() < 0.05);
         assert!((ins as f64 / total - 0.25).abs() < 0.05);
@@ -174,7 +192,11 @@ mod tests {
     #[test]
     fn substitutions_never_reproduce_the_original() {
         let t = truth(20_000);
-        let model = ErrorModel { substitution: 0.3, insertion: 0.0, deletion: 0.0 };
+        let model = ErrorModel {
+            substitution: 0.3,
+            insertion: 0.0,
+            deletion: 0.0,
+        };
         let mut rng = seeded(4);
         let (_, ops) = model.apply(&t, &mut rng);
         for op in ops {
@@ -190,8 +212,14 @@ mod tests {
         let model = ErrorModel::default();
         let mut rng = seeded(5);
         let (obs, ops) = model.apply(&t, &mut rng);
-        let ins = ops.iter().filter(|o| matches!(o, MutationOp::Insertion { .. })).count();
-        let dels = ops.iter().filter(|o| matches!(o, MutationOp::Deletion { .. })).count();
+        let ins = ops
+            .iter()
+            .filter(|o| matches!(o, MutationOp::Insertion { .. }))
+            .count();
+        let dels = ops
+            .iter()
+            .filter(|o| matches!(o, MutationOp::Deletion { .. }))
+            .count();
         assert_eq!(obs.len(), t.len() + ins - dels);
     }
 

@@ -198,7 +198,10 @@ mod tests {
             for chunk in quals.chunks(chunk_size) {
                 acc.add_chunk(chunk);
             }
-            assert!((acc.average() - whole).abs() < 1e-12, "chunk size {chunk_size}");
+            assert!(
+                (acc.average() - whole).abs() < 1e-12,
+                "chunk size {chunk_size}"
+            );
             assert_eq!(acc.bases(), quals.len());
         }
     }

@@ -60,7 +60,12 @@ impl Read {
             quals.len(),
             "sequence and quality lengths must match"
         );
-        Read { id, seq, quals, origin }
+        Read {
+            id,
+            seq,
+            quals,
+            origin,
+        }
     }
 
     /// Read length in bases.
@@ -143,7 +148,9 @@ impl ReadSet {
 
 impl FromIterator<Read> for ReadSet {
     fn from_iter<I: IntoIterator<Item = Read>>(iter: I) -> ReadSet {
-        ReadSet { reads: iter.into_iter().collect() }
+        ReadSet {
+            reads: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -182,7 +189,11 @@ mod tests {
             id,
             seq,
             quals,
-            ReadOrigin::Reference { start: 0, len: 4, reverse: false },
+            ReadOrigin::Reference {
+                start: 0,
+                len: 4,
+                reverse: false,
+            },
         )
     }
 
@@ -197,12 +208,7 @@ mod tests {
     #[should_panic(expected = "lengths must match")]
     fn mismatched_quals_panic() {
         let seq: DnaSeq = "ACGT".parse().unwrap();
-        let _ = Read::new(
-            0,
-            seq,
-            vec![Phred(1.0)],
-            ReadOrigin::Contaminant,
-        );
+        let _ = Read::new(0, seq, vec![Phred(1.0)], ReadOrigin::Contaminant);
     }
 
     #[test]
@@ -215,7 +221,12 @@ mod tests {
 
     #[test]
     fn origin_classification() {
-        assert!(ReadOrigin::Reference { start: 0, len: 1, reverse: false }.is_reference());
+        assert!(ReadOrigin::Reference {
+            start: 0,
+            len: 1,
+            reverse: false
+        }
+        .is_reference());
         assert!(!ReadOrigin::Contaminant.is_reference());
     }
 

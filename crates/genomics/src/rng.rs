@@ -1,20 +1,210 @@
 //! Deterministic random sampling helpers.
 //!
 //! Everything in this workspace must be reproducible from a single seed so
-//! that experiments regenerate identically. All randomness flows through
-//! [`SeededRng`] (a ChaCha8 stream cipher RNG) and the distribution samplers
-//! here; no crate calls `rand::rng()` (the OS-seeded thread RNG).
+//! that experiments regenerate identically, and the workspace must build
+//! offline with no external dependencies. All randomness therefore flows
+//! through the self-contained [`SeededRng`] (a splitmix64-seeded
+//! xoshiro256++ generator) and the distribution samplers here; no crate
+//! consults OS entropy.
 //!
-//! The normal and log-normal samplers are implemented via Box–Muller rather
-//! than pulling in `rand_distr`, keeping the dependency set to the
-//! offline-approved list.
+//! The [`Rng`] trait mirrors the small slice of the `rand` API the
+//! workspace uses (`random::<T>()`, `random_range(..)`), so call sites read
+//! identically to idiomatic `rand` code. The normal and log-normal samplers
+//! are implemented via Box–Muller.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use std::ops::{Range, RangeInclusive};
 
-/// The deterministic RNG used throughout the workspace.
-pub type SeededRng = ChaCha8Rng;
+/// The small generator interface every sampler in the workspace builds on.
+///
+/// Implementors only provide [`Rng::next_u64`]; `random` and `random_range`
+/// are derived.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a uniformly distributed value of a primitive type: floats in
+    /// `[0, 1)`, integers over their full range, `bool` as a fair coin.
+    fn random<T: SampleStandard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (`a..b`) or inclusive range (`a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_in(self)
+    }
+}
+
+/// Types [`Rng::random`] can produce.
+pub trait SampleStandard {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl SampleStandard for u8 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl SampleStandard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges [`Rng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draws one value from `rng` uniformly within the range.
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Maps 64 random bits onto `0..span` without modulo bias worth caring
+/// about (widening-multiply method; bias is O(span / 2⁶⁴)).
+#[inline]
+fn bounded(bits: u64, span: u64) -> u64 {
+    ((bits as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + bounded(rng.next_u64(), span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + bounded(rng.next_u64(), span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(bounded(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded(rng.next_u64(), span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_ranges!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit: $t = rng.random();
+                let v = self.start + (self.end - self.start) * unit;
+                // `unit` < 1, but the multiply can round up to `end`; clamp
+                // to keep the half-open contract.
+                if v < self.end {
+                    v
+                } else {
+                    self.end.next_down()
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_ranges!(f32, f64);
+
+/// The deterministic RNG used throughout the workspace: xoshiro256++
+/// (Blackman & Vigna), seeded by splitmix64 expansion of a `u64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeededRng {
+    s: [u64; 4],
+}
+
+impl Rng for SeededRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// One splitmix64 step — the recommended seeder for xoshiro state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Creates a [`SeededRng`] from a `u64` seed.
 ///
@@ -28,7 +218,14 @@ pub type SeededRng = ChaCha8Rng;
 /// assert_eq!(normal(&mut a, 0.0, 1.0), normal(&mut b, 0.0, 1.0));
 /// ```
 pub fn seeded(seed: u64) -> SeededRng {
-    ChaCha8Rng::seed_from_u64(seed)
+    let mut sm = seed;
+    let s = [
+        splitmix64(&mut sm),
+        splitmix64(&mut sm),
+        splitmix64(&mut sm),
+        splitmix64(&mut sm),
+    ];
+    SeededRng { s }
 }
 
 /// Derives an independent child RNG from a parent seed and a stream label.
@@ -139,6 +336,47 @@ mod tests {
         let xs: Vec<u64> = (0..4).map(|_| a.random()).collect();
         let ys: Vec<u64> = (0..4).map(|_| b.random()).collect();
         assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = seeded(9);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = seeded(10);
+        for _ in 0..10_000 {
+            assert!((0..4u8).contains(&rng.random_range(0..4u8)));
+            assert!((1..4u8).contains(&rng.random_range(1..4u8)));
+            let v = rng.random_range(10..=20usize);
+            assert!((10..=20).contains(&v));
+            let f = rng.random_range(2.0f64..5.0);
+            assert!((2.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_all_values() {
+        let mut rng = seeded(11);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..4u8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut rng = seeded(12);
+        let _ = rng.random_range(5..5u32);
     }
 
     #[test]

@@ -82,7 +82,11 @@ impl DnaSeq {
     /// Panics if `index >= self.len()`.
     #[inline]
     pub fn get(&self, index: usize) -> Base {
-        assert!(index < self.len, "index {index} out of bounds (len {})", self.len);
+        assert!(
+            index < self.len,
+            "index {index} out of bounds (len {})",
+            self.len
+        );
         let byte = self.packed[index >> 2];
         Base::from_code(byte >> ((index & 3) * 2))
     }
@@ -94,7 +98,11 @@ impl DnaSeq {
     /// Panics if `index >= self.len()`.
     #[inline]
     pub fn set(&mut self, index: usize, base: Base) {
-        assert!(index < self.len, "index {index} out of bounds (len {})", self.len);
+        assert!(
+            index < self.len,
+            "index {index} out of bounds (len {})",
+            self.len
+        );
         let shift = (index & 3) * 2;
         let byte = &mut self.packed[index >> 2];
         *byte = (*byte & !(0b11 << shift)) | (base.code() << shift);
@@ -102,7 +110,10 @@ impl DnaSeq {
 
     /// Iterates over the bases.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { seq: self, index: 0 }
+        Iter {
+            seq: self,
+            index: 0,
+        }
     }
 
     /// Copies `len` bases starting at `start` into a new sequence.
@@ -162,12 +173,7 @@ impl fmt::Debug for DnaSeq {
         if self.len <= 40 {
             write!(f, "DnaSeq({self})")
         } else {
-            write!(
-                f,
-                "DnaSeq(len={}, {}…)",
-                self.len,
-                self.subseq(0, 24)
-            )
+            write!(f, "DnaSeq(len={}, {}…)", self.len, self.subseq(0, 24))
         }
     }
 }

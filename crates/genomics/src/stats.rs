@@ -99,7 +99,11 @@ mod tests {
             id,
             seq,
             vec![Phred(q); len],
-            ReadOrigin::Reference { start: 0, len, reverse: false },
+            ReadOrigin::Reference {
+                start: 0,
+                len,
+                reverse: false,
+            },
         )
     }
 
@@ -111,9 +115,13 @@ mod tests {
 
     #[test]
     fn stats_on_known_set() {
-        let reads: ReadSet = vec![read_of(0, 100, 8.0), read_of(1, 200, 10.0), read_of(2, 600, 12.0)]
-            .into_iter()
-            .collect();
+        let reads: ReadSet = vec![
+            read_of(0, 100, 8.0),
+            read_of(1, 200, 10.0),
+            read_of(2, 600, 12.0),
+        ]
+        .into_iter()
+        .collect();
         let stats = ReadSetStats::of(&reads);
         assert_eq!(stats.number_of_reads, 3);
         assert_eq!(stats.total_bases, 900);

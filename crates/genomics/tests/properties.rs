@@ -1,108 +1,160 @@
-//! Property-based tests of the genomics primitives.
+//! Randomized property tests of the genomics primitives.
+//!
+//! Each test replays the same invariant over many seeded random cases using
+//! the workspace's own deterministic RNG (no external property-testing
+//! dependency; the workspace builds offline).
 
+use genpip_genomics::rng::{seeded, Rng, SeededRng};
 use genpip_genomics::{Base, DnaSeq, Kmer, KmerIter};
-use proptest::prelude::*;
 
-fn arb_dna(range: std::ops::Range<usize>) -> impl Strategy<Value = DnaSeq> {
-    proptest::collection::vec(0u8..4, range)
-        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+const CASES: u64 = 128;
+
+fn arb_dna(rng: &mut SeededRng, min: usize, max: usize) -> DnaSeq {
+    let len = rng.random_range(min..max.max(min + 1));
+    (0..len)
+        .map(|_| Base::from_code(rng.random_range(0..4u8)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn packing_round_trips_through_strings(seq in arb_dna(0..200)) {
+#[test]
+fn packing_round_trips_through_strings() {
+    for case in 0..CASES {
+        let mut rng = seeded(0x5712 ^ case);
+        let seq = arb_dna(&mut rng, 0, 200);
         let text = seq.to_string();
         let parsed: DnaSeq = text.parse().unwrap();
-        prop_assert_eq!(parsed, seq);
+        assert_eq!(parsed, seq);
     }
+}
 
-    #[test]
-    fn set_then_get_is_identity(seq in arb_dna(1..150), idx in 0usize..150, code in 0u8..4) {
-        let mut seq = seq;
-        let idx = idx % seq.len();
-        let base = Base::from_code(code);
+#[test]
+fn set_then_get_is_identity() {
+    for case in 0..CASES {
+        let mut rng = seeded(0x5E7 ^ case);
+        let mut seq = arb_dna(&mut rng, 1, 150);
+        let idx = rng.random_range(0..150usize) % seq.len();
+        let base = Base::from_code(rng.random_range(0..4u8));
         seq.set(idx, base);
-        prop_assert_eq!(seq.get(idx), base);
+        assert_eq!(seq.get(idx), base);
     }
+}
 
-    #[test]
-    fn subseq_indexing_agrees_with_parent(seq in arb_dna(1..200), start in 0usize..200, len in 0usize..200) {
-        let start = start % seq.len();
-        let len = len.min(seq.len() - start);
+#[test]
+fn subseq_indexing_agrees_with_parent() {
+    for case in 0..CASES {
+        let mut rng = seeded(0x50B ^ case);
+        let seq = arb_dna(&mut rng, 1, 200);
+        let start = rng.random_range(0..200usize) % seq.len();
+        let len = rng.random_range(0..200usize).min(seq.len() - start);
         let sub = seq.subseq(start, len);
         for i in 0..len {
-            prop_assert_eq!(sub.get(i), seq.get(start + i));
+            assert_eq!(sub.get(i), seq.get(start + i));
         }
     }
+}
 
-    #[test]
-    fn reverse_complement_reverses_gc_content(seq in arb_dna(1..300)) {
+#[test]
+fn reverse_complement_reverses_gc_content() {
+    for case in 0..CASES {
+        let mut rng = seeded(0x6C ^ case);
+        let seq = arb_dna(&mut rng, 1, 300);
         let rc = seq.reverse_complement();
         // GC count is strand-invariant (G↔C, A↔T).
         let gc: usize = seq.iter().filter(|b| b.is_gc()).count();
         let gc_rc: usize = rc.iter().filter(|b| b.is_gc()).count();
-        prop_assert_eq!(gc, gc_rc);
-        prop_assert_eq!(rc.len(), seq.len());
+        assert_eq!(gc, gc_rc);
+        assert_eq!(rc.len(), seq.len());
     }
+}
 
-    #[test]
-    fn packed_bytes_is_minimal(seq in arb_dna(0..300)) {
-        prop_assert_eq!(seq.packed_bytes(), seq.len().div_ceil(4));
+#[test]
+fn packed_bytes_is_minimal() {
+    for case in 0..CASES {
+        let mut rng = seeded(0xBB ^ case);
+        let seq = arb_dna(&mut rng, 0, 300);
+        assert_eq!(seq.packed_bytes(), seq.len().div_ceil(4));
     }
+}
 
-    #[test]
-    fn canonical_kmer_is_strand_invariant(seq in arb_dna(12..64)) {
+#[test]
+fn canonical_kmer_is_strand_invariant() {
+    for case in 0..CASES {
+        let mut rng = seeded(0xCA ^ case);
+        let seq = arb_dna(&mut rng, 12, 64);
         let k = 9;
         let rc = seq.reverse_complement();
         // The k-mer at offset o on the forward strand occupies offset
         // len - k - o on the reverse strand.
         for (o, kmer) in KmerIter::new(&seq, k) {
             let mirror = Kmer::from_seq(&rc, seq.len() - k - o, k);
-            prop_assert_eq!(kmer.canonical(), mirror.canonical());
+            assert_eq!(kmer.canonical(), mirror.canonical());
         }
     }
+}
 
-    #[test]
-    fn kmer_bits_round_trip(seq in arb_dna(10..40)) {
+#[test]
+fn kmer_bits_round_trip() {
+    for case in 0..CASES {
+        let mut rng = seeded(0xB175 ^ case);
+        let seq = arb_dna(&mut rng, 10, 40);
         let k = 7;
         for (_, kmer) in KmerIter::new(&seq, k) {
             let rebuilt = Kmer::from_bits(kmer.bits(), k);
-            prop_assert_eq!(rebuilt, kmer);
-            prop_assert_eq!(rebuilt.to_string(), kmer.to_string());
+            assert_eq!(rebuilt, kmer);
+            assert_eq!(rebuilt.to_string(), kmer.to_string());
         }
     }
+}
 
-    #[test]
-    fn fastq_round_trip_preserves_reads(seq in arb_dna(1..120), q in 0u8..60) {
-        use genpip_genomics::fastx::{read_fastq, write_fastq};
-        use genpip_genomics::quality::Phred;
-        use genpip_genomics::{Read, ReadOrigin, ReadSet};
+#[test]
+fn fastq_round_trip_preserves_reads() {
+    use genpip_genomics::fastx::{read_fastq, write_fastq};
+    use genpip_genomics::quality::Phred;
+    use genpip_genomics::{Read, ReadOrigin, ReadSet};
+    for case in 0..CASES {
+        let mut rng = seeded(0xFA57 ^ case);
+        let seq = arb_dna(&mut rng, 1, 120);
+        let q = rng.random_range(0..60u8);
         let quals = vec![Phred(q as f32); seq.len()];
         let mut set = ReadSet::new();
-        set.push(Read::new(0, seq.clone(), quals.clone(),
-            ReadOrigin::Reference { start: 0, len: 0, reverse: false }));
+        set.push(Read::new(
+            0,
+            seq.clone(),
+            quals.clone(),
+            ReadOrigin::Reference {
+                start: 0,
+                len: 0,
+                reverse: false,
+            },
+        ));
         let mut buf = Vec::new();
         write_fastq(&mut buf, &set).unwrap();
         let parsed = read_fastq(buf.as_slice()).unwrap();
-        prop_assert_eq!(&parsed.get(0).unwrap().seq, &seq);
-        prop_assert_eq!(&parsed.get(0).unwrap().quals, &quals);
+        assert_eq!(&parsed.get(0).unwrap().seq, &seq);
+        assert_eq!(&parsed.get(0).unwrap().quals, &quals);
     }
+}
 
-    #[test]
-    fn error_model_rates_bound_edit_count(total_rate in 0.0f64..0.5, seed in 0u64..50) {
-        use genpip_genomics::rng::seeded;
-        use genpip_genomics::ErrorModel;
-        let truth: DnaSeq = (0..2_000u32).map(|i| Base::from_code((i % 4) as u8)).collect();
+#[test]
+fn error_model_rates_bound_edit_count() {
+    use genpip_genomics::ErrorModel;
+    for case in 0..50 {
+        let mut rng = seeded(0xE44 ^ case);
+        let total_rate = rng.random_range(0.0f64..0.5);
+        let truth: DnaSeq = (0..2_000u32)
+            .map(|i| Base::from_code((i % 4) as u8))
+            .collect();
         let model = ErrorModel::with_total_rate(total_rate);
-        let mut rng = seeded(seed);
-        let (_, ops) = model.apply(&truth, &mut rng);
+        let mut apply_rng = seeded(case);
+        let (_, ops) = model.apply(&truth, &mut apply_rng);
         // Insertions are at most one per base plus one more draw each, so
         // the op count is bounded by 2 per base; with realistic rates it
         // stays near rate × len.
-        prop_assert!(ops.len() <= 2 * truth.len());
+        assert!(ops.len() <= 2 * truth.len());
         let rate = ops.len() as f64 / truth.len() as f64;
-        prop_assert!(rate <= 2.5 * total_rate + 0.02, "rate {} for target {}", rate, total_rate);
+        assert!(
+            rate <= 2.5 * total_rate + 0.02,
+            "rate {rate} for target {total_rate}"
+        );
     }
 }

@@ -28,7 +28,12 @@ pub struct AlignmentParams {
 
 impl Default for AlignmentParams {
     fn default() -> AlignmentParams {
-        AlignmentParams { match_score: 2, mismatch: -4, gap_open: -4, gap_extend: -2 }
+        AlignmentParams {
+            match_score: 2,
+            mismatch: -4,
+            gap_open: -4,
+            gap_extend: -2,
+        }
     }
 }
 
@@ -213,7 +218,11 @@ pub fn banded_global(
             // H: diagonal, or close a gap.
             let diag_ok = j >= 1 && (prev_lo..=prev_hi).contains(&(j - 1));
             let diag = if diag_ok {
-                let s = if q[i - 1] == r[j - 1] { params.match_score } else { params.mismatch };
+                let s = if q[i - 1] == r[j - 1] {
+                    params.match_score
+                } else {
+                    params.mismatch
+                };
                 h_prev[j - 1] + s
             } else {
                 NEG
@@ -302,15 +311,21 @@ pub fn banded_global(
         })
         .collect();
 
-    Alignment { score, cigar, matches, columns, cells }
+    Alignment {
+        score,
+        cigar,
+        matches,
+        columns,
+        cells,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use genpip_genomics::rng::seeded;
+    use genpip_genomics::rng::Rng;
     use genpip_genomics::{ErrorModel, GenomeBuilder};
-    use rand::Rng;
 
     fn seq(s: &str) -> DnaSeq {
         s.parse().unwrap()
@@ -332,11 +347,15 @@ mod tests {
             ix[i][0] = p.gap_open + p.gap_extend * i as i32;
             h[i][0] = ix[i][0];
             for j in 1..=m {
-                ix[i][j] = (h[i - 1][j] + p.gap_open + p.gap_extend)
-                    .max(ix[i - 1][j] + p.gap_extend);
-                iy[i][j] = (h[i][j - 1] + p.gap_open + p.gap_extend)
-                    .max(iy[i][j - 1] + p.gap_extend);
-                let s = if q.get(i - 1) == r.get(j - 1) { p.match_score } else { p.mismatch };
+                ix[i][j] =
+                    (h[i - 1][j] + p.gap_open + p.gap_extend).max(ix[i - 1][j] + p.gap_extend);
+                iy[i][j] =
+                    (h[i][j - 1] + p.gap_open + p.gap_extend).max(iy[i][j - 1] + p.gap_extend);
+                let s = if q.get(i - 1) == r.get(j - 1) {
+                    p.match_score
+                } else {
+                    p.mismatch
+                };
                 h[i][j] = (h[i - 1][j - 1] + s).max(ix[i][j]).max(iy[i][j]);
             }
         }
@@ -409,7 +428,10 @@ mod tests {
             })
             .collect();
         assert_eq!(dels, vec![4]);
-        assert_eq!(aln.score, 12 * p.match_score + p.gap_open + 4 * p.gap_extend);
+        assert_eq!(
+            aln.score,
+            12 * p.match_score + p.gap_open + 4 * p.gap_extend
+        );
     }
 
     #[test]
@@ -432,8 +454,12 @@ mod tests {
         let p = AlignmentParams::default();
         let mut rng = seeded(7);
         for trial in 0..25 {
-            let n = rng.random_range(5..120);
-            let truth = GenomeBuilder::new(n).seed(trial as u64).build().sequence().clone();
+            let n = rng.random_range(5..120usize);
+            let truth = GenomeBuilder::new(n)
+                .seed(trial as u64)
+                .build()
+                .sequence()
+                .clone();
             let (obs, _) = ErrorModel::with_total_rate(0.2).apply(&truth, &mut rng);
             let banded = banded_global(&obs, &truth, &p, 0, 48.max(n / 2));
             let full = full_gotoh_score(&obs, &truth, &p);
@@ -459,7 +485,11 @@ mod tests {
             match op {
                 CigarOp::Match(l) => {
                     for _ in 0..*l {
-                        score += if obs.get(qi) == truth.get(ri) { p.match_score } else { p.mismatch };
+                        score += if obs.get(qi) == truth.get(ri) {
+                            p.match_score
+                        } else {
+                            p.mismatch
+                        };
                         qi += 1;
                         ri += 1;
                     }

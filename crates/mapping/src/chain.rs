@@ -32,7 +32,12 @@ pub struct ChainParams {
 impl ChainParams {
     /// minimap2-like defaults for a minimizer length of `k`.
     pub fn for_k(k: usize) -> ChainParams {
-        ChainParams { k, max_gap: 5_000, lookback: 64, gap_linear: 0.01 * k as f64 }
+        ChainParams {
+            k,
+            max_gap: 5_000,
+            lookback: 64,
+            gap_linear: 0.01 * k as f64,
+        }
     }
 
     /// Score contribution of extending a chain from anchor `j` to anchor `i`
@@ -93,6 +98,7 @@ pub struct IncrementalChainer {
     score: Vec<f64>,
     pred: Vec<Option<usize>>,
     dp_evaluations: usize,
+    sort_buf: Vec<Anchor>,
 }
 
 impl IncrementalChainer {
@@ -104,7 +110,17 @@ impl IncrementalChainer {
             score: Vec::new(),
             pred: Vec::new(),
             dp_evaluations: 0,
+            sort_buf: Vec::new(),
         }
+    }
+
+    /// Clears all per-read state, keeping buffer capacity — a reused chainer
+    /// starts the next read without reallocating.
+    pub fn reset(&mut self) {
+        self.anchors.clear();
+        self.score.clear();
+        self.pred.clear();
+        self.dp_evaluations = 0;
     }
 
     /// Appends a batch of anchors and extends the DP.
@@ -115,9 +131,11 @@ impl IncrementalChainer {
     /// violating that loses chaining opportunities but never produces an
     /// invalid chain.
     pub fn extend(&mut self, batch: &[Anchor]) {
-        let mut sorted: Vec<Anchor> = batch.to_vec();
+        let mut sorted = std::mem::take(&mut self.sort_buf);
+        sorted.clear();
+        sorted.extend_from_slice(batch);
         sorted.sort_unstable_by_key(|a| (a.qpos, a.rpos));
-        for anchor in sorted {
+        for &anchor in &sorted {
             let i = self.anchors.len();
             self.anchors.push(anchor);
             let mut best = self.params.k as f64; // chain of one anchor
@@ -136,6 +154,7 @@ impl IncrementalChainer {
             self.score.push(best);
             self.pred.push(best_pred);
         }
+        self.sort_buf = sorted;
     }
 
     /// All anchors added so far.
@@ -167,7 +186,10 @@ impl IncrementalChainer {
             i = j;
         }
         indices.reverse();
-        Some(Chain { score, anchor_indices: indices })
+        Some(Chain {
+            score,
+            anchor_indices: indices,
+        })
     }
 
     /// The best chain score among anchors whose (chain-coordinate) reference
@@ -189,7 +211,10 @@ mod tests {
 
     fn colinear(n: u32, spacing: u32, q0: u32, r0: u32) -> Vec<Anchor> {
         (0..n)
-            .map(|i| Anchor { qpos: q0 + i * spacing, rpos: r0 + i * spacing })
+            .map(|i| Anchor {
+                qpos: q0 + i * spacing,
+                rpos: r0 + i * spacing,
+            })
             .collect()
     }
 
@@ -225,8 +250,14 @@ mod tests {
     fn gap_reduces_score() {
         let p = ChainParams::for_k(15);
         let a = Anchor { qpos: 0, rpos: 0 };
-        let aligned = Anchor { qpos: 100, rpos: 100 };
-        let gapped = Anchor { qpos: 100, rpos: 160 };
+        let aligned = Anchor {
+            qpos: 100,
+            rpos: 100,
+        };
+        let gapped = Anchor {
+            qpos: 100,
+            rpos: 160,
+        };
         let s_aligned = p.step_score(a, aligned).unwrap();
         let s_gapped = p.step_score(a, gapped).unwrap();
         assert!(s_aligned > s_gapped);
@@ -236,10 +267,37 @@ mod tests {
     #[test]
     fn non_colinear_anchors_do_not_chain() {
         let p = ChainParams::for_k(15);
-        let a = Anchor { qpos: 100, rpos: 100 };
-        assert!(p.step_score(a, Anchor { qpos: 50, rpos: 200 }).is_none());
-        assert!(p.step_score(a, Anchor { qpos: 200, rpos: 50 }).is_none());
-        assert!(p.step_score(a, Anchor { qpos: 100, rpos: 200 }).is_none());
+        let a = Anchor {
+            qpos: 100,
+            rpos: 100,
+        };
+        assert!(p
+            .step_score(
+                a,
+                Anchor {
+                    qpos: 50,
+                    rpos: 200
+                }
+            )
+            .is_none());
+        assert!(p
+            .step_score(
+                a,
+                Anchor {
+                    qpos: 200,
+                    rpos: 50
+                }
+            )
+            .is_none());
+        assert!(p
+            .step_score(
+                a,
+                Anchor {
+                    qpos: 100,
+                    rpos: 200
+                }
+            )
+            .is_none());
     }
 
     #[test]
@@ -247,7 +305,13 @@ mod tests {
         let p = ChainParams::for_k(15);
         let a = Anchor { qpos: 0, rpos: 0 };
         assert!(p
-            .step_score(a, Anchor { qpos: 10_000, rpos: 10_000 })
+            .step_score(
+                a,
+                Anchor {
+                    qpos: 10_000,
+                    rpos: 10_000
+                }
+            )
             .is_none());
     }
 
@@ -274,8 +338,14 @@ mod tests {
         let mut c = IncrementalChainer::new(ChainParams::for_k(15));
         let mut anchors = colinear(10, 30, 0, 1_000);
         // Decoys at a far-away reference locus.
-        anchors.push(Anchor { qpos: 100, rpos: 50_000 });
-        anchors.push(Anchor { qpos: 130, rpos: 50_030 });
+        anchors.push(Anchor {
+            qpos: 100,
+            rpos: 50_000,
+        });
+        anchors.push(Anchor {
+            qpos: 130,
+            rpos: 50_030,
+        });
         c.extend(&anchors);
         let chain = c.best_chain().unwrap();
         assert_eq!(chain.anchor_indices.len(), 10);

@@ -43,10 +43,10 @@ impl ReferenceIndex {
     pub fn build(genome: &Genome, k: usize, w: usize) -> ReferenceIndex {
         let mut table: HashMap<u64, Vec<RefHit>> = HashMap::new();
         for m in minimizers(genome.sequence(), k, w) {
-            table
-                .entry(m.hash)
-                .or_default()
-                .push(RefHit { pos: m.pos, reverse: m.reverse });
+            table.entry(m.hash).or_default().push(RefHit {
+                pos: m.pos,
+                reverse: m.reverse,
+            });
         }
         ReferenceIndex {
             k,
@@ -156,7 +156,11 @@ mod tests {
     fn absent_key_returns_empty() {
         let g = genome(1_000, 3);
         let idx = ReferenceIndex::build(&g, 15, 10);
-        let phantom = Minimizer { hash: 0xDEAD_BEEF_DEAD_BEEF, pos: 0, reverse: false };
+        let phantom = Minimizer {
+            hash: 0xDEAD_BEEF_DEAD_BEEF,
+            pos: 0,
+            reverse: false,
+        };
         assert!(idx.lookup(&phantom).is_empty());
         assert!(idx.lookup_hash(0xDEAD_BEEF_DEAD_BEEF).is_empty());
     }

@@ -47,6 +47,6 @@ pub mod seed;
 pub use align::{Alignment, AlignmentParams, CigarOp};
 pub use chain::{Chain, ChainParams, IncrementalChainer};
 pub use index::ReferenceIndex;
-pub use mapper::{Mapper, MapperParams, Mapping, MappingCounters, MappingResult};
-pub use minimizer::{minimizers, Minimizer};
-pub use seed::{Anchor, Strand};
+pub use mapper::{Mapper, MapperParams, Mapping, MappingCounters, MappingResult, SeedScratch};
+pub use minimizer::{minimizers, minimizers_into, Minimizer, MinimizerScratch};
+pub use seed::{Anchor, SeedBatch, Strand};

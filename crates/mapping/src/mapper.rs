@@ -9,9 +9,10 @@
 use crate::align::{banded_global, Alignment, AlignmentParams, CigarOp};
 use crate::chain::{ChainParams, IncrementalChainer};
 use crate::index::ReferenceIndex;
-use crate::minimizer::minimizers;
-use crate::seed::{seed_batch, SeedBatch, Strand};
+use crate::minimizer::{minimizers_into, Minimizer, MinimizerScratch};
+use crate::seed::{seed_batch_into, SeedBatch, Strand};
 use genpip_genomics::{DnaSeq, Genome};
+use std::sync::Arc;
 
 /// Mapper configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,19 +109,52 @@ pub struct MappingResult {
     pub counters: MappingCounters,
 }
 
+/// Reusable per-worker sketching/seeding working memory for
+/// [`Mapper::sketch_and_seed_into`]. One instance per thread keeps
+/// steady-state seeding free of per-chunk allocations.
+#[derive(Debug, Clone, Default)]
+pub struct SeedScratch {
+    mins: Vec<Minimizer>,
+    sketch: MinimizerScratch,
+}
+
+impl SeedScratch {
+    /// Creates an empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> SeedScratch {
+        SeedScratch::default()
+    }
+}
+
 /// The read mapper.
+///
+/// The reference genome is held behind an [`Arc`], so cloning a `Mapper` (or
+/// constructing one via [`Mapper::build_shared`]) shares one copy of the
+/// reference data; a single mapper instance serves all worker threads of the
+/// parallel pipeline by shared reference (`Mapper` is `Sync`).
 #[derive(Debug, Clone)]
 pub struct Mapper {
-    genome: Genome,
+    genome: Arc<Genome>,
     index: ReferenceIndex,
     params: MapperParams,
 }
 
 impl Mapper {
-    /// Builds the reference index and returns a ready mapper.
+    /// Builds the reference index and returns a ready mapper, copying the
+    /// genome once into shared storage. Callers that already hold an
+    /// `Arc<Genome>` should prefer [`Mapper::build_shared`].
     pub fn build(genome: &Genome, params: MapperParams) -> Mapper {
-        let index = ReferenceIndex::build(genome, params.k, params.w);
-        Mapper { genome: genome.clone(), index, params }
+        Mapper::build_shared(Arc::new(genome.clone()), params)
+    }
+
+    /// Builds the reference index over an already-shared genome, without
+    /// copying the reference data.
+    pub fn build_shared(genome: Arc<Genome>, params: MapperParams) -> Mapper {
+        let index = ReferenceIndex::build(&genome, params.k, params.w);
+        Mapper {
+            genome,
+            index,
+            params,
+        }
     }
 
     /// The mapper's configuration.
@@ -149,10 +183,34 @@ impl Mapper {
 
     /// Sketches `seq` (a basecalled chunk or a whole read) and seeds its
     /// minimizers, offsetting query positions by `qpos_offset`.
+    ///
+    /// Convenience wrapper over [`Mapper::sketch_and_seed_into`]; hot loops
+    /// should own a [`SeedScratch`] and a reusable [`SeedBatch`] instead.
     pub fn sketch_and_seed(&self, seq: &DnaSeq, qpos_offset: u32) -> (SeedBatch, usize) {
-        let mins = minimizers(seq, self.params.k, self.params.w);
-        let n = mins.len();
-        (seed_batch(&self.index, &mins, qpos_offset), n)
+        let mut batch = SeedBatch::default();
+        let n = self.sketch_and_seed_into(seq, qpos_offset, &mut SeedScratch::new(), &mut batch);
+        (batch, n)
+    }
+
+    /// Sketches `seq` and seeds its minimizers into `batch` (cleared first),
+    /// reusing `scratch` for all intermediate buffers. Returns the number of
+    /// minimizers extracted.
+    pub fn sketch_and_seed_into(
+        &self,
+        seq: &DnaSeq,
+        qpos_offset: u32,
+        scratch: &mut SeedScratch,
+        batch: &mut SeedBatch,
+    ) -> usize {
+        minimizers_into(
+            seq,
+            self.params.k,
+            self.params.w,
+            &mut scratch.sketch,
+            &mut scratch.mins,
+        );
+        seed_batch_into(&self.index, &scratch.mins, qpos_offset, batch);
+        scratch.mins.len()
     }
 
     /// Completes a mapping from filled chainers: picks the best strand/chain,
@@ -216,9 +274,7 @@ impl Mapper {
             .iter()
             .fold((i64::MAX, i64::MIN), |(lo, hi), &d| (lo.min(d), hi.max(d)));
         let center = (dmin + dmax) / 2;
-        let halfwidth = ((dmax - dmin) / 2) as usize
-            + self.params.band_margin
-            + query.len() / 20;
+        let halfwidth = ((dmax - dmin) / 2) as usize + self.params.band_margin + query.len() / 20;
 
         let alignment: Alignment =
             banded_global(query, &window, &self.params.align, center, halfwidth);
@@ -254,21 +310,51 @@ impl Mapper {
         (Some(mapping), best_score, cells)
     }
 
-    /// Maps a whole read through the conventional (non-chunked) flow.
+    /// Maps a whole read through the conventional (non-chunked) flow with a
+    /// fresh workspace.
+    ///
+    /// Convenience wrapper over [`Mapper::map_with`]; hot loops should own
+    /// the scratch buffers and chainer pair and pass them in.
     pub fn map(&self, query: &DnaSeq) -> MappingResult {
+        let (mut fwd, mut rev) = self.new_chainers();
+        self.map_with(
+            query,
+            &mut SeedScratch::new(),
+            &mut SeedBatch::default(),
+            &mut fwd,
+            &mut rev,
+        )
+    }
+
+    /// Maps a whole read through the conventional flow, reusing caller-owned
+    /// buffers: `scratch`/`batch` for sketching and seeding, and a chainer
+    /// pair (reset here) for the DP. Results are identical to
+    /// [`Mapper::map`]; only allocation behaviour differs.
+    pub fn map_with(
+        &self,
+        query: &DnaSeq,
+        scratch: &mut SeedScratch,
+        batch: &mut SeedBatch,
+        fwd: &mut IncrementalChainer,
+        rev: &mut IncrementalChainer,
+    ) -> MappingResult {
+        fwd.reset();
+        rev.reset();
         let mut counters = MappingCounters::default();
-        let (batch, n_mins) = self.sketch_and_seed(query, 0);
+        let n_mins = self.sketch_and_seed_into(query, 0, scratch, batch);
         counters.minimizers = n_mins;
         counters.seed_queries = batch.queries;
         counters.anchors = batch.hits;
-        let (mut fwd, mut rev) = self.new_chainers();
         fwd.extend(&batch.forward);
         rev.extend(&batch.reverse);
         counters.chain_evals = fwd.dp_evaluations() + rev.dp_evaluations();
-        let (mapping, best_chain_score, align_cells) =
-            self.finalize_mapping(query, &fwd, &rev);
+        let (mapping, best_chain_score, align_cells) = self.finalize_mapping(query, fwd, rev);
         counters.align_cells = align_cells;
-        MappingResult { mapping, best_chain_score, counters }
+        MappingResult {
+            mapping,
+            best_chain_score,
+            counters,
+        }
     }
 }
 
@@ -317,7 +403,11 @@ mod tests {
     fn reverse_complement_substring_maps_reverse() {
         let m = mapper(50_000, 2);
         let start = 20_000;
-        let q = m.genome().sequence().subseq(start, 800).reverse_complement();
+        let q = m
+            .genome()
+            .sequence()
+            .subseq(start, 800)
+            .reverse_complement();
         let result = m.map(&q);
         let mapping = result.mapping.expect("rc substring must map");
         assert_eq!(mapping.strand, Strand::Reverse);
@@ -345,7 +435,11 @@ mod tests {
     #[test]
     fn alien_read_is_unmapped() {
         let m = mapper(50_000, 5);
-        let alien = GenomeBuilder::new(1_200).seed(777).build().sequence().clone();
+        let alien = GenomeBuilder::new(1_200)
+            .seed(777)
+            .build()
+            .sequence()
+            .clone();
         let result = m.map(&alien);
         assert!(result.mapping.is_none());
         assert!(result.best_chain_score < m.params().min_chain_score);
@@ -388,22 +482,42 @@ mod tests {
     fn repeat_mapping_gets_low_mapq() {
         // A genome that contains the same unit twice far apart: a read from
         // the unit is ambiguous and must get a low MAPQ.
-        let unit = GenomeBuilder::new(2_000).seed(8).repeat_fraction(0.0).build();
-        let mut seq = GenomeBuilder::new(10_000).seed(9).repeat_fraction(0.0).build().sequence().clone();
+        let unit = GenomeBuilder::new(2_000)
+            .seed(8)
+            .repeat_fraction(0.0)
+            .build();
+        let mut seq = GenomeBuilder::new(10_000)
+            .seed(9)
+            .repeat_fraction(0.0)
+            .build()
+            .sequence()
+            .clone();
         seq.extend_from_seq(unit.sequence());
         seq.extend_from_seq(
-            GenomeBuilder::new(10_000).seed(10).repeat_fraction(0.0).build().sequence(),
+            GenomeBuilder::new(10_000)
+                .seed(10)
+                .repeat_fraction(0.0)
+                .build()
+                .sequence(),
         );
         seq.extend_from_seq(unit.sequence());
         seq.extend_from_seq(
-            GenomeBuilder::new(10_000).seed(11).repeat_fraction(0.0).build().sequence(),
+            GenomeBuilder::new(10_000)
+                .seed(11)
+                .repeat_fraction(0.0)
+                .build()
+                .sequence(),
         );
         let genome = genpip_genomics::Genome::from_seq("dup", seq);
         let m = Mapper::build(&genome, MapperParams::default());
         let q = unit.sequence().subseq(500, 800);
         let result = m.map(&q);
         let mapping = result.mapping.expect("repeat read still maps somewhere");
-        assert!(mapping.mapq <= 10, "ambiguous read got mapq {}", mapping.mapq);
+        assert!(
+            mapping.mapq <= 10,
+            "ambiguous read got mapq {}",
+            mapping.mapq
+        );
 
         // A unique read keeps a high MAPQ.
         let uq = genome.sequence().subseq(3_000, 800);

@@ -64,21 +64,46 @@ pub fn hash64(key: u64) -> u64 {
 /// # Ok::<(), genpip_genomics::base::ParseBaseError>(())
 /// ```
 pub fn minimizers(seq: &DnaSeq, k: usize, w: usize) -> Vec<Minimizer> {
+    let mut out = Vec::new();
+    minimizers_into(seq, k, w, &mut MinimizerScratch::default(), &mut out);
+    out
+}
+
+/// Reusable winnowing working memory for [`minimizers_into`]; one instance
+/// per worker keeps steady-state sketching free of per-chunk allocations.
+#[derive(Debug, Clone, Default)]
+pub struct MinimizerScratch {
+    hashed: Vec<Option<(u64, bool)>>,
+    deque: std::collections::VecDeque<(usize, u64, bool)>,
+}
+
+/// Extracts the `(w, k)` minimizers of `seq` into `out` (cleared first),
+/// reusing `scratch` for all intermediate buffers. Behaviour is identical to
+/// [`minimizers`]; see its docs for the contract.
+pub fn minimizers_into(
+    seq: &DnaSeq,
+    k: usize,
+    w: usize,
+    scratch: &mut MinimizerScratch,
+    out: &mut Vec<Minimizer>,
+) {
     assert!(w >= 1, "window size must be >= 1");
+    out.clear();
     // Hash every k-mer (canonical form), skipping palindromes.
-    let mut hashed: Vec<Option<(u64, bool)>> = Vec::new();
+    let hashed = &mut scratch.hashed;
+    hashed.clear();
     for (_, kmer) in KmerIter::new(seq, k) {
         hashed.push(canonical_hash(kmer));
     }
     if hashed.is_empty() {
-        return Vec::new();
+        return;
     }
 
     // Monotone-deque winnowing: for each window of w k-mers pick the entry
     // with the smallest hash (rightmost on ties, the standard choice that
     // guarantees window coverage).
-    let mut out: Vec<Minimizer> = Vec::new();
-    let mut deque: std::collections::VecDeque<(usize, u64, bool)> = std::collections::VecDeque::new();
+    let deque = &mut scratch.deque;
+    deque.clear();
     for (i, h) in hashed.iter().enumerate() {
         if let Some((hash, rev)) = *h {
             while let Some(&(_, back_hash, _)) = deque.back() {
@@ -100,14 +125,17 @@ pub fn minimizers(seq: &DnaSeq, k: usize, w: usize) -> Vec<Minimizer> {
         }
         if i + 1 >= w {
             if let Some(&(pos, hash, rev)) = deque.front() {
-                let candidate = Minimizer { hash, pos: pos as u32, reverse: rev };
+                let candidate = Minimizer {
+                    hash,
+                    pos: pos as u32,
+                    reverse: rev,
+                };
                 if out.last() != Some(&candidate) {
                     out.push(candidate);
                 }
             }
         }
     }
-    out
 }
 
 /// Hash of the canonical form of a k-mer, with the strand flag; `None` for
@@ -128,7 +156,12 @@ mod tests {
     use genpip_genomics::GenomeBuilder;
 
     fn seq(n: usize, s: u64) -> DnaSeq {
-        GenomeBuilder::new(n).seed(s).repeat_fraction(0.0).build().sequence().clone()
+        GenomeBuilder::new(n)
+            .seed(s)
+            .repeat_fraction(0.0)
+            .build()
+            .sequence()
+            .clone()
     }
 
     #[test]

@@ -64,9 +64,26 @@ pub struct SeedBatch {
 /// pipeline sketches each basecalled chunk locally and offsets by the bases
 /// already emitted for the read.
 pub fn seed_batch(index: &ReferenceIndex, mins: &[Minimizer], qpos_offset: u32) -> SeedBatch {
+    let mut batch = SeedBatch::default();
+    seed_batch_into(index, mins, qpos_offset, &mut batch);
+    batch
+}
+
+/// Seeds a batch of query minimizers against the index into `batch`,
+/// clearing it first — the anchor vectors keep their capacity, so a reused
+/// batch seeds without allocating in steady state.
+pub fn seed_batch_into(
+    index: &ReferenceIndex,
+    mins: &[Minimizer],
+    qpos_offset: u32,
+    batch: &mut SeedBatch,
+) {
     let k = index.k() as u32;
     let rc_base = index.genome_len() as u32 - k; // rpos transform for reverse
-    let mut batch = SeedBatch::default();
+    batch.forward.clear();
+    batch.reverse.clear();
+    batch.queries = 0;
+    batch.hits = 0;
     for m in mins {
         batch.queries += 1;
         for hit in index.lookup(m) {
@@ -74,14 +91,19 @@ pub fn seed_batch(index: &ReferenceIndex, mins: &[Minimizer], qpos_offset: u32) 
             // Same canonical strand on query and reference => forward match;
             // opposite => the query matches the reference's other strand.
             if m.reverse == hit.reverse {
-                batch.forward.push(Anchor { qpos, rpos: hit.pos });
+                batch.forward.push(Anchor {
+                    qpos,
+                    rpos: hit.pos,
+                });
             } else {
-                batch.reverse.push(Anchor { qpos, rpos: rc_base - hit.pos });
+                batch.reverse.push(Anchor {
+                    qpos,
+                    rpos: rc_base - hit.pos,
+                });
             }
             batch.hits += 1;
         }
     }
-    batch
 }
 
 #[cfg(test)]
@@ -104,7 +126,11 @@ mod tests {
         let start = 7_000;
         let query = g.sequence().subseq(start, 600);
         let batch = seed_batch(&idx, &minimizers(&query, K, W), 0);
-        assert!(batch.forward.len() >= 10, "only {} anchors", batch.forward.len());
+        assert!(
+            batch.forward.len() >= 10,
+            "only {} anchors",
+            batch.forward.len()
+        );
         // Most forward anchors lie on the diagonal rpos - qpos = start.
         let on_diag = batch
             .forward

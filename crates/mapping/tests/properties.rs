@@ -1,108 +1,144 @@
-//! Property-based tests of the mapping pipeline's invariants.
+//! Randomized property tests of the mapping pipeline's invariants.
+//!
+//! Seeded random cases over the workspace's own deterministic RNG (no
+//! external property-testing dependency).
 
+use genpip_genomics::rng::{seeded, Rng, SeededRng};
 use genpip_genomics::{Base, DnaSeq};
 use genpip_mapping::align::{banded_global, AlignmentParams, CigarOp};
 use genpip_mapping::{minimizers, Anchor, ChainParams, IncrementalChainer};
-use proptest::prelude::*;
 
-fn arb_dna(range: std::ops::Range<usize>) -> impl Strategy<Value = DnaSeq> {
-    proptest::collection::vec(0u8..4, range)
-        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+const CASES: u64 = 64;
+
+fn arb_dna(rng: &mut SeededRng, min: usize, max: usize) -> DnaSeq {
+    let len = rng.random_range(min..max);
+    (0..len)
+        .map(|_| Base::from_code(rng.random_range(0..4u8)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_window_has_a_minimizer(seq in arb_dna(60..400)) {
+#[test]
+fn every_window_has_a_minimizer() {
+    for case in 0..CASES {
+        let mut rng = seeded(0x317 ^ case);
+        let seq = arb_dna(&mut rng, 60, 400);
         let (k, w) = (11, 8);
         let mins = minimizers(&seq, k, w);
         let positions: Vec<usize> = mins.iter().map(|m| m.pos as usize).collect();
         let n_kmers = seq.len() - k + 1;
-        // Ignore windows whose k-mers are all palindromic (cannot happen at
-        // k=11, which is odd — odd-length DNA k-mers are never their own
-        // reverse complement).
+        // Palindrome-only windows cannot happen at k=11 (odd-length DNA
+        // k-mers are never their own reverse complement).
         for start in 0..n_kmers.saturating_sub(w - 1) {
-            prop_assert!(
+            assert!(
                 positions.iter().any(|&p| (start..start + w).contains(&p)),
-                "window at {} uncovered", start
+                "window at {start} uncovered"
             );
         }
     }
+}
 
-    #[test]
-    fn minimizer_positions_are_valid_and_sorted(seq in arb_dna(20..300)) {
+#[test]
+fn minimizer_positions_are_valid_and_sorted() {
+    for case in 0..CASES {
+        let mut rng = seeded(0x505 ^ case);
+        let seq = arb_dna(&mut rng, 20, 300);
         let (k, w) = (11, 6);
         let mins = minimizers(&seq, k, w);
-        prop_assert!(mins.windows(2).all(|m| m[0].pos < m[1].pos));
+        assert!(mins.windows(2).all(|m| m[0].pos < m[1].pos));
         for m in &mins {
-            prop_assert!((m.pos as usize) + k <= seq.len());
+            assert!((m.pos as usize) + k <= seq.len());
         }
     }
+}
 
-    #[test]
-    fn alignment_score_upper_bound(a in arb_dna(1..80), b in arb_dna(1..80)) {
+#[test]
+fn alignment_score_upper_bound() {
+    for case in 0..CASES {
+        let mut rng = seeded(0xA11 ^ case);
+        let a = arb_dna(&mut rng, 1, 80);
+        let b = arb_dna(&mut rng, 1, 80);
         let p = AlignmentParams::default();
         let aln = banded_global(&a, &b, &p, 0, 40);
         // Score can never beat matching every column of the shorter seq.
         let best_possible = p.match_score * a.len().min(b.len()) as i32;
-        prop_assert!(aln.score <= best_possible);
-        prop_assert!(aln.matches <= a.len().min(b.len()));
+        assert!(aln.score <= best_possible);
+        assert!(aln.matches <= a.len().min(b.len()));
     }
+}
 
-    #[test]
-    fn cigar_consumes_exactly_both_sequences(a in arb_dna(0..80), b in arb_dna(0..80)) {
+#[test]
+fn cigar_consumes_exactly_both_sequences() {
+    for case in 0..CASES {
+        let mut rng = seeded(0xC16 ^ case);
+        let a = arb_dna(&mut rng, 0, 80);
+        let b = arb_dna(&mut rng, 0, 80);
         let p = AlignmentParams::default();
         let aln = banded_global(&a, &b, &p, 0, 40);
         let (mut qc, mut rc) = (0usize, 0usize);
         for op in &aln.cigar {
             match op {
-                CigarOp::Match(l) => { qc += *l as usize; rc += *l as usize; }
+                CigarOp::Match(l) => {
+                    qc += *l as usize;
+                    rc += *l as usize;
+                }
                 CigarOp::Ins(l) => qc += *l as usize,
                 CigarOp::Del(l) => rc += *l as usize,
             }
         }
-        prop_assert_eq!(qc, a.len());
-        prop_assert_eq!(rc, b.len());
+        assert_eq!(qc, a.len());
+        assert_eq!(rc, b.len());
     }
+}
 
-    #[test]
-    fn self_alignment_is_perfect(a in arb_dna(1..120)) {
+#[test]
+fn self_alignment_is_perfect() {
+    for case in 0..CASES {
+        let mut rng = seeded(0x5E1F ^ case);
+        let a = arb_dna(&mut rng, 1, 120);
         let p = AlignmentParams::default();
         let aln = banded_global(&a, &a, &p, 0, 8);
-        prop_assert_eq!(aln.score, p.match_score * a.len() as i32);
-        prop_assert_eq!(aln.matches, a.len());
-        prop_assert!((aln.identity() - 1.0).abs() < 1e-12);
+        assert_eq!(aln.score, p.match_score * a.len() as i32);
+        assert_eq!(aln.matches, a.len());
+        assert!((aln.identity() - 1.0).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn chain_extension_is_monotone_in_anchors(
-        spacings in proptest::collection::vec(5u32..40, 1..30),
-    ) {
+#[test]
+fn chain_extension_is_monotone_in_anchors() {
+    for case in 0..CASES {
+        let mut rng = seeded(0x30A ^ case);
+        let n = rng.random_range(1..30usize);
         // Adding colinear anchors never lowers the best chain score.
         let mut chainer = IncrementalChainer::new(ChainParams::for_k(15));
         let (mut q, mut r) = (0u32, 500u32);
         let mut last = 0.0f64;
-        for s in spacings {
+        for _ in 0..n {
             chainer.extend(&[Anchor { qpos: q, rpos: r }]);
             let score = chainer.best_score();
-            prop_assert!(score >= last, "score dropped from {} to {}", last, score);
+            assert!(score >= last, "score dropped from {last} to {score}");
             last = score;
+            let s = rng.random_range(5..40u32);
             q += s;
             r += s;
         }
     }
+}
 
-    #[test]
-    fn step_score_never_exceeds_k(
-        a in (0u32..10_000, 0u32..10_000),
-        b in (0u32..10_000, 0u32..10_000),
-    ) {
+#[test]
+fn step_score_never_exceeds_k() {
+    for case in 0..CASES {
+        let mut rng = seeded(0x57E ^ case);
         let p = ChainParams::for_k(15);
-        let from = Anchor { qpos: a.0, rpos: a.1 };
-        let to = Anchor { qpos: b.0, rpos: b.1 };
+        let from = Anchor {
+            qpos: rng.random_range(0..10_000u32),
+            rpos: rng.random_range(0..10_000u32),
+        };
+        let to = Anchor {
+            qpos: rng.random_range(0..10_000u32),
+            rpos: rng.random_range(0..10_000u32),
+        };
         if let Some(score) = p.step_score(from, to) {
-            prop_assert!(score <= p.k as f64 + 1e-12);
+            assert!(score <= p.k as f64 + 1e-12);
         }
     }
 }

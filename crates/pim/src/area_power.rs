@@ -167,8 +167,16 @@ mod tests {
     #[test]
     fn totals_match_the_paper() {
         let t = genpip_table2();
-        assert!((t.total_power_w() - 147.2).abs() < 0.5, "power {}", t.total_power_w());
-        assert!((t.total_area_mm2() - 163.8).abs() < 0.5, "area {}", t.total_area_mm2());
+        assert!(
+            (t.total_power_w() - 147.2).abs() < 0.5,
+            "power {}",
+            t.total_power_w()
+        );
+        assert!(
+            (t.total_area_mm2() - 163.8).abs() < 0.5,
+            "area {}",
+            t.total_area_mm2()
+        );
     }
 
     #[test]
@@ -193,7 +201,10 @@ mod tests {
         let area_share = rm.area_mm2() / t.total_area_mm2();
         let power_share = rm.power_w() / t.total_power_w();
         assert!((area_share - 0.569).abs() < 0.01, "area share {area_share}");
-        assert!((power_share - 0.778).abs() < 0.01, "power share {power_share}");
+        assert!(
+            (power_share - 0.778).abs() < 0.01,
+            "power share {power_share}"
+        );
     }
 
     #[test]

@@ -52,7 +52,12 @@ impl CrossbarArray {
     /// Panics if either dimension is 0.
     pub fn new(rows: usize, cols: usize) -> CrossbarArray {
         assert!(rows > 0 && cols > 0, "crossbar dimensions must be positive");
-        CrossbarArray { rows, cols, weights: vec![0.0; rows * cols], ops: 0 }
+        CrossbarArray {
+            rows,
+            cols,
+            weights: vec![0.0; rows * cols],
+            ops: 0,
+        }
     }
 
     /// Programs the full weight matrix (row-major).
@@ -123,7 +128,12 @@ impl CamArray {
     pub fn new(width_bits: usize, capacity: usize) -> CamArray {
         assert!((1..=64).contains(&width_bits), "width must be 1..=64 bits");
         assert!(capacity > 0, "capacity must be positive");
-        CamArray { width_bits, capacity, rows: Vec::new(), searches: 0 }
+        CamArray {
+            width_bits,
+            capacity,
+            rows: Vec::new(),
+            searches: 0,
+        }
     }
 
     /// Word width in bits.
@@ -195,7 +205,11 @@ impl CamBank {
     pub fn build<I: IntoIterator<Item = u64>>(keys: I, rows_per_array: usize) -> CamBank {
         assert!(rows_per_array > 0, "rows_per_array must be positive");
         let width_bits = 64;
-        let mut bank = CamBank { arrays: Vec::new(), directory: HashMap::new(), width_bits };
+        let mut bank = CamBank {
+            arrays: Vec::new(),
+            directory: HashMap::new(),
+            width_bits,
+        };
         for key in keys {
             if bank.directory.contains_key(&key) {
                 continue;
@@ -327,7 +341,9 @@ mod tests {
 
     #[test]
     fn bank_finds_every_key() {
-        let keys: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let keys: Vec<u64> = (0..1000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         let mut bank = CamBank::build(keys.iter().copied(), 128);
         assert_eq!(bank.key_count(), 1000);
         assert_eq!(bank.array_count(), 1000usize.div_ceil(128));
@@ -340,7 +356,7 @@ mod tests {
 
     #[test]
     fn bank_dedupes_keys() {
-        let bank = CamBank::build([7u64, 7, 7, 8].into_iter(), 128);
+        let bank = CamBank::build([7u64, 7, 7, 8], 128);
         assert_eq!(bank.key_count(), 2);
     }
 }

@@ -63,7 +63,14 @@ impl EdramBuffer {
     /// Panics if `capacity` is 0.
     pub fn new(name: &'static str, capacity: usize, energy_per_byte: f64) -> EdramBuffer {
         assert!(capacity > 0, "buffer capacity must be positive");
-        EdramBuffer { name, capacity, used: 0, high_water: 0, bytes_accessed: 0, energy_per_byte }
+        EdramBuffer {
+            name,
+            capacity,
+            used: 0,
+            high_water: 0,
+            bytes_accessed: 0,
+            energy_per_byte,
+        }
     }
 
     /// The paper's read queue: sized for the longest raw nanopore signal
@@ -141,7 +148,10 @@ impl EdramBuffer {
     /// buffer is unchanged.
     pub fn reserve(&mut self, bytes: usize) -> Result<(), BufferOverflow> {
         if bytes > self.free() {
-            return Err(BufferOverflow { requested: bytes, available: self.free() });
+            return Err(BufferOverflow {
+                requested: bytes,
+                available: self.free(),
+            });
         }
         self.used += bytes;
         self.high_water = self.high_water.max(self.used);
@@ -155,7 +165,11 @@ impl EdramBuffer {
     ///
     /// Panics if releasing more than is reserved (a bookkeeping bug).
     pub fn release(&mut self, bytes: usize) {
-        assert!(bytes <= self.used, "releasing {bytes} B with only {} B reserved", self.used);
+        assert!(
+            bytes <= self.used,
+            "releasing {bytes} B with only {} B reserved",
+            self.used
+        );
         self.used -= bytes;
         self.bytes_accessed += bytes as u64;
     }
@@ -197,7 +211,13 @@ mod tests {
         let mut b = EdramBuffer::new("t", 100, 1e-12);
         b.reserve(90).unwrap();
         let err = b.reserve(20).unwrap_err();
-        assert_eq!(err, BufferOverflow { requested: 20, available: 10 });
+        assert_eq!(
+            err,
+            BufferOverflow {
+                requested: 20,
+                available: 10
+            }
+        );
         assert!(err.to_string().contains("overflow"));
         assert_eq!(b.used(), 90, "failed reservation must not change state");
     }
@@ -223,7 +243,10 @@ mod tests {
         assert!(c.capacity() >= 2_300_000 / 4 + 2_300_000);
 
         assert_eq!(EdramBuffer::rmc_buffer().capacity(), 4 * 1024 * 1024);
-        assert_eq!(EdramBuffer::controller_buffer().capacity(), 12 * 1024 * 1024);
+        assert_eq!(
+            EdramBuffer::controller_buffer().capacity(),
+            12 * 1024 * 1024
+        );
     }
 
     #[test]

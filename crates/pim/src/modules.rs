@@ -102,14 +102,12 @@ impl SeedingModule {
     /// `location_reads` reference locations: one CAM search per base shift
     /// plus one RAM read per location.
     pub fn chunk_service(&self, chunk_bases: usize, location_reads: usize) -> SimTime {
-        self.tech.t_cam_search * chunk_bases as u64
-            + self.tech.t_ram_read * location_reads as u64
+        self.tech.t_cam_search * chunk_bases as u64 + self.tech.t_ram_read * location_reads as u64
     }
 
     /// Energy for the same work.
     pub fn chunk_energy(&self, chunk_bases: usize, location_reads: usize) -> f64 {
-        chunk_bases as f64 * self.tech.e_cam_search
-            + location_reads as f64 * self.tech.e_ram_read
+        chunk_bases as f64 * self.tech.e_cam_search + location_reads as f64 * self.tech.e_ram_read
     }
 }
 

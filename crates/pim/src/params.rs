@@ -145,8 +145,7 @@ mod tests {
     fn basecall_sample_energy_is_consistent_with_module_power() {
         // One sample per II cycles at the module's 27.1 W Table 2 power.
         let t = PimTech::paper_32nm();
-        let implied =
-            27.1 * t.t_mvm_cycle.as_secs() * t.bc_initiation_interval_cycles as f64;
+        let implied = 27.1 * t.t_mvm_cycle.as_secs() * t.bc_initiation_interval_cycles as f64;
         assert!((t.e_bc_per_sample - implied).abs() / implied < 0.05);
     }
 

@@ -69,7 +69,10 @@ pub fn chunk_boundaries(total_samples: usize, samples_per_chunk: usize) -> Vec<C
 ///
 /// Panics if either argument is non-positive.
 pub fn samples_per_chunk(chunk_bases: usize, mean_dwell: f64) -> usize {
-    assert!(chunk_bases > 0 && mean_dwell > 0.0, "arguments must be positive");
+    assert!(
+        chunk_bases > 0 && mean_dwell > 0.0,
+        "arguments must be positive"
+    );
     ((chunk_bases as f64) * mean_dwell).round().max(1.0) as usize
 }
 

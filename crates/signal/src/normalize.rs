@@ -24,7 +24,10 @@ pub struct NormalizationStats {
 /// An empty slice is returned unchanged with zeroed stats.
 pub fn normalize_to_model(samples: &mut [f32], model: &PoreModel) -> NormalizationStats {
     if samples.is_empty() {
-        return NormalizationStats { median: 0.0, mad: 0.0 };
+        return NormalizationStats {
+            median: 0.0,
+            mad: 0.0,
+        };
     }
     let median = median_of(samples);
     let mut devs: Vec<f32> = samples.iter().map(|x| (x - median).abs()).collect();

@@ -50,10 +50,18 @@ impl PoreModel {
         let mut levels = vec![0.0f32; n];
         let (lo, hi) = (Self::CURRENT_MIN, Self::CURRENT_MAX);
         for (rank, &(_, kmer)) in order.iter().enumerate() {
-            let frac = if n == 1 { 0.5 } else { rank as f32 / (n - 1) as f32 };
+            let frac = if n == 1 {
+                0.5
+            } else {
+                rank as f32 / (n - 1) as f32
+            };
             levels[kmer] = lo + frac * (hi - lo);
         }
-        PoreModel { k, levels, event_std: Self::EVENT_STD }
+        PoreModel {
+            k,
+            levels,
+            event_std: Self::EVENT_STD,
+        }
     }
 
     /// Lowest mean current in the table (pA).

@@ -96,7 +96,10 @@ impl SignalSynthesizer {
 
     /// Creates a synthesizer with the default dwell time.
     pub fn new(model: PoreModel) -> SignalSynthesizer {
-        SignalSynthesizer { model, mean_dwell: Self::DEFAULT_MEAN_DWELL }
+        SignalSynthesizer {
+            model,
+            mean_dwell: Self::DEFAULT_MEAN_DWELL,
+        }
     }
 
     /// Overrides the mean dwell time (samples per base).
@@ -142,7 +145,11 @@ impl SignalSynthesizer {
     ) -> ReadSignal {
         let k = self.model.k();
         if truth.len() < k {
-            return ReadSignal { samples: Vec::new(), base_index: Vec::new(), truth: truth.clone() };
+            return ReadSignal {
+                samples: Vec::new(),
+                base_index: Vec::new(),
+                truth: truth.clone(),
+            };
         }
         let n_kmers = truth.len() - k + 1;
         let mut rng = rng::derive(seed, 0x7369676e616c); // "signal"
@@ -178,7 +185,11 @@ impl SignalSynthesizer {
                 wander = rho * wander + rng::normal(&mut rng, 0.0, innovation);
             }
         }
-        ReadSignal { samples, base_index, truth: truth.clone() }
+        ReadSignal {
+            samples,
+            base_index,
+            truth: truth.clone(),
+        }
     }
 }
 
@@ -200,7 +211,12 @@ mod tests {
     }
 
     fn random_seq(n: usize, seed: u64) -> DnaSeq {
-        GenomeBuilder::new(n).seed(seed).repeat_fraction(0.0).build().sequence().clone()
+        GenomeBuilder::new(n)
+            .seed(seed)
+            .repeat_fraction(0.0)
+            .build()
+            .sequence()
+            .clone()
     }
 
     #[test]
@@ -221,7 +237,10 @@ mod tests {
         let sig = s.synthesize(&truth, 1.0, 3);
         let expected = s.expected_samples(truth.len()) as f64;
         let actual = sig.len() as f64;
-        assert!((actual - expected).abs() / expected < 0.1, "expected ~{expected}, got {actual}");
+        assert!(
+            (actual - expected).abs() / expected < 0.1,
+            "expected ~{expected}, got {actual}"
+        );
         assert_eq!(sig.samples.len(), sig.base_index.len());
     }
 
@@ -230,7 +249,10 @@ mod tests {
         let s = synth();
         let truth = random_seq(300, 4);
         let sig = s.synthesize(&truth, 1.0, 5);
-        assert!(sig.base_index.windows(2).all(|w| w[1] == w[0] || w[1] == w[0] + 1));
+        assert!(sig
+            .base_index
+            .windows(2)
+            .all(|w| w[1] == w[0] || w[1] == w[0] + 1));
         assert_eq!(sig.base_index[0], 0);
         assert_eq!(
             *sig.base_index.last().unwrap() as usize,

@@ -1,92 +1,121 @@
-//! Property-based tests of the signal substrate.
+//! Randomized property tests of the signal substrate.
+//!
+//! Seeded random cases over the workspace's own deterministic RNG (no
+//! external property-testing dependency).
 
+use genpip_genomics::rng::{seeded, Rng, SeededRng};
 use genpip_genomics::{Base, DnaSeq};
 use genpip_signal::{chunk_boundaries, normalize_to_model, PoreModel, SignalSynthesizer};
-use proptest::prelude::*;
 
-fn arb_dna(range: std::ops::Range<usize>) -> impl Strategy<Value = DnaSeq> {
-    proptest::collection::vec(0u8..4, range)
-        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+const CASES: u64 = 64;
+
+fn arb_dna(rng: &mut SeededRng, min: usize, max: usize) -> DnaSeq {
+    let len = rng.random_range(min..max);
+    (0..len)
+        .map(|_| Base::from_code(rng.random_range(0..4u8)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn chunks_partition_any_signal(total in 0usize..100_000, chunk in 1usize..5_000) {
+#[test]
+fn chunks_partition_any_signal() {
+    for case in 0..CASES {
+        let mut rng = seeded(0xC4 ^ case);
+        let total = rng.random_range(0..100_000usize);
+        let chunk = rng.random_range(1..5_000usize);
         let chunks = chunk_boundaries(total, chunk);
         let covered: usize = chunks.iter().map(|c| c.len()).sum();
-        prop_assert_eq!(covered, total);
+        assert_eq!(covered, total);
         for (i, c) in chunks.iter().enumerate() {
-            prop_assert_eq!(c.index, i);
-            prop_assert!(c.len() <= chunk);
-            prop_assert!(!c.is_empty());
+            assert_eq!(c.index, i);
+            assert!(c.len() <= chunk);
+            assert!(!c.is_empty());
         }
         // Only the last chunk may be partial.
         for c in chunks.iter().rev().skip(1) {
-            prop_assert_eq!(c.len(), chunk);
+            assert_eq!(c.len(), chunk);
         }
     }
+}
 
-    #[test]
-    fn synthesis_sample_count_matches_truth_index(seq in arb_dna(3..400), sigma in 0.1f64..3.0, seed in 0u64..100) {
+#[test]
+fn synthesis_sample_count_matches_truth_index() {
+    for case in 0..CASES {
+        let mut rng = seeded(0x57 ^ case);
+        let seq = arb_dna(&mut rng, 3, 400);
+        let sigma = rng.random_range(0.1f64..3.0);
         let model = PoreModel::synthetic(3, 7);
         let synth = SignalSynthesizer::new(model);
-        let sig = synth.synthesize(&seq, sigma, seed);
-        prop_assert_eq!(sig.samples.len(), sig.base_index.len());
+        let sig = synth.synthesize(&seq, sigma, case);
+        assert_eq!(sig.samples.len(), sig.base_index.len());
         if seq.len() >= 3 {
-            prop_assert!(!sig.samples.is_empty());
+            assert!(!sig.samples.is_empty());
             // base_index covers exactly the k-mer range.
-            prop_assert_eq!(sig.base_index[0], 0);
-            prop_assert_eq!(*sig.base_index.last().unwrap() as usize, seq.len() - 3);
+            assert_eq!(sig.base_index[0], 0);
+            assert_eq!(*sig.base_index.last().unwrap() as usize, seq.len() - 3);
         } else {
-            prop_assert!(sig.samples.is_empty());
+            assert!(sig.samples.is_empty());
         }
     }
+}
 
-    #[test]
-    fn normalization_is_affine_invariant(
-        seq in arb_dna(50..300),
-        offset in -200.0f32..200.0,
-        gain in 0.2f32..5.0,
-        seed in 0u64..50,
-    ) {
+#[test]
+fn normalization_is_affine_invariant() {
+    let mut checked = 0usize;
+    for case in 0..CASES {
+        let mut rng = seeded(0xAF ^ case);
+        let seq = arb_dna(&mut rng, 50, 300);
+        let offset = rng.random_range(-200.0f32..200.0);
+        let gain = rng.random_range(0.2f32..5.0);
         let model = PoreModel::synthetic(3, 7);
         let synth = SignalSynthesizer::new(model.clone());
-        let sig = synth.synthesize(&seq, 1.0, seed);
-        prop_assume!(sig.samples.len() >= 16);
-
+        let sig = synth.synthesize(&seq, 1.0, case);
+        if sig.samples.len() < 16 {
+            continue;
+        }
+        checked += 1;
         let mut reference = sig.samples.clone();
         normalize_to_model(&mut reference, &model);
         let mut corrupted: Vec<f32> = sig.samples.iter().map(|x| x * gain + offset).collect();
         normalize_to_model(&mut corrupted, &model);
         for (a, b) in corrupted.iter().zip(&reference) {
-            prop_assert!((a - b).abs() < 0.6, "{} vs {}", a, b);
+            assert!((a - b).abs() < 0.6, "{a} vs {b}");
         }
     }
+    assert!(
+        checked > CASES as usize / 2,
+        "only {checked} cases exercised"
+    );
+}
 
-    #[test]
-    fn normalized_median_hits_model_median(seq in arb_dna(60..300), seed in 0u64..50) {
+#[test]
+fn normalized_median_hits_model_median() {
+    for case in 0..CASES {
+        let mut rng = seeded(0x3D ^ case);
+        let seq = arb_dna(&mut rng, 60, 300);
         let model = PoreModel::synthetic(3, 7);
         let synth = SignalSynthesizer::new(model.clone());
-        let mut sig = synth.synthesize(&seq, 2.0, seed);
-        prop_assume!(!sig.samples.is_empty());
+        let mut sig = synth.synthesize(&seq, 2.0, case);
+        assert!(!sig.samples.is_empty());
         normalize_to_model(&mut sig.samples, &model);
         let mut sorted = sig.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sorted[sorted.len() / 2];
-        prop_assert!((median - model.median_level()).abs() < 1.0);
+        assert!((median - model.median_level()).abs() < 1.0);
     }
+}
 
-    #[test]
-    fn pore_trace_is_deterministic_per_kmer(seq in arb_dna(3..120)) {
+#[test]
+fn pore_trace_is_deterministic_per_kmer() {
+    for case in 0..CASES {
+        let mut rng = seeded(0xD7 ^ case);
+        let seq = arb_dna(&mut rng, 3, 120);
         let model = PoreModel::synthetic(3, 7);
         let trace = model.trace(&seq);
-        prop_assert_eq!(trace.len(), seq.len().saturating_sub(2));
+        assert_eq!(trace.len(), seq.len().saturating_sub(2));
         for (i, level) in trace.iter().enumerate() {
             let kmer = genpip_genomics::Kmer::from_seq(&seq, i, 3);
-            prop_assert_eq!(*level, model.level(kmer));
-            prop_assert!((PoreModel::CURRENT_MIN..=PoreModel::CURRENT_MAX).contains(level));
+            assert_eq!(*level, model.level(kmer));
+            assert!((PoreModel::CURRENT_MIN..=PoreModel::CURRENT_MAX).contains(level));
         }
     }
 }

@@ -35,7 +35,11 @@ impl StageSpec {
     /// Panics if `servers` is 0.
     pub fn new(name: impl Into<String>, servers: usize) -> StageSpec {
         assert!(servers > 0, "a stage needs at least one server");
-        StageSpec { name: name.into(), servers, sequential_within_read: false }
+        StageSpec {
+            name: name.into(),
+            servers,
+            sequential_within_read: false,
+        }
     }
 
     /// Marks the stage as in-read sequential (see module docs).
@@ -77,7 +81,12 @@ pub struct Job {
 impl Job {
     /// Creates a job released at time zero.
     pub fn new(read: u32, seq_in_read: u32, service: Vec<SimTime>) -> Job {
-        Job { read, seq_in_read, service, release: SimTime::ZERO }
+        Job {
+            read,
+            seq_in_read,
+            service,
+            release: SimTime::ZERO,
+        }
     }
 
     /// Sets the release time.
@@ -256,7 +265,13 @@ impl PipelineSim {
             })
             .collect();
 
-        PipelineReport { makespan, stage_busy, stage_utilization, job_completion, trace }
+        PipelineReport {
+            makespan,
+            stage_busy,
+            stage_utilization,
+            job_completion,
+            trace,
+        }
     }
 }
 
@@ -275,7 +290,9 @@ pub fn render_gantt(report: &PipelineReport, stage_names: &[&str], width: usize)
     let span = report.makespan.as_secs();
     let mut rows: BTreeMap<(usize, usize), Vec<char>> = BTreeMap::new();
     for e in &report.trace {
-        let row = rows.entry((e.stage, e.server)).or_insert_with(|| vec!['.'; width]);
+        let row = rows
+            .entry((e.stage, e.server))
+            .or_insert_with(|| vec!['.'; width]);
         let a = ((e.start.as_secs() / span) * width as f64) as usize;
         let b = (((e.finish.as_secs() / span) * width as f64).ceil() as usize).min(width);
         let glyph = char::from_digit(e.read % 10, 10).unwrap_or('#');
@@ -322,11 +339,10 @@ mod tests {
     #[test]
     fn pipeline_overlaps_stages() {
         // Classic 2-stage pipeline: makespan = fill + n * bottleneck.
-        let mut sim = PipelineSim::new(vec![
-            StageSpec::new("a", 1),
-            StageSpec::new("b", 1),
-        ]);
-        let jobs: Vec<Job> = (0..10).map(|i| Job::new(i, 0, vec![t(10.0), t(4.0)])).collect();
+        let mut sim = PipelineSim::new(vec![StageSpec::new("a", 1), StageSpec::new("b", 1)]);
+        let jobs: Vec<Job> = (0..10)
+            .map(|i| Job::new(i, 0, vec![t(10.0), t(4.0)]))
+            .collect();
         let report = sim.run(&jobs);
         // Stage a serializes: 100 ns; last job then spends 4 ns in b.
         assert_eq!(report.makespan, t(104.0));
@@ -339,20 +355,13 @@ mod tests {
     fn sequential_within_read_is_enforced() {
         // Two servers, but both jobs belong to one read on a sequential
         // stage: they must not run in parallel.
-        let mut sim =
-            PipelineSim::new(vec![StageSpec::new("bc", 2).sequential_within_read()]);
-        let jobs = vec![
-            Job::new(7, 0, vec![t(10.0)]),
-            Job::new(7, 1, vec![t(10.0)]),
-        ];
+        let mut sim = PipelineSim::new(vec![StageSpec::new("bc", 2).sequential_within_read()]);
+        let jobs = vec![Job::new(7, 0, vec![t(10.0)]), Job::new(7, 1, vec![t(10.0)])];
         let report = sim.run(&jobs);
         assert_eq!(report.makespan, t(20.0));
 
         // Different reads do run in parallel.
-        let jobs = vec![
-            Job::new(1, 0, vec![t(10.0)]),
-            Job::new(2, 0, vec![t(10.0)]),
-        ];
+        let jobs = vec![Job::new(1, 0, vec![t(10.0)]), Job::new(2, 0, vec![t(10.0)])];
         assert_eq!(sim.run(&jobs).makespan, t(10.0));
     }
 
@@ -368,10 +377,7 @@ mod tests {
 
     #[test]
     fn zero_service_passes_through() {
-        let mut sim = PipelineSim::new(vec![
-            StageSpec::new("a", 1),
-            StageSpec::new("b", 1),
-        ]);
+        let mut sim = PipelineSim::new(vec![StageSpec::new("a", 1), StageSpec::new("b", 1)]);
         let jobs = vec![Job::new(0, 0, vec![t(10.0), SimTime::ZERO])];
         let report = sim.run(&jobs);
         assert_eq!(report.makespan, t(10.0));
@@ -399,11 +405,10 @@ mod tests {
 
     #[test]
     fn trace_records_intervals_and_gantt_renders() {
-        let mut sim = PipelineSim::new(vec![
-            StageSpec::new("a", 1),
-            StageSpec::new("b", 2),
-        ]);
-        let jobs: Vec<Job> = (0..4).map(|i| Job::new(i, 0, vec![t(10.0), t(5.0)])).collect();
+        let mut sim = PipelineSim::new(vec![StageSpec::new("a", 1), StageSpec::new("b", 2)]);
+        let jobs: Vec<Job> = (0..4)
+            .map(|i| Job::new(i, 0, vec![t(10.0), t(5.0)]))
+            .collect();
         let report = sim.run_traced(&jobs);
         // One entry per non-zero service: 4 jobs × 2 stages.
         assert_eq!(report.trace.len(), 8);
@@ -412,8 +417,7 @@ mod tests {
             assert!(e.finish <= report.makespan);
         }
         // Stage-a entries never overlap (single server).
-        let mut a_entries: Vec<_> =
-            report.trace.iter().filter(|e| e.stage == 0).collect();
+        let mut a_entries: Vec<_> = report.trace.iter().filter(|e| e.stage == 0).collect();
         a_entries.sort_by_key(|e| e.start);
         for w in a_entries.windows(2) {
             assert!(w[0].finish <= w[1].start);

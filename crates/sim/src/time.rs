@@ -27,7 +27,10 @@ impl SimTime {
     ///
     /// Panics on negative or non-finite input.
     pub fn from_ns(ns: f64) -> SimTime {
-        assert!(ns.is_finite() && ns >= 0.0, "time must be finite and non-negative");
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "time must be finite and non-negative"
+        );
         SimTime((ns * 1e3).round() as u64)
     }
 

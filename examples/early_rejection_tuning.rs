@@ -26,14 +26,16 @@ fn main() {
     let oracle = run_conventional(&dataset, &base);
 
     println!("θ_qs sweep (QSR only, N_qs = {}):", base.n_qs);
-    println!("{:>8} {:>12} {:>12} {:>14}", "θ_qs", "rejected", "FN ratio", "samples saved");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14}",
+        "θ_qs", "rejected", "FN ratio", "samples saved"
+    );
     for theta in [5.0, 6.0, 7.0, 8.0, 9.0] {
         let mut config = base.clone();
         config.theta_qs = theta;
         let run = run_genpip(&dataset, &config, ErMode::QsrOnly);
         let a = qsr_analysis(&run, &oracle, theta);
-        let saved =
-            1.0 - run.totals().samples as f64 / oracle.totals().samples as f64;
+        let saved = 1.0 - run.totals().samples as f64 / oracle.totals().samples as f64;
         println!(
             "{theta:>8.1} {:>11.1}% {:>11.1}% {:>13.1}%",
             a.rejection_ratio() * 100.0,
@@ -43,14 +45,16 @@ fn main() {
     }
 
     println!("\nθ_cm sweep (full ER, N_cm = {}):", base.n_cm);
-    println!("{:>8} {:>12} {:>12} {:>14}", "θ_cm", "rejected", "FN ratio", "samples saved");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14}",
+        "θ_cm", "rejected", "FN ratio", "samples saved"
+    );
     for theta in [15.0, 55.0, 150.0, 400.0, 800.0] {
         let mut config = base.clone();
         config.theta_cm = theta;
         let run = run_genpip(&dataset, &config, ErMode::Full);
         let a = cmr_analysis(&run, &oracle);
-        let saved =
-            1.0 - run.totals().samples as f64 / oracle.totals().samples as f64;
+        let saved = 1.0 - run.totals().samples as f64 / oracle.totals().samples as f64;
         println!(
             "{theta:>8.1} {:>11.1}% {:>11.1}% {:>13.1}%",
             a.rejection_ratio() * 100.0,

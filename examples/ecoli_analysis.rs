@@ -63,7 +63,10 @@ fn main() {
     let evals = evaluate_all(&workloads, &SystemCosts::default());
     let speedups = speedups_vs(&evals, SystemKind::Cpu);
     let energies = energy_reductions_vs(&evals, SystemKind::Cpu);
-    println!("{:<16} {:>12} {:>10} {:>12}", "system", "time", "speedup", "energy red.");
+    println!(
+        "{:<16} {:>12} {:>10} {:>12}",
+        "system", "time", "speedup", "energy red."
+    );
     for (eval, ((_, s), (_, e))) in evals.iter().zip(speedups.iter().zip(&energies)) {
         println!(
             "{:<16} {:>12} {:>9.2}x {:>11.2}x",

@@ -59,13 +59,19 @@ fn main() {
     describe("reverse complement", &mapper, &rc);
 
     let mut rng = seeded(7);
-    let (noisy, _) = ErrorModel::with_total_rate(0.12).apply(&genome.sequence().subseq(10_000, 1_500), &mut rng);
+    let (noisy, _) =
+        ErrorModel::with_total_rate(0.12).apply(&genome.sequence().subseq(10_000, 1_500), &mut rng);
     describe("12%-error read", &mapper, &noisy);
 
-    let (very_noisy, _) = ErrorModel::with_total_rate(0.35).apply(&genome.sequence().subseq(10_000, 1_500), &mut rng);
+    let (very_noisy, _) =
+        ErrorModel::with_total_rate(0.35).apply(&genome.sequence().subseq(10_000, 1_500), &mut rng);
     describe("35%-error read", &mapper, &very_noisy);
 
-    let alien = GenomeBuilder::new(1_500).seed(999).build().sequence().clone();
+    let alien = GenomeBuilder::new(1_500)
+        .seed(999)
+        .build()
+        .sequence()
+        .clone();
     describe("alien read", &mapper, &alien);
 
     let short: DnaSeq = "ACGTACGTAT".parse().expect("valid DNA");

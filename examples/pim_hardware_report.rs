@@ -21,7 +21,10 @@ fn main() {
 
     println!("== Device constants (32 nm) ==");
     println!("crossbar MVM cycle:      {}", tech.t_mvm_cycle);
-    println!("basecall pipeline depth: {} cycles, II = {}", tech.bc_pipeline_depth_cycles, tech.bc_initiation_interval_cycles);
+    println!(
+        "basecall pipeline depth: {} cycles, II = {}",
+        tech.bc_pipeline_depth_cycles, tech.bc_initiation_interval_cycles
+    );
     println!("CAM search:              {}", tech.t_cam_search);
     println!("ReRAM read:              {}", tech.t_ram_read);
     println!("DP step:                 {}", tech.t_dp_step);
@@ -30,7 +33,10 @@ fn main() {
     let dp = DpModule::new(tech);
     println!("\n== Module service times for a 300-base chunk ==");
     println!("basecall (2400 samples): {}", bc.chunk_service(2400));
-    println!("seeding (300 shifts, 60 hits): {}", seed.chunk_service(300, 60));
+    println!(
+        "seeding (300 shifts, 60 hits): {}",
+        seed.chunk_service(300, 60)
+    );
     println!("chaining (60 anchors):   {}", dp.chain_service(60));
     println!("alignment (9 kb read):   {}", dp.align_service(9_000));
 

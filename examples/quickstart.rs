@@ -15,7 +15,10 @@ use genpip::datasets::DatasetProfile;
 fn main() {
     // A ~20 kb genome with ~20 reads: enough to see every outcome class.
     let profile = DatasetProfile::ecoli().scaled(0.03);
-    println!("generating dataset '{}' ({} reads, {} bp genome)…", profile.name, profile.n_reads, profile.genome_len);
+    println!(
+        "generating dataset '{}' ({} reads, {} bp genome)…",
+        profile.name, profile.n_reads, profile.genome_len
+    );
     let dataset = profile.generate();
 
     let config = GenPipConfig::for_dataset(&dataset.profile);
@@ -37,15 +40,23 @@ fn main() {
                 mapped += 1;
                 println!(
                     "read {:>3}: mapped {}:{}-{} ({}) identity {:.1}% mapq {}",
-                    read.id, dataset.reference.name(), m.ref_start, m.ref_end, m.strand,
-                    m.identity * 100.0, m.mapq
+                    read.id,
+                    dataset.reference.name(),
+                    m.ref_start,
+                    m.ref_end,
+                    m.strand,
+                    m.identity * 100.0,
+                    m.mapq
                 );
             }
             ReadOutcome::RejectedQsr { sampled_aqs } => {
                 qsr += 1;
                 println!(
                     "read {:>3}: early-rejected by QSR after {} of {} chunks (sampled AQS {:.1})",
-                    read.id, read.chunks.len(), read.total_chunks, sampled_aqs
+                    read.id,
+                    read.chunks.len(),
+                    read.total_chunks,
+                    sampled_aqs
                 );
             }
             ReadOutcome::RejectedCmr { chain_score } => {
@@ -57,11 +68,17 @@ fn main() {
             }
             ReadOutcome::FilteredQc { aqs } => {
                 qc += 1;
-                println!("read {:>3}: discarded by read quality control (AQS {aqs:.1})", read.id);
+                println!(
+                    "read {:>3}: discarded by read quality control (AQS {aqs:.1})",
+                    read.id
+                );
             }
             ReadOutcome::Unmapped { chain_score } => {
                 unmapped += 1;
-                println!("read {:>3}: unmapped (best chain score {chain_score:.0})", read.id);
+                println!(
+                    "read {:>3}: unmapped (best chain score {chain_score:.0})",
+                    read.id
+                );
             }
         }
     }

@@ -99,7 +99,11 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
 type Parsed = (Options, Vec<String>);
 
 fn profile_from(parsed: &Parsed) -> Result<DatasetProfile, String> {
-    let name = parsed.0.get("profile").map(String::as_str).unwrap_or("ecoli");
+    let name = parsed
+        .0
+        .get("profile")
+        .map(String::as_str)
+        .unwrap_or("ecoli");
     let profile = match name {
         "ecoli" => DatasetProfile::ecoli(),
         "human" => DatasetProfile::human(),
@@ -124,10 +128,7 @@ fn scale_from(parsed: &Parsed, default: f64) -> Result<f64, String> {
 
 fn cmd_simulate(parsed: &Parsed) -> Result<(), String> {
     let profile = profile_from(parsed)?;
-    let prefix = parsed
-        .0
-        .get("out")
-        .ok_or("simulate needs --out <prefix>")?;
+    let prefix = parsed.0.get("out").ok_or("simulate needs --out <prefix>")?;
     println!(
         "simulating {} ({} reads, {} bp genome)…",
         profile.name, profile.n_reads, profile.genome_len
@@ -141,7 +142,10 @@ fn cmd_simulate(parsed: &Parsed) -> Result<(), String> {
     fastx::write_fasta(BufWriter::new(fasta), &dataset.reference).map_err(|e| e.to_string())?;
     let fastq = File::create(&fastq_path).map_err(|e| e.to_string())?;
     fastx::write_fastq(BufWriter::new(fastq), &reads).map_err(|e| e.to_string())?;
-    println!("wrote {fasta_path} (reference) and {fastq_path} ({} basecalled reads)", reads.len());
+    println!(
+        "wrote {fasta_path} (reference) and {fastq_path} ({} basecalled reads)",
+        reads.len()
+    );
     Ok(())
 }
 
@@ -177,7 +181,10 @@ fn cmd_map(parsed: &Parsed) -> Result<(), String> {
         Some(path) => {
             let f = File::create(path).map_err(|e| e.to_string())?;
             write_paf(BufWriter::new(f), &records).map_err(|e| e.to_string())?;
-            eprintln!("wrote {} records to {path} ({unmapped} unmapped)", records.len());
+            eprintln!(
+                "wrote {} records to {path} ({unmapped} unmapped)",
+                records.len()
+            );
         }
         None => {
             write_paf(std::io::stdout().lock(), &records).map_err(|e| e.to_string())?;
@@ -202,11 +209,26 @@ fn cmd_run(parsed: &Parsed) -> Result<(), String> {
     let totals = run.totals();
     let count = |pred: fn(&ReadOutcome) -> bool| run.count_outcomes(pred);
     println!("reads:          {}", run.reads.len());
-    println!("mapped:         {}", count(|o| matches!(o, ReadOutcome::Mapped(_))));
-    println!("QSR-rejected:   {}", count(|o| matches!(o, ReadOutcome::RejectedQsr { .. })));
-    println!("CMR-rejected:   {}", count(|o| matches!(o, ReadOutcome::RejectedCmr { .. })));
-    println!("QC-filtered:    {}", count(|o| matches!(o, ReadOutcome::FilteredQc { .. })));
-    println!("unmapped:       {}", count(|o| matches!(o, ReadOutcome::Unmapped { .. })));
+    println!(
+        "mapped:         {}",
+        count(|o| matches!(o, ReadOutcome::Mapped(_)))
+    );
+    println!(
+        "QSR-rejected:   {}",
+        count(|o| matches!(o, ReadOutcome::RejectedQsr { .. }))
+    );
+    println!(
+        "CMR-rejected:   {}",
+        count(|o| matches!(o, ReadOutcome::RejectedCmr { .. }))
+    );
+    println!(
+        "QC-filtered:    {}",
+        count(|o| matches!(o, ReadOutcome::FilteredQc { .. }))
+    );
+    println!(
+        "unmapped:       {}",
+        count(|o| matches!(o, ReadOutcome::Unmapped { .. }))
+    );
     println!(
         "basecalled:     {} of {} samples ({:.1}% saved)",
         totals.samples,

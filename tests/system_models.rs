@@ -51,11 +51,20 @@ fn headline_speedups_land_in_paper_bands() {
     let speedups = speedup_map();
     let get = |k: SystemKind| speedups.iter().find(|(s, _)| *s == k).unwrap().1;
     let genpip = get(SystemKind::GenPip);
-    assert!((25.0..70.0).contains(&genpip), "GenPIP vs CPU {genpip} (paper 41.6)");
+    assert!(
+        (25.0..70.0).contains(&genpip),
+        "GenPIP vs CPU {genpip} (paper 41.6)"
+    );
     let vs_gpu = genpip / get(SystemKind::Gpu);
-    assert!((5.0..14.0).contains(&vs_gpu), "GenPIP vs GPU {vs_gpu} (paper 8.4)");
+    assert!(
+        (5.0..14.0).contains(&vs_gpu),
+        "GenPIP vs GPU {vs_gpu} (paper 8.4)"
+    );
     let vs_pim = genpip / get(SystemKind::Pim);
-    assert!((1.15..1.95).contains(&vs_pim), "GenPIP vs PIM {vs_pim} (paper 1.39)");
+    assert!(
+        (1.15..1.95).contains(&vs_pim),
+        "GenPIP vs PIM {vs_pim} (paper 1.39)"
+    );
 }
 
 #[test]
@@ -66,9 +75,16 @@ fn energy_claims_hold_end_to_end() {
     let evals = evaluate_all(&workloads, &SystemCosts::default());
     let reductions = energy_reductions_vs(&evals, SystemKind::Cpu);
     let get = |k: SystemKind| reductions.iter().find(|(s, _)| *s == k).unwrap().1;
-    assert!((15.0..60.0).contains(&get(SystemKind::GenPip)), "GenPIP energy reduction {} (paper 32.8)", get(SystemKind::GenPip));
+    assert!(
+        (15.0..60.0).contains(&get(SystemKind::GenPip)),
+        "GenPIP energy reduction {} (paper 32.8)",
+        get(SystemKind::GenPip)
+    );
     let vs_pim = get(SystemKind::GenPip) / get(SystemKind::Pim);
-    assert!((1.1..1.9).contains(&vs_pim), "GenPIP vs PIM energy {vs_pim} (paper 1.37)");
+    assert!(
+        (1.1..1.9).contains(&vs_pim),
+        "GenPIP vs PIM energy {vs_pim} (paper 1.37)"
+    );
     // Section 6.2: filtering on both quality and chunk mapping matters.
     assert!(get(SystemKind::GenPip) > get(SystemKind::GenPipCpQsr));
     assert!(get(SystemKind::GenPipCpQsr) > get(SystemKind::GenPipCp));
