@@ -5,8 +5,10 @@
 //! implementations (not the modelled hardware times): the MVM emission
 //! kernel, CAM search, Viterbi chunk decoding (allocation-free scratch
 //! path), minimizer extraction, chaining DP, banded alignment, end-to-end
-//! single-read processing, and `run_genpip` at 1/2/4 worker threads with a
-//! serial-vs-parallel bit-identity check.
+//! single-read processing, `run_genpip` at 1/2/4 worker threads with a
+//! serial-vs-parallel bit-identity check, and the streaming executor
+//! (`run_genpip_streaming` over a lazy `StreamingSimulator` source) across
+//! worker/queue settings with a streaming-vs-batch bit-identity check.
 //!
 //! Results are printed as a table and written to `BENCH_kernels.json` at the
 //! repo root so future PRs have a perf trajectory to compare against. Note
@@ -17,8 +19,9 @@
 use genpip_basecall::{Basecaller, CallScratch, EmissionModel};
 use genpip_bench::micro::{bench, bench_json, time_once, Json};
 use genpip_core::pipeline::{run_genpip, ErMode};
+use genpip_core::stream::{run_genpip_streaming, StreamEvent, StreamOptions};
 use genpip_core::{GenPipConfig, Parallelism};
-use genpip_datasets::DatasetProfile;
+use genpip_datasets::{DatasetProfile, StreamingSimulator};
 use genpip_genomics::GenomeBuilder;
 use genpip_mapping::{
     minimizers_into, Anchor, ChainParams, IncrementalChainer, Mapper, MapperParams,
@@ -265,6 +268,60 @@ fn main() {
         "parallel pipeline diverged from serial output"
     );
 
+    // --- Streaming pipeline: lazy source → bounded queue → in-order sink ---
+    // Timed end to end including on-the-fly read synthesis (the streaming
+    // scenario: source latency is part of the pipeline), so reads/s here is
+    // not directly comparable to the batch rows above.
+    println!("\n=== streaming pipeline bench (lazy source, bounded queue) ===");
+    let batch_reference = &serial_reads.as_ref().expect("serial pass ran").0;
+    let mut streaming_rows = Vec::new();
+    let mut streaming_matches_batch = true;
+    for (workers, queue_capacity) in [(1usize, 8usize), (2, 8), (4, 2), (4, 16)] {
+        let config =
+            GenPipConfig::for_dataset(&dataset.profile).with_parallelism(if workers == 1 {
+                Parallelism::Serial
+            } else {
+                Parallelism::Threads(workers)
+            });
+        let opts = StreamOptions {
+            queue_capacity,
+            progress_every: 0,
+        };
+        let mut reads = Vec::new();
+        let (summary, seconds) = time_once(|| {
+            let mut source = StreamingSimulator::new(&dataset.profile);
+            run_genpip_streaming(&mut source, &config, ErMode::Full, &opts, |event| {
+                if let StreamEvent::Read(run) = event {
+                    reads.push(run);
+                }
+            })
+        });
+        streaming_matches_batch &= &reads == batch_reference;
+        let reads_per_s = summary.outcomes.reads_emitted as f64 / seconds;
+        println!(
+            "threads {workers} queue {queue_capacity:>2}: {seconds:.3} s  \
+             {reads_per_s:>8.1} reads/s  peak in-flight {}/{}",
+            summary.max_in_flight, summary.in_flight_limit
+        );
+        streaming_rows.push(Json::obj([
+            ("threads", Json::Num(workers as f64)),
+            ("queue_capacity", Json::Num(queue_capacity as f64)),
+            ("seconds", Json::Num(seconds)),
+            ("reads_per_s", Json::Num(reads_per_s)),
+            (
+                "samples_per_s",
+                Json::Num(summary.totals.samples as f64 / seconds),
+            ),
+            ("max_in_flight", Json::Num(summary.max_in_flight as f64)),
+            ("in_flight_limit", Json::Num(summary.in_flight_limit as f64)),
+        ]));
+    }
+    println!("streaming vs batch outputs bit-identical: {streaming_matches_batch}");
+    assert!(
+        streaming_matches_batch,
+        "streaming pipeline diverged from batch output"
+    );
+
     let report = Json::obj([
         ("schema", Json::Str("genpip-bench-kernels-v1".into())),
         (
@@ -284,6 +341,11 @@ fn main() {
         ),
         ("pipeline_threads", Json::Arr(thread_rows)),
         ("pipeline_bit_identical", Json::Bool(bit_identical)),
+        ("streaming", Json::Arr(streaming_rows)),
+        (
+            "streaming_matches_batch",
+            Json::Bool(streaming_matches_batch),
+        ),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     match std::fs::write(path, report.render()) {

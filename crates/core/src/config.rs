@@ -32,6 +32,29 @@ impl Parallelism {
                 .unwrap_or(1),
         }
     }
+
+    /// Parses a parallelism spelling: `"serial"`, `"auto"`, or a worker
+    /// count (e.g. `"4"` → `Threads(4)`). `None` for anything else.
+    pub fn parse(s: &str) -> Option<Parallelism> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "serial" => Some(Parallelism::Serial),
+            "auto" => Some(Parallelism::Auto),
+            n => n.parse::<usize>().ok().map(Parallelism::Threads),
+        }
+    }
+
+    /// The setting named by the `GENPIP_PARALLELISM` environment variable
+    /// (same spellings as [`Parallelism::parse`]), or `None` when unset or
+    /// unparseable. CI's test matrix sets this to force both threading
+    /// paths through every test that consults it.
+    pub fn from_env() -> Option<Parallelism> {
+        Parallelism::parse(&std::env::var("GENPIP_PARALLELISM").ok()?)
+    }
+
+    /// [`Parallelism::from_env`] with a fallback.
+    pub fn from_env_or(default: Parallelism) -> Parallelism {
+        Parallelism::from_env().unwrap_or(default)
+    }
 }
 
 /// All knobs of the GenPIP system.
@@ -156,5 +179,14 @@ mod tests {
         assert!(Parallelism::Auto.workers() >= 1);
         let c = GenPipConfig::default().with_parallelism(Parallelism::Threads(2));
         assert_eq!(c.parallelism, Parallelism::Threads(2));
+    }
+
+    #[test]
+    fn parallelism_parses_the_env_spellings() {
+        assert_eq!(Parallelism::parse("serial"), Some(Parallelism::Serial));
+        assert_eq!(Parallelism::parse("  AUTO "), Some(Parallelism::Auto));
+        assert_eq!(Parallelism::parse("4"), Some(Parallelism::Threads(4)));
+        assert_eq!(Parallelism::parse("bogus"), None);
+        assert_eq!(Parallelism::parse(""), None);
     }
 }

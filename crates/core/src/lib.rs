@@ -11,6 +11,10 @@
 //!   pipeline (Figure 5a) and GenPIP's chunk-based pipeline with optional
 //!   ER (Figures 5b and 6), producing per-read outcomes and the workload
 //!   counters every hardware model consumes;
+//! * [`stream`] — the bounded-memory streaming executor: reads pulled from
+//!   a `ReadSource` flow through a backpressured work queue and leave
+//!   through a sink callback in read order, bit-identical to the batch
+//!   drivers with O(workers + queue) peak memory;
 //! * [`systems`] — the ten evaluated system configurations (CPU, CPU-CP,
 //!   CPU-GP, GPU, GPU-CP, GPU-GP, PIM, GenPIP-CP, GenPIP-CP-QSR, GenPIP)
 //!   plus the Figure 4 potential study (Systems A–D), as timing/energy cost
@@ -40,8 +44,13 @@ pub mod controller;
 pub mod early_reject;
 pub mod experiments;
 pub mod pipeline;
+pub mod stream;
 pub mod systems;
 
 pub use config::{GenPipConfig, Parallelism};
 pub use pipeline::{ChunkWork, ErMode, PipelineRun, ReadOutcome, ReadRun};
+pub use stream::{
+    run_conventional_streaming, run_genpip_streaming, ProgressSnapshot, StreamEvent, StreamOptions,
+    StreamSummary,
+};
 pub use systems::SystemKind;

@@ -21,31 +21,34 @@
 //!
 //! # Threading model
 //!
-//! Both drivers execute reads across a pool of scoped worker threads sized
-//! by [`GenPipConfig::parallelism`] ([`crate::Parallelism`]). Reads are
-//! independent, so workers pull read indices from a shared atomic counter,
-//! process each read with **worker-local scratch** (basecaller decode
-//! buffers, sketch/seed buffers, a reusable chainer pair — so the hot path
-//! stays allocation-free in steady state), and the driver reassembles
-//! results in read order. The shared state ([`Basecaller`], [`Mapper`] with
-//! its `Arc`-shared reference genome) is immutable, therefore one mapper
-//! index serves every worker. Per-read computation never depends on other
-//! reads, which makes the output **bit-identical** for every `Parallelism`
-//! setting — asserted by this module's tests across all [`ErMode`]s.
+//! Both drivers are thin wrappers over the streaming core in
+//! [`crate::stream`]: reads flow from a pull-based source through a bounded
+//! work queue to a pool of scoped worker threads sized by
+//! [`GenPipConfig::parallelism`] ([`crate::Parallelism`]), and results are
+//! re-emitted in read order through preallocated per-index slots (no lock
+//! contention on the gather side). Each worker processes reads with
+//! **worker-local scratch** (basecaller decode buffers, sketch/seed
+//! buffers, a reusable chainer pair — so the hot path stays allocation-free
+//! in steady state). The shared state ([`Basecaller`], [`Mapper`] with its
+//! `Arc`-shared reference genome) is immutable, therefore one mapper index
+//! serves every worker. Per-read computation never depends on other reads,
+//! which makes the output **bit-identical** for every `Parallelism` setting
+//! and for streaming vs batch execution — asserted by this module's tests
+//! across all [`ErMode`]s.
 
 use crate::config::GenPipConfig;
 use crate::early_reject::{cmr_check, qsr_check, qsr_sample_indices};
+use crate::stream::stream_engine;
 use genpip_basecall::{BasecalledChunk, Basecaller, CallScratch, CarryState};
-use genpip_datasets::{SimulatedDataset, SimulatedRead};
+use genpip_datasets::{ReadSource, SimulatedDataset, SimulatedRead};
 use genpip_genomics::quality::AqsAccumulator;
-use genpip_genomics::DnaSeq;
+use genpip_genomics::{DnaSeq, Genome};
 use genpip_mapping::{
     IncrementalChainer, Mapper, Mapping, MappingCounters, SeedBatch, SeedScratch,
 };
-use genpip_signal::chunk_boundaries;
+use genpip_signal::{chunk_boundaries, PoreModel};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Which early-rejection stages are active on top of CP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,34 +229,41 @@ pub struct WorkloadTotals {
     pub mapped_reads: usize,
 }
 
-impl PipelineRun {
-    /// Sums the workload counters.
+impl WorkloadTotals {
+    /// Folds one read's counters into the totals — the unit both
+    /// [`PipelineRun::totals`] and the streaming drivers (which never hold
+    /// the whole run in memory) are built from.
     ///
     /// Basecalling quantities come from the chunk work entries; mapping
     /// quantities come from the per-read [`MappingCounters`], which hold the
     /// whole-read sketch for conventional runs and the per-chunk aggregation
     /// for chunked runs.
+    pub fn accumulate(&mut self, r: &ReadRun) {
+        self.reads += 1;
+        for c in &r.chunks {
+            self.samples += c.samples;
+            self.mvm_ops += c.mvm_ops;
+            self.bases_called += c.bases_called;
+            self.seed_bases += c.seed_bases;
+        }
+        self.minimizers += r.map_counters.minimizers;
+        self.anchors += r.map_counters.anchors;
+        self.chain_evals += r.map_counters.chain_evals;
+        self.align_cells += r.align_cells;
+        self.raw_bytes += r.raw_bytes();
+        self.called_bytes += r.called_bytes();
+        if r.outcome.is_mapped() {
+            self.mapped_reads += 1;
+        }
+    }
+}
+
+impl PipelineRun {
+    /// Sums the workload counters (see [`WorkloadTotals::accumulate`]).
     pub fn totals(&self) -> WorkloadTotals {
-        let mut t = WorkloadTotals {
-            reads: self.reads.len(),
-            ..Default::default()
-        };
+        let mut t = WorkloadTotals::default();
         for r in &self.reads {
-            for c in &r.chunks {
-                t.samples += c.samples;
-                t.mvm_ops += c.mvm_ops;
-                t.bases_called += c.bases_called;
-                t.seed_bases += c.seed_bases;
-            }
-            t.minimizers += r.map_counters.minimizers;
-            t.anchors += r.map_counters.anchors;
-            t.chain_evals += r.map_counters.chain_evals;
-            t.align_cells += r.align_cells;
-            t.raw_bytes += r.raw_bytes();
-            t.called_bytes += r.called_bytes();
-            if r.outcome.is_mapped() {
-                t.mapped_reads += 1;
-            }
+            t.accumulate(r);
         }
         t
     }
@@ -278,8 +288,8 @@ impl PipelineRun {
 
 /// Shared per-run context. Immutable once built, so one instance serves all
 /// worker threads by shared reference.
-struct RunContext<'a> {
-    config: &'a GenPipConfig,
+pub(crate) struct RunContext<'a> {
+    pub(crate) config: &'a GenPipConfig,
     caller: Basecaller,
     mapper: Mapper,
     samples_per_chunk: usize,
@@ -287,14 +297,39 @@ struct RunContext<'a> {
 
 impl<'a> RunContext<'a> {
     fn new(dataset: &SimulatedDataset, config: &'a GenPipConfig) -> RunContext<'a> {
-        let caller = Basecaller::new(dataset.pore_model(), dataset.synthesizer().mean_dwell());
-        let mapper = Mapper::build(&dataset.reference, config.mapper);
-        let samples_per_chunk = config.samples_per_chunk(dataset.synthesizer().mean_dwell());
+        RunContext::from_parts(
+            &dataset.reference,
+            dataset.pore_model(),
+            dataset.synthesizer().mean_dwell(),
+            config,
+        )
+    }
+
+    /// Builds the context from any [`ReadSource`] — the streaming drivers'
+    /// entry point, which needs no materialized dataset.
+    pub(crate) fn from_source<S: ReadSource + ?Sized>(
+        source: &S,
+        config: &'a GenPipConfig,
+    ) -> RunContext<'a> {
+        RunContext::from_parts(
+            source.reference(),
+            source.pore_model(),
+            source.mean_dwell(),
+            config,
+        )
+    }
+
+    fn from_parts(
+        reference: &Genome,
+        pore: &PoreModel,
+        mean_dwell: f64,
+        config: &'a GenPipConfig,
+    ) -> RunContext<'a> {
         RunContext {
             config,
-            caller,
-            mapper,
-            samples_per_chunk,
+            caller: Basecaller::new(pore, mean_dwell),
+            mapper: Mapper::build(reference, config.mapper),
+            samples_per_chunk: config.samples_per_chunk(mean_dwell),
         }
     }
 }
@@ -302,7 +337,7 @@ impl<'a> RunContext<'a> {
 /// Worker-local working memory: every buffer a read needs on its way through
 /// basecalling, sketching, seeding and chaining. One instance per worker
 /// thread; steady-state processing reuses it without heap allocation.
-struct WorkerScratch {
+pub(crate) struct WorkerScratch {
     call: CallScratch,
     seed: SeedScratch,
     batch: SeedBatch,
@@ -311,7 +346,7 @@ struct WorkerScratch {
 }
 
 impl WorkerScratch {
-    fn new(ctx: &RunContext<'_>) -> WorkerScratch {
+    pub(crate) fn new(ctx: &RunContext<'_>) -> WorkerScratch {
         let (fwd, rev) = ctx.mapper.new_chainers();
         WorkerScratch {
             call: CallScratch::new(),
@@ -323,66 +358,56 @@ impl WorkerScratch {
     }
 }
 
-/// Maps every read through `work` across `workers` threads, preserving read
-/// order in the output.
-///
-/// Workers claim read indices from a shared atomic counter and collect
-/// `(index, result)` pairs locally; the pairs are merged and sorted at the
-/// end, so the result is identical to the serial loop regardless of worker
-/// count or scheduling. `work` receives a worker-local [`WorkerScratch`].
-fn par_map_reads<'a, F>(
+/// Runs one read through the flow selected by `er`: `None` is the
+/// conventional whole-read pipeline, `Some(er)` is GenPIP's chunk-based
+/// pipeline with that ER mode. This is the single per-read worker function
+/// behind every driver, batch and streaming alike.
+pub(crate) fn process_read(
     ctx: &RunContext<'_>,
-    reads: &'a [SimulatedRead],
-    workers: usize,
-    work: F,
-) -> Vec<ReadRun>
-where
-    F: Fn(&mut WorkerScratch, &'a SimulatedRead) -> ReadRun + Sync,
-{
-    let workers = workers.min(reads.len()).max(1);
-    if workers == 1 {
-        let mut scratch = WorkerScratch::new(ctx);
-        return reads.iter().map(|read| work(&mut scratch, read)).collect();
+    er: Option<ErMode>,
+    read: &SimulatedRead,
+    scratch: &mut WorkerScratch,
+) -> ReadRun {
+    match er {
+        Some(er) => genpip_read(ctx, read.id, &read.signal.samples, er, scratch),
+        None => conventional_read(ctx, read.id, &read.signal.samples, scratch),
     }
-    let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, ReadRun)>> = Mutex::new(Vec::with_capacity(reads.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut scratch = WorkerScratch::new(ctx);
-                let mut local: Vec<(usize, ReadRun)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(read) = reads.get(i) else { break };
-                    local.push((i, work(&mut scratch, read)));
-                }
-                collected
-                    .lock()
-                    .expect("worker panicked")
-                    .append(&mut local);
-            });
-        }
-    });
-    let mut pairs = collected.into_inner().expect("worker panicked");
-    pairs.sort_unstable_by_key(|&(i, _)| i);
-    debug_assert!(pairs.len() == reads.len());
-    pairs.into_iter().map(|(_, run)| run).collect()
+}
+
+/// Runs a batch flow over a materialized dataset by pulling the reads
+/// through the streaming engine and collecting the in-order emissions into
+/// a preallocated vector — reassembly is lock-free (the engine's reorder
+/// window is per-index slots owned by the emitting thread).
+fn run_batch(
+    dataset: &SimulatedDataset,
+    config: &GenPipConfig,
+    er: Option<ErMode>,
+) -> Vec<ReadRun> {
+    let ctx = RunContext::new(dataset, config);
+    let workers = config.parallelism.workers().min(dataset.reads.len()).max(1);
+    let mut pending = dataset.reads.iter();
+    let mut reads: Vec<ReadRun> = Vec::with_capacity(dataset.reads.len());
+    stream_engine(
+        &ctx,
+        workers,
+        // The dataset is already resident, so a roomy queue costs only
+        // reference slots and keeps workers from ever starving.
+        4 * workers,
+        || pending.next(),
+        |scratch, read| process_read(&ctx, er, read, scratch),
+        |run| reads.push(run),
+    );
+    debug_assert!(reads.len() == dataset.reads.len());
+    reads
 }
 
 /// Runs the conventional pipeline (Figure 5a) over a dataset.
 pub fn run_conventional(dataset: &SimulatedDataset, config: &GenPipConfig) -> PipelineRun {
-    let ctx = RunContext::new(dataset, config);
-    let reads = par_map_reads(
-        &ctx,
-        &dataset.reads,
-        config.parallelism.workers(),
-        |scratch, read| conventional_read(&ctx, read.id, &read.signal.samples, scratch),
-    );
     PipelineRun {
         config: Arc::new(config.clone()),
         er: ErMode::None,
         chunked: false,
-        reads,
+        reads: run_batch(dataset, config, None),
     }
 }
 
@@ -457,18 +482,11 @@ fn conventional_read(
 
 /// Runs GenPIP's chunk-based pipeline (Figure 5b / Figure 6) over a dataset.
 pub fn run_genpip(dataset: &SimulatedDataset, config: &GenPipConfig, er: ErMode) -> PipelineRun {
-    let ctx = RunContext::new(dataset, config);
-    let reads = par_map_reads(
-        &ctx,
-        &dataset.reads,
-        config.parallelism.workers(),
-        |scratch, read| genpip_read(&ctx, read.id, &read.signal.samples, er, scratch),
-    );
     PipelineRun {
         config: Arc::new(config.clone()),
         er,
         chunked: true,
-        reads,
+        reads: run_batch(dataset, config, Some(er)),
     }
 }
 

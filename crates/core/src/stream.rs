@@ -1,0 +1,606 @@
+//! Streaming pipeline execution with bounded memory.
+//!
+//! The batch drivers in [`crate::pipeline`] materialize every input read and
+//! every [`ReadRun`] at once — O(dataset) peak memory. This module is the
+//! constant-memory alternative: reads are **pulled** one at a time from a
+//! [`ReadSource`], flow through a bounded work queue to the worker pool, and
+//! leave through a sink callback the moment they finish, in read order. The
+//! number of reads resident anywhere in the pipeline (queued, being
+//! processed, or waiting for an earlier read to be emitted) never exceeds
+//! `queue_capacity + workers` — enforced by an in-flight gate whose permits
+//! are acquired before a read is pulled and released only when its result is
+//! emitted, so peak memory is O(workers + queue), not O(dataset).
+//!
+//! ```text
+//!  source ──pull──▶ [gate ≤ Q+W] ──▶ bounded queue(Q) ──▶ W workers
+//!                                                            │
+//!  sink ◀──in-order emit ◀── per-index reorder slots ◀───────┘
+//! ```
+//!
+//! Backpressure is end-to-end: a slow sink stalls emission, which keeps gate
+//! permits held, which blocks the puller, which (for a lazy source such as
+//! [`genpip_datasets::StreamingSimulator`]) stops reads from even being
+//! synthesized. Output is **bit-identical** to the batch drivers for every
+//! [`ErMode`] and [`crate::Parallelism`] setting: per-read computation is
+//! deterministic and emission order is read order, so the transport cannot
+//! change results — asserted by this module's tests and the
+//! `tests/streaming.rs` property suite.
+//!
+//! The batch drivers themselves are thin wrappers over the same engine
+//! (`stream_engine`) with a materialized source and a `Vec` sink, so there
+//! is exactly one execution core.
+
+use crate::config::GenPipConfig;
+use crate::pipeline::{
+    process_read, ErMode, ReadOutcome, ReadRun, RunContext, WorkerScratch, WorkloadTotals,
+};
+use genpip_datasets::{ReadSource, SimulatedRead};
+use std::borrow::Borrow;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+
+/// Knobs of the streaming executor (transport only — never affects
+/// results).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamOptions {
+    /// Staging headroom between the source and the workers (clamped to
+    /// ≥ 1). The enforced invariant is on the *total*: reads in flight
+    /// anywhere (queued, processing, or awaiting in-order emission) never
+    /// exceed `queue_capacity + workers` — one permit gate bounds the
+    /// whole pipeline rather than each channel separately; see
+    /// [`StreamSummary::in_flight_limit`].
+    pub queue_capacity: usize,
+    /// Emit a [`ProgressSnapshot`] through the sink every this many reads
+    /// (0 disables snapshots).
+    pub progress_every: usize,
+}
+
+impl Default for StreamOptions {
+    /// A small queue (8) and no progress snapshots.
+    fn default() -> StreamOptions {
+        StreamOptions {
+            queue_capacity: 8,
+            progress_every: 0,
+        }
+    }
+}
+
+/// Running outcome counters, emitted periodically through the sink and
+/// returned (final values) in the [`StreamSummary`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Reads emitted so far.
+    pub reads_emitted: usize,
+    /// …of which mapped.
+    pub mapped: usize,
+    /// …of which ER-QSR rejected.
+    pub rejected_qsr: usize,
+    /// …of which ER-CMR rejected.
+    pub rejected_cmr: usize,
+    /// …of which discarded by whole-read quality control.
+    pub filtered_qc: usize,
+    /// …of which fully processed but unmapped.
+    pub unmapped: usize,
+    /// Raw samples basecalled so far.
+    pub samples_basecalled: usize,
+}
+
+impl ProgressSnapshot {
+    fn observe(&mut self, run: &ReadRun) {
+        self.reads_emitted += 1;
+        self.samples_basecalled += run.basecalled_samples();
+        match run.outcome {
+            ReadOutcome::Mapped(_) => self.mapped += 1,
+            ReadOutcome::RejectedQsr { .. } => self.rejected_qsr += 1,
+            ReadOutcome::RejectedCmr { .. } => self.rejected_cmr += 1,
+            ReadOutcome::FilteredQc { .. } => self.filtered_qc += 1,
+            ReadOutcome::Unmapped { .. } => self.unmapped += 1,
+        }
+    }
+}
+
+/// What the streaming drivers hand to the sink callback.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// One finished read, delivered in read order.
+    Read(ReadRun),
+    /// Periodic counters (cadence set by [`StreamOptions::progress_every`]),
+    /// delivered immediately after the read that triggered them.
+    Progress(ProgressSnapshot),
+}
+
+/// What a streaming run leaves behind: aggregate counters only, O(1) in the
+/// dataset size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSummary {
+    /// Final outcome counters (its `reads_emitted` is the total read
+    /// count).
+    pub outcomes: ProgressSnapshot,
+    /// Aggregate workload counters over all emitted reads — what
+    /// `PipelineRun::totals()` would report for the equivalent batch run.
+    pub totals: WorkloadTotals,
+    /// Worker threads used.
+    pub workers: usize,
+    /// The enforced bound on in-flight reads (`queue_capacity + workers`;
+    /// 1 for the serial in-line path).
+    pub in_flight_limit: usize,
+    /// High-water mark of reads simultaneously in flight (pulled from the
+    /// source but not yet emitted). Always ≤ `in_flight_limit`.
+    pub max_in_flight: usize,
+}
+
+/// A counting gate bounding how many reads are in flight: `acquire` blocks
+/// while `limit` permits are out, `release` frees one. Tracks the high-water
+/// mark so tests (and the bench report) can assert the bound really held.
+///
+/// The gate can also be `open`ed — permits stop mattering and blocked
+/// acquirers return `false`. That is the shutdown path: if the sink or a
+/// worker panics, permits held by dropped reads would never be released and
+/// the feeder would block forever; opening the gate turns that hang into a
+/// propagated panic.
+struct FlowGate {
+    state: Mutex<GateState>,
+    freed: Condvar,
+    limit: usize,
+    high: AtomicUsize,
+}
+
+struct GateState {
+    used: usize,
+    open: bool,
+}
+
+impl FlowGate {
+    fn new(limit: usize) -> FlowGate {
+        FlowGate {
+            state: Mutex::new(GateState {
+                used: 0,
+                open: false,
+            }),
+            freed: Condvar::new(),
+            limit,
+            high: AtomicUsize::new(0),
+        }
+    }
+
+    /// Takes a permit, blocking while the limit is reached. `false` means
+    /// the gate was opened for shutdown and no permit was taken.
+    fn acquire(&self) -> bool {
+        let mut state = self.state.lock().expect("gate poisoned");
+        while !state.open && state.used >= self.limit {
+            state = self.freed.wait(state).expect("gate poisoned");
+        }
+        if state.open {
+            return false;
+        }
+        state.used += 1;
+        self.high.fetch_max(state.used, Ordering::Relaxed);
+        true
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock().expect("gate poisoned");
+        state.used -= 1;
+        drop(state);
+        self.freed.notify_one();
+    }
+
+    /// Lets every current and future `acquire` through empty-handed.
+    fn open(&self) {
+        let mut state = self.state.lock().expect("gate poisoned");
+        state.open = true;
+        drop(state);
+        self.freed.notify_all();
+    }
+
+    fn high_water(&self) -> usize {
+        self.high.load(Ordering::Relaxed)
+    }
+}
+
+/// Opens the gate when dropped — normally after the emit loop (harmless:
+/// the feeder has already exited), and crucially during unwinding, so a
+/// panicking sink or worker pool releases the feeder instead of deadlocking
+/// the scope join.
+struct OpenOnDrop<'a>(&'a FlowGate);
+
+impl Drop for OpenOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.open();
+    }
+}
+
+/// What the engine enforced and observed: the single source of truth for
+/// the in-flight bound, so callers never re-derive it.
+pub(crate) struct EngineStats {
+    /// The enforced bound on in-flight reads (`queue_capacity + workers`,
+    /// or 1 for the serial in-line path).
+    pub(crate) in_flight_limit: usize,
+    /// High-water mark of reads simultaneously in flight.
+    pub(crate) max_in_flight: usize,
+}
+
+/// The one execution core behind every driver: pulls items from `pull`,
+/// processes them with `work` on `workers` threads under a
+/// `queue_capacity`-bounded work queue, and calls `emit` with the results
+/// **in pull order**. Returns the enforced in-flight limit and its
+/// high-water mark.
+///
+/// `R` is anything that lends a [`SimulatedRead`]: the batch drivers pass
+/// `&SimulatedRead` (no copies for materialized datasets), the streaming
+/// drivers pass owned reads from the source.
+///
+/// With one worker the engine degenerates to the in-line serial loop — the
+/// reference execution, with exactly one read in flight and no threads.
+///
+/// A panic anywhere — source, worker, or sink — tears the pipeline down
+/// (gate opened, channels closed) and propagates out of the scope join
+/// rather than deadlocking; already-finished earlier reads may still be
+/// emitted first.
+pub(crate) fn stream_engine<R, P, F, G>(
+    ctx: &RunContext<'_>,
+    workers: usize,
+    queue_capacity: usize,
+    mut pull: P,
+    work: F,
+    mut emit: G,
+) -> EngineStats
+where
+    R: Borrow<SimulatedRead> + Send,
+    P: FnMut() -> Option<R> + Send,
+    F: Fn(&mut WorkerScratch, &SimulatedRead) -> ReadRun + Sync,
+    G: FnMut(ReadRun),
+{
+    if workers <= 1 {
+        let mut scratch = WorkerScratch::new(ctx);
+        let mut any = false;
+        while let Some(read) = pull() {
+            any = true;
+            emit(work(&mut scratch, read.borrow()));
+        }
+        return EngineStats {
+            in_flight_limit: 1,
+            max_in_flight: usize::from(any),
+        };
+    }
+
+    let capacity = queue_capacity.max(1);
+    let limit = capacity + workers;
+    // Both channels are unbounded; the gate alone enforces the in-flight
+    // bound (≤ `limit` reads hold permits, so neither channel can hold more
+    // than `limit` entries). Keeping `acquire` the feeder's only blocking
+    // point means opening the gate is a complete shutdown path.
+    let gate = FlowGate::new(limit);
+    let (work_tx, work_rx) = mpsc::channel::<(usize, R)>();
+    let work_rx = Mutex::new(work_rx);
+    // `None` is a worker's dying gasp: "I panicked on this index — abort."
+    let (done_tx, done_rx) = mpsc::channel::<(usize, Option<ReadRun>)>();
+
+    std::thread::scope(|scope| {
+        // Feeder: pulls from the source (serially — sources are stateful
+        // cursors) and stages work, blocking on the gate or the queue when
+        // the pipeline is full. Holding a permit from pull to emit is what
+        // bounds in-flight reads end to end.
+        {
+            let gate = &gate;
+            let pull = &mut pull;
+            scope.spawn(move || {
+                let mut index = 0usize;
+                loop {
+                    if !gate.acquire() {
+                        break; // shutdown: no permit taken
+                    }
+                    let Some(read) = pull() else {
+                        gate.release();
+                        break;
+                    };
+                    if work_tx.send((index, read)).is_err() {
+                        gate.release();
+                        break;
+                    }
+                    index += 1;
+                }
+                // `work_tx` drops here; workers drain the queue and exit.
+            });
+        }
+
+        for _ in 0..workers {
+            let done_tx = done_tx.clone();
+            let work_rx = &work_rx;
+            let work = &work;
+            scope.spawn(move || {
+                let mut scratch = WorkerScratch::new(ctx);
+                loop {
+                    let received = work_rx.lock().expect("queue poisoned").recv();
+                    let Ok((index, read)) = received else { break };
+                    // A panicking `work` would otherwise strand this read's
+                    // permit and deadlock the reorder loop on its index:
+                    // catch it, tell the consumer to abort, then rethrow so
+                    // the scope propagates it after teardown.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        work(&mut scratch, read.borrow())
+                    }));
+                    match outcome {
+                        Ok(run) => {
+                            if done_tx.send((index, Some(run))).is_err() {
+                                break;
+                            }
+                        }
+                        Err(panic) => {
+                            let _ = done_tx.send((index, None));
+                            std::panic::resume_unwind(panic);
+                        }
+                    }
+                }
+            });
+        }
+        drop(done_tx); // the workers' clones keep the channel open
+        let _shutdown = OpenOnDrop(&gate);
+
+        // Reorder + emit on the calling thread. Workers finish out of
+        // order; results wait in a preallocated per-index slot ring until
+        // every earlier read has been emitted. A slot index never collides:
+        // at most `limit` reads are in flight, and a result only waits on
+        // reads pulled before it.
+        let mut slots: Vec<Option<ReadRun>> = (0..limit).map(|_| None).collect();
+        let mut next_emit = 0usize;
+        for (index, run) in done_rx.iter() {
+            let Some(run) = run else {
+                break; // a worker panicked: stop consuming, let _shutdown
+                       // open the gate; the scope join rethrows the panic.
+            };
+            debug_assert!(index >= next_emit && index - next_emit < limit);
+            slots[index % limit] = Some(run);
+            while let Some(ready) = slots[next_emit % limit].take() {
+                emit(ready);
+                gate.release();
+                next_emit += 1;
+            }
+        }
+    });
+    EngineStats {
+        in_flight_limit: limit,
+        max_in_flight: gate.high_water(),
+    }
+}
+
+fn run_streaming<S: ReadSource + Send>(
+    source: &mut S,
+    config: &GenPipConfig,
+    er: Option<ErMode>,
+    opts: &StreamOptions,
+    sink: &mut dyn FnMut(StreamEvent),
+) -> StreamSummary {
+    let ctx = RunContext::from_source(source, config);
+    let workers = config.parallelism.workers().max(1);
+    let mut outcomes = ProgressSnapshot::default();
+    let mut totals = WorkloadTotals::default();
+    let stats = stream_engine(
+        &ctx,
+        workers,
+        opts.queue_capacity,
+        || source.next_read(),
+        |scratch, read| process_read(&ctx, er, read, scratch),
+        |run| {
+            totals.accumulate(&run);
+            outcomes.observe(&run);
+            let snapshot_due =
+                opts.progress_every > 0 && outcomes.reads_emitted % opts.progress_every == 0;
+            sink(StreamEvent::Read(run));
+            if snapshot_due {
+                sink(StreamEvent::Progress(outcomes));
+            }
+        },
+    );
+    StreamSummary {
+        outcomes,
+        totals,
+        workers,
+        in_flight_limit: stats.in_flight_limit,
+        max_in_flight: stats.max_in_flight,
+    }
+}
+
+/// Streams GenPIP's chunk-based pipeline (Figure 5b / Figure 6) over any
+/// [`ReadSource`], delivering each [`ReadRun`] through `sink` in read order
+/// the moment it (and every earlier read) is done.
+///
+/// Produces bit-identical `ReadRun`s — and therefore bit-identical
+/// [`ReadOutcome`]s — to [`crate::pipeline::run_genpip`] on the same reads,
+/// for every [`ErMode`] and [`crate::Parallelism`] setting, while keeping at
+/// most `queue_capacity + workers` reads in memory.
+pub fn run_genpip_streaming<S: ReadSource + Send>(
+    source: &mut S,
+    config: &GenPipConfig,
+    er: ErMode,
+    opts: &StreamOptions,
+    mut sink: impl FnMut(StreamEvent),
+) -> StreamSummary {
+    run_streaming(source, config, Some(er), opts, &mut sink)
+}
+
+/// Streams the conventional whole-read pipeline (Figure 5a) over any
+/// [`ReadSource`] — the streaming twin of
+/// [`crate::pipeline::run_conventional`], with the same bit-identity and
+/// memory-bound guarantees as [`run_genpip_streaming`].
+pub fn run_conventional_streaming<S: ReadSource + Send>(
+    source: &mut S,
+    config: &GenPipConfig,
+    opts: &StreamOptions,
+    mut sink: impl FnMut(StreamEvent),
+) -> StreamSummary {
+    run_streaming(source, config, None, opts, &mut sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Parallelism;
+    use crate::pipeline::run_genpip;
+    use genpip_datasets::{DatasetProfile, SimulatedDataset};
+
+    fn dataset() -> SimulatedDataset {
+        DatasetProfile::ecoli().scaled(0.03).generate()
+    }
+
+    fn collect_streaming(
+        dataset: &SimulatedDataset,
+        config: &GenPipConfig,
+        er: ErMode,
+        opts: &StreamOptions,
+    ) -> (Vec<ReadRun>, StreamSummary) {
+        let mut reads = Vec::new();
+        let mut source = dataset.stream();
+        let summary = run_genpip_streaming(&mut source, config, er, opts, |event| {
+            if let StreamEvent::Read(run) = event {
+                reads.push(run);
+            }
+        });
+        (reads, summary)
+    }
+
+    #[test]
+    fn streaming_is_bit_identical_to_batch_and_respects_the_bound() {
+        let d = dataset();
+        let base = GenPipConfig::for_dataset(&d.profile);
+        for parallelism in [Parallelism::Serial, Parallelism::Threads(3)] {
+            let config = base.clone().with_parallelism(parallelism);
+            let batch = run_genpip(&d, &config, ErMode::Full);
+            let opts = StreamOptions {
+                queue_capacity: 2,
+                progress_every: 0,
+            };
+            let (reads, summary) = collect_streaming(&d, &config, ErMode::Full, &opts);
+            assert_eq!(reads, batch.reads, "{parallelism:?}");
+            assert_eq!(summary.totals, batch.totals(), "{parallelism:?}");
+            assert_eq!(summary.outcomes.reads_emitted, d.reads.len());
+            assert!(
+                summary.max_in_flight <= summary.in_flight_limit,
+                "{parallelism:?}: {} in flight, limit {}",
+                summary.max_in_flight,
+                summary.in_flight_limit
+            );
+        }
+    }
+
+    #[test]
+    fn serial_streaming_keeps_one_read_in_flight() {
+        let d = dataset();
+        let config = GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Serial);
+        let (_, summary) = collect_streaming(&d, &config, ErMode::Full, &StreamOptions::default());
+        assert_eq!(summary.workers, 1);
+        assert_eq!(summary.in_flight_limit, 1);
+        assert_eq!(summary.max_in_flight, 1);
+    }
+
+    #[test]
+    fn progress_snapshots_fire_on_cadence_and_count_outcomes() {
+        let d = dataset();
+        let config =
+            GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Threads(2));
+        let every = 5usize;
+        let opts = StreamOptions {
+            queue_capacity: 4,
+            progress_every: every,
+        };
+        let mut snapshots = Vec::new();
+        let mut reads_seen = 0usize;
+        let mut source = d.stream();
+        let summary =
+            run_genpip_streaming(
+                &mut source,
+                &config,
+                ErMode::Full,
+                &opts,
+                |event| match event {
+                    StreamEvent::Read(_) => reads_seen += 1,
+                    StreamEvent::Progress(snap) => {
+                        assert_eq!(snap.reads_emitted, reads_seen, "snapshot lags its read");
+                        snapshots.push(snap);
+                    }
+                },
+            );
+        assert_eq!(snapshots.len(), d.reads.len() / every);
+        for pair in snapshots.windows(2) {
+            assert!(pair[1].reads_emitted == pair[0].reads_emitted + every);
+            assert!(pair[1].samples_basecalled >= pair[0].samples_basecalled);
+        }
+        let f = summary.outcomes;
+        assert_eq!(
+            f.mapped + f.rejected_qsr + f.rejected_cmr + f.filtered_qc + f.unmapped,
+            f.reads_emitted
+        );
+        assert_eq!(f.reads_emitted, d.reads.len());
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        // Run the engine with a work function that panics partway through,
+        // under a watchdog: a regression back to the deadlock (stranded
+        // gate permit → feeder and reorder loop blocked forever) fails the
+        // test at the timeout instead of hanging the suite.
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let d = dataset();
+            let config =
+                GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Threads(2));
+            let ctx = crate::pipeline::RunContext::from_source(&d.stream(), &config);
+            let mut pending = d.reads.iter();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                stream_engine(
+                    &ctx,
+                    2,
+                    1,
+                    || pending.next(),
+                    |scratch, read| {
+                        assert!(read.id != 3, "injected failure on read 3");
+                        process_read(&ctx, Some(ErMode::Full), read, scratch)
+                    },
+                    |_| {},
+                )
+            }));
+            let _ = done_tx.send(result.is_err());
+        });
+        match done_rx.recv_timeout(std::time::Duration::from_secs(120)) {
+            Ok(panicked) => assert!(panicked, "engine swallowed the worker panic"),
+            Err(_) => panic!("engine deadlocked on a worker panic"),
+        }
+    }
+
+    #[test]
+    fn empty_source_streams_cleanly() {
+        let d = dataset();
+        let config =
+            GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Threads(2));
+        struct Empty<'a>(genpip_datasets::DatasetStream<'a>);
+        impl ReadSource for Empty<'_> {
+            fn reference(&self) -> &genpip_genomics::Genome {
+                self.0.reference()
+            }
+            fn pore_model(&self) -> &genpip_signal::PoreModel {
+                self.0.pore_model()
+            }
+            fn mean_dwell(&self) -> f64 {
+                self.0.mean_dwell()
+            }
+            fn next_read(&mut self) -> Option<genpip_datasets::SimulatedRead> {
+                None
+            }
+        }
+        let mut source = Empty(d.stream());
+        let mut events = 0usize;
+        let summary = run_genpip_streaming(
+            &mut source,
+            &config,
+            ErMode::Full,
+            &StreamOptions::default(),
+            |_| events += 1,
+        );
+        assert_eq!(events, 0);
+        assert_eq!(summary.outcomes, ProgressSnapshot::default());
+        // The feeder holds one permit while probing the (empty) source — a
+        // read being pulled counts as in flight — so the high-water mark is
+        // at most the probe itself.
+        assert!(summary.max_in_flight <= 1);
+    }
+}

@@ -31,6 +31,8 @@
 
 pub mod profile;
 pub mod simulate;
+pub mod source;
 
 pub use profile::{DatasetProfile, LengthModel};
 pub use simulate::{SimulatedDataset, SimulatedRead};
+pub use source::{DatasetStream, ReadSource, StreamingSimulator};

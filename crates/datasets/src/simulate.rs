@@ -2,7 +2,7 @@
 
 use crate::profile::DatasetProfile;
 use genpip_genomics::rng::Rng;
-use genpip_genomics::rng::{self};
+use genpip_genomics::rng::{self, SeededRng};
 use genpip_genomics::{DnaSeq, ErrorModel, Genome, GenomeBuilder, ReadOrigin};
 use genpip_signal::{NoiseProfile, PoreModel, ReadSignal, SignalSynthesizer};
 
@@ -40,10 +40,26 @@ pub struct SimulatedDataset {
     synth: SignalSynthesizer,
 }
 
-impl SimulatedDataset {
-    /// Generates the dataset described by `profile`. Deterministic in the
-    /// profile's seeds.
-    pub fn generate(profile: &DatasetProfile) -> SimulatedDataset {
+/// The deterministic per-read generator behind both dataset paths: the batch
+/// [`SimulatedDataset::generate`] loop and the lazy
+/// [`crate::StreamingSimulator`] pull one read at a time from the same RNG
+/// stream, so the two paths are bit-identical by construction.
+///
+/// Read `N` depends on the draws of reads `0..N`, which is why the factory
+/// is a stateful cursor rather than a random-access function.
+pub(crate) struct ReadFactory {
+    profile: DatasetProfile,
+    individual: DnaSeq,
+    contaminant: Genome,
+    synth: SignalSynthesizer,
+    rng: SeededRng,
+    next_id: u32,
+}
+
+impl ReadFactory {
+    /// Builds the shared genomes and signal chemistry for `profile`,
+    /// returning the mapping reference alongside the read cursor.
+    pub(crate) fn new(profile: &DatasetProfile) -> (Genome, ReadFactory) {
         let reference = GenomeBuilder::new(profile.genome_len)
             .seed(profile.seed)
             .gc_fraction(profile.genome_gc)
@@ -63,75 +79,110 @@ impl SimulatedDataset {
             .build();
 
         let pore = PoreModel::synthetic(profile.pore_k, profile.pore_seed);
-        let synth = SignalSynthesizer::new(pore);
+        let factory = ReadFactory {
+            profile: profile.clone(),
+            individual,
+            contaminant,
+            synth: SignalSynthesizer::new(pore),
+            rng: rng::derive(profile.seed, 0x726561647322), // "reads"
+            next_id: 0,
+        };
+        (reference, factory)
+    }
 
-        let mut rng = rng::derive(profile.seed, 0x726561647322); // "reads"
-        let mut reads = Vec::with_capacity(profile.n_reads);
-        for id in 0..profile.n_reads as u32 {
-            let len = profile.lengths.sample(&mut rng, profile.min_read_len);
+    /// The signal chemistry reads are synthesized with.
+    pub(crate) fn synthesizer(&self) -> &SignalSynthesizer {
+        &self.synth
+    }
 
-            // Population draws: contaminant? low-quality?
-            let is_contaminant = rng.random::<f64>() < profile.contaminant_fraction;
-            let is_low_quality = rng.random::<f64>() < profile.low_quality_fraction;
+    /// Reads not yet generated.
+    pub(crate) fn remaining(&self) -> usize {
+        self.profile.n_reads - self.next_id as usize
+    }
 
-            let (truth, origin) = if is_contaminant {
-                let len = len.min(contaminant.len());
-                let start = rng.random_range(0..=contaminant.len() - len);
-                (
-                    contaminant.sequence().subseq(start, len),
-                    ReadOrigin::Contaminant,
-                )
-            } else {
-                let len = len.min(individual.len());
-                let start = rng.random_range(0..=individual.len() - len);
-                let reverse = rng.random::<bool>();
-                let span = individual.subseq(start, len);
-                let seq = if reverse {
-                    span.reverse_complement()
-                } else {
-                    span
-                };
-                (
-                    seq,
-                    ReadOrigin::Reference {
-                        start,
-                        len,
-                        reverse,
-                    },
-                )
-            };
-
-            let noise_sigma = if is_low_quality {
-                rng::normal(&mut rng, profile.lq_sigma_mean, profile.lq_sigma_std).max(2.2)
-            } else {
-                let mu = profile.hq_sigma_median.ln();
-                rng::log_normal(&mut rng, mu, profile.hq_sigma_logspread).clamp(0.55, 1.9)
-            };
-
-            let noise = NoiseProfile {
-                base_sigma: noise_sigma,
-                sigma_wander: profile.sigma_wander,
-                wander_corr_bases: profile.wander_corr_bases,
-                drift_per_kilosample: 0.0,
-            };
-            let signal = synth.synthesize_with_profile(
-                &truth,
-                &noise,
-                profile.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
-            reads.push(SimulatedRead {
-                id,
-                signal,
-                origin,
-                noise_sigma,
-            });
+    /// Generates the next read, or `None` once `profile.n_reads` exist.
+    pub(crate) fn next_read(&mut self) -> Option<SimulatedRead> {
+        if self.remaining() == 0 {
+            return None;
         }
+        let id = self.next_id;
+        self.next_id += 1;
+        let profile = &self.profile;
+        let rng = &mut self.rng;
+        let len = profile.lengths.sample(rng, profile.min_read_len);
 
+        // Population draws: contaminant? low-quality?
+        let is_contaminant = rng.random::<f64>() < profile.contaminant_fraction;
+        let is_low_quality = rng.random::<f64>() < profile.low_quality_fraction;
+
+        let (truth, origin) = if is_contaminant {
+            let len = len.min(self.contaminant.len());
+            let start = rng.random_range(0..=self.contaminant.len() - len);
+            (
+                self.contaminant.sequence().subseq(start, len),
+                ReadOrigin::Contaminant,
+            )
+        } else {
+            let len = len.min(self.individual.len());
+            let start = rng.random_range(0..=self.individual.len() - len);
+            let reverse = rng.random::<bool>();
+            let span = self.individual.subseq(start, len);
+            let seq = if reverse {
+                span.reverse_complement()
+            } else {
+                span
+            };
+            (
+                seq,
+                ReadOrigin::Reference {
+                    start,
+                    len,
+                    reverse,
+                },
+            )
+        };
+
+        let noise_sigma = if is_low_quality {
+            rng::normal(rng, profile.lq_sigma_mean, profile.lq_sigma_std).max(2.2)
+        } else {
+            let mu = profile.hq_sigma_median.ln();
+            rng::log_normal(rng, mu, profile.hq_sigma_logspread).clamp(0.55, 1.9)
+        };
+
+        let noise = NoiseProfile {
+            base_sigma: noise_sigma,
+            sigma_wander: profile.sigma_wander,
+            wander_corr_bases: profile.wander_corr_bases,
+            drift_per_kilosample: 0.0,
+        };
+        let signal = self.synth.synthesize_with_profile(
+            &truth,
+            &noise,
+            profile.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        Some(SimulatedRead {
+            id,
+            signal,
+            origin,
+            noise_sigma,
+        })
+    }
+}
+
+impl SimulatedDataset {
+    /// Generates the dataset described by `profile`. Deterministic in the
+    /// profile's seeds.
+    pub fn generate(profile: &DatasetProfile) -> SimulatedDataset {
+        let (reference, mut factory) = ReadFactory::new(profile);
+        let mut reads = Vec::with_capacity(profile.n_reads);
+        while let Some(read) = factory.next_read() {
+            reads.push(read);
+        }
         SimulatedDataset {
             profile: profile.clone(),
             reference,
             reads,
-            synth,
+            synth: factory.synth,
         }
     }
 

@@ -15,12 +15,16 @@
 //!   writing) PAF records;
 //! * `run` — execute the full GenPIP pipeline on a synthetic dataset and
 //!   print the outcome/workload summary;
+//! * `stream` — same pipeline, but executed by the bounded-memory streaming
+//!   core over an on-the-fly read generator: the dataset is never
+//!   materialized, and at most `--queue` + workers reads are in memory;
 //! * `experiment` — regenerate one of the paper's figures/tables.
 
 use genpip::core::experiments;
 use genpip::core::pipeline::{run_genpip, ErMode, ReadOutcome};
-use genpip::core::GenPipConfig;
-use genpip::datasets::DatasetProfile;
+use genpip::core::stream::{run_genpip_streaming, StreamEvent, StreamOptions};
+use genpip::core::{GenPipConfig, Parallelism};
+use genpip::datasets::{DatasetProfile, ReadSource, StreamingSimulator};
 use genpip::genomics::fastx;
 use genpip::mapping::paf::{write_paf, PafRecord};
 use genpip::mapping::{Mapper, MapperParams};
@@ -46,6 +50,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&opts),
         "map" => cmd_map(&opts),
         "run" => cmd_run(&opts),
+        "stream" => cmd_stream(&opts),
         "experiment" => cmd_experiment(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -68,14 +73,19 @@ USAGE:
   genpip simulate --profile <ecoli|human> [--scale F] --out <prefix>
   genpip map --reference <ref.fasta> --reads <reads.fastq> [--paf <out.paf>]
   genpip run [--profile <ecoli|human>] [--scale F] [--er <full|qsr|cp|off>]
+  genpip stream [--profile <ecoli|human>] [--scale F] [--er <full|qsr|cp|off>]
+               [--queue N] [--progress N] [--threads <serial|auto|N>]
   genpip experiment <fig04|fig07|fig10|fig11|fig12|fig13|tab01|tab02|useless|ablations> [--scale F]
 
 OPTIONS:
   --profile   dataset profile (default ecoli)
-  --scale     dataset scale factor in (0,1] (default 0.1 for simulate/run, 1.0 for experiment)
-  --er        early-rejection mode for `run` (default full)
+  --scale     dataset scale factor in (0,1] (default 0.1 for simulate/run/stream, 1.0 for experiment)
+  --er        early-rejection mode for `run`/`stream` (default full)
   --out       output file prefix for `simulate`
-  --paf       PAF output path for `map` (default: stdout)";
+  --paf       PAF output path for `map` (default: stdout)
+  --queue     `stream` work-queue capacity; in-flight reads <= queue + workers (default 8)
+  --progress  `stream` progress line cadence in reads (default 50, 0 = off)
+  --threads   `stream` worker threads (default: GENPIP_PARALLELISM env or auto)";
 
 type Options = HashMap<String, String>;
 
@@ -194,14 +204,18 @@ fn cmd_map(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+fn er_from(parsed: &Parsed) -> Result<ErMode, String> {
+    match parsed.0.get("er").map(String::as_str).unwrap_or("full") {
+        "full" => Ok(ErMode::Full),
+        "qsr" => Ok(ErMode::QsrOnly),
+        "cp" | "off" | "none" => Ok(ErMode::None),
+        other => Err(format!("unknown --er {other:?}")),
+    }
+}
+
 fn cmd_run(parsed: &Parsed) -> Result<(), String> {
     let profile = profile_from(parsed)?;
-    let er = match parsed.0.get("er").map(String::as_str).unwrap_or("full") {
-        "full" => ErMode::Full,
-        "qsr" => ErMode::QsrOnly,
-        "cp" | "off" | "none" => ErMode::None,
-        other => return Err(format!("unknown --er {other:?}")),
-    };
+    let er = er_from(parsed)?;
     println!("running GenPIP ({:?}) on {}…", er, profile.name);
     let dataset = profile.generate();
     let config = GenPipConfig::for_dataset(&profile);
@@ -234,6 +248,68 @@ fn cmd_run(parsed: &Parsed) -> Result<(), String> {
         totals.samples,
         dataset.total_samples(),
         100.0 * (1.0 - totals.samples as f64 / dataset.total_samples() as f64)
+    );
+    Ok(())
+}
+
+fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
+    let profile = profile_from(parsed)?;
+    let er = er_from(parsed)?;
+    let usize_opt = |key: &str, default: usize| -> Result<usize, String> {
+        match parsed.0.get(key) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("invalid --{key} {s:?}")),
+        }
+    };
+    let queue = usize_opt("queue", 8)?.max(1);
+    let progress = usize_opt("progress", 50)?;
+    let parallelism = match parsed.0.get("threads") {
+        None => Parallelism::from_env_or(Parallelism::Auto),
+        Some(s) => Parallelism::parse(s).ok_or_else(|| format!("invalid --threads {s:?}"))?,
+    };
+
+    let config = GenPipConfig::for_dataset(&profile).with_parallelism(parallelism);
+    let mut source = StreamingSimulator::new(&profile);
+    let expected = source.reads_remaining().unwrap_or(0);
+    println!(
+        "streaming GenPIP ({er:?}) over {} ({} reads synthesized on the fly, \
+         {} worker(s), queue {queue})…",
+        profile.name,
+        expected,
+        parallelism.workers()
+    );
+    let opts = StreamOptions {
+        queue_capacity: queue,
+        progress_every: progress,
+    };
+    let summary = run_genpip_streaming(&mut source, &config, er, &opts, |event| {
+        if let StreamEvent::Progress(p) = event {
+            println!(
+                "  [{:>5}/{expected} reads]  mapped {:>5}  rejected {:>5}  \
+                 qc-filtered {:>4}  unmapped {:>4}  ({} samples basecalled)",
+                p.reads_emitted,
+                p.mapped,
+                p.rejected_qsr + p.rejected_cmr,
+                p.filtered_qc,
+                p.unmapped,
+                p.samples_basecalled
+            );
+        }
+    });
+    let o = summary.outcomes;
+    println!("reads:          {}", o.reads_emitted);
+    println!("mapped:         {}", o.mapped);
+    println!("QSR-rejected:   {}", o.rejected_qsr);
+    println!("CMR-rejected:   {}", o.rejected_cmr);
+    println!("QC-filtered:    {}", o.filtered_qc);
+    println!("unmapped:       {}", o.unmapped);
+    println!(
+        "peak in-flight: {} reads (bound: {})",
+        summary.max_in_flight, summary.in_flight_limit
+    );
+    println!(
+        "basecalled:     {} samples across {} bases",
+        summary.totals.samples, summary.totals.bases_called
     );
     Ok(())
 }

@@ -2,7 +2,7 @@
 //! to mapped reads, across both pipeline organizations.
 
 use genpip::core::pipeline::{run_conventional, run_genpip, ErMode, ReadOutcome};
-use genpip::core::GenPipConfig;
+use genpip::core::{GenPipConfig, Parallelism};
 use genpip::datasets::DatasetProfile;
 use genpip::genomics::ReadOrigin;
 
@@ -10,11 +10,18 @@ fn dataset() -> genpip::datasets::SimulatedDataset {
     DatasetProfile::ecoli().scaled(0.1).generate()
 }
 
+/// The profile's operating point, threaded per the `GENPIP_PARALLELISM`
+/// environment variable when set — CI's test matrix runs this suite once
+/// per threading path.
+fn config_for(profile: &DatasetProfile) -> GenPipConfig {
+    GenPipConfig::for_dataset(profile).with_parallelism(Parallelism::from_env_or(Parallelism::Auto))
+}
+
 #[test]
 fn whole_flow_is_deterministic() {
     let d1 = dataset();
     let d2 = dataset();
-    let config = GenPipConfig::for_dataset(&d1.profile);
+    let config = config_for(&d1.profile);
     let a = run_genpip(&d1, &config, ErMode::Full);
     let b = run_genpip(&d2, &config, ErMode::Full);
     assert_eq!(a, b, "same seed must give identical runs");
@@ -23,7 +30,7 @@ fn whole_flow_is_deterministic() {
 #[test]
 fn high_quality_reference_reads_map_to_their_origin() {
     let d = dataset();
-    let config = GenPipConfig::for_dataset(&d.profile);
+    let config = config_for(&d.profile);
     let run = run_conventional(&d, &config);
     let mut eligible = 0;
     let mut correct = 0;
@@ -68,7 +75,7 @@ fn high_quality_reference_reads_map_to_their_origin() {
 #[test]
 fn contaminants_never_map_in_any_mode() {
     let d = dataset();
-    let config = GenPipConfig::for_dataset(&d.profile);
+    let config = config_for(&d.profile);
     for run in [
         run_conventional(&d, &config),
         run_genpip(&d, &config, ErMode::None),
@@ -90,7 +97,7 @@ fn contaminants_never_map_in_any_mode() {
 #[test]
 fn er_is_strictly_work_saving_and_never_adds_mappings() {
     let d = dataset();
-    let config = GenPipConfig::for_dataset(&d.profile);
+    let config = config_for(&d.profile);
     let cp = run_genpip(&d, &config, ErMode::None);
     let qsr = run_genpip(&d, &config, ErMode::QsrOnly);
     let full = run_genpip(&d, &config, ErMode::Full);
@@ -124,7 +131,7 @@ fn er_is_strictly_work_saving_and_never_adds_mappings() {
 fn chunk_size_changes_do_not_change_conclusions() {
     let d = dataset();
     for chunk in [300, 400, 500] {
-        let config = GenPipConfig::for_dataset(&d.profile).with_chunk_bases(chunk);
+        let config = config_for(&d.profile).with_chunk_bases(chunk);
         let run = run_genpip(&d, &config, ErMode::Full);
         let mapped = run.count_outcomes(ReadOutcome::is_mapped);
         let frac = mapped as f64 / run.reads.len() as f64;
@@ -138,7 +145,7 @@ fn chunk_size_changes_do_not_change_conclusions() {
 #[test]
 fn chunk_accounting_is_exact() {
     let d = dataset();
-    let config = GenPipConfig::for_dataset(&d.profile);
+    let config = config_for(&d.profile);
     let run = run_genpip(&d, &config, ErMode::Full);
     for (rr, sr) in run.reads.iter().zip(&d.reads) {
         // No chunk is basecalled twice.

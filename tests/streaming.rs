@@ -1,0 +1,177 @@
+//! Cross-crate properties of the streaming executor: bit-identity with the
+//! batch drivers across `ErMode` × `Parallelism` × queue capacity, and the
+//! bounded-memory guarantee.
+//!
+//! The parallelism sweep includes `GENPIP_PARALLELISM` (when set), which CI
+//! uses to force both threading paths through this suite.
+
+use genpip::core::pipeline::{run_conventional, run_genpip, ErMode};
+use genpip::core::stream::{
+    run_conventional_streaming, run_genpip_streaming, StreamEvent, StreamOptions, StreamSummary,
+};
+use genpip::core::{GenPipConfig, Parallelism, ReadRun};
+use genpip::datasets::{DatasetProfile, ReadSource, SimulatedDataset, SimulatedRead};
+use genpip::genomics::Genome;
+use genpip::signal::PoreModel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn dataset() -> SimulatedDataset {
+    DatasetProfile::ecoli().scaled(0.04).generate()
+}
+
+fn parallelism_sweep() -> Vec<Parallelism> {
+    let mut sweep = vec![Parallelism::Serial, Parallelism::Threads(4)];
+    if let Some(from_env) = Parallelism::from_env() {
+        if !sweep.contains(&from_env) {
+            sweep.push(from_env);
+        }
+    }
+    sweep
+}
+
+fn collect(
+    source: &mut (impl ReadSource + Send),
+    config: &GenPipConfig,
+    er: ErMode,
+    opts: &StreamOptions,
+) -> (Vec<ReadRun>, StreamSummary) {
+    let mut reads = Vec::new();
+    let summary = run_genpip_streaming(source, config, er, opts, |event| {
+        if let StreamEvent::Read(run) = event {
+            reads.push(run);
+        }
+    });
+    (reads, summary)
+}
+
+#[test]
+fn streaming_matches_batch_across_er_parallelism_and_queue_capacity() {
+    let d = dataset();
+    let base = GenPipConfig::for_dataset(&d.profile);
+    for er in [ErMode::None, ErMode::QsrOnly, ErMode::Full] {
+        for parallelism in parallelism_sweep() {
+            let config = base.clone().with_parallelism(parallelism);
+            let batch = run_genpip(&d, &config, er);
+            for queue_capacity in [1usize, 8] {
+                let opts = StreamOptions {
+                    queue_capacity,
+                    progress_every: 0,
+                };
+                let (reads, summary) = collect(&mut d.stream(), &config, er, &opts);
+                let label = format!("{er:?} / {parallelism:?} / queue {queue_capacity}");
+                assert_eq!(reads, batch.reads, "{label}");
+                assert_eq!(summary.totals, batch.totals(), "{label}");
+                assert!(
+                    summary.max_in_flight <= summary.in_flight_limit,
+                    "{label}: {} in flight exceeds bound {}",
+                    summary.max_in_flight,
+                    summary.in_flight_limit
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn conventional_streaming_matches_batch() {
+    let d = dataset();
+    let config = GenPipConfig::for_dataset(&d.profile)
+        .with_parallelism(Parallelism::from_env_or(Parallelism::Threads(3)));
+    let batch = run_conventional(&d, &config);
+    let mut reads = Vec::new();
+    let summary = run_conventional_streaming(
+        &mut d.stream(),
+        &config,
+        &StreamOptions::default(),
+        |event| {
+            if let StreamEvent::Read(run) = event {
+                reads.push(run);
+            }
+        },
+    );
+    assert_eq!(reads, batch.reads);
+    assert_eq!(summary.totals, batch.totals());
+}
+
+#[test]
+fn lazy_generator_streams_bit_identically_to_the_materialized_dataset() {
+    let profile = DatasetProfile::ecoli().scaled(0.04);
+    let d = profile.generate();
+    let config = GenPipConfig::for_dataset(&profile)
+        .with_parallelism(Parallelism::from_env_or(Parallelism::Auto));
+    let batch = run_genpip(&d, &config, ErMode::Full);
+    let opts = StreamOptions {
+        queue_capacity: 4,
+        progress_every: 0,
+    };
+    let mut lazy = genpip::datasets::StreamingSimulator::new(&profile);
+    let (reads, _) = collect(&mut lazy, &config, ErMode::Full, &opts);
+    assert_eq!(reads, batch.reads);
+}
+
+/// Wraps a source and counts pulls, so the test can observe in-flight reads
+/// (pulled minus emitted) from outside the executor.
+struct CountingSource<S> {
+    inner: S,
+    pulled: Arc<AtomicUsize>,
+}
+
+impl<S: ReadSource> ReadSource for CountingSource<S> {
+    fn reference(&self) -> &Genome {
+        self.inner.reference()
+    }
+    fn pore_model(&self) -> &PoreModel {
+        self.inner.pore_model()
+    }
+    fn mean_dwell(&self) -> f64 {
+        self.inner.mean_dwell()
+    }
+    fn next_read(&mut self) -> Option<SimulatedRead> {
+        let read = self.inner.next_read()?;
+        self.pulled.fetch_add(1, Ordering::SeqCst);
+        Some(read)
+    }
+}
+
+#[test]
+fn in_flight_reads_never_exceed_the_configured_bound() {
+    let d = dataset();
+    let workers = 4usize;
+    let queue_capacity = 2usize;
+    let config =
+        GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Threads(workers));
+    let bound = queue_capacity + workers;
+    let pulled = Arc::new(AtomicUsize::new(0));
+    let mut source = CountingSource {
+        inner: d.stream(),
+        pulled: Arc::clone(&pulled),
+    };
+    let opts = StreamOptions {
+        queue_capacity,
+        progress_every: 0,
+    };
+    let mut emitted = 0usize;
+    let mut observed_max = 0usize;
+    let summary = run_genpip_streaming(&mut source, &config, ErMode::Full, &opts, |event| {
+        if let StreamEvent::Read(_) = event {
+            // Reads pulled from the source but not yet emitted. Sampling at
+            // emission time is conservative: pulls strictly precede this
+            // observation, so any overshoot of the gate would show up here.
+            let in_flight = pulled.load(Ordering::SeqCst) - emitted;
+            observed_max = observed_max.max(in_flight);
+            emitted += 1;
+        }
+    });
+    assert_eq!(emitted, d.reads.len());
+    assert!(
+        observed_max <= bound,
+        "observed {observed_max} in-flight reads, bound {bound}"
+    );
+    assert_eq!(summary.in_flight_limit, bound);
+    assert!(
+        summary.max_in_flight <= bound,
+        "gate high-water {} exceeds bound {bound}",
+        summary.max_in_flight
+    );
+}
