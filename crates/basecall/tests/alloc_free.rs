@@ -8,16 +8,26 @@ use genpip_basecall::EmissionModel;
 use genpip_genomics::GenomeBuilder;
 use genpip_signal::{PoreModel, SignalSynthesizer};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-static COUNTING: AtomicBool = AtomicBool::new(false);
+// The counting flag must be per-thread: the libtest harness's main thread
+// sits in `Receiver::recv` while the test runs and lazily allocates its
+// mpmc parking context at an arbitrary moment — with a process-global flag
+// that race is counted and the test fails spuriously. Only allocations made
+// by the decoding thread itself are the test's concern. (Const-initialized
+// thread-locals never allocate, so reading the flag inside the allocator is
+// safe.)
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
 struct CountingAllocator;
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if COUNTING.with(Cell::get) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         unsafe { System.alloc(layout) }
@@ -28,7 +38,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if COUNTING.with(Cell::get) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         unsafe { System.realloc(ptr, layout, new_size) }
@@ -63,14 +73,14 @@ fn steady_state_decode_is_allocation_free() {
     // Steady state: no chunk is larger than the warm-up chunk, so no buffer
     // may grow and no allocation may happen.
     ALLOCS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
     let mut total_score = 0.0;
     for chunk in &chunks[1..] {
         let stats = decode_with(&emission, chunk, transitions, carry, &mut scratch);
         carry = scratch.final_state();
         total_score += stats.score;
     }
-    COUNTING.store(false, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(false));
     let allocs = ALLOCS.load(Ordering::SeqCst);
 
     assert!(total_score.is_finite());

@@ -4,11 +4,13 @@
 //! These measure the *real* wall-clock cost of this reproduction's
 //! implementations (not the modelled hardware times): the MVM emission
 //! kernel, CAM search, Viterbi chunk decoding (allocation-free scratch
-//! path), minimizer extraction, chaining DP, banded alignment, end-to-end
-//! single-read processing, `run_genpip` at 1/2/4 worker threads with a
-//! serial-vs-parallel bit-identity check, and the streaming executor
-//! (`run_genpip_streaming` over a lazy `StreamingSimulator` source) across
-//! worker/queue settings with a streaming-vs-batch bit-identity check.
+//! path), minimizer extraction, chaining DP, sharded fan-out seeding at
+//! 1/2/4 index shards (with a shard-vs-monolithic bit-identity check),
+//! banded alignment, end-to-end single-read processing, `run_genpip` at
+//! 1/2/4 worker threads with a serial-vs-parallel bit-identity check, and
+//! the streaming executor (`run_genpip_streaming` over a lazy
+//! `StreamingSimulator` source) across worker/queue settings with a
+//! streaming-vs-batch bit-identity check.
 //!
 //! Results are printed as a table and written to `BENCH_kernels.json` at the
 //! repo root so future PRs have a perf trajectory to compare against. Note
@@ -25,7 +27,7 @@ use genpip_datasets::{DatasetProfile, StreamingSimulator};
 use genpip_genomics::GenomeBuilder;
 use genpip_mapping::{
     minimizers_into, Anchor, ChainParams, IncrementalChainer, Mapper, MapperParams,
-    MinimizerScratch, SeedBatch, SeedScratch,
+    MinimizerScratch, SeedBatch, SeedScratch, Shards,
 };
 use genpip_pim::{CamBank, CrossbarArray};
 use genpip_signal::{PoreModel, SignalSynthesizer};
@@ -134,6 +136,66 @@ fn main() {
                 chainer.best_score()
             },
         ));
+    }
+
+    // --- Sharded seeding: fan-out lookup + chain at 1/2/4 shards ---
+    // Measures the whole seed path (sketch, per-shard hash lookups, anchor
+    // merge, chaining DP) as the index is split into more shards, and
+    // asserts the headline property: mapping output is bit-identical to the
+    // monolithic index at every shard count.
+    let mut sharded_rows = Vec::new();
+    let sharding_matches_monolithic;
+    {
+        let genome = GenomeBuilder::new(200_000).seed(21).build();
+        let query = genome.sequence().subseq(80_000, 4_000);
+        let mut monolithic_result = None;
+        let mut bitwise_equal = true;
+        for shards in [1usize, 2, 4] {
+            let params = MapperParams {
+                shards: if shards == 1 {
+                    Shards::Single
+                } else {
+                    Shards::Fixed(shards)
+                },
+                ..MapperParams::default()
+            };
+            let mapper = Mapper::build(&genome, params);
+            let mut scratch = SeedScratch::new();
+            let mut batch = SeedBatch::default();
+            let (mut fwd, mut rev) = mapper.new_chainers();
+            let r = bench(
+                &format!("seed/lookup_chain_{shards}_shards"),
+                Some((query.len() as f64, "bases")),
+                || {
+                    fwd.reset();
+                    rev.reset();
+                    let n =
+                        mapper.sketch_and_seed_into(black_box(&query), 0, &mut scratch, &mut batch);
+                    fwd.extend(&batch.forward);
+                    rev.extend(&batch.reverse);
+                    (n, fwd.best_score().max(rev.best_score()))
+                },
+            );
+            let mapping = mapper.map(&query);
+            match &monolithic_result {
+                None => monolithic_result = Some(mapping),
+                Some(reference) => bitwise_equal &= reference == &mapping,
+            }
+            sharded_rows.push(Json::obj([
+                ("shards", Json::Num(shards as f64)),
+                ("ns_per_iter", Json::Num(r.ns_per_iter)),
+                (
+                    "index_entries_largest_shard",
+                    Json::Num(mapper.index().max_shard_entries() as f64),
+                ),
+            ]));
+            results.push(r);
+        }
+        sharding_matches_monolithic = bitwise_equal;
+        assert!(
+            sharding_matches_monolithic,
+            "sharded mapping diverged from the monolithic index"
+        );
     }
 
     // --- Banded alignment ---
@@ -345,6 +407,11 @@ fn main() {
         (
             "streaming_matches_batch",
             Json::Bool(streaming_matches_batch),
+        ),
+        ("sharded_seeding", Json::Arr(sharded_rows)),
+        (
+            "sharding_matches_monolithic",
+            Json::Bool(sharding_matches_monolithic),
         ),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");

@@ -1,7 +1,7 @@
 //! GenPIP configuration.
 
 use genpip_datasets::DatasetProfile;
-use genpip_mapping::MapperParams;
+use genpip_mapping::{MapperParams, Shards};
 
 /// How many software worker threads the pipeline drivers
 /// ([`crate::pipeline::run_conventional`] / [`crate::pipeline::run_genpip`])
@@ -119,6 +119,17 @@ impl GenPipConfig {
         self
     }
 
+    /// Overrides how many position-range shards the reference minimizer
+    /// index is split into ([`Shards`]). Like
+    /// [`GenPipConfig::with_parallelism`], this never changes results —
+    /// mapping output is bit-identical for every shard count; the knob
+    /// bounds per-shard index memory and maps shards onto the PIM seeding
+    /// unit's CAM subarray groups.
+    pub fn with_shards(mut self, shards: Shards) -> GenPipConfig {
+        self.mapper.shards = shards;
+        self
+    }
+
     /// Signal samples per chunk for a given mean dwell (samples/base).
     pub fn samples_per_chunk(&self, mean_dwell: f64) -> usize {
         genpip_signal::chunk::samples_per_chunk(self.chunk_bases, mean_dwell)
@@ -179,6 +190,13 @@ mod tests {
         assert!(Parallelism::Auto.workers() >= 1);
         let c = GenPipConfig::default().with_parallelism(Parallelism::Threads(2));
         assert_eq!(c.parallelism, Parallelism::Threads(2));
+    }
+
+    #[test]
+    fn shard_override_reaches_the_mapper_params() {
+        let c = GenPipConfig::default().with_shards(Shards::Fixed(6));
+        assert_eq!(c.mapper.shards, Shards::Fixed(6));
+        assert_eq!(GenPipConfig::default().mapper.shards, Shards::Single);
     }
 
     #[test]

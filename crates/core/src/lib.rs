@@ -48,6 +48,7 @@ pub mod stream;
 pub mod systems;
 
 pub use config::{GenPipConfig, Parallelism};
+pub use genpip_mapping::Shards;
 pub use pipeline::{ChunkWork, ErMode, PipelineRun, ReadOutcome, ReadRun};
 pub use stream::{
     run_conventional_streaming, run_genpip_streaming, ProgressSnapshot, StreamEvent, StreamOptions,

@@ -30,8 +30,11 @@
 //! **worker-local scratch** (basecaller decode buffers, sketch/seed
 //! buffers, a reusable chainer pair — so the hot path stays allocation-free
 //! in steady state). The shared state ([`Basecaller`], [`Mapper`] with its
-//! `Arc`-shared reference genome) is immutable, therefore one mapper index
-//! serves every worker. Per-read computation never depends on other reads,
+//! `Arc`-shared reference genome and `Arc`-shared sharded minimizer index)
+//! is immutable, therefore one set of index shards serves every worker —
+//! workers never clone whole-genome index state, no matter the shard count
+//! ([`GenPipConfig::with_shards`]). Per-read computation never depends on
+//! other reads,
 //! which makes the output **bit-identical** for every `Parallelism` setting
 //! and for streaming vs batch execution — asserted by this module's tests
 //! across all [`ErMode`]s.

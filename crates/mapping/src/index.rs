@@ -9,11 +9,17 @@
 use crate::minimizer::{minimizers, Minimizer};
 use genpip_genomics::Genome;
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// One reference hit: where a minimizer occurs in the genome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RefHit {
     /// Position of the k-mer's first base in the reference.
+    ///
+    /// `u32` caps the addressable reference at 4 Gbp per index;
+    /// [`ReferenceIndex::build`] rejects longer genomes instead of silently
+    /// wrapping. A [`crate::ShardedReferenceIndex`] carries the same 4 Gbp
+    /// limit per shard (positions stay global coordinates).
     pub pos: u32,
     /// Strand flag of the canonical k-mer at that position.
     pub reverse: bool,
@@ -39,8 +45,12 @@ impl ReferenceIndex {
     ///
     /// # Panics
     ///
-    /// Panics if `k` is outside `1..=32` or `w` is 0.
+    /// Panics if `k` is outside `1..=32` or `w` is 0, or if the genome does
+    /// not fit [`RefHit::pos`]'s `u32` position space (4 Gbp): build a
+    /// [`crate::ShardedReferenceIndex`] over sub-4 Gbp shards instead of
+    /// letting positions wrap.
     pub fn build(genome: &Genome, k: usize, w: usize) -> ReferenceIndex {
+        Self::check_position_space(genome.len());
         let mut table: HashMap<u64, Vec<RefHit>> = HashMap::new();
         for m in minimizers(genome.sequence(), k, w) {
             table.entry(m.hash).or_default().push(RefHit {
@@ -55,6 +65,61 @@ impl ReferenceIndex {
             table,
             max_occurrences: Self::DEFAULT_MAX_OCCURRENCES,
         }
+    }
+
+    /// Builds the index over only the minimizers **owned** by `span`
+    /// (a global position range of the genome) — one shard of a
+    /// [`crate::ShardedReferenceIndex`].
+    ///
+    /// The sketched subsequence extends `w + k - 1` bases beyond each end of
+    /// `span` (clamped to the genome), so every winnowing window that could
+    /// witness an owned position exists in the shard exactly as it does in a
+    /// whole-genome sketch; hits are then filtered to `span`. The union of
+    /// the indexes built from a partition of `0..genome.len()` therefore
+    /// holds precisely the whole-genome minimizer set, each hit exactly
+    /// once, with global positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`ReferenceIndex::build`], or if
+    /// `span` exceeds the genome.
+    pub fn build_span(genome: &Genome, k: usize, w: usize, span: Range<usize>) -> ReferenceIndex {
+        assert!(
+            span.start <= span.end && span.end <= genome.len(),
+            "shard span {span:?} exceeds genome of {} bases",
+            genome.len()
+        );
+        Self::check_position_space(genome.len());
+        let halo = w + k - 1;
+        let ext_start = span.start.saturating_sub(halo);
+        let ext_end = (span.end + halo).min(genome.len());
+        let sub = genome.sequence().subseq(ext_start, ext_end - ext_start);
+        let mut table: HashMap<u64, Vec<RefHit>> = HashMap::new();
+        for m in minimizers(&sub, k, w) {
+            let pos = ext_start + m.pos as usize;
+            if span.contains(&pos) {
+                table.entry(m.hash).or_default().push(RefHit {
+                    pos: pos as u32,
+                    reverse: m.reverse,
+                });
+            }
+        }
+        ReferenceIndex {
+            k,
+            w,
+            genome_len: genome.len(),
+            table,
+            max_occurrences: Self::DEFAULT_MAX_OCCURRENCES,
+        }
+    }
+
+    fn check_position_space(genome_len: usize) {
+        assert!(
+            u32::try_from(genome_len).is_ok(),
+            "reference of {genome_len} bases exceeds the u32 position space \
+             (4 Gbp limit per index/shard); split it across shards of a \
+             ShardedReferenceIndex"
+        );
     }
 
     /// Adjusts the repetitive-minimizer cap.
@@ -93,6 +158,22 @@ impl ReferenceIndex {
         self.table.values().map(Vec::len).sum()
     }
 
+    /// The repetitive-minimizer cap ([`ReferenceIndex::with_max_occurrences`]).
+    pub fn max_occurrences(&self) -> usize {
+        self.max_occurrences
+    }
+
+    /// Number of (key, location) entries hidden by the repetitive cap — keys
+    /// with more than `max_occurrences` hits, which [`ReferenceIndex::lookup`]
+    /// reports as empty.
+    pub fn masked_entries(&self) -> usize {
+        self.table
+            .values()
+            .filter(|hits| hits.len() > self.max_occurrences)
+            .map(Vec::len)
+            .sum()
+    }
+
     /// Looks up a query minimizer, returning its reference hits, or an empty
     /// slice if the key is absent **or** more frequent than the repetitive
     /// cap.
@@ -112,9 +193,21 @@ impl ReferenceIndex {
         }
     }
 
-    /// Iterates over all `(hash, hits)` pairs (for loading the PIM arrays).
+    /// Iterates over all `(hash, hits)` pairs, **including** keys above the
+    /// repetitive cap that [`ReferenceIndex::lookup`] masks. Loaders that
+    /// program query-visible state (the PIM CAM/RAM image) must use
+    /// [`ReferenceIndex::iter_unmasked`] instead, or they will count rows the
+    /// functional model never reads.
     pub fn iter(&self) -> impl Iterator<Item = (&u64, &Vec<RefHit>)> {
         self.table.iter()
+    }
+
+    /// Iterates over exactly the `(hash, hits)` pairs [`ReferenceIndex::lookup`]
+    /// can return — keys at or below the repetitive cap.
+    pub fn iter_unmasked(&self) -> impl Iterator<Item = (&u64, &Vec<RefHit>)> {
+        self.table
+            .iter()
+            .filter(|(_, hits)| hits.len() <= self.max_occurrences)
     }
 }
 
@@ -193,5 +286,69 @@ mod tests {
         let idx = ReferenceIndex::build(&g, 15, 10);
         let visited: usize = idx.iter().map(|(_, v)| v.len()).sum();
         assert_eq!(visited, idx.total_entries());
+    }
+
+    #[test]
+    fn iter_unmasked_visits_exactly_the_queryable_entries() {
+        // Repeat-heavy genome with a low cap: `iter` still sees everything,
+        // `iter_unmasked` sees only what `lookup` can return.
+        let unit = genome(400, 6);
+        let mut seq = genpip_genomics::DnaSeq::new();
+        for _ in 0..20 {
+            seq.extend_from_seq(unit.sequence());
+        }
+        let g = Genome::from_seq("repeats", seq);
+        let idx = ReferenceIndex::build(&g, 15, 10).with_max_occurrences(4);
+        assert!(idx.masked_entries() > 0, "test genome must mask something");
+        let unmasked: usize = idx.iter_unmasked().map(|(_, v)| v.len()).sum();
+        assert_eq!(unmasked, idx.total_entries() - idx.masked_entries());
+        for (hash, hits) in idx.iter_unmasked() {
+            assert!(hits.len() <= idx.max_occurrences());
+            assert_eq!(idx.lookup_hash(*hash).len(), hits.len());
+        }
+    }
+
+    #[test]
+    fn span_shards_partition_the_whole_genome_sketch() {
+        use std::collections::HashSet;
+        let g = genome(10_000, 7);
+        let (k, w) = (15, 10);
+        let whole = ReferenceIndex::build(&g, k, w);
+        let mut whole_entries: HashSet<(u64, u32, bool)> = HashSet::new();
+        for (hash, hits) in whole.iter() {
+            for h in hits {
+                whole_entries.insert((*hash, h.pos, h.reverse));
+            }
+        }
+        for n in [2usize, 3, 7] {
+            let step = g.len().div_ceil(n);
+            let mut seen: HashSet<(u64, u32, bool)> = HashSet::new();
+            for s in 0..n {
+                let span = (s * step).min(g.len())..((s + 1) * step).min(g.len());
+                let shard = ReferenceIndex::build_span(&g, k, w, span.clone());
+                for (hash, hits) in shard.iter() {
+                    for h in hits {
+                        assert!(
+                            span.contains(&(h.pos as usize)),
+                            "hit {} escaped span {span:?}",
+                            h.pos
+                        );
+                        assert!(
+                            seen.insert((*hash, h.pos, h.reverse)),
+                            "duplicate hit at {} across shards",
+                            h.pos
+                        );
+                    }
+                }
+            }
+            assert_eq!(seen, whole_entries, "{n} shards lost or invented hits");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds genome")]
+    fn out_of_range_span_rejected() {
+        let g = genome(1_000, 8);
+        let _ = ReferenceIndex::build_span(&g, 15, 10, 500..2_000);
     }
 }

@@ -3,12 +3,17 @@
 //! The paper's read-mapping step (Section 2.1, Figure 1 ➌) runs in four
 //! phases, each implemented here as its own module:
 //!
-//! 1. **Indexing** ([`index`]) — extract `(w, k)` minimizers from the
-//!    reference genome and store them in a hash table keyed by minimizer
+//! 1. **Indexing** ([`index`], [`shard`]) — extract `(w, k)` minimizers from
+//!    the reference genome and store them in a hash table keyed by minimizer
 //!    hash, valued by reference positions. GenPIP holds this table in its
-//!    ReRAM CAM/RAM seeding unit (paper Section 4.4).
+//!    ReRAM CAM/RAM seeding unit (paper Section 4.4); the table is
+//!    partitioned into position-range shards ([`ShardedReferenceIndex`]) so
+//!    no single allocation — and no single CAM subarray group — holds the
+//!    whole genome's index, with results bit-identical for every shard
+//!    count.
 //! 2. **Seeding** ([`seed`]) — query the read's minimizers against the table
-//!    to produce *anchors* (query-position, reference-position pairs).
+//!    (fanning out across shards) to produce *anchors* (query-position,
+//!    reference-position pairs).
 //! 3. **Chaining** ([`chain`]) — a dynamic-programming pass that finds
 //!    colinear anchor chains with minimap2's gap-cost scoring. The chaining
 //!    score is what GenPIP's ER-CMR early-rejection thresholds against, and
@@ -43,10 +48,12 @@ pub mod mapper;
 pub mod minimizer;
 pub mod paf;
 pub mod seed;
+pub mod shard;
 
 pub use align::{Alignment, AlignmentParams, CigarOp};
 pub use chain::{Chain, ChainParams, IncrementalChainer};
-pub use index::ReferenceIndex;
+pub use index::{RefHit, ReferenceIndex};
 pub use mapper::{Mapper, MapperParams, Mapping, MappingCounters, MappingResult, SeedScratch};
 pub use minimizer::{minimizers, minimizers_into, Minimizer, MinimizerScratch};
 pub use seed::{Anchor, SeedBatch, Strand};
+pub use shard::{ShardedReferenceIndex, Shards};

@@ -14,6 +14,11 @@ pub struct Minimizer {
     /// Invertible hash of the canonical k-mer (the hash-table key).
     pub hash: u64,
     /// Position of the k-mer's first base in the sequence.
+    ///
+    /// `u32` bounds the sketchable sequence at 4 Gbp; [`minimizers_into`]
+    /// panics instead of silently wrapping past that. References larger than
+    /// 4 Gbp must be split (see `ShardedReferenceIndex`, which inherits a
+    /// 4 Gbp-per-shard limit from this type).
     pub pos: u32,
     /// `true` if the canonical k-mer is the reverse complement of the
     /// sequence's forward k-mer at `pos`.
@@ -48,7 +53,8 @@ pub fn hash64(key: u64) -> u64 {
 ///
 /// # Panics
 ///
-/// Panics if `k` is outside `1..=32` or `w` is 0.
+/// Panics if `k` is outside `1..=32` or `w` is 0, or if a selected position
+/// does not fit [`Minimizer::pos`]'s `u32` (sequences of 4 Gbp or more).
 ///
 /// # Example
 ///
@@ -127,7 +133,10 @@ pub fn minimizers_into(
             if let Some(&(pos, hash, rev)) = deque.front() {
                 let candidate = Minimizer {
                     hash,
-                    pos: pos as u32,
+                    pos: u32::try_from(pos).expect(
+                        "minimizer position exceeds u32: sequences are limited to \
+                         4 Gbp (shard the reference to stay under the limit)",
+                    ),
                     reverse: rev,
                 };
                 if out.last() != Some(&candidate) {

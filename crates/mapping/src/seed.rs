@@ -5,9 +5,14 @@
 //! reference position) pair asserting a k-mer-level match. GenPIP executes
 //! this lookup inside its in-memory seeding unit; this module is the
 //! functional behaviour, with counters for the hardware model.
+//!
+//! Lookups go through a [`ShardedReferenceIndex`]: each query minimizer fans
+//! out to every shard and the per-shard hit streams arrive pre-merged in
+//! global position order, so the anchors — and everything downstream — are
+//! bit-identical for every shard count.
 
-use crate::index::ReferenceIndex;
 use crate::minimizer::Minimizer;
+use crate::shard::ShardedReferenceIndex;
 
 /// Mapping strand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,7 +68,11 @@ pub struct SeedBatch {
 /// `qpos_offset` is added to every minimizer position — GenPIP's chunk-based
 /// pipeline sketches each basecalled chunk locally and offsets by the bases
 /// already emitted for the read.
-pub fn seed_batch(index: &ReferenceIndex, mins: &[Minimizer], qpos_offset: u32) -> SeedBatch {
+pub fn seed_batch(
+    index: &ShardedReferenceIndex,
+    mins: &[Minimizer],
+    qpos_offset: u32,
+) -> SeedBatch {
     let mut batch = SeedBatch::default();
     seed_batch_into(index, mins, qpos_offset, &mut batch);
     batch
@@ -73,7 +82,7 @@ pub fn seed_batch(index: &ReferenceIndex, mins: &[Minimizer], qpos_offset: u32) 
 /// clearing it first — the anchor vectors keep their capacity, so a reused
 /// batch seeds without allocating in steady state.
 pub fn seed_batch_into(
-    index: &ReferenceIndex,
+    index: &ShardedReferenceIndex,
     mins: &[Minimizer],
     qpos_offset: u32,
     batch: &mut SeedBatch,
@@ -110,6 +119,7 @@ pub fn seed_batch_into(
 mod tests {
     use super::*;
     use crate::minimizer::minimizers;
+    use crate::shard::Shards;
     use genpip_genomics::{Genome, GenomeBuilder};
 
     const K: usize = 15;
@@ -119,10 +129,14 @@ mod tests {
         GenomeBuilder::new(n).seed(seed).build()
     }
 
+    fn index(g: &Genome) -> ShardedReferenceIndex {
+        ShardedReferenceIndex::build(g, K, W, Shards::Single)
+    }
+
     #[test]
     fn exact_substring_seeds_on_diagonal() {
         let g = genome(20_000, 1);
-        let idx = ReferenceIndex::build(&g, K, W);
+        let idx = index(&g);
         let start = 7_000;
         let query = g.sequence().subseq(start, 600);
         let batch = seed_batch(&idx, &minimizers(&query, K, W), 0);
@@ -147,7 +161,7 @@ mod tests {
     #[test]
     fn reverse_complement_query_seeds_reverse_colinear() {
         let g = genome(20_000, 2);
-        let idx = ReferenceIndex::build(&g, K, W);
+        let idx = index(&g);
         let start = 3_000;
         let query = g.sequence().subseq(start, 600).reverse_complement();
         let batch = seed_batch(&idx, &minimizers(&query, K, W), 0);
@@ -175,7 +189,7 @@ mod tests {
     #[test]
     fn offset_shifts_query_positions() {
         let g = genome(10_000, 3);
-        let idx = ReferenceIndex::build(&g, K, W);
+        let idx = index(&g);
         let query = g.sequence().subseq(2_000, 300);
         let mins = minimizers(&query, K, W);
         let a = seed_batch(&idx, &mins, 0);
@@ -190,7 +204,7 @@ mod tests {
     #[test]
     fn random_query_produces_few_anchors() {
         let g = genome(20_000, 4);
-        let idx = ReferenceIndex::build(&g, K, W);
+        let idx = index(&g);
         // A query from a *different* genome shares almost no 15-mers.
         let alien = genome(2_000, 999);
         let batch = seed_batch(&idx, &minimizers(alien.sequence(), K, W), 0);
@@ -203,9 +217,24 @@ mod tests {
     }
 
     #[test]
+    fn fan_out_seeding_is_bit_identical_across_shard_counts() {
+        let g = genome(30_000, 6);
+        let single = index(&g);
+        let query = g.sequence().subseq(9_000, 1_200);
+        let mins = minimizers(&query, K, W);
+        let reference = seed_batch(&single, &mins, 0);
+        assert!(reference.hits > 10);
+        for n in [2usize, 5, 16] {
+            let sharded = ShardedReferenceIndex::build(&g, K, W, Shards::Fixed(n));
+            let batch = seed_batch(&sharded, &mins, 0);
+            assert_eq!(batch, reference, "{n} shards diverged");
+        }
+    }
+
+    #[test]
     fn counters_are_consistent() {
         let g = genome(10_000, 5);
-        let idx = ReferenceIndex::build(&g, K, W);
+        let idx = index(&g);
         let query = g.sequence().subseq(1_000, 500);
         let mins = minimizers(&query, K, W);
         let batch = seed_batch(&idx, &mins, 0);

@@ -15,6 +15,9 @@
 //!   PIM-CQS, in-memory seeding, DP units) as *cost models*: they convert the
 //!   measured workload counters of the functional pipeline into service times
 //!   and energies;
+//! * [`seeding`] — the seeding unit's CAM image: loads a sharded reference
+//!   index one shard per CAM subarray group, programming only the entries
+//!   the functional model can actually query (globally-unmasked keys);
 //! * [`area_power`] — the Table 2 area/power breakdown.
 //!
 //! # Example
@@ -33,11 +36,13 @@ pub mod arrays;
 pub mod edram;
 pub mod modules;
 pub mod params;
+pub mod seeding;
 
 pub use arrays::{CamArray, CamBank, CrossbarArray};
 pub use edram::EdramBuffer;
 pub use modules::{BasecallModule, CqsModule, DpModule, SeedingModule};
 pub use params::PimTech;
+pub use seeding::{SeedingUnitMap, ShardGroup};
 
 /// Bytes per raw signal sample (16-bit DAC), mirrored from `genpip-signal`
 /// for buffer-sizing checks without a dependency cycle.

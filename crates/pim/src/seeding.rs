@@ -1,0 +1,256 @@
+//! Loading the sharded reference index into the seeding unit's CAM arrays.
+//!
+//! The paper's Figure 9 seeding unit stores minimizer hashes in ReRAM CAM
+//! subarrays and their reference-location lists in adjacent ReRAM RAM. With
+//! the reference index partitioned into position-range shards
+//! ([`ShardedReferenceIndex`]), each shard maps onto its own **CAM subarray
+//! group**: a query minimizer is broadcast to every group in parallel —
+//! exactly the fan-out the functional seeding path performs in software.
+//!
+//! Two invariants keep the hardware image honest:
+//!
+//! * only **globally unmasked** entries are programmed
+//!   ([`ShardedReferenceIndex::shard_iter_unmasked`]): a repetitive
+//!   minimizer the functional model refuses to query must not occupy CAM
+//!   rows or RAM words, or the cost models would charge for storage no
+//!   lookup can reach;
+//! * keys are programmed in sorted order, so the CAM image (row assignment
+//!   included) is deterministic run to run despite hash-map iteration.
+
+use crate::arrays::CamBank;
+use genpip_mapping::ShardedReferenceIndex;
+use std::ops::Range;
+
+/// One shard's CAM subarray group: the programmed bank plus its load
+/// statistics for the hardware report.
+#[derive(Debug, Clone)]
+pub struct ShardGroup {
+    /// Shard number (index into [`ShardedReferenceIndex::spans`]).
+    pub shard: usize,
+    /// The genome position range this group serves.
+    pub span: Range<usize>,
+    /// Distinct minimizer hashes programmed (CAM rows in use).
+    pub keys: usize,
+    /// Reference-location entries stored in the group's RAM arrays.
+    pub entries: usize,
+    /// The programmed CAM bank.
+    pub bank: CamBank,
+}
+
+/// The whole seeding unit's CAM image: one [`ShardGroup`] per index shard.
+#[derive(Debug, Clone)]
+pub struct SeedingUnitMap {
+    rows_per_array: usize,
+    groups: Vec<ShardGroup>,
+    masked_keys: usize,
+    masked_entries: usize,
+}
+
+impl SeedingUnitMap {
+    /// CAM rows per subarray in the paper's Figure 9 organization
+    /// (832×128-bit arrays).
+    pub const PAPER_ROWS_PER_ARRAY: usize = 832;
+
+    /// Programs `index` into per-shard CAM groups, `rows_per_array` keys per
+    /// CAM subarray.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_array` is 0.
+    pub fn load(index: &ShardedReferenceIndex, rows_per_array: usize) -> SeedingUnitMap {
+        let groups = (0..index.shard_count())
+            .map(|s| {
+                let mut keys: Vec<u64> = Vec::new();
+                let mut entries = 0usize;
+                for (hash, hits) in index.shard_iter_unmasked(s) {
+                    keys.push(*hash);
+                    entries += hits.len();
+                }
+                keys.sort_unstable();
+                let bank = CamBank::build(keys.iter().copied(), rows_per_array);
+                ShardGroup {
+                    shard: s,
+                    span: index.spans()[s].clone(),
+                    keys: keys.len(),
+                    entries,
+                    bank,
+                }
+            })
+            .collect();
+        SeedingUnitMap {
+            rows_per_array,
+            groups,
+            masked_keys: index.masked_keys(),
+            masked_entries: index.masked_entries(),
+        }
+    }
+
+    /// CAM rows per subarray this image was built for.
+    pub fn rows_per_array(&self) -> usize {
+        self.rows_per_array
+    }
+
+    /// The per-shard CAM groups, in shard order.
+    pub fn groups(&self) -> &[ShardGroup] {
+        &self.groups
+    }
+
+    /// Total CAM rows in use across all groups.
+    pub fn total_keys(&self) -> usize {
+        self.groups.iter().map(|g| g.keys).sum()
+    }
+
+    /// Total RAM location entries across all groups.
+    pub fn total_entries(&self) -> usize {
+        self.groups.iter().map(|g| g.entries).sum()
+    }
+
+    /// Total CAM subarrays allocated across all groups.
+    pub fn total_cam_arrays(&self) -> usize {
+        self.groups.iter().map(|g| g.bank.array_count()).sum()
+    }
+
+    /// Keys the repetitive-minimizer mask kept out of the CAM image.
+    pub fn masked_keys(&self) -> usize {
+        self.masked_keys
+    }
+
+    /// Location entries the mask kept out of the RAM image.
+    pub fn masked_entries(&self) -> usize {
+        self.masked_entries
+    }
+
+    /// A per-shard load table for the hardware report.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "shard  span                    keys     entries  CAM arrays ({} rows each)",
+            self.rows_per_array
+        );
+        for g in &self.groups {
+            let _ = writeln!(
+                out,
+                "{:>5}  [{:>9}..{:>9})  {:>7}  {:>8}  {:>4}",
+                g.shard,
+                g.span.start,
+                g.span.end,
+                g.keys,
+                g.entries,
+                g.bank.array_count()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total  {:>23}  {:>7}  {:>8}  {:>4}   (masked: {} keys / {} entries never programmed)",
+            "",
+            self.total_keys(),
+            self.total_entries(),
+            self.total_cam_arrays(),
+            self.masked_keys,
+            self.masked_entries
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpip_genomics::{DnaSeq, Genome, GenomeBuilder};
+    use genpip_mapping::Shards;
+
+    fn repeat_heavy_genome() -> Genome {
+        let unit = GenomeBuilder::new(400)
+            .seed(50)
+            .repeat_fraction(0.0)
+            .build();
+        let mut seq = DnaSeq::new();
+        for _ in 0..40 {
+            seq.extend_from_seq(unit.sequence());
+        }
+        seq.extend_from_seq(
+            GenomeBuilder::new(12_000)
+                .seed(51)
+                .repeat_fraction(0.0)
+                .build()
+                .sequence(),
+        );
+        Genome::from_seq("repeats+unique", seq)
+    }
+
+    #[test]
+    fn cam_image_counts_match_the_unmasked_index() {
+        let g = repeat_heavy_genome();
+        let index =
+            ShardedReferenceIndex::build_with_max_occurrences(&g, 15, 10, Shards::Fixed(4), 16);
+        assert!(index.masked_entries() > 0, "genome must mask something");
+        let map = SeedingUnitMap::load(&index, 128);
+        // The regression the loader exists for: RAM entry counts equal the
+        // index total *minus* the globally-masked entries, never the raw
+        // table size. (Entries are exact: every hit lives in exactly one
+        // shard.)
+        assert_eq!(
+            map.total_entries(),
+            index.total_entries() - index.masked_entries()
+        );
+        // CAM keys are exact *per shard*; summed across shards they may
+        // exceed the global distinct count, because an unmasked hash whose
+        // hits straddle a shard boundary is programmed into every group
+        // that owns one of its hits.
+        for (s, group) in map.groups().iter().enumerate() {
+            assert_eq!(group.keys, index.shard_iter_unmasked(s).count());
+        }
+        assert!(map.total_keys() >= index.distinct_minimizers() - index.masked_keys());
+        assert_eq!(map.masked_keys(), index.masked_keys());
+        assert_eq!(map.masked_entries(), index.masked_entries());
+    }
+
+    #[test]
+    fn one_group_per_shard_with_matching_spans() {
+        let g = GenomeBuilder::new(20_000).seed(52).build();
+        let index = ShardedReferenceIndex::build(&g, 15, 10, Shards::Fixed(5));
+        let map = SeedingUnitMap::load(&index, SeedingUnitMap::PAPER_ROWS_PER_ARRAY);
+        assert_eq!(map.groups().len(), 5);
+        for (g, span) in map.groups().iter().zip(index.spans()) {
+            assert_eq!(&g.span, span);
+            assert_eq!(g.bank.key_count(), g.keys);
+            assert!(g.bank.array_count() <= g.keys.div_ceil(map.rows_per_array()) + 1);
+        }
+    }
+
+    #[test]
+    fn programmed_banks_answer_unmasked_keys_and_reject_masked_ones() {
+        let g = repeat_heavy_genome();
+        let index =
+            ShardedReferenceIndex::build_with_max_occurrences(&g, 15, 10, Shards::Fixed(3), 16);
+        let map = SeedingUnitMap::load(&index, 128);
+        let mut groups: Vec<ShardGroup> = map.groups().to_vec();
+        let mut checked_hit = false;
+        let mut checked_miss = false;
+        for s in 0..index.shard_count() {
+            for (hash, _) in index.shard(s).iter() {
+                let found = groups[s].bank.search(*hash).is_some();
+                if index.is_masked(*hash) {
+                    assert!(!found, "masked key {hash:#x} programmed into shard {s}");
+                    checked_miss = true;
+                } else {
+                    assert!(found, "unmasked key {hash:#x} missing from shard {s}");
+                    checked_hit = true;
+                }
+            }
+        }
+        assert!(checked_hit && checked_miss);
+    }
+
+    #[test]
+    fn report_lists_every_shard() {
+        let g = GenomeBuilder::new(15_000).seed(53).build();
+        let index = ShardedReferenceIndex::build(&g, 15, 10, Shards::Fixed(3));
+        let map = SeedingUnitMap::load(&index, 128);
+        let report = map.report();
+        assert_eq!(report.lines().count(), 1 + 3 + 1, "header + shards + total");
+        assert!(report.contains("masked:"));
+    }
+}

@@ -10,8 +10,9 @@ use genpip::core::systems::costs::SoftwareCosts;
 use genpip::core::systems::hardware::evaluate_genpip;
 use genpip::core::GenPipConfig;
 use genpip::datasets::DatasetProfile;
+use genpip::mapping::{ShardedReferenceIndex, Shards};
 use genpip::pim::area_power::genpip_table2;
-use genpip::pim::{BasecallModule, DpModule, PimTech, SeedingModule};
+use genpip::pim::{BasecallModule, DpModule, PimTech, SeedingModule, SeedingUnitMap};
 
 fn main() {
     let tech = PimTech::paper_32nm();
@@ -40,8 +41,14 @@ fn main() {
     println!("chaining (60 anchors):   {}", dp.chain_service(60));
     println!("alignment (9 kb read):   {}", dp.align_service(9_000));
 
-    println!("\n== GenPIP schedule on a sample workload ==");
+    println!("\n== Seeding-unit CAM image (sharded reference index) ==");
     let dataset = DatasetProfile::ecoli().scaled(0.1).generate();
+    let index = ShardedReferenceIndex::build(&dataset.reference, 15, 10, Shards::Fixed(4));
+    let cam_image = SeedingUnitMap::load(&index, SeedingUnitMap::PAPER_ROWS_PER_ARRAY);
+    print!("{}", cam_image.report());
+    println!("(one shard per CAM subarray group; a query fans out to all groups in parallel)");
+
+    println!("\n== GenPIP schedule on a sample workload ==");
     let config = GenPipConfig::for_dataset(&dataset.profile);
     let run = run_genpip(&dataset, &config, ErMode::Full);
     let eval = evaluate_genpip(&run, &SoftwareCosts::calibrated(), &tech);

@@ -27,7 +27,7 @@ use genpip::core::{GenPipConfig, Parallelism};
 use genpip::datasets::{DatasetProfile, ReadSource, StreamingSimulator};
 use genpip::genomics::fastx;
 use genpip::mapping::paf::{write_paf, PafRecord};
-use genpip::mapping::{Mapper, MapperParams};
+use genpip::mapping::{Mapper, MapperParams, Shards};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -72,9 +72,12 @@ const USAGE: &str = "genpip — in-memory genome analysis (GenPIP reproduction)
 USAGE:
   genpip simulate --profile <ecoli|human> [--scale F] --out <prefix>
   genpip map --reference <ref.fasta> --reads <reads.fastq> [--paf <out.paf>]
+             [--shards <single|auto|N>]
   genpip run [--profile <ecoli|human>] [--scale F] [--er <full|qsr|cp|off>]
+             [--shards <single|auto|N>]
   genpip stream [--profile <ecoli|human>] [--scale F] [--er <full|qsr|cp|off>]
                [--queue N] [--progress N] [--threads <serial|auto|N>]
+               [--shards <single|auto|N>]
   genpip experiment <fig04|fig07|fig10|fig11|fig12|fig13|tab01|tab02|useless|ablations> [--scale F]
 
 OPTIONS:
@@ -85,7 +88,9 @@ OPTIONS:
   --paf       PAF output path for `map` (default: stdout)
   --queue     `stream` work-queue capacity; in-flight reads <= queue + workers (default 8)
   --progress  `stream` progress line cadence in reads (default 50, 0 = off)
-  --threads   `stream` worker threads (default: GENPIP_PARALLELISM env or auto)";
+  --threads   `stream` worker threads (default: GENPIP_PARALLELISM env or auto)
+  --shards    reference-index shard count for `map`/`run`/`stream`; results
+              are bit-identical for every setting (default single)";
 
 type Options = HashMap<String, String>;
 
@@ -170,8 +175,19 @@ fn cmd_map(parsed: &Parsed) -> Result<(), String> {
         File::open(reads_path).map_err(|e| format!("{reads_path}: {e}"))?,
     ))
     .map_err(|e| e.to_string())?;
+    let shards = shards_from(parsed)?;
     eprintln!("indexing {}…", genome);
-    let mapper = Mapper::build(&genome, MapperParams::default());
+    let params = MapperParams {
+        shards,
+        ..MapperParams::default()
+    };
+    let mapper = Mapper::build(&genome, params);
+    eprintln!(
+        "index: {} shard(s), {} entries (largest shard {})",
+        mapper.index().shard_count(),
+        mapper.index().total_entries(),
+        mapper.index().max_shard_entries()
+    );
 
     let mut records = Vec::new();
     let mut unmapped = 0usize;
@@ -204,6 +220,13 @@ fn cmd_map(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+fn shards_from(parsed: &Parsed) -> Result<Shards, String> {
+    match parsed.0.get("shards") {
+        None => Ok(Shards::Single),
+        Some(s) => Shards::parse(s).ok_or_else(|| format!("invalid --shards {s:?}")),
+    }
+}
+
 fn er_from(parsed: &Parsed) -> Result<ErMode, String> {
     match parsed.0.get("er").map(String::as_str).unwrap_or("full") {
         "full" => Ok(ErMode::Full),
@@ -216,9 +239,15 @@ fn er_from(parsed: &Parsed) -> Result<ErMode, String> {
 fn cmd_run(parsed: &Parsed) -> Result<(), String> {
     let profile = profile_from(parsed)?;
     let er = er_from(parsed)?;
-    println!("running GenPIP ({:?}) on {}…", er, profile.name);
+    let shards = shards_from(parsed)?;
+    println!(
+        "running GenPIP ({:?}) on {} ({} index shard(s))…",
+        er,
+        profile.name,
+        shards.resolve(profile.genome_len)
+    );
     let dataset = profile.generate();
-    let config = GenPipConfig::for_dataset(&profile);
+    let config = GenPipConfig::for_dataset(&profile).with_shards(shards);
     let run = run_genpip(&dataset, &config, er);
     let totals = run.totals();
     let count = |pred: fn(&ReadOutcome) -> bool| run.count_outcomes(pred);
@@ -263,20 +292,24 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
     };
     let queue = usize_opt("queue", 8)?.max(1);
     let progress = usize_opt("progress", 50)?;
+    let shards = shards_from(parsed)?;
     let parallelism = match parsed.0.get("threads") {
         None => Parallelism::from_env_or(Parallelism::Auto),
         Some(s) => Parallelism::parse(s).ok_or_else(|| format!("invalid --threads {s:?}"))?,
     };
 
-    let config = GenPipConfig::for_dataset(&profile).with_parallelism(parallelism);
+    let config = GenPipConfig::for_dataset(&profile)
+        .with_parallelism(parallelism)
+        .with_shards(shards);
     let mut source = StreamingSimulator::new(&profile);
     let expected = source.reads_remaining().unwrap_or(0);
     println!(
         "streaming GenPIP ({er:?}) over {} ({} reads synthesized on the fly, \
-         {} worker(s), queue {queue})…",
+         {} worker(s), queue {queue}, {} index shard(s))…",
         profile.name,
         expected,
-        parallelism.workers()
+        parallelism.workers(),
+        shards.resolve(profile.genome_len)
     );
     let opts = StreamOptions {
         queue_capacity: queue,
