@@ -7,10 +7,12 @@
 //! path), minimizer extraction, chaining DP, sharded fan-out seeding at
 //! 1/2/4 index shards (with a shard-vs-monolithic bit-identity check),
 //! banded alignment, end-to-end single-read processing, `run_genpip` at
-//! 1/2/4 worker threads with a serial-vs-parallel bit-identity check, and
-//! the streaming executor (`run_genpip_streaming` over a lazy
+//! 1/2/4 worker threads with a serial-vs-parallel bit-identity check, the
+//! streaming executor (`run_genpip_streaming` over a lazy
 //! `StreamingSimulator` source) across worker/queue settings with a
-//! streaming-vs-batch bit-identity check.
+//! streaming-vs-batch bit-identity check, and the multi-source `Session`
+//! engine (1 vs 2 fair-share-interleaved sources over one worker pool)
+//! with a per-source-vs-solo bit-identity check.
 //!
 //! Results are printed as a table and written to `BENCH_kernels.json` at the
 //! repo root so future PRs have a perf trajectory to compare against. Note
@@ -20,7 +22,9 @@
 
 use genpip_basecall::{Basecaller, CallScratch, EmissionModel};
 use genpip_bench::micro::{bench, bench_json, time_once, Json};
-use genpip_core::pipeline::{run_genpip, ErMode};
+use genpip_core::engine::{Flow, Session};
+use genpip_core::pipeline::{run_genpip, ErMode, ReadRun};
+use genpip_core::scheduler::Schedule;
 use genpip_core::stream::{run_genpip_streaming, StreamEvent, StreamOptions};
 use genpip_core::{GenPipConfig, Parallelism};
 use genpip_datasets::{DatasetProfile, StreamingSimulator};
@@ -384,6 +388,67 @@ fn main() {
         "streaming pipeline diverged from batch output"
     );
 
+    // --- Multi-source session: 1 vs 2 interleaved sources, one pool ---
+    // The scheduling tax of serving two concurrent runs from one worker
+    // pool, measured end to end (fair-share interleaving, shared in-flight
+    // gate), with the headline property asserted: each source's per-read
+    // output is bit-identical to running it alone.
+    println!("\n=== multi-source session bench (fair-share, one worker pool) ===");
+    let mut multi_rows = Vec::new();
+    let mut multi_matches_solo = true;
+    for n_sources in [1usize, 2] {
+        let config =
+            GenPipConfig::for_dataset(&dataset.profile).with_parallelism(Parallelism::Threads(4));
+        let opts = StreamOptions {
+            queue_capacity: 8,
+            progress_every: 0,
+        };
+        let mut collected: Vec<Vec<ReadRun>> = vec![Vec::new(); n_sources];
+        let (report, seconds) = time_once(|| {
+            let mut session = Session::new(config.clone())
+                .flow(Flow::GenPip(ErMode::Full))
+                .schedule(Schedule::FairShare)
+                .options(opts);
+            for (i, bucket) in collected.iter_mut().enumerate() {
+                let id = format!("src{i}");
+                session = session
+                    .source(id.as_str(), StreamingSimulator::new(&dataset.profile))
+                    .sink(id.as_str(), move |event| {
+                        if let StreamEvent::Read(run) = event {
+                            bucket.push(run);
+                        }
+                    });
+            }
+            session.run().expect("bench session inputs are valid")
+        });
+        for bucket in &collected {
+            multi_matches_solo &= bucket == batch_reference;
+        }
+        let reads_per_s = report.outcomes.reads_emitted as f64 / seconds;
+        println!(
+            "sources {n_sources}: {seconds:.3} s  {reads_per_s:>8.1} reads/s  \
+             peak in-flight {}/{}",
+            report.max_in_flight, report.in_flight_limit
+        );
+        multi_rows.push(Json::obj([
+            ("sources", Json::Num(n_sources as f64)),
+            ("threads", Json::Num(4.0)),
+            ("seconds", Json::Num(seconds)),
+            ("reads_per_s", Json::Num(reads_per_s)),
+            (
+                "samples_per_s",
+                Json::Num(report.totals.samples as f64 / seconds),
+            ),
+            ("max_in_flight", Json::Num(report.max_in_flight as f64)),
+            ("in_flight_limit", Json::Num(report.in_flight_limit as f64)),
+        ]));
+    }
+    println!("per-source outputs bit-identical to solo runs: {multi_matches_solo}");
+    assert!(
+        multi_matches_solo,
+        "multi-source session diverged from solo output"
+    );
+
     let report = Json::obj([
         ("schema", Json::Str("genpip-bench-kernels-v1".into())),
         (
@@ -413,6 +478,8 @@ fn main() {
             "sharding_matches_monolithic",
             Json::Bool(sharding_matches_monolithic),
         ),
+        ("multi_source", Json::Arr(multi_rows)),
+        ("multi_source_matches_solo", Json::Bool(multi_matches_solo)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     match std::fs::write(path, report.render()) {

@@ -1,0 +1,887 @@
+//! The `Session` engine: one execution core serving any number of read
+//! sources.
+//!
+//! Every driver in this crate — batch ([`crate::pipeline::run_genpip`] /
+//! [`crate::pipeline::run_conventional`]), streaming
+//! ([`crate::stream::run_genpip_streaming`] /
+//! [`crate::stream::run_conventional_streaming`]), the CLI, and the bench
+//! harness — is a thin wrapper over the [`Session`] built here. A session
+//! is *configured*, not called: you register named sources, attach
+//! per-source sinks, pick a [`Flow`] and a [`Schedule`], and run. GenPIP's
+//! end-to-end gain comes from executing the whole pipeline as one tightly
+//! integrated flow per read; the session generalizes that flow from "one
+//! dataset at a time" to "one service instance interleaving many concurrent
+//! runs over one worker pool".
+//!
+//! ```no_run
+//! use genpip_core::engine::{Flow, Session};
+//! use genpip_core::scheduler::Schedule;
+//! use genpip_core::stream::StreamEvent;
+//! use genpip_core::{ErMode, GenPipConfig};
+//! use genpip_datasets::{DatasetProfile, StreamingSimulator};
+//!
+//! let ecoli = DatasetProfile::ecoli().scaled(0.05);
+//! let human = DatasetProfile::human().scaled(0.05);
+//! let report = Session::new(GenPipConfig::for_dataset(&ecoli))
+//!     .flow(Flow::GenPip(ErMode::Full))
+//!     .schedule(Schedule::Priority(vec![3, 1]))
+//!     .source("ecoli", StreamingSimulator::new(&ecoli))
+//!     .source("human", StreamingSimulator::new(&human))
+//!     .sink("ecoli", |event| {
+//!         if let StreamEvent::Read(run) = event {
+//!             println!("ecoli read {} done", run.id);
+//!         }
+//!     })
+//!     .run()
+//!     .expect("session inputs are valid");
+//! println!("{} reads total, peak in-flight {}",
+//!          report.outcomes.reads_emitted, report.max_in_flight);
+//! ```
+//!
+//! # Execution model
+//!
+//! ```text
+//!  source "a" ─┐
+//!  source "b" ─┼─ Schedule picks ──pull──▶ [gate ≤ Q+W] ─▶ queue(Q) ─▶ W workers
+//!  source "c" ─┘   the next source                                        │
+//!                                                                         ▼
+//!  sink "a" ◀─┬── per-source in-order emit ◀── reorder slots ◀────────────┘
+//!  sink "b" ◀─┤
+//!  sink "c" ◀─┘
+//! ```
+//!
+//! One feeder thread pulls reads from whichever source the [`Schedule`]
+//! picks, one permit gate bounds reads in flight **across all sources** to
+//! `queue_capacity + workers`, and one worker pool processes every read
+//! against its own source's context (reference index, pore model). Results
+//! are emitted in global pull order, which makes each source's emission
+//! order its own pull order — per-source in-order delivery, regardless of
+//! how sources interleave.
+//!
+//! # Guarantees
+//!
+//! * **Per-source bit-identity** — a source's per-read output in a
+//!   multi-source session is bit-identical to running that source alone,
+//!   for every [`Schedule`], [`crate::Parallelism`], [`ErMode`], and shard
+//!   count (`tests/session.rs` asserts this). Scheduling changes latency,
+//!   never results.
+//! * **Bounded memory** — at most `queue_capacity + workers` reads are
+//!   resident anywhere in the session, no matter how many sources are
+//!   registered ([`SessionReport::max_in_flight`] proves the bound held).
+//! * **Typed validation** — invalid inputs (zero queue, zero workers, no
+//!   sources, duplicate ids, bad priority weights) fail up front with a
+//!   [`SessionError`] instead of deadlocking or panicking mid-run.
+
+use crate::config::{GenPipConfig, Parallelism};
+use crate::pipeline::{process_read, ErMode, ReadRun, RunContext, WorkerScratch, WorkloadTotals};
+use crate::scheduler::{Schedule, SchedulerState};
+use crate::stream::{ProgressSnapshot, StreamEvent, StreamOptions, StreamSummary};
+use genpip_datasets::{ReadSource, SimulatedRead, SourceId};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+
+/// Which pipeline a [`Session`] runs over its reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// GenPIP's chunk-based pipeline (paper Figure 5b / Figure 6) with the
+    /// given early-rejection mode.
+    GenPip(ErMode),
+    /// The conventional whole-read pipeline (paper Figure 5a).
+    Conventional,
+}
+
+impl Flow {
+    fn er(self) -> Option<ErMode> {
+        match self {
+            Flow::GenPip(er) => Some(er),
+            Flow::Conventional => None,
+        }
+    }
+}
+
+/// Why a [`Session`] refused to run. All variants are detected up front,
+/// before any read is pulled or any worker is spawned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// `StreamOptions::queue_capacity` was 0 — the work queue could never
+    /// stage a read.
+    ZeroQueueCapacity,
+    /// `Parallelism::Threads(0)` — an explicit request for no workers.
+    ZeroWorkers,
+    /// No source was registered.
+    NoSources,
+    /// Two sources were registered under the same id.
+    DuplicateSource(SourceId),
+    /// A sink was attached to an id with no registered source.
+    SinkWithoutSource(SourceId),
+    /// `Schedule::Priority` weights don't line up with the sources.
+    PriorityWeightCount {
+        /// Registered sources.
+        sources: usize,
+        /// Provided weights.
+        weights: usize,
+    },
+    /// A priority weight of 0 would starve its source forever.
+    ZeroPriorityWeight(SourceId),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::ZeroQueueCapacity => {
+                write!(f, "queue capacity must be at least 1 (got 0)")
+            }
+            SessionError::ZeroWorkers => {
+                write!(f, "worker count must be at least 1 (got Threads(0))")
+            }
+            SessionError::NoSources => write!(f, "session has no sources"),
+            SessionError::DuplicateSource(id) => {
+                write!(f, "source id {:?} registered twice", id.as_str())
+            }
+            SessionError::SinkWithoutSource(id) => {
+                write!(f, "sink attached to unknown source id {:?}", id.as_str())
+            }
+            SessionError::PriorityWeightCount { sources, weights } => write!(
+                f,
+                "priority schedule has {weights} weight(s) for {sources} source(s)"
+            ),
+            SessionError::ZeroPriorityWeight(id) => {
+                write!(
+                    f,
+                    "priority weight for source {:?} is 0 (would starve it)",
+                    id.as_str()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// What one source contributed to a [`SessionReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceReport {
+    /// The id the source was registered under.
+    pub id: SourceId,
+    /// This source's own counters. `workers` and `in_flight_limit` are the
+    /// session-wide values (sources share the pool and the gate);
+    /// `max_in_flight` is this source's own high-water mark.
+    pub summary: StreamSummary,
+}
+
+/// What a finished [`Session`] leaves behind: per-source summaries plus the
+/// aggregate, O(sources) in size regardless of how many reads flowed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Per-source summaries, in registration order.
+    pub sources: Vec<SourceReport>,
+    /// Aggregate outcome counters over all sources.
+    pub outcomes: ProgressSnapshot,
+    /// Aggregate workload counters over all sources.
+    pub totals: WorkloadTotals,
+    /// Worker threads used.
+    pub workers: usize,
+    /// The enforced bound on reads in flight across **all** sources
+    /// (`queue_capacity + workers`; 1 for the serial in-line path).
+    pub in_flight_limit: usize,
+    /// High-water mark of reads simultaneously in flight, summed over
+    /// sources. Always ≤ `in_flight_limit`.
+    pub max_in_flight: usize,
+}
+
+impl SessionReport {
+    /// The report of the source registered under `id`, if any.
+    pub fn source(&self, id: impl Into<SourceId>) -> Option<&SourceReport> {
+        let id = id.into();
+        self.sources.iter().find(|s| s.id == id)
+    }
+}
+
+/// A boxed per-source event sink.
+type BoxedSink<'a> = Box<dyn FnMut(StreamEvent) + 'a>;
+
+struct SourceSlot<'a> {
+    id: SourceId,
+    source: Box<dyn ReadSource + Send + 'a>,
+    sink: Option<BoxedSink<'a>>,
+}
+
+/// A configured execution of the pipeline over one or more named read
+/// sources — the one public execution API behind every `run_*` wrapper.
+///
+/// Build with [`Session::new`], register sources with [`Session::source`]
+/// (and optionally per-source sinks with [`Session::sink`]), pick a
+/// [`Flow`] and [`Schedule`], then [`Session::run`]. See the
+/// [module docs](crate::engine) for the execution model and guarantees.
+pub struct Session<'a> {
+    config: GenPipConfig,
+    flow: Flow,
+    schedule: Schedule,
+    options: StreamOptions,
+    slots: Vec<SourceSlot<'a>>,
+    /// Sinks attached before their source was registered — matched up at
+    /// [`Session::run`], so builder call order doesn't matter.
+    pending_sinks: Vec<(SourceId, BoxedSink<'a>)>,
+}
+
+impl<'a> Session<'a> {
+    /// Starts a session with the full GenPIP flow ([`Flow::GenPip`] with
+    /// [`ErMode::Full`]), a [`Schedule::FairShare`] scheduler, default
+    /// [`StreamOptions`], and no sources.
+    pub fn new(config: GenPipConfig) -> Session<'a> {
+        Session {
+            config,
+            flow: Flow::GenPip(ErMode::Full),
+            schedule: Schedule::FairShare,
+            options: StreamOptions::default(),
+            slots: Vec::new(),
+            pending_sinks: Vec::new(),
+        }
+    }
+
+    /// Selects which pipeline the session runs.
+    pub fn flow(mut self, flow: Flow) -> Session<'a> {
+        self.flow = flow;
+        self
+    }
+
+    /// Selects how the registered sources are interleaved.
+    pub fn schedule(mut self, schedule: Schedule) -> Session<'a> {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the transport knobs (queue capacity, progress cadence). The
+    /// progress cadence is per source: each source's sink receives a
+    /// [`StreamEvent::Progress`] every `progress_every` of *its own* reads.
+    pub fn options(mut self, options: StreamOptions) -> Session<'a> {
+        self.options = options;
+        self
+    }
+
+    /// Registers a source under `id`. Sources are pulled in the order the
+    /// [`Schedule`] dictates; each source's reads are processed against its
+    /// own reference and pore model, and emitted in its own read order.
+    pub fn source(
+        mut self,
+        id: impl Into<SourceId>,
+        source: impl ReadSource + Send + 'a,
+    ) -> Session<'a> {
+        self.slots.push(SourceSlot {
+            id: id.into(),
+            source: Box::new(source),
+            sink: None,
+        });
+        self
+    }
+
+    /// Attaches a sink to the source registered under `id`, replacing any
+    /// previous sink for it. The sink receives that source's events only —
+    /// every [`ReadRun`] in the source's read order, plus periodic
+    /// [`ProgressSnapshot`]s of that source's counters. Sinks run on the
+    /// calling thread; a slow sink applies backpressure to the whole
+    /// session. Call order is flexible — a sink may be attached before its
+    /// source is registered; an id that still has no source when
+    /// [`Session::run`] is called fails it with
+    /// [`SessionError::SinkWithoutSource`].
+    pub fn sink(
+        mut self,
+        id: impl Into<SourceId>,
+        sink: impl FnMut(StreamEvent) + 'a,
+    ) -> Session<'a> {
+        self.pending_sinks.push((id.into(), Box::new(sink)));
+        self
+    }
+
+    /// Moves pending sinks onto their slots (later attachments win), then
+    /// reports the first sink whose source never appeared.
+    fn attach_sinks(&mut self) -> Result<(), SessionError> {
+        for (id, sink) in self.pending_sinks.drain(..) {
+            match self.slots.iter_mut().find(|s| s.id == id) {
+                Some(slot) => slot.sink = Some(sink),
+                None => return Err(SessionError::SinkWithoutSource(id)),
+            }
+        }
+        Ok(())
+    }
+
+    fn validate(&self) -> Result<(), SessionError> {
+        if self.options.queue_capacity == 0 {
+            return Err(SessionError::ZeroQueueCapacity);
+        }
+        if matches!(self.config.parallelism, Parallelism::Threads(0)) {
+            return Err(SessionError::ZeroWorkers);
+        }
+        if self.slots.is_empty() {
+            return Err(SessionError::NoSources);
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            if self.slots[..i].iter().any(|s| s.id == slot.id) {
+                return Err(SessionError::DuplicateSource(slot.id.clone()));
+            }
+        }
+        if let Schedule::Priority(weights) = &self.schedule {
+            if weights.len() != self.slots.len() {
+                return Err(SessionError::PriorityWeightCount {
+                    sources: self.slots.len(),
+                    weights: weights.len(),
+                });
+            }
+            if let Some(i) = weights.iter().position(|&w| w == 0) {
+                return Err(SessionError::ZeroPriorityWeight(self.slots[i].id.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the configuration, then pulls every registered source dry
+    /// through the shared worker pool, delivering results to the per-source
+    /// sinks as they complete.
+    ///
+    /// Blocks until all sources are exhausted. A panic in a source, worker,
+    /// or sink tears the session down and propagates rather than
+    /// deadlocking.
+    pub fn run(mut self) -> Result<SessionReport, SessionError> {
+        self.validate()?;
+        self.attach_sinks()?;
+        let Session {
+            config,
+            flow,
+            schedule,
+            options,
+            slots,
+            ..
+        } = self;
+        let n = slots.len();
+        let er = flow.er();
+        let workers = config.parallelism.workers().max(1);
+
+        let mut ids = Vec::with_capacity(n);
+        let mut sources = Vec::with_capacity(n);
+        let mut sinks = Vec::with_capacity(n);
+        for slot in slots {
+            ids.push(slot.id);
+            sources.push(slot.source);
+            sinks.push(slot.sink);
+        }
+        // One immutable context per source (its reference index, basecaller,
+        // chunk geometry), shared by every worker. Built before the sources
+        // move into the feeder closure — contexts copy what they need.
+        let contexts: Vec<RunContext<'_>> = sources
+            .iter()
+            .map(|s| RunContext::from_source(&**s, &config))
+            .collect();
+
+        let mut sched = SchedulerState::new(&schedule, n);
+        // Per-source in-flight accounting (pulled on the feeder thread,
+        // released on the emitting thread); the *global* bound is enforced
+        // by the engine's gate, these only attribute the high-water marks.
+        let in_flight: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let high: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+
+        let mut per_outcomes = vec![ProgressSnapshot::default(); n];
+        let mut per_totals = vec![WorkloadTotals::default(); n];
+        let mut outcomes = ProgressSnapshot::default();
+        let mut totals = WorkloadTotals::default();
+
+        let stats = {
+            let contexts = &contexts;
+            let in_flight = &in_flight;
+            let high = &high;
+            let per_outcomes = &mut per_outcomes;
+            let per_totals = &mut per_totals;
+            let outcomes = &mut outcomes;
+            let totals = &mut totals;
+            let sinks = &mut sinks;
+            session_engine(
+                workers,
+                options.queue_capacity,
+                || -> Vec<Option<WorkerScratch>> { (0..n).map(|_| None).collect() },
+                move || loop {
+                    let s = sched.next()?;
+                    match sources[s].next_read() {
+                        Some(read) => {
+                            let now = in_flight[s].fetch_add(1, Ordering::Relaxed) + 1;
+                            high[s].fetch_max(now, Ordering::Relaxed);
+                            break Some((s, read));
+                        }
+                        None => sched.exhausted(s),
+                    }
+                },
+                move |scratch, (s, read): (usize, SimulatedRead)| {
+                    // Scratch is per (worker, source): lazily built because a
+                    // worker may never see some sources' reads.
+                    let slot = scratch[s].get_or_insert_with(|| WorkerScratch::new(&contexts[s]));
+                    (s, process_read(&contexts[s], er, &read, slot))
+                },
+                move |(s, run): (usize, ReadRun)| {
+                    in_flight[s].fetch_sub(1, Ordering::Relaxed);
+                    totals.accumulate(&run);
+                    outcomes.observe(&run);
+                    per_totals[s].accumulate(&run);
+                    per_outcomes[s].observe(&run);
+                    let snapshot_due = options.progress_every > 0
+                        && per_outcomes[s].reads_emitted % options.progress_every == 0;
+                    if let Some(sink) = sinks[s].as_mut() {
+                        sink(StreamEvent::Read(run));
+                        if snapshot_due {
+                            sink(StreamEvent::Progress(per_outcomes[s]));
+                        }
+                    }
+                },
+            )
+        };
+
+        let sources = ids
+            .into_iter()
+            .enumerate()
+            .map(|(s, id)| SourceReport {
+                id,
+                summary: StreamSummary {
+                    outcomes: per_outcomes[s],
+                    totals: per_totals[s],
+                    workers,
+                    in_flight_limit: stats.in_flight_limit,
+                    max_in_flight: high[s].load(Ordering::Relaxed),
+                },
+            })
+            .collect();
+        Ok(SessionReport {
+            sources,
+            outcomes,
+            totals,
+            workers,
+            in_flight_limit: stats.in_flight_limit,
+            max_in_flight: stats.max_in_flight,
+        })
+    }
+}
+
+/// A counting gate bounding how many items are in flight: `acquire` blocks
+/// while `limit` permits are out, `release` frees one. Tracks the high-water
+/// mark so tests (and the bench report) can assert the bound really held.
+///
+/// The gate can also be `open`ed — permits stop mattering and blocked
+/// acquirers return `false`. That is the shutdown path: if the sink or a
+/// worker panics, permits held by dropped items would never be released and
+/// the feeder would block forever; opening the gate turns that hang into a
+/// propagated panic.
+struct FlowGate {
+    state: Mutex<GateState>,
+    freed: Condvar,
+    limit: usize,
+    high: AtomicUsize,
+}
+
+struct GateState {
+    used: usize,
+    open: bool,
+}
+
+impl FlowGate {
+    fn new(limit: usize) -> FlowGate {
+        FlowGate {
+            state: Mutex::new(GateState {
+                used: 0,
+                open: false,
+            }),
+            freed: Condvar::new(),
+            limit,
+            high: AtomicUsize::new(0),
+        }
+    }
+
+    /// Takes a permit, blocking while the limit is reached. `false` means
+    /// the gate was opened for shutdown and no permit was taken.
+    fn acquire(&self) -> bool {
+        let mut state = self.state.lock().expect("gate poisoned");
+        while !state.open && state.used >= self.limit {
+            state = self.freed.wait(state).expect("gate poisoned");
+        }
+        if state.open {
+            return false;
+        }
+        state.used += 1;
+        self.high.fetch_max(state.used, Ordering::Relaxed);
+        true
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock().expect("gate poisoned");
+        state.used -= 1;
+        drop(state);
+        self.freed.notify_one();
+    }
+
+    /// Lets every current and future `acquire` through empty-handed.
+    fn open(&self) {
+        let mut state = self.state.lock().expect("gate poisoned");
+        state.open = true;
+        drop(state);
+        self.freed.notify_all();
+    }
+
+    fn high_water(&self) -> usize {
+        self.high.load(Ordering::Relaxed)
+    }
+}
+
+/// Opens the gate when dropped — normally after the emit loop (harmless:
+/// the feeder has already exited), and crucially during unwinding, so a
+/// panicking sink or worker pool releases the feeder instead of deadlocking
+/// the scope join.
+struct OpenOnDrop<'a>(&'a FlowGate);
+
+impl Drop for OpenOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.open();
+    }
+}
+
+/// What the engine enforced and observed: the single source of truth for
+/// the in-flight bound, so callers never re-derive it.
+pub(crate) struct EngineStats {
+    /// The enforced bound on in-flight items (`queue_capacity + workers`,
+    /// or 1 for the serial in-line path).
+    pub(crate) in_flight_limit: usize,
+    /// High-water mark of items simultaneously in flight.
+    pub(crate) max_in_flight: usize,
+}
+
+/// The one execution core behind every driver: pulls items from `pull`,
+/// processes them with `work` on `workers` threads (each with its own state
+/// from `worker_state`) under a `queue_capacity`-bounded work queue, and
+/// calls `emit` with the results **in pull order**. Returns the enforced
+/// in-flight limit and its high-water mark.
+///
+/// With one worker the engine degenerates to the in-line serial loop — the
+/// reference execution, with exactly one item in flight and no threads.
+///
+/// A panic anywhere — source, worker, or sink — tears the pipeline down
+/// (gate opened, channels closed) and propagates out of the scope join
+/// rather than deadlocking; already-finished earlier items may still be
+/// emitted first.
+pub(crate) fn session_engine<T, O, S, B, P, F, G>(
+    workers: usize,
+    queue_capacity: usize,
+    worker_state: B,
+    mut pull: P,
+    work: F,
+    mut emit: G,
+) -> EngineStats
+where
+    T: Send,
+    O: Send,
+    B: Fn() -> S + Sync,
+    P: FnMut() -> Option<T> + Send,
+    F: Fn(&mut S, T) -> O + Sync,
+    G: FnMut(O),
+{
+    if workers <= 1 {
+        let mut state = worker_state();
+        let mut any = false;
+        while let Some(item) = pull() {
+            any = true;
+            emit(work(&mut state, item));
+        }
+        return EngineStats {
+            in_flight_limit: 1,
+            max_in_flight: usize::from(any),
+        };
+    }
+
+    let capacity = queue_capacity.max(1);
+    let limit = capacity + workers;
+    // Both channels are unbounded; the gate alone enforces the in-flight
+    // bound (≤ `limit` items hold permits, so neither channel can hold more
+    // than `limit` entries). Keeping `acquire` the feeder's only blocking
+    // point means opening the gate is a complete shutdown path.
+    let gate = FlowGate::new(limit);
+    let (work_tx, work_rx) = mpsc::channel::<(usize, T)>();
+    let work_rx = Mutex::new(work_rx);
+    // `None` is a worker's dying gasp: "I panicked on this index — abort."
+    let (done_tx, done_rx) = mpsc::channel::<(usize, Option<O>)>();
+
+    std::thread::scope(|scope| {
+        // Feeder: pulls from the sources (serially — sources are stateful
+        // cursors) and stages work, blocking on the gate when the pipeline
+        // is full. Holding a permit from pull to emit is what bounds
+        // in-flight items end to end.
+        {
+            let gate = &gate;
+            let pull = &mut pull;
+            scope.spawn(move || {
+                let mut index = 0usize;
+                loop {
+                    if !gate.acquire() {
+                        break; // shutdown: no permit taken
+                    }
+                    let Some(item) = pull() else {
+                        gate.release();
+                        break;
+                    };
+                    if work_tx.send((index, item)).is_err() {
+                        gate.release();
+                        break;
+                    }
+                    index += 1;
+                }
+                // `work_tx` drops here; workers drain the queue and exit.
+            });
+        }
+
+        for _ in 0..workers {
+            let done_tx = done_tx.clone();
+            let work_rx = &work_rx;
+            let work = &work;
+            let worker_state = &worker_state;
+            scope.spawn(move || {
+                let mut state = worker_state();
+                loop {
+                    let received = work_rx.lock().expect("queue poisoned").recv();
+                    let Ok((index, item)) = received else { break };
+                    // A panicking `work` would otherwise strand this item's
+                    // permit and deadlock the reorder loop on its index:
+                    // catch it, tell the consumer to abort, then rethrow so
+                    // the scope propagates it after teardown.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        work(&mut state, item)
+                    }));
+                    match outcome {
+                        Ok(out) => {
+                            if done_tx.send((index, Some(out))).is_err() {
+                                break;
+                            }
+                        }
+                        Err(panic) => {
+                            let _ = done_tx.send((index, None));
+                            std::panic::resume_unwind(panic);
+                        }
+                    }
+                }
+            });
+        }
+        drop(done_tx); // the workers' clones keep the channel open
+        let _shutdown = OpenOnDrop(&gate);
+
+        // Reorder + emit on the calling thread. Workers finish out of
+        // order; results wait in a preallocated per-index slot ring until
+        // every earlier item has been emitted. A slot index never collides:
+        // at most `limit` items are in flight, and a result only waits on
+        // items pulled before it.
+        let mut slots: Vec<Option<O>> = (0..limit).map(|_| None).collect();
+        let mut next_emit = 0usize;
+        for (index, out) in done_rx.iter() {
+            let Some(out) = out else {
+                break; // a worker panicked: stop consuming, let _shutdown
+                       // open the gate; the scope join rethrows the panic.
+            };
+            debug_assert!(index >= next_emit && index - next_emit < limit);
+            slots[index % limit] = Some(out);
+            while let Some(ready) = slots[next_emit % limit].take() {
+                emit(ready);
+                gate.release();
+                next_emit += 1;
+            }
+        }
+    });
+    EngineStats {
+        in_flight_limit: limit,
+        max_in_flight: gate.high_water(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genpip_datasets::{DatasetProfile, SimulatedDataset, StreamingSimulator};
+
+    fn dataset() -> SimulatedDataset {
+        DatasetProfile::ecoli().scaled(0.03).generate()
+    }
+
+    fn tiny_session<'a>() -> Session<'a> {
+        let profile = DatasetProfile::ecoli().scaled(0.03);
+        Session::new(GenPipConfig::for_dataset(&profile))
+            .source("a", StreamingSimulator::new(&profile))
+    }
+
+    #[test]
+    fn zero_queue_capacity_is_rejected() {
+        let err = tiny_session()
+            .options(StreamOptions {
+                queue_capacity: 0,
+                progress_every: 0,
+            })
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::ZeroQueueCapacity);
+    }
+
+    #[test]
+    fn zero_workers_is_rejected() {
+        let profile = DatasetProfile::ecoli().scaled(0.03);
+        let config = GenPipConfig::for_dataset(&profile).with_parallelism(Parallelism::Threads(0));
+        let err = Session::new(config)
+            .source("a", StreamingSimulator::new(&profile))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::ZeroWorkers);
+    }
+
+    #[test]
+    fn empty_source_set_is_rejected() {
+        let profile = DatasetProfile::ecoli().scaled(0.03);
+        let err = Session::new(GenPipConfig::for_dataset(&profile))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::NoSources);
+    }
+
+    #[test]
+    fn duplicate_source_ids_are_rejected() {
+        let profile = DatasetProfile::ecoli().scaled(0.03);
+        let err = tiny_session()
+            .source("a", StreamingSimulator::new(&profile))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::DuplicateSource("a".into()));
+    }
+
+    #[test]
+    fn sink_for_unknown_source_is_rejected() {
+        let err = tiny_session().sink("ghost", |_| {}).run().unwrap_err();
+        assert_eq!(err, SessionError::SinkWithoutSource("ghost".into()));
+    }
+
+    #[test]
+    fn sink_may_be_attached_before_its_source() {
+        let profile = DatasetProfile::ecoli().scaled(0.03);
+        let mut seen = 0usize;
+        let report = Session::new(GenPipConfig::for_dataset(&profile))
+            .sink("late", |event| {
+                if let StreamEvent::Read(_) = event {
+                    seen += 1;
+                }
+            })
+            .source("late", StreamingSimulator::new(&profile))
+            .run()
+            .expect("sink-before-source is a valid order");
+        assert_eq!(seen, profile.n_reads);
+        assert_eq!(report.outcomes.reads_emitted, profile.n_reads);
+    }
+
+    #[test]
+    fn priority_weight_mismatches_are_rejected() {
+        let err = tiny_session()
+            .schedule(Schedule::Priority(vec![1, 2]))
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::PriorityWeightCount {
+                sources: 1,
+                weights: 2
+            }
+        );
+        let err = tiny_session()
+            .schedule(Schedule::Priority(vec![0]))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::ZeroPriorityWeight("a".into()));
+    }
+
+    #[test]
+    fn session_errors_display_their_cause() {
+        let messages = [
+            SessionError::ZeroQueueCapacity.to_string(),
+            SessionError::ZeroWorkers.to_string(),
+            SessionError::NoSources.to_string(),
+            SessionError::DuplicateSource("x".into()).to_string(),
+            SessionError::SinkWithoutSource("x".into()).to_string(),
+            SessionError::PriorityWeightCount {
+                sources: 2,
+                weights: 1,
+            }
+            .to_string(),
+            SessionError::ZeroPriorityWeight("x".into()).to_string(),
+        ];
+        for m in &messages {
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_source_session_matches_the_batch_driver() {
+        let d = dataset();
+        let config =
+            GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Threads(2));
+        let batch = crate::pipeline::run_genpip(&d, &config, ErMode::Full);
+        let mut reads = Vec::new();
+        let report = Session::new(config)
+            .flow(Flow::GenPip(ErMode::Full))
+            .source("only", d.stream())
+            .sink("only", |event| {
+                if let StreamEvent::Read(run) = event {
+                    reads.push(run);
+                }
+            })
+            .run()
+            .expect("valid session");
+        assert_eq!(reads, batch.reads);
+        assert_eq!(report.totals, batch.totals());
+        assert_eq!(report.sources.len(), 1);
+        assert_eq!(report.sources[0].summary.totals, batch.totals());
+        assert_eq!(
+            report.source("only").expect("registered").summary.outcomes,
+            report.outcomes
+        );
+        assert!(report.max_in_flight <= report.in_flight_limit);
+    }
+
+    #[test]
+    fn sinkless_sources_still_count() {
+        let d = dataset();
+        let config = GenPipConfig::for_dataset(&d.profile);
+        let report = Session::new(config)
+            .source("quiet", d.stream())
+            .run()
+            .expect("valid session");
+        assert_eq!(report.outcomes.reads_emitted, d.reads.len());
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        // Run the engine with a work function that panics partway through,
+        // under a watchdog: a regression back to the deadlock (stranded
+        // gate permit → feeder and reorder loop blocked forever) fails the
+        // test at the timeout instead of hanging the suite.
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let d = dataset();
+            let config =
+                GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Threads(2));
+            let ctx = RunContext::from_source(&d.stream(), &config);
+            let mut pending = d.reads.iter();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                session_engine(
+                    2,
+                    1,
+                    || WorkerScratch::new(&ctx),
+                    || pending.next(),
+                    |scratch, read| {
+                        assert!(read.id != 3, "injected failure on read 3");
+                        process_read(&ctx, Some(ErMode::Full), read, scratch)
+                    },
+                    |_| {},
+                )
+            }));
+            let _ = done_tx.send(result.is_err());
+        });
+        match done_rx.recv_timeout(std::time::Duration::from_secs(120)) {
+            Ok(panicked) => assert!(panicked, "engine swallowed the worker panic"),
+            Err(_) => panic!("engine deadlocked on a worker panic"),
+        }
+    }
+}

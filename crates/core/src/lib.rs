@@ -11,10 +11,16 @@
 //!   pipeline (Figure 5a) and GenPIP's chunk-based pipeline with optional
 //!   ER (Figures 5b and 6), producing per-read outcomes and the workload
 //!   counters every hardware model consumes;
-//! * [`stream`] — the bounded-memory streaming executor: reads pulled from
-//!   a `ReadSource` flow through a backpressured work queue and leave
-//!   through a sink callback in read order, bit-identical to the batch
-//!   drivers with O(workers + queue) peak memory;
+//! * [`engine`] — the [`Session`] execution API: one bounded-memory worker
+//!   pool serving any number of named read sources, each with its own sink
+//!   and in-order emission, interleaved by a [`scheduler::Schedule`]. Every
+//!   `run_*` driver is a thin single-source wrapper over it;
+//! * [`scheduler`] — the source-interleaving policies (`Sequential`,
+//!   `FairShare`, weighted `Priority`);
+//! * [`stream`] — streaming vocabulary ([`StreamOptions`], [`StreamEvent`],
+//!   [`StreamSummary`]) and the legacy single-source streaming drivers,
+//!   bit-identical to the batch drivers with O(workers + queue) peak
+//!   memory;
 //! * [`systems`] — the ten evaluated system configurations (CPU, CPU-CP,
 //!   CPU-GP, GPU, GPU-CP, GPU-GP, PIM, GenPIP-CP, GenPIP-CP-QSR, GenPIP)
 //!   plus the Figure 4 potential study (Systems A–D), as timing/energy cost
@@ -27,29 +33,48 @@
 //! # Example
 //!
 //! ```no_run
-//! use genpip_core::{GenPipConfig, pipeline::{run_genpip, ErMode}};
-//! use genpip_datasets::DatasetProfile;
+//! use genpip_core::{ErMode, Flow, GenPipConfig, Schedule, Session};
+//! use genpip_core::stream::StreamEvent;
+//! use genpip_datasets::{DatasetProfile, StreamingSimulator};
 //!
-//! let dataset = DatasetProfile::ecoli().scaled(0.05).generate();
-//! let config = GenPipConfig::for_dataset(&dataset.profile);
-//! let run = run_genpip(&dataset, &config, ErMode::Full);
-//! println!("{} reads, {} rejected early",
-//!          run.reads.len(),
-//!          run.reads.iter().filter(|r| r.outcome.is_early_rejected()).count());
+//! // Two concurrent runs share one worker pool under fair-share
+//! // scheduling; each source's output is bit-identical to running it
+//! // alone.
+//! let a = DatasetProfile::ecoli().scaled(0.05);
+//! let b = DatasetProfile::ecoli().scaled(0.03);
+//! let report = Session::new(GenPipConfig::for_dataset(&a))
+//!     .flow(Flow::GenPip(ErMode::Full))
+//!     .schedule(Schedule::FairShare)
+//!     .source("run-a", StreamingSimulator::new(&a))
+//!     .source("run-b", StreamingSimulator::new(&b))
+//!     .sink("run-a", |event| {
+//!         if let StreamEvent::Read(run) = event {
+//!             println!("run-a read {} done", run.id);
+//!         }
+//!     })
+//!     .run()
+//!     .expect("valid session");
+//! println!("{} reads across {} sources",
+//!          report.outcomes.reads_emitted, report.sources.len());
 //! ```
 
 pub mod analysis;
 pub mod config;
 pub mod controller;
 pub mod early_reject;
+pub mod engine;
 pub mod experiments;
 pub mod pipeline;
+pub mod scheduler;
 pub mod stream;
 pub mod systems;
 
 pub use config::{GenPipConfig, Parallelism};
+pub use engine::{Flow, Session, SessionError, SessionReport, SourceReport};
+pub use genpip_datasets::SourceId;
 pub use genpip_mapping::Shards;
 pub use pipeline::{ChunkWork, ErMode, PipelineRun, ReadOutcome, ReadRun};
+pub use scheduler::Schedule;
 pub use stream::{
     run_conventional_streaming, run_genpip_streaming, ProgressSnapshot, StreamEvent, StreamOptions,
     StreamSummary,

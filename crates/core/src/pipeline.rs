@@ -21,9 +21,9 @@
 //!
 //! # Threading model
 //!
-//! Both drivers are thin wrappers over the streaming core in
-//! [`crate::stream`]: reads flow from a pull-based source through a bounded
-//! work queue to a pool of scoped worker threads sized by
+//! Both drivers are thin single-source wrappers over the [`Session`] engine
+//! in [`crate::engine`]: reads flow from a pull-based source through a
+//! bounded work queue to a pool of scoped worker threads sized by
 //! [`GenPipConfig::parallelism`] ([`crate::Parallelism`]), and results are
 //! re-emitted in read order through preallocated per-index slots (no lock
 //! contention on the gather side). Each worker processes reads with
@@ -41,7 +41,9 @@
 
 use crate::config::GenPipConfig;
 use crate::early_reject::{cmr_check, qsr_check, qsr_sample_indices};
-use crate::stream::stream_engine;
+use crate::engine::{Flow, Session};
+use crate::scheduler::Schedule;
+use crate::stream::{StreamEvent, StreamOptions};
 use genpip_basecall::{BasecalledChunk, Basecaller, CallScratch, CarryState};
 use genpip_datasets::{ReadSource, SimulatedDataset, SimulatedRead};
 use genpip_genomics::quality::AqsAccumulator;
@@ -299,17 +301,9 @@ pub(crate) struct RunContext<'a> {
 }
 
 impl<'a> RunContext<'a> {
-    fn new(dataset: &SimulatedDataset, config: &'a GenPipConfig) -> RunContext<'a> {
-        RunContext::from_parts(
-            &dataset.reference,
-            dataset.pore_model(),
-            dataset.synthesizer().mean_dwell(),
-            config,
-        )
-    }
-
-    /// Builds the context from any [`ReadSource`] — the streaming drivers'
-    /// entry point, which needs no materialized dataset.
+    /// Builds the context from any [`ReadSource`] — the `Session` engine
+    /// builds one of these per registered source, so every read is
+    /// processed against its own source's reference and chemistry.
     pub(crate) fn from_source<S: ReadSource + ?Sized>(
         source: &S,
         config: &'a GenPipConfig,
@@ -377,34 +371,73 @@ pub(crate) fn process_read(
     }
 }
 
-/// Runs a batch flow over a materialized dataset by pulling the reads
-/// through the streaming engine and collecting the in-order emissions into
-/// a preallocated vector — reassembly is lock-free (the engine's reorder
-/// window is per-index slots owned by the emitting thread).
+/// Runs a batch flow over a materialized dataset as a single-source
+/// [`Session`] and collects the in-order emissions into a preallocated
+/// vector — there is exactly one execution core, the session engine.
 fn run_batch(
     dataset: &SimulatedDataset,
     config: &GenPipConfig,
     er: Option<ErMode>,
 ) -> Vec<ReadRun> {
-    let ctx = RunContext::new(dataset, config);
+    let mut config = config.clone();
+    // The legacy signatures never fail: clamp what Session would reject
+    // with SessionError::ZeroWorkers, and never spawn more workers than
+    // the dataset has reads to give them.
     let workers = config.parallelism.workers().min(dataset.reads.len()).max(1);
-    let mut pending = dataset.reads.iter();
+    config.parallelism = crate::Parallelism::Threads(workers);
+    let flow = match er {
+        Some(er) => Flow::GenPip(er),
+        None => Flow::Conventional,
+    };
     let mut reads: Vec<ReadRun> = Vec::with_capacity(dataset.reads.len());
-    stream_engine(
-        &ctx,
-        workers,
-        // The dataset is already resident, so a roomy queue costs only
-        // reference slots and keeps workers from ever starving.
-        4 * workers,
-        || pending.next(),
-        |scratch, read| process_read(&ctx, er, read, scratch),
-        |run| reads.push(run),
-    );
+    Session::new(config)
+        .flow(flow)
+        .schedule(Schedule::Sequential)
+        .options(StreamOptions {
+            // The dataset is already resident, so a roomy queue costs only
+            // the in-flight clones and keeps workers from ever starving.
+            queue_capacity: 4 * workers,
+            progress_every: 0,
+        })
+        .source("batch", dataset.stream())
+        .sink("batch", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads.push(run);
+            }
+        })
+        .run()
+        .expect("single-source batch session over clamped inputs is valid");
     debug_assert!(reads.len() == dataset.reads.len());
     reads
 }
 
 /// Runs the conventional pipeline (Figure 5a) over a dataset.
+///
+/// # Deprecated in favor of `Session`
+///
+/// This is a fixed single-source spelling of [`crate::engine::Session`]
+/// with [`Flow::Conventional`] and a `Vec` sink; prefer the builder for new
+/// code:
+///
+/// ```no_run
+/// use genpip_core::engine::{Flow, Session};
+/// use genpip_core::stream::StreamEvent;
+/// use genpip_core::GenPipConfig;
+/// use genpip_datasets::DatasetProfile;
+///
+/// let dataset = DatasetProfile::ecoli().scaled(0.05).generate();
+/// let mut reads = Vec::new();
+/// Session::new(GenPipConfig::for_dataset(&dataset.profile))
+///     .flow(Flow::Conventional)
+///     .source("batch", dataset.stream())
+///     .sink("batch", |event| {
+///         if let StreamEvent::Read(run) = event {
+///             reads.push(run);
+///         }
+///     })
+///     .run()
+///     .expect("valid session");
+/// ```
 pub fn run_conventional(dataset: &SimulatedDataset, config: &GenPipConfig) -> PipelineRun {
     PipelineRun {
         config: Arc::new(config.clone()),
@@ -484,6 +517,27 @@ fn conventional_read(
 }
 
 /// Runs GenPIP's chunk-based pipeline (Figure 5b / Figure 6) over a dataset.
+///
+/// # Deprecated in favor of `Session`
+///
+/// This is a fixed single-source spelling of [`crate::engine::Session`]
+/// with [`Flow::GenPip`] and a `Vec` sink; the builder additionally serves
+/// multiple named sources over one worker pool with per-source sinks and a
+/// [`crate::scheduler::Schedule`]:
+///
+/// ```no_run
+/// use genpip_core::engine::{Flow, Session};
+/// use genpip_core::{ErMode, GenPipConfig};
+/// use genpip_datasets::DatasetProfile;
+///
+/// let dataset = DatasetProfile::ecoli().scaled(0.05).generate();
+/// let report = Session::new(GenPipConfig::for_dataset(&dataset.profile))
+///     .flow(Flow::GenPip(ErMode::Full))
+///     .source("batch", dataset.stream())
+///     .run()
+///     .expect("valid session");
+/// assert_eq!(report.outcomes.reads_emitted, dataset.reads.len());
+/// ```
 pub fn run_genpip(dataset: &SimulatedDataset, config: &GenPipConfig, er: ErMode) -> PipelineRun {
     PipelineRun {
         config: Arc::new(config.clone()),
@@ -724,7 +778,7 @@ mod tests {
         // capacity reuse only, never state carry-over).
         let d = dataset();
         let config = GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Serial);
-        let ctx = RunContext::new(&d, &config);
+        let ctx = RunContext::from_source(&d.stream(), &config);
         let shared = run_genpip(&d, &config, ErMode::Full);
         for (read, run) in d.reads.iter().zip(&shared.reads) {
             let mut fresh = WorkerScratch::new(&ctx);

@@ -1,0 +1,233 @@
+//! Source-interleaving policies for multi-source [`Session`]s.
+//!
+//! A [`crate::engine::Session`] registers N read sources but owns exactly
+//! one worker pool. The [`Schedule`] decides, pull by pull, which source the
+//! feeder draws the next read from; the scheduler therefore controls
+//! *interleaving and latency*, never *results* — per-read computation is
+//! independent and per-source emission order is always source order, so
+//! every policy produces bit-identical per-source output (asserted by
+//! `tests/session.rs`).
+//!
+//! All policies are deterministic: the same sources and the same policy
+//! yield the same pull sequence on every run.
+//!
+//! [`Session`]: crate::engine::Session
+
+/// How a [`crate::engine::Session`] interleaves its registered sources over
+/// the shared worker pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Schedule {
+    /// Drain sources one at a time, in registration order — source 1 pulls
+    /// nothing until source 0 is exhausted. The single-source behaviour of
+    /// the legacy `run_*` drivers, generalized.
+    Sequential,
+    /// Round-robin over the non-exhausted sources: every source gets one
+    /// pull per cycle, so N equally long sources finish together.
+    FairShare,
+    /// Smooth weighted round-robin: over any window of `sum(weights)`
+    /// pulls, source `i` receives `weights[i]` of them, spread as evenly as
+    /// the weights allow (never bursted). Weights align with source
+    /// **registration order** and must all be ≥ 1 — a zero weight would
+    /// starve its source forever, so [`crate::engine::Session::run`] rejects
+    /// it up front. Exhausted sources drop out and their share is
+    /// redistributed.
+    Priority(Vec<u32>),
+}
+
+impl Schedule {
+    /// Parses a CLI spelling: `"sequential"`/`"seq"`, `"fair"`/
+    /// `"fairshare"`/`"fair-share"`, or `"priority"` (which takes its
+    /// weights from per-source specs, so it parses to `Priority(vec![])` —
+    /// callers fill the weights in). `None` for anything else.
+    pub fn parse(s: &str) -> Option<Schedule> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "sequential" | "seq" => Some(Schedule::Sequential),
+            "fair" | "fairshare" | "fair-share" => Some(Schedule::FairShare),
+            "priority" => Some(Schedule::Priority(Vec::new())),
+            _ => None,
+        }
+    }
+}
+
+/// The mutable pick-next state behind a [`Schedule`], owned by the feeder.
+///
+/// `next` proposes a source to pull from; when a source turns out to be
+/// exhausted the feeder reports it via `exhausted` and asks again. Once
+/// every source is exhausted `next` returns `None` and the session winds
+/// down.
+pub(crate) struct SchedulerState {
+    kind: Kind,
+    active: Vec<bool>,
+    remaining: usize,
+}
+
+enum Kind {
+    Sequential,
+    FairShare { cursor: usize },
+    Priority { weights: Vec<u32>, credit: Vec<i64> },
+}
+
+impl SchedulerState {
+    /// Builds the state for `n` sources. `Priority` weights must already be
+    /// validated (length `n`, all ≥ 1) — [`crate::engine::Session::run`]
+    /// does that before construction.
+    pub(crate) fn new(schedule: &Schedule, n: usize) -> SchedulerState {
+        let kind = match schedule {
+            Schedule::Sequential => Kind::Sequential,
+            Schedule::FairShare => Kind::FairShare { cursor: 0 },
+            Schedule::Priority(weights) => {
+                debug_assert_eq!(weights.len(), n, "weights validated by Session::run");
+                debug_assert!(weights.iter().all(|&w| w >= 1));
+                Kind::Priority {
+                    weights: weights.clone(),
+                    credit: vec![0; n],
+                }
+            }
+        };
+        SchedulerState {
+            kind,
+            active: vec![true; n],
+            remaining: n,
+        }
+    }
+
+    /// The source to pull from next, or `None` when all are exhausted.
+    pub(crate) fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let active = &self.active;
+        let pick = match &mut self.kind {
+            Kind::Sequential => active.iter().position(|&a| a)?,
+            Kind::FairShare { cursor } => {
+                // First active source at or after the cursor, wrapping.
+                let n = active.len();
+                let offset = (0..n).find(|o| active[(*cursor + o) % n])?;
+                let pick = (*cursor + offset) % n;
+                *cursor = (pick + 1) % n;
+                pick
+            }
+            Kind::Priority { weights, credit } => {
+                // Smooth weighted round-robin (the nginx algorithm): every
+                // active source earns its weight in credit, the richest
+                // source is picked and pays the total back. Deterministic,
+                // proportional, and burst-free; ties break to the lowest
+                // index.
+                let mut total = 0i64;
+                let mut best = None;
+                for i in 0..active.len() {
+                    if !active[i] {
+                        continue;
+                    }
+                    credit[i] += i64::from(weights[i]);
+                    total += i64::from(weights[i]);
+                    match best {
+                        Some(b) if credit[i] <= credit[b as usize] => {}
+                        _ => best = Some(i as u32),
+                    }
+                }
+                let pick = best? as usize;
+                credit[pick] -= total;
+                pick
+            }
+        };
+        Some(pick)
+    }
+
+    /// Marks a source as drained; it will never be proposed again.
+    pub(crate) fn exhausted(&mut self, index: usize) {
+        if std::mem::replace(&mut self.active[index], false) {
+            self.remaining -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn picks(schedule: &Schedule, n: usize, count: usize) -> Vec<usize> {
+        let mut state = SchedulerState::new(schedule, n);
+        (0..count).map(|_| state.next().expect("active")).collect()
+    }
+
+    #[test]
+    fn sequential_sticks_to_the_first_active_source() {
+        let mut s = SchedulerState::new(&Schedule::Sequential, 3);
+        assert_eq!(s.next(), Some(0));
+        assert_eq!(s.next(), Some(0));
+        s.exhausted(0);
+        assert_eq!(s.next(), Some(1));
+        s.exhausted(1);
+        assert_eq!(s.next(), Some(2));
+        s.exhausted(2);
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn fair_share_round_robins_and_reflows_on_exhaustion() {
+        assert_eq!(picks(&Schedule::FairShare, 3, 7), vec![0, 1, 2, 0, 1, 2, 0]);
+        let mut s = SchedulerState::new(&Schedule::FairShare, 3);
+        assert_eq!(s.next(), Some(0));
+        s.exhausted(1);
+        assert_eq!(s.next(), Some(2));
+        assert_eq!(s.next(), Some(0));
+        assert_eq!(s.next(), Some(2));
+        s.exhausted(0);
+        s.exhausted(2);
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn priority_is_proportional_and_smooth() {
+        // The classic SWRR check: weights [2, 1] give the period A B A, not
+        // the bursty A A B.
+        assert_eq!(
+            picks(&Schedule::Priority(vec![2, 1]), 2, 6),
+            vec![0, 1, 0, 0, 1, 0]
+        );
+        // Proportions hold over any whole number of periods.
+        let seq = picks(&Schedule::Priority(vec![5, 1]), 2, 60);
+        assert_eq!(seq.iter().filter(|&&p| p == 0).count(), 50);
+        assert_eq!(seq.iter().filter(|&&p| p == 1).count(), 10);
+    }
+
+    #[test]
+    fn priority_never_starves_a_low_weight_source() {
+        // A weight-1 source among heavy peers is picked at least once per
+        // sum-of-weights pulls.
+        let weights = vec![7, 1, 9];
+        let period: usize = weights.iter().map(|&w| w as usize).sum();
+        let seq = picks(&Schedule::Priority(weights), 3, 3 * period);
+        for window in seq.chunks(period) {
+            assert!(
+                window.contains(&1),
+                "weight-1 source starved in window {window:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn priority_redistributes_shares_of_exhausted_sources() {
+        let mut s = SchedulerState::new(&Schedule::Priority(vec![3, 1]), 2);
+        s.exhausted(0);
+        // Only source 1 remains; it gets every pull.
+        assert_eq!(s.next(), Some(1));
+        assert_eq!(s.next(), Some(1));
+        s.exhausted(1);
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn schedule_parses_the_cli_spellings() {
+        assert_eq!(Schedule::parse("sequential"), Some(Schedule::Sequential));
+        assert_eq!(Schedule::parse("seq"), Some(Schedule::Sequential));
+        assert_eq!(Schedule::parse(" FAIR "), Some(Schedule::FairShare));
+        assert_eq!(Schedule::parse("fair-share"), Some(Schedule::FairShare));
+        assert_eq!(
+            Schedule::parse("priority"),
+            Some(Schedule::Priority(Vec::new()))
+        );
+        assert_eq!(Schedule::parse("bogus"), None);
+    }
+}

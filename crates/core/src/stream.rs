@@ -1,57 +1,44 @@
-//! Streaming pipeline execution with bounded memory.
+//! Streaming vocabulary and the legacy single-source streaming drivers.
 //!
-//! The batch drivers in [`crate::pipeline`] materialize every input read and
-//! every [`ReadRun`] at once — O(dataset) peak memory. This module is the
-//! constant-memory alternative: reads are **pulled** one at a time from a
-//! [`ReadSource`], flow through a bounded work queue to the worker pool, and
-//! leave through a sink callback the moment they finish, in read order. The
-//! number of reads resident anywhere in the pipeline (queued, being
-//! processed, or waiting for an earlier read to be emitted) never exceeds
-//! `queue_capacity + workers` — enforced by an in-flight gate whose permits
-//! are acquired before a read is pulled and released only when its result is
-//! emitted, so peak memory is O(workers + queue), not O(dataset).
+//! This module owns the types every streaming consumer speaks —
+//! [`StreamOptions`], [`StreamEvent`], [`ProgressSnapshot`],
+//! [`StreamSummary`] — plus the original single-source entry points
+//! [`run_genpip_streaming`] and [`run_conventional_streaming`]. Since the
+//! `Session` redesign these drivers are one-expression wrappers over
+//! [`crate::engine::Session`]: they register the caller's source under a
+//! single id, forward every event to the caller's sink, and flatten the
+//! [`crate::engine::SessionReport`] back into the original
+//! [`StreamSummary`]. All of their guarantees (bounded memory, in-order
+//! emission, bit-identity with the batch drivers for every [`ErMode`] and
+//! [`crate::Parallelism`]) are now *session* guarantees — see the
+//! [`crate::engine`] module docs for the execution model.
 //!
-//! ```text
-//!  source ──pull──▶ [gate ≤ Q+W] ──▶ bounded queue(Q) ──▶ W workers
-//!                                                            │
-//!  sink ◀──in-order emit ◀── per-index reorder slots ◀───────┘
-//! ```
-//!
-//! Backpressure is end-to-end: a slow sink stalls emission, which keeps gate
-//! permits held, which blocks the puller, which (for a lazy source such as
-//! [`genpip_datasets::StreamingSimulator`]) stops reads from even being
-//! synthesized. Output is **bit-identical** to the batch drivers for every
-//! [`ErMode`] and [`crate::Parallelism`] setting: per-read computation is
-//! deterministic and emission order is read order, so the transport cannot
-//! change results — asserted by this module's tests and the
-//! `tests/streaming.rs` property suite.
-//!
-//! The batch drivers themselves are thin wrappers over the same engine
-//! (`stream_engine`) with a materialized source and a `Vec` sink, so there
-//! is exactly one execution core.
+//! New code should build a [`crate::engine::Session`] directly: it accepts
+//! multiple named sources with per-source sinks and a scheduling policy,
+//! which these fixed signatures cannot express.
 
-use crate::config::GenPipConfig;
-use crate::pipeline::{
-    process_read, ErMode, ReadOutcome, ReadRun, RunContext, WorkerScratch, WorkloadTotals,
-};
-use genpip_datasets::{ReadSource, SimulatedRead};
-use std::borrow::Borrow;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use crate::config::{GenPipConfig, Parallelism};
+use crate::engine::{Flow, Session};
+use crate::pipeline::{ErMode, ReadOutcome, ReadRun, WorkloadTotals};
+use crate::scheduler::Schedule;
+use genpip_datasets::ReadSource;
 
-/// Knobs of the streaming executor (transport only — never affects
-/// results).
+/// Knobs of the streaming transport (never affects results).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamOptions {
-    /// Staging headroom between the source and the workers (clamped to
-    /// ≥ 1). The enforced invariant is on the *total*: reads in flight
-    /// anywhere (queued, processing, or awaiting in-order emission) never
-    /// exceed `queue_capacity + workers` — one permit gate bounds the
-    /// whole pipeline rather than each channel separately; see
-    /// [`StreamSummary::in_flight_limit`].
+    /// Staging headroom between the sources and the workers. The enforced
+    /// invariant is on the *total*: reads in flight anywhere (queued,
+    /// processing, or awaiting in-order emission) never exceed
+    /// `queue_capacity + workers` — one permit gate bounds the whole
+    /// pipeline rather than each channel separately; see
+    /// [`StreamSummary::in_flight_limit`]. A `Session` rejects 0 with a
+    /// typed error ([`crate::engine::SessionError::ZeroQueueCapacity`]);
+    /// the legacy `run_*` wrappers clamp it to 1 instead, as they always
+    /// did.
     pub queue_capacity: usize,
     /// Emit a [`ProgressSnapshot`] through the sink every this many reads
-    /// (0 disables snapshots).
+    /// (0 disables snapshots). In a multi-source session the cadence is per
+    /// source, counted in that source's own reads.
     pub progress_every: usize,
 }
 
@@ -86,7 +73,7 @@ pub struct ProgressSnapshot {
 }
 
 impl ProgressSnapshot {
-    fn observe(&mut self, run: &ReadRun) {
+    pub(crate) fn observe(&mut self, run: &ReadRun) {
         self.reads_emitted += 1;
         self.samples_basecalled += run.basecalled_samples();
         match run.outcome {
@@ -99,10 +86,10 @@ impl ProgressSnapshot {
     }
 }
 
-/// What the streaming drivers hand to the sink callback.
+/// What streaming sinks receive.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StreamEvent {
-    /// One finished read, delivered in read order.
+    /// One finished read, delivered in its source's read order.
     Read(ReadRun),
     /// Periodic counters (cadence set by [`StreamOptions::progress_every`]),
     /// delivered immediately after the read that triggered them.
@@ -129,275 +116,47 @@ pub struct StreamSummary {
     pub max_in_flight: usize,
 }
 
-/// A counting gate bounding how many reads are in flight: `acquire` blocks
-/// while `limit` permits are out, `release` frees one. Tracks the high-water
-/// mark so tests (and the bench report) can assert the bound really held.
-///
-/// The gate can also be `open`ed — permits stop mattering and blocked
-/// acquirers return `false`. That is the shutdown path: if the sink or a
-/// worker panics, permits held by dropped reads would never be released and
-/// the feeder would block forever; opening the gate turns that hang into a
-/// propagated panic.
-struct FlowGate {
-    state: Mutex<GateState>,
-    freed: Condvar,
-    limit: usize,
-    high: AtomicUsize,
-}
+/// The id the legacy wrappers register their single source under.
+const LEGACY_SOURCE: &str = "stream";
 
-struct GateState {
-    used: usize,
-    open: bool,
-}
-
-impl FlowGate {
-    fn new(limit: usize) -> FlowGate {
-        FlowGate {
-            state: Mutex::new(GateState {
-                used: 0,
-                open: false,
-            }),
-            freed: Condvar::new(),
-            limit,
-            high: AtomicUsize::new(0),
-        }
+/// Preserves the legacy drivers' never-fail semantics: inputs a `Session`
+/// rejects with a typed error are clamped to the nearest valid value, as
+/// the pre-`Session` engine always did.
+fn clamp_legacy(config: &GenPipConfig, opts: &StreamOptions) -> (GenPipConfig, StreamOptions) {
+    let mut config = config.clone();
+    if matches!(config.parallelism, Parallelism::Threads(0)) {
+        config.parallelism = Parallelism::Threads(1);
     }
-
-    /// Takes a permit, blocking while the limit is reached. `false` means
-    /// the gate was opened for shutdown and no permit was taken.
-    fn acquire(&self) -> bool {
-        let mut state = self.state.lock().expect("gate poisoned");
-        while !state.open && state.used >= self.limit {
-            state = self.freed.wait(state).expect("gate poisoned");
-        }
-        if state.open {
-            return false;
-        }
-        state.used += 1;
-        self.high.fetch_max(state.used, Ordering::Relaxed);
-        true
-    }
-
-    fn release(&self) {
-        let mut state = self.state.lock().expect("gate poisoned");
-        state.used -= 1;
-        drop(state);
-        self.freed.notify_one();
-    }
-
-    /// Lets every current and future `acquire` through empty-handed.
-    fn open(&self) {
-        let mut state = self.state.lock().expect("gate poisoned");
-        state.open = true;
-        drop(state);
-        self.freed.notify_all();
-    }
-
-    fn high_water(&self) -> usize {
-        self.high.load(Ordering::Relaxed)
-    }
-}
-
-/// Opens the gate when dropped — normally after the emit loop (harmless:
-/// the feeder has already exited), and crucially during unwinding, so a
-/// panicking sink or worker pool releases the feeder instead of deadlocking
-/// the scope join.
-struct OpenOnDrop<'a>(&'a FlowGate);
-
-impl Drop for OpenOnDrop<'_> {
-    fn drop(&mut self) {
-        self.0.open();
-    }
-}
-
-/// What the engine enforced and observed: the single source of truth for
-/// the in-flight bound, so callers never re-derive it.
-pub(crate) struct EngineStats {
-    /// The enforced bound on in-flight reads (`queue_capacity + workers`,
-    /// or 1 for the serial in-line path).
-    pub(crate) in_flight_limit: usize,
-    /// High-water mark of reads simultaneously in flight.
-    pub(crate) max_in_flight: usize,
-}
-
-/// The one execution core behind every driver: pulls items from `pull`,
-/// processes them with `work` on `workers` threads under a
-/// `queue_capacity`-bounded work queue, and calls `emit` with the results
-/// **in pull order**. Returns the enforced in-flight limit and its
-/// high-water mark.
-///
-/// `R` is anything that lends a [`SimulatedRead`]: the batch drivers pass
-/// `&SimulatedRead` (no copies for materialized datasets), the streaming
-/// drivers pass owned reads from the source.
-///
-/// With one worker the engine degenerates to the in-line serial loop — the
-/// reference execution, with exactly one read in flight and no threads.
-///
-/// A panic anywhere — source, worker, or sink — tears the pipeline down
-/// (gate opened, channels closed) and propagates out of the scope join
-/// rather than deadlocking; already-finished earlier reads may still be
-/// emitted first.
-pub(crate) fn stream_engine<R, P, F, G>(
-    ctx: &RunContext<'_>,
-    workers: usize,
-    queue_capacity: usize,
-    mut pull: P,
-    work: F,
-    mut emit: G,
-) -> EngineStats
-where
-    R: Borrow<SimulatedRead> + Send,
-    P: FnMut() -> Option<R> + Send,
-    F: Fn(&mut WorkerScratch, &SimulatedRead) -> ReadRun + Sync,
-    G: FnMut(ReadRun),
-{
-    if workers <= 1 {
-        let mut scratch = WorkerScratch::new(ctx);
-        let mut any = false;
-        while let Some(read) = pull() {
-            any = true;
-            emit(work(&mut scratch, read.borrow()));
-        }
-        return EngineStats {
-            in_flight_limit: 1,
-            max_in_flight: usize::from(any),
-        };
-    }
-
-    let capacity = queue_capacity.max(1);
-    let limit = capacity + workers;
-    // Both channels are unbounded; the gate alone enforces the in-flight
-    // bound (≤ `limit` reads hold permits, so neither channel can hold more
-    // than `limit` entries). Keeping `acquire` the feeder's only blocking
-    // point means opening the gate is a complete shutdown path.
-    let gate = FlowGate::new(limit);
-    let (work_tx, work_rx) = mpsc::channel::<(usize, R)>();
-    let work_rx = Mutex::new(work_rx);
-    // `None` is a worker's dying gasp: "I panicked on this index — abort."
-    let (done_tx, done_rx) = mpsc::channel::<(usize, Option<ReadRun>)>();
-
-    std::thread::scope(|scope| {
-        // Feeder: pulls from the source (serially — sources are stateful
-        // cursors) and stages work, blocking on the gate or the queue when
-        // the pipeline is full. Holding a permit from pull to emit is what
-        // bounds in-flight reads end to end.
-        {
-            let gate = &gate;
-            let pull = &mut pull;
-            scope.spawn(move || {
-                let mut index = 0usize;
-                loop {
-                    if !gate.acquire() {
-                        break; // shutdown: no permit taken
-                    }
-                    let Some(read) = pull() else {
-                        gate.release();
-                        break;
-                    };
-                    if work_tx.send((index, read)).is_err() {
-                        gate.release();
-                        break;
-                    }
-                    index += 1;
-                }
-                // `work_tx` drops here; workers drain the queue and exit.
-            });
-        }
-
-        for _ in 0..workers {
-            let done_tx = done_tx.clone();
-            let work_rx = &work_rx;
-            let work = &work;
-            scope.spawn(move || {
-                let mut scratch = WorkerScratch::new(ctx);
-                loop {
-                    let received = work_rx.lock().expect("queue poisoned").recv();
-                    let Ok((index, read)) = received else { break };
-                    // A panicking `work` would otherwise strand this read's
-                    // permit and deadlock the reorder loop on its index:
-                    // catch it, tell the consumer to abort, then rethrow so
-                    // the scope propagates it after teardown.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        work(&mut scratch, read.borrow())
-                    }));
-                    match outcome {
-                        Ok(run) => {
-                            if done_tx.send((index, Some(run))).is_err() {
-                                break;
-                            }
-                        }
-                        Err(panic) => {
-                            let _ = done_tx.send((index, None));
-                            std::panic::resume_unwind(panic);
-                        }
-                    }
-                }
-            });
-        }
-        drop(done_tx); // the workers' clones keep the channel open
-        let _shutdown = OpenOnDrop(&gate);
-
-        // Reorder + emit on the calling thread. Workers finish out of
-        // order; results wait in a preallocated per-index slot ring until
-        // every earlier read has been emitted. A slot index never collides:
-        // at most `limit` reads are in flight, and a result only waits on
-        // reads pulled before it.
-        let mut slots: Vec<Option<ReadRun>> = (0..limit).map(|_| None).collect();
-        let mut next_emit = 0usize;
-        for (index, run) in done_rx.iter() {
-            let Some(run) = run else {
-                break; // a worker panicked: stop consuming, let _shutdown
-                       // open the gate; the scope join rethrows the panic.
-            };
-            debug_assert!(index >= next_emit && index - next_emit < limit);
-            slots[index % limit] = Some(run);
-            while let Some(ready) = slots[next_emit % limit].take() {
-                emit(ready);
-                gate.release();
-                next_emit += 1;
-            }
-        }
-    });
-    EngineStats {
-        in_flight_limit: limit,
-        max_in_flight: gate.high_water(),
-    }
+    let opts = StreamOptions {
+        queue_capacity: opts.queue_capacity.max(1),
+        ..*opts
+    };
+    (config, opts)
 }
 
 fn run_streaming<S: ReadSource + Send>(
     source: &mut S,
     config: &GenPipConfig,
-    er: Option<ErMode>,
+    flow: Flow,
     opts: &StreamOptions,
     sink: &mut dyn FnMut(StreamEvent),
 ) -> StreamSummary {
-    let ctx = RunContext::from_source(source, config);
+    let (config, opts) = clamp_legacy(config, opts);
     let workers = config.parallelism.workers().max(1);
-    let mut outcomes = ProgressSnapshot::default();
-    let mut totals = WorkloadTotals::default();
-    let stats = stream_engine(
-        &ctx,
-        workers,
-        opts.queue_capacity,
-        || source.next_read(),
-        |scratch, read| process_read(&ctx, er, read, scratch),
-        |run| {
-            totals.accumulate(&run);
-            outcomes.observe(&run);
-            let snapshot_due =
-                opts.progress_every > 0 && outcomes.reads_emitted % opts.progress_every == 0;
-            sink(StreamEvent::Read(run));
-            if snapshot_due {
-                sink(StreamEvent::Progress(outcomes));
-            }
-        },
-    );
+    let report = Session::new(config)
+        .flow(flow)
+        .schedule(Schedule::Sequential)
+        .options(opts)
+        .source(LEGACY_SOURCE, &mut *source)
+        .sink(LEGACY_SOURCE, sink)
+        .run()
+        .expect("legacy streaming inputs are pre-clamped to valid values");
     StreamSummary {
-        outcomes,
-        totals,
+        outcomes: report.outcomes,
+        totals: report.totals,
         workers,
-        in_flight_limit: stats.in_flight_limit,
-        max_in_flight: stats.max_in_flight,
+        in_flight_limit: report.in_flight_limit,
+        max_in_flight: report.max_in_flight,
     }
 }
 
@@ -409,6 +168,32 @@ fn run_streaming<S: ReadSource + Send>(
 /// [`ReadOutcome`]s — to [`crate::pipeline::run_genpip`] on the same reads,
 /// for every [`ErMode`] and [`crate::Parallelism`] setting, while keeping at
 /// most `queue_capacity + workers` reads in memory.
+///
+/// # Deprecated in favor of `Session`
+///
+/// This is a fixed single-source spelling of [`crate::engine::Session`];
+/// prefer the builder, which also handles multiple sources, per-source
+/// sinks, and scheduling policies:
+///
+/// ```no_run
+/// use genpip_core::engine::{Flow, Session};
+/// use genpip_core::stream::StreamEvent;
+/// use genpip_core::{ErMode, GenPipConfig};
+/// use genpip_datasets::{DatasetProfile, StreamingSimulator};
+///
+/// let profile = DatasetProfile::ecoli().scaled(0.05);
+/// let report = Session::new(GenPipConfig::for_dataset(&profile))
+///     .flow(Flow::GenPip(ErMode::Full))
+///     .source("run", StreamingSimulator::new(&profile))
+///     .sink("run", |event| {
+///         if let StreamEvent::Read(run) = event {
+///             println!("read {} done", run.id);
+///         }
+///     })
+///     .run()
+///     .expect("valid session");
+/// assert!(report.max_in_flight <= report.in_flight_limit);
+/// ```
 pub fn run_genpip_streaming<S: ReadSource + Send>(
     source: &mut S,
     config: &GenPipConfig,
@@ -416,20 +201,39 @@ pub fn run_genpip_streaming<S: ReadSource + Send>(
     opts: &StreamOptions,
     mut sink: impl FnMut(StreamEvent),
 ) -> StreamSummary {
-    run_streaming(source, config, Some(er), opts, &mut sink)
+    run_streaming(source, config, Flow::GenPip(er), opts, &mut sink)
 }
 
 /// Streams the conventional whole-read pipeline (Figure 5a) over any
 /// [`ReadSource`] — the streaming twin of
 /// [`crate::pipeline::run_conventional`], with the same bit-identity and
 /// memory-bound guarantees as [`run_genpip_streaming`].
+///
+/// # Deprecated in favor of `Session`
+///
+/// Equivalent to a single-source [`crate::engine::Session`] with
+/// [`Flow::Conventional`]:
+///
+/// ```no_run
+/// use genpip_core::engine::{Flow, Session};
+/// use genpip_core::GenPipConfig;
+/// use genpip_datasets::{DatasetProfile, StreamingSimulator};
+///
+/// let profile = DatasetProfile::ecoli().scaled(0.05);
+/// let report = Session::new(GenPipConfig::for_dataset(&profile))
+///     .flow(Flow::Conventional)
+///     .source("run", StreamingSimulator::new(&profile))
+///     .run()
+///     .expect("valid session");
+/// assert_eq!(report.sources.len(), 1);
+/// ```
 pub fn run_conventional_streaming<S: ReadSource + Send>(
     source: &mut S,
     config: &GenPipConfig,
     opts: &StreamOptions,
     mut sink: impl FnMut(StreamEvent),
 ) -> StreamSummary {
-    run_streaming(source, config, None, opts, &mut sink)
+    run_streaming(source, config, Flow::Conventional, opts, &mut sink)
 }
 
 #[cfg(test)]
@@ -494,6 +298,23 @@ mod tests {
     }
 
     #[test]
+    fn legacy_wrappers_clamp_invalid_inputs_instead_of_erroring() {
+        // The Session API rejects these with a typed error; the legacy
+        // signatures (which cannot return errors) keep their historical
+        // clamping behaviour.
+        let d = dataset();
+        let config =
+            GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Threads(0));
+        let opts = StreamOptions {
+            queue_capacity: 0,
+            progress_every: 0,
+        };
+        let (reads, summary) = collect_streaming(&d, &config, ErMode::Full, &opts);
+        assert_eq!(reads.len(), d.reads.len());
+        assert_eq!(summary.workers, 1);
+    }
+
+    #[test]
     fn progress_snapshots_fire_on_cadence_and_count_outcomes() {
         let d = dataset();
         let config =
@@ -531,40 +352,6 @@ mod tests {
             f.reads_emitted
         );
         assert_eq!(f.reads_emitted, d.reads.len());
-    }
-
-    #[test]
-    fn worker_panic_propagates_instead_of_deadlocking() {
-        // Run the engine with a work function that panics partway through,
-        // under a watchdog: a regression back to the deadlock (stranded
-        // gate permit → feeder and reorder loop blocked forever) fails the
-        // test at the timeout instead of hanging the suite.
-        let (done_tx, done_rx) = std::sync::mpsc::channel();
-        std::thread::spawn(move || {
-            let d = dataset();
-            let config =
-                GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Threads(2));
-            let ctx = crate::pipeline::RunContext::from_source(&d.stream(), &config);
-            let mut pending = d.reads.iter();
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                stream_engine(
-                    &ctx,
-                    2,
-                    1,
-                    || pending.next(),
-                    |scratch, read| {
-                        assert!(read.id != 3, "injected failure on read 3");
-                        process_read(&ctx, Some(ErMode::Full), read, scratch)
-                    },
-                    |_| {},
-                )
-            }));
-            let _ = done_tx.send(result.is_err());
-        });
-        match done_rx.recv_timeout(std::time::Duration::from_secs(120)) {
-            Ok(panicked) => assert!(panicked, "engine swallowed the worker panic"),
-            Err(_) => panic!("engine deadlocked on a worker panic"),
-        }
     }
 
     #[test]

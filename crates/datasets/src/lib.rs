@@ -35,4 +35,4 @@ pub mod source;
 
 pub use profile::{DatasetProfile, LengthModel};
 pub use simulate::{SimulatedDataset, SimulatedRead};
-pub use source::{DatasetStream, ReadSource, StreamingSimulator};
+pub use source::{DatasetStream, ReadSource, SourceId, StreamingSimulator};

@@ -19,6 +19,70 @@ use crate::profile::DatasetProfile;
 use crate::simulate::{ReadFactory, SimulatedDataset, SimulatedRead};
 use genpip_genomics::Genome;
 use genpip_signal::PoreModel;
+use std::fmt;
+use std::sync::Arc;
+
+/// A stable, cheaply clonable name for one registered [`ReadSource`].
+///
+/// Multi-source engines (the `Session` API in `genpip-core`) register each
+/// source under a `SourceId` and report per-source progress and summaries
+/// keyed by it. The id is an opaque handle: equality and ordering are by
+/// name, clones share one allocation, and the name survives for the whole
+/// session — results for a source are always attributed to the id it was
+/// registered with.
+///
+/// ```
+/// use genpip_datasets::SourceId;
+///
+/// let a = SourceId::new("flowcell-a");
+/// let b: SourceId = "flowcell-a".into();
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "flowcell-a");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(Arc<str>);
+
+impl SourceId {
+    /// Creates an id from any string-like name.
+    pub fn new(name: impl AsRef<str>) -> SourceId {
+        SourceId(Arc::from(name.as_ref()))
+    }
+
+    /// The name this id was created with.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(&self.0)
+    }
+}
+
+impl fmt::Debug for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SourceId({:?})", &*self.0)
+    }
+}
+
+impl From<&str> for SourceId {
+    fn from(name: &str) -> SourceId {
+        SourceId::new(name)
+    }
+}
+
+impl From<String> for SourceId {
+    fn from(name: String) -> SourceId {
+        SourceId::new(name)
+    }
+}
+
+impl From<&SourceId> for SourceId {
+    fn from(id: &SourceId) -> SourceId {
+        id.clone()
+    }
+}
 
 /// A pull-based producer of reads plus the run-wide context (reference
 /// genome, signal chemistry) every pipeline needs up front.
@@ -45,6 +109,31 @@ pub trait ReadSource {
     /// infinite or unknown-length sources return `None`).
     fn reads_remaining(&self) -> Option<usize> {
         None
+    }
+}
+
+/// Forwarding impl so engines that take sources by value (e.g. the
+/// `Session` builder in `genpip-core`) also accept `&mut` borrows of a
+/// caller-owned source.
+impl<S: ReadSource + ?Sized> ReadSource for &mut S {
+    fn reference(&self) -> &Genome {
+        (**self).reference()
+    }
+
+    fn pore_model(&self) -> &PoreModel {
+        (**self).pore_model()
+    }
+
+    fn mean_dwell(&self) -> f64 {
+        (**self).mean_dwell()
+    }
+
+    fn next_read(&mut self) -> Option<SimulatedRead> {
+        (**self).next_read()
+    }
+
+    fn reads_remaining(&self) -> Option<usize> {
+        (**self).reads_remaining()
     }
 }
 

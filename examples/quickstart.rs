@@ -6,9 +6,12 @@
 //!
 //! Generates a miniature E. coli-like dataset (synthetic genome, synthetic
 //! raw nanopore signals), runs GenPIP's chunk-based pipeline with early
-//! rejection, and prints what happened to every class of read.
+//! rejection through the `Session` engine, and prints what happened to
+//! every class of read.
 
-use genpip::core::pipeline::{run_genpip, ErMode, ReadOutcome};
+use genpip::core::engine::{Flow, Session};
+use genpip::core::pipeline::{ErMode, ReadOutcome};
+use genpip::core::stream::StreamEvent;
 use genpip::core::GenPipConfig;
 use genpip::datasets::DatasetProfile;
 
@@ -27,14 +30,27 @@ fn main() {
         config.chunk_bases, config.n_qs, config.n_cm, config.theta_qs, config.theta_cm
     );
 
-    let run = run_genpip(&dataset, &config, ErMode::Full);
+    // One session, one source, a Vec sink — the minimal spelling of the
+    // engine every driver (batch, streaming, CLI) runs on.
+    let n_cm = config.n_cm;
+    let mut reads = Vec::new();
+    let report = Session::new(config)
+        .flow(Flow::GenPip(ErMode::Full))
+        .source("quickstart", dataset.stream())
+        .sink("quickstart", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads.push(run);
+            }
+        })
+        .run()
+        .expect("session inputs are valid");
 
     let mut mapped = 0;
     let mut qsr = 0;
     let mut cmr = 0;
     let mut qc = 0;
     let mut unmapped = 0;
-    for read in &run.reads {
+    for read in &reads {
         match &read.outcome {
             ReadOutcome::Mapped(m) => {
                 mapped += 1;
@@ -62,8 +78,8 @@ fn main() {
             ReadOutcome::RejectedCmr { chain_score } => {
                 cmr += 1;
                 println!(
-                    "read {:>3}: early-rejected by CMR (chain score {:.0} after {} chunks)",
-                    read.id, chain_score, config.n_cm
+                    "read {:>3}: early-rejected by CMR (chain score {:.0} after {n_cm} chunks)",
+                    read.id, chain_score
                 );
             }
             ReadOutcome::FilteredQc { aqs } => {
@@ -83,7 +99,7 @@ fn main() {
         }
     }
 
-    let totals = run.totals();
+    let totals = report.totals;
     println!("\nsummary: {mapped} mapped, {qsr} QSR-rejected, {cmr} CMR-rejected, {qc} QC-filtered, {unmapped} unmapped");
     println!(
         "work: {} samples basecalled of {} total ({:.1}% saved by early rejection)",

@@ -1,18 +1,20 @@
-//! Streaming GenPIP: constant-memory execution over a lazy read source.
+//! Session streaming: one worker pool serving two concurrent runs.
 //!
 //! ```text
 //! cargo run --release --example streaming_pipeline [scale]
 //! ```
 //!
-//! Instead of materializing a `SimulatedDataset` and a `PipelineRun`, this
-//! example pulls reads one at a time from a `StreamingSimulator` (which
-//! synthesizes them on demand), pushes them through the bounded-queue
-//! streaming executor, and consumes each `ReadRun` from the sink callback
-//! the moment it is ready — the way a real-time sequencing run would be
-//! processed. Peak memory is the in-flight window (queue + workers), not
-//! the dataset.
+//! Two lazy read sources — think two flowcells finishing at different
+//! times — are registered in one `Session` and interleaved fair-share over
+//! a single bounded-memory worker pool. Each source has its own sink and
+//! sees its own reads in order, the way two tenants of one service
+//! instance would; peak memory is the shared in-flight window
+//! (queue + workers), not the datasets, and each source's results are
+//! bit-identical to running it alone.
 
-use genpip::core::stream::{run_genpip_streaming, StreamEvent, StreamOptions};
+use genpip::core::engine::{Flow, Session};
+use genpip::core::scheduler::Schedule;
+use genpip::core::stream::{StreamEvent, StreamOptions};
 use genpip::core::{ErMode, GenPipConfig, Parallelism};
 use genpip::datasets::{DatasetProfile, ReadSource, StreamingSimulator};
 
@@ -21,57 +23,82 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.1);
-    let profile = DatasetProfile::ecoli().scaled(scale);
-    let config = GenPipConfig::for_dataset(&profile)
+    let run_a = DatasetProfile::ecoli().scaled(scale);
+    let run_b = DatasetProfile::ecoli().scaled((scale * 0.6).max(0.01));
+    let config = GenPipConfig::for_dataset(&run_a)
         .with_parallelism(Parallelism::from_env_or(Parallelism::Auto));
     let opts = StreamOptions {
         queue_capacity: 8,
         progress_every: 0,
     };
 
-    let mut source = StreamingSimulator::new(&profile);
+    let source_a = StreamingSimulator::new(&run_a);
+    let source_b = StreamingSimulator::new(&run_b);
     println!(
-        "streaming {} reads (never materialized) through {} worker(s), queue {}…",
-        source.reads_remaining().unwrap_or(0),
+        "session: {} + {} reads (never materialized), fair-share over {} worker(s), queue {}…",
+        source_a.reads_remaining().unwrap_or(0),
+        source_b.reads_remaining().unwrap_or(0),
         config.parallelism.workers(),
         opts.queue_capacity,
     );
 
-    // The sink sees every read in id order as soon as it (and all earlier
-    // reads) finish — print the first few journeys, count the rest.
-    let mut shown = 0usize;
-    let summary = run_genpip_streaming(&mut source, &config, ErMode::Full, &opts, |event| {
-        let StreamEvent::Read(run) = event else {
-            return;
-        };
-        if shown < 8 {
-            shown += 1;
-            println!(
-                "  read {:>3}: {:>2} chunks, {:>6} samples basecalled -> {}",
-                run.id,
-                run.total_chunks,
-                run.basecalled_samples(),
-                outcome_label(&run.outcome),
-            );
-        }
-    });
+    // Each sink sees its own source's reads, in that source's order, the
+    // moment they (and all earlier reads of the same source) finish —
+    // print the first few journeys per source, count the rest.
+    let (mut shown_a, mut shown_b) = (0usize, 0usize);
+    let report = Session::new(config)
+        .flow(Flow::GenPip(ErMode::Full))
+        .schedule(Schedule::FairShare)
+        .options(opts)
+        .source("run-a", source_a)
+        .source("run-b", source_b)
+        .sink("run-a", |event| describe("run-a", &mut shown_a, event))
+        .sink("run-b", |event| describe("run-b", &mut shown_b, event))
+        .run()
+        .expect("session inputs are valid");
 
-    let o = summary.outcomes;
     println!("…");
+    for source in &report.sources {
+        let o = source.summary.outcomes;
+        println!(
+            "{}: {} reads — {} mapped, {} early-rejected (QSR {}, CMR {}), \
+             {} QC-filtered, {} unmapped (peak in-flight {})",
+            source.id,
+            o.reads_emitted,
+            o.mapped,
+            o.rejected_qsr + o.rejected_cmr,
+            o.rejected_qsr,
+            o.rejected_cmr,
+            o.filtered_qc,
+            o.unmapped,
+            source.summary.max_in_flight,
+        );
+    }
+    let o = report.outcomes;
     println!(
-        "{} reads: {} mapped, {} early-rejected (QSR {}, CMR {}), {} QC-filtered, {} unmapped",
-        o.reads_emitted,
-        o.mapped,
-        o.rejected_qsr + o.rejected_cmr,
-        o.rejected_qsr,
-        o.rejected_cmr,
-        o.filtered_qc,
-        o.unmapped,
+        "total: {} reads, {} mapped — one pool, two runs, no per-run silo",
+        o.reads_emitted, o.mapped,
     );
     println!(
-        "peak in-flight reads: {} (enforced bound: {}) — memory stayed O(queue + workers)",
-        summary.max_in_flight, summary.in_flight_limit,
+        "peak in-flight across both sources: {} (enforced bound: {}) — memory stayed O(queue + workers)",
+        report.max_in_flight, report.in_flight_limit,
     );
+}
+
+fn describe(name: &str, shown: &mut usize, event: StreamEvent) {
+    let StreamEvent::Read(run) = event else {
+        return;
+    };
+    if *shown < 4 {
+        *shown += 1;
+        println!(
+            "  {name} read {:>3}: {:>2} chunks, {:>6} samples basecalled -> {}",
+            run.id,
+            run.total_chunks,
+            run.basecalled_samples(),
+            outcome_label(&run.outcome),
+        );
+    }
 }
 
 fn outcome_label(outcome: &genpip::core::ReadOutcome) -> &'static str {

@@ -15,14 +15,18 @@
 //!   writing) PAF records;
 //! * `run` — execute the full GenPIP pipeline on a synthetic dataset and
 //!   print the outcome/workload summary;
-//! * `stream` — same pipeline, but executed by the bounded-memory streaming
-//!   core over an on-the-fly read generator: the dataset is never
-//!   materialized, and at most `--queue` + workers reads are in memory;
+//! * `stream` — the same pipeline executed by the `Session` engine: one
+//!   bounded-memory worker pool serving one or many read sources (repeated
+//!   `--source` specs) under a `--schedule` policy, with per-source
+//!   progress and summaries. The datasets are never materialized, and at
+//!   most `--queue` + workers reads are in memory across all sources;
 //! * `experiment` — regenerate one of the paper's figures/tables.
 
+use genpip::core::engine::{Flow, Session};
 use genpip::core::experiments;
 use genpip::core::pipeline::{run_genpip, ErMode, ReadOutcome};
-use genpip::core::stream::{run_genpip_streaming, StreamEvent, StreamOptions};
+use genpip::core::scheduler::Schedule;
+use genpip::core::stream::{StreamEvent, StreamOptions};
 use genpip::core::{GenPipConfig, Parallelism};
 use genpip::datasets::{DatasetProfile, ReadSource, StreamingSimulator};
 use genpip::genomics::fastx;
@@ -76,6 +80,7 @@ USAGE:
   genpip run [--profile <ecoli|human>] [--scale F] [--er <full|qsr|cp|off>]
              [--shards <single|auto|N>]
   genpip stream [--profile <ecoli|human>] [--scale F] [--er <full|qsr|cp|off>]
+               [--source SPEC]... [--schedule <fair|sequential|priority>]
                [--queue N] [--progress N] [--threads <serial|auto|N>]
                [--shards <single|auto|N>]
   genpip experiment <fig04|fig07|fig10|fig11|fig12|fig13|tab01|tab02|useless|ablations> [--scale F]
@@ -86,16 +91,29 @@ OPTIONS:
   --er        early-rejection mode for `run`/`stream` (default full)
   --out       output file prefix for `simulate`
   --paf       PAF output path for `map` (default: stdout)
-  --queue     `stream` work-queue capacity; in-flight reads <= queue + workers (default 8)
-  --progress  `stream` progress line cadence in reads (default 50, 0 = off)
+  --source    one read source for `stream`, repeatable. SPEC is comma-joined
+              key=value pairs: profile=<ecoli|human> (required),
+              scale=F (default: --scale), name=ID (default: profileN),
+              weight=N (priority schedule share, default 1).
+              Without --source, one source is built from --profile/--scale.
+  --schedule  how `stream` interleaves its sources over the one worker
+              pool: fair (round-robin, default), sequential (drain in
+              registration order), priority (weighted by each source's
+              weight=)
+  --queue     `stream` work-queue capacity; in-flight reads across all
+              sources <= queue + workers (default 8)
+  --progress  `stream` per-source progress line cadence in reads (default 50, 0 = off)
   --threads   `stream` worker threads (default: GENPIP_PARALLELISM env or auto)
   --shards    reference-index shard count for `map`/`run`/`stream`; results
               are bit-identical for every setting (default single)";
 
-type Options = HashMap<String, String>;
+/// Parsed command line: repeatable options keep every occurrence in order
+/// (`--source` is the only multi-valued one today); single-valued lookups
+/// take the last occurrence.
+type Options = HashMap<String, Vec<String>>;
 
 fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
-    let mut opts = HashMap::new();
+    let mut opts: Options = HashMap::new();
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -103,7 +121,7 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
             let value = it
                 .next()
                 .ok_or_else(|| format!("option --{key} needs a value"))?;
-            opts.insert(key.to_string(), value.clone());
+            opts.entry(key.to_string()).or_default().push(value.clone());
         } else {
             positional.push(arg.clone());
         }
@@ -113,37 +131,52 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
 
 type Parsed = (Options, Vec<String>);
 
-fn profile_from(parsed: &Parsed) -> Result<DatasetProfile, String> {
-    let name = parsed
+/// The last value given for a single-valued option.
+fn opt<'a>(parsed: &'a Parsed, key: &str) -> Option<&'a str> {
+    parsed
         .0
-        .get("profile")
+        .get(key)
+        .and_then(|vals| vals.last())
         .map(String::as_str)
-        .unwrap_or("ecoli");
-    let profile = match name {
-        "ecoli" => DatasetProfile::ecoli(),
-        "human" => DatasetProfile::human(),
-        other => return Err(format!("unknown profile {other:?} (use ecoli or human)")),
-    };
+}
+
+/// Every value given for a repeatable option, in order.
+fn opt_all<'a>(parsed: &'a Parsed, key: &str) -> &'a [String] {
+    parsed.0.get(key).map(Vec::as_slice).unwrap_or(&[])
+}
+
+fn profile_by_name(name: &str) -> Result<DatasetProfile, String> {
+    match name {
+        "ecoli" => Ok(DatasetProfile::ecoli()),
+        "human" => Ok(DatasetProfile::human()),
+        other => Err(format!("unknown profile {other:?} (use ecoli or human)")),
+    }
+}
+
+fn profile_from(parsed: &Parsed) -> Result<DatasetProfile, String> {
+    let profile = profile_by_name(opt(parsed, "profile").unwrap_or("ecoli"))?;
     Ok(profile.scaled(scale_from(parsed, 0.1)?))
 }
 
+fn parse_scale(s: &str) -> Result<f64, String> {
+    let v: f64 = s.parse().map_err(|_| format!("invalid scale {s:?}"))?;
+    if v > 0.0 && v <= 1.0 {
+        Ok(v)
+    } else {
+        Err("scale must be in (0, 1]".into())
+    }
+}
+
 fn scale_from(parsed: &Parsed, default: f64) -> Result<f64, String> {
-    match parsed.0.get("scale") {
+    match opt(parsed, "scale") {
         None => Ok(default),
-        Some(s) => {
-            let v: f64 = s.parse().map_err(|_| format!("invalid --scale {s:?}"))?;
-            if v > 0.0 && v <= 1.0 {
-                Ok(v)
-            } else {
-                Err("--scale must be in (0, 1]".into())
-            }
-        }
+        Some(s) => parse_scale(s).map_err(|e| format!("--scale: {e}")),
     }
 }
 
 fn cmd_simulate(parsed: &Parsed) -> Result<(), String> {
     let profile = profile_from(parsed)?;
-    let prefix = parsed.0.get("out").ok_or("simulate needs --out <prefix>")?;
+    let prefix = opt(parsed, "out").ok_or("simulate needs --out <prefix>")?;
     println!(
         "simulating {} ({} reads, {} bp genome)…",
         profile.name, profile.n_reads, profile.genome_len
@@ -165,8 +198,8 @@ fn cmd_simulate(parsed: &Parsed) -> Result<(), String> {
 }
 
 fn cmd_map(parsed: &Parsed) -> Result<(), String> {
-    let reference = parsed.0.get("reference").ok_or("map needs --reference")?;
-    let reads_path = parsed.0.get("reads").ok_or("map needs --reads")?;
+    let reference = opt(parsed, "reference").ok_or("map needs --reference")?;
+    let reads_path = opt(parsed, "reads").ok_or("map needs --reads")?;
     let genome = fastx::read_fasta(BufReader::new(
         File::open(reference).map_err(|e| format!("{reference}: {e}"))?,
     ))
@@ -203,7 +236,7 @@ fn cmd_map(parsed: &Parsed) -> Result<(), String> {
             None => unmapped += 1,
         }
     }
-    match parsed.0.get("paf") {
+    match opt(parsed, "paf") {
         Some(path) => {
             let f = File::create(path).map_err(|e| e.to_string())?;
             write_paf(BufWriter::new(f), &records).map_err(|e| e.to_string())?;
@@ -221,14 +254,14 @@ fn cmd_map(parsed: &Parsed) -> Result<(), String> {
 }
 
 fn shards_from(parsed: &Parsed) -> Result<Shards, String> {
-    match parsed.0.get("shards") {
+    match opt(parsed, "shards") {
         None => Ok(Shards::Single),
         Some(s) => Shards::parse(s).ok_or_else(|| format!("invalid --shards {s:?}")),
     }
 }
 
 fn er_from(parsed: &Parsed) -> Result<ErMode, String> {
-    match parsed.0.get("er").map(String::as_str).unwrap_or("full") {
+    match opt(parsed, "er").unwrap_or("full") {
         "full" => Ok(ErMode::Full),
         "qsr" => Ok(ErMode::QsrOnly),
         "cp" | "off" | "none" => Ok(ErMode::None),
@@ -281,11 +314,64 @@ fn cmd_run(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// One `--source` spec, parsed: `profile=<ecoli|human>[,scale=F][,name=ID]
+/// [,weight=N]`.
+struct SourceSpec {
+    name: String,
+    profile: DatasetProfile,
+    weight: u32,
+}
+
+fn parse_source_spec(spec: &str, index: usize, default_scale: f64) -> Result<SourceSpec, String> {
+    let mut profile_name = None;
+    let mut scale = default_scale;
+    let mut name = None;
+    let mut weight = 1u32;
+    for part in spec.split(',') {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--source part {part:?} is not key=value (in {spec:?})"))?;
+        match key {
+            "profile" => profile_name = Some(value),
+            "scale" => scale = parse_scale(value).map_err(|e| format!("--source {spec:?}: {e}"))?,
+            "name" => name = Some(value.to_string()),
+            "weight" => {
+                weight = value
+                    .parse()
+                    .map_err(|_| format!("--source {spec:?}: invalid weight {value:?}"))?
+            }
+            other => {
+                return Err(format!(
+                    "--source {spec:?}: unknown key {other:?} \
+                     (use profile, scale, name, weight)"
+                ))
+            }
+        }
+    }
+    let profile_name = profile_name.ok_or_else(|| format!("--source {spec:?} needs profile="))?;
+    let profile = profile_by_name(profile_name)?.scaled(scale);
+    Ok(SourceSpec {
+        name: name.unwrap_or_else(|| format!("{profile_name}{index}")),
+        profile,
+        weight,
+    })
+}
+
+fn schedule_from(parsed: &Parsed, weights: Vec<u32>) -> Result<Schedule, String> {
+    let spelled = opt(parsed, "schedule").unwrap_or("fair");
+    match Schedule::parse(spelled) {
+        Some(Schedule::Priority(_)) => Ok(Schedule::Priority(weights)),
+        Some(schedule) => Ok(schedule),
+        None => Err(format!(
+            "invalid --schedule {spelled:?} (use fair, sequential, or priority)"
+        )),
+    }
+}
+
 fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
-    let profile = profile_from(parsed)?;
     let er = er_from(parsed)?;
     let usize_opt = |key: &str, default: usize| -> Result<usize, String> {
-        match parsed.0.get(key) {
+        match opt(parsed, key) {
             None => Ok(default),
             Some(s) => s.parse().map_err(|_| format!("invalid --{key} {s:?}")),
         }
@@ -293,43 +379,119 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
     let queue = usize_opt("queue", 8)?.max(1);
     let progress = usize_opt("progress", 50)?;
     let shards = shards_from(parsed)?;
-    let parallelism = match parsed.0.get("threads") {
+    let parallelism = match opt(parsed, "threads") {
         None => Parallelism::from_env_or(Parallelism::Auto),
         Some(s) => Parallelism::parse(s).ok_or_else(|| format!("invalid --threads {s:?}"))?,
     };
 
-    let config = GenPipConfig::for_dataset(&profile)
+    // Sources: repeated --source specs, or a single one synthesized from
+    // --profile/--scale for the classic one-run invocation.
+    let default_scale = scale_from(parsed, 0.1)?;
+    let specs: Vec<SourceSpec> = if opt_all(parsed, "source").is_empty() {
+        let profile = profile_from(parsed)?;
+        vec![SourceSpec {
+            name: profile.name.to_string(),
+            profile,
+            weight: 1,
+        }]
+    } else {
+        opt_all(parsed, "source")
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| parse_source_spec(spec, i, default_scale))
+            .collect::<Result<_, _>>()?
+    };
+    // Session::run would reject duplicates too, but catching them here
+    // keeps the error ahead of the session banner.
+    for (i, spec) in specs.iter().enumerate() {
+        if specs[..i].iter().any(|other| other.name == spec.name) {
+            return Err(format!("duplicate source name {:?}", spec.name));
+        }
+    }
+    let schedule = schedule_from(parsed, specs.iter().map(|s| s.weight).collect())?;
+
+    // The session runs one config; dataset-dependent knobs (N_qs, N_cm)
+    // follow the first source's profile.
+    if specs
+        .iter()
+        .any(|s| s.profile.name != specs[0].profile.name)
+    {
+        eprintln!(
+            "note: mixed profiles in one session — early-rejection knobs \
+             (N_qs, N_cm) follow the first source's profile ({})",
+            specs[0].profile.name
+        );
+    }
+    let config = GenPipConfig::for_dataset(&specs[0].profile)
         .with_parallelism(parallelism)
         .with_shards(shards);
-    let mut source = StreamingSimulator::new(&profile);
-    let expected = source.reads_remaining().unwrap_or(0);
-    println!(
-        "streaming GenPIP ({er:?}) over {} ({} reads synthesized on the fly, \
-         {} worker(s), queue {queue}, {} index shard(s))…",
-        profile.name,
-        expected,
-        parallelism.workers(),
-        shards.resolve(profile.genome_len)
-    );
     let opts = StreamOptions {
         queue_capacity: queue,
         progress_every: progress,
     };
-    let summary = run_genpip_streaming(&mut source, &config, er, &opts, |event| {
-        if let StreamEvent::Progress(p) = event {
-            println!(
-                "  [{:>5}/{expected} reads]  mapped {:>5}  rejected {:>5}  \
-                 qc-filtered {:>4}  unmapped {:>4}  ({} samples basecalled)",
-                p.reads_emitted,
-                p.mapped,
-                p.rejected_qsr + p.rejected_cmr,
-                p.filtered_qc,
-                p.unmapped,
-                p.samples_basecalled
-            );
-        }
-    });
-    let o = summary.outcomes;
+
+    println!(
+        "session: GenPIP ({er:?}), {} source(s) under {schedule:?}, \
+         {} worker(s), queue {queue}",
+        specs.len(),
+        parallelism.workers(),
+    );
+    let mut session = Session::new(config)
+        .flow(Flow::GenPip(er))
+        .schedule(schedule)
+        .options(opts);
+    let name_width = specs.iter().map(|s| s.name.len()).max().unwrap_or(0);
+    for spec in &specs {
+        let source = StreamingSimulator::new(&spec.profile);
+        let expected = source.reads_remaining().unwrap_or(0);
+        println!(
+            "  source {:<name_width$}  {} reads ({}, {} bp genome, weight {}, \
+             {} index shard(s))",
+            spec.name,
+            expected,
+            spec.profile.name,
+            spec.profile.genome_len,
+            spec.weight,
+            shards.resolve(spec.profile.genome_len),
+        );
+        let name = spec.name.clone();
+        session =
+            session
+                .source(spec.name.as_str(), source)
+                .sink(spec.name.as_str(), move |event| {
+                    if let StreamEvent::Progress(p) = event {
+                        println!(
+                            "  [{name:<name_width$} {:>5}/{expected} reads]  mapped {:>5}  \
+                         rejected {:>5}  qc-filtered {:>4}  unmapped {:>4}  \
+                         ({} samples basecalled)",
+                            p.reads_emitted,
+                            p.mapped,
+                            p.rejected_qsr + p.rejected_cmr,
+                            p.filtered_qc,
+                            p.unmapped,
+                            p.samples_basecalled
+                        );
+                    }
+                });
+    }
+    let report = session.run().map_err(|e| e.to_string())?;
+
+    for source in &report.sources {
+        let o = source.summary.outcomes;
+        println!(
+            "source {:<name_width$}  reads {:>5}  mapped {:>5}  QSR {:>4}  CMR {:>4}  \
+             QC {:>4}  unmapped {:>4}  peak in-flight {}",
+            source.id,
+            o.reads_emitted,
+            o.mapped,
+            o.rejected_qsr,
+            o.rejected_cmr,
+            o.filtered_qc,
+            o.unmapped,
+            source.summary.max_in_flight,
+        );
+    }
+    let o = report.outcomes;
     println!("reads:          {}", o.reads_emitted);
     println!("mapped:         {}", o.mapped);
     println!("QSR-rejected:   {}", o.rejected_qsr);
@@ -337,12 +499,12 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
     println!("QC-filtered:    {}", o.filtered_qc);
     println!("unmapped:       {}", o.unmapped);
     println!(
-        "peak in-flight: {} reads (bound: {})",
-        summary.max_in_flight, summary.in_flight_limit
+        "peak in-flight: {} reads across all sources (bound: {})",
+        report.max_in_flight, report.in_flight_limit
     );
     println!(
         "basecalled:     {} samples across {} bases",
-        summary.totals.samples, summary.totals.bases_called
+        report.totals.samples, report.totals.bases_called
     );
     Ok(())
 }

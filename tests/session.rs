@@ -1,0 +1,355 @@
+//! Cross-crate properties of the `Session` engine: per-source bit-identity
+//! with solo runs under every scheduling policy, across `ErMode` ×
+//! `Parallelism` × shard counts; the shared in-flight bound with N sources;
+//! and starvation-freedom of the `Priority` schedule.
+//!
+//! The parallelism sweep includes `GENPIP_PARALLELISM` (when set), which CI
+//! uses to force both threading paths through this suite.
+
+use genpip::core::engine::{Flow, Session};
+use genpip::core::pipeline::{run_genpip, ErMode};
+use genpip::core::scheduler::Schedule;
+use genpip::core::stream::{StreamEvent, StreamOptions};
+use genpip::core::{GenPipConfig, Parallelism, ReadRun, SessionReport, Shards};
+use genpip::datasets::{
+    DatasetProfile, ReadSource, SimulatedDataset, SimulatedRead, StreamingSimulator,
+};
+use genpip::genomics::Genome;
+use genpip::signal::PoreModel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Two sources with *different* references (scaling changes the genome),
+/// so the session must keep one context per source.
+fn profiles() -> (DatasetProfile, DatasetProfile) {
+    (
+        DatasetProfile::ecoli().scaled(0.1),
+        DatasetProfile::ecoli().scaled(0.04),
+    )
+}
+
+fn parallelism_sweep() -> Vec<Parallelism> {
+    let mut sweep = vec![Parallelism::Serial, Parallelism::Threads(4)];
+    if let Some(from_env) = Parallelism::from_env() {
+        if !sweep.contains(&from_env) {
+            sweep.push(from_env);
+        }
+    }
+    sweep
+}
+
+/// Runs a two-source session (lazy sources) and returns the per-source
+/// read collections plus the report.
+fn run_two_source_session(
+    a: &DatasetProfile,
+    b: &DatasetProfile,
+    config: &GenPipConfig,
+    er: ErMode,
+    schedule: Schedule,
+    opts: &StreamOptions,
+) -> (Vec<ReadRun>, Vec<ReadRun>, SessionReport) {
+    let mut reads_a = Vec::new();
+    let mut reads_b = Vec::new();
+    let report = Session::new(config.clone())
+        .flow(Flow::GenPip(er))
+        .schedule(schedule)
+        .options(*opts)
+        .source("a", StreamingSimulator::new(a))
+        .source("b", StreamingSimulator::new(b))
+        .sink("a", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads_a.push(run);
+            }
+        })
+        .sink("b", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads_b.push(run);
+            }
+        })
+        .run()
+        .expect("two-source session inputs are valid");
+    (reads_a, reads_b, report)
+}
+
+#[test]
+fn interleaved_sources_are_bit_identical_to_solo_runs() {
+    let (pa, pb) = profiles();
+    let (da, db) = (pa.generate(), pb.generate());
+    // One session config serves both sources; base it on profile A.
+    let base = GenPipConfig::for_dataset(&pa);
+    let opts = StreamOptions {
+        queue_capacity: 3,
+        progress_every: 0,
+    };
+    for er in [ErMode::None, ErMode::QsrOnly, ErMode::Full] {
+        for parallelism in parallelism_sweep() {
+            for shards in [Shards::Single, Shards::Fixed(2)] {
+                let config = base
+                    .clone()
+                    .with_parallelism(parallelism)
+                    .with_shards(shards);
+                let solo_a = run_genpip(&da, &config, er);
+                let solo_b = run_genpip(&db, &config, er);
+                for schedule in [Schedule::FairShare, Schedule::Priority(vec![3, 1])] {
+                    let label = format!("{er:?} / {parallelism:?} / {shards:?} / {schedule:?}");
+                    let (reads_a, reads_b, report) =
+                        run_two_source_session(&pa, &pb, &config, er, schedule, &opts);
+                    assert_eq!(reads_a, solo_a.reads, "source a diverged: {label}");
+                    assert_eq!(reads_b, solo_b.reads, "source b diverged: {label}");
+                    let sa = report.source("a").expect("source a reported");
+                    let sb = report.source("b").expect("source b reported");
+                    assert_eq!(sa.summary.totals, solo_a.totals(), "{label}");
+                    assert_eq!(sb.summary.totals, solo_b.totals(), "{label}");
+                    assert_eq!(
+                        report.outcomes.reads_emitted,
+                        da.reads.len() + db.reads.len(),
+                        "{label}"
+                    );
+                    assert!(
+                        report.max_in_flight <= report.in_flight_limit,
+                        "{label}: {} in flight exceeds bound {}",
+                        report.max_in_flight,
+                        report.in_flight_limit
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn conventional_flow_sessions_match_solo_runs_too() {
+    use genpip::core::pipeline::run_conventional;
+    let (pa, pb) = profiles();
+    let (da, db) = (pa.generate(), pb.generate());
+    let config = GenPipConfig::for_dataset(&pa)
+        .with_parallelism(Parallelism::from_env_or(Parallelism::Threads(3)));
+    let solo_a = run_conventional(&da, &config);
+    let solo_b = run_conventional(&db, &config);
+    let mut reads_a = Vec::new();
+    let mut reads_b = Vec::new();
+    Session::new(config)
+        .flow(Flow::Conventional)
+        .schedule(Schedule::FairShare)
+        .source("a", StreamingSimulator::new(&pa))
+        .source("b", StreamingSimulator::new(&pb))
+        .sink("a", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads_a.push(run);
+            }
+        })
+        .sink("b", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads_b.push(run);
+            }
+        })
+        .run()
+        .expect("valid session");
+    assert_eq!(reads_a, solo_a.reads);
+    assert_eq!(reads_b, solo_b.reads);
+}
+
+/// Wraps a source and counts pulls into a shared counter, so tests can
+/// observe total in-flight reads (pulled minus emitted) from outside the
+/// engine.
+struct CountingSource<S> {
+    inner: S,
+    pulled: Arc<AtomicUsize>,
+}
+
+impl<S: ReadSource> ReadSource for CountingSource<S> {
+    fn reference(&self) -> &Genome {
+        self.inner.reference()
+    }
+    fn pore_model(&self) -> &PoreModel {
+        self.inner.pore_model()
+    }
+    fn mean_dwell(&self) -> f64 {
+        self.inner.mean_dwell()
+    }
+    fn next_read(&mut self) -> Option<SimulatedRead> {
+        let read = self.inner.next_read()?;
+        self.pulled.fetch_add(1, Ordering::SeqCst);
+        Some(read)
+    }
+}
+
+#[test]
+fn in_flight_reads_stay_bounded_across_n_sources() {
+    let profile = DatasetProfile::ecoli().scaled(0.05);
+    let dataset = profile.generate();
+    let workers = 3usize;
+    let queue_capacity = 2usize;
+    let bound = queue_capacity + workers;
+    let config =
+        GenPipConfig::for_dataset(&profile).with_parallelism(Parallelism::Threads(workers));
+    let opts = StreamOptions {
+        queue_capacity,
+        progress_every: 0,
+    };
+    // Three sources over the same dataset share one pulled counter; the
+    // sinks share one emitted counter (they all run on the emitting
+    // thread). Sampling at emission time is conservative: pulls strictly
+    // precede this observation, so any overshoot of the shared gate would
+    // show up here.
+    let pulled = Arc::new(AtomicUsize::new(0));
+    let emitted = std::cell::Cell::new(0usize);
+    let observed_max = std::cell::Cell::new(0usize);
+    let mut session = Session::new(config)
+        .flow(Flow::GenPip(ErMode::Full))
+        .schedule(Schedule::FairShare)
+        .options(opts);
+    for i in 0..3 {
+        let id = format!("src{i}");
+        session = session
+            .source(
+                id.as_str(),
+                CountingSource {
+                    inner: dataset.stream(),
+                    pulled: Arc::clone(&pulled),
+                },
+            )
+            .sink(id.as_str(), |event| {
+                if let StreamEvent::Read(_) = event {
+                    let in_flight = pulled.load(Ordering::SeqCst) - emitted.get();
+                    observed_max.set(observed_max.get().max(in_flight));
+                    emitted.set(emitted.get() + 1);
+                }
+            });
+    }
+    let report = session.run().expect("valid session");
+    assert_eq!(emitted.get(), 3 * dataset.reads.len());
+    assert!(
+        observed_max.get() <= bound,
+        "observed {} in-flight reads across 3 sources, bound {bound}",
+        observed_max.get()
+    );
+    assert_eq!(report.in_flight_limit, bound);
+    assert!(
+        report.max_in_flight <= bound,
+        "gate high-water {} exceeds bound {bound}",
+        report.max_in_flight
+    );
+    // Per-source high-water marks are each within the shared bound, and
+    // every source emitted its full read count.
+    for source in &report.sources {
+        assert!(source.summary.max_in_flight <= bound);
+        assert_eq!(source.summary.outcomes.reads_emitted, dataset.reads.len());
+    }
+}
+
+#[test]
+fn priority_schedule_never_starves_low_weight_sources() {
+    // Serial execution emits in exact pull order, so the emission tape *is*
+    // the schedule's pull sequence: with weights [5, 1] the weight-1 source
+    // must appear within every 6 pulls while both sources are live — not
+    // just "eventually drain".
+    let (pa, pb) = profiles();
+    let config = GenPipConfig::for_dataset(&pa).with_parallelism(Parallelism::Serial);
+    let mut tape: Vec<&'static str> = Vec::new();
+    {
+        let tape = std::cell::RefCell::new(&mut tape);
+        Session::new(config)
+            .flow(Flow::GenPip(ErMode::Full))
+            .schedule(Schedule::Priority(vec![5, 1]))
+            .source("heavy", StreamingSimulator::new(&pa))
+            .source("light", StreamingSimulator::new(&pb))
+            .sink("heavy", |event| {
+                if let StreamEvent::Read(_) = event {
+                    tape.borrow_mut().push("heavy");
+                }
+            })
+            .sink("light", |event| {
+                if let StreamEvent::Read(_) = event {
+                    tape.borrow_mut().push("light");
+                }
+            })
+            .run()
+            .expect("valid session");
+    }
+    let n_light = pb.n_reads;
+    assert_eq!(
+        tape.iter().filter(|&&t| t == "light").count(),
+        n_light,
+        "priority schedule failed to drain the low-weight source"
+    );
+    // While the light source still has reads, it is served at least once
+    // per sum-of-weights (6) pulls.
+    let last_light = tape
+        .iter()
+        .rposition(|&t| t == "light")
+        .expect("light source emitted");
+    for window in tape[..=last_light].windows(6) {
+        assert!(
+            window.contains(&"light"),
+            "light source starved for a full weight period: {window:?}"
+        );
+    }
+}
+
+#[test]
+fn sequential_schedule_drains_sources_in_registration_order() {
+    let (pa, pb) = profiles();
+    let config = GenPipConfig::for_dataset(&pa)
+        .with_parallelism(Parallelism::from_env_or(Parallelism::Threads(2)));
+    let order = std::cell::RefCell::new(Vec::<&'static str>::new());
+    Session::new(config)
+        .flow(Flow::GenPip(ErMode::Full))
+        .schedule(Schedule::Sequential)
+        .source("first", StreamingSimulator::new(&pa))
+        .source("second", StreamingSimulator::new(&pb))
+        .sink("first", |event| {
+            if let StreamEvent::Read(_) = event {
+                order.borrow_mut().push("first");
+            }
+        })
+        .sink("second", |event| {
+            if let StreamEvent::Read(_) = event {
+                order.borrow_mut().push("second");
+            }
+        })
+        .run()
+        .expect("valid session");
+    let order = order.into_inner();
+    assert_eq!(order.len(), pa.n_reads + pb.n_reads);
+    let first_second = order
+        .iter()
+        .position(|&t| t == "second")
+        .expect("second source emitted");
+    assert_eq!(
+        first_second, pa.n_reads,
+        "sequential schedule interleaved sources"
+    );
+}
+
+/// The same dataset registered twice under different ids: both copies must
+/// produce identical results — interleaving two instances of one workload
+/// perturbs nothing (the CI bench-smoke two-source run relies on this).
+#[test]
+fn duplicate_workloads_under_different_ids_agree() {
+    let profile = DatasetProfile::ecoli().scaled(0.04);
+    let dataset: SimulatedDataset = profile.generate();
+    let config = GenPipConfig::for_dataset(&profile)
+        .with_parallelism(Parallelism::from_env_or(Parallelism::Auto));
+    let mut reads_x = Vec::new();
+    let mut reads_y = Vec::new();
+    Session::new(config)
+        .flow(Flow::GenPip(ErMode::Full))
+        .schedule(Schedule::FairShare)
+        .source("x", dataset.stream())
+        .source("y", dataset.stream())
+        .sink("x", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads_x.push(run);
+            }
+        })
+        .sink("y", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads_y.push(run);
+            }
+        })
+        .run()
+        .expect("valid session");
+    assert_eq!(reads_x, reads_y);
+    assert_eq!(reads_x.len(), dataset.reads.len());
+}
