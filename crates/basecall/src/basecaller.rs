@@ -28,6 +28,64 @@ impl CallScratch {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CarryState(pub u16);
 
+/// A resumable per-read decode cursor: the complete between-chunk state of
+/// one read's basecalling, packaged so the read can be **parked** after any
+/// chunk and **resumed later on a different thread**.
+///
+/// Chunk-granular executors (the `Session` engine in `genpip-core`) schedule
+/// one chunk at a time and may move a read between workers between chunks;
+/// everything the decoder needs to continue is this cursor (the k-mer
+/// [`CarryState`]) — all other working memory lives in the worker-local
+/// [`CallScratch`] and carries no read state. The cursor is `Send + Copy`
+/// and a few bytes, so parking a read costs nothing.
+///
+/// Decoding through a `ReadDecoder` is bit-identical to passing carries by
+/// hand through [`Basecaller::call_chunk_with`], and therefore to
+/// [`Basecaller::call_read`], no matter how the chunks are spread over
+/// threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadDecoder {
+    carry: Option<CarryState>,
+    chunks_called: usize,
+}
+
+impl ReadDecoder {
+    /// A cursor positioned before the read's first chunk.
+    pub fn new() -> ReadDecoder {
+        ReadDecoder::default()
+    }
+
+    /// The carry that will stitch the next chunk (`None` before the first).
+    pub fn carry(&self) -> Option<CarryState> {
+        self.carry
+    }
+
+    /// Chunks decoded through this cursor so far.
+    pub fn chunks_called(&self) -> usize {
+        self.chunks_called
+    }
+
+    /// Repositions the cursor to continue from `carry` — used when the next
+    /// chunk's predecessor was basecalled out of band (e.g. a QSR sample
+    /// chunk whose result is being reused in the sequential pass).
+    pub fn resume_from(&mut self, carry: Option<CarryState>) {
+        self.carry = carry;
+    }
+
+    /// Basecalls the read's next chunk, advancing the cursor to its carry.
+    pub fn call_next(
+        &mut self,
+        caller: &Basecaller,
+        samples: &[f32],
+        scratch: &mut CallScratch,
+    ) -> BasecalledChunk {
+        let chunk = caller.call_chunk_with(samples, self.carry, scratch);
+        self.carry = chunk.carry;
+        self.chunks_called += 1;
+        chunk
+    }
+}
+
 /// Workload counters for one basecalled chunk — the quantities the PIM
 /// timing/energy model charges for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -395,6 +453,52 @@ mod tests {
         let expected: f64 = chunk.quals.iter().map(|q| q.0 as f64).sum();
         assert!((chunk.sqs - expected).abs() < 1e-9);
         assert!((chunk.average_quality() - expected / chunk.quals.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_decoder_parked_across_threads_matches_call_read() {
+        // Decode a read chunk by chunk through a ReadDecoder, moving the
+        // cursor to a fresh thread between chunks (each hop is a park +
+        // resume on a different worker); the stitched result must be
+        // bit-identical to the single-threaded call_read path.
+        let (synth, caller) = setup();
+        let t = truth(1_600, 13);
+        let sig = synth.synthesize(&t, 1.0, 14);
+        let whole = caller.call_read(&sig.samples, 900);
+
+        let mut seq = DnaSeq::new();
+        let mut quals = Vec::new();
+        let mut decoder = ReadDecoder::new();
+        for chunk_samples in sig.samples.chunks(900) {
+            decoder = std::thread::scope(|scope| {
+                scope
+                    .spawn(|| {
+                        let mut scratch = CallScratch::new();
+                        let chunk = decoder.call_next(&caller, chunk_samples, &mut scratch);
+                        seq.extend_from_seq(&chunk.bases);
+                        quals.extend_from_slice(&chunk.quals);
+                        decoder
+                    })
+                    .join()
+                    .expect("decode thread")
+            });
+        }
+        assert_eq!(seq, whole.seq);
+        assert_eq!(quals, whole.quals);
+        assert_eq!(decoder.chunks_called(), whole.chunk_lengths.len());
+
+        // resume_from repositions the cursor exactly like handing the carry
+        // to call_chunk_with by hand.
+        let mut jumped = ReadDecoder::new();
+        let first = caller.call_chunk(&sig.samples[..900], None);
+        jumped.resume_from(first.carry);
+        assert_eq!(jumped.carry(), first.carry);
+        let mut scratch = CallScratch::new();
+        let second = jumped.call_next(&caller, &sig.samples[900..1800], &mut scratch);
+        assert_eq!(
+            second,
+            caller.call_chunk(&sig.samples[900..1800], first.carry)
+        );
     }
 
     #[test]

@@ -48,6 +48,8 @@ pub mod metrics;
 pub mod quality;
 pub mod viterbi;
 
-pub use basecaller::{BasecalledChunk, BasecalledRead, Basecaller, CallScratch, CarryState};
+pub use basecaller::{
+    BasecalledChunk, BasecalledRead, Basecaller, CallScratch, CarryState, ReadDecoder,
+};
 pub use emission::EmissionModel;
 pub use quality::QualityCalibration;

@@ -22,6 +22,7 @@
 
 use genpip_basecall::{Basecaller, CallScratch, EmissionModel};
 use genpip_bench::micro::{bench, bench_json, time_once, Json};
+use genpip_core::engine::Granularity;
 use genpip_core::engine::{Flow, Session};
 use genpip_core::pipeline::{run_genpip, ErMode, ReadRun};
 use genpip_core::scheduler::Schedule;
@@ -449,6 +450,94 @@ fn main() {
         "multi-source session diverged from solo output"
     );
 
+    // --- Chunk granularity: read-granular vs chunk-granular scheduling ---
+    // A mixed workload (a few ~120-chunk reads next to many ~2-chunk
+    // reads) over 2 workers and a roomy queue: read-granular scheduling
+    // queues short reads behind whole long reads, chunk-granular
+    // scheduling interleaves chains per chunk. The short source's p99
+    // residency (chunk-work units) is the head-of-line-blocking metric;
+    // per-read output must be bit-identical between granularities.
+    println!("\n=== chunk granularity bench (mixed short/long workload) ===");
+    let long_profile = DatasetProfile::uniform("long", 4, 36_000.0);
+    let short_profile = DatasetProfile::uniform("short", 60, 600.0);
+    let mixed_config =
+        GenPipConfig::for_dataset(&long_profile).with_parallelism(Parallelism::Threads(2));
+    let mixed_opts = StreamOptions {
+        queue_capacity: 8,
+        progress_every: 0,
+    };
+    let mut granularity_rows = Vec::new();
+    let mut granularity_outputs: Vec<(Vec<ReadRun>, Vec<ReadRun>)> = Vec::new();
+    for granularity in [Granularity::Read, Granularity::Chunk] {
+        let mut short_reads = Vec::new();
+        let mut long_reads = Vec::new();
+        let (report, seconds) = time_once(|| {
+            Session::new(mixed_config.clone())
+                .flow(Flow::GenPip(ErMode::Full))
+                .schedule(Schedule::FairShare)
+                .granularity(granularity)
+                .options(mixed_opts)
+                .source("short", StreamingSimulator::new(&short_profile))
+                .source("long", StreamingSimulator::new(&long_profile))
+                .sink("short", |event| {
+                    if let StreamEvent::Read(run) = event {
+                        short_reads.push(run);
+                    }
+                })
+                .sink("long", |event| {
+                    if let StreamEvent::Read(run) = event {
+                        long_reads.push(run);
+                    }
+                })
+                .run()
+                .expect("bench session inputs are valid")
+        });
+        let short_latency = report
+            .source("short")
+            .expect("short reported")
+            .summary
+            .latency;
+        let label = match granularity {
+            Granularity::Read => "read ",
+            Granularity::Chunk => "chunk",
+        };
+        println!(
+            "granularity {label}: {seconds:.3} s  short-read residency p50/p99/max \
+             {}/{}/{} units  aggregate p99 {}  peak resident {}/{}",
+            short_latency.p50,
+            short_latency.p99,
+            short_latency.max,
+            report.latency.p99,
+            report.max_in_flight,
+            report.in_flight_limit
+        );
+        granularity_rows.push(Json::obj([
+            (
+                "granularity",
+                Json::Str(match granularity {
+                    Granularity::Read => "read".into(),
+                    Granularity::Chunk => "chunk".into(),
+                }),
+            ),
+            ("threads", Json::Num(2.0)),
+            ("queue_capacity", Json::Num(8.0)),
+            ("seconds", Json::Num(seconds)),
+            ("short_p50", Json::Num(short_latency.p50 as f64)),
+            ("short_p99", Json::Num(short_latency.p99 as f64)),
+            ("short_max", Json::Num(short_latency.max as f64)),
+            ("aggregate_p99", Json::Num(report.latency.p99 as f64)),
+            ("max_in_flight", Json::Num(report.max_in_flight as f64)),
+            ("in_flight_limit", Json::Num(report.in_flight_limit as f64)),
+        ]));
+        granularity_outputs.push((short_reads, long_reads));
+    }
+    let chunk_granularity_matches = granularity_outputs[0] == granularity_outputs[1];
+    println!("read-granular vs chunk-granular outputs bit-identical: {chunk_granularity_matches}");
+    assert!(
+        chunk_granularity_matches,
+        "chunk-granular scheduling diverged from read-granular output"
+    );
+
     let report = Json::obj([
         ("schema", Json::Str("genpip-bench-kernels-v1".into())),
         (
@@ -480,6 +569,11 @@ fn main() {
         ),
         ("multi_source", Json::Arr(multi_rows)),
         ("multi_source_matches_solo", Json::Bool(multi_matches_solo)),
+        ("chunk_granularity", Json::Arr(granularity_rows)),
+        (
+            "chunk_granularity_matches",
+            Json::Bool(chunk_granularity_matches),
+        ),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     match std::fs::write(path, report.render()) {

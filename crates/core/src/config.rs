@@ -82,6 +82,12 @@ pub struct GenPipConfig {
     /// Software worker threading of the pipeline drivers (never changes
     /// results, only wall-clock time).
     pub parallelism: Parallelism,
+    /// Keep each fully-basecalled read's sequence and per-base qualities on
+    /// its [`crate::pipeline::ReadRun`] (`ReadRun::called`), so sinks can
+    /// serialize real output (e.g. FASTQ) instead of counters. Off by
+    /// default: early-rejected reads never have assembled bases, and runs
+    /// that only need counters should not pay the memory.
+    pub keep_bases: bool,
 }
 
 impl GenPipConfig {
@@ -130,6 +136,14 @@ impl GenPipConfig {
         self
     }
 
+    /// Enables or disables retaining basecalled sequences on emitted reads
+    /// (see [`GenPipConfig::keep_bases`]). Never changes outcomes or
+    /// counters — only whether `ReadRun::called` is populated.
+    pub fn with_keep_bases(mut self, keep_bases: bool) -> GenPipConfig {
+        self.keep_bases = keep_bases;
+        self
+    }
+
     /// Signal samples per chunk for a given mean dwell (samples/base).
     pub fn samples_per_chunk(&self, mean_dwell: f64) -> usize {
         genpip_signal::chunk::samples_per_chunk(self.chunk_bases, mean_dwell)
@@ -147,6 +161,7 @@ impl Default for GenPipConfig {
             theta_cm: 55.0,
             mapper: MapperParams::default(),
             parallelism: Parallelism::default(),
+            keep_bases: false,
         }
     }
 }

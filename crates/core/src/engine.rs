@@ -1,5 +1,5 @@
 //! The `Session` engine: one execution core serving any number of read
-//! sources.
+//! sources, scheduling **chunks**, not reads.
 //!
 //! Every driver in this crate — batch ([`crate::pipeline::run_genpip`] /
 //! [`crate::pipeline::run_conventional`]), streaming
@@ -8,10 +8,9 @@
 //! harness — is a thin wrapper over the [`Session`] built here. A session
 //! is *configured*, not called: you register named sources, attach
 //! per-source sinks, pick a [`Flow`] and a [`Schedule`], and run. GenPIP's
-//! end-to-end gain comes from executing the whole pipeline as one tightly
-//! integrated flow per read; the session generalizes that flow from "one
-//! dataset at a time" to "one service instance interleaving many concurrent
-//! runs over one worker pool".
+//! end-to-end gain comes from tight integration at **chunk granularity**
+//! (paper §3): the session brings that granularity to the execution core
+//! itself, interleaving many concurrent reads' chunks over one worker pool.
 //!
 //! ```no_run
 //! use genpip_core::engine::{Flow, Session};
@@ -26,7 +25,12 @@
 //!     .flow(Flow::GenPip(ErMode::Full))
 //!     .schedule(Schedule::Priority(vec![3, 1]))
 //!     .source("ecoli", StreamingSimulator::new(&ecoli))
-//!     .source("human", StreamingSimulator::new(&human))
+//!     // The human flowcell runs its own operating point (N_qs, N_cm).
+//!     .source_with_config(
+//!         "human",
+//!         StreamingSimulator::new(&human),
+//!         GenPipConfig::for_dataset(&human),
+//!     )
 //!     .sink("ecoli", |event| {
 //!         if let StreamEvent::Read(run) = event {
 //!             println!("ecoli read {} done", run.id);
@@ -34,49 +38,67 @@
 //!     })
 //!     .run()
 //!     .expect("session inputs are valid");
-//! println!("{} reads total, peak in-flight {}",
-//!          report.outcomes.reads_emitted, report.max_in_flight);
+//! println!("{} reads total, p99 residency {} chunk-units",
+//!          report.outcomes.reads_emitted, report.latency.p99);
 //! ```
 //!
 //! # Execution model
 //!
 //! ```text
-//!  source "a" ─┐
-//!  source "b" ─┼─ Schedule picks ──pull──▶ [gate ≤ Q+W] ─▶ queue(Q) ─▶ W workers
-//!  source "c" ─┘   the next source                                        │
-//!                                                                         ▼
-//!  sink "a" ◀─┬── per-source in-order emit ◀── reorder slots ◀────────────┘
-//!  sink "b" ◀─┤
-//!  sink "c" ◀─┘
+//!              read = chain of chunk tasks (decoder carry forces order)
+//!  source "a" ─┐  admit ▼ (gate ≤ Q+W chains)
+//!  source "b" ─┼─▶ [chain chain chain …] ─┐
+//!  source "c" ─┘        ▲ park            │ Schedule picks, per chunk task
+//!                       │                 ▼
+//!                       └──────────── W workers (spawned lazily)
+//!                   ER verdict ╳ cancels the chain's remaining chunks
+//!                              │ and frees its permit immediately
+//!                              ▼
+//!  sink "a"/"b"/"c" ◀── emit in global admission order (per-source = read order)
 //! ```
 //!
-//! One feeder thread pulls reads from whichever source the [`Schedule`]
-//! picks, one permit gate bounds reads in flight **across all sources** to
-//! `queue_capacity + workers`, and one worker pool processes every read
-//! against its own source's context (reference index, pore model). Results
-//! are emitted in global pull order, which makes each source's emission
-//! order its own pull order — per-source in-order delivery, regardless of
-//! how sources interleave.
+//! A dispatcher thread owns the sources and a pool of **resident chains**
+//! — reads whose next chunk may run. For every chunk task it consults the
+//! [`Schedule`] to pick a source, then either advances that source's oldest
+//! parked chain or admits a new read under a flow-gate permit. Within a
+//! read, chunks are strictly sequential (the decoder's
+//! [`genpip_basecall::CarryState`] forces it); across reads, chunks
+//! interleave freely — chunk *i*'s mapping overlaps chunk *i+1*'s
+//! basecalling at the system level, and a long read no longer monopolizes a
+//! worker. An early-rejection verdict ends a chain **before its next chunk
+//! is scheduled**, and the cancelled read's permit is released at the
+//! verdict rather than at emission, so a doomed read stops consuming
+//! resources the moment QSR/CMR fires. Worker threads are spawned lazily,
+//! one per unit of concurrent chunk work actually reached, up to the
+//! configured count.
 //!
 //! # Guarantees
 //!
 //! * **Per-source bit-identity** — a source's per-read output in a
 //!   multi-source session is bit-identical to running that source alone,
-//!   for every [`Schedule`], [`crate::Parallelism`], [`ErMode`], and shard
-//!   count (`tests/session.rs` asserts this). Scheduling changes latency,
-//!   never results.
-//! * **Bounded memory** — at most `queue_capacity + workers` reads are
-//!   resident anywhere in the session, no matter how many sources are
-//!   registered ([`SessionReport::max_in_flight`] proves the bound held).
+//!   and chunk-granular execution is bit-identical to read-granular
+//!   execution ([`Granularity::Read`]), for every [`Schedule`],
+//!   [`crate::Parallelism`], [`ErMode`], and shard count
+//!   (`tests/session.rs` and `tests/chunk_granularity.rs` assert this).
+//!   Scheduling changes latency, never results.
+//! * **Bounded residency** — at most `queue_capacity + workers` read
+//!   chains are resident (live decode/chain state), no matter how many
+//!   sources are registered ([`SessionReport::max_in_flight`] proves the
+//!   bound held). Early-rejected reads leave the bound at their verdict;
+//!   only their O(`N_qs` + `N_cm`)-sized results wait for in-order
+//!   emission.
 //! * **Typed validation** — invalid inputs (zero queue, zero workers, no
-//!   sources, duplicate ids, bad priority weights) fail up front with a
-//!   [`SessionError`] instead of deadlocking or panicking mid-run.
+//!   sources, duplicate ids, bad priority weights, per-source configs
+//!   incompatible with their source's reference or chemistry) fail up
+//!   front with a [`SessionError`] instead of deadlocking or panicking
+//!   mid-run.
 
 use crate::config::{GenPipConfig, Parallelism};
-use crate::pipeline::{process_read, ErMode, ReadRun, RunContext, WorkerScratch, WorkloadTotals};
+use crate::pipeline::{ErMode, ReadChain, ReadRun, RunContext, WorkerScratch, WorkloadTotals};
 use crate::scheduler::{Schedule, SchedulerState};
-use crate::stream::{ProgressSnapshot, StreamEvent, StreamOptions, StreamSummary};
-use genpip_datasets::{ReadSource, SimulatedRead, SourceId};
+use crate::stream::{LatencyStats, ProgressSnapshot, StreamEvent, StreamOptions, StreamSummary};
+use genpip_datasets::{ReadSource, SourceId};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
@@ -96,6 +118,63 @@ impl Flow {
         match self {
             Flow::GenPip(er) => Some(er),
             Flow::Conventional => None,
+        }
+    }
+}
+
+/// The schedulable unit of a [`Session`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Granularity {
+    /// Schedule whole reads: every read is one task, permits are held from
+    /// pull to emission. The pre-chunk-granular engine's behaviour, kept for
+    /// comparison (the kernels bench measures both) and as a reference
+    /// execution — output is bit-identical to [`Granularity::Chunk`].
+    Read,
+    /// Schedule chunk tasks: each read is a sequential chain, the
+    /// [`Schedule`] applies per chunk pulled, and ER verdicts cancel a
+    /// chain's remaining chunks before they are scheduled. The default.
+    #[default]
+    Chunk,
+}
+
+/// Why a per-source [`GenPipConfig`] cannot drive its source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceConfigIssue {
+    /// `chunk_bases` is 0 — the signal could never be chunked.
+    ZeroChunkBases,
+    /// `n_qs` is 0 — QSR must sample at least one chunk. Only raised when
+    /// the session's [`Flow`] actually runs QSR ([`Flow::GenPip`] with
+    /// [`ErMode::QsrOnly`] or [`ErMode::Full`]); other flows never consult
+    /// `n_qs`.
+    ZeroQsrSamples,
+    /// The source reports a non-positive (or non-finite) mean dwell, so no
+    /// chunk geometry exists for it.
+    NonPositiveDwell,
+    /// The mapper's k-mer length exceeds the source's reference, so the
+    /// index would be empty and every read unmappable. Only raised for
+    /// explicit [`Session::source_with_config`] overrides — the session
+    /// config keeps the historical lenient behaviour (empty index ⇒
+    /// unmapped reads) that the never-fail legacy wrappers rely on.
+    KmerExceedsReference {
+        /// Configured minimizer k-mer length.
+        k: usize,
+        /// The source's reference length in bases.
+        reference_len: usize,
+    },
+}
+
+impl fmt::Display for SourceConfigIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceConfigIssue::ZeroChunkBases => write!(f, "chunk size is 0"),
+            SourceConfigIssue::ZeroQsrSamples => write!(f, "N_qs is 0 (QSR samples no chunks)"),
+            SourceConfigIssue::NonPositiveDwell => {
+                write!(f, "source mean dwell is not positive")
+            }
+            SourceConfigIssue::KmerExceedsReference { k, reference_len } => write!(
+                f,
+                "minimizer k-mer length {k} exceeds the {reference_len} bp reference"
+            ),
         }
     }
 }
@@ -124,6 +203,14 @@ pub enum SessionError {
     },
     /// A priority weight of 0 would starve its source forever.
     ZeroPriorityWeight(SourceId),
+    /// A source's (session or per-source) config is incompatible with that
+    /// source's reference genome or signal chemistry.
+    IncompatibleSourceConfig {
+        /// The offending source.
+        id: SourceId,
+        /// What is wrong.
+        issue: SourceConfigIssue,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -153,6 +240,9 @@ impl fmt::Display for SessionError {
                     id.as_str()
                 )
             }
+            SessionError::IncompatibleSourceConfig { id, issue } => {
+                write!(f, "config for source {:?}: {issue}", id.as_str())
+            }
         }
     }
 }
@@ -166,7 +256,7 @@ pub struct SourceReport {
     pub id: SourceId,
     /// This source's own counters. `workers` and `in_flight_limit` are the
     /// session-wide values (sources share the pool and the gate);
-    /// `max_in_flight` is this source's own high-water mark.
+    /// `max_in_flight` and `latency` are this source's own.
     pub summary: StreamSummary,
 }
 
@@ -180,14 +270,19 @@ pub struct SessionReport {
     pub outcomes: ProgressSnapshot,
     /// Aggregate workload counters over all sources.
     pub totals: WorkloadTotals,
-    /// Worker threads used.
+    /// Worker threads configured (lazily spawned, so short runs may have
+    /// used fewer).
     pub workers: usize,
-    /// The enforced bound on reads in flight across **all** sources
+    /// The enforced bound on resident read chains across **all** sources
     /// (`queue_capacity + workers`; 1 for the serial in-line path).
     pub in_flight_limit: usize,
-    /// High-water mark of reads simultaneously in flight, summed over
-    /// sources. Always ≤ `in_flight_limit`.
+    /// High-water mark of resident read chains, summed over sources.
+    /// Always ≤ `in_flight_limit`. See [`StreamSummary::max_in_flight`] for
+    /// the precise residency definition.
     pub max_in_flight: usize,
+    /// Aggregate read-residency percentiles over all sources
+    /// ([`LatencyStats`], in chunk-work units).
+    pub latency: LatencyStats,
 }
 
 impl SessionReport {
@@ -204,6 +299,7 @@ type BoxedSink<'a> = Box<dyn FnMut(StreamEvent) + 'a>;
 struct SourceSlot<'a> {
     id: SourceId,
     source: Box<dyn ReadSource + Send + 'a>,
+    config: Option<GenPipConfig>,
     sink: Option<BoxedSink<'a>>,
 }
 
@@ -211,14 +307,16 @@ struct SourceSlot<'a> {
 /// sources — the one public execution API behind every `run_*` wrapper.
 ///
 /// Build with [`Session::new`], register sources with [`Session::source`]
-/// (and optionally per-source sinks with [`Session::sink`]), pick a
-/// [`Flow`] and [`Schedule`], then [`Session::run`]. See the
+/// (or [`Session::source_with_config`] for per-source operating points, and
+/// optionally per-source sinks with [`Session::sink`]), pick a [`Flow`] and
+/// [`Schedule`], then [`Session::run`]. See the
 /// [module docs](crate::engine) for the execution model and guarantees.
 pub struct Session<'a> {
     config: GenPipConfig,
     flow: Flow,
     schedule: Schedule,
     options: StreamOptions,
+    granularity: Granularity,
     slots: Vec<SourceSlot<'a>>,
     /// Sinks attached before their source was registered — matched up at
     /// [`Session::run`], so builder call order doesn't matter.
@@ -228,13 +326,14 @@ pub struct Session<'a> {
 impl<'a> Session<'a> {
     /// Starts a session with the full GenPIP flow ([`Flow::GenPip`] with
     /// [`ErMode::Full`]), a [`Schedule::FairShare`] scheduler, default
-    /// [`StreamOptions`], and no sources.
+    /// [`StreamOptions`], chunk granularity, and no sources.
     pub fn new(config: GenPipConfig) -> Session<'a> {
         Session {
             config,
             flow: Flow::GenPip(ErMode::Full),
             schedule: Schedule::FairShare,
             options: StreamOptions::default(),
+            granularity: Granularity::Chunk,
             slots: Vec::new(),
             pending_sinks: Vec::new(),
         }
@@ -252,6 +351,14 @@ impl<'a> Session<'a> {
         self
     }
 
+    /// Selects the schedulable unit ([`Granularity::Chunk`] by default).
+    /// Never changes results — only scheduling, latency, and when
+    /// early-rejected reads release their flow permit.
+    pub fn granularity(mut self, granularity: Granularity) -> Session<'a> {
+        self.granularity = granularity;
+        self
+    }
+
     /// Sets the transport knobs (queue capacity, progress cadence). The
     /// progress cadence is per source: each source's sink receives a
     /// [`StreamEvent::Progress`] every `progress_every` of *its own* reads.
@@ -260,9 +367,10 @@ impl<'a> Session<'a> {
         self
     }
 
-    /// Registers a source under `id`. Sources are pulled in the order the
-    /// [`Schedule`] dictates; each source's reads are processed against its
-    /// own reference and pore model, and emitted in its own read order.
+    /// Registers a source under `id`, processed with the session-wide
+    /// config. Sources are pulled in the order the [`Schedule`] dictates;
+    /// each source's reads are processed against its own reference and pore
+    /// model, and emitted in its own read order.
     pub fn source(
         mut self,
         id: impl Into<SourceId>,
@@ -271,6 +379,30 @@ impl<'a> Session<'a> {
         self.slots.push(SourceSlot {
             id: id.into(),
             source: Box::new(source),
+            config: None,
+            sink: None,
+        });
+        self
+    }
+
+    /// Registers a source under `id` with its **own** [`GenPipConfig`], so
+    /// different sources can run different operating points (`N_qs`,
+    /// `N_cm`, thresholds, chunk size, shards) in one session — e.g. an
+    /// E. coli flowcell next to a human one. Transport-level knobs on the
+    /// override are ignored: `parallelism` (the pool is session-wide) comes
+    /// from the session config. The override is validated against the
+    /// source's reference and chemistry at [`Session::run`]
+    /// ([`SessionError::IncompatibleSourceConfig`]).
+    pub fn source_with_config(
+        mut self,
+        id: impl Into<SourceId>,
+        source: impl ReadSource + Send + 'a,
+        config: GenPipConfig,
+    ) -> Session<'a> {
+        self.slots.push(SourceSlot {
+            id: id.into(),
+            source: Box::new(source),
+            config: Some(config),
             sink: None,
         });
         self
@@ -332,6 +464,37 @@ impl<'a> Session<'a> {
                 return Err(SessionError::ZeroPriorityWeight(self.slots[i].id.clone()));
             }
         }
+        // Each source's effective config must be able to drive that
+        // source's reference and chemistry. Only conditions this run would
+        // actually trip are errors: `n_qs` is consulted solely by QSR, and
+        // the k-vs-reference check applies to explicit per-source overrides
+        // only — a degenerate *session* config (k longer than the
+        // reference ⇒ empty index ⇒ every read unmapped) has always been
+        // accepted by the never-fail legacy wrappers, and stays so.
+        let uses_qsr = matches!(self.flow, Flow::GenPip(ErMode::QsrOnly | ErMode::Full));
+        for slot in &self.slots {
+            let config = slot.config.as_ref().unwrap_or(&self.config);
+            let issue = if config.chunk_bases == 0 {
+                Some(SourceConfigIssue::ZeroChunkBases)
+            } else if uses_qsr && config.n_qs == 0 {
+                Some(SourceConfigIssue::ZeroQsrSamples)
+            } else if !(slot.source.mean_dwell() > 0.0 && slot.source.mean_dwell().is_finite()) {
+                Some(SourceConfigIssue::NonPositiveDwell)
+            } else if slot.config.is_some() && config.mapper.k > slot.source.reference().len() {
+                Some(SourceConfigIssue::KmerExceedsReference {
+                    k: config.mapper.k,
+                    reference_len: slot.source.reference().len(),
+                })
+            } else {
+                None
+            };
+            if let Some(issue) = issue {
+                return Err(SessionError::IncompatibleSourceConfig {
+                    id: slot.id.clone(),
+                    issue,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -350,6 +513,7 @@ impl<'a> Session<'a> {
             flow,
             schedule,
             options,
+            granularity,
             slots,
             ..
         } = self;
@@ -359,26 +523,23 @@ impl<'a> Session<'a> {
 
         let mut ids = Vec::with_capacity(n);
         let mut sources = Vec::with_capacity(n);
+        let mut configs = Vec::with_capacity(n);
         let mut sinks = Vec::with_capacity(n);
         for slot in slots {
             ids.push(slot.id);
+            configs.push(slot.config.unwrap_or_else(|| config.clone()));
             sources.push(slot.source);
             sinks.push(slot.sink);
         }
         // One immutable context per source (its reference index, basecaller,
-        // chunk geometry), shared by every worker. Built before the sources
-        // move into the feeder closure — contexts copy what they need.
+        // chunk geometry, effective config), shared by every worker. Built
+        // before the sources move into the dispatcher closure — contexts
+        // copy what they need.
         let contexts: Vec<RunContext<'_>> = sources
             .iter()
-            .map(|s| RunContext::from_source(&**s, &config))
+            .zip(&configs)
+            .map(|(s, c)| RunContext::from_source(&**s, c))
             .collect();
-
-        let mut sched = SchedulerState::new(&schedule, n);
-        // Per-source in-flight accounting (pulled on the feeder thread,
-        // released on the emitting thread); the *global* bound is enforced
-        // by the engine's gate, these only attribute the high-water marks.
-        let in_flight: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-        let high: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
 
         let mut per_outcomes = vec![ProgressSnapshot::default(); n];
         let mut per_totals = vec![WorkloadTotals::default(); n];
@@ -387,8 +548,6 @@ impl<'a> Session<'a> {
 
         let stats = {
             let contexts = &contexts;
-            let in_flight = &in_flight;
-            let high = &high;
             let per_outcomes = &mut per_outcomes;
             let per_totals = &mut per_totals;
             let outcomes = &mut outcomes;
@@ -397,36 +556,32 @@ impl<'a> Session<'a> {
             session_engine(
                 workers,
                 options.queue_capacity,
+                n,
+                &schedule,
                 || -> Vec<Option<WorkerScratch>> { (0..n).map(|_| None).collect() },
-                move || loop {
-                    let s = sched.next()?;
-                    match sources[s].next_read() {
-                        Some(read) => {
-                            let now = in_flight[s].fetch_add(1, Ordering::Relaxed) + 1;
-                            high[s].fetch_max(now, Ordering::Relaxed);
-                            break Some((s, read));
-                        }
-                        None => sched.exhausted(s),
-                    }
+                move |lane| {
+                    sources[lane]
+                        .next_read()
+                        .map(|read| ReadChain::new(er, granularity, read))
                 },
-                move |scratch, (s, read): (usize, SimulatedRead)| {
+                move |scratch, lane, chain: &mut ReadChain| {
                     // Scratch is per (worker, source): lazily built because a
-                    // worker may never see some sources' reads.
-                    let slot = scratch[s].get_or_insert_with(|| WorkerScratch::new(&contexts[s]));
-                    (s, process_read(&contexts[s], er, &read, slot))
+                    // worker may never see some sources' chunks.
+                    let slot =
+                        scratch[lane].get_or_insert_with(|| WorkerScratch::new(&contexts[lane]));
+                    chain.step(&contexts[lane], slot)
                 },
-                move |(s, run): (usize, ReadRun)| {
-                    in_flight[s].fetch_sub(1, Ordering::Relaxed);
+                move |lane, run: ReadRun| {
                     totals.accumulate(&run);
                     outcomes.observe(&run);
-                    per_totals[s].accumulate(&run);
-                    per_outcomes[s].observe(&run);
+                    per_totals[lane].accumulate(&run);
+                    per_outcomes[lane].observe(&run);
                     let snapshot_due = options.progress_every > 0
-                        && per_outcomes[s].reads_emitted % options.progress_every == 0;
-                    if let Some(sink) = sinks[s].as_mut() {
+                        && per_outcomes[lane].reads_emitted % options.progress_every == 0;
+                    if let Some(sink) = sinks[lane].as_mut() {
                         sink(StreamEvent::Read(run));
                         if snapshot_due {
-                            sink(StreamEvent::Progress(per_outcomes[s]));
+                            sink(StreamEvent::Progress(per_outcomes[lane]));
                         }
                     }
                 },
@@ -443,7 +598,8 @@ impl<'a> Session<'a> {
                     totals: per_totals[s],
                     workers,
                     in_flight_limit: stats.in_flight_limit,
-                    max_in_flight: high[s].load(Ordering::Relaxed),
+                    max_in_flight: stats.lanes[s].max_in_flight,
+                    latency: stats.lanes[s].latency,
                 },
             })
             .collect();
@@ -454,19 +610,26 @@ impl<'a> Session<'a> {
             workers,
             in_flight_limit: stats.in_flight_limit,
             max_in_flight: stats.max_in_flight,
+            latency: stats.latency,
         })
     }
 }
 
-/// A counting gate bounding how many items are in flight: `acquire` blocks
-/// while `limit` permits are out, `release` frees one. Tracks the high-water
-/// mark so tests (and the bench report) can assert the bound really held.
+/// A counting gate bounding how many read chains are resident: `acquire`
+/// blocks while `limit` permits are out, `release` frees one. Tracks the
+/// high-water mark so tests (and the bench report) can assert the bound
+/// really held.
+///
+/// A permit is taken when a read is admitted and released when its chain
+/// retires — at the ER verdict for cancelled reads (early release: the
+/// paper's "rejected reads stop consuming resources"), at in-order emission
+/// for surviving reads.
 ///
 /// The gate can also be `open`ed — permits stop mattering and blocked
 /// acquirers return `false`. That is the shutdown path: if the sink or a
 /// worker panics, permits held by dropped items would never be released and
-/// the feeder would block forever; opening the gate turns that hang into a
-/// propagated panic.
+/// the dispatcher would block forever; opening the gate turns that hang
+/// into a propagated panic.
 struct FlowGate {
     state: Mutex<GateState>,
     freed: Condvar,
@@ -507,6 +670,15 @@ impl FlowGate {
         true
     }
 
+    /// `true` while a permit is immediately available (or the gate is open
+    /// for shutdown, in which case `acquire` reports the shutdown). Only the
+    /// dispatcher acquires, so room seen here cannot be taken by anyone
+    /// else before it does.
+    fn has_room(&self) -> bool {
+        let state = self.state.lock().expect("gate poisoned");
+        state.open || state.used < self.limit
+    }
+
     fn release(&self) {
         let mut state = self.state.lock().expect("gate poisoned");
         state.used -= 1;
@@ -528,9 +700,9 @@ impl FlowGate {
 }
 
 /// Opens the gate when dropped — normally after the emit loop (harmless:
-/// the feeder has already exited), and crucially during unwinding, so a
-/// panicking sink or worker pool releases the feeder instead of deadlocking
-/// the scope join.
+/// the dispatcher has already exited), and crucially during unwinding, so a
+/// panicking sink or worker pool releases the dispatcher instead of
+/// deadlocking the scope join.
 struct OpenOnDrop<'a>(&'a FlowGate);
 
 impl Drop for OpenOnDrop<'_> {
@@ -539,162 +711,438 @@ impl Drop for OpenOnDrop<'_> {
     }
 }
 
-/// What the engine enforced and observed: the single source of truth for
-/// the in-flight bound, so callers never re-derive it.
-pub(crate) struct EngineStats {
-    /// The enforced bound on in-flight items (`queue_capacity + workers`,
-    /// or 1 for the serial in-line path).
-    pub(crate) in_flight_limit: usize,
-    /// High-water mark of items simultaneously in flight.
-    pub(crate) max_in_flight: usize,
+/// What one task of a chain reported back to the engine. Generic twin of
+/// the concrete steps produced by [`crate::pipeline::ReadChain`].
+pub(crate) enum ChainStep<O> {
+    /// The chain has more tasks; park it until its lane is picked again.
+    Parked {
+        /// Chunk-work units this task performed (the tick currency of
+        /// [`LatencyStats`]).
+        units: u64,
+    },
+    /// The chain retired with `output`. `cancelled` marks an early verdict:
+    /// the chain's permit is released immediately instead of at emission.
+    Finished {
+        /// The chain's result.
+        output: O,
+        /// Chunk-work units this task performed.
+        units: u64,
+        /// `true` when the chain was cancelled by an ER verdict.
+        cancelled: bool,
+    },
 }
 
-/// The one execution core behind every driver: pulls items from `pull`,
-/// processes them with `work` on `workers` threads (each with its own state
-/// from `worker_state`) under a `queue_capacity`-bounded work queue, and
-/// calls `emit` with the results **in pull order**. Returns the enforced
-/// in-flight limit and its high-water mark.
+/// Per-lane engine observations.
+pub(crate) struct LaneStats {
+    /// High-water mark of this lane's resident chains (plus
+    /// finished-but-unemitted surviving reads, which still hold permits).
+    pub(crate) max_in_flight: usize,
+    /// Residency percentiles of this lane's reads.
+    pub(crate) latency: LatencyStats,
+}
+
+/// What the engine enforced and observed: the single source of truth for
+/// the in-flight bound and the latency percentiles, so callers never
+/// re-derive them.
+pub(crate) struct EngineStats {
+    /// The enforced bound on resident chains (`queue_capacity + workers`,
+    /// or 1 for the serial in-line path).
+    pub(crate) in_flight_limit: usize,
+    /// High-water mark of resident chains across all lanes.
+    pub(crate) max_in_flight: usize,
+    /// Aggregate residency percentiles.
+    pub(crate) latency: LatencyStats,
+    /// Per-lane observations, indexed like the engine's lanes.
+    pub(crate) lanes: Vec<LaneStats>,
+}
+
+/// A chunk task in flight to a worker.
+struct Task<C> {
+    token: usize,
+    lane: usize,
+    chain: C,
+}
+
+/// What a worker sends back after running one task. `Panicked` is a
+/// worker's dying gasp: "I panicked on this task — abort."
+enum WorkerMsg<C, O> {
+    Parked {
+        token: usize,
+        chain: C,
+        units: u64,
+    },
+    Finished {
+        token: usize,
+        output: O,
+        units: u64,
+        cancelled: bool,
+    },
+    Panicked,
+}
+
+/// A retired chain on its way to in-order emission.
+struct EmitMsg<O> {
+    seq: u64,
+    lane: usize,
+    output: O,
+    holds_permit: bool,
+    resident_units: u64,
+}
+
+/// A resident chain's dispatcher-side bookkeeping. `chain` is `Some` while
+/// parked here, `None` while its task is on a worker.
+struct ChainSlot<C> {
+    lane: usize,
+    seq: u64,
+    start_tick: u64,
+    chain: Option<C>,
+}
+
+/// The one execution core behind every driver: admits chains from `pull`
+/// (one per read, per lane), schedules their tasks one at a time — the
+/// `schedule` picks the lane of every task — onto up to `workers` lazily
+/// spawned threads (each with its own state from `worker_state`), and calls
+/// `emit` with chain outputs **in global admission order** (which makes
+/// each lane's emission order its own pull order). At most
+/// `queue_capacity + workers` chains are resident; cancelled chains leave
+/// the bound at their verdict.
 ///
 /// With one worker the engine degenerates to the in-line serial loop — the
-/// reference execution, with exactly one item in flight and no threads.
+/// reference execution: one chain at a time, stepped to completion, with
+/// the schedule consulted per admission.
 ///
 /// A panic anywhere — source, worker, or sink — tears the pipeline down
 /// (gate opened, channels closed) and propagates out of the scope join
 /// rather than deadlocking; already-finished earlier items may still be
 /// emitted first.
-pub(crate) fn session_engine<T, O, S, B, P, F, G>(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn session_engine<C, O, S, B, P, F, G>(
     workers: usize,
     queue_capacity: usize,
+    lanes: usize,
+    schedule: &Schedule,
     worker_state: B,
     mut pull: P,
-    work: F,
+    step: F,
     mut emit: G,
 ) -> EngineStats
 where
-    T: Send,
+    C: Send,
     O: Send,
     B: Fn() -> S + Sync,
-    P: FnMut() -> Option<T> + Send,
-    F: Fn(&mut S, T) -> O + Sync,
-    G: FnMut(O),
+    P: FnMut(usize) -> Option<C> + Send,
+    F: Fn(&mut S, usize, &mut C) -> ChainStep<O> + Sync,
+    G: FnMut(usize, O),
 {
+    let mut lane_samples: Vec<Vec<u64>> = vec![Vec::new(); lanes];
+
     if workers <= 1 {
+        let mut sched = SchedulerState::new(schedule, lanes);
         let mut state = worker_state();
+        let mut lane_any = vec![false; lanes];
+        let mut tick = 0u64;
         let mut any = false;
-        while let Some(item) = pull() {
-            any = true;
-            emit(work(&mut state, item));
+        while let Some(lane) = sched.next() {
+            match pull(lane) {
+                None => sched.exhausted(lane),
+                Some(mut chain) => {
+                    any = true;
+                    lane_any[lane] = true;
+                    let start = tick;
+                    loop {
+                        match step(&mut state, lane, &mut chain) {
+                            ChainStep::Parked { units } => tick += units,
+                            ChainStep::Finished { output, units, .. } => {
+                                tick += units;
+                                lane_samples[lane].push(tick - start);
+                                emit(lane, output);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
         }
         return EngineStats {
             in_flight_limit: 1,
             max_in_flight: usize::from(any),
+            latency: aggregate_latency(&mut lane_samples),
+            lanes: lane_samples
+                .iter_mut()
+                .zip(lane_any)
+                .map(|(samples, any)| LaneStats {
+                    max_in_flight: usize::from(any),
+                    latency: LatencyStats::from_samples(samples),
+                })
+                .collect(),
         };
     }
 
     let capacity = queue_capacity.max(1);
     let limit = capacity + workers;
-    // Both channels are unbounded; the gate alone enforces the in-flight
-    // bound (≤ `limit` items hold permits, so neither channel can hold more
-    // than `limit` entries). Keeping `acquire` the feeder's only blocking
-    // point means opening the gate is a complete shutdown path.
     let gate = FlowGate::new(limit);
-    let (work_tx, work_rx) = mpsc::channel::<(usize, T)>();
-    let work_rx = Mutex::new(work_rx);
-    // `None` is a worker's dying gasp: "I panicked on this index — abort."
-    let (done_tx, done_rx) = mpsc::channel::<(usize, Option<O>)>();
+    // Per-lane permit attribution (admitted on the dispatcher, released on
+    // the dispatcher at cancellation or on the emitting thread otherwise);
+    // the *global* bound is the gate's, these only attribute high-waters.
+    let lane_inflight: Vec<AtomicUsize> = (0..lanes).map(|_| AtomicUsize::new(0)).collect();
+    let lane_high: Vec<AtomicUsize> = (0..lanes).map(|_| AtomicUsize::new(0)).collect();
+
+    // All channels are unbounded; the gate alone bounds what can be in them
+    // (≤ `limit` chains exist, each with at most one task or emit message
+    // outstanding, plus the cancelled-result backlog which is the early
+    // release working as intended).
+    let (task_tx, task_rx) = mpsc::channel::<Task<C>>();
+    let task_rx = Mutex::new(task_rx);
+    let (msg_tx, msg_rx) = mpsc::channel::<WorkerMsg<C, O>>();
+    let (emit_tx, emit_rx) = mpsc::channel::<EmitMsg<O>>();
 
     std::thread::scope(|scope| {
-        // Feeder: pulls from the sources (serially — sources are stateful
-        // cursors) and stages work, blocking on the gate when the pipeline
-        // is full. Holding a permit from pull to emit is what bounds
-        // in-flight items end to end.
-        {
-            let gate = &gate;
-            let pull = &mut pull;
-            scope.spawn(move || {
-                let mut index = 0usize;
-                loop {
-                    if !gate.acquire() {
-                        break; // shutdown: no permit taken
-                    }
-                    let Some(item) = pull() else {
-                        gate.release();
-                        break;
-                    };
-                    if work_tx.send((index, item)).is_err() {
-                        gate.release();
-                        break;
-                    }
-                    index += 1;
-                }
-                // `work_tx` drops here; workers drain the queue and exit.
-            });
-        }
-
-        for _ in 0..workers {
-            let done_tx = done_tx.clone();
-            let work_rx = &work_rx;
-            let work = &work;
-            let worker_state = &worker_state;
-            scope.spawn(move || {
-                let mut state = worker_state();
-                loop {
-                    let received = work_rx.lock().expect("queue poisoned").recv();
-                    let Ok((index, item)) = received else { break };
-                    // A panicking `work` would otherwise strand this item's
-                    // permit and deadlock the reorder loop on its index:
-                    // catch it, tell the consumer to abort, then rethrow so
-                    // the scope propagates it after teardown.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        work(&mut state, item)
-                    }));
-                    match outcome {
-                        Ok(out) => {
-                            if done_tx.send((index, Some(out))).is_err() {
-                                break;
-                            }
-                        }
-                        Err(panic) => {
-                            let _ = done_tx.send((index, None));
-                            std::panic::resume_unwind(panic);
-                        }
-                    }
-                }
-            });
-        }
-        drop(done_tx); // the workers' clones keep the channel open
         let _shutdown = OpenOnDrop(&gate);
 
-        // Reorder + emit on the calling thread. Workers finish out of
-        // order; results wait in a preallocated per-index slot ring until
-        // every earlier item has been emitted. A slot index never collides:
-        // at most `limit` items are in flight, and a result only waits on
-        // items pulled before it.
-        let mut slots: Vec<Option<O>> = (0..limit).map(|_| None).collect();
-        let mut next_emit = 0usize;
-        for (index, out) in done_rx.iter() {
-            let Some(out) = out else {
-                break; // a worker panicked: stop consuming, let _shutdown
-                       // open the gate; the scope join rethrows the panic.
-            };
-            debug_assert!(index >= next_emit && index - next_emit < limit);
-            slots[index % limit] = Some(out);
-            while let Some(ready) = slots[next_emit % limit].take() {
-                emit(ready);
-                gate.release();
+        // Dispatcher: owns the sources and every parked chain; consults the
+        // schedule once per chunk task; spawns workers lazily as concurrent
+        // chunk work actually materializes.
+        {
+            let gate = &gate;
+            let lane_inflight = &lane_inflight;
+            let lane_high = &lane_high;
+            let worker_state = &worker_state;
+            let step = &step;
+            let task_rx = &task_rx;
+            let pull = &mut pull;
+            scope.spawn(move || {
+                let mut sched = SchedulerState::new(schedule, lanes);
+                let mut src_dry = vec![false; lanes];
+                let mut live = vec![0usize; lanes];
+                let mut ready: Vec<VecDeque<usize>> = vec![VecDeque::new(); lanes];
+                let mut slots: Vec<ChainSlot<C>> = Vec::new();
+                let mut free_tokens: Vec<usize> = Vec::new();
+                let mut tick = 0u64;
+                let mut next_seq = 0u64;
+                let mut outstanding = 0usize;
+                let mut spawned = 0usize;
+
+                'run: loop {
+                    // Dispatch everything dispatchable, in schedule order: a
+                    // lane is available if it has a parked chain to advance
+                    // or a new read can be admitted under a fresh permit.
+                    loop {
+                        let picked = sched.next_where(|l| {
+                            !ready[l].is_empty() || (!src_dry[l] && gate.has_room())
+                        });
+                        let Some(lane) = picked else { break };
+                        let token = match ready[lane].pop_front() {
+                            Some(token) => token,
+                            None => {
+                                if !gate.acquire() {
+                                    break 'run; // shutdown
+                                }
+                                let Some(chain) = pull(lane) else {
+                                    gate.release();
+                                    src_dry[lane] = true;
+                                    if live[lane] == 0 {
+                                        sched.exhausted(lane);
+                                    }
+                                    continue;
+                                };
+                                let now = lane_inflight[lane].fetch_add(1, Ordering::Relaxed) + 1;
+                                lane_high[lane].fetch_max(now, Ordering::Relaxed);
+                                live[lane] += 1;
+                                let slot = ChainSlot {
+                                    lane,
+                                    seq: next_seq,
+                                    start_tick: tick,
+                                    chain: Some(chain),
+                                };
+                                next_seq += 1;
+                                match free_tokens.pop() {
+                                    Some(token) => {
+                                        slots[token] = slot;
+                                        token
+                                    }
+                                    None => {
+                                        slots.push(slot);
+                                        slots.len() - 1
+                                    }
+                                }
+                            }
+                        };
+                        let chain = slots[token].chain.take().expect("parked chain present");
+                        outstanding += 1;
+                        if outstanding > spawned && spawned < workers {
+                            // One more unit of concurrent chunk work than
+                            // workers to run it: grow the pool.
+                            spawned += 1;
+                            let msg_tx = msg_tx.clone();
+                            scope.spawn(move || {
+                                let mut state = worker_state();
+                                loop {
+                                    let received = task_rx.lock().expect("queue poisoned").recv();
+                                    let Ok(Task {
+                                        token,
+                                        lane,
+                                        mut chain,
+                                    }) = received
+                                    else {
+                                        break;
+                                    };
+                                    // A panicking `step` would otherwise
+                                    // strand this chain's permit and deadlock
+                                    // the dispatcher: catch it, tell the
+                                    // dispatcher to abort, then rethrow so
+                                    // the scope propagates it after teardown.
+                                    let outcome =
+                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                            || step(&mut state, lane, &mut chain),
+                                        ));
+                                    let msg = match outcome {
+                                        Ok(ChainStep::Parked { units }) => WorkerMsg::Parked {
+                                            token,
+                                            chain,
+                                            units,
+                                        },
+                                        Ok(ChainStep::Finished {
+                                            output,
+                                            units,
+                                            cancelled,
+                                        }) => WorkerMsg::Finished {
+                                            token,
+                                            output,
+                                            units,
+                                            cancelled,
+                                        },
+                                        Err(panic) => {
+                                            let _ = msg_tx.send(WorkerMsg::Panicked);
+                                            std::panic::resume_unwind(panic);
+                                        }
+                                    };
+                                    if msg_tx.send(msg).is_err() {
+                                        break;
+                                    }
+                                }
+                            });
+                        }
+                        let lane = slots[token].lane;
+                        if task_tx.send(Task { token, lane, chain }).is_err() {
+                            break 'run; // workers gone: shutdown underway
+                        }
+                    }
+
+                    if outstanding == 0 {
+                        if sched.all_exhausted() {
+                            break 'run; // every source drained, every chain retired
+                        }
+                        // No chain is live, yet the gate is full: every
+                        // permit is held by finished reads awaiting in-order
+                        // emission. Wait for the emitter to free one.
+                        if !gate.acquire() {
+                            break 'run; // shutdown
+                        }
+                        gate.release();
+                        continue;
+                    }
+
+                    // Wait for a worker to park or retire a chain.
+                    let Ok(msg) = msg_rx.recv() else { break 'run };
+                    match msg {
+                        WorkerMsg::Parked {
+                            token,
+                            chain,
+                            units,
+                        } => {
+                            outstanding -= 1;
+                            tick += units;
+                            slots[token].chain = Some(chain);
+                            ready[slots[token].lane].push_back(token);
+                        }
+                        WorkerMsg::Finished {
+                            token,
+                            output,
+                            units,
+                            cancelled,
+                        } => {
+                            outstanding -= 1;
+                            tick += units;
+                            let lane = slots[token].lane;
+                            let seq = slots[token].seq;
+                            let start_tick = slots[token].start_tick;
+                            free_tokens.push(token);
+                            live[lane] -= 1;
+                            if src_dry[lane] && live[lane] == 0 {
+                                sched.exhausted(lane);
+                            }
+                            if cancelled {
+                                // The ER verdict: the read's remaining
+                                // chunks were never scheduled, and its
+                                // permit goes back *now*, not at emission.
+                                lane_inflight[lane].fetch_sub(1, Ordering::Relaxed);
+                                gate.release();
+                            }
+                            let sent = emit_tx.send(EmitMsg {
+                                seq,
+                                lane,
+                                output,
+                                holds_permit: !cancelled,
+                                resident_units: tick - start_tick,
+                            });
+                            if sent.is_err() {
+                                break 'run; // emitter gone (sink panicked)
+                            }
+                        }
+                        WorkerMsg::Panicked => break 'run,
+                    }
+                }
+                // `task_tx`, `msg_rx`, and `emit_tx` drop here: workers and
+                // the emit loop wind down with the dispatcher.
+            });
+        }
+
+        // Reorder + emit on the calling thread, in global admission order.
+        // Chains retire out of order; outputs wait in the map until every
+        // earlier-admitted read has been emitted. Surviving reads hold
+        // their permit to this point; cancelled reads released theirs at
+        // the verdict, so this backlog is what the early release bought.
+        let mut pending: BTreeMap<u64, EmitMsg<O>> = BTreeMap::new();
+        let mut next_emit = 0u64;
+        for msg in emit_rx.iter() {
+            pending.insert(msg.seq, msg);
+            while let Some(m) = pending.remove(&next_emit) {
+                lane_samples[m.lane].push(m.resident_units);
+                emit(m.lane, m.output);
+                if m.holds_permit {
+                    lane_inflight[m.lane].fetch_sub(1, Ordering::Relaxed);
+                    gate.release();
+                }
                 next_emit += 1;
             }
         }
     });
+
     EngineStats {
         in_flight_limit: limit,
         max_in_flight: gate.high_water(),
+        latency: aggregate_latency(&mut lane_samples),
+        lanes: lane_samples
+            .iter_mut()
+            .zip(&lane_high)
+            .map(|(samples, high)| LaneStats {
+                max_in_flight: high.load(Ordering::Relaxed),
+                latency: LatencyStats::from_samples(samples),
+            })
+            .collect(),
     }
+}
+
+/// The percentile summary of all lanes' residency samples together.
+fn aggregate_latency(lane_samples: &mut [Vec<u64>]) -> LatencyStats {
+    let mut all: Vec<u64> = lane_samples.iter().flatten().copied().collect();
+    LatencyStats::from_samples(&mut all)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::{process_read, ErMode};
     use genpip_datasets::{DatasetProfile, SimulatedDataset, StreamingSimulator};
 
     fn dataset() -> SimulatedDataset {
@@ -793,6 +1241,85 @@ mod tests {
     }
 
     #[test]
+    fn incompatible_per_source_configs_are_rejected() {
+        let profile = DatasetProfile::ecoli().scaled(0.03);
+        let session_config = GenPipConfig::for_dataset(&profile);
+
+        let mut bad = GenPipConfig::for_dataset(&profile);
+        bad.n_qs = 0;
+        let err = Session::new(session_config.clone())
+            .source_with_config("b", StreamingSimulator::new(&profile), bad)
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::IncompatibleSourceConfig {
+                id: "b".into(),
+                issue: SourceConfigIssue::ZeroQsrSamples
+            }
+        );
+
+        let mut bad = GenPipConfig::for_dataset(&profile);
+        bad.chunk_bases = 0;
+        let err = Session::new(session_config.clone())
+            .source_with_config("b", StreamingSimulator::new(&profile), bad)
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::IncompatibleSourceConfig {
+                id: "b".into(),
+                issue: SourceConfigIssue::ZeroChunkBases
+            }
+        );
+
+        let mut bad = GenPipConfig::for_dataset(&profile);
+        bad.mapper.k = usize::MAX;
+        let err = Session::new(session_config)
+            .source_with_config("b", StreamingSimulator::new(&profile), bad)
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::IncompatibleSourceConfig {
+                issue: SourceConfigIssue::KmerExceedsReference { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn qsr_free_flows_accept_zero_qsr_samples() {
+        // `n_qs` is only consulted by QSR, so flows that never run QSR must
+        // keep accepting configs with n_qs = 0 — the legacy never-fail
+        // wrappers depend on this leniency.
+        let profile = DatasetProfile::ecoli().scaled(0.03);
+        let mut config = GenPipConfig::for_dataset(&profile);
+        config.n_qs = 0;
+        for flow in [Flow::Conventional, Flow::GenPip(ErMode::None)] {
+            let report = Session::new(config.clone())
+                .flow(flow)
+                .source("a", StreamingSimulator::new(&profile))
+                .run()
+                .expect("n_qs is unused by this flow");
+            assert_eq!(report.outcomes.reads_emitted, profile.n_reads, "{flow:?}");
+        }
+        // …while QSR-running flows still reject it up front.
+        let err = Session::new(config)
+            .flow(Flow::GenPip(ErMode::QsrOnly))
+            .source("a", StreamingSimulator::new(&profile))
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::IncompatibleSourceConfig {
+                id: "a".into(),
+                issue: SourceConfigIssue::ZeroQsrSamples
+            }
+        );
+    }
+
+    #[test]
     fn session_errors_display_their_cause() {
         let messages = [
             SessionError::ZeroQueueCapacity.to_string(),
@@ -806,6 +1333,24 @@ mod tests {
             }
             .to_string(),
             SessionError::ZeroPriorityWeight("x".into()).to_string(),
+            SessionError::IncompatibleSourceConfig {
+                id: "x".into(),
+                issue: SourceConfigIssue::ZeroChunkBases,
+            }
+            .to_string(),
+            SessionError::IncompatibleSourceConfig {
+                id: "x".into(),
+                issue: SourceConfigIssue::NonPositiveDwell,
+            }
+            .to_string(),
+            SessionError::IncompatibleSourceConfig {
+                id: "x".into(),
+                issue: SourceConfigIssue::KmerExceedsReference {
+                    k: 99,
+                    reference_len: 10,
+                },
+            }
+            .to_string(),
         ];
         for m in &messages {
             assert!(!m.is_empty());
@@ -838,6 +1383,43 @@ mod tests {
             report.outcomes
         );
         assert!(report.max_in_flight <= report.in_flight_limit);
+        assert_eq!(report.latency.reads, d.reads.len());
+        assert!(report.latency.p50 <= report.latency.p99);
+        assert!(report.latency.p99 <= report.latency.max);
+    }
+
+    #[test]
+    fn read_granularity_matches_chunk_granularity() {
+        let d = dataset();
+        let config =
+            GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Threads(2));
+        for flow in [Flow::GenPip(ErMode::Full), Flow::Conventional] {
+            let mut by_read = Vec::new();
+            Session::new(config.clone())
+                .flow(flow)
+                .granularity(Granularity::Read)
+                .source("s", d.stream())
+                .sink("s", |event| {
+                    if let StreamEvent::Read(run) = event {
+                        by_read.push(run);
+                    }
+                })
+                .run()
+                .expect("valid session");
+            let mut by_chunk = Vec::new();
+            Session::new(config.clone())
+                .flow(flow)
+                .granularity(Granularity::Chunk)
+                .source("s", d.stream())
+                .sink("s", |event| {
+                    if let StreamEvent::Read(run) = event {
+                        by_chunk.push(run);
+                    }
+                })
+                .run()
+                .expect("valid session");
+            assert_eq!(by_read, by_chunk, "{flow:?}");
+        }
     }
 
     #[test]
@@ -853,9 +1435,9 @@ mod tests {
 
     #[test]
     fn worker_panic_propagates_instead_of_deadlocking() {
-        // Run the engine with a work function that panics partway through,
+        // Run the engine with a step function that panics partway through,
         // under a watchdog: a regression back to the deadlock (stranded
-        // gate permit → feeder and reorder loop blocked forever) fails the
+        // gate permit → dispatcher and emit loop blocked forever) fails the
         // test at the timeout instead of hanging the suite.
         let (done_tx, done_rx) = std::sync::mpsc::channel();
         std::thread::spawn(move || {
@@ -868,13 +1450,20 @@ mod tests {
                 session_engine(
                     2,
                     1,
+                    1,
+                    &Schedule::Sequential,
                     || WorkerScratch::new(&ctx),
-                    || pending.next(),
-                    |scratch, read| {
+                    |_| pending.next().cloned(),
+                    |scratch, _lane, read| {
                         assert!(read.id != 3, "injected failure on read 3");
-                        process_read(&ctx, Some(ErMode::Full), read, scratch)
+                        let run = process_read(&ctx, Some(ErMode::Full), read, scratch);
+                        ChainStep::Finished {
+                            units: run.chunks.len() as u64,
+                            cancelled: false,
+                            output: run,
+                        }
                     },
-                    |_| {},
+                    |_, _| {},
                 )
             }));
             let _ = done_tx.send(result.is_err());

@@ -70,13 +70,15 @@ pub mod stream;
 pub mod systems;
 
 pub use config::{GenPipConfig, Parallelism};
-pub use engine::{Flow, Session, SessionError, SessionReport, SourceReport};
+pub use engine::{
+    Flow, Granularity, Session, SessionError, SessionReport, SourceConfigIssue, SourceReport,
+};
 pub use genpip_datasets::SourceId;
 pub use genpip_mapping::Shards;
-pub use pipeline::{ChunkWork, ErMode, PipelineRun, ReadOutcome, ReadRun};
+pub use pipeline::{CalledBases, ChunkWork, ErMode, PipelineRun, ReadOutcome, ReadRun};
 pub use scheduler::Schedule;
 pub use stream::{
-    run_conventional_streaming, run_genpip_streaming, ProgressSnapshot, StreamEvent, StreamOptions,
-    StreamSummary,
+    run_conventional_streaming, run_genpip_streaming, FastqSink, LatencyStats, ProgressSnapshot,
+    StreamEvent, StreamOptions, StreamSummary,
 };
 pub use systems::SystemKind;

@@ -22,32 +22,35 @@
 //! # Threading model
 //!
 //! Both drivers are thin single-source wrappers over the [`Session`] engine
-//! in [`crate::engine`]: reads flow from a pull-based source through a
-//! bounded work queue to a pool of scoped worker threads sized by
-//! [`GenPipConfig::parallelism`] ([`crate::Parallelism`]), and results are
-//! re-emitted in read order through preallocated per-index slots (no lock
-//! contention on the gather side). Each worker processes reads with
-//! **worker-local scratch** (basecaller decode buffers, sketch/seed
-//! buffers, a reusable chainer pair — so the hot path stays allocation-free
-//! in steady state). The shared state ([`Basecaller`], [`Mapper`] with its
-//! `Arc`-shared reference genome and `Arc`-shared sharded minimizer index)
-//! is immutable, therefore one set of index shards serves every worker —
-//! workers never clone whole-genome index state, no matter the shard count
+//! in [`crate::engine`], which schedules **chunk tasks**: each read becomes
+//! a read chain — a sequential chain of per-chunk tasks (the decoder's
+//! carry state forces chunk order within a read) that can be parked between
+//! tasks and resumed on any worker. Workers are scoped threads spawned
+//! lazily up to [`GenPipConfig::parallelism`] ([`crate::Parallelism`]), and
+//! results are re-emitted in admission order. Cross-task read state lives
+//! in the chain (decoder cursor, basecalled chunks, incremental chainers);
+//! **worker-local scratch** holds only stateless buffers (decode, sketch,
+//! seed — so the hot path stays allocation-free in steady state). The
+//! shared state ([`Basecaller`], [`Mapper`] with its `Arc`-shared reference
+//! genome and `Arc`-shared sharded minimizer index) is immutable, therefore
+//! one set of index shards serves every worker — workers never clone
+//! whole-genome index state, no matter the shard count
 //! ([`GenPipConfig::with_shards`]). Per-read computation never depends on
-//! other reads,
-//! which makes the output **bit-identical** for every `Parallelism` setting
-//! and for streaming vs batch execution — asserted by this module's tests
-//! across all [`ErMode`]s.
+//! other reads, which makes the output **bit-identical** for every
+//! `Parallelism` setting, for streaming vs batch execution, and for
+//! chunk-granular vs read-granular scheduling
+//! ([`crate::engine::Granularity`]) — asserted by this module's tests and
+//! `tests/chunk_granularity.rs` across all [`ErMode`]s.
 
 use crate::config::GenPipConfig;
 use crate::early_reject::{cmr_check, qsr_check, qsr_sample_indices};
-use crate::engine::{Flow, Session};
+use crate::engine::{ChainStep, Flow, Granularity, Session};
 use crate::scheduler::Schedule;
 use crate::stream::{StreamEvent, StreamOptions};
 use genpip_basecall::{BasecalledChunk, Basecaller, CallScratch, CarryState};
 use genpip_datasets::{ReadSource, SimulatedDataset, SimulatedRead};
 use genpip_genomics::quality::AqsAccumulator;
-use genpip_genomics::{DnaSeq, Genome};
+use genpip_genomics::{DnaSeq, Genome, Phred};
 use genpip_mapping::{
     IncrementalChainer, Mapper, Mapping, MappingCounters, SeedBatch, SeedScratch,
 };
@@ -144,6 +147,20 @@ pub struct ChunkWork {
     pub chain_evals: usize,
 }
 
+/// A fully-basecalled read's assembled output: what a FASTQ record needs.
+///
+/// Attached to [`ReadRun::called`] only when
+/// [`crate::GenPipConfig::keep_bases`] is set **and** the read survived to
+/// full basecalling (early-rejected reads never assemble their sequence —
+/// that is the point of early rejection).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalledBases {
+    /// The assembled basecalled sequence, in chunk order.
+    pub seq: DnaSeq,
+    /// Per-base Phred qualities (same length as `seq`).
+    pub quals: Vec<Phred>,
+}
+
 /// One read's journey through the pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReadRun {
@@ -169,6 +186,10 @@ pub struct ReadRun {
     pub align_cells: usize,
     /// Aggregate mapping counters (seeding + chaining + alignment).
     pub map_counters: MappingCounters,
+    /// The assembled sequence and qualities, kept only when
+    /// [`crate::GenPipConfig::keep_bases`] is set and the read was fully
+    /// basecalled (see [`CalledBases`]).
+    pub called: Option<CalledBases>,
 }
 
 impl ReadRun {
@@ -371,6 +392,467 @@ pub(crate) fn process_read(
     }
 }
 
+/// One read as a sequential chain of chunk tasks — the schedulable unit of
+/// the chunk-granular engine.
+///
+/// The decoder's [`CarryState`] forces chunk order *within* a read, so a
+/// chain runs one task at a time; between tasks the chain is parked and may
+/// resume on any worker (all cross-task state lives here, not in the
+/// worker-local [`WorkerScratch`]). Across reads the engine interleaves many
+/// chains, which is what lets chunk `i+1` of one read overlap chunk `i`'s
+/// mapping of another — the system-level pipeline of the paper's
+/// Figure 5(b).
+///
+/// Stepping a chain to completion is bit-identical to the corresponding
+/// read-granular function ([`ReadChain::Whole`] wraps [`process_read`]
+/// itself), which the cross-granularity suites assert for every `ErMode`.
+pub(crate) enum ReadChain {
+    /// Read-granular execution: the whole read as a single task
+    /// ([`crate::engine::Granularity::Read`]).
+    Whole {
+        /// The read to process.
+        read: SimulatedRead,
+        /// ER mode (`None` = conventional flow).
+        er: Option<ErMode>,
+    },
+    /// A chunk-granular chain awaiting its first task. Construction (chunk
+    /// geometry, chainer allocation) happens on the worker that runs that
+    /// task, so the dispatcher thread only ever moves raw reads.
+    Pending {
+        /// The read, taken when the chain materializes.
+        read: Option<SimulatedRead>,
+        /// ER mode (`None` = conventional flow).
+        er: Option<ErMode>,
+    },
+    /// Chunk-granular GenPIP flow (Figure 5b / Figure 6).
+    GenPip(Box<GenPipChain>),
+    /// Chunk-granular conventional flow (Figure 5a): basecalling is still
+    /// per-chunk work, only QC and mapping wait for the whole read.
+    Conventional(Box<ConvChain>),
+}
+
+impl ReadChain {
+    /// Builds the chain for one read under the given flow and granularity.
+    /// Cheap by design (no per-read setup) — it runs on the dispatcher.
+    pub(crate) fn new(
+        er: Option<ErMode>,
+        granularity: Granularity,
+        read: SimulatedRead,
+    ) -> ReadChain {
+        match granularity {
+            Granularity::Read => ReadChain::Whole { read, er },
+            Granularity::Chunk => ReadChain::Pending {
+                read: Some(read),
+                er,
+            },
+        }
+    }
+
+    /// Runs the chain's next task on a worker.
+    pub(crate) fn step(
+        &mut self,
+        ctx: &RunContext<'_>,
+        scratch: &mut WorkerScratch,
+    ) -> ChainStep<ReadRun> {
+        match self {
+            ReadChain::Whole { read, er } => {
+                let run = process_read(ctx, *er, read, scratch);
+                ChainStep::Finished {
+                    units: run.chunks.len() as u64,
+                    cancelled: false,
+                    output: run,
+                }
+            }
+            ReadChain::Pending { read, er } => {
+                let read = read.take().expect("pending chain materialized once");
+                *self = match er {
+                    Some(er) => ReadChain::GenPip(Box::new(GenPipChain::new(ctx, *er, read))),
+                    None => ReadChain::Conventional(Box::new(ConvChain::new(ctx, read))),
+                };
+                self.step(ctx, scratch)
+            }
+            ReadChain::GenPip(chain) => chain.step(ctx, scratch),
+            ReadChain::Conventional(chain) => chain.step(ctx, scratch),
+        }
+    }
+}
+
+/// Where a [`GenPipChain`] is in the Figure 6 flow.
+enum GenPipPhase {
+    /// The signal divides into zero chunks; the first task emits the verdict.
+    Empty,
+    /// ER-QSR sampling: basecall `samples[next]` next.
+    Qsr {
+        /// The evenly-spaced sample chunk indices (Algorithm 1).
+        samples: Vec<usize>,
+        /// Next sample to basecall.
+        next: usize,
+    },
+    /// The sequential CP pass: process chunk `idx` next.
+    Sequential {
+        /// Next chunk index.
+        idx: usize,
+    },
+}
+
+/// The parked state of one read in GenPIP's chunk-based pipeline: a direct
+/// decomposition of [`genpip_read`]'s locals into a movable struct, one loop
+/// iteration per task. Every mutation mirrors that function line for line —
+/// the cross-granularity bit-identity suites keep the two in lock-step.
+pub(crate) struct GenPipChain {
+    read: SimulatedRead,
+    er: ErMode,
+    specs: Vec<genpip_signal::ChunkSpec>,
+    run: Option<ReadRun>,
+    called: BTreeMap<usize, BasecalledChunk>,
+    decoder: genpip_basecall::ReadDecoder,
+    seq: DnaSeq,
+    quals: Vec<Phred>,
+    aqs: AqsAccumulator,
+    fwd: IncrementalChainer,
+    rev: IncrementalChainer,
+    cmr_checked: bool,
+    phase: GenPipPhase,
+}
+
+impl GenPipChain {
+    fn new(ctx: &RunContext<'_>, er: ErMode, read: SimulatedRead) -> GenPipChain {
+        let specs = chunk_boundaries(read.signal.samples.len(), ctx.samples_per_chunk);
+        let total = specs.len();
+        let run = ReadRun {
+            id: read.id,
+            outcome: ReadOutcome::FilteredQc { aqs: 0.0 },
+            total_chunks: total,
+            chunks: Vec::new(),
+            signal_samples: read.signal.samples.len(),
+            called_len: 0,
+            full_aqs: None,
+            best_chain_score: 0.0,
+            align_query_len: 0,
+            align_cells: 0,
+            map_counters: MappingCounters::default(),
+            called: None,
+        };
+        let (fwd, rev) = ctx.mapper.new_chainers();
+        let phase = if total == 0 {
+            GenPipPhase::Empty
+        } else if er != ErMode::None {
+            GenPipPhase::Qsr {
+                samples: qsr_sample_indices(total, ctx.config.n_qs),
+                next: 0,
+            }
+        } else {
+            GenPipPhase::Sequential { idx: 0 }
+        };
+        GenPipChain {
+            read,
+            er,
+            specs,
+            run: Some(run),
+            called: BTreeMap::new(),
+            decoder: genpip_basecall::ReadDecoder::new(),
+            seq: DnaSeq::new(),
+            quals: Vec::new(),
+            aqs: AqsAccumulator::new(),
+            fwd,
+            rev,
+            cmr_checked: false,
+            phase,
+        }
+    }
+
+    fn finish(&mut self, cancelled: bool, units: u64) -> ChainStep<ReadRun> {
+        ChainStep::Finished {
+            output: self.run.take().expect("chain finished once"),
+            units,
+            cancelled,
+        }
+    }
+
+    fn step(&mut self, ctx: &RunContext<'_>, scratch: &mut WorkerScratch) -> ChainStep<ReadRun> {
+        let samples = &self.read.signal.samples;
+        let total = self.specs.len();
+        match &mut self.phase {
+            GenPipPhase::Empty => {
+                let run = self.run.as_mut().expect("chain not finished");
+                run.outcome = match self.er {
+                    ErMode::None => ReadOutcome::FilteredQc { aqs: 0.0 },
+                    _ => ReadOutcome::RejectedQsr { sampled_aqs: 0.0 },
+                };
+                let cancelled = self.er != ErMode::None;
+                self.finish(cancelled, 0)
+            }
+            GenPipPhase::Qsr {
+                samples: sample_idx,
+                next,
+            } => {
+                // ER-QSR phase (Figure 6 ➊➋): one sample chunk per task,
+                // basecalled without carried state, exactly as in
+                // `genpip_read`.
+                let run = self.run.as_mut().expect("chain not finished");
+                let idx = sample_idx[*next];
+                basecall_chunk(
+                    ctx,
+                    samples,
+                    &self.specs,
+                    idx,
+                    &mut self.decoder,
+                    None,
+                    &mut self.called,
+                    &mut run.chunks,
+                    &mut scratch.call,
+                );
+                *next += 1;
+                if *next < sample_idx.len() {
+                    return ChainStep::Parked { units: 1 };
+                }
+                let sampled: Vec<(f64, usize)> = sample_idx
+                    .iter()
+                    .map(|idx| {
+                        let c = &self.called[idx];
+                        (c.sqs, c.quals.len())
+                    })
+                    .collect();
+                let decision = qsr_check(&sampled, ctx.config.theta_qs);
+                run.called_len = self.called.values().map(|c| c.bases.len()).sum();
+                if decision.reject {
+                    run.outcome = ReadOutcome::RejectedQsr {
+                        sampled_aqs: decision.sampled_aqs,
+                    };
+                    return self.finish(true, 1);
+                }
+                self.phase = GenPipPhase::Sequential { idx: 0 };
+                ChainStep::Parked { units: 1 }
+            }
+            GenPipPhase::Sequential { idx } => {
+                // One iteration of the sequential CP pass per task: basecall
+                // (or reuse a sampled chunk), then immediately seed and
+                // extend the chains.
+                let idx = *idx;
+                let run = self.run.as_mut().expect("chain not finished");
+                let mut units = 0u64;
+                if !self.called.contains_key(&idx) {
+                    let carry = if idx == 0 {
+                        None
+                    } else {
+                        self.called[&(idx - 1)].carry
+                    };
+                    basecall_chunk(
+                        ctx,
+                        samples,
+                        &self.specs,
+                        idx,
+                        &mut self.decoder,
+                        carry,
+                        &mut self.called,
+                        &mut run.chunks,
+                        &mut scratch.call,
+                    );
+                    units += 1;
+                }
+                let offset = self.seq.len() as u32;
+                let chunk = &self.called[&idx];
+                let n_mins = ctx.mapper.sketch_and_seed_into(
+                    &chunk.bases,
+                    offset,
+                    &mut scratch.seed,
+                    &mut scratch.batch,
+                );
+                let batch = &scratch.batch;
+                let evals_before = self.fwd.dp_evaluations() + self.rev.dp_evaluations();
+                self.fwd.extend(&batch.forward);
+                self.rev.extend(&batch.reverse);
+                let evals_after = self.fwd.dp_evaluations() + self.rev.dp_evaluations();
+                run.chunks.push(ChunkWork {
+                    index: idx,
+                    seed_bases: chunk.bases.len(),
+                    minimizers: n_mins,
+                    anchors: batch.hits,
+                    chain_evals: evals_after - evals_before,
+                    ..Default::default()
+                });
+                units += 1;
+                run.map_counters.minimizers += n_mins;
+                run.map_counters.seed_queries += batch.queries;
+                run.map_counters.anchors += batch.hits;
+                run.map_counters.chain_evals += evals_after - evals_before;
+                self.aqs.add_chunk_sum(chunk.sqs, chunk.quals.len());
+                if ctx.config.keep_bases {
+                    self.quals.extend_from_slice(&chunk.quals);
+                }
+                self.seq.extend_from_seq(&chunk.bases);
+
+                // ER-CMR (Figure 6 ➍➎): the verdict that cancels the
+                // read's remaining chunk tasks before they are scheduled.
+                if self.er == ErMode::Full
+                    && !self.cmr_checked
+                    && idx + 1 == ctx.config.n_cm
+                    && total > ctx.config.n_cm
+                {
+                    self.cmr_checked = true;
+                    let score = self.fwd.best_score().max(self.rev.best_score());
+                    let decision = cmr_check(score, ctx.config.theta_cm);
+                    if decision.reject {
+                        run.called_len = self.called.values().map(|c| c.bases.len()).sum();
+                        run.best_chain_score = score;
+                        run.outcome = ReadOutcome::RejectedCmr { chain_score: score };
+                        return self.finish(true, units);
+                    }
+                }
+                if idx + 1 < total {
+                    self.phase = GenPipPhase::Sequential { idx: idx + 1 };
+                    return ChainStep::Parked { units };
+                }
+
+                // Last chunk: whole-read QC, then the final mapping.
+                run.called_len = self.seq.len();
+                if ctx.config.keep_bases {
+                    run.called = Some(CalledBases {
+                        seq: self.seq.clone(),
+                        quals: std::mem::take(&mut self.quals),
+                    });
+                }
+                let full_aqs = self.aqs.average();
+                run.full_aqs = Some(full_aqs);
+                run.best_chain_score = self.fwd.best_score().max(self.rev.best_score());
+                if full_aqs < ctx.config.theta_qs {
+                    run.outcome = ReadOutcome::FilteredQc { aqs: full_aqs };
+                    return self.finish(false, units);
+                }
+                let (mapping, best_score, align_cells) =
+                    ctx.mapper.finalize_mapping(&self.seq, &self.fwd, &self.rev);
+                run.best_chain_score = best_score;
+                run.align_cells = align_cells;
+                run.map_counters.align_cells = align_cells;
+                run.align_query_len = if align_cells > 0 { self.seq.len() } else { 0 };
+                run.outcome = match mapping {
+                    Some(m) => ReadOutcome::Mapped(m),
+                    None => ReadOutcome::Unmapped {
+                        chain_score: best_score,
+                    },
+                };
+                self.finish(false, units)
+            }
+        }
+    }
+}
+
+/// The parked state of one read in the conventional flow: basecalling split
+/// into per-chunk tasks (the decoder cursor still forces order), with QC and
+/// whole-read mapping folded into the final task — a direct decomposition of
+/// [`conventional_read`].
+pub(crate) struct ConvChain {
+    read: SimulatedRead,
+    specs: Vec<genpip_signal::ChunkSpec>,
+    chunks: Vec<ChunkWork>,
+    decoder: genpip_basecall::ReadDecoder,
+    seq: DnaSeq,
+    quals: Vec<Phred>,
+    aqs: AqsAccumulator,
+    idx: usize,
+}
+
+impl ConvChain {
+    fn new(ctx: &RunContext<'_>, read: SimulatedRead) -> ConvChain {
+        let specs = chunk_boundaries(read.signal.samples.len(), ctx.samples_per_chunk);
+        ConvChain {
+            read,
+            chunks: Vec::with_capacity(specs.len()),
+            specs,
+            decoder: genpip_basecall::ReadDecoder::new(),
+            seq: DnaSeq::new(),
+            quals: Vec::new(),
+            aqs: AqsAccumulator::new(),
+            idx: 0,
+        }
+    }
+
+    fn step(&mut self, ctx: &RunContext<'_>, scratch: &mut WorkerScratch) -> ChainStep<ReadRun> {
+        let mut units = 0u64;
+        if self.idx < self.specs.len() {
+            let spec = self.specs[self.idx];
+            let called = self.decoder.call_next(
+                &ctx.caller,
+                &self.read.signal.samples[spec.start..spec.end],
+                &mut scratch.call,
+            );
+            self.aqs.add_chunk_sum(called.sqs, called.quals.len());
+            self.chunks.push(ChunkWork {
+                index: spec.index,
+                samples: called.stats.samples,
+                mvm_ops: called.stats.mvm_ops,
+                bases_called: called.bases.len(),
+                ..Default::default()
+            });
+            if ctx.config.keep_bases {
+                self.quals.extend_from_slice(&called.quals);
+            }
+            self.seq.extend_from_seq(&called.bases);
+            units += 1;
+            self.idx += 1;
+            if self.idx < self.specs.len() {
+                return ChainStep::Parked { units };
+            }
+        }
+
+        // All chunks basecalled (or there were none): QC, then mapping.
+        let full_aqs = self.aqs.average();
+        let mut run = ReadRun {
+            id: self.read.id,
+            outcome: ReadOutcome::FilteredQc { aqs: full_aqs },
+            total_chunks: self.specs.len(),
+            chunks: std::mem::take(&mut self.chunks),
+            signal_samples: self.read.signal.samples.len(),
+            called_len: self.seq.len(),
+            full_aqs: Some(full_aqs),
+            best_chain_score: 0.0,
+            align_query_len: 0,
+            align_cells: 0,
+            map_counters: MappingCounters::default(),
+            called: None,
+        };
+        if ctx.config.keep_bases {
+            run.called = Some(CalledBases {
+                seq: self.seq.clone(),
+                quals: std::mem::take(&mut self.quals),
+            });
+        }
+        if full_aqs < ctx.config.theta_qs {
+            return ChainStep::Finished {
+                output: run,
+                units,
+                cancelled: false,
+            };
+        }
+        let result = ctx.mapper.map_with(
+            &self.seq,
+            &mut scratch.seed,
+            &mut scratch.batch,
+            &mut scratch.fwd,
+            &mut scratch.rev,
+        );
+        run.map_counters = result.counters;
+        run.best_chain_score = result.best_chain_score;
+        run.align_cells = result.counters.align_cells;
+        run.align_query_len = if result.counters.align_cells > 0 {
+            self.seq.len()
+        } else {
+            0
+        };
+        run.outcome = match result.mapping {
+            Some(m) => ReadOutcome::Mapped(m),
+            None => ReadOutcome::Unmapped {
+                chain_score: result.best_chain_score,
+            },
+        };
+        ChainStep::Finished {
+            output: run,
+            units,
+            cancelled: false,
+        }
+    }
+}
+
 /// Runs a batch flow over a materialized dataset as a single-source
 /// [`Session`] and collects the in-order emissions into a preallocated
 /// vector — there is exactly one execution core, the session engine.
@@ -381,9 +863,10 @@ fn run_batch(
 ) -> Vec<ReadRun> {
     let mut config = config.clone();
     // The legacy signatures never fail: clamp what Session would reject
-    // with SessionError::ZeroWorkers, and never spawn more workers than
-    // the dataset has reads to give them.
-    let workers = config.parallelism.workers().min(dataset.reads.len()).max(1);
+    // with SessionError::ZeroWorkers. The old `min(workers, reads)` clamp
+    // is gone — the engine spawns workers lazily from chunk-level
+    // occupancy, so a tiny dataset never materializes an idle pool.
+    let workers = config.parallelism.workers().max(1);
     config.parallelism = crate::Parallelism::Threads(workers);
     let flow = match er {
         Some(er) => Flow::GenPip(er),
@@ -456,13 +939,15 @@ fn conventional_read(
     let specs = chunk_boundaries(samples.len(), ctx.samples_per_chunk);
     let mut chunks = Vec::with_capacity(specs.len());
     let mut seq = DnaSeq::new();
+    let mut quals: Vec<Phred> = Vec::new();
     let mut aqs = AqsAccumulator::new();
-    let mut carry: Option<CarryState> = None;
+    let mut decoder = genpip_basecall::ReadDecoder::new();
     for spec in &specs {
-        let called =
-            ctx.caller
-                .call_chunk_with(&samples[spec.start..spec.end], carry, &mut scratch.call);
-        carry = called.carry;
+        let called = decoder.call_next(
+            &ctx.caller,
+            &samples[spec.start..spec.end],
+            &mut scratch.call,
+        );
         aqs.add_chunk_sum(called.sqs, called.quals.len());
         chunks.push(ChunkWork {
             index: spec.index,
@@ -471,6 +956,9 @@ fn conventional_read(
             bases_called: called.bases.len(),
             ..Default::default()
         });
+        if ctx.config.keep_bases {
+            quals.extend_from_slice(&called.quals);
+        }
         seq.extend_from_seq(&called.bases);
     }
 
@@ -487,7 +975,14 @@ fn conventional_read(
         align_query_len: 0,
         align_cells: 0,
         map_counters: MappingCounters::default(),
+        called: None,
     };
+    if ctx.config.keep_bases {
+        run.called = Some(CalledBases {
+            seq: seq.clone(),
+            quals,
+        });
+    }
     if full_aqs < ctx.config.theta_qs {
         return run; // QC filters the read before mapping.
     }
@@ -548,22 +1043,26 @@ pub fn run_genpip(dataset: &SimulatedDataset, config: &GenPipConfig, er: ErMode)
 }
 
 /// Basecalls chunk `idx` of a read (one QSR sample or one sequential step)
-/// and records its work entry.
+/// and records its work entry — the one basecall-bookkeeping path shared by
+/// [`genpip_read`] and [`GenPipChain`], so the chunk-vs-read bit-identity
+/// guarantee is structural, not coincidental. The decoder is repositioned
+/// to `carry` first (QSR samples decode from scratch; sequential chunks
+/// stitch to their predecessor).
 #[allow(clippy::too_many_arguments)]
 fn basecall_chunk(
     ctx: &RunContext<'_>,
     samples: &[f32],
     specs: &[genpip_signal::ChunkSpec],
     idx: usize,
+    decoder: &mut genpip_basecall::ReadDecoder,
     carry: Option<CarryState>,
     called: &mut BTreeMap<usize, BasecalledChunk>,
     chunks: &mut Vec<ChunkWork>,
     call_scratch: &mut CallScratch,
 ) {
+    decoder.resume_from(carry);
     let spec = specs[idx];
-    let chunk = ctx
-        .caller
-        .call_chunk_with(&samples[spec.start..spec.end], carry, call_scratch);
+    let chunk = decoder.call_next(&ctx.caller, &samples[spec.start..spec.end], call_scratch);
     chunks.push(ChunkWork {
         index: idx,
         samples: chunk.stats.samples,
@@ -595,6 +1094,7 @@ fn genpip_read(
         align_query_len: 0,
         align_cells: 0,
         map_counters: MappingCounters::default(),
+        called: None,
     };
     if total == 0 {
         run.outcome = match er {
@@ -606,6 +1106,7 @@ fn genpip_read(
 
     // Chunks basecalled so far, by index.
     let mut called: BTreeMap<usize, BasecalledChunk> = BTreeMap::new();
+    let mut decoder = genpip_basecall::ReadDecoder::new();
 
     // ER-QSR phase: basecall the evenly-spaced sample chunks and check their
     // quality (paper Figure 6 ➊➋).
@@ -617,6 +1118,7 @@ fn genpip_read(
                 samples,
                 &specs,
                 idx,
+                &mut decoder,
                 None,
                 &mut called,
                 &mut run.chunks,
@@ -648,6 +1150,7 @@ fn genpip_read(
     scratch.rev.reset();
     let (fwd, rev) = (&mut scratch.fwd, &mut scratch.rev);
     let mut seq = DnaSeq::new();
+    let mut quals: Vec<Phred> = Vec::new();
     let mut aqs = AqsAccumulator::new();
     let mut cmr_checked = false;
     for idx in 0..total {
@@ -662,6 +1165,7 @@ fn genpip_read(
                 samples,
                 &specs,
                 idx,
+                &mut decoder,
                 carry,
                 &mut called,
                 &mut run.chunks,
@@ -694,6 +1198,9 @@ fn genpip_read(
         run.map_counters.anchors += batch.hits;
         run.map_counters.chain_evals += evals_after - evals_before;
         aqs.add_chunk_sum(chunk.sqs, chunk.quals.len());
+        if ctx.config.keep_bases {
+            quals.extend_from_slice(&chunk.quals);
+        }
         seq.extend_from_seq(&chunk.bases);
 
         // ER-CMR: after the first N_cm chunks are chained, check whether the
@@ -718,6 +1225,12 @@ fn genpip_read(
     }
 
     run.called_len = seq.len();
+    if ctx.config.keep_bases {
+        run.called = Some(CalledBases {
+            seq: seq.clone(),
+            quals,
+        });
+    }
     let full_aqs = aqs.average();
     run.full_aqs = Some(full_aqs);
     run.best_chain_score = fwd.best_score().max(rev.best_score());

@@ -49,12 +49,15 @@ impl Schedule {
     }
 }
 
-/// The mutable pick-next state behind a [`Schedule`], owned by the feeder.
+/// The mutable pick-next state behind a [`Schedule`], owned by the engine's
+/// dispatcher.
 ///
-/// `next` proposes a source to pull from; when a source turns out to be
-/// exhausted the feeder reports it via `exhausted` and asks again. Once
-/// every source is exhausted `next` returns `None` and the session winds
-/// down.
+/// Since the chunk-granular refactor the scheduler is consulted once per
+/// **chunk task**, not once per read: `next_where` proposes the lane
+/// (source) whose chain should run its next chunk, restricted to lanes that
+/// currently have dispatchable work (a parked chain ready to advance, or
+/// room to admit a new read). When a lane is permanently done the engine
+/// reports it via `exhausted` and it is never proposed again.
 pub(crate) struct SchedulerState {
     kind: Kind,
     active: Vec<bool>,
@@ -93,30 +96,43 @@ impl SchedulerState {
 
     /// The source to pull from next, or `None` when all are exhausted.
     pub(crate) fn next(&mut self) -> Option<usize> {
+        self.next_where(|_| true)
+    }
+
+    /// The lane to dispatch next, restricted to lanes for which `available`
+    /// holds. `None` means no active lane is available right now — either
+    /// everything is exhausted ([`SchedulerState::all_exhausted`]) or every
+    /// active lane's work is momentarily blocked and the caller must wait.
+    ///
+    /// Availability never changes long-run proportions: an unavailable lane
+    /// keeps its credit frozen (`Priority`) or its turn queued (`FairShare`)
+    /// and resumes its share as soon as it is available again.
+    pub(crate) fn next_where(&mut self, available: impl Fn(usize) -> bool) -> Option<usize> {
         if self.remaining == 0 {
             return None;
         }
         let active = &self.active;
+        let up = |i: usize| active[i] && available(i);
         let pick = match &mut self.kind {
-            Kind::Sequential => active.iter().position(|&a| a)?,
+            Kind::Sequential => (0..active.len()).find(|&i| up(i))?,
             Kind::FairShare { cursor } => {
-                // First active source at or after the cursor, wrapping.
+                // First available source at or after the cursor, wrapping.
                 let n = active.len();
-                let offset = (0..n).find(|o| active[(*cursor + o) % n])?;
+                let offset = (0..n).find(|o| up((*cursor + o) % n))?;
                 let pick = (*cursor + offset) % n;
                 *cursor = (pick + 1) % n;
                 pick
             }
             Kind::Priority { weights, credit } => {
                 // Smooth weighted round-robin (the nginx algorithm): every
-                // active source earns its weight in credit, the richest
+                // available source earns its weight in credit, the richest
                 // source is picked and pays the total back. Deterministic,
                 // proportional, and burst-free; ties break to the lowest
                 // index.
                 let mut total = 0i64;
                 let mut best = None;
                 for i in 0..active.len() {
-                    if !active[i] {
+                    if !up(i) {
                         continue;
                     }
                     credit[i] += i64::from(weights[i]);
@@ -132,6 +148,11 @@ impl SchedulerState {
             }
         };
         Some(pick)
+    }
+
+    /// `true` once every lane has been reported [`SchedulerState::exhausted`].
+    pub(crate) fn all_exhausted(&self) -> bool {
+        self.remaining == 0
     }
 
     /// Marks a source as drained; it will never be proposed again.
@@ -216,6 +237,29 @@ mod tests {
         assert_eq!(s.next(), Some(1));
         s.exhausted(1);
         assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn availability_filters_without_burning_credit() {
+        // Lane 1 is unavailable for a while; its SWRR credit freezes and it
+        // resumes its full share once available again — the weight-1 lane is
+        // never permanently disadvantaged by a blocked stretch.
+        let mut s = SchedulerState::new(&Schedule::Priority(vec![2, 1]), 2);
+        assert_eq!(s.next_where(|i| i == 0), Some(0));
+        assert_eq!(s.next_where(|i| i == 0), Some(0));
+        // Unblocked: the normal A B A period resumes from lane 1's frozen
+        // credit (0), so the smooth pattern continues.
+        assert_eq!(s.next_where(|_| true), Some(0));
+        assert_eq!(s.next_where(|_| true), Some(1));
+        assert_eq!(s.next_where(|_| true), Some(0));
+        // Nothing available: the caller is told to wait, state untouched.
+        assert_eq!(s.next_where(|_| false), None);
+        assert!(!s.all_exhausted());
+        // FairShare skips unavailable lanes but keeps the cursor moving.
+        let mut f = SchedulerState::new(&Schedule::FairShare, 3);
+        assert_eq!(f.next_where(|i| i != 0), Some(1));
+        assert_eq!(f.next_where(|_| true), Some(2));
+        assert_eq!(f.next_where(|_| true), Some(0));
     }
 
     #[test]

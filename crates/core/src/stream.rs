@@ -22,16 +22,19 @@ use crate::engine::{Flow, Session};
 use crate::pipeline::{ErMode, ReadOutcome, ReadRun, WorkloadTotals};
 use crate::scheduler::Schedule;
 use genpip_datasets::ReadSource;
+use genpip_genomics::fastx::FastqWriter;
+use std::io;
 
 /// Knobs of the streaming transport (never affects results).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamOptions {
     /// Staging headroom between the sources and the workers. The enforced
-    /// invariant is on the *total*: reads in flight anywhere (queued,
-    /// processing, or awaiting in-order emission) never exceed
-    /// `queue_capacity + workers` — one permit gate bounds the whole
-    /// pipeline rather than each channel separately; see
-    /// [`StreamSummary::in_flight_limit`]. A `Session` rejects 0 with a
+    /// invariant is on the *total*: read chains resident anywhere (parked,
+    /// processing, or — for surviving reads — awaiting in-order emission)
+    /// never exceed `queue_capacity + workers`; one permit gate bounds the
+    /// whole pipeline rather than each channel separately, and an
+    /// early-rejected read leaves the bound at its verdict (see
+    /// [`StreamSummary::max_in_flight`]). A `Session` rejects 0 with a
     /// typed error ([`crate::engine::SessionError::ZeroQueueCapacity`]);
     /// the legacy `run_*` wrappers clamp it to 1 instead, as they always
     /// did.
@@ -96,6 +99,52 @@ pub enum StreamEvent {
     Progress(ProgressSnapshot),
 }
 
+/// Read-latency percentiles of a run, in **chunk-work units**: for each
+/// read, how many chunk-work entries (basecall or seeding steps, across
+/// *all* reads and sources) completed between the read's admission and its
+/// retirement. The engine's clock is work, not wall time, which keeps the
+/// metric deterministic in serial runs and hardware-independent in
+/// parallel ones.
+///
+/// Under read-granular scheduling a short read admitted behind long reads
+/// is resident while every one of their chunks completes — head-of-line
+/// blocking that shows up directly as a high `p99`. Chunk-granular
+/// scheduling interleaves chains, so a short read retires after roughly its
+/// own chunk count times the number of resident chains. The kernels bench
+/// (`chunk_granularity` section) records both on a mixed short/long
+/// workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Reads the percentiles are over.
+    pub reads: usize,
+    /// Median residency (nearest-rank), in chunk-work units.
+    pub p50: u64,
+    /// 99th-percentile residency (nearest-rank), in chunk-work units.
+    pub p99: u64,
+    /// Worst residency observed.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentiles of `samples` (sorted in place).
+    pub(crate) fn from_samples(samples: &mut [u64]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let rank = |p: f64| {
+            let idx = ((p * samples.len() as f64).ceil() as usize).max(1) - 1;
+            samples[idx.min(samples.len() - 1)]
+        };
+        LatencyStats {
+            reads: samples.len(),
+            p50: rank(0.50),
+            p99: rank(0.99),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
 /// What a streaming run leaves behind: aggregate counters only, O(1) in the
 /// dataset size.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,12 +157,20 @@ pub struct StreamSummary {
     pub totals: WorkloadTotals,
     /// Worker threads used.
     pub workers: usize,
-    /// The enforced bound on in-flight reads (`queue_capacity + workers`;
-    /// 1 for the serial in-line path).
+    /// The enforced bound on resident read chains (`queue_capacity +
+    /// workers`; 1 for the serial in-line path).
     pub in_flight_limit: usize,
-    /// High-water mark of reads simultaneously in flight (pulled from the
-    /// source but not yet emitted). Always ≤ `in_flight_limit`.
+    /// High-water mark of **resident read chains**: reads admitted and not
+    /// yet retired. A surviving read is resident from its pull until its
+    /// in-order emission; an early-rejected read leaves residency at its
+    /// QSR/CMR verdict (its remaining chunks are cancelled and its permit
+    /// returns immediately), even though its small result record may wait
+    /// longer for in-order emission. Always ≤ `in_flight_limit` — reads
+    /// *pulled but not yet emitted* may transiently exceed the limit by the
+    /// number of verdict-released rejected reads awaiting emission.
     pub max_in_flight: usize,
+    /// Read-residency percentiles (see [`LatencyStats`]).
+    pub latency: LatencyStats,
 }
 
 /// The id the legacy wrappers register their single source under.
@@ -157,6 +214,100 @@ fn run_streaming<S: ReadSource + Send>(
         workers,
         in_flight_limit: report.in_flight_limit,
         max_in_flight: report.max_in_flight,
+        latency: report.latency,
+    }
+}
+
+/// A [`StreamEvent`] consumer that writes every fully-basecalled read as a
+/// FASTQ record — the on-disk half of a streaming session.
+///
+/// Requires the run's [`crate::GenPipConfig::keep_bases`] to be set so
+/// emitted [`ReadRun`]s carry their sequence; reads without assembled bases
+/// (early-rejected ones, or any read when `keep_bases` is off) are counted
+/// in [`FastqSink::skipped`] instead of written. I/O errors are sticky:
+/// writing stops at the first one and [`FastqSink::finish`] reports it.
+///
+/// ```no_run
+/// use genpip_core::engine::{Flow, Session};
+/// use genpip_core::stream::FastqSink;
+/// use genpip_core::{ErMode, GenPipConfig};
+/// use genpip_datasets::{DatasetProfile, StreamingSimulator};
+///
+/// let profile = DatasetProfile::ecoli().scaled(0.05);
+/// let config = GenPipConfig::for_dataset(&profile).with_keep_bases(true);
+/// let file = std::fs::File::create("reads.fastq").expect("create");
+/// let mut sink = FastqSink::new(std::io::BufWriter::new(file));
+/// Session::new(config)
+///     .flow(Flow::GenPip(ErMode::Full))
+///     .source("run", StreamingSimulator::new(&profile))
+///     .sink("run", |event| sink.handle(&event))
+///     .run()
+///     .expect("valid session");
+/// let (written, _) = sink.finish().expect("fastq written");
+/// println!("{written} records");
+/// ```
+pub struct FastqSink<W: io::Write> {
+    writer: FastqWriter<W>,
+    prefix: String,
+    skipped: usize,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> FastqSink<W> {
+    /// Wraps a writer; records are named `read<id>`.
+    pub fn new(writer: W) -> FastqSink<W> {
+        FastqSink::with_prefix(writer, "")
+    }
+
+    /// Wraps a writer with a record-name prefix (`<prefix>read<id>`), so
+    /// multi-source sessions writing into one file stay distinguishable.
+    pub fn with_prefix(writer: W, prefix: impl Into<String>) -> FastqSink<W> {
+        FastqSink {
+            writer: FastqWriter::new(writer),
+            prefix: prefix.into(),
+            skipped: 0,
+            error: None,
+        }
+    }
+
+    /// Consumes one stream event: [`StreamEvent::Read`]s with assembled
+    /// bases become FASTQ records, everything else is ignored.
+    pub fn handle(&mut self, event: &StreamEvent) {
+        let StreamEvent::Read(run) = event else {
+            return;
+        };
+        let Some(called) = &run.called else {
+            self.skipped += 1;
+            return;
+        };
+        if self.error.is_some() {
+            return;
+        }
+        let name = format!("{}read{}", self.prefix, run.id);
+        if let Err(e) = self.writer.write_record(&name, &called.seq, &called.quals) {
+            self.error = Some(e);
+        }
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> usize {
+        self.writer.records()
+    }
+
+    /// Reads skipped because they carried no assembled bases.
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Flushes and returns the record count and the underlying writer, or
+    /// the first error hit.
+    pub fn finish(self) -> io::Result<(usize, W)> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let records = self.writer.records();
+        let inner = self.writer.finish()?;
+        Ok((records, inner))
     }
 }
 

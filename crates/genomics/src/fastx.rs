@@ -111,18 +111,64 @@ pub fn read_fasta<R: BufRead>(r: R) -> Result<Genome, ParseFastxError> {
     Ok(Genome::from_seq(name, seq))
 }
 
+/// An incremental FASTQ record writer: the streaming counterpart of
+/// [`write_fastq`], for pipelines that emit reads one at a time (e.g. a
+/// session sink) and never hold a whole [`ReadSet`].
+///
+/// Records use `@<name>` headers and Sanger-encoded qualities and
+/// round-trip through [`read_fastq`].
+pub struct FastqWriter<W: Write> {
+    inner: W,
+    records: usize,
+}
+
+impl<W: Write> FastqWriter<W> {
+    /// Wraps a writer (hand it a `BufWriter` for file output).
+    pub fn new(inner: W) -> FastqWriter<W> {
+        FastqWriter { inner, records: 0 }
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying writer.
+    pub fn write_record(&mut self, name: &str, seq: &DnaSeq, quals: &[Phred]) -> io::Result<()> {
+        debug_assert_eq!(seq.len(), quals.len(), "one quality per base");
+        writeln!(self.inner, "@{name}")?;
+        writeln!(self.inner, "{seq}")?;
+        writeln!(self.inner, "+")?;
+        let quals: String = quals.iter().map(|q| q.to_fastq_char()).collect();
+        writeln!(self.inner, "{quals}")?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the flush.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
 /// Writes a read set as FASTQ (`@read<id>` headers, Sanger qualities).
 ///
 /// # Errors
 ///
 /// Returns any I/O error from the writer.
-pub fn write_fastq<W: Write>(mut w: W, reads: &ReadSet) -> io::Result<()> {
+pub fn write_fastq<W: Write>(w: W, reads: &ReadSet) -> io::Result<()> {
+    let mut writer = FastqWriter::new(w);
     for read in reads {
-        writeln!(w, "@read{}", read.id)?;
-        writeln!(w, "{}", read.seq)?;
-        writeln!(w, "+")?;
-        let quals: String = read.quals.iter().map(|q| q.to_fastq_char()).collect();
-        writeln!(w, "{quals}")?;
+        writer.write_record(&format!("read{}", read.id), &read.seq, &read.quals)?;
     }
     Ok(())
 }
@@ -260,6 +306,35 @@ mod tests {
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed.get(0).unwrap().seq, seq);
         assert_eq!(parsed.get(0).unwrap().quals, quals);
+    }
+
+    #[test]
+    fn incremental_writer_matches_batch_writer() {
+        let mut reads = ReadSet::new();
+        for (i, s) in ["ACGT", "GGCA", "TTAACC"].iter().enumerate() {
+            let seq: DnaSeq = s.parse().unwrap();
+            let quals: Vec<Phred> = (0..seq.len()).map(|q| Phred(q as f32)).collect();
+            reads.push(Read::new(
+                i as u32,
+                seq,
+                quals,
+                ReadOrigin::Reference {
+                    start: 0,
+                    len: 0,
+                    reverse: false,
+                },
+            ));
+        }
+        let mut batch = Vec::new();
+        write_fastq(&mut batch, &reads).unwrap();
+        let mut incremental = FastqWriter::new(Vec::new());
+        for read in &reads {
+            incremental
+                .write_record(&format!("read{}", read.id), &read.seq, &read.quals)
+                .unwrap();
+        }
+        assert_eq!(incremental.records(), reads.len());
+        assert_eq!(incremental.finish().unwrap(), batch);
     }
 
     #[test]

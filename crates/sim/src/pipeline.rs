@@ -114,6 +114,27 @@ pub struct TraceEntry {
     pub finish: SimTime,
 }
 
+/// One read's latency through the pipeline: from its first job's first
+/// start to its last job's completion. This is the *per-read service view*
+/// the throughput numbers hide — GenPIP's chunk-granular pipelining shows
+/// up here as short reads completing long before a whole-batch makespan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadLatency {
+    /// The read id.
+    pub read: u32,
+    /// When the read's first chunk started stage 0.
+    pub first_start: SimTime,
+    /// When the read's last job left the last stage.
+    pub completion: SimTime,
+}
+
+impl ReadLatency {
+    /// First-chunk→completion span.
+    pub fn span(&self) -> SimTime {
+        self.completion - self.first_start
+    }
+}
+
 /// Scheduling results.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineReport {
@@ -125,9 +146,27 @@ pub struct PipelineReport {
     pub stage_utilization: Vec<f64>,
     /// Completion time of every job (same order as the input).
     pub job_completion: Vec<SimTime>,
+    /// Per-read first-chunk-start → last-job-completion latency, in order
+    /// of each read's first appearance in the job list.
+    pub read_latency: Vec<ReadLatency>,
     /// Execution trace (non-zero-service intervals only); populated by
     /// [`PipelineSim::run_traced`], empty from [`PipelineSim::run`].
     pub trace: Vec<TraceEntry>,
+}
+
+impl PipelineReport {
+    /// Nearest-rank percentile of the per-read latency spans (`q` in
+    /// `[0, 1]`); [`SimTime::ZERO`] when no reads ran.
+    pub fn read_latency_percentile(&self, q: f64) -> SimTime {
+        if self.read_latency.is_empty() {
+            return SimTime::ZERO;
+        }
+        let mut spans: Vec<SimTime> = self.read_latency.iter().map(ReadLatency::span).collect();
+        spans.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * spans.len() as f64).ceil() as usize).max(1) - 1;
+        spans[rank.min(spans.len() - 1)]
+    }
 }
 
 /// The pipeline scheduler. Create once per experiment; [`PipelineSim::run`]
@@ -202,6 +241,10 @@ impl PipelineSim {
         let mut job_completion = Vec::with_capacity(jobs.len());
         let mut makespan = SimTime::ZERO;
         let mut trace = Vec::new();
+        // Per-read latency bookkeeping, in first-appearance order.
+        let mut read_order: Vec<u32> = Vec::new();
+        let mut read_span: std::collections::HashMap<u32, (SimTime, SimTime)> =
+            std::collections::HashMap::new();
 
         for (job_index, job) in jobs.iter().enumerate() {
             let mut ready = job.release;
@@ -231,6 +274,15 @@ impl PipelineSim {
                 }
                 let start = earliest.max(pool[chosen]);
                 let finish = start + job.service[s];
+                if s == 0 {
+                    match read_span.get_mut(&job.read) {
+                        Some(span) => span.0 = span.0.min(start),
+                        None => {
+                            read_order.push(job.read);
+                            read_span.insert(job.read, (start, finish));
+                        }
+                    }
+                }
                 pool[chosen] = finish;
                 stage_busy[s] += job.service[s];
                 if stage.sequential_within_read {
@@ -250,7 +302,20 @@ impl PipelineSim {
             }
             job_completion.push(ready);
             makespan = makespan.max(ready);
+            let span = read_span.get_mut(&job.read).expect("stage 0 ran");
+            span.1 = span.1.max(ready);
         }
+        let read_latency = read_order
+            .iter()
+            .map(|read| {
+                let (first_start, completion) = read_span[read];
+                ReadLatency {
+                    read: *read,
+                    first_start,
+                    completion,
+                }
+            })
+            .collect();
 
         let stage_utilization = self
             .stages
@@ -270,6 +335,7 @@ impl PipelineSim {
             stage_busy,
             stage_utilization,
             job_completion,
+            read_latency,
             trace,
         }
     }
@@ -458,5 +524,31 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_servers_rejected() {
         let _ = StageSpec::new("s", 0);
+    }
+
+    #[test]
+    fn read_latency_spans_first_start_to_completion() {
+        // One single-server stage, FIFO: read 0's two chunks straddle
+        // read 1's single chunk, so read 0 is resident 0→30 while read 1
+        // flows through in 10.
+        let mut sim = PipelineSim::new(vec![StageSpec::new("s", 1).sequential_within_read()]);
+        let t = |ns: f64| SimTime::from_ns(ns);
+        let jobs = vec![
+            Job::new(0, 0, vec![t(10.0)]),
+            Job::new(1, 0, vec![t(10.0)]),
+            Job::new(0, 1, vec![t(10.0)]),
+        ];
+        let report = sim.run(&jobs);
+        assert_eq!(report.read_latency.len(), 2);
+        assert_eq!(report.read_latency[0].read, 0);
+        assert_eq!(report.read_latency[0].first_start, SimTime::ZERO);
+        assert_eq!(report.read_latency[0].completion, t(30.0));
+        assert_eq!(report.read_latency[0].span(), t(30.0));
+        assert_eq!(report.read_latency[1].span(), t(10.0));
+        assert_eq!(report.read_latency_percentile(0.5), t(10.0));
+        assert_eq!(report.read_latency_percentile(0.99), t(30.0));
+        assert_eq!(report.read_latency_percentile(1.0), t(30.0));
+        // An empty run has no latency to report.
+        assert_eq!(sim.run(&[]).read_latency_percentile(0.99), SimTime::ZERO);
     }
 }

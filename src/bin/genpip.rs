@@ -26,7 +26,7 @@ use genpip::core::engine::{Flow, Session};
 use genpip::core::experiments;
 use genpip::core::pipeline::{run_genpip, ErMode, ReadOutcome};
 use genpip::core::scheduler::Schedule;
-use genpip::core::stream::{StreamEvent, StreamOptions};
+use genpip::core::stream::{FastqSink, StreamEvent, StreamOptions};
 use genpip::core::{GenPipConfig, Parallelism};
 use genpip::datasets::{DatasetProfile, ReadSource, StreamingSimulator};
 use genpip::genomics::fastx;
@@ -82,7 +82,7 @@ USAGE:
   genpip stream [--profile <ecoli|human>] [--scale F] [--er <full|qsr|cp|off>]
                [--source SPEC]... [--schedule <fair|sequential|priority>]
                [--queue N] [--progress N] [--threads <serial|auto|N>]
-               [--shards <single|auto|N>]
+               [--shards <single|auto|N>] [--fastq-out PATH]
   genpip experiment <fig04|fig07|fig10|fig11|fig12|fig13|tab01|tab02|useless|ablations> [--scale F]
 
 OPTIONS:
@@ -100,8 +100,10 @@ OPTIONS:
               pool: fair (round-robin, default), sequential (drain in
               registration order), priority (weighted by each source's
               weight=)
-  --queue     `stream` work-queue capacity; in-flight reads across all
-              sources <= queue + workers (default 8)
+  --queue     `stream` work-queue capacity; resident read chains across
+              all sources <= queue + workers (default 8)
+  --fastq-out write every fully-basecalled read as FASTQ. One source
+              writes PATH verbatim; N sources write PATH.<name> each
   --progress  `stream` per-source progress line cadence in reads (default 50, 0 = off)
   --threads   `stream` worker threads (default: GENPIP_PARALLELISM env or auto)
   --shards    reference-index shard count for `map`/`run`/`stream`; results
@@ -410,21 +412,27 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
     }
     let schedule = schedule_from(parsed, specs.iter().map(|s| s.weight).collect())?;
 
-    // The session runs one config; dataset-dependent knobs (N_qs, N_cm)
-    // follow the first source's profile.
+    let fastq_out = opt(parsed, "fastq-out").map(str::to_string);
+    // Every source runs its own operating point (N_qs, N_cm follow its
+    // profile) via a per-source config; the session-wide config (first
+    // source's) only contributes transport-level knobs like parallelism.
+    let keep_bases = fastq_out.is_some();
+    let source_config = |profile: &DatasetProfile| {
+        GenPipConfig::for_dataset(profile)
+            .with_parallelism(parallelism)
+            .with_shards(shards)
+            .with_keep_bases(keep_bases)
+    };
     if specs
         .iter()
         .any(|s| s.profile.name != specs[0].profile.name)
     {
         eprintln!(
-            "note: mixed profiles in one session — early-rejection knobs \
-             (N_qs, N_cm) follow the first source's profile ({})",
-            specs[0].profile.name
+            "note: mixed profiles in one session — each source runs its own \
+             early-rejection operating point (N_qs, N_cm)"
         );
     }
-    let config = GenPipConfig::for_dataset(&specs[0].profile)
-        .with_parallelism(parallelism)
-        .with_shards(shards);
+    let config = source_config(&specs[0].profile);
     let opts = StreamOptions {
         queue_capacity: queue,
         progress_every: progress,
@@ -436,12 +444,36 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
         specs.len(),
         parallelism.workers(),
     );
+    // One FASTQ writer per source: a single source writes --fastq-out
+    // verbatim, several write `<path>.<name>` each.
+    let mut fastq_paths: Vec<Option<String>> = Vec::new();
+    let mut fastq_sinks: Vec<Option<std::cell::RefCell<FastqSink<BufWriter<File>>>>> = Vec::new();
+    for spec in &specs {
+        match &fastq_out {
+            None => {
+                fastq_paths.push(None);
+                fastq_sinks.push(None);
+            }
+            Some(path) => {
+                let path = if specs.len() == 1 {
+                    path.clone()
+                } else {
+                    format!("{path}.{}", spec.name)
+                };
+                let file = File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+                fastq_sinks.push(Some(std::cell::RefCell::new(FastqSink::new(
+                    BufWriter::new(file),
+                ))));
+                fastq_paths.push(Some(path));
+            }
+        }
+    }
     let mut session = Session::new(config)
         .flow(Flow::GenPip(er))
         .schedule(schedule)
         .options(opts);
     let name_width = specs.iter().map(|s| s.name.len()).max().unwrap_or(0);
-    for spec in &specs {
+    for (spec, fastq) in specs.iter().zip(&fastq_sinks) {
         let source = StreamingSimulator::new(&spec.profile);
         let expected = source.reads_remaining().unwrap_or(0);
         println!(
@@ -455,32 +487,45 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
             shards.resolve(spec.profile.genome_len),
         );
         let name = spec.name.clone();
-        session =
-            session
-                .source(spec.name.as_str(), source)
-                .sink(spec.name.as_str(), move |event| {
-                    if let StreamEvent::Progress(p) = event {
-                        println!(
-                            "  [{name:<name_width$} {:>5}/{expected} reads]  mapped {:>5}  \
+        let fastq = fastq.as_ref();
+        session = session
+            .source_with_config(spec.name.as_str(), source, source_config(&spec.profile))
+            .sink(spec.name.as_str(), move |event| {
+                if let Some(sink) = fastq {
+                    sink.borrow_mut().handle(&event);
+                }
+                if let StreamEvent::Progress(p) = event {
+                    println!(
+                        "  [{name:<name_width$} {:>5}/{expected} reads]  mapped {:>5}  \
                          rejected {:>5}  qc-filtered {:>4}  unmapped {:>4}  \
                          ({} samples basecalled)",
-                            p.reads_emitted,
-                            p.mapped,
-                            p.rejected_qsr + p.rejected_cmr,
-                            p.filtered_qc,
-                            p.unmapped,
-                            p.samples_basecalled
-                        );
-                    }
-                });
+                        p.reads_emitted,
+                        p.mapped,
+                        p.rejected_qsr + p.rejected_cmr,
+                        p.filtered_qc,
+                        p.unmapped,
+                        p.samples_basecalled
+                    );
+                }
+            });
     }
     let report = session.run().map_err(|e| e.to_string())?;
+
+    for (sink, path) in fastq_sinks.into_iter().zip(&fastq_paths) {
+        let (Some(sink), Some(path)) = (sink, path) else {
+            continue;
+        };
+        let sink = sink.into_inner();
+        let skipped = sink.skipped();
+        let (written, _) = sink.finish().map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {written} FASTQ records to {path} ({skipped} rejected reads skipped)");
+    }
 
     for source in &report.sources {
         let o = source.summary.outcomes;
         println!(
             "source {:<name_width$}  reads {:>5}  mapped {:>5}  QSR {:>4}  CMR {:>4}  \
-             QC {:>4}  unmapped {:>4}  peak in-flight {}",
+             QC {:>4}  unmapped {:>4}  peak in-flight {}  residency p50/p99 {}/{}",
             source.id,
             o.reads_emitted,
             o.mapped,
@@ -489,6 +534,8 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
             o.filtered_qc,
             o.unmapped,
             source.summary.max_in_flight,
+            source.summary.latency.p50,
+            source.summary.latency.p99,
         );
     }
     let o = report.outcomes;
@@ -499,8 +546,12 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
     println!("QC-filtered:    {}", o.filtered_qc);
     println!("unmapped:       {}", o.unmapped);
     println!(
-        "peak in-flight: {} reads across all sources (bound: {})",
+        "peak in-flight: {} resident read chains across all sources (bound: {})",
         report.max_in_flight, report.in_flight_limit
+    );
+    println!(
+        "residency:      p50 {} / p99 {} / max {} chunk-work units per read",
+        report.latency.p50, report.latency.p99, report.latency.max
     );
     println!(
         "basecalled:     {} samples across {} bases",

@@ -1,0 +1,335 @@
+//! Cross-crate properties of the chunk-granular engine: read-granular vs
+//! chunk-granular bit-identity, the cancellation guarantee (no chunk work
+//! past an ER verdict, witnessed by `ChunkWork` counters), per-source
+//! config overrides, head-of-line latency on mixed workloads, and the
+//! FASTQ sink.
+//!
+//! The parallelism sweep includes `GENPIP_PARALLELISM` (when set), which CI
+//! uses to force both threading paths through this suite.
+
+use genpip::core::early_reject::qsr_sample_indices;
+use genpip::core::engine::{Flow, Granularity, Session};
+use genpip::core::pipeline::{run_genpip, ErMode, ReadOutcome, ReadRun};
+use genpip::core::scheduler::Schedule;
+use genpip::core::stream::{FastqSink, StreamEvent, StreamOptions};
+use genpip::core::{GenPipConfig, Parallelism};
+use genpip::datasets::{DatasetProfile, SimulatedDataset, StreamingSimulator};
+
+fn dataset() -> SimulatedDataset {
+    DatasetProfile::ecoli().scaled(0.04).generate()
+}
+
+fn parallelism_sweep() -> Vec<Parallelism> {
+    let mut sweep = vec![Parallelism::Serial, Parallelism::Threads(4)];
+    if let Some(from_env) = Parallelism::from_env() {
+        if !sweep.contains(&from_env) {
+            sweep.push(from_env);
+        }
+    }
+    sweep
+}
+
+fn collect_with_granularity(
+    dataset: &SimulatedDataset,
+    config: &GenPipConfig,
+    er: ErMode,
+    granularity: Granularity,
+) -> Vec<ReadRun> {
+    let mut reads = Vec::new();
+    Session::new(config.clone())
+        .flow(Flow::GenPip(er))
+        .granularity(granularity)
+        .source("s", dataset.stream())
+        .sink("s", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads.push(run);
+            }
+        })
+        .run()
+        .expect("valid session");
+    reads
+}
+
+#[test]
+fn chunk_granularity_is_bit_identical_to_read_granularity() {
+    let d = dataset();
+    let base = GenPipConfig::for_dataset(&d.profile);
+    for er in [ErMode::None, ErMode::QsrOnly, ErMode::Full] {
+        for parallelism in parallelism_sweep() {
+            let config = base.clone().with_parallelism(parallelism);
+            let by_read = collect_with_granularity(&d, &config, er, Granularity::Read);
+            let by_chunk = collect_with_granularity(&d, &config, er, Granularity::Chunk);
+            assert_eq!(by_read, by_chunk, "{er:?} / {parallelism:?}");
+            // And both match the batch driver (itself chunk-granular now).
+            let batch = run_genpip(&d, &config, er);
+            assert_eq!(by_chunk, batch.reads, "{er:?} / {parallelism:?} vs batch");
+        }
+    }
+}
+
+/// The cancellation guarantee: for every ER-rejected read, no chunk beyond
+/// the decision point is ever basecalled or seeded. The witness is the
+/// read's `ChunkWork` entries — every executed chunk task records exactly
+/// one (basecall) or two (basecall + seed) entries, so post-verdict work
+/// would be visible here.
+#[test]
+fn cancellation_schedules_no_post_verdict_chunk_work() {
+    let d = dataset();
+    let base = GenPipConfig::for_dataset(&d.profile);
+    for parallelism in parallelism_sweep() {
+        let config = base.clone().with_parallelism(parallelism);
+        let runs = collect_with_granularity(&d, &config, ErMode::Full, Granularity::Chunk);
+        let mut qsr_seen = 0usize;
+        let mut cmr_seen = 0usize;
+        for run in &runs {
+            let sample_idx = qsr_sample_indices(run.total_chunks, config.n_qs);
+            match &run.outcome {
+                ReadOutcome::RejectedQsr { .. } => {
+                    qsr_seen += 1;
+                    // Exactly the QSR sample chunks, basecall-only: nothing
+                    // was seeded, and nothing past the sampled set ran.
+                    let basecalled: Vec<usize> = run.chunks.iter().map(|c| c.index).collect();
+                    assert_eq!(basecalled, sample_idx, "read {}: {parallelism:?}", run.id);
+                    for c in &run.chunks {
+                        assert!(c.samples > 0, "read {}: basecall entry", run.id);
+                        assert_eq!(c.seed_bases, 0, "read {}: QSR must not seed", run.id);
+                        assert_eq!(c.minimizers, 0, "read {}: QSR must not sketch", run.id);
+                    }
+                }
+                ReadOutcome::RejectedCmr { .. } => {
+                    cmr_seen += 1;
+                    // Seeding ran for exactly chunks 0..N_cm (in order);
+                    // basecalling ran for exactly those chunks plus the QSR
+                    // samples, each at most once.
+                    let seeded: Vec<usize> = run
+                        .chunks
+                        .iter()
+                        .filter(|c| c.seed_bases > 0 || c.samples == 0)
+                        .map(|c| c.index)
+                        .collect();
+                    let expected_seeded: Vec<usize> = (0..config.n_cm).collect();
+                    assert_eq!(seeded, expected_seeded, "read {}: {parallelism:?}", run.id);
+                    let mut basecalled: Vec<usize> = run
+                        .chunks
+                        .iter()
+                        .filter(|c| c.samples > 0)
+                        .map(|c| c.index)
+                        .collect();
+                    let mut expected: Vec<usize> = sample_idx
+                        .iter()
+                        .copied()
+                        .chain(0..config.n_cm)
+                        .collect::<std::collections::BTreeSet<_>>()
+                        .into_iter()
+                        .collect();
+                    basecalled.sort_unstable();
+                    expected.sort_unstable();
+                    assert_eq!(basecalled, expected, "read {}: {parallelism:?}", run.id);
+                    // The decision point itself: nothing at or past N_cm was
+                    // seeded, and nothing past it was basecalled except the
+                    // pre-verdict QSR samples.
+                    for c in &run.chunks {
+                        if c.index >= config.n_cm {
+                            assert!(
+                                c.samples > 0 && sample_idx.contains(&c.index),
+                                "read {}: post-verdict work on chunk {}",
+                                run.id,
+                                c.index
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(qsr_seen > 0, "{parallelism:?}: no QSR rejections exercised");
+        assert!(cmr_seen > 0, "{parallelism:?}: no CMR rejections exercised");
+    }
+}
+
+/// The tentpole's latency claim: on a mixed short/long workload, chunk
+/// granularity stops long reads from head-of-line-blocking short ones. The
+/// short source's p99 residency (in chunk-work units — deterministic
+/// currency, not wall time) must drop versus read-granular scheduling,
+/// while per-read output stays bit-identical.
+#[test]
+fn short_reads_stop_head_of_line_blocking_under_chunk_granularity() {
+    // ~120-chunk long reads vs ~2-chunk short reads, interleaved fair-share
+    // over 2 workers with a roomy queue: read-granular scheduling admits
+    // shorts into the FIFO task queue *behind whole long reads*, so once
+    // both workers hold a long read every queued short is resident for a
+    // long read's worth of chunk work. Chunk-granular scheduling dispatches
+    // one chunk at a time, so a short chain retires after a few interleaved
+    // rounds regardless of how long its neighbours are.
+    let long = DatasetProfile::uniform("long", 4, 36_000.0);
+    let short = DatasetProfile::uniform("short", 40, 600.0);
+    let config = GenPipConfig::for_dataset(&long).with_parallelism(Parallelism::Threads(2));
+    let opts = StreamOptions {
+        queue_capacity: 8,
+        progress_every: 0,
+    };
+    let mut short_p99 = Vec::new();
+    let mut outputs: Vec<(Vec<ReadRun>, Vec<ReadRun>)> = Vec::new();
+    for granularity in [Granularity::Read, Granularity::Chunk] {
+        let mut long_reads = Vec::new();
+        let mut short_reads = Vec::new();
+        let report = Session::new(config.clone())
+            .flow(Flow::GenPip(ErMode::None))
+            .schedule(Schedule::FairShare)
+            .granularity(granularity)
+            .options(opts)
+            .source("short", StreamingSimulator::new(&short))
+            .source("long", StreamingSimulator::new(&long))
+            .sink("short", |event| {
+                if let StreamEvent::Read(run) = event {
+                    short_reads.push(run);
+                }
+            })
+            .sink("long", |event| {
+                if let StreamEvent::Read(run) = event {
+                    long_reads.push(run);
+                }
+            })
+            .run()
+            .expect("valid session");
+        let s = report.source("short").expect("short source reported");
+        assert_eq!(s.summary.latency.reads, short.n_reads);
+        assert!(s.summary.latency.p50 <= s.summary.latency.p99);
+        assert!(s.summary.latency.p99 <= s.summary.latency.max);
+        short_p99.push(s.summary.latency.p99);
+        outputs.push((short_reads, long_reads));
+    }
+    // Identical results either way — granularity is pure scheduling.
+    assert_eq!(outputs[0], outputs[1]);
+    let (read_p99, chunk_p99) = (short_p99[0], short_p99[1]);
+    // A long read is ~240 chunk-work units; a short chain retires within a
+    // few dozen units once chunks interleave. Read-granular scheduling
+    // queues many shorts behind whole long reads, so its short-source p99
+    // carries a long read's bulk.
+    assert!(
+        chunk_p99 < read_p99,
+        "chunk-granular short-read p99 ({chunk_p99}) should beat read-granular ({read_p99})"
+    );
+}
+
+#[test]
+fn per_source_config_overrides_match_their_solo_runs() {
+    // Two sources with different operating points (N_qs, N_cm, chunk size)
+    // in one session: each must be bit-identical to a solo run under its
+    // own config — the ecoli+human scenario from the ROADMAP, kept cheap
+    // with two differently-tuned ecoli-like sources.
+    let pa = DatasetProfile::ecoli().scaled(0.05);
+    let pb = DatasetProfile::ecoli().scaled(0.03);
+    let (da, db) = (pa.generate(), pb.generate());
+    let parallelism = Parallelism::from_env_or(Parallelism::Threads(3));
+    let config_a = GenPipConfig::for_dataset(&pa).with_parallelism(parallelism);
+    let mut config_b = GenPipConfig::for_dataset(&pb)
+        .with_parallelism(parallelism)
+        .with_chunk_bases(400);
+    config_b.n_qs = 5;
+    config_b.n_cm = 3;
+    let solo_a = run_genpip(&da, &config_a, ErMode::Full);
+    let solo_b = run_genpip(&db, &config_b, ErMode::Full);
+    assert!(
+        !solo_a.reads.is_empty() && !solo_b.reads.is_empty(),
+        "sanity: runs are non-trivial"
+    );
+
+    let mut reads_a = Vec::new();
+    let mut reads_b = Vec::new();
+    let report = Session::new(config_a.clone())
+        .flow(Flow::GenPip(ErMode::Full))
+        .schedule(Schedule::FairShare)
+        .source("a", StreamingSimulator::new(&pa))
+        .source_with_config("b", StreamingSimulator::new(&pb), config_b.clone())
+        .sink("a", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads_a.push(run);
+            }
+        })
+        .sink("b", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads_b.push(run);
+            }
+        })
+        .run()
+        .expect("valid session");
+    assert_eq!(reads_a, solo_a.reads, "session config source diverged");
+    assert_eq!(reads_b, solo_b.reads, "override config source diverged");
+    assert_eq!(
+        report.source("b").expect("b").summary.totals,
+        solo_b.totals()
+    );
+}
+
+#[test]
+fn fastq_sink_writes_every_fully_basecalled_read() {
+    let d = dataset();
+    let config = GenPipConfig::for_dataset(&d.profile)
+        .with_parallelism(Parallelism::from_env_or(Parallelism::Threads(2)))
+        .with_keep_bases(true);
+    let mut sink = FastqSink::with_prefix(Vec::new(), "ecoli/");
+    let mut runs = Vec::new();
+    Session::new(config)
+        .flow(Flow::GenPip(ErMode::Full))
+        .source("only", d.stream())
+        .sink("only", |event| {
+            if let StreamEvent::Read(run) = &event {
+                runs.push(run.clone());
+            }
+            sink.handle(&event);
+        })
+        .run()
+        .expect("valid session");
+
+    let survivors = runs.iter().filter(|r| !r.outcome.is_early_rejected());
+    let expected: Vec<&ReadRun> = survivors.collect();
+    for run in &expected {
+        let called = run.called.as_ref().expect("survivor keeps its bases");
+        assert_eq!(called.seq.len(), run.called_len);
+        assert_eq!(called.quals.len(), called.seq.len());
+    }
+    let rejected = runs.len() - expected.len();
+    assert!(rejected > 0, "dataset should exercise skipping");
+    assert_eq!(sink.written(), expected.len());
+    assert_eq!(sink.skipped(), rejected);
+    let (written, bytes) = sink.finish().expect("no I/O errors on a Vec");
+    assert_eq!(written, expected.len());
+
+    // The file round-trips: every record parses back with its sequence.
+    let parsed = genpip::genomics::fastx::read_fastq(bytes.as_slice()).expect("valid FASTQ");
+    assert_eq!(parsed.len(), expected.len());
+    for (record, run) in parsed.into_iter().zip(&expected) {
+        let called = run.called.as_ref().expect("survivor");
+        assert_eq!(&record.seq, &called.seq, "read {}", run.id);
+    }
+
+    // Without keep_bases, no read carries its sequence (and the sink would
+    // skip everything).
+    let plain = run_genpip(&d, &GenPipConfig::for_dataset(&d.profile), ErMode::Full);
+    assert!(plain.reads.iter().all(|r| r.called.is_none()));
+}
+
+#[test]
+fn serial_latency_is_each_reads_own_chunk_work() {
+    // With one chain resident at a time, a read's residency is exactly its
+    // own chunk-work entry count — pinning the unit of LatencyStats.
+    let d = dataset();
+    let config = GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Serial);
+    let mut runs = Vec::new();
+    let report = Session::new(config)
+        .flow(Flow::GenPip(ErMode::Full))
+        .source("s", d.stream())
+        .sink("s", |event| {
+            if let StreamEvent::Read(run) = event {
+                runs.push(run);
+            }
+        })
+        .run()
+        .expect("valid session");
+    let mut units: Vec<u64> = runs.iter().map(|r| r.chunks.len() as u64).collect();
+    units.sort_unstable();
+    assert_eq!(report.latency.reads, runs.len());
+    assert_eq!(report.latency.max, *units.last().expect("reads exist"));
+    assert_eq!(report.latency.p50, units[(runs.len().div_ceil(2)) - 1]);
+}

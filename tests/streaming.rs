@@ -142,6 +142,21 @@ fn in_flight_reads_never_exceed_the_configured_bound() {
     let config =
         GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Threads(workers));
     let bound = queue_capacity + workers;
+    // `max_in_flight` is peak *resident read chains*: an early-rejected
+    // read stops counting at its QSR/CMR verdict (permit released there,
+    // not at emission), so reads pulled-but-unemitted may exceed the gate
+    // bound by exactly the rejected results still awaiting their in-order
+    // emission slot. The external invariant is therefore:
+    //   pulled − emitted − rejected_pending ≤ queue + workers,
+    // where rejected_pending counts rejections among the reads *pulled so
+    // far* (pull order is id order), not the whole run — slack never
+    // covers reads that have not even been pulled.
+    let solo = run_genpip(&d, &config, ErMode::Full);
+    // prefix_rejected[i] = ER rejections among the first i reads.
+    let mut prefix_rejected = vec![0usize; solo.reads.len() + 1];
+    for (i, run) in solo.reads.iter().enumerate() {
+        prefix_rejected[i + 1] = prefix_rejected[i] + usize::from(run.outcome.is_early_rejected());
+    }
     let pulled = Arc::new(AtomicUsize::new(0));
     let mut source = CountingSource {
         inner: d.stream(),
@@ -152,21 +167,28 @@ fn in_flight_reads_never_exceed_the_configured_bound() {
         progress_every: 0,
     };
     let mut emitted = 0usize;
-    let mut observed_max = 0usize;
+    let mut rejected_emitted = 0usize;
+    let mut overshoot = 0usize;
     let summary = run_genpip_streaming(&mut source, &config, ErMode::Full, &opts, |event| {
-        if let StreamEvent::Read(_) = event {
+        if let StreamEvent::Read(run) = event {
             // Reads pulled from the source but not yet emitted. Sampling at
             // emission time is conservative: pulls strictly precede this
-            // observation, so any overshoot of the gate would show up here.
-            let in_flight = pulled.load(Ordering::SeqCst) - emitted;
-            observed_max = observed_max.max(in_flight);
+            // observation, so any overshoot of the residency bound would
+            // show up here.
+            let pulled_now = pulled.load(Ordering::SeqCst);
+            let in_flight = pulled_now - emitted;
+            let rejected_pending = prefix_rejected[pulled_now] - rejected_emitted;
+            overshoot = overshoot.max(in_flight.saturating_sub(rejected_pending));
             emitted += 1;
+            if run.outcome.is_early_rejected() {
+                rejected_emitted += 1;
+            }
         }
     });
     assert_eq!(emitted, d.reads.len());
     assert!(
-        observed_max <= bound,
-        "observed {observed_max} in-flight reads, bound {bound}"
+        overshoot <= bound,
+        "observed {overshoot} permit-holding in-flight reads, bound {bound}"
     );
     assert_eq!(summary.in_flight_limit, bound);
     assert!(
