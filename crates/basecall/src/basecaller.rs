@@ -22,6 +22,31 @@ impl CallScratch {
     }
 }
 
+/// The typed panic payload [`Basecaller::call_chunk_with`] raises when a
+/// chunk's signal fails the integrity check (non-finite samples) before
+/// decoding.
+///
+/// Raised via [`std::panic::panic_any`] so fault-tolerant executors can
+/// `downcast` the payload and classify the fault as corrupt *input* rather
+/// than a pipeline bug: the `Session` engine in `genpip-core` maps it to
+/// `FaultKind::CorruptSignal` and quarantines or retries the read per its
+/// `FaultPolicy` instead of tearing the run down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalFault {
+    /// Index of the first non-finite sample within the offending chunk.
+    pub sample_index: usize,
+}
+
+impl std::fmt::Display for SignalFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "corrupt signal: non-finite sample at chunk offset {}",
+            self.sample_index
+        )
+    }
+}
+
 /// The decoder state carried from one chunk of a read to the next, so that
 /// chunk boundaries do not reset the k-mer context. GenPIP's chunk-based
 /// pipeline hands this from each chunk's basecall to the next.
@@ -63,6 +88,14 @@ impl ReadDecoder {
     /// Chunks decoded through this cursor so far.
     pub fn chunks_called(&self) -> usize {
         self.chunks_called
+    }
+
+    /// Rewinds the cursor to before the read's first chunk, exactly as
+    /// freshly constructed — used when a fault-tolerant executor retries a
+    /// read from scratch. Decoding after a reset is bit-identical to
+    /// decoding through a new cursor.
+    pub fn reset(&mut self) {
+        *self = ReadDecoder::new();
     }
 
     /// Repositions the cursor to continue from `carry` — used when the next
@@ -213,6 +246,15 @@ impl Basecaller {
     ///
     /// `carry` stitches this chunk to the previous one; pass `None` for the
     /// first chunk of a read. Empty input produces an empty chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a typed [`SignalFault`] payload (via
+    /// [`std::panic::panic_any`]) if any sample is non-finite — NaN or
+    /// infinite current readings would poison the emission MVMs and decode
+    /// to garbage, so they are rejected before decoding starts. Executors
+    /// with a fault policy catch and classify this; everything else fails
+    /// fast.
     pub fn call_chunk_with(
         &self,
         samples: &[f32],
@@ -227,6 +269,9 @@ impl Basecaller {
                 carry,
                 stats: ChunkStats::default(),
             };
+        }
+        if let Some(sample_index) = samples.iter().position(|s| !s.is_finite()) {
+            std::panic::panic_any(SignalFault { sample_index });
         }
         scratch.normalized.clear();
         scratch.normalized.extend_from_slice(samples);
@@ -499,6 +544,62 @@ mod tests {
             second,
             caller.call_chunk(&sig.samples[900..1800], first.carry)
         );
+    }
+
+    #[test]
+    fn corrupt_signal_raises_a_typed_fault() {
+        let (synth, caller) = setup();
+        let t = truth(600, 15);
+        let mut samples = synth.synthesize(&t, 1.0, 16).samples;
+        samples[37] = f32::NAN;
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            caller.call_chunk(&samples, None)
+        }))
+        .expect_err("NaN samples must fault");
+        let fault = payload
+            .downcast_ref::<SignalFault>()
+            .expect("typed SignalFault payload");
+        assert_eq!(fault.sample_index, 37);
+        assert!(fault.to_string().contains("non-finite"));
+
+        // Infinities fault too, and the index is the first bad sample.
+        let mut samples = synth.synthesize(&t, 1.0, 16).samples;
+        samples[5] = f32::INFINITY;
+        samples[9] = f32::NAN;
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            caller.call_chunk(&samples, None)
+        }))
+        .expect_err("infinite samples must fault");
+        assert_eq!(
+            payload
+                .downcast_ref::<SignalFault>()
+                .map(|f| f.sample_index),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn decoder_reset_restarts_bit_identically() {
+        let (synth, caller) = setup();
+        let t = truth(1_000, 17);
+        let sig = synth.synthesize(&t, 1.0, 18);
+        let mut scratch = CallScratch::new();
+        let mut decoder = ReadDecoder::new();
+        let first_pass: Vec<BasecalledChunk> = sig
+            .samples
+            .chunks(700)
+            .map(|c| decoder.call_next(&caller, c, &mut scratch))
+            .collect();
+        assert!(decoder.chunks_called() > 1);
+        // A reset decoder replays the read exactly as a fresh one would.
+        decoder.reset();
+        assert_eq!(decoder, ReadDecoder::new());
+        let second_pass: Vec<BasecalledChunk> = sig
+            .samples
+            .chunks(700)
+            .map(|c| decoder.call_next(&caller, c, &mut scratch))
+            .collect();
+        assert_eq!(first_pass, second_pass);
     }
 
     #[test]

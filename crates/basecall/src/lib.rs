@@ -49,7 +49,7 @@ pub mod quality;
 pub mod viterbi;
 
 pub use basecaller::{
-    BasecalledChunk, BasecalledRead, Basecaller, CallScratch, CarryState, ReadDecoder,
+    BasecalledChunk, BasecalledRead, Basecaller, CallScratch, CarryState, ReadDecoder, SignalFault,
 };
 pub use emission::EmissionModel;
 pub use quality::QualityCalibration;

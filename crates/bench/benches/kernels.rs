@@ -28,7 +28,7 @@ use genpip_core::pipeline::{run_genpip, ErMode, ReadRun};
 use genpip_core::scheduler::Schedule;
 use genpip_core::stream::{run_genpip_streaming, StreamEvent, StreamOptions};
 use genpip_core::{GenPipConfig, Parallelism};
-use genpip_datasets::{DatasetProfile, StreamingSimulator};
+use genpip_datasets::{DatasetProfile, FaultInjector, StreamingSimulator};
 use genpip_genomics::GenomeBuilder;
 use genpip_mapping::{
     minimizers_into, Anchor, ChainParams, IncrementalChainer, Mapper, MapperParams,
@@ -352,7 +352,7 @@ fn main() {
             });
         let opts = StreamOptions {
             queue_capacity,
-            progress_every: 0,
+            ..StreamOptions::default()
         };
         let mut reads = Vec::new();
         let (summary, seconds) = time_once(|| {
@@ -402,7 +402,7 @@ fn main() {
             GenPipConfig::for_dataset(&dataset.profile).with_parallelism(Parallelism::Threads(4));
         let opts = StreamOptions {
             queue_capacity: 8,
-            progress_every: 0,
+            ..StreamOptions::default()
         };
         let mut collected: Vec<Vec<ReadRun>> = vec![Vec::new(); n_sources];
         let (report, seconds) = time_once(|| {
@@ -464,7 +464,7 @@ fn main() {
         GenPipConfig::for_dataset(&long_profile).with_parallelism(Parallelism::Threads(2));
     let mixed_opts = StreamOptions {
         queue_capacity: 8,
-        progress_every: 0,
+        ..StreamOptions::default()
     };
     let mut granularity_rows = Vec::new();
     let mut granularity_outputs: Vec<(Vec<ReadRun>, Vec<ReadRun>)> = Vec::new();
@@ -538,6 +538,83 @@ fn main() {
         "chunk-granular scheduling diverged from read-granular output"
     );
 
+    // --- Fault tolerance: containment overhead at 0% and 5% injection ---
+    // The same session run through a `FaultInjector` under the Quarantine
+    // policy. The 0% row measures the pure containment tax (catch_unwind
+    // wrapping, policy checks, backlog accounting) against the rows above;
+    // the 5% row shows a faulty flowcell feed surviving. Asserted at both
+    // rates: survivors are bit-identical to the fault-free reference minus
+    // the injected reads, and the quarantined set equals the injected set.
+    println!("\n=== fault tolerance bench (quarantine containment) ===");
+    let mut fault_rows = Vec::new();
+    let mut fault_tolerance_matches = true;
+    for inject_rate in [0.0f64, 0.05] {
+        let config = GenPipConfig::for_dataset(&dataset.profile)
+            .with_parallelism(Parallelism::Threads(4))
+            .with_fault_policy(genpip_core::FaultPolicy::Quarantine);
+        let mut injector =
+            FaultInjector::new(StreamingSimulator::new(&dataset.profile), inject_rate, 42);
+        let mut survivors = Vec::new();
+        let mut failed_ids = Vec::new();
+        let (report, seconds) = time_once(|| {
+            Session::new(config.clone())
+                .flow(Flow::GenPip(ErMode::Full))
+                .options(StreamOptions {
+                    queue_capacity: 8,
+                    ..StreamOptions::default()
+                })
+                .source("faulty", &mut injector)
+                .sink("faulty", |event| match event {
+                    StreamEvent::Read(run) => survivors.push(run),
+                    StreamEvent::Failed { read_id, .. } => failed_ids.push(read_id),
+                    _ => {}
+                })
+                .run()
+                .expect("bench session inputs are valid")
+        });
+        let injected = injector.injected_ids().to_vec();
+        let expected: Vec<ReadRun> = batch_reference
+            .iter()
+            .filter(|run| !injected.contains(&run.id))
+            .cloned()
+            .collect();
+        let mut sorted_failed = failed_ids.clone();
+        sorted_failed.sort_unstable();
+        let mut sorted_injected = injected.clone();
+        sorted_injected.sort_unstable();
+        fault_tolerance_matches &= survivors == expected && sorted_failed == sorted_injected;
+        let reads_per_s = report.outcomes.reads_emitted as f64 / seconds;
+        println!(
+            "inject {:>4.1}%: {seconds:.3} s  {reads_per_s:>8.1} reads/s  \
+             failed {}  retried {}  backlog high-water {}  peak in-flight {}/{}",
+            inject_rate * 100.0,
+            report.outcomes.failed,
+            report.retried,
+            report.max_reject_backlog,
+            report.max_in_flight,
+            report.in_flight_limit
+        );
+        fault_rows.push(Json::obj([
+            ("inject_rate", Json::Num(inject_rate)),
+            ("threads", Json::Num(4.0)),
+            ("seconds", Json::Num(seconds)),
+            ("reads_per_s", Json::Num(reads_per_s)),
+            ("failed", Json::Num(report.outcomes.failed as f64)),
+            ("retried", Json::Num(report.retried as f64)),
+            (
+                "max_reject_backlog",
+                Json::Num(report.max_reject_backlog as f64),
+            ),
+            ("max_in_flight", Json::Num(report.max_in_flight as f64)),
+            ("in_flight_limit", Json::Num(report.in_flight_limit as f64)),
+        ]));
+    }
+    println!("survivors bit-identical, quarantined == injected: {fault_tolerance_matches}");
+    assert!(
+        fault_tolerance_matches,
+        "fault containment changed the surviving reads"
+    );
+
     let report = Json::obj([
         ("schema", Json::Str("genpip-bench-kernels-v1".into())),
         (
@@ -573,6 +650,11 @@ fn main() {
         (
             "chunk_granularity_matches",
             Json::Bool(chunk_granularity_matches),
+        ),
+        ("fault_tolerance", Json::Arr(fault_rows)),
+        (
+            "fault_tolerance_matches",
+            Json::Bool(fault_tolerance_matches),
         ),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");

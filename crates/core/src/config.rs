@@ -57,6 +57,59 @@ impl Parallelism {
     }
 }
 
+/// What the engine does with a read whose chunk task faults (panics or
+/// trips a signal-integrity check) mid-chain.
+///
+/// Containment never changes surviving reads' results: a faulted read's
+/// remaining chunks are cancelled through the same path as an early-rejection
+/// verdict, its flow permit is released, and every other read proceeds
+/// untouched — so survivors stay bit-identical to a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Propagate the panic and tear the whole session down (the historical
+    /// behaviour, and the right one for faults that indicate a bug in the
+    /// pipeline rather than a bad read).
+    #[default]
+    Fail,
+    /// Contain the fault: cancel the read's remaining chunks, emit it as
+    /// [`crate::stream::StreamEvent::Failed`], and keep the session running.
+    Quarantine,
+    /// Like [`FaultPolicy::Quarantine`], but first rebuild the read's chain
+    /// from its untouched signal and re-run it up to `attempts` extra times
+    /// (deterministically scheduled); quarantine only if every attempt
+    /// faults. Absorbs transient faults without losing the read.
+    Retry {
+        /// Extra attempts after the first fault (0 behaves like
+        /// `Quarantine`).
+        attempts: u32,
+    },
+}
+
+impl FaultPolicy {
+    /// Parses a CLI spelling: `"fail"`, `"quarantine"`, `"retry"` (2 extra
+    /// attempts), or `"retry:N"`. `None` for anything else.
+    pub fn parse(s: &str) -> Option<FaultPolicy> {
+        let s = s.trim().to_ascii_lowercase();
+        match s.as_str() {
+            "fail" => Some(FaultPolicy::Fail),
+            "quarantine" => Some(FaultPolicy::Quarantine),
+            "retry" => Some(FaultPolicy::Retry { attempts: 2 }),
+            _ => {
+                let n = s.strip_prefix("retry:")?.parse().ok()?;
+                Some(FaultPolicy::Retry { attempts: n })
+            }
+        }
+    }
+
+    /// Extra attempts this policy grants after a first fault.
+    pub(crate) fn retry_attempts(self) -> u32 {
+        match self {
+            FaultPolicy::Retry { attempts } => attempts,
+            _ => 0,
+        }
+    }
+}
+
 /// All knobs of the GenPIP system.
 ///
 /// The dataset-dependent values follow the paper's sensitivity analysis
@@ -88,6 +141,10 @@ pub struct GenPipConfig {
     /// default: early-rejected reads never have assembled bases, and runs
     /// that only need counters should not pay the memory.
     pub keep_bases: bool,
+    /// What to do with a read whose chunk task faults mid-chain (see
+    /// [`FaultPolicy`]). Per-source config overrides let each source of a
+    /// session pick its own policy.
+    pub fault_policy: FaultPolicy,
 }
 
 impl GenPipConfig {
@@ -144,6 +201,13 @@ impl GenPipConfig {
         self
     }
 
+    /// Overrides the fault policy (see [`FaultPolicy`]). Never changes
+    /// surviving reads' results — only what happens to faulting ones.
+    pub fn with_fault_policy(mut self, fault_policy: FaultPolicy) -> GenPipConfig {
+        self.fault_policy = fault_policy;
+        self
+    }
+
     /// Signal samples per chunk for a given mean dwell (samples/base).
     pub fn samples_per_chunk(&self, mean_dwell: f64) -> usize {
         genpip_signal::chunk::samples_per_chunk(self.chunk_bases, mean_dwell)
@@ -162,6 +226,7 @@ impl Default for GenPipConfig {
             mapper: MapperParams::default(),
             parallelism: Parallelism::default(),
             keep_bases: false,
+            fault_policy: FaultPolicy::default(),
         }
     }
 }
@@ -212,6 +277,29 @@ mod tests {
         let c = GenPipConfig::default().with_shards(Shards::Fixed(6));
         assert_eq!(c.mapper.shards, Shards::Fixed(6));
         assert_eq!(GenPipConfig::default().mapper.shards, Shards::Single);
+    }
+
+    #[test]
+    fn fault_policy_parses_the_cli_spellings() {
+        assert_eq!(FaultPolicy::parse("fail"), Some(FaultPolicy::Fail));
+        assert_eq!(
+            FaultPolicy::parse(" Quarantine "),
+            Some(FaultPolicy::Quarantine)
+        );
+        assert_eq!(
+            FaultPolicy::parse("retry"),
+            Some(FaultPolicy::Retry { attempts: 2 })
+        );
+        assert_eq!(
+            FaultPolicy::parse("retry:5"),
+            Some(FaultPolicy::Retry { attempts: 5 })
+        );
+        assert_eq!(FaultPolicy::parse("retry:x"), None);
+        assert_eq!(FaultPolicy::parse("bogus"), None);
+        assert_eq!(FaultPolicy::default(), FaultPolicy::Fail);
+        assert_eq!(FaultPolicy::Fail.retry_attempts(), 0);
+        assert_eq!(FaultPolicy::Quarantine.retry_attempts(), 0);
+        assert_eq!(FaultPolicy::Retry { attempts: 3 }.retry_attempts(), 3);
     }
 
     #[test]

@@ -92,16 +92,33 @@
 //!   incompatible with their source's reference or chemistry) fail up
 //!   front with a [`SessionError`] instead of deadlocking or panicking
 //!   mid-run.
+//! * **Fault containment** — under [`crate::FaultPolicy::Quarantine`] or
+//!   [`crate::FaultPolicy::Retry`], a chunk task that panics (or trips the
+//!   basecaller's signal-integrity check) takes out only its own read: the
+//!   chain's remaining chunks are cancelled through the verdict path, its
+//!   permit is released, and the read is emitted as
+//!   [`StreamEvent::Failed`] in its normal in-order slot. Retries rebuild
+//!   the chain from the untouched signal, so a read that succeeds on retry
+//!   is bit-identical to one that never faulted. The default
+//!   [`crate::FaultPolicy::Fail`] keeps the historical behaviour: any
+//!   panic tears the session down promptly. [`Session::run_with_control`]
+//!   additionally hands out a [`SessionControl`] whose
+//!   [`SessionControl::drain`] stops pulling new reads, finishes every
+//!   resident chain, and returns normally — the graceful-shutdown
+//!   primitive for long-lived sessions.
 
-use crate::config::{GenPipConfig, Parallelism};
+use crate::config::{FaultPolicy, GenPipConfig, Parallelism};
 use crate::pipeline::{ErMode, ReadChain, ReadRun, RunContext, WorkerScratch, WorkloadTotals};
 use crate::scheduler::{Schedule, SchedulerState};
-use crate::stream::{LatencyStats, ProgressSnapshot, StreamEvent, StreamOptions, StreamSummary};
+use crate::stream::{
+    FaultKind, LatencyStats, ProgressSnapshot, ReadFault, StreamEvent, StreamOptions, StreamSummary,
+};
 use genpip_datasets::{ReadSource, SourceId};
+use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, Once};
 
 /// Which pipeline a [`Session`] runs over its reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,6 +152,43 @@ pub enum Granularity {
     /// chain's remaining chunks before they are scheduled. The default.
     #[default]
     Chunk,
+}
+
+/// A cloneable remote control for a running [`Session`] (see
+/// [`Session::run_with_control`]).
+///
+/// Today it carries one signal: [`SessionControl::drain`]. Draining is
+/// graceful, not abortive — the session stops pulling new reads from every
+/// source, finishes the chains already resident (emitting their results
+/// through the sinks in the usual in-order fashion), and returns its
+/// [`SessionReport`] normally. Calling `drain` before the run starts makes
+/// the session return immediately with empty counters; calling it more than
+/// once is harmless.
+///
+/// The handle is `Send + Sync + Clone`, so it can be triggered from another
+/// thread (a signal handler, a service shutdown path) or from inside a sink
+/// (e.g. [`crate::stream::FastqSink`] hitting a disk-full error).
+#[derive(Clone, Debug, Default)]
+pub struct SessionControl {
+    draining: Arc<AtomicBool>,
+}
+
+impl SessionControl {
+    /// A fresh handle, not draining.
+    pub fn new() -> SessionControl {
+        SessionControl::default()
+    }
+
+    /// Asks the session to stop pulling new reads and finish what is
+    /// resident. Idempotent; never blocks.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`SessionControl::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
 }
 
 /// Why a per-source [`GenPipConfig`] cannot drive its source.
@@ -186,6 +240,10 @@ pub enum SessionError {
     /// `StreamOptions::queue_capacity` was 0 — the work queue could never
     /// stage a read.
     ZeroQueueCapacity,
+    /// `StreamOptions::reject_backlog` was 0 — the soft gate on the
+    /// verdict-released emission backlog would block the very first
+    /// admission.
+    ZeroRejectBacklog,
     /// `Parallelism::Threads(0)` — an explicit request for no workers.
     ZeroWorkers,
     /// No source was registered.
@@ -218,6 +276,9 @@ impl fmt::Display for SessionError {
         match self {
             SessionError::ZeroQueueCapacity => {
                 write!(f, "queue capacity must be at least 1 (got 0)")
+            }
+            SessionError::ZeroRejectBacklog => {
+                write!(f, "rejection backlog bound must be at least 1 (got 0)")
             }
             SessionError::ZeroWorkers => {
                 write!(f, "worker count must be at least 1 (got Threads(0))")
@@ -280,6 +341,17 @@ pub struct SessionReport {
     /// Always ≤ `in_flight_limit`. See [`StreamSummary::max_in_flight`] for
     /// the precise residency definition.
     pub max_in_flight: usize,
+    /// Fault-retry attempts consumed across all sources (see
+    /// [`StreamSummary::retried`]).
+    pub retried: usize,
+    /// High-water mark of the verdict-released emission backlog: results of
+    /// early-rejected and quarantined reads (permit already returned)
+    /// waiting for their in-order emission slot. The soft gate stops
+    /// admitting new reads once the backlog reaches
+    /// [`StreamOptions::reject_backlog`], so this never exceeds
+    /// `reject_backlog + in_flight_limit` (already-resident chains may each
+    /// add one entry after admission stops).
+    pub max_reject_backlog: usize,
     /// Aggregate read-residency percentiles over all sources
     /// ([`LatencyStats`], in chunk-work units).
     pub latency: LatencyStats,
@@ -442,6 +514,9 @@ impl<'a> Session<'a> {
         if self.options.queue_capacity == 0 {
             return Err(SessionError::ZeroQueueCapacity);
         }
+        if self.options.reject_backlog == 0 {
+            return Err(SessionError::ZeroRejectBacklog);
+        }
         if matches!(self.config.parallelism, Parallelism::Threads(0)) {
             return Err(SessionError::ZeroWorkers);
         }
@@ -504,8 +579,21 @@ impl<'a> Session<'a> {
     ///
     /// Blocks until all sources are exhausted. A panic in a source, worker,
     /// or sink tears the session down and propagates rather than
-    /// deadlocking.
-    pub fn run(mut self) -> Result<SessionReport, SessionError> {
+    /// deadlocking — unless the faulting source's
+    /// [`crate::FaultPolicy`] contains worker faults (see the
+    /// [module docs](crate::engine)).
+    pub fn run(self) -> Result<SessionReport, SessionError> {
+        self.run_with_control(&SessionControl::new())
+    }
+
+    /// [`Session::run`] with an external [`SessionControl`]: clone the
+    /// handle before calling and any thread (or any sink) can ask the
+    /// running session to [`SessionControl::drain`] — stop pulling, finish
+    /// the resident chains, emit their results, and return the report.
+    pub fn run_with_control(
+        mut self,
+        control: &SessionControl,
+    ) -> Result<SessionReport, SessionError> {
         self.validate()?;
         self.attach_sinks()?;
         let Session {
@@ -540,11 +628,23 @@ impl<'a> Session<'a> {
             .zip(&configs)
             .map(|(s, c)| RunContext::from_source(&**s, c))
             .collect();
+        let policies: Vec<FaultPolicy> = configs.iter().map(|c| c.fault_policy).collect();
 
         let mut per_outcomes = vec![ProgressSnapshot::default(); n];
         let mut per_totals = vec![WorkloadTotals::default(); n];
         let mut outcomes = ProgressSnapshot::default();
         let mut totals = WorkloadTotals::default();
+
+        /// What a retired chain hands the emitter: a normal result or a
+        /// quarantined fault, both delivered in-order through the sink.
+        /// `Run` dwarfs `Faulted` but is also the overwhelmingly common
+        /// case, so boxing it would cost an allocation per emitted read
+        /// to shrink the rare variant.
+        #[allow(clippy::large_enum_variant)]
+        enum ChainOutput {
+            Run(ReadRun),
+            Failed { id: u32, fault: ReadFault },
+        }
 
         let stats = {
             let contexts = &contexts;
@@ -554,10 +654,15 @@ impl<'a> Session<'a> {
             let totals = &mut totals;
             let sinks = &mut sinks;
             session_engine(
-                workers,
-                options.queue_capacity,
-                n,
-                &schedule,
+                EngineConfig {
+                    workers,
+                    queue_capacity: options.queue_capacity,
+                    reject_backlog: options.reject_backlog,
+                    lanes: n,
+                    schedule: &schedule,
+                    policies: &policies,
+                    control,
+                },
                 || -> Vec<Option<WorkerScratch>> { (0..n).map(|_| None).collect() },
                 move |lane| {
                     sources[lane]
@@ -569,17 +674,48 @@ impl<'a> Session<'a> {
                     // worker may never see some sources' chunks.
                     let slot =
                         scratch[lane].get_or_insert_with(|| WorkerScratch::new(&contexts[lane]));
-                    chain.step(&contexts[lane], slot)
+                    match chain.step(&contexts[lane], slot) {
+                        ChainStep::Parked { units } => ChainStep::Parked { units },
+                        ChainStep::Finished {
+                            output,
+                            units,
+                            cancelled,
+                        } => ChainStep::Finished {
+                            output: ChainOutput::Run(output),
+                            units,
+                            cancelled,
+                        },
+                    }
                 },
-                move |lane, run: ReadRun| {
-                    totals.accumulate(&run);
-                    outcomes.observe(&run);
-                    per_totals[lane].accumulate(&run);
-                    per_outcomes[lane].observe(&run);
+                |_lane, chain: ReadChain| chain.retry(),
+                |_lane, chain: ReadChain, info: FaultInfo| ChainOutput::Failed {
+                    id: chain.read_id(),
+                    fault: ReadFault {
+                        kind: info.kind,
+                        message: info.message,
+                        chunk: chain.fault_chunk(),
+                        attempts: info.attempts,
+                    },
+                },
+                move |lane, output: ChainOutput| {
+                    let event = match output {
+                        ChainOutput::Run(run) => {
+                            totals.accumulate(&run);
+                            outcomes.observe(&run);
+                            per_totals[lane].accumulate(&run);
+                            per_outcomes[lane].observe(&run);
+                            StreamEvent::Read(run)
+                        }
+                        ChainOutput::Failed { id, fault } => {
+                            outcomes.observe_failed();
+                            per_outcomes[lane].observe_failed();
+                            StreamEvent::Failed { read_id: id, fault }
+                        }
+                    };
                     let snapshot_due = options.progress_every > 0
                         && per_outcomes[lane].reads_emitted % options.progress_every == 0;
                     if let Some(sink) = sinks[lane].as_mut() {
-                        sink(StreamEvent::Read(run));
+                        sink(event);
                         if snapshot_due {
                             sink(StreamEvent::Progress(per_outcomes[lane]));
                         }
@@ -599,6 +735,7 @@ impl<'a> Session<'a> {
                     workers,
                     in_flight_limit: stats.in_flight_limit,
                     max_in_flight: stats.lanes[s].max_in_flight,
+                    retried: stats.lanes[s].retried,
                     latency: stats.lanes[s].latency,
                 },
             })
@@ -610,6 +747,8 @@ impl<'a> Session<'a> {
             workers,
             in_flight_limit: stats.in_flight_limit,
             max_in_flight: stats.max_in_flight,
+            retried: stats.retried,
+            max_reject_backlog: stats.max_reject_backlog,
             latency: stats.latency,
         })
     }
@@ -625,6 +764,16 @@ impl<'a> Session<'a> {
 /// paper's "rejected reads stop consuming resources"), at in-order emission
 /// for surviving reads.
 ///
+/// The gate carries a second, *soft* bound: the backlog of verdict-released
+/// results (early-rejected or quarantined reads whose permit is already
+/// back but whose small result record still waits for its in-order emission
+/// slot). Once `backlog` reaches `backlog_limit`, `acquire`/`has_room`
+/// report no room — new reads stop being admitted — but permits stay
+/// decoupled from emission: parked chains keep advancing, so the
+/// head-of-line survivor always retires and the emitter drains the backlog.
+/// The backlog can transiently exceed the soft bound by at most `limit`
+/// (already-admitted chains may each add one entry after admission stops).
+///
 /// The gate can also be `open`ed — permits stop mattering and blocked
 /// acquirers return `false`. That is the shutdown path: if the sink or a
 /// worker panics, permits held by dropped items would never be released and
@@ -634,32 +783,43 @@ struct FlowGate {
     state: Mutex<GateState>,
     freed: Condvar,
     limit: usize,
+    backlog_limit: usize,
     high: AtomicUsize,
+    backlog_high: AtomicUsize,
 }
 
 struct GateState {
     used: usize,
+    backlog: usize,
     open: bool,
 }
 
 impl FlowGate {
-    fn new(limit: usize) -> FlowGate {
+    fn new(limit: usize, backlog_limit: usize) -> FlowGate {
         FlowGate {
             state: Mutex::new(GateState {
                 used: 0,
+                backlog: 0,
                 open: false,
             }),
             freed: Condvar::new(),
             limit,
+            backlog_limit,
             high: AtomicUsize::new(0),
+            backlog_high: AtomicUsize::new(0),
         }
     }
 
-    /// Takes a permit, blocking while the limit is reached. `false` means
-    /// the gate was opened for shutdown and no permit was taken.
+    fn admittable(&self, state: &GateState) -> bool {
+        state.used < self.limit && state.backlog < self.backlog_limit
+    }
+
+    /// Takes a permit, blocking while the limit is reached or the rejection
+    /// backlog is over its soft bound. `false` means the gate was opened
+    /// for shutdown and no permit was taken.
     fn acquire(&self) -> bool {
         let mut state = self.state.lock().expect("gate poisoned");
-        while !state.open && state.used >= self.limit {
+        while !state.open && !self.admittable(&state) {
             state = self.freed.wait(state).expect("gate poisoned");
         }
         if state.open {
@@ -676,7 +836,7 @@ impl FlowGate {
     /// else before it does.
     fn has_room(&self) -> bool {
         let state = self.state.lock().expect("gate poisoned");
-        state.open || state.used < self.limit
+        state.open || self.admittable(&state)
     }
 
     fn release(&self) {
@@ -684,6 +844,29 @@ impl FlowGate {
         state.used -= 1;
         drop(state);
         self.freed.notify_one();
+    }
+
+    /// Records one verdict-released result entering the emission backlog
+    /// (called by the dispatcher when a chain retires cancelled or
+    /// quarantined, right after its permit goes back).
+    fn push_backlog(&self) {
+        let mut state = self.state.lock().expect("gate poisoned");
+        state.backlog += 1;
+        self.backlog_high
+            .fetch_max(state.backlog, Ordering::Relaxed);
+    }
+
+    /// Records one verdict-released result leaving the backlog at its
+    /// in-order emission (called by the emitter).
+    fn pop_backlog(&self) {
+        let mut state = self.state.lock().expect("gate poisoned");
+        state.backlog -= 1;
+        drop(state);
+        self.freed.notify_one();
+    }
+
+    fn backlog_high_water(&self) -> usize {
+        self.backlog_high.load(Ordering::Relaxed)
     }
 
     /// Lets every current and future `acquire` through empty-handed.
@@ -737,6 +920,8 @@ pub(crate) struct LaneStats {
     /// High-water mark of this lane's resident chains (plus
     /// finished-but-unemitted surviving reads, which still hold permits).
     pub(crate) max_in_flight: usize,
+    /// Fault retries this lane's reads consumed.
+    pub(crate) retried: usize,
     /// Residency percentiles of this lane's reads.
     pub(crate) latency: LatencyStats,
 }
@@ -750,6 +935,11 @@ pub(crate) struct EngineStats {
     pub(crate) in_flight_limit: usize,
     /// High-water mark of resident chains across all lanes.
     pub(crate) max_in_flight: usize,
+    /// Fault retries across all lanes.
+    pub(crate) retried: usize,
+    /// High-water mark of the verdict-released emission backlog (0 on the
+    /// serial path, where emission is immediate).
+    pub(crate) max_reject_backlog: usize,
     /// Aggregate residency percentiles.
     pub(crate) latency: LatencyStats,
     /// Per-lane observations, indexed like the engine's lanes.
@@ -763,8 +953,10 @@ struct Task<C> {
     chain: C,
 }
 
-/// What a worker sends back after running one task. `Panicked` is a
-/// worker's dying gasp: "I panicked on this task — abort."
+/// What a worker sends back after running one task. `Faulted` is a
+/// contained panic — the chain survived and the dispatcher decides retry
+/// vs. quarantine. `Panicked` is a worker's dying gasp under
+/// [`FaultPolicy::Fail`]: "I panicked on this task — abort."
 enum WorkerMsg<C, O> {
     Parked {
         token: usize,
@@ -776,6 +968,12 @@ enum WorkerMsg<C, O> {
         output: O,
         units: u64,
         cancelled: bool,
+    },
+    Faulted {
+        token: usize,
+        chain: C,
+        kind: FaultKind,
+        message: String,
     },
     Panicked,
 }
@@ -795,7 +993,80 @@ struct ChainSlot<C> {
     lane: usize,
     seq: u64,
     start_tick: u64,
+    attempts: u32,
     chain: Option<C>,
+}
+
+/// The engine's scalar knobs, bundled so the closure parameters stay
+/// readable at the call site.
+pub(crate) struct EngineConfig<'s> {
+    pub(crate) workers: usize,
+    pub(crate) queue_capacity: usize,
+    pub(crate) reject_backlog: usize,
+    pub(crate) lanes: usize,
+    pub(crate) schedule: &'s Schedule,
+    pub(crate) policies: &'s [FaultPolicy],
+    pub(crate) control: &'s SessionControl,
+}
+
+/// What the engine learned about a contained fault, handed to the caller's
+/// `fault` closure when a chain is quarantined.
+pub(crate) struct FaultInfo {
+    pub(crate) kind: FaultKind,
+    pub(crate) message: String,
+    pub(crate) attempts: u32,
+}
+
+/// Turns a caught panic payload into a fault classification. A typed
+/// [`genpip_basecall::SignalFault`] is corrupt input; anything else is an
+/// unexpected panic, described by its string payload when it has one.
+fn classify_panic(payload: Box<dyn std::any::Any + Send>) -> (FaultKind, String) {
+    match payload.downcast::<genpip_basecall::SignalFault>() {
+        Ok(fault) => (FaultKind::CorruptSignal, fault.to_string()),
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            (FaultKind::Panic, message)
+        }
+    }
+}
+
+thread_local! {
+    /// `true` while this thread is inside a contained `step` call: the
+    /// quiet hook drops the panic report instead of spamming stderr for
+    /// every injected fault.
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that stays silent for panics
+/// raised inside [`step_contained`] and defers to the previous hook for
+/// everything else. Only called when some lane's policy actually contains
+/// faults, so `FaultPolicy::Fail` runs keep the stock hook untouched.
+fn install_quiet_hook() {
+    QUIET_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let suppressed = SUPPRESS_PANIC_OUTPUT.with(Cell::get);
+            if !suppressed {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` with panic output suppressed, returning the payload on panic.
+fn step_contained<T>(f: impl FnOnce() -> T) -> Result<T, Box<dyn std::any::Any + Send>> {
+    SUPPRESS_PANIC_OUTPUT.with(|c| c.set(true));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    SUPPRESS_PANIC_OUTPUT.with(|c| c.set(false));
+    outcome
 }
 
 /// The one execution core behind every driver: admits chains from `pull`
@@ -811,19 +1082,25 @@ struct ChainSlot<C> {
 /// reference execution: one chain at a time, stepped to completion, with
 /// the schedule consulted per admission.
 ///
-/// A panic anywhere — source, worker, or sink — tears the pipeline down
-/// (gate opened, channels closed) and propagates out of the scope join
-/// rather than deadlocking; already-finished earlier items may still be
-/// emitted first.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn session_engine<C, O, S, B, P, F, G>(
-    workers: usize,
-    queue_capacity: usize,
-    lanes: usize,
-    schedule: &Schedule,
+/// A panic in a chain task is *contained* when the lane's
+/// [`FaultPolicy`] is not `Fail`: the chain survives the unwind, the
+/// dispatcher re-enqueues it (`retry`, up to the policy's attempts) or
+/// retires it through `fault` as a quarantined output, and the run keeps
+/// going. Under `Fail` — and for panics outside chain tasks (source,
+/// sink) — the engine tears the pipeline down (gate opened, channels
+/// closed) and propagates out of the scope join rather than deadlocking;
+/// already-finished earlier items may still be emitted first.
+///
+/// `cfg.control` is the cooperative drain switch: once `drain()` is
+/// observed, no new reads are pulled, resident chains run to their
+/// verdicts, and the engine returns normally.
+pub(crate) fn session_engine<C, O, S, B, P, F, R, Q, G>(
+    cfg: EngineConfig<'_>,
     worker_state: B,
     mut pull: P,
     step: F,
+    mut retry: R,
+    mut fault: Q,
     mut emit: G,
 ) -> EngineStats
 where
@@ -832,46 +1109,101 @@ where
     B: Fn() -> S + Sync,
     P: FnMut(usize) -> Option<C> + Send,
     F: Fn(&mut S, usize, &mut C) -> ChainStep<O> + Sync,
+    R: FnMut(usize, C) -> C + Send,
+    Q: FnMut(usize, C, FaultInfo) -> O + Send,
     G: FnMut(usize, O),
 {
+    let EngineConfig {
+        workers,
+        queue_capacity,
+        reject_backlog,
+        lanes,
+        schedule,
+        policies,
+        control,
+    } = cfg;
+    debug_assert_eq!(policies.len(), lanes);
+    if policies.iter().any(|p| *p != FaultPolicy::Fail) {
+        install_quiet_hook();
+    }
     let mut lane_samples: Vec<Vec<u64>> = vec![Vec::new(); lanes];
 
     if workers <= 1 {
         let mut sched = SchedulerState::new(schedule, lanes);
         let mut state = worker_state();
         let mut lane_any = vec![false; lanes];
+        let mut lane_retried = vec![0usize; lanes];
         let mut tick = 0u64;
         let mut any = false;
         while let Some(lane) = sched.next() {
+            if control.is_draining() {
+                sched.exhausted(lane);
+                continue;
+            }
             match pull(lane) {
                 None => sched.exhausted(lane),
                 Some(mut chain) => {
                     any = true;
                     lane_any[lane] = true;
+                    let contain = policies[lane] != FaultPolicy::Fail;
+                    let max_retry = policies[lane].retry_attempts();
+                    let mut attempts = 0u32;
                     let start = tick;
-                    loop {
-                        match step(&mut state, lane, &mut chain) {
-                            ChainStep::Parked { units } => tick += units,
-                            ChainStep::Finished { output, units, .. } => {
-                                tick += units;
-                                lane_samples[lane].push(tick - start);
-                                emit(lane, output);
-                                break;
+                    let output = loop {
+                        if contain {
+                            match step_contained(|| step(&mut state, lane, &mut chain)) {
+                                Ok(ChainStep::Parked { units }) => tick += units,
+                                Ok(ChainStep::Finished { output, units, .. }) => {
+                                    tick += units;
+                                    break output;
+                                }
+                                Err(payload) => {
+                                    let (kind, message) = classify_panic(payload);
+                                    attempts += 1;
+                                    if attempts <= max_retry {
+                                        lane_retried[lane] += 1;
+                                        chain = retry(lane, chain);
+                                    } else {
+                                        break fault(
+                                            lane,
+                                            chain,
+                                            FaultInfo {
+                                                kind,
+                                                message,
+                                                attempts,
+                                            },
+                                        );
+                                    }
+                                }
+                            }
+                        } else {
+                            match step(&mut state, lane, &mut chain) {
+                                ChainStep::Parked { units } => tick += units,
+                                ChainStep::Finished { output, units, .. } => {
+                                    tick += units;
+                                    break output;
+                                }
                             }
                         }
-                    }
+                    };
+                    lane_samples[lane].push(tick - start);
+                    emit(lane, output);
                 }
             }
         }
         return EngineStats {
             in_flight_limit: 1,
             max_in_flight: usize::from(any),
+            retried: lane_retried.iter().sum(),
+            max_reject_backlog: 0,
             latency: aggregate_latency(&mut lane_samples),
             lanes: lane_samples
                 .iter_mut()
                 .zip(lane_any)
-                .map(|(samples, any)| LaneStats {
+                .zip(lane_retried)
+                .map(|((samples, any), retried)| LaneStats {
                     max_in_flight: usize::from(any),
+                    retried,
                     latency: LatencyStats::from_samples(samples),
                 })
                 .collect(),
@@ -880,12 +1212,13 @@ where
 
     let capacity = queue_capacity.max(1);
     let limit = capacity + workers;
-    let gate = FlowGate::new(limit);
+    let gate = FlowGate::new(limit, reject_backlog.max(1));
     // Per-lane permit attribution (admitted on the dispatcher, released on
     // the dispatcher at cancellation or on the emitting thread otherwise);
     // the *global* bound is the gate's, these only attribute high-waters.
     let lane_inflight: Vec<AtomicUsize> = (0..lanes).map(|_| AtomicUsize::new(0)).collect();
     let lane_high: Vec<AtomicUsize> = (0..lanes).map(|_| AtomicUsize::new(0)).collect();
+    let lane_retried: Vec<AtomicUsize> = (0..lanes).map(|_| AtomicUsize::new(0)).collect();
 
     // All channels are unbounded; the gate alone bounds what can be in them
     // (≤ `limit` chains exist, each with at most one task or emit message
@@ -906,10 +1239,13 @@ where
             let gate = &gate;
             let lane_inflight = &lane_inflight;
             let lane_high = &lane_high;
+            let lane_retried = &lane_retried;
             let worker_state = &worker_state;
             let step = &step;
             let task_rx = &task_rx;
             let pull = &mut pull;
+            let retry = &mut retry;
+            let fault = &mut fault;
             scope.spawn(move || {
                 let mut sched = SchedulerState::new(schedule, lanes);
                 let mut src_dry = vec![false; lanes];
@@ -923,6 +1259,21 @@ where
                 let mut spawned = 0usize;
 
                 'run: loop {
+                    // A drain request is equivalent to every source running
+                    // dry at once: stop pulling, let resident chains retire.
+                    // `exhausted` is idempotent, so racing a natural
+                    // exhaustion is fine.
+                    if control.is_draining() {
+                        for lane in 0..lanes {
+                            if !src_dry[lane] {
+                                src_dry[lane] = true;
+                                if live[lane] == 0 {
+                                    sched.exhausted(lane);
+                                }
+                            }
+                        }
+                    }
+
                     // Dispatch everything dispatchable, in schedule order: a
                     // lane is available if it has a parked chain to advance
                     // or a new read can be admitted under a fresh permit.
@@ -952,6 +1303,7 @@ where
                                     lane,
                                     seq: next_seq,
                                     start_tick: tick,
+                                    attempts: 0,
                                     chain: Some(chain),
                                 };
                                 next_seq += 1;
@@ -988,13 +1340,20 @@ where
                                     };
                                     // A panicking `step` would otherwise
                                     // strand this chain's permit and deadlock
-                                    // the dispatcher: catch it, tell the
-                                    // dispatcher to abort, then rethrow so
-                                    // the scope propagates it after teardown.
-                                    let outcome =
+                                    // the dispatcher: catch it. Under a
+                                    // containing policy the chain survives
+                                    // and the dispatcher decides its fate;
+                                    // under `Fail`, tell the dispatcher to
+                                    // abort, then rethrow so the scope
+                                    // propagates it after teardown.
+                                    let contain = policies[lane] != FaultPolicy::Fail;
+                                    let outcome = if contain {
+                                        step_contained(|| step(&mut state, lane, &mut chain))
+                                    } else {
                                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                                             || step(&mut state, lane, &mut chain),
-                                        ));
+                                        ))
+                                    };
                                     let msg = match outcome {
                                         Ok(ChainStep::Parked { units }) => WorkerMsg::Parked {
                                             token,
@@ -1011,6 +1370,18 @@ where
                                             units,
                                             cancelled,
                                         },
+                                        Err(panic) if contain => {
+                                            // The closure only borrowed the
+                                            // chain, so it survived the
+                                            // unwind intact.
+                                            let (kind, message) = classify_panic(panic);
+                                            WorkerMsg::Faulted {
+                                                token,
+                                                chain,
+                                                kind,
+                                                message,
+                                            }
+                                        }
                                         Err(panic) => {
                                             let _ = msg_tx.send(WorkerMsg::Panicked);
                                             std::panic::resume_unwind(panic);
@@ -1075,8 +1446,11 @@ where
                                 // The ER verdict: the read's remaining
                                 // chunks were never scheduled, and its
                                 // permit goes back *now*, not at emission.
+                                // Its result joins the soft-gated backlog
+                                // until its in-order emission slot.
                                 lane_inflight[lane].fetch_sub(1, Ordering::Relaxed);
                                 gate.release();
+                                gate.push_backlog();
                             }
                             let sent = emit_tx.send(EmitMsg {
                                 seq,
@@ -1087,6 +1461,58 @@ where
                             });
                             if sent.is_err() {
                                 break 'run; // emitter gone (sink panicked)
+                            }
+                        }
+                        WorkerMsg::Faulted {
+                            token,
+                            chain,
+                            kind,
+                            message,
+                        } => {
+                            outstanding -= 1;
+                            slots[token].attempts += 1;
+                            let lane = slots[token].lane;
+                            let attempts = slots[token].attempts;
+                            if attempts <= policies[lane].retry_attempts() {
+                                // Transient budget left: rewind the chain
+                                // and park it; the schedule will pick it
+                                // back up like any other resident chain.
+                                lane_retried[lane].fetch_add(1, Ordering::Relaxed);
+                                slots[token].chain = Some(retry(lane, chain));
+                                ready[lane].push_back(token);
+                            } else {
+                                // Quarantine: retire the chain like a
+                                // cancelled read — permit back now, result
+                                // into the backlog for in-order emission.
+                                let seq = slots[token].seq;
+                                let start_tick = slots[token].start_tick;
+                                free_tokens.push(token);
+                                live[lane] -= 1;
+                                if src_dry[lane] && live[lane] == 0 {
+                                    sched.exhausted(lane);
+                                }
+                                lane_inflight[lane].fetch_sub(1, Ordering::Relaxed);
+                                gate.release();
+                                gate.push_backlog();
+                                let output = fault(
+                                    lane,
+                                    chain,
+                                    FaultInfo {
+                                        kind,
+                                        message,
+                                        attempts,
+                                    },
+                                );
+                                let sent = emit_tx.send(EmitMsg {
+                                    seq,
+                                    lane,
+                                    output,
+                                    holds_permit: false,
+                                    resident_units: tick - start_tick,
+                                });
+                                if sent.is_err() {
+                                    break 'run; // emitter gone (sink panicked)
+                                }
                             }
                         }
                         WorkerMsg::Panicked => break 'run,
@@ -1112,6 +1538,8 @@ where
                 if m.holds_permit {
                     lane_inflight[m.lane].fetch_sub(1, Ordering::Relaxed);
                     gate.release();
+                } else {
+                    gate.pop_backlog();
                 }
                 next_emit += 1;
             }
@@ -1121,12 +1549,16 @@ where
     EngineStats {
         in_flight_limit: limit,
         max_in_flight: gate.high_water(),
+        retried: lane_retried.iter().map(|r| r.load(Ordering::Relaxed)).sum(),
+        max_reject_backlog: gate.backlog_high_water(),
         latency: aggregate_latency(&mut lane_samples),
         lanes: lane_samples
             .iter_mut()
             .zip(&lane_high)
-            .map(|(samples, high)| LaneStats {
+            .zip(&lane_retried)
+            .map(|((samples, high), retried)| LaneStats {
                 max_in_flight: high.load(Ordering::Relaxed),
+                retried: retried.load(Ordering::Relaxed),
                 latency: LatencyStats::from_samples(samples),
             })
             .collect(),
@@ -1160,11 +1592,23 @@ mod tests {
         let err = tiny_session()
             .options(StreamOptions {
                 queue_capacity: 0,
-                progress_every: 0,
+                ..StreamOptions::default()
             })
             .run()
             .unwrap_err();
         assert_eq!(err, SessionError::ZeroQueueCapacity);
+    }
+
+    #[test]
+    fn zero_reject_backlog_is_rejected() {
+        let err = tiny_session()
+            .options(StreamOptions {
+                reject_backlog: 0,
+                ..StreamOptions::default()
+            })
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::ZeroRejectBacklog);
     }
 
     #[test]
@@ -1323,6 +1767,7 @@ mod tests {
     fn session_errors_display_their_cause() {
         let messages = [
             SessionError::ZeroQueueCapacity.to_string(),
+            SessionError::ZeroRejectBacklog.to_string(),
             SessionError::ZeroWorkers.to_string(),
             SessionError::NoSources.to_string(),
             SessionError::DuplicateSource("x".into()).to_string(),
@@ -1434,6 +1879,57 @@ mod tests {
     }
 
     #[test]
+    fn transient_faults_succeed_on_retry() {
+        // A step that panics on its first attempt per read but succeeds on
+        // the retry: under `Retry { attempts: 1 }` every read must come out
+        // exactly once, with the retry counter recording one attempt each.
+        // This is the transient-fault path the injector (whose faults are
+        // permanent, baked into the data) cannot exercise.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let d = dataset();
+        let config =
+            GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Threads(2));
+        let ctx = RunContext::from_source(&d.stream(), &config);
+        let first_attempts = std::sync::Mutex::new(std::collections::HashSet::new());
+        let mut pending = d.reads.iter();
+        let control = SessionControl::new();
+        let emitted = AtomicUsize::new(0);
+        let stats = session_engine(
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 2,
+                reject_backlog: 256,
+                lanes: 1,
+                schedule: &Schedule::Sequential,
+                policies: &[FaultPolicy::Retry { attempts: 1 }],
+                control: &control,
+            },
+            || WorkerScratch::new(&ctx),
+            |_| pending.next().cloned(),
+            |scratch, _lane, read: &mut genpip_datasets::SimulatedRead| {
+                if first_attempts.lock().unwrap().insert(read.id) {
+                    panic!("transient fault on read {}", read.id);
+                }
+                let run = process_read(&ctx, Some(ErMode::Full), read, scratch);
+                ChainStep::Finished {
+                    units: run.chunks.len() as u64,
+                    cancelled: false,
+                    output: run,
+                }
+            },
+            |_lane, chain| chain,
+            |_lane, _chain, info: FaultInfo| -> crate::pipeline::ReadRun {
+                unreachable!("no read should exhaust its retry budget: {}", info.message)
+            },
+            |_, _run| {
+                emitted.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(emitted.load(Ordering::Relaxed), d.reads.len());
+        assert_eq!(stats.retried, d.reads.len());
+    }
+
+    #[test]
     fn worker_panic_propagates_instead_of_deadlocking() {
         // Run the engine with a step function that panics partway through,
         // under a watchdog: a regression back to the deadlock (stranded
@@ -1446,12 +1942,18 @@ mod tests {
                 GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Threads(2));
             let ctx = RunContext::from_source(&d.stream(), &config);
             let mut pending = d.reads.iter();
+            let control = SessionControl::new();
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 session_engine(
-                    2,
-                    1,
-                    1,
-                    &Schedule::Sequential,
+                    EngineConfig {
+                        workers: 2,
+                        queue_capacity: 1,
+                        reject_backlog: 256,
+                        lanes: 1,
+                        schedule: &Schedule::Sequential,
+                        policies: &[FaultPolicy::Fail],
+                        control: &control,
+                    },
                     || WorkerScratch::new(&ctx),
                     |_| pending.next().cloned(),
                     |scratch, _lane, read| {
@@ -1462,6 +1964,10 @@ mod tests {
                             cancelled: false,
                             output: run,
                         }
+                    },
+                    |_lane, chain| chain,
+                    |_lane, _chain, _info| -> crate::pipeline::ReadRun {
+                        unreachable!("FaultPolicy::Fail never quarantines")
                     },
                     |_, _| {},
                 )

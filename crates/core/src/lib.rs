@@ -69,16 +69,17 @@ pub mod scheduler;
 pub mod stream;
 pub mod systems;
 
-pub use config::{GenPipConfig, Parallelism};
+pub use config::{FaultPolicy, GenPipConfig, Parallelism};
 pub use engine::{
-    Flow, Granularity, Session, SessionError, SessionReport, SourceConfigIssue, SourceReport,
+    Flow, Granularity, Session, SessionControl, SessionError, SessionReport, SourceConfigIssue,
+    SourceReport,
 };
 pub use genpip_datasets::SourceId;
 pub use genpip_mapping::Shards;
 pub use pipeline::{CalledBases, ChunkWork, ErMode, PipelineRun, ReadOutcome, ReadRun};
 pub use scheduler::Schedule;
 pub use stream::{
-    run_conventional_streaming, run_genpip_streaming, FastqSink, LatencyStats, ProgressSnapshot,
-    StreamEvent, StreamOptions, StreamSummary,
+    run_conventional_streaming, run_genpip_streaming, FastqSink, FaultKind, LatencyStats,
+    ProgressSnapshot, ReadFault, StreamEvent, StreamOptions, StreamSummary,
 };
 pub use systems::SystemKind;

@@ -475,6 +475,52 @@ impl ReadChain {
             ReadChain::Conventional(chain) => chain.step(ctx, scratch),
         }
     }
+
+    /// The id of the read this chain carries, whatever its state.
+    pub(crate) fn read_id(&self) -> u32 {
+        match self {
+            ReadChain::Whole { read, .. } => read.id,
+            ReadChain::Pending { read, .. } => {
+                read.as_ref().expect("pending chain holds its read").id
+            }
+            ReadChain::GenPip(chain) => chain.read.id,
+            ReadChain::Conventional(chain) => chain.read.id,
+        }
+    }
+
+    /// Rewinds a faulted chain to a fresh attempt on the same read. Correct
+    /// because a chain's computation is a pure function of its read (the
+    /// signal is never mutated): restarting from scratch is bit-identical
+    /// to a first run, so a retry that succeeds produces exactly the output
+    /// a fault-free run would have.
+    pub(crate) fn retry(self) -> ReadChain {
+        match self {
+            ReadChain::Whole { .. } | ReadChain::Pending { .. } => self,
+            ReadChain::GenPip(chain) => ReadChain::Pending {
+                read: Some(chain.read),
+                er: Some(chain.er),
+            },
+            ReadChain::Conventional(chain) => ReadChain::Pending {
+                read: Some(chain.read),
+                er: None,
+            },
+        }
+    }
+
+    /// The chunk index whose task faulted, when the chain knows it: the
+    /// chunk a mid-step panic interrupted. `None` for read-granular chains
+    /// (the whole read is one task) and chains that never materialized.
+    pub(crate) fn fault_chunk(&self) -> Option<usize> {
+        match self {
+            ReadChain::Whole { .. } | ReadChain::Pending { .. } => None,
+            ReadChain::GenPip(chain) => match &chain.phase {
+                GenPipPhase::Empty => None,
+                GenPipPhase::Qsr { samples, next } => samples.get(*next).copied(),
+                GenPipPhase::Sequential { idx } => Some(*idx),
+            },
+            ReadChain::Conventional(chain) => (chain.idx < chain.specs.len()).then_some(chain.idx),
+        }
+    }
 }
 
 /// Where a [`GenPipChain`] is in the Figure 6 flow.
@@ -880,7 +926,7 @@ fn run_batch(
             // The dataset is already resident, so a roomy queue costs only
             // the in-flight clones and keeps workers from ever starving.
             queue_capacity: 4 * workers,
-            progress_every: 0,
+            ..StreamOptions::default()
         })
         .source("batch", dataset.stream())
         .sink("batch", |event| {

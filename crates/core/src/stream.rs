@@ -43,14 +43,29 @@ pub struct StreamOptions {
     /// (0 disables snapshots). In a multi-source session the cadence is per
     /// source, counted in that source's own reads.
     pub progress_every: usize,
+    /// Soft bound on the emission backlog of **verdict-released** results:
+    /// early-rejected and quarantined reads return their flow permit before
+    /// their (small) result record reaches its in-order emission slot, so
+    /// those records can pile up behind a slow head-of-line read. Once the
+    /// backlog reaches this bound the engine stops *admitting new reads*
+    /// until the emitter drains it — permits are never re-coupled to
+    /// emission, so resident chains keep advancing and the backlog always
+    /// drains. Peak backlog can transiently exceed the bound by at most the
+    /// in-flight limit (already-resident chains may each add one record
+    /// after admission stops). A `Session` rejects 0 with a typed error
+    /// ([`crate::engine::SessionError::ZeroRejectBacklog`]); the legacy
+    /// wrappers clamp it to 1.
+    pub reject_backlog: usize,
 }
 
 impl Default for StreamOptions {
-    /// A small queue (8) and no progress snapshots.
+    /// A small queue (8), no progress snapshots, and a generous (but
+    /// bounded) rejection backlog.
     fn default() -> StreamOptions {
         StreamOptions {
             queue_capacity: 8,
             progress_every: 0,
+            reject_backlog: 256,
         }
     }
 }
@@ -71,6 +86,9 @@ pub struct ProgressSnapshot {
     pub filtered_qc: usize,
     /// …of which fully processed but unmapped.
     pub unmapped: usize,
+    /// Reads quarantined after a fault (counted in `reads_emitted`; see
+    /// [`StreamEvent::Failed`]).
+    pub failed: usize,
     /// Raw samples basecalled so far.
     pub samples_basecalled: usize,
 }
@@ -87,6 +105,47 @@ impl ProgressSnapshot {
             ReadOutcome::Unmapped { .. } => self.unmapped += 1,
         }
     }
+
+    pub(crate) fn observe_failed(&mut self) {
+        self.reads_emitted += 1;
+        self.failed += 1;
+    }
+}
+
+/// What kind of fault took a read out of its run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The signal failed an integrity check (non-finite samples) before
+    /// decoding — the typed fault the basecaller raises for corrupt input.
+    CorruptSignal,
+    /// A chunk task panicked for any other reason.
+    Panic,
+}
+
+/// Why a read was quarantined: the fault kind, where in the chain it
+/// struck, and how many retries were burned first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadFault {
+    /// What struck (see [`FaultKind`]).
+    pub kind: FaultKind,
+    /// The panic payload, rendered as a string.
+    pub message: String,
+    /// Chunk index the fault struck at, when the chain knows (whole-read
+    /// granularity reports `None`).
+    pub chunk: Option<usize>,
+    /// Attempts consumed before quarantine (1 = failed on first try with no
+    /// retry budget; `1 + n` under `FaultPolicy::Retry { attempts: n }`).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for ReadFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.kind)?;
+        if let Some(chunk) = self.chunk {
+            write!(f, " at chunk {chunk}")?;
+        }
+        write!(f, " after {} attempt(s): {}", self.attempts, self.message)
+    }
 }
 
 /// What streaming sinks receive.
@@ -94,6 +153,16 @@ impl ProgressSnapshot {
 pub enum StreamEvent {
     /// One finished read, delivered in its source's read order.
     Read(ReadRun),
+    /// One quarantined read, delivered in its source's read order like any
+    /// other result. Only emitted under `FaultPolicy::Quarantine`/`Retry`;
+    /// under the default `FaultPolicy::Fail` a fault tears the session down
+    /// instead.
+    Failed {
+        /// The faulting read's id.
+        read_id: u32,
+        /// What happened to it.
+        fault: ReadFault,
+    },
     /// Periodic counters (cadence set by [`StreamOptions::progress_every`]),
     /// delivered immediately after the read that triggered them.
     Progress(ProgressSnapshot),
@@ -169,6 +238,10 @@ pub struct StreamSummary {
     /// *pulled but not yet emitted* may transiently exceed the limit by the
     /// number of verdict-released rejected reads awaiting emission.
     pub max_in_flight: usize,
+    /// Fault-retry attempts consumed across the run (reads re-enqueued
+    /// after a transient fault under `FaultPolicy::Retry`; final
+    /// quarantines are in [`ProgressSnapshot::failed`] instead).
+    pub retried: usize,
     /// Read-residency percentiles (see [`LatencyStats`]).
     pub latency: LatencyStats,
 }
@@ -186,6 +259,7 @@ fn clamp_legacy(config: &GenPipConfig, opts: &StreamOptions) -> (GenPipConfig, S
     }
     let opts = StreamOptions {
         queue_capacity: opts.queue_capacity.max(1),
+        reject_backlog: opts.reject_backlog.max(1),
         ..*opts
     };
     (config, opts)
@@ -214,6 +288,7 @@ fn run_streaming<S: ReadSource + Send>(
         workers,
         in_flight_limit: report.in_flight_limit,
         max_in_flight: report.max_in_flight,
+        retried: report.retried,
         latency: report.latency,
     }
 }
@@ -297,6 +372,15 @@ impl<W: io::Write> FastqSink<W> {
     /// Reads skipped because they carried no assembled bases.
     pub fn skipped(&self) -> usize {
         self.skipped
+    }
+
+    /// Whether a write error has struck (writing stopped at it; the error
+    /// itself comes out of [`FastqSink::finish`]). Sinks that want to stop
+    /// a session promptly poll this and call
+    /// [`crate::engine::SessionControl::drain`] on the first error, instead
+    /// of pulling reads they can no longer persist.
+    pub fn has_error(&self) -> bool {
+        self.error.is_some()
     }
 
     /// Flushes and returns the record count and the underlying writer, or
@@ -423,7 +507,7 @@ mod tests {
             let batch = run_genpip(&d, &config, ErMode::Full);
             let opts = StreamOptions {
                 queue_capacity: 2,
-                progress_every: 0,
+                ..StreamOptions::default()
             };
             let (reads, summary) = collect_streaming(&d, &config, ErMode::Full, &opts);
             assert_eq!(reads, batch.reads, "{parallelism:?}");
@@ -458,7 +542,8 @@ mod tests {
             GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Threads(0));
         let opts = StreamOptions {
             queue_capacity: 0,
-            progress_every: 0,
+            reject_backlog: 0,
+            ..StreamOptions::default()
         };
         let (reads, summary) = collect_streaming(&d, &config, ErMode::Full, &opts);
         assert_eq!(reads.len(), d.reads.len());
@@ -474,6 +559,7 @@ mod tests {
         let opts = StreamOptions {
             queue_capacity: 4,
             progress_every: every,
+            ..StreamOptions::default()
         };
         let mut snapshots = Vec::new();
         let mut reads_seen = 0usize;
@@ -489,6 +575,9 @@ mod tests {
                     StreamEvent::Progress(snap) => {
                         assert_eq!(snap.reads_emitted, reads_seen, "snapshot lags its read");
                         snapshots.push(snap);
+                    }
+                    StreamEvent::Failed { fault, .. } => {
+                        panic!("fault-free run emitted a failure: {fault}")
                     }
                 },
             );

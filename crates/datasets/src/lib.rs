@@ -29,10 +29,12 @@
 //! assert!(dataset.reads.iter().all(|r| !r.signal.samples.is_empty()));
 //! ```
 
+pub mod inject;
 pub mod profile;
 pub mod simulate;
 pub mod source;
 
+pub use inject::FaultInjector;
 pub use profile::{DatasetProfile, LengthModel};
 pub use simulate::{SimulatedDataset, SimulatedRead};
 pub use source::{DatasetStream, ReadSource, SourceId, StreamingSimulator};

@@ -29,7 +29,7 @@ fn main() {
         .with_parallelism(Parallelism::from_env_or(Parallelism::Auto));
     let opts = StreamOptions {
         queue_capacity: 8,
-        progress_every: 0,
+        ..StreamOptions::default()
     };
 
     let source_a = StreamingSimulator::new(&run_a);

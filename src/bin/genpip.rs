@@ -22,13 +22,13 @@
 //!   most `--queue` + workers reads are in memory across all sources;
 //! * `experiment` — regenerate one of the paper's figures/tables.
 
-use genpip::core::engine::{Flow, Session};
+use genpip::core::engine::{Flow, Session, SessionControl};
 use genpip::core::experiments;
 use genpip::core::pipeline::{run_genpip, ErMode, ReadOutcome};
 use genpip::core::scheduler::Schedule;
 use genpip::core::stream::{FastqSink, StreamEvent, StreamOptions};
-use genpip::core::{GenPipConfig, Parallelism};
-use genpip::datasets::{DatasetProfile, ReadSource, StreamingSimulator};
+use genpip::core::{FaultPolicy, GenPipConfig, Parallelism};
+use genpip::datasets::{DatasetProfile, FaultInjector, ReadSource, StreamingSimulator};
 use genpip::genomics::fastx;
 use genpip::mapping::paf::{write_paf, PafRecord};
 use genpip::mapping::{Mapper, MapperParams, Shards};
@@ -78,11 +78,12 @@ USAGE:
   genpip map --reference <ref.fasta> --reads <reads.fastq> [--paf <out.paf>]
              [--shards <single|auto|N>]
   genpip run [--profile <ecoli|human>] [--scale F] [--er <full|qsr|cp|off>]
-             [--shards <single|auto|N>]
+             [--shards <single|auto|N>] [--on-fault <fail|quarantine|retry[:N]>]
   genpip stream [--profile <ecoli|human>] [--scale F] [--er <full|qsr|cp|off>]
                [--source SPEC]... [--schedule <fair|sequential|priority>]
                [--queue N] [--progress N] [--threads <serial|auto|N>]
                [--shards <single|auto|N>] [--fastq-out PATH]
+               [--on-fault <fail|quarantine|retry[:N]>] [--inject-faults RATE]
   genpip experiment <fig04|fig07|fig10|fig11|fig12|fig13|tab01|tab02|useless|ablations> [--scale F]
 
 OPTIONS:
@@ -107,7 +108,16 @@ OPTIONS:
   --progress  `stream` per-source progress line cadence in reads (default 50, 0 = off)
   --threads   `stream` worker threads (default: GENPIP_PARALLELISM env or auto)
   --shards    reference-index shard count for `map`/`run`/`stream`; results
-              are bit-identical for every setting (default single)";
+              are bit-identical for every setting (default single)
+  --on-fault  what a faulting read does to the run (default fail):
+              fail aborts the process, quarantine contains the read and
+              keeps going, retry[:N] re-runs the read up to N times
+              (default 2) before quarantining. Exit code is nonzero when
+              reads failed unless quarantine was requested explicitly
+  --inject-faults
+              corrupt this fraction of reads in every `stream` source
+              (deterministic, seeded) — a fault-tolerance testing aid.
+              Implies quarantine when --on-fault is not given";
 
 /// Parsed command line: repeatable options keep every occurrence in order
 /// (`--source` is the only multi-valued one today); single-valued lookups
@@ -262,6 +272,30 @@ fn shards_from(parsed: &Parsed) -> Result<Shards, String> {
     }
 }
 
+/// `--on-fault`: the policy, plus whether the user asked for it explicitly
+/// (an explicit quarantine/retry request means quarantined reads are an
+/// expected outcome, not a failure exit).
+fn fault_policy_from(parsed: &Parsed) -> Result<(FaultPolicy, bool), String> {
+    match opt(parsed, "on-fault") {
+        None => Ok((FaultPolicy::default(), false)),
+        Some(s) => FaultPolicy::parse(s)
+            .map(|p| (p, true))
+            .ok_or_else(|| format!("invalid --on-fault {s:?} (use fail, quarantine, retry[:N])")),
+    }
+}
+
+/// Nonzero-exit rule shared by `run` and `stream`: failed reads fail the
+/// invocation unless containment was explicitly requested.
+fn fault_exit(failed: usize, explicit_containment: bool) -> Result<(), String> {
+    if failed > 0 && !explicit_containment {
+        Err(format!(
+            "{failed} read(s) failed (rerun with --on-fault quarantine to accept quarantined reads)"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 fn er_from(parsed: &Parsed) -> Result<ErMode, String> {
     match opt(parsed, "er").unwrap_or("full") {
         "full" => Ok(ErMode::Full),
@@ -275,6 +309,7 @@ fn cmd_run(parsed: &Parsed) -> Result<(), String> {
     let profile = profile_from(parsed)?;
     let er = er_from(parsed)?;
     let shards = shards_from(parsed)?;
+    let (fault_policy, explicit_fault) = fault_policy_from(parsed)?;
     println!(
         "running GenPIP ({:?}) on {} ({} index shard(s))…",
         er,
@@ -282,7 +317,9 @@ fn cmd_run(parsed: &Parsed) -> Result<(), String> {
         shards.resolve(profile.genome_len)
     );
     let dataset = profile.generate();
-    let config = GenPipConfig::for_dataset(&profile).with_shards(shards);
+    let config = GenPipConfig::for_dataset(&profile)
+        .with_shards(shards)
+        .with_fault_policy(fault_policy);
     let run = run_genpip(&dataset, &config, er);
     let totals = run.totals();
     let count = |pred: fn(&ReadOutcome) -> bool| run.count_outcomes(pred);
@@ -313,7 +350,12 @@ fn cmd_run(parsed: &Parsed) -> Result<(), String> {
         dataset.total_samples(),
         100.0 * (1.0 - totals.samples as f64 / dataset.total_samples() as f64)
     );
-    Ok(())
+    // Under a containing policy, quarantined reads never reach `run.reads`.
+    let failed = dataset.reads.len() - run.reads.len();
+    if failed > 0 {
+        println!("failed:         {failed} (quarantined)");
+    }
+    fault_exit(failed, explicit_fault && fault_policy != FaultPolicy::Fail)
 }
 
 /// One `--source` spec, parsed: `profile=<ecoli|human>[,scale=F][,name=ID]
@@ -381,6 +423,26 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
     let queue = usize_opt("queue", 8)?.max(1);
     let progress = usize_opt("progress", 50)?;
     let shards = shards_from(parsed)?;
+    let (mut fault_policy, explicit_fault) = fault_policy_from(parsed)?;
+    let inject_rate = match opt(parsed, "inject-faults") {
+        None => 0.0,
+        Some(s) => {
+            let rate: f64 = s
+                .parse()
+                .map_err(|_| format!("invalid --inject-faults {s:?}"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err("--inject-faults must be in [0, 1]".into());
+            }
+            rate
+        }
+    };
+    // Injected faults with the default Fail policy would tear the session
+    // down with a panic. Quarantine instead so the run completes and prints
+    // its per-source fault summary — but still exit nonzero, because the
+    // containment was not explicitly requested (see `fault_exit`).
+    if inject_rate > 0.0 && !explicit_fault {
+        fault_policy = FaultPolicy::Quarantine;
+    }
     let parallelism = match opt(parsed, "threads") {
         None => Parallelism::from_env_or(Parallelism::Auto),
         Some(s) => Parallelism::parse(s).ok_or_else(|| format!("invalid --threads {s:?}"))?,
@@ -422,6 +484,7 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
             .with_parallelism(parallelism)
             .with_shards(shards)
             .with_keep_bases(keep_bases)
+            .with_fault_policy(fault_policy)
     };
     if specs
         .iter()
@@ -436,6 +499,7 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
     let opts = StreamOptions {
         queue_capacity: queue,
         progress_every: progress,
+        ..StreamOptions::default()
     };
 
     println!(
@@ -472,9 +536,19 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
         .flow(Flow::GenPip(er))
         .schedule(schedule)
         .options(opts);
+    // The drain switch: a sink whose FASTQ writer goes sticky-bad pulls it,
+    // turning an unwritable output into a graceful wind-down instead of a
+    // torrent of dropped records.
+    let control = SessionControl::new();
     let name_width = specs.iter().map(|s| s.name.len()).max().unwrap_or(0);
-    for (spec, fastq) in specs.iter().zip(&fastq_sinks) {
-        let source = StreamingSimulator::new(&spec.profile);
+    for (i, (spec, fastq)) in specs.iter().zip(&fastq_sinks).enumerate() {
+        // Rate 0 makes the injector a transparent wrapper, so every source
+        // goes through it and the types stay uniform.
+        let source = FaultInjector::new(
+            StreamingSimulator::new(&spec.profile),
+            inject_rate,
+            0x9E1F + i as u64,
+        );
         let expected = source.reads_remaining().unwrap_or(0);
         println!(
             "  source {:<name_width$}  {} reads ({}, {} bp genome, weight {}, \
@@ -488,28 +562,41 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
         );
         let name = spec.name.clone();
         let fastq = fastq.as_ref();
+        let control_for_sink = control.clone();
         session = session
             .source_with_config(spec.name.as_str(), source, source_config(&spec.profile))
             .sink(spec.name.as_str(), move |event| {
                 if let Some(sink) = fastq {
                     sink.borrow_mut().handle(&event);
+                    if sink.borrow().has_error() && !control_for_sink.is_draining() {
+                        eprintln!("  [{name}] FASTQ writer failed — draining session");
+                        control_for_sink.drain();
+                    }
                 }
-                if let StreamEvent::Progress(p) = event {
-                    println!(
-                        "  [{name:<name_width$} {:>5}/{expected} reads]  mapped {:>5}  \
-                         rejected {:>5}  qc-filtered {:>4}  unmapped {:>4}  \
-                         ({} samples basecalled)",
-                        p.reads_emitted,
-                        p.mapped,
-                        p.rejected_qsr + p.rejected_cmr,
-                        p.filtered_qc,
-                        p.unmapped,
-                        p.samples_basecalled
-                    );
+                match event {
+                    StreamEvent::Failed { read_id, fault } => {
+                        eprintln!("  [{name:<name_width$}] read {read_id} failed: {fault}");
+                    }
+                    StreamEvent::Progress(p) => {
+                        println!(
+                            "  [{name:<name_width$} {:>5}/{expected} reads]  mapped {:>5}  \
+                             rejected {:>5}  qc-filtered {:>4}  unmapped {:>4}  \
+                             ({} samples basecalled)",
+                            p.reads_emitted,
+                            p.mapped,
+                            p.rejected_qsr + p.rejected_cmr,
+                            p.filtered_qc,
+                            p.unmapped,
+                            p.samples_basecalled
+                        );
+                    }
+                    _ => {}
                 }
             });
     }
-    let report = session.run().map_err(|e| e.to_string())?;
+    let report = session
+        .run_with_control(&control)
+        .map_err(|e| e.to_string())?;
 
     for (sink, path) in fastq_sinks.into_iter().zip(&fastq_paths) {
         let (Some(sink), Some(path)) = (sink, path) else {
@@ -557,7 +644,29 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
         "basecalled:     {} samples across {} bases",
         report.totals.samples, report.totals.bases_called
     );
-    Ok(())
+    if o.failed > 0 || report.retried > 0 {
+        let per_source: Vec<String> = report
+            .sources
+            .iter()
+            .filter(|s| s.summary.outcomes.failed > 0 || s.summary.retried > 0)
+            .map(|s| {
+                format!(
+                    "{}: {} failed, {} retried",
+                    s.id, s.summary.outcomes.failed, s.summary.retried
+                )
+            })
+            .collect();
+        println!(
+            "faults:         {} read(s) failed, {} retried [{}]",
+            o.failed,
+            report.retried,
+            per_source.join("; ")
+        );
+    }
+    fault_exit(
+        o.failed,
+        explicit_fault && fault_policy != FaultPolicy::Fail,
+    )
 }
 
 fn cmd_experiment(parsed: &Parsed) -> Result<(), String> {

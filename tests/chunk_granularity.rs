@@ -166,7 +166,7 @@ fn short_reads_stop_head_of_line_blocking_under_chunk_granularity() {
     let config = GenPipConfig::for_dataset(&long).with_parallelism(Parallelism::Threads(2));
     let opts = StreamOptions {
         queue_capacity: 8,
-        progress_every: 0,
+        ..StreamOptions::default()
     };
     let mut short_p99 = Vec::new();
     let mut outputs: Vec<(Vec<ReadRun>, Vec<ReadRun>)> = Vec::new();

@@ -79,7 +79,7 @@ fn interleaved_sources_are_bit_identical_to_solo_runs() {
     let base = GenPipConfig::for_dataset(&pa);
     let opts = StreamOptions {
         queue_capacity: 3,
-        progress_every: 0,
+        ..StreamOptions::default()
     };
     for er in [ErMode::None, ErMode::QsrOnly, ErMode::Full] {
         for parallelism in parallelism_sweep() {
@@ -185,7 +185,7 @@ fn in_flight_reads_stay_bounded_across_n_sources() {
         GenPipConfig::for_dataset(&profile).with_parallelism(Parallelism::Threads(workers));
     let opts = StreamOptions {
         queue_capacity,
-        progress_every: 0,
+        ..StreamOptions::default()
     };
     // ER rejections release their permit at the verdict (not at emission),
     // which is the only way pulled-minus-emitted may exceed the gate

@@ -133,7 +133,7 @@ fn streaming_with_sharded_mappers_matches_batch_and_keeps_the_memory_bound() {
     let batch = run_genpip(&d, &config, ErMode::Full);
     let opts = StreamOptions {
         queue_capacity,
-        progress_every: 0,
+        ..StreamOptions::default()
     };
     let mut reads: Vec<ReadRun> = Vec::new();
     let summary = run_genpip_streaming(&mut d.stream(), &config, ErMode::Full, &opts, |event| {

@@ -56,7 +56,7 @@ fn streaming_matches_batch_across_er_parallelism_and_queue_capacity() {
             for queue_capacity in [1usize, 8] {
                 let opts = StreamOptions {
                     queue_capacity,
-                    progress_every: 0,
+                    ..StreamOptions::default()
                 };
                 let (reads, summary) = collect(&mut d.stream(), &config, er, &opts);
                 let label = format!("{er:?} / {parallelism:?} / queue {queue_capacity}");
@@ -103,7 +103,7 @@ fn lazy_generator_streams_bit_identically_to_the_materialized_dataset() {
     let batch = run_genpip(&d, &config, ErMode::Full);
     let opts = StreamOptions {
         queue_capacity: 4,
-        progress_every: 0,
+        ..StreamOptions::default()
     };
     let mut lazy = genpip::datasets::StreamingSimulator::new(&profile);
     let (reads, _) = collect(&mut lazy, &config, ErMode::Full, &opts);
@@ -164,7 +164,7 @@ fn in_flight_reads_never_exceed_the_configured_bound() {
     };
     let opts = StreamOptions {
         queue_capacity,
-        progress_every: 0,
+        ..StreamOptions::default()
     };
     let mut emitted = 0usize;
     let mut rejected_emitted = 0usize;
