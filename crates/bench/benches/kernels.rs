@@ -6,13 +6,16 @@
 //! kernel, CAM search, Viterbi chunk decoding (allocation-free scratch
 //! path), minimizer extraction, chaining DP, sharded fan-out seeding at
 //! 1/2/4 index shards (with a shard-vs-monolithic bit-identity check),
-//! banded alignment, end-to-end single-read processing, `run_genpip` at
-//! 1/2/4 worker threads with a serial-vs-parallel bit-identity check, the
-//! streaming executor (`run_genpip_streaming` over a lazy
-//! `StreamingSimulator` source) across worker/queue settings with a
-//! streaming-vs-batch bit-identity check, and the multi-source `Session`
-//! engine (1 vs 2 fair-share-interleaved sources over one worker pool)
-//! with a per-source-vs-solo bit-identity check.
+//! banded alignment, end-to-end single-read processing, the batch
+//! pipeline (one `Session` source) at 1/2/4 worker threads with a
+//! serial-vs-parallel bit-identity check, the streaming executor (a
+//! `Session` over a lazy `StreamingSimulator` source) across worker/queue
+//! settings with a streaming-vs-batch bit-identity check, the
+//! multi-source `Session` engine (1 vs 2 fair-share-interleaved sources
+//! over one worker pool) with a per-source-vs-solo bit-identity check,
+//! and the *live* session control plane: mid-run attach/detach overhead
+//! against a static two-source session (bit-identity asserted) and the
+//! `Deadline` schedule's short-source tail residency against `FairShare`.
 //!
 //! Results are printed as a table and written to `BENCH_kernels.json` at the
 //! repo root so future PRs have a perf trajectory to compare against. Note
@@ -23,12 +26,12 @@
 use genpip_basecall::{Basecaller, CallScratch, EmissionModel};
 use genpip_bench::micro::{bench, bench_json, time_once, Json};
 use genpip_core::engine::Granularity;
-use genpip_core::engine::{Flow, Session};
-use genpip_core::pipeline::{run_genpip, ErMode, ReadRun};
+use genpip_core::engine::{AttachSpec, Flow, Session, SessionControl};
+use genpip_core::pipeline::{ErMode, ReadRun};
 use genpip_core::scheduler::Schedule;
-use genpip_core::stream::{run_genpip_streaming, StreamEvent, StreamOptions};
+use genpip_core::stream::{StreamEvent, StreamOptions};
 use genpip_core::{GenPipConfig, Parallelism};
-use genpip_datasets::{DatasetProfile, FaultInjector, StreamingSimulator};
+use genpip_datasets::{DatasetProfile, FaultInjector, SimulatedDataset, StreamingSimulator};
 use genpip_genomics::GenomeBuilder;
 use genpip_mapping::{
     minimizers_into, Anchor, ChainParams, IncrementalChainer, Mapper, MapperParams,
@@ -37,6 +40,28 @@ use genpip_mapping::{
 use genpip_pim::{CamBank, CrossbarArray};
 use genpip_signal::{PoreModel, SignalSynthesizer};
 use std::hint::black_box;
+use std::sync::{Arc, Mutex};
+
+/// One batch run through the `Session` engine: the dataset's reads, fully
+/// processed, in admission order.
+fn batch_via_session(
+    dataset: &SimulatedDataset,
+    config: &GenPipConfig,
+    er: ErMode,
+) -> Vec<ReadRun> {
+    let mut reads = Vec::new();
+    Session::new(config.clone())
+        .flow(Flow::GenPip(er))
+        .source("batch", dataset.stream())
+        .sink("batch", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads.push(run);
+            }
+        })
+        .run()
+        .expect("bench session inputs are valid");
+    reads
+}
 
 fn main() {
     let mut results = Vec::new();
@@ -281,7 +306,7 @@ fn main() {
         println!("{}", r.summary());
     }
 
-    // --- End-to-end pipeline: run_genpip at 1/2/4 worker threads ---
+    // --- End-to-end pipeline: one batch Session at 1/2/4 worker threads ---
     let scale = std::env::var("GENPIP_SCALE")
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
@@ -304,12 +329,12 @@ fn main() {
                 Parallelism::Threads(workers)
             });
         // One warm-up pass, then the timed pass.
-        let _ = run_genpip(&dataset, &config, ErMode::Full);
-        let (run, seconds) = time_once(|| run_genpip(&dataset, &config, ErMode::Full));
-        let reads_per_s = run.reads.len() as f64 / seconds;
+        let _ = batch_via_session(&dataset, &config, ErMode::Full);
+        let (reads, seconds) = time_once(|| batch_via_session(&dataset, &config, ErMode::Full));
+        let reads_per_s = reads.len() as f64 / seconds;
         match &serial_reads {
-            None => serial_reads = Some((run.reads.clone(), seconds)),
-            Some((reference, _)) => bit_identical &= reference == &run.reads,
+            None => serial_reads = Some((reads.clone(), seconds)),
+            Some((reference, _)) => bit_identical &= reference == &reads,
         }
         let speedup = serial_reads
             .as_ref()
@@ -356,12 +381,17 @@ fn main() {
         };
         let mut reads = Vec::new();
         let (summary, seconds) = time_once(|| {
-            let mut source = StreamingSimulator::new(&dataset.profile);
-            run_genpip_streaming(&mut source, &config, ErMode::Full, &opts, |event| {
-                if let StreamEvent::Read(run) = event {
-                    reads.push(run);
-                }
-            })
+            Session::new(config.clone())
+                .flow(Flow::GenPip(ErMode::Full))
+                .options(opts)
+                .source("stream", StreamingSimulator::new(&dataset.profile))
+                .sink("stream", |event| {
+                    if let StreamEvent::Read(run) = event {
+                        reads.push(run);
+                    }
+                })
+                .run()
+                .expect("bench session inputs are valid")
         });
         streaming_matches_batch &= &reads == batch_reference;
         let reads_per_s = summary.outcomes.reads_emitted as f64 / seconds;
@@ -615,6 +645,262 @@ fn main() {
         "fault containment changed the surviving reads"
     );
 
+    // --- Live session: control-plane attach/detach + Deadline tails ---
+    // A source attached mid-run must cost only the control-plane
+    // round-trip (its per-read output stays bit-identical to a static
+    // registration), a detach must drain and finalize without disturbing
+    // the surviving source, and the Deadline schedule must move only
+    // *when* chunks run — never the results.
+    println!("\n=== live session bench (control plane + Deadline schedule) ===");
+    let mut live_rows = Vec::new();
+    let mut live_matches_static = true;
+    let live_config =
+        GenPipConfig::for_dataset(&dataset.profile).with_parallelism(Parallelism::Threads(4));
+    let live_opts = StreamOptions {
+        queue_capacity: 8,
+        ..StreamOptions::default()
+    };
+
+    // Baseline: both sources registered before the run.
+    let mut static_a = Vec::new();
+    let mut static_b = Vec::new();
+    let (static_report, static_seconds) = time_once(|| {
+        Session::new(live_config.clone())
+            .flow(Flow::GenPip(ErMode::Full))
+            .schedule(Schedule::FairShare)
+            .options(live_opts)
+            .source("a", StreamingSimulator::new(&dataset.profile))
+            .source("b", StreamingSimulator::new(&dataset.profile))
+            .sink("a", |event| {
+                if let StreamEvent::Read(run) = event {
+                    static_a.push(run);
+                }
+            })
+            .sink("b", |event| {
+                if let StreamEvent::Read(run) = event {
+                    static_b.push(run);
+                }
+            })
+            .run()
+            .expect("bench session inputs are valid")
+    });
+    println!(
+        "static two-source: {static_seconds:.3} s  peak in-flight {}/{}",
+        static_report.max_in_flight, static_report.in_flight_limit
+    );
+    live_rows.push(Json::obj([
+        ("case", Json::Str("static_two_source".into())),
+        ("threads", Json::Num(4.0)),
+        ("seconds", Json::Num(static_seconds)),
+        (
+            "reads_per_s",
+            Json::Num(static_report.outcomes.reads_emitted as f64 / static_seconds),
+        ),
+        (
+            "max_in_flight",
+            Json::Num(static_report.max_in_flight as f64),
+        ),
+        (
+            "in_flight_limit",
+            Json::Num(static_report.in_flight_limit as f64),
+        ),
+    ]));
+
+    // Live attach: "b" joins through the control plane after "a"'s fifth
+    // emission; per-source output must match the static registration.
+    {
+        let control = SessionControl::new();
+        let live_a: Arc<Mutex<Vec<ReadRun>>> = Arc::new(Mutex::new(Vec::new()));
+        let live_b: Arc<Mutex<Vec<ReadRun>>> = Arc::new(Mutex::new(Vec::new()));
+        let attach_handle = Arc::new(Mutex::new(None));
+        let (live_report, live_seconds) = time_once(|| {
+            let profile = dataset.profile.clone();
+            let control_in_sink = control.clone();
+            let a_bucket = Arc::clone(&live_a);
+            let b_bucket = Arc::clone(&live_b);
+            let handle_slot = Arc::clone(&attach_handle);
+            let mut emitted = 0usize;
+            Session::new(live_config.clone())
+                .flow(Flow::GenPip(ErMode::Full))
+                .schedule(Schedule::FairShare)
+                .options(live_opts)
+                .source("a", StreamingSimulator::new(&dataset.profile))
+                .sink("a", move |event| {
+                    if let StreamEvent::Read(run) = event {
+                        a_bucket.lock().unwrap().push(run);
+                        emitted += 1;
+                        if emitted == 5 {
+                            let sink_bucket = Arc::clone(&b_bucket);
+                            let handle = control_in_sink.attach_with(
+                                "b",
+                                StreamingSimulator::new(&profile),
+                                AttachSpec::new().sink(move |event| {
+                                    if let StreamEvent::Read(run) = event {
+                                        sink_bucket.lock().unwrap().push(run);
+                                    }
+                                }),
+                            );
+                            *handle_slot.lock().unwrap() = Some(handle);
+                        }
+                    }
+                })
+                .run_with_control(&control)
+                .expect("bench session inputs are valid")
+        });
+        let handle = attach_handle.lock().unwrap().take().expect("attach fired");
+        handle.wait().expect("attach accepted");
+        let live_a = live_a.lock().unwrap();
+        let live_b = live_b.lock().unwrap();
+        live_matches_static &= *live_a == static_a && *live_b == static_b;
+        println!(
+            "live attach at 5: {live_seconds:.3} s  (overhead vs static {:+.1}%)  \
+             peak in-flight {}/{}",
+            (live_seconds / static_seconds - 1.0) * 100.0,
+            live_report.max_in_flight,
+            live_report.in_flight_limit
+        );
+        live_rows.push(Json::obj([
+            ("case", Json::Str("live_attach".into())),
+            ("threads", Json::Num(4.0)),
+            ("seconds", Json::Num(live_seconds)),
+            (
+                "reads_per_s",
+                Json::Num(live_report.outcomes.reads_emitted as f64 / live_seconds),
+            ),
+            (
+                "overhead_vs_static",
+                Json::Num(live_seconds / static_seconds - 1.0),
+            ),
+            ("max_in_flight", Json::Num(live_report.max_in_flight as f64)),
+            (
+                "in_flight_limit",
+                Json::Num(live_report.in_flight_limit as f64),
+            ),
+        ]));
+    }
+
+    // Live detach: "b" leaves through the control plane after ten total
+    // emissions; its resident chains finish (summary finalized) and the
+    // surviving source's output is untouched.
+    {
+        let control = SessionControl::new();
+        let survivor: Arc<Mutex<Vec<ReadRun>>> = Arc::new(Mutex::new(Vec::new()));
+        let detach_handle = Arc::new(Mutex::new(None));
+        let emitted = Arc::new(Mutex::new(0usize));
+        let (detach_report, detach_seconds) = time_once(|| {
+            let mut session = Session::new(live_config.clone())
+                .flow(Flow::GenPip(ErMode::Full))
+                .schedule(Schedule::FairShare)
+                .options(live_opts)
+                .source("a", StreamingSimulator::new(&dataset.profile))
+                .source("b", StreamingSimulator::new(&dataset.profile));
+            for id in ["a", "b"] {
+                let control_in_sink = control.clone();
+                let handle_slot = Arc::clone(&detach_handle);
+                let counter = Arc::clone(&emitted);
+                let bucket = (id == "a").then(|| Arc::clone(&survivor));
+                session = session.sink(id, move |event| {
+                    if let StreamEvent::Read(run) = event {
+                        if let Some(bucket) = &bucket {
+                            bucket.lock().unwrap().push(run);
+                        }
+                        let mut n = counter.lock().unwrap();
+                        *n += 1;
+                        if *n == 10 {
+                            *handle_slot.lock().unwrap() = Some(control_in_sink.detach("b"));
+                        }
+                    }
+                });
+            }
+            session
+                .run_with_control(&control)
+                .expect("bench session inputs are valid")
+        });
+        let handle = detach_handle.lock().unwrap().take().expect("detach fired");
+        let summary = handle.wait().expect("detach honored");
+        live_matches_static &= *survivor.lock().unwrap() == static_a;
+        println!(
+            "live detach at 10: {detach_seconds:.3} s  detached source emitted {} \
+             read(s) before leaving",
+            summary.outcomes.reads_emitted
+        );
+        live_rows.push(Json::obj([
+            ("case", Json::Str("live_detach".into())),
+            ("threads", Json::Num(4.0)),
+            ("seconds", Json::Num(detach_seconds)),
+            (
+                "detached_reads_emitted",
+                Json::Num(summary.outcomes.reads_emitted as f64),
+            ),
+            (
+                "max_in_flight",
+                Json::Num(detach_report.max_in_flight as f64),
+            ),
+            (
+                "in_flight_limit",
+                Json::Num(detach_report.in_flight_limit as f64),
+            ),
+        ]));
+    }
+
+    // Deadline vs FairShare on the mixed workload: the short source gets a
+    // tight residency target, the long source a lax one. Outputs must stay
+    // bit-identical — the schedule only moves *when* chunks run.
+    let mut tail_outputs: Vec<(Vec<ReadRun>, Vec<ReadRun>)> = Vec::new();
+    for (label, schedule) in [
+        ("fairshare", Schedule::FairShare),
+        ("deadline", Schedule::Deadline(vec![16, 400])),
+    ] {
+        let mut short_reads = Vec::new();
+        let mut long_reads = Vec::new();
+        let (report, seconds) = time_once(|| {
+            Session::new(mixed_config.clone())
+                .flow(Flow::GenPip(ErMode::Full))
+                .schedule(schedule)
+                .options(mixed_opts)
+                .source("short", StreamingSimulator::new(&short_profile))
+                .source("long", StreamingSimulator::new(&long_profile))
+                .sink("short", |event| {
+                    if let StreamEvent::Read(run) = event {
+                        short_reads.push(run);
+                    }
+                })
+                .sink("long", |event| {
+                    if let StreamEvent::Read(run) = event {
+                        long_reads.push(run);
+                    }
+                })
+                .run()
+                .expect("bench session inputs are valid")
+        });
+        let short_latency = report
+            .source("short")
+            .expect("short reported")
+            .summary
+            .latency;
+        println!(
+            "tails {label:>9}: {seconds:.3} s  short-source residency p50/p99/max \
+             {}/{}/{} units",
+            short_latency.p50, short_latency.p99, short_latency.max
+        );
+        live_rows.push(Json::obj([
+            ("case", Json::Str(format!("tail_{label}"))),
+            ("threads", Json::Num(2.0)),
+            ("seconds", Json::Num(seconds)),
+            ("short_p50", Json::Num(short_latency.p50 as f64)),
+            ("short_p99", Json::Num(short_latency.p99 as f64)),
+            ("short_max", Json::Num(short_latency.max as f64)),
+            ("aggregate_p99", Json::Num(report.latency.p99 as f64)),
+        ]));
+        tail_outputs.push((short_reads, long_reads));
+    }
+    live_matches_static &= tail_outputs[0] == tail_outputs[1];
+    println!("live-session outputs bit-identical to static/FairShare: {live_matches_static}");
+    assert!(
+        live_matches_static,
+        "live session attach/detach or Deadline changed per-source outputs"
+    );
+
     let report = Json::obj([
         ("schema", Json::Str("genpip-bench-kernels-v1".into())),
         (
@@ -655,6 +941,11 @@ fn main() {
         (
             "fault_tolerance_matches",
             Json::Bool(fault_tolerance_matches),
+        ),
+        ("live_session", Json::Arr(live_rows)),
+        (
+            "live_session_matches_static",
+            Json::Bool(live_matches_static),
         ),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");

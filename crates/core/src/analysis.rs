@@ -280,15 +280,15 @@ pub fn accuracy_retention(er_run: &PipelineRun, oracle: &PipelineRun) -> Accurac
 mod tests {
     use super::*;
     use crate::config::GenPipConfig;
-    use crate::pipeline::{run_conventional, run_genpip, ErMode};
+    use crate::pipeline::{batch_conventional, batch_genpip, ErMode};
     use genpip_datasets::DatasetProfile;
     use genpip_datasets::SimulatedDataset;
 
     fn setup() -> (SimulatedDataset, PipelineRun, PipelineRun) {
         let d = DatasetProfile::ecoli().scaled(0.15).generate();
         let config = GenPipConfig::for_dataset(&d.profile);
-        let oracle = run_conventional(&d, &config);
-        let er = run_genpip(&d, &config, ErMode::Full);
+        let oracle = batch_conventional(&d, &config);
+        let er = batch_genpip(&d, &config, ErMode::Full);
         (d, oracle, er)
     }
 

@@ -3,9 +3,8 @@
 use genpip_datasets::DatasetProfile;
 use genpip_mapping::{MapperParams, Shards};
 
-/// How many software worker threads the pipeline drivers
-/// ([`crate::pipeline::run_conventional`] / [`crate::pipeline::run_genpip`])
-/// spread reads across.
+/// How many software worker threads the [`Session`](crate::engine::Session)
+/// engine spreads reads across.
 ///
 /// Results are **bit-identical** across all settings: reads are independent,
 /// every worker computes deterministically, and results are reassembled in

@@ -139,14 +139,14 @@ impl Default for GenPipController {
 mod tests {
     use super::*;
     use crate::config::GenPipConfig;
-    use crate::pipeline::{run_genpip, ErMode};
+    use crate::pipeline::{batch_genpip, ErMode};
     use genpip_datasets::DatasetProfile;
 
     #[test]
     fn paper_buffer_sizes_suffice_for_the_datasets() {
         let d = DatasetProfile::ecoli().scaled(0.1).generate();
         let config = GenPipConfig::for_dataset(&d.profile);
-        let run = run_genpip(&d, &config, ErMode::Full);
+        let run = batch_genpip(&d, &config, ErMode::Full);
         let report = GenPipController::new().replay(&run);
         assert_eq!(report.read_queue_overflows, 0);
         assert_eq!(report.chunk_buffer_overflows, 0);
@@ -159,7 +159,7 @@ mod tests {
     fn er_signal_counts_match_outcomes() {
         let d = DatasetProfile::ecoli().scaled(0.1).generate();
         let config = GenPipConfig::for_dataset(&d.profile);
-        let run = run_genpip(&d, &config, ErMode::Full);
+        let run = batch_genpip(&d, &config, ErMode::Full);
         let report = GenPipController::new().replay(&run);
         let qsr = run.count_outcomes(|o| matches!(o, ReadOutcome::RejectedQsr { .. }));
         let cmr = run.count_outcomes(|o| matches!(o, ReadOutcome::RejectedCmr { .. }));
@@ -172,7 +172,7 @@ mod tests {
     fn high_water_tracks_longest_read() {
         let d = DatasetProfile::ecoli().scaled(0.1).generate();
         let config = GenPipConfig::for_dataset(&d.profile);
-        let run = run_genpip(&d, &config, ErMode::None);
+        let run = batch_genpip(&d, &config, ErMode::None);
         let report = GenPipController::new().replay(&run);
         let longest_raw = run.reads.iter().map(|r| r.raw_bytes()).max().unwrap();
         assert_eq!(report.read_queue_high_water, longest_raw);
@@ -182,7 +182,7 @@ mod tests {
     fn report_renders() {
         let d = DatasetProfile::ecoli().scaled(0.05).generate();
         let config = GenPipConfig::for_dataset(&d.profile);
-        let run = run_genpip(&d, &config, ErMode::Full);
+        let run = batch_genpip(&d, &config, ErMode::Full);
         let s = GenPipController::new().replay(&run).to_string();
         assert!(s.contains("read queue"));
         assert!(s.contains("ER signals"));

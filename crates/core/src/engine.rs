@@ -118,7 +118,7 @@ use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, Once};
+use std::sync::{mpsc, Arc, Condvar, Mutex, Once, RwLock};
 
 /// Which pipeline a [`Session`] runs over its reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,27 +154,226 @@ pub enum Granularity {
     Chunk,
 }
 
-/// A cloneable remote control for a running [`Session`] (see
-/// [`Session::run_with_control`]).
+/// A cloneable remote control for a [`Session`] — its **control plane**
+/// (see [`Session::run_with_control`]).
 ///
-/// Today it carries one signal: [`SessionControl::drain`]. Draining is
-/// graceful, not abortive — the session stops pulling new reads from every
-/// source, finishes the chains already resident (emitting their results
-/// through the sinks in the usual in-order fashion), and returns its
-/// [`SessionReport`] normally. Calling `drain` before the run starts makes
-/// the session return immediately with empty counters; calling it more than
-/// once is harmless.
+/// Four verbs:
 ///
-/// The handle is `Send + Sync + Clone`, so it can be triggered from another
-/// thread (a signal handler, a service shutdown path) or from inside a sink
-/// (e.g. [`crate::stream::FastqSink`] hitting a disk-full error).
-#[derive(Clone, Debug, Default)]
+/// * [`SessionControl::attach`] (plus [`SessionControl::attach_with_config`]
+///   and the full-spec [`SessionControl::attach_with`]) adds a named source
+///   to the *running* session. The source is validated exactly like
+///   [`Session::source_with_config`] validates at startup — a typed
+///   [`SessionError`] comes back through the returned [`PendingAttach`] —
+///   and admission is bounded by [`StreamOptions::max_sources`]. Once
+///   accepted, the source joins the schedule and its first read can be
+///   admitted immediately.
+/// * [`SessionControl::detach`] removes a named source: the session stops
+///   pulling from it, its resident chains finish normally (bit-identity is
+///   preserved — detach changes *when* pulling stops, never a read's
+///   result), and its finalized per-source [`StreamSummary`] is delivered
+///   through the returned [`PendingDetach`]. Source ids are never reused
+///   within a session, even after detach.
+/// * [`SessionControl::stats`] snapshots per-source progress counters
+///   without blocking the session.
+/// * [`SessionControl::drain`] is the whole-session graceful shutdown:
+///   stop pulling from every source, finish what is resident, return the
+///   [`SessionReport`] normally. Calling `drain` before the run starts
+///   makes the session return immediately with empty counters; calling it
+///   more than once is harmless.
+///
+/// The handle is `Send + Sync + Clone`, so it can be driven from another
+/// thread (a service's admission path, a signal handler) or from inside a
+/// sink (e.g. [`crate::stream::FastqSink`] hitting a disk-full error, or a
+/// sink attaching the next flowcell after the current one's Nth read).
+/// Commands are applied by the running session at deterministic points in
+/// its dispatch loop; commands still queued when the session finishes are
+/// refused with [`SessionError::SessionClosed`].
+///
+/// Do **not** block on [`PendingAttach::wait`] / [`PendingDetach::wait`]
+/// from inside a sink — the session applies commands on its own threads and
+/// a sink that waits for the response it is itself blocking would deadlock
+/// the run. Fire the command in the sink, keep the pending handle, and
+/// resolve it after [`Session::run_with_control`] returns (or from another
+/// thread).
+#[derive(Clone, Default)]
 pub struct SessionControl {
-    draining: Arc<AtomicBool>,
+    state: Arc<ControlState>,
+}
+
+/// The shared state behind every clone of a [`SessionControl`].
+#[derive(Default)]
+struct ControlState {
+    draining: AtomicBool,
+    inner: Mutex<ControlInner>,
+}
+
+#[derive(Default)]
+struct ControlInner {
+    /// Commands enqueued by control-plane calls, drained by the running
+    /// session at its poll points.
+    commands: VecDeque<Command>,
+    /// Live per-source progress, updated at every in-order emission.
+    stats: SessionStats,
+    /// `true` outside a run: enqueue-time refusal with
+    /// [`SessionError::SessionClosed`] rather than a command that would
+    /// never be polled. A fresh control is *open* so sources can be
+    /// attached before the run starts — they are applied at the session's
+    /// first poll.
+    closed: bool,
+}
+
+/// A control-plane command in flight to the running session.
+enum Command {
+    Attach(Box<AttachRequest>),
+    Detach {
+        id: SourceId,
+        responder: mpsc::Sender<Result<StreamSummary, SessionError>>,
+    },
+}
+
+/// A fully-specified attach on its way to the session.
+struct AttachRequest {
+    id: SourceId,
+    source: Box<dyn ReadSource + Send>,
+    config: Option<GenPipConfig>,
+    sink: Option<AttachedSink>,
+    weight: u32,
+    target: Option<u64>,
+    responder: mpsc::Sender<Result<(), SessionError>>,
+}
+
+/// Everything [`SessionControl::attach_with`] can say about a new source
+/// beyond its id: a per-source config override (validated like
+/// [`Session::source_with_config`]), a sink, a [`Schedule::Priority`]
+/// weight, and a [`Schedule::Deadline`] residency target.
+#[derive(Default)]
+pub struct AttachSpec {
+    config: Option<GenPipConfig>,
+    sink: Option<AttachedSink>,
+    weight: Option<u32>,
+    target: Option<u64>,
+}
+
+impl AttachSpec {
+    /// An empty spec: session-wide config, no sink, priority weight 1, and
+    /// (under [`Schedule::Deadline`]) the laxest target already registered.
+    pub fn new() -> AttachSpec {
+        AttachSpec::default()
+    }
+
+    /// Per-source config override, validated against the source's reference
+    /// and chemistry exactly like [`Session::source_with_config`].
+    pub fn config(mut self, config: GenPipConfig) -> AttachSpec {
+        self.config = Some(config);
+        self
+    }
+
+    /// Per-source sink. It runs on the session's emitting thread, so unlike
+    /// builder sinks it must be `Send`; it is installed before the source's
+    /// first read is emitted.
+    pub fn sink(mut self, sink: impl FnMut(StreamEvent) + Send + 'static) -> AttachSpec {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// [`Schedule::Priority`] weight (default 1). Rejected with
+    /// [`SessionError::ZeroPriorityWeight`] if 0 on a priority session;
+    /// ignored under other schedules.
+    pub fn weight(mut self, weight: u32) -> AttachSpec {
+        self.weight = Some(weight);
+        self
+    }
+
+    /// [`Schedule::Deadline`] residency target in chunk-work units.
+    /// Rejected with [`SessionError::ZeroDeadlineTarget`] if 0 on a
+    /// deadline session; ignored under other schedules.
+    pub fn deadline_target(mut self, target: u64) -> AttachSpec {
+        self.target = Some(target);
+        self
+    }
+}
+
+/// The pending response to a [`SessionControl::attach`]. The session
+/// validates the source at its next poll point and answers here.
+#[derive(Debug)]
+pub struct PendingAttach {
+    rx: mpsc::Receiver<Result<(), SessionError>>,
+}
+
+impl PendingAttach {
+    /// Blocks until the session accepts or refuses the attach. If the
+    /// session finishes (or its control is dropped) without answering, this
+    /// resolves to [`SessionError::SessionClosed`]. Never call from inside
+    /// a sink (see [`SessionControl`]); if no session ever runs with this
+    /// control, `wait` blocks indefinitely — prefer
+    /// [`PendingAttach::try_result`] when that is possible.
+    pub fn wait(self) -> Result<(), SessionError> {
+        self.rx.recv().unwrap_or(Err(SessionError::SessionClosed))
+    }
+
+    /// The response if it has arrived, without blocking.
+    pub fn try_result(&self) -> Option<Result<(), SessionError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// The pending response to a [`SessionControl::detach`]: the detached
+/// source's finalized [`StreamSummary`] once its resident chains have
+/// finished and their results were emitted.
+#[derive(Debug)]
+pub struct PendingDetach {
+    rx: mpsc::Receiver<Result<StreamSummary, SessionError>>,
+}
+
+impl PendingDetach {
+    /// Blocks until the source has fully drained (its summary arrives) or
+    /// the detach is refused. Resolves to [`SessionError::SessionClosed`]
+    /// if the session finishes without answering. The same caveats as
+    /// [`PendingAttach::wait`] apply.
+    pub fn wait(self) -> Result<StreamSummary, SessionError> {
+        self.rx.recv().unwrap_or(Err(SessionError::SessionClosed))
+    }
+
+    /// The response if it has arrived, without blocking.
+    pub fn try_result(&self) -> Option<Result<StreamSummary, SessionError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// One source's progress in a [`SessionStats`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceStats {
+    /// The id the source is registered under.
+    pub id: SourceId,
+    /// Outcome counters as of the source's last in-order emission.
+    pub outcomes: ProgressSnapshot,
+    /// `true` once the source was detached and its summary delivered.
+    pub detached: bool,
+}
+
+/// A point-in-time snapshot of a running session, from
+/// [`SessionControl::stats`]. O(sources) to take; never blocks the
+/// session's dispatch or workers (only the emitter's counter updates).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Per-source progress, in registration/attach order.
+    pub sources: Vec<SourceStats>,
+    /// Whether [`SessionControl::drain`] has been called.
+    pub draining: bool,
+    /// `true` while a session is actually running with this control.
+    pub live: bool,
+}
+
+impl fmt::Debug for SessionControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionControl")
+            .field("draining", &self.is_draining())
+            .finish_non_exhaustive()
+    }
 }
 
 impl SessionControl {
-    /// A fresh handle, not draining.
+    /// A fresh handle: not draining, open for pre-run attaches.
     pub fn new() -> SessionControl {
         SessionControl::default()
     }
@@ -182,12 +381,134 @@ impl SessionControl {
     /// Asks the session to stop pulling new reads and finish what is
     /// resident. Idempotent; never blocks.
     pub fn drain(&self) {
-        self.draining.store(true, Ordering::SeqCst);
+        self.state.draining.store(true, Ordering::SeqCst);
     }
 
     /// Whether [`SessionControl::drain`] has been called.
     pub fn is_draining(&self) -> bool {
-        self.draining.load(Ordering::SeqCst)
+        self.state.draining.load(Ordering::SeqCst)
+    }
+
+    /// Attaches a new source under `id`, processed with the session-wide
+    /// config — the live twin of [`Session::source`]. Returns immediately;
+    /// the typed verdict arrives through the [`PendingAttach`]. May be
+    /// called before the run starts (applied at the session's first poll).
+    pub fn attach(
+        &self,
+        id: impl Into<SourceId>,
+        source: impl ReadSource + Send + 'static,
+    ) -> PendingAttach {
+        self.attach_with(id, source, AttachSpec::new())
+    }
+
+    /// Attaches a new source with its own config override — the live twin
+    /// of [`Session::source_with_config`], validated identically
+    /// ([`SessionError::IncompatibleSourceConfig`] on mismatch).
+    pub fn attach_with_config(
+        &self,
+        id: impl Into<SourceId>,
+        source: impl ReadSource + Send + 'static,
+        config: GenPipConfig,
+    ) -> PendingAttach {
+        self.attach_with(id, source, AttachSpec::new().config(config))
+    }
+
+    /// Attaches a new source with a full [`AttachSpec`] (config override,
+    /// sink, priority weight, deadline target).
+    pub fn attach_with(
+        &self,
+        id: impl Into<SourceId>,
+        source: impl ReadSource + Send + 'static,
+        spec: AttachSpec,
+    ) -> PendingAttach {
+        let (tx, rx) = mpsc::channel();
+        let request = AttachRequest {
+            id: id.into(),
+            source: Box::new(source),
+            config: spec.config,
+            sink: spec.sink,
+            weight: spec.weight.unwrap_or(1),
+            target: spec.target,
+            responder: tx,
+        };
+        let mut inner = self.state.inner.lock().expect("control poisoned");
+        if inner.closed {
+            let _ = request.responder.send(Err(SessionError::SessionClosed));
+        } else {
+            inner.commands.push_back(Command::Attach(Box::new(request)));
+        }
+        PendingAttach { rx }
+    }
+
+    /// Detaches the source registered under `id`: stop pulling from it, let
+    /// its resident chains finish and emit, then deliver its finalized
+    /// [`StreamSummary`] through the [`PendingDetach`]. Unknown ids — and
+    /// ids already detached or already being detached — are refused with
+    /// [`SessionError::UnknownSource`].
+    pub fn detach(&self, id: impl Into<SourceId>) -> PendingDetach {
+        let (tx, rx) = mpsc::channel();
+        let id = id.into();
+        let mut inner = self.state.inner.lock().expect("control poisoned");
+        if inner.closed {
+            let _ = tx.send(Err(SessionError::SessionClosed));
+        } else {
+            inner
+                .commands
+                .push_back(Command::Detach { id, responder: tx });
+        }
+        PendingDetach { rx }
+    }
+
+    /// A snapshot of per-source progress. Sources appear in
+    /// registration/attach order; counters are as of each source's last
+    /// in-order emission.
+    pub fn stats(&self) -> SessionStats {
+        let inner = self.state.inner.lock().expect("control poisoned");
+        let mut stats = inner.stats.clone();
+        stats.draining = self.is_draining();
+        stats
+    }
+}
+
+impl ControlState {
+    /// Marks the control live for a starting run and seeds its stats with
+    /// the builder-registered sources. The draining flag is deliberately
+    /// *not* reset: a drain requested before the run starts is honored by
+    /// draining immediately.
+    fn begin_run(&self, ids: &[SourceId]) {
+        let mut inner = self.inner.lock().expect("control poisoned");
+        inner.closed = false;
+        inner.stats = SessionStats {
+            sources: ids
+                .iter()
+                .map(|id| SourceStats {
+                    id: id.clone(),
+                    outcomes: ProgressSnapshot::default(),
+                    detached: false,
+                })
+                .collect(),
+            draining: false,
+            live: true,
+        };
+    }
+
+    /// Closes the control at the end of a run: marks it not-live and
+    /// refuses every command still queued (enqueued after the session's
+    /// last poll) with [`SessionError::SessionClosed`].
+    fn close(&self) {
+        let mut inner = self.inner.lock().expect("control poisoned");
+        inner.closed = true;
+        inner.stats.live = false;
+        for command in inner.commands.drain(..) {
+            match command {
+                Command::Attach(request) => {
+                    let _ = request.responder.send(Err(SessionError::SessionClosed));
+                }
+                Command::Detach { responder, .. } => {
+                    let _ = responder.send(Err(SessionError::SessionClosed));
+                }
+            }
+        }
     }
 }
 
@@ -269,6 +590,27 @@ pub enum SessionError {
         /// What is wrong.
         issue: SourceConfigIssue,
     },
+    /// `Schedule::Deadline` targets don't line up with the sources.
+    DeadlineTargetCount {
+        /// Registered sources.
+        sources: usize,
+        /// Provided targets.
+        targets: usize,
+    },
+    /// A deadline target of 0 chunk-work units is unsatisfiable (and would
+    /// divide the urgency feedback by zero-intent).
+    ZeroDeadlineTarget(SourceId),
+    /// A control-plane command named a source this session does not know —
+    /// never registered, already detached, or already being detached.
+    UnknownSource(SourceId),
+    /// Admitting the source would exceed [`StreamOptions::max_sources`].
+    TooManySources {
+        /// The configured admission bound.
+        limit: usize,
+    },
+    /// The control-plane command arrived when no session was running on
+    /// this control (before any run, or after the run returned).
+    SessionClosed,
 }
 
 impl fmt::Display for SessionError {
@@ -303,6 +645,30 @@ impl fmt::Display for SessionError {
             }
             SessionError::IncompatibleSourceConfig { id, issue } => {
                 write!(f, "config for source {:?}: {issue}", id.as_str())
+            }
+            SessionError::DeadlineTargetCount { sources, targets } => write!(
+                f,
+                "deadline schedule has {targets} target(s) for {sources} source(s)"
+            ),
+            SessionError::ZeroDeadlineTarget(id) => {
+                write!(
+                    f,
+                    "deadline target for source {:?} is 0 (unsatisfiable)",
+                    id.as_str()
+                )
+            }
+            SessionError::UnknownSource(id) => {
+                write!(
+                    f,
+                    "source id {:?} is not attached to this session",
+                    id.as_str()
+                )
+            }
+            SessionError::TooManySources { limit } => {
+                write!(f, "session is at its max_sources bound ({limit})")
+            }
+            SessionError::SessionClosed => {
+                write!(f, "no session is running on this control")
             }
         }
     }
@@ -523,6 +889,11 @@ impl<'a> Session<'a> {
         if self.slots.is_empty() {
             return Err(SessionError::NoSources);
         }
+        if self.slots.len() > self.options.max_sources {
+            return Err(SessionError::TooManySources {
+                limit: self.options.max_sources,
+            });
+        }
         for (i, slot) in self.slots.iter().enumerate() {
             if self.slots[..i].iter().any(|s| s.id == slot.id) {
                 return Err(SessionError::DuplicateSource(slot.id.clone()));
@@ -537,6 +908,17 @@ impl<'a> Session<'a> {
             }
             if let Some(i) = weights.iter().position(|&w| w == 0) {
                 return Err(SessionError::ZeroPriorityWeight(self.slots[i].id.clone()));
+            }
+        }
+        if let Schedule::Deadline(targets) = &self.schedule {
+            if targets.len() != self.slots.len() {
+                return Err(SessionError::DeadlineTargetCount {
+                    sources: self.slots.len(),
+                    targets: targets.len(),
+                });
+            }
+            if let Some(i) = targets.iter().position(|&t| t == 0) {
+                return Err(SessionError::ZeroDeadlineTarget(self.slots[i].id.clone()));
             }
         }
         // Each source's effective config must be able to drive that
@@ -587,9 +969,13 @@ impl<'a> Session<'a> {
     }
 
     /// [`Session::run`] with an external [`SessionControl`]: clone the
-    /// handle before calling and any thread (or any sink) can ask the
-    /// running session to [`SessionControl::drain`] — stop pulling, finish
-    /// the resident chains, emit their results, and return the report.
+    /// handle before calling and any thread (or any sink) can drive the
+    /// running session — [`SessionControl::drain`] it, snapshot
+    /// [`SessionControl::stats`], [`SessionControl::attach`] new sources,
+    /// or [`SessionControl::detach`] existing ones. Commands enqueued
+    /// before the run starts are applied at the session's first poll (in
+    /// particular, a pre-run `drain` makes the session return immediately
+    /// with empty counters).
     pub fn run_with_control(
         mut self,
         control: &SessionControl,
@@ -607,12 +993,20 @@ impl<'a> Session<'a> {
         } = self;
         let n = slots.len();
         let er = flow.er();
+        let uses_qsr = matches!(flow, Flow::GenPip(ErMode::QsrOnly | ErMode::Full));
         let workers = config.parallelism.workers().max(1);
+        // The engine's resident-chain bound, mirrored here so detach-time
+        // summaries can carry it before the engine returns.
+        let in_flight_limit = if workers <= 1 {
+            1
+        } else {
+            options.queue_capacity.max(1) + workers
+        };
 
         let mut ids = Vec::with_capacity(n);
         let mut sources = Vec::with_capacity(n);
         let mut configs = Vec::with_capacity(n);
-        let mut sinks = Vec::with_capacity(n);
+        let mut sinks: Vec<Option<BoxedSink<'a>>> = Vec::with_capacity(n);
         for slot in slots {
             ids.push(slot.id);
             configs.push(slot.config.unwrap_or_else(|| config.clone()));
@@ -620,15 +1014,45 @@ impl<'a> Session<'a> {
             sinks.push(slot.sink);
         }
         // One immutable context per source (its reference index, basecaller,
-        // chunk geometry, effective config), shared by every worker. Built
-        // before the sources move into the dispatcher closure — contexts
-        // copy what they need.
-        let contexts: Vec<RunContext<'_>> = sources
-            .iter()
-            .zip(&configs)
-            .map(|(s, c)| RunContext::from_source(&**s, c))
-            .collect();
+        // chunk geometry, effective config), shared by every worker. The
+        // vector is append-only, growing under its lock when the control
+        // plane attaches a source mid-run.
+        let contexts: Arc<RwLock<Vec<Arc<RunContext>>>> = Arc::new(RwLock::new(
+            sources
+                .iter()
+                .zip(&configs)
+                .map(|(s, c)| Arc::new(RunContext::from_source(&**s, c)))
+                .collect(),
+        ));
         let policies: Vec<FaultPolicy> = configs.iter().map(|c| c.fault_policy).collect();
+        let default_target = match &schedule {
+            Schedule::Deadline(targets) => targets.iter().copied().max().unwrap_or(1),
+            _ => 1,
+        };
+
+        let control_state = Arc::clone(&control.state);
+        control_state.begin_run(&ids);
+        let registry = Arc::new(Mutex::new(Registry {
+            ids,
+            detach_requested: vec![false; n],
+            detaching: (0..n).map(|_| None).collect(),
+            pending_sinks: (0..n).map(|_| None).collect(),
+        }));
+
+        let feed = SessionFeed {
+            sources,
+            er,
+            granularity,
+            control: Arc::clone(&control_state),
+            registry: Arc::clone(&registry),
+            contexts: Arc::clone(&contexts),
+            session_config: config,
+            uses_qsr,
+            max_sources: options.max_sources,
+            priority: matches!(schedule, Schedule::Priority(_)),
+            deadline: matches!(schedule, Schedule::Deadline(_)),
+            default_target,
+        };
 
         let mut per_outcomes = vec![ProgressSnapshot::default(); n];
         let mut per_totals = vec![WorkloadTotals::default(); n];
@@ -647,12 +1071,14 @@ impl<'a> Session<'a> {
         }
 
         let stats = {
-            let contexts = &contexts;
+            let step_contexts = Arc::clone(&contexts);
+            let emit_registry = Arc::clone(&registry);
+            let emit_control = Arc::clone(&control_state);
             let per_outcomes = &mut per_outcomes;
             let per_totals = &mut per_totals;
             let outcomes = &mut outcomes;
             let totals = &mut totals;
-            let sinks = &mut sinks;
+            let mut sinks = sinks;
             session_engine(
                 EngineConfig {
                     workers,
@@ -663,18 +1089,21 @@ impl<'a> Session<'a> {
                     policies: &policies,
                     control,
                 },
-                || -> Vec<Option<WorkerScratch>> { (0..n).map(|_| None).collect() },
-                move |lane| {
-                    sources[lane]
-                        .next_read()
-                        .map(|read| ReadChain::new(er, granularity, read))
-                },
+                || -> Vec<Option<WorkerScratch>> { Vec::new() },
+                feed,
                 move |scratch, lane, chain: &mut ReadChain| {
-                    // Scratch is per (worker, source): lazily built because a
-                    // worker may never see some sources' chunks.
-                    let slot =
-                        scratch[lane].get_or_insert_with(|| WorkerScratch::new(&contexts[lane]));
-                    match chain.step(&contexts[lane], slot) {
+                    // Per-chunk context lookup: a cheap read-lock + Arc
+                    // clone, because attached lanes may grow the vector
+                    // while this worker runs.
+                    let ctx = Arc::clone(&step_contexts.read().expect("contexts poisoned")[lane]);
+                    // Scratch is per (worker, source): lazily built because
+                    // a worker may never see some sources' chunks, and
+                    // grown on demand for attached lanes.
+                    if scratch.len() <= lane {
+                        scratch.resize_with(lane + 1, || None);
+                    }
+                    let slot = scratch[lane].get_or_insert_with(|| WorkerScratch::new(&ctx));
+                    match chain.step(&ctx, slot) {
                         ChainStep::Parked { units } => ChainStep::Parked { units },
                         ChainStep::Finished {
                             output,
@@ -697,33 +1126,88 @@ impl<'a> Session<'a> {
                         attempts: info.attempts,
                     },
                 },
-                move |lane, output: ChainOutput| {
-                    let event = match output {
-                        ChainOutput::Run(run) => {
-                            totals.accumulate(&run);
-                            outcomes.observe(&run);
-                            per_totals[lane].accumulate(&run);
-                            per_outcomes[lane].observe(&run);
-                            StreamEvent::Read(run)
+                move |lane, event: LaneEvent<ChainOutput>| {
+                    // Attached lanes grow the per-lane state on first
+                    // contact (their Attached marker precedes any output).
+                    if per_outcomes.len() <= lane {
+                        per_outcomes.resize_with(lane + 1, Default::default);
+                        per_totals.resize_with(lane + 1, Default::default);
+                    }
+                    if sinks.len() <= lane {
+                        sinks.resize_with(lane + 1, || None);
+                    }
+                    match event {
+                        LaneEvent::Attached => {
+                            let pending = emit_registry
+                                .lock()
+                                .expect("registry poisoned")
+                                .pending_sinks[lane]
+                                .take();
+                            if let Some(sink) = pending {
+                                sinks[lane] = Some(sink);
+                            }
                         }
-                        ChainOutput::Failed { id, fault } => {
-                            outcomes.observe_failed();
-                            per_outcomes[lane].observe_failed();
-                            StreamEvent::Failed { read_id: id, fault }
+                        LaneEvent::Detached(lane_stats) => {
+                            // The lane's last output has been emitted:
+                            // finalize and deliver its summary.
+                            let summary = StreamSummary {
+                                outcomes: per_outcomes[lane],
+                                totals: per_totals[lane],
+                                workers,
+                                in_flight_limit,
+                                max_in_flight: lane_stats.max_in_flight,
+                                retried: lane_stats.retried,
+                                latency: lane_stats.latency,
+                            };
+                            let responder =
+                                emit_registry.lock().expect("registry poisoned").detaching[lane]
+                                    .take();
+                            if let Some(responder) = responder {
+                                let _ = responder.send(Ok(summary));
+                            }
+                            let mut inner = emit_control.inner.lock().expect("control poisoned");
+                            if let Some(stats) = inner.stats.sources.get_mut(lane) {
+                                stats.detached = true;
+                            }
                         }
-                    };
-                    let snapshot_due = options.progress_every > 0
-                        && per_outcomes[lane].reads_emitted % options.progress_every == 0;
-                    if let Some(sink) = sinks[lane].as_mut() {
-                        sink(event);
-                        if snapshot_due {
-                            sink(StreamEvent::Progress(per_outcomes[lane]));
+                        LaneEvent::Output(output) => {
+                            let event = match output {
+                                ChainOutput::Run(run) => {
+                                    totals.accumulate(&run);
+                                    outcomes.observe(&run);
+                                    per_totals[lane].accumulate(&run);
+                                    per_outcomes[lane].observe(&run);
+                                    StreamEvent::Read(run)
+                                }
+                                ChainOutput::Failed { id, fault } => {
+                                    outcomes.observe_failed();
+                                    per_outcomes[lane].observe_failed();
+                                    StreamEvent::Failed { read_id: id, fault }
+                                }
+                            };
+                            let snapshot_due = options.progress_every > 0
+                                && per_outcomes[lane].reads_emitted % options.progress_every == 0;
+                            if let Some(sink) = sinks[lane].as_mut() {
+                                sink(event);
+                                if snapshot_due {
+                                    sink(StreamEvent::Progress(per_outcomes[lane]));
+                                }
+                            }
+                            let mut inner = emit_control.inner.lock().expect("control poisoned");
+                            if let Some(stats) = inner.stats.sources.get_mut(lane) {
+                                stats.outcomes = per_outcomes[lane];
+                            }
                         }
                     }
                 },
             )
         };
+        control_state.close();
+        debug_assert_eq!(stats.in_flight_limit, in_flight_limit);
 
+        let ids: Vec<SourceId> = registry.lock().expect("registry poisoned").ids.clone();
+        per_outcomes.resize_with(ids.len(), Default::default);
+        per_totals.resize_with(ids.len(), Default::default);
         let sources = ids
             .into_iter()
             .enumerate()
@@ -751,6 +1235,182 @@ impl<'a> Session<'a> {
             max_reject_backlog: stats.max_reject_backlog,
             latency: stats.latency,
         })
+    }
+}
+
+/// The session-layer registry shared between the dispatcher-side
+/// [`SessionFeed`] and the emitting thread: the authoritative id↔lane map
+/// (ids are never reused, even after detach), pending detach responders,
+/// and sinks for attached lanes awaiting their in-order install.
+struct Registry {
+    ids: Vec<SourceId>,
+    /// `true` from the moment a detach is accepted; never reset, so a
+    /// second detach of the same id is refused as unknown.
+    detach_requested: Vec<bool>,
+    /// The detach responder, taken by the emitter when the lane's summary
+    /// is finalized.
+    detaching: Vec<Option<mpsc::Sender<Result<StreamSummary, SessionError>>>>,
+    /// Sinks for attached lanes, installed by the emitter at the lane's
+    /// in-order [`LaneEvent::Attached`] marker — before its first output.
+    pending_sinks: Vec<Option<AttachedSink>>,
+}
+
+/// A sink supplied with a live attach: unlike builder sinks it must be
+/// `Send` (it crosses into the session thread) and `'static` (it outlives
+/// the caller's frame).
+type AttachedSink = Box<dyn FnMut(StreamEvent) + Send>;
+
+/// The [`LaneFeed`] of a real [`Session`]: owns the sources (pulled on the
+/// dispatcher) and applies control-plane commands — attach validation
+/// mirrors [`Session::source_with_config`]'s, detach resolves ids to lanes
+/// — turning accepted commands into [`EngineCommand`]s for the engine.
+struct SessionFeed<'a> {
+    sources: Vec<Box<dyn ReadSource + Send + 'a>>,
+    er: Option<ErMode>,
+    granularity: Granularity,
+    control: Arc<ControlState>,
+    registry: Arc<Mutex<Registry>>,
+    contexts: Arc<RwLock<Vec<Arc<RunContext>>>>,
+    session_config: GenPipConfig,
+    uses_qsr: bool,
+    max_sources: usize,
+    priority: bool,
+    deadline: bool,
+    /// Target for attached lanes that don't specify one (the laxest target
+    /// registered at startup): neutral until feedback arrives either way.
+    default_target: u64,
+}
+
+impl SessionFeed<'_> {
+    /// The attach-time twin of [`Session::validate`]'s per-slot checks,
+    /// plus the live-session admission rules (unique-forever ids,
+    /// [`StreamOptions::max_sources`], schedule parameters).
+    fn validate_attach(&self, request: &AttachRequest) -> Result<(), SessionError> {
+        {
+            let registry = self.registry.lock().expect("registry poisoned");
+            if registry.ids.contains(&request.id) {
+                return Err(SessionError::DuplicateSource(request.id.clone()));
+            }
+            let live = registry.detach_requested.iter().filter(|d| !**d).count();
+            if live >= self.max_sources {
+                return Err(SessionError::TooManySources {
+                    limit: self.max_sources,
+                });
+            }
+        }
+        if self.priority && request.weight == 0 {
+            return Err(SessionError::ZeroPriorityWeight(request.id.clone()));
+        }
+        if self.deadline && request.target == Some(0) {
+            return Err(SessionError::ZeroDeadlineTarget(request.id.clone()));
+        }
+        let config = request.config.as_ref().unwrap_or(&self.session_config);
+        let dwell = request.source.mean_dwell();
+        let issue = if config.chunk_bases == 0 {
+            Some(SourceConfigIssue::ZeroChunkBases)
+        } else if self.uses_qsr && config.n_qs == 0 {
+            Some(SourceConfigIssue::ZeroQsrSamples)
+        } else if !(dwell > 0.0 && dwell.is_finite()) {
+            Some(SourceConfigIssue::NonPositiveDwell)
+        } else if request.config.is_some() && config.mapper.k > request.source.reference().len() {
+            Some(SourceConfigIssue::KmerExceedsReference {
+                k: config.mapper.k,
+                reference_len: request.source.reference().len(),
+            })
+        } else {
+            None
+        };
+        match issue {
+            Some(issue) => Err(SessionError::IncompatibleSourceConfig {
+                id: request.id.clone(),
+                issue,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Validates and registers one attach, answering its responder either
+    /// way; `Some` is the engine-side lane addition for an accepted one.
+    fn admit(&mut self, request: AttachRequest) -> Option<EngineCommand> {
+        if let Err(error) = self.validate_attach(&request) {
+            let _ = request.responder.send(Err(error));
+            return None;
+        }
+        let AttachRequest {
+            id,
+            source,
+            config,
+            sink,
+            weight,
+            target,
+            responder,
+        } = request;
+        let effective = config.unwrap_or_else(|| self.session_config.clone());
+        {
+            let mut registry = self.registry.lock().expect("registry poisoned");
+            registry.ids.push(id.clone());
+            registry.detach_requested.push(false);
+            registry.detaching.push(None);
+            registry.pending_sinks.push(sink);
+        }
+        self.contexts
+            .write()
+            .expect("contexts poisoned")
+            .push(Arc::new(RunContext::from_source(&*source, &effective)));
+        self.sources.push(source);
+        {
+            let mut inner = self.control.inner.lock().expect("control poisoned");
+            inner.stats.sources.push(SourceStats {
+                id,
+                outcomes: ProgressSnapshot::default(),
+                detached: false,
+            });
+        }
+        let _ = responder.send(Ok(()));
+        Some(EngineCommand::AddLane {
+            policy: effective.fault_policy,
+            weight,
+            target: target.unwrap_or(self.default_target),
+        })
+    }
+}
+
+impl LaneFeed<ReadChain> for SessionFeed<'_> {
+    fn pull(&mut self, lane: usize) -> Option<ReadChain> {
+        self.sources[lane]
+            .next_read()
+            .map(|read| ReadChain::new(self.er, self.granularity, read))
+    }
+
+    fn poll(&mut self) -> Vec<EngineCommand> {
+        let drained: Vec<Command> = {
+            let mut inner = self.control.inner.lock().expect("control poisoned");
+            inner.commands.drain(..).collect()
+        };
+        let mut commands = Vec::with_capacity(drained.len());
+        for command in drained {
+            match command {
+                Command::Attach(request) => {
+                    if let Some(command) = self.admit(*request) {
+                        commands.push(command);
+                    }
+                }
+                Command::Detach { id, responder } => {
+                    let mut registry = self.registry.lock().expect("registry poisoned");
+                    match registry.ids.iter().position(|i| *i == id) {
+                        Some(lane) if !registry.detach_requested[lane] => {
+                            registry.detach_requested[lane] = true;
+                            registry.detaching[lane] = Some(responder);
+                            commands.push(EngineCommand::DrainLane { lane });
+                        }
+                        _ => {
+                            let _ = responder.send(Err(SessionError::UnknownSource(id)));
+                        }
+                    }
+                }
+            }
+        }
+        commands
     }
 }
 
@@ -869,6 +1529,21 @@ impl FlowGate {
         self.backlog_high.load(Ordering::Relaxed)
     }
 
+    /// Blocks until every permit is back and the emission backlog is empty
+    /// — i.e. every admitted read has been emitted — or the gate was opened
+    /// for shutdown (`false`). The dispatcher parks here before concluding
+    /// an idle session, so sinks get to run (and possibly enqueue control
+    /// commands) before the final poll. Only the dispatcher ever waits on
+    /// the gate, so the emitter's `release`/`pop_backlog` notifications
+    /// cannot be stolen by another waiter.
+    fn await_idle(&self) -> bool {
+        let mut state = self.state.lock().expect("gate poisoned");
+        while !state.open && (state.used > 0 || state.backlog > 0) {
+            state = self.freed.wait(state).expect("gate poisoned");
+        }
+        !state.open
+    }
+
     /// Lets every current and future `acquire` through empty-handed.
     fn open(&self) {
         let mut state = self.state.lock().expect("gate poisoned");
@@ -946,10 +1621,101 @@ pub(crate) struct EngineStats {
     pub(crate) lanes: Vec<LaneStats>,
 }
 
-/// A chunk task in flight to a worker.
+/// What the engine reports to its `emit` callback, strictly in global
+/// admission/marker order per session (and hence in per-lane order).
+pub(crate) enum LaneEvent<O> {
+    /// An in-order chain output.
+    Output(O),
+    /// The lane's attach marker: delivered before the lane's first output,
+    /// the emitter's cue to install the lane's sink and per-lane state.
+    Attached,
+    /// The lane's detach marker: delivered after the lane's last output,
+    /// carrying the lane's finalized engine-side stats.
+    Detached(LaneStats),
+}
+
+/// Where the engine's chains come from, plus its control plane. `pull` is
+/// called on the dispatcher when the schedule picks a lane with admission
+/// room; `poll` is called at the top of every dispatch round and once more
+/// after the session goes idle, so commands raised by the final emissions
+/// still apply before the engine concludes.
+pub(crate) trait LaneFeed<C>: Send {
+    /// The next chain from `lane`, or `None` when that source is exhausted.
+    fn pull(&mut self, lane: usize) -> Option<C>;
+
+    /// Control-plane commands to apply before the next dispatch round.
+    /// The default feed has no control plane.
+    fn poll(&mut self) -> Vec<EngineCommand> {
+        Vec::new()
+    }
+}
+
+/// Any plain closure is a control-plane-less feed.
+impl<C, T: FnMut(usize) -> Option<C> + Send> LaneFeed<C> for T {
+    fn pull(&mut self, lane: usize) -> Option<C> {
+        self(lane)
+    }
+}
+
+/// A control-plane command after feed-side validation, ready for the
+/// engine to apply.
+pub(crate) enum EngineCommand {
+    /// A new lane joins the schedule with the given fault policy,
+    /// [`Schedule::Priority`] weight, and [`Schedule::Deadline`] target.
+    /// The engine sends the lane's [`LaneEvent::Attached`] marker through
+    /// the in-order path before the lane's first output.
+    AddLane {
+        policy: FaultPolicy,
+        weight: u32,
+        target: u64,
+    },
+    /// Stop pulling from `lane`; once its resident chains have finished
+    /// and emitted, the lane's [`LaneEvent::Detached`] marker delivers its
+    /// finalized [`LaneStats`].
+    DrainLane { lane: usize },
+}
+
+/// Per-lane permit attribution and retry counts, shared between the
+/// dispatcher (admission, cancellation, retries) and the emitter (permit
+/// release at emission, detach-marker stats). One mutex instead of
+/// per-lane atomics because the vectors must grow when lanes attach
+/// mid-run.
+struct LaneCounters {
+    inflight: Vec<usize>,
+    high: Vec<usize>,
+    retried: Vec<usize>,
+}
+
+impl LaneCounters {
+    fn new(lanes: usize) -> LaneCounters {
+        LaneCounters {
+            inflight: vec![0; lanes],
+            high: vec![0; lanes],
+            retried: vec![0; lanes],
+        }
+    }
+
+    fn ensure(&mut self, lane: usize) {
+        if self.inflight.len() <= lane {
+            self.inflight.resize(lane + 1, 0);
+            self.high.resize(lane + 1, 0);
+            self.retried.resize(lane + 1, 0);
+        }
+    }
+
+    fn admitted(&mut self, lane: usize) {
+        self.inflight[lane] += 1;
+        self.high[lane] = self.high[lane].max(self.inflight[lane]);
+    }
+}
+
+/// A chunk task in flight to a worker. Carries its lane's fault policy so
+/// workers never index shared per-lane state (which grows when lanes
+/// attach mid-run).
 struct Task<C> {
     token: usize,
     lane: usize,
+    policy: FaultPolicy,
     chain: C,
 }
 
@@ -978,13 +1744,24 @@ enum WorkerMsg<C, O> {
     Panicked,
 }
 
-/// A retired chain on its way to in-order emission.
+/// A retired chain — or a lane lifecycle marker — on its way to in-order
+/// emission. Markers consume a sequence number like outputs do, which is
+/// exactly what orders them: an Attached marker's seq precedes every
+/// admission of its lane, a Detached marker's seq follows them all.
 struct EmitMsg<O> {
     seq: u64,
     lane: usize,
-    output: O,
-    holds_permit: bool,
-    resident_units: u64,
+    kind: EmitKind<O>,
+}
+
+enum EmitKind<O> {
+    Output {
+        output: O,
+        holds_permit: bool,
+        resident_units: u64,
+    },
+    Attached,
+    Detached,
 }
 
 /// A resident chain's dispatcher-side bookkeeping. `chain` is `Some` while
@@ -1093,11 +1870,18 @@ fn step_contained<T>(f: impl FnOnce() -> T) -> Result<T, Box<dyn std::any::Any +
 ///
 /// `cfg.control` is the cooperative drain switch: once `drain()` is
 /// observed, no new reads are pulled, resident chains run to their
-/// verdicts, and the engine returns normally.
-pub(crate) fn session_engine<C, O, S, B, P, F, R, Q, G>(
+/// verdicts, and the engine returns normally. The rest of the control
+/// plane arrives through `feed.poll()`: lanes can be added ([`EngineCommand::AddLane`],
+/// announced through the in-order [`LaneEvent::Attached`] marker) and
+/// drained individually ([`EngineCommand::DrainLane`], concluded by the
+/// in-order [`LaneEvent::Detached`] marker carrying the lane's stats).
+/// Before concluding an idle session the engine waits for the emitter to
+/// catch up and polls once more, so commands raised by the final
+/// emissions (a sink attaching the next flowcell) still revive the run.
+pub(crate) fn session_engine<C, O, S, B, L, F, R, Q, G>(
     cfg: EngineConfig<'_>,
     worker_state: B,
-    mut pull: P,
+    mut feed: L,
     step: F,
     mut retry: R,
     mut fault: Q,
@@ -1107,11 +1891,11 @@ where
     C: Send,
     O: Send,
     B: Fn() -> S + Sync,
-    P: FnMut(usize) -> Option<C> + Send,
+    L: LaneFeed<C>,
     F: Fn(&mut S, usize, &mut C) -> ChainStep<O> + Sync,
     R: FnMut(usize, C) -> C + Send,
     Q: FnMut(usize, C, FaultInfo) -> O + Send,
-    G: FnMut(usize, O),
+    G: FnMut(usize, LaneEvent<O>),
 {
     let EngineConfig {
         workers,
@@ -1130,17 +1914,70 @@ where
 
     if workers <= 1 {
         let mut sched = SchedulerState::new(schedule, lanes);
+        let mut policies = policies.to_vec();
         let mut state = worker_state();
         let mut lane_any = vec![false; lanes];
         let mut lane_retried = vec![0usize; lanes];
+        let mut pending_commands: VecDeque<EngineCommand> = VecDeque::new();
         let mut tick = 0u64;
         let mut any = false;
-        while let Some(lane) = sched.next() {
-            if control.is_draining() {
-                sched.exhausted(lane);
-                continue;
+        loop {
+            // Control plane first. The serial path applies commands
+            // inline: an attach joins the schedule before the next pick, a
+            // detach retires its lane immediately (nothing is ever
+            // resident between picks here).
+            pending_commands.extend(feed.poll());
+            while let Some(command) = pending_commands.pop_front() {
+                match command {
+                    EngineCommand::AddLane {
+                        policy,
+                        weight,
+                        target,
+                    } => {
+                        if policy != FaultPolicy::Fail {
+                            install_quiet_hook();
+                        }
+                        let lane = lane_any.len();
+                        sched.add_lane(weight, target);
+                        policies.push(policy);
+                        lane_any.push(false);
+                        lane_retried.push(0);
+                        lane_samples.push(Vec::new());
+                        emit(lane, LaneEvent::Attached);
+                    }
+                    EngineCommand::DrainLane { lane } => {
+                        sched.exhausted(lane);
+                        let latency = LatencyStats::from_samples(&mut lane_samples[lane]);
+                        emit(
+                            lane,
+                            LaneEvent::Detached(LaneStats {
+                                max_in_flight: usize::from(lane_any[lane]),
+                                retried: lane_retried[lane],
+                                latency,
+                            }),
+                        );
+                    }
+                }
             }
-            match pull(lane) {
+            // A drain request is equivalent to every source running dry at
+            // once. `exhausted` is idempotent, so racing a natural
+            // exhaustion is fine.
+            if control.is_draining() {
+                for lane in 0..lane_any.len() {
+                    sched.exhausted(lane);
+                }
+            }
+            let Some(lane) = sched.next() else {
+                // Every lane exhausted — but the last emission may have
+                // enqueued a command (a sink attaching the next
+                // flowcell). One final poll decides.
+                pending_commands.extend(feed.poll());
+                if pending_commands.is_empty() {
+                    break;
+                }
+                continue;
+            };
+            match feed.pull(lane) {
                 None => sched.exhausted(lane),
                 Some(mut chain) => {
                     any = true;
@@ -1187,7 +2024,8 @@ where
                         }
                     };
                     lane_samples[lane].push(tick - start);
-                    emit(lane, output);
+                    sched.observe(lane, tick - start);
+                    emit(lane, LaneEvent::Output(output));
                 }
             }
         }
@@ -1216,9 +2054,7 @@ where
     // Per-lane permit attribution (admitted on the dispatcher, released on
     // the dispatcher at cancellation or on the emitting thread otherwise);
     // the *global* bound is the gate's, these only attribute high-waters.
-    let lane_inflight: Vec<AtomicUsize> = (0..lanes).map(|_| AtomicUsize::new(0)).collect();
-    let lane_high: Vec<AtomicUsize> = (0..lanes).map(|_| AtomicUsize::new(0)).collect();
-    let lane_retried: Vec<AtomicUsize> = (0..lanes).map(|_| AtomicUsize::new(0)).collect();
+    let counters = Mutex::new(LaneCounters::new(lanes));
 
     // All channels are unbounded; the gate alone bounds what can be in them
     // (≤ `limit` chains exist, each with at most one task or emit message
@@ -1232,43 +2068,104 @@ where
     std::thread::scope(|scope| {
         let _shutdown = OpenOnDrop(&gate);
 
-        // Dispatcher: owns the sources and every parked chain; consults the
-        // schedule once per chunk task; spawns workers lazily as concurrent
-        // chunk work actually materializes.
+        // Dispatcher: owns the feed (sources plus control plane) and every
+        // parked chain; consults the schedule once per chunk task; spawns
+        // workers lazily as concurrent chunk work actually materializes.
         {
             let gate = &gate;
-            let lane_inflight = &lane_inflight;
-            let lane_high = &lane_high;
-            let lane_retried = &lane_retried;
+            let counters = &counters;
             let worker_state = &worker_state;
             let step = &step;
             let task_rx = &task_rx;
-            let pull = &mut pull;
+            let feed = &mut feed;
             let retry = &mut retry;
             let fault = &mut fault;
             scope.spawn(move || {
                 let mut sched = SchedulerState::new(schedule, lanes);
+                let mut policies: Vec<FaultPolicy> = policies.to_vec();
                 let mut src_dry = vec![false; lanes];
+                let mut detaching = vec![false; lanes];
                 let mut live = vec![0usize; lanes];
                 let mut ready: Vec<VecDeque<usize>> = vec![VecDeque::new(); lanes];
                 let mut slots: Vec<ChainSlot<C>> = Vec::new();
                 let mut free_tokens: Vec<usize> = Vec::new();
+                let mut pending_commands: VecDeque<EngineCommand> = VecDeque::new();
                 let mut tick = 0u64;
                 let mut next_seq = 0u64;
                 let mut outstanding = 0usize;
                 let mut spawned = 0usize;
 
                 'run: loop {
+                    // Control plane: attach new lanes, start per-lane
+                    // drains. The Attached marker's seq is allocated here —
+                    // before any admission of the new lane — which is what
+                    // orders it ahead of the lane's first output.
+                    pending_commands.extend(feed.poll());
+                    while let Some(command) = pending_commands.pop_front() {
+                        match command {
+                            EngineCommand::AddLane {
+                                policy,
+                                weight,
+                                target,
+                            } => {
+                                if policy != FaultPolicy::Fail {
+                                    install_quiet_hook();
+                                }
+                                let lane = src_dry.len();
+                                sched.add_lane(weight, target);
+                                policies.push(policy);
+                                src_dry.push(false);
+                                detaching.push(false);
+                                live.push(0);
+                                ready.push(VecDeque::new());
+                                counters.lock().expect("counters poisoned").ensure(lane);
+                                let seq = next_seq;
+                                next_seq += 1;
+                                let sent = emit_tx.send(EmitMsg {
+                                    seq,
+                                    lane,
+                                    kind: EmitKind::Attached,
+                                });
+                                if sent.is_err() {
+                                    break 'run; // emitter gone (sink panicked)
+                                }
+                            }
+                            EngineCommand::DrainLane { lane } => {
+                                detaching[lane] = true;
+                                src_dry[lane] = true;
+                                if live[lane] == 0
+                                    && !retire_lane(
+                                        &mut sched,
+                                        &mut detaching,
+                                        &emit_tx,
+                                        &mut next_seq,
+                                        lane,
+                                    )
+                                {
+                                    break 'run;
+                                }
+                            }
+                        }
+                    }
+
                     // A drain request is equivalent to every source running
                     // dry at once: stop pulling, let resident chains retire.
                     // `exhausted` is idempotent, so racing a natural
                     // exhaustion is fine.
                     if control.is_draining() {
-                        for lane in 0..lanes {
+                        for lane in 0..src_dry.len() {
                             if !src_dry[lane] {
                                 src_dry[lane] = true;
-                                if live[lane] == 0 {
-                                    sched.exhausted(lane);
+                                if live[lane] == 0
+                                    && !retire_lane(
+                                        &mut sched,
+                                        &mut detaching,
+                                        &emit_tx,
+                                        &mut next_seq,
+                                        lane,
+                                    )
+                                {
+                                    break 'run;
                                 }
                             }
                         }
@@ -1288,16 +2185,23 @@ where
                                 if !gate.acquire() {
                                     break 'run; // shutdown
                                 }
-                                let Some(chain) = pull(lane) else {
+                                let Some(chain) = feed.pull(lane) else {
                                     gate.release();
                                     src_dry[lane] = true;
-                                    if live[lane] == 0 {
-                                        sched.exhausted(lane);
+                                    if live[lane] == 0
+                                        && !retire_lane(
+                                            &mut sched,
+                                            &mut detaching,
+                                            &emit_tx,
+                                            &mut next_seq,
+                                            lane,
+                                        )
+                                    {
+                                        break 'run;
                                     }
                                     continue;
                                 };
-                                let now = lane_inflight[lane].fetch_add(1, Ordering::Relaxed) + 1;
-                                lane_high[lane].fetch_max(now, Ordering::Relaxed);
+                                counters.lock().expect("counters poisoned").admitted(lane);
                                 live[lane] += 1;
                                 let slot = ChainSlot {
                                     lane,
@@ -1333,6 +2237,7 @@ where
                                     let Ok(Task {
                                         token,
                                         lane,
+                                        policy,
                                         mut chain,
                                     }) = received
                                     else {
@@ -1346,7 +2251,7 @@ where
                                     // under `Fail`, tell the dispatcher to
                                     // abort, then rethrow so the scope
                                     // propagates it after teardown.
-                                    let contain = policies[lane] != FaultPolicy::Fail;
+                                    let contain = policy != FaultPolicy::Fail;
                                     let outcome = if contain {
                                         step_contained(|| step(&mut state, lane, &mut chain))
                                     } else {
@@ -1394,14 +2299,34 @@ where
                             });
                         }
                         let lane = slots[token].lane;
-                        if task_tx.send(Task { token, lane, chain }).is_err() {
+                        let policy = policies[lane];
+                        if task_tx
+                            .send(Task {
+                                token,
+                                lane,
+                                policy,
+                                chain,
+                            })
+                            .is_err()
+                        {
                             break 'run; // workers gone: shutdown underway
                         }
                     }
 
                     if outstanding == 0 {
                         if sched.all_exhausted() {
-                            break 'run; // every source drained, every chain retired
+                            // Every source drained, every chain retired.
+                            // Let the emitter catch up — its sinks run and
+                            // may enqueue control commands — then poll once
+                            // more before concluding.
+                            if !gate.await_idle() {
+                                break 'run; // shutdown
+                            }
+                            pending_commands.extend(feed.poll());
+                            if pending_commands.is_empty() {
+                                break 'run; // truly done
+                            }
+                            continue 'run;
                         }
                         // No chain is live, yet the gate is full: every
                         // permit is held by finished reads awaiting in-order
@@ -1439,8 +2364,21 @@ where
                             let start_tick = slots[token].start_tick;
                             free_tokens.push(token);
                             live[lane] -= 1;
-                            if src_dry[lane] && live[lane] == 0 {
-                                sched.exhausted(lane);
+                            // Residency feedback for Schedule::Deadline: the
+                            // same number that becomes this read's latency
+                            // sample.
+                            sched.observe(lane, tick - start_tick);
+                            if src_dry[lane]
+                                && live[lane] == 0
+                                && !retire_lane(
+                                    &mut sched,
+                                    &mut detaching,
+                                    &emit_tx,
+                                    &mut next_seq,
+                                    lane,
+                                )
+                            {
+                                break 'run;
                             }
                             if cancelled {
                                 // The ER verdict: the read's remaining
@@ -1448,16 +2386,18 @@ where
                                 // permit goes back *now*, not at emission.
                                 // Its result joins the soft-gated backlog
                                 // until its in-order emission slot.
-                                lane_inflight[lane].fetch_sub(1, Ordering::Relaxed);
+                                counters.lock().expect("counters poisoned").inflight[lane] -= 1;
                                 gate.release();
                                 gate.push_backlog();
                             }
                             let sent = emit_tx.send(EmitMsg {
                                 seq,
                                 lane,
-                                output,
-                                holds_permit: !cancelled,
-                                resident_units: tick - start_tick,
+                                kind: EmitKind::Output {
+                                    output,
+                                    holds_permit: !cancelled,
+                                    resident_units: tick - start_tick,
+                                },
                             });
                             if sent.is_err() {
                                 break 'run; // emitter gone (sink panicked)
@@ -1477,7 +2417,7 @@ where
                                 // Transient budget left: rewind the chain
                                 // and park it; the schedule will pick it
                                 // back up like any other resident chain.
-                                lane_retried[lane].fetch_add(1, Ordering::Relaxed);
+                                counters.lock().expect("counters poisoned").retried[lane] += 1;
                                 slots[token].chain = Some(retry(lane, chain));
                                 ready[lane].push_back(token);
                             } else {
@@ -1488,10 +2428,20 @@ where
                                 let start_tick = slots[token].start_tick;
                                 free_tokens.push(token);
                                 live[lane] -= 1;
-                                if src_dry[lane] && live[lane] == 0 {
-                                    sched.exhausted(lane);
+                                sched.observe(lane, tick - start_tick);
+                                if src_dry[lane]
+                                    && live[lane] == 0
+                                    && !retire_lane(
+                                        &mut sched,
+                                        &mut detaching,
+                                        &emit_tx,
+                                        &mut next_seq,
+                                        lane,
+                                    )
+                                {
+                                    break 'run;
                                 }
-                                lane_inflight[lane].fetch_sub(1, Ordering::Relaxed);
+                                counters.lock().expect("counters poisoned").inflight[lane] -= 1;
                                 gate.release();
                                 gate.push_backlog();
                                 let output = fault(
@@ -1506,9 +2456,11 @@ where
                                 let sent = emit_tx.send(EmitMsg {
                                     seq,
                                     lane,
-                                    output,
-                                    holds_permit: false,
-                                    resident_units: tick - start_tick,
+                                    kind: EmitKind::Output {
+                                        output,
+                                        holds_permit: false,
+                                        resident_units: tick - start_tick,
+                                    },
                                 });
                                 if sent.is_err() {
                                     break 'run; // emitter gone (sink panicked)
@@ -1533,36 +2485,104 @@ where
         for msg in emit_rx.iter() {
             pending.insert(msg.seq, msg);
             while let Some(m) = pending.remove(&next_emit) {
-                lane_samples[m.lane].push(m.resident_units);
-                emit(m.lane, m.output);
-                if m.holds_permit {
-                    lane_inflight[m.lane].fetch_sub(1, Ordering::Relaxed);
-                    gate.release();
-                } else {
-                    gate.pop_backlog();
-                }
                 next_emit += 1;
+                match m.kind {
+                    EmitKind::Output {
+                        output,
+                        holds_permit,
+                        resident_units,
+                    } => {
+                        lane_samples[m.lane].push(resident_units);
+                        emit(m.lane, LaneEvent::Output(output));
+                        if holds_permit {
+                            counters.lock().expect("counters poisoned").inflight[m.lane] -= 1;
+                            gate.release();
+                        } else {
+                            gate.pop_backlog();
+                        }
+                    }
+                    EmitKind::Attached => {
+                        // The marker precedes the lane's first output, so
+                        // growing here keeps every later Output index in
+                        // bounds.
+                        if lane_samples.len() <= m.lane {
+                            lane_samples.resize_with(m.lane + 1, Vec::new);
+                        }
+                        emit(m.lane, LaneEvent::Attached);
+                    }
+                    EmitKind::Detached => {
+                        // The lane's last output was emitted above (lower
+                        // seq): its stats are final.
+                        let (max_in_flight, retried) = {
+                            let counters = counters.lock().expect("counters poisoned");
+                            (counters.high[m.lane], counters.retried[m.lane])
+                        };
+                        let latency = LatencyStats::from_samples(&mut lane_samples[m.lane]);
+                        emit(
+                            m.lane,
+                            LaneEvent::Detached(LaneStats {
+                                max_in_flight,
+                                retried,
+                                latency,
+                            }),
+                        );
+                    }
+                }
             }
         }
     });
 
+    let mut counters = counters.into_inner().expect("counters poisoned");
+    // Attached lanes grew the sample map (on the emitter) and the counters
+    // (on the dispatcher) independently; normalize to one final width.
+    let final_lanes = lane_samples.len().max(counters.high.len());
+    lane_samples.resize_with(final_lanes, Vec::new);
+    if final_lanes > 0 {
+        counters.ensure(final_lanes - 1);
+    }
     EngineStats {
         in_flight_limit: limit,
         max_in_flight: gate.high_water(),
-        retried: lane_retried.iter().map(|r| r.load(Ordering::Relaxed)).sum(),
+        retried: counters.retried.iter().sum(),
         max_reject_backlog: gate.backlog_high_water(),
         latency: aggregate_latency(&mut lane_samples),
         lanes: lane_samples
             .iter_mut()
-            .zip(&lane_high)
-            .zip(&lane_retried)
+            .zip(&counters.high)
+            .zip(&counters.retried)
             .map(|((samples, high), retried)| LaneStats {
-                max_in_flight: high.load(Ordering::Relaxed),
-                retried: retried.load(Ordering::Relaxed),
+                max_in_flight: *high,
+                retried: *retried,
                 latency: LatencyStats::from_samples(samples),
             })
             .collect(),
     }
+}
+
+/// Retires a lane on the dispatcher: marks it exhausted in the schedule
+/// and, if the lane is being detached, sends its in-order
+/// [`EmitKind::Detached`] marker. `false` means the emitter is gone and
+/// the dispatcher must shut down.
+fn retire_lane<O>(
+    sched: &mut SchedulerState,
+    detaching: &mut [bool],
+    emit_tx: &mpsc::Sender<EmitMsg<O>>,
+    next_seq: &mut u64,
+    lane: usize,
+) -> bool {
+    sched.exhausted(lane);
+    if std::mem::replace(&mut detaching[lane], false) {
+        let seq = *next_seq;
+        *next_seq += 1;
+        return emit_tx
+            .send(EmitMsg {
+                seq,
+                lane,
+                kind: EmitKind::Detached,
+            })
+            .is_ok();
+    }
+    true
 }
 
 /// The percentile summary of all lanes' residency samples together.
@@ -1796,6 +2816,15 @@ mod tests {
                 },
             }
             .to_string(),
+            SessionError::DeadlineTargetCount {
+                sources: 2,
+                targets: 1,
+            }
+            .to_string(),
+            SessionError::ZeroDeadlineTarget("x".into()).to_string(),
+            SessionError::UnknownSource("x".into()).to_string(),
+            SessionError::TooManySources { limit: 4 }.to_string(),
+            SessionError::SessionClosed.to_string(),
         ];
         for m in &messages {
             assert!(!m.is_empty());
@@ -1807,7 +2836,7 @@ mod tests {
         let d = dataset();
         let config =
             GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Threads(2));
-        let batch = crate::pipeline::run_genpip(&d, &config, ErMode::Full);
+        let batch = crate::pipeline::batch_genpip(&d, &config, ErMode::Full);
         let mut reads = Vec::new();
         let report = Session::new(config)
             .flow(Flow::GenPip(ErMode::Full))

@@ -16,7 +16,7 @@
 
 use crate::config::GenPipConfig;
 use crate::experiments::FigureTable;
-use crate::pipeline::{run_conventional, run_genpip, ErMode, PipelineRun, ReadOutcome};
+use crate::pipeline::{batch_conventional, batch_genpip, ErMode, PipelineRun, ReadOutcome};
 use crate::systems::hardware::evaluate_genpip;
 use crate::systems::software::{evaluate_software, BasecallDevice};
 use crate::systems::SystemCosts;
@@ -48,8 +48,8 @@ pub fn chunk_size_sweep(scale: f64) -> Vec<ChunkSizePoint> {
         .iter()
         .map(|&chunk| {
             let config = GenPipConfig::for_dataset(&profile).with_chunk_bases(chunk);
-            let conventional = run_conventional(&dataset, &config);
-            let er = run_genpip(&dataset, &config, ErMode::Full);
+            let conventional = batch_conventional(&dataset, &config);
+            let er = batch_genpip(&dataset, &config, ErMode::Full);
             let cpu = evaluate_software(&conventional, &costs.software, BasecallDevice::Cpu, false);
             let genpip = evaluate_genpip(&er, &costs.software, &costs.tech);
             ChunkSizePoint {
@@ -79,7 +79,7 @@ pub struct HardwarePoint {
 /// functional run happens once; only the schedule is recomputed.
 pub fn dp_unit_sweep(dataset: &SimulatedDataset, units: &[usize]) -> Vec<HardwarePoint> {
     let config = GenPipConfig::for_dataset(&dataset.profile);
-    let run = run_genpip(dataset, &config, ErMode::Full);
+    let run = batch_genpip(dataset, &config, ErMode::Full);
     let costs = SystemCosts::default();
     units
         .iter()
@@ -97,7 +97,7 @@ pub fn dp_unit_sweep(dataset: &SimulatedDataset, units: &[usize]) -> Vec<Hardwar
 /// Sweeps the basecaller initiation interval on a fixed full-ER workload.
 pub fn basecaller_ii_sweep(dataset: &SimulatedDataset, intervals: &[usize]) -> Vec<HardwarePoint> {
     let config = GenPipConfig::for_dataset(&dataset.profile);
-    let run = run_genpip(dataset, &config, ErMode::Full);
+    let run = batch_genpip(dataset, &config, ErMode::Full);
     let costs = SystemCosts::default();
     intervals
         .iter()

@@ -2,7 +2,7 @@
 
 use crate::config::GenPipConfig;
 use crate::experiments::FigureTable;
-use crate::pipeline::run_conventional;
+use crate::pipeline::batch_conventional;
 use crate::systems::potential::{potential_study, PotentialRow};
 use crate::systems::SystemCosts;
 use genpip_datasets::DatasetProfile;
@@ -22,7 +22,7 @@ pub struct Fig04 {
 pub fn run(scale: f64) -> Fig04 {
     let dataset = DatasetProfile::ecoli().scaled(scale).generate();
     let config = GenPipConfig::for_dataset(&dataset.profile);
-    let conventional = run_conventional(&dataset, &config);
+    let conventional = batch_conventional(&dataset, &config);
     let costs = SystemCosts::default();
     Fig04 {
         rows: potential_study(&conventional, &costs.software, &costs.tech),

@@ -7,7 +7,7 @@
 use crate::analysis::{cmr_analysis, RejectionAnalysis};
 use crate::config::GenPipConfig;
 use crate::experiments::FigureTable;
-use crate::pipeline::{run_conventional, run_genpip, ErMode};
+use crate::pipeline::{batch_conventional, batch_genpip, ErMode};
 use genpip_datasets::DatasetProfile;
 use std::fmt;
 
@@ -37,12 +37,12 @@ pub fn run(scale: f64) -> Fig13 {
         let profile = profile.scaled(scale);
         let dataset = profile.generate();
         let base_config = GenPipConfig::for_dataset(&profile);
-        let oracle = run_conventional(&dataset, &base_config);
+        let oracle = batch_conventional(&dataset, &base_config);
         let mut points = Vec::new();
         for n_cm in N_CM_RANGE {
             let mut config = base_config.clone();
             config.n_cm = n_cm;
-            let er = run_genpip(&dataset, &config, ErMode::Full);
+            let er = batch_genpip(&dataset, &config, ErMode::Full);
             points.push((n_cm, cmr_analysis(&er, &oracle)));
         }
         sweeps.push(CmrSweep {

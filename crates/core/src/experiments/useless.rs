@@ -9,7 +9,7 @@
 use crate::analysis::{false_negative_audit, FalseNegativeAudit, UselessReadStats};
 use crate::config::GenPipConfig;
 use crate::experiments::FigureTable;
-use crate::pipeline::{run_conventional, run_genpip, ErMode};
+use crate::pipeline::{batch_conventional, batch_genpip, ErMode};
 use genpip_datasets::DatasetProfile;
 use std::fmt;
 
@@ -33,10 +33,10 @@ pub fn run(scale: f64) -> UselessReads {
         let profile = profile.scaled(scale);
         let dataset = profile.generate();
         let config = GenPipConfig::for_dataset(&profile);
-        let oracle = run_conventional(&dataset, &config);
+        let oracle = batch_conventional(&dataset, &config);
         rows.push((profile.name.to_string(), UselessReadStats::of(&oracle)));
         if profile.name == "ecoli" {
-            let er = run_genpip(&dataset, &config, ErMode::Full);
+            let er = batch_genpip(&dataset, &config, ErMode::Full);
             audit = Some(false_negative_audit(&er, &oracle));
         }
     }

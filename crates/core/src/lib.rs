@@ -13,10 +13,12 @@
 //!   counters every hardware model consumes;
 //! * [`engine`] — the [`Session`] execution API: one bounded-memory worker
 //!   pool serving any number of named read sources, each with its own sink
-//!   and in-order emission, interleaved by a [`scheduler::Schedule`]. Every
-//!   `run_*` driver is a thin single-source wrapper over it;
+//!   and in-order emission, interleaved by a [`scheduler::Schedule`], with
+//!   a live control plane ([`SessionControl`]) that can attach and detach
+//!   sources on a running session. Every deprecated `run_*` driver is a
+//!   thin single-source wrapper over it;
 //! * [`scheduler`] — the source-interleaving policies (`Sequential`,
-//!   `FairShare`, weighted `Priority`);
+//!   `FairShare`, weighted `Priority`, and feedback-driven `Deadline`);
 //! * [`stream`] — streaming vocabulary ([`StreamOptions`], [`StreamEvent`],
 //!   [`StreamSummary`]) and the legacy single-source streaming drivers,
 //!   bit-identical to the batch drivers with O(workers + queue) peak
@@ -71,15 +73,17 @@ pub mod systems;
 
 pub use config::{FaultPolicy, GenPipConfig, Parallelism};
 pub use engine::{
-    Flow, Granularity, Session, SessionControl, SessionError, SessionReport, SourceConfigIssue,
-    SourceReport,
+    AttachSpec, Flow, Granularity, PendingAttach, PendingDetach, Session, SessionControl,
+    SessionError, SessionReport, SessionStats, SourceConfigIssue, SourceReport, SourceStats,
 };
 pub use genpip_datasets::SourceId;
 pub use genpip_mapping::Shards;
 pub use pipeline::{CalledBases, ChunkWork, ErMode, PipelineRun, ReadOutcome, ReadRun};
 pub use scheduler::Schedule;
+#[allow(deprecated)]
+pub use stream::{run_conventional_streaming, run_genpip_streaming};
 pub use stream::{
-    run_conventional_streaming, run_genpip_streaming, FastqSink, FaultKind, LatencyStats,
-    ProgressSnapshot, ReadFault, StreamEvent, StreamOptions, StreamSummary,
+    FastqSink, FaultKind, LatencyStats, ProgressSnapshot, ReadFault, StreamEvent, StreamOptions,
+    StreamSummary,
 };
 pub use systems::SystemKind;

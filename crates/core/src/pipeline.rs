@@ -313,22 +313,25 @@ impl PipelineRun {
 }
 
 /// Shared per-run context. Immutable once built, so one instance serves all
-/// worker threads by shared reference.
-pub(crate) struct RunContext<'a> {
-    pub(crate) config: &'a GenPipConfig,
+/// worker threads by shared reference. Owns its config (rather than
+/// borrowing it) so contexts for sources attached to a *running* session
+/// can be minted at any time and handed to workers without a lifetime tying
+/// them to the session builder.
+pub(crate) struct RunContext {
+    pub(crate) config: GenPipConfig,
     caller: Basecaller,
     mapper: Mapper,
     samples_per_chunk: usize,
 }
 
-impl<'a> RunContext<'a> {
+impl RunContext {
     /// Builds the context from any [`ReadSource`] — the `Session` engine
     /// builds one of these per registered source, so every read is
     /// processed against its own source's reference and chemistry.
     pub(crate) fn from_source<S: ReadSource + ?Sized>(
         source: &S,
-        config: &'a GenPipConfig,
-    ) -> RunContext<'a> {
+        config: &GenPipConfig,
+    ) -> RunContext {
         RunContext::from_parts(
             source.reference(),
             source.pore_model(),
@@ -341,10 +344,10 @@ impl<'a> RunContext<'a> {
         reference: &Genome,
         pore: &PoreModel,
         mean_dwell: f64,
-        config: &'a GenPipConfig,
-    ) -> RunContext<'a> {
+        config: &GenPipConfig,
+    ) -> RunContext {
         RunContext {
-            config,
+            config: config.clone(),
             caller: Basecaller::new(pore, mean_dwell),
             mapper: Mapper::build(reference, config.mapper),
             samples_per_chunk: config.samples_per_chunk(mean_dwell),
@@ -364,7 +367,7 @@ pub(crate) struct WorkerScratch {
 }
 
 impl WorkerScratch {
-    pub(crate) fn new(ctx: &RunContext<'_>) -> WorkerScratch {
+    pub(crate) fn new(ctx: &RunContext) -> WorkerScratch {
         let (fwd, rev) = ctx.mapper.new_chainers();
         WorkerScratch {
             call: CallScratch::new(),
@@ -381,7 +384,7 @@ impl WorkerScratch {
 /// pipeline with that ER mode. This is the single per-read worker function
 /// behind every driver, batch and streaming alike.
 pub(crate) fn process_read(
-    ctx: &RunContext<'_>,
+    ctx: &RunContext,
     er: Option<ErMode>,
     read: &SimulatedRead,
     scratch: &mut WorkerScratch,
@@ -451,7 +454,7 @@ impl ReadChain {
     /// Runs the chain's next task on a worker.
     pub(crate) fn step(
         &mut self,
-        ctx: &RunContext<'_>,
+        ctx: &RunContext,
         scratch: &mut WorkerScratch,
     ) -> ChainStep<ReadRun> {
         match self {
@@ -562,7 +565,7 @@ pub(crate) struct GenPipChain {
 }
 
 impl GenPipChain {
-    fn new(ctx: &RunContext<'_>, er: ErMode, read: SimulatedRead) -> GenPipChain {
+    fn new(ctx: &RunContext, er: ErMode, read: SimulatedRead) -> GenPipChain {
         let specs = chunk_boundaries(read.signal.samples.len(), ctx.samples_per_chunk);
         let total = specs.len();
         let run = ReadRun {
@@ -615,7 +618,7 @@ impl GenPipChain {
         }
     }
 
-    fn step(&mut self, ctx: &RunContext<'_>, scratch: &mut WorkerScratch) -> ChainStep<ReadRun> {
+    fn step(&mut self, ctx: &RunContext, scratch: &mut WorkerScratch) -> ChainStep<ReadRun> {
         let samples = &self.read.signal.samples;
         let total = self.specs.len();
         match &mut self.phase {
@@ -799,7 +802,7 @@ pub(crate) struct ConvChain {
 }
 
 impl ConvChain {
-    fn new(ctx: &RunContext<'_>, read: SimulatedRead) -> ConvChain {
+    fn new(ctx: &RunContext, read: SimulatedRead) -> ConvChain {
         let specs = chunk_boundaries(read.signal.samples.len(), ctx.samples_per_chunk);
         ConvChain {
             read,
@@ -813,7 +816,7 @@ impl ConvChain {
         }
     }
 
-    fn step(&mut self, ctx: &RunContext<'_>, scratch: &mut WorkerScratch) -> ChainStep<ReadRun> {
+    fn step(&mut self, ctx: &RunContext, scratch: &mut WorkerScratch) -> ChainStep<ReadRun> {
         let mut units = 0u64;
         if self.idx < self.specs.len() {
             let spec = self.specs[self.idx];
@@ -967,7 +970,15 @@ fn run_batch(
 ///     .run()
 ///     .expect("valid session");
 /// ```
+#[deprecated(note = "use Session")]
 pub fn run_conventional(dataset: &SimulatedDataset, config: &GenPipConfig) -> PipelineRun {
+    batch_conventional(dataset, config)
+}
+
+/// Internal spelling of [`run_conventional`] for in-repo callers (systems
+/// models, experiments, calibration) that want a [`PipelineRun`] without
+/// tripping the deprecation lint.
+pub(crate) fn batch_conventional(dataset: &SimulatedDataset, config: &GenPipConfig) -> PipelineRun {
     PipelineRun {
         config: Arc::new(config.clone()),
         er: ErMode::None,
@@ -977,7 +988,7 @@ pub fn run_conventional(dataset: &SimulatedDataset, config: &GenPipConfig) -> Pi
 }
 
 fn conventional_read(
-    ctx: &RunContext<'_>,
+    ctx: &RunContext,
     id: u32,
     samples: &[f32],
     scratch: &mut WorkerScratch,
@@ -1079,7 +1090,19 @@ fn conventional_read(
 ///     .expect("valid session");
 /// assert_eq!(report.outcomes.reads_emitted, dataset.reads.len());
 /// ```
+#[deprecated(note = "use Session")]
 pub fn run_genpip(dataset: &SimulatedDataset, config: &GenPipConfig, er: ErMode) -> PipelineRun {
+    batch_genpip(dataset, config, er)
+}
+
+/// Internal spelling of [`run_genpip`] for in-repo callers (systems models,
+/// experiments, calibration) that want a [`PipelineRun`] without tripping
+/// the deprecation lint.
+pub(crate) fn batch_genpip(
+    dataset: &SimulatedDataset,
+    config: &GenPipConfig,
+    er: ErMode,
+) -> PipelineRun {
     PipelineRun {
         config: Arc::new(config.clone()),
         er,
@@ -1096,7 +1119,7 @@ pub fn run_genpip(dataset: &SimulatedDataset, config: &GenPipConfig, er: ErMode)
 /// stitch to their predecessor).
 #[allow(clippy::too_many_arguments)]
 fn basecall_chunk(
-    ctx: &RunContext<'_>,
+    ctx: &RunContext,
     samples: &[f32],
     specs: &[genpip_signal::ChunkSpec],
     idx: usize,
@@ -1120,7 +1143,7 @@ fn basecall_chunk(
 }
 
 fn genpip_read(
-    ctx: &RunContext<'_>,
+    ctx: &RunContext,
     id: u32,
     samples: &[f32],
     er: ErMode,
@@ -1319,14 +1342,14 @@ mod tests {
         let threads = base.clone().with_parallelism(Parallelism::Threads(4));
         let auto = base.with_parallelism(Parallelism::Auto);
         for er in [ErMode::None, ErMode::QsrOnly, ErMode::Full] {
-            let a = run_genpip(&d, &serial, er);
-            let b = run_genpip(&d, &threads, er);
-            let c = run_genpip(&d, &auto, er);
+            let a = batch_genpip(&d, &serial, er);
+            let b = batch_genpip(&d, &threads, er);
+            let c = batch_genpip(&d, &auto, er);
             assert_eq!(a.reads, b.reads, "serial vs 4 threads, {er:?}");
             assert_eq!(a.reads, c.reads, "serial vs auto, {er:?}");
         }
-        let a = run_conventional(&d, &serial);
-        let b = run_conventional(&d, &threads);
+        let a = batch_conventional(&d, &serial);
+        let b = batch_conventional(&d, &threads);
         assert_eq!(a.reads, b.reads, "conventional serial vs 4 threads");
     }
 
@@ -1338,7 +1361,7 @@ mod tests {
         let d = dataset();
         let config = GenPipConfig::for_dataset(&d.profile).with_parallelism(Parallelism::Serial);
         let ctx = RunContext::from_source(&d.stream(), &config);
-        let shared = run_genpip(&d, &config, ErMode::Full);
+        let shared = batch_genpip(&d, &config, ErMode::Full);
         for (read, run) in d.reads.iter().zip(&shared.reads) {
             let mut fresh = WorkerScratch::new(&ctx);
             let alone = genpip_read(
@@ -1356,7 +1379,7 @@ mod tests {
     fn conventional_processes_every_chunk() {
         let d = dataset();
         let config = GenPipConfig::for_dataset(&d.profile);
-        let run = run_conventional(&d, &config);
+        let run = batch_conventional(&d, &config);
         assert_eq!(run.reads.len(), d.reads.len());
         for r in &run.reads {
             assert_eq!(r.chunks.len(), r.total_chunks);
@@ -1370,7 +1393,7 @@ mod tests {
     fn conventional_outcomes_are_sane() {
         let d = dataset();
         let config = GenPipConfig::for_dataset(&d.profile);
-        let run = run_conventional(&d, &config);
+        let run = batch_conventional(&d, &config);
         let t = run.totals();
         // Most reference-origin, good-quality reads must map.
         let mut mappable = 0usize;
@@ -1399,7 +1422,7 @@ mod tests {
     fn mapped_reads_land_on_their_true_origin() {
         let d = dataset();
         let config = GenPipConfig::for_dataset(&d.profile);
-        let run = run_conventional(&d, &config);
+        let run = batch_conventional(&d, &config);
         let mut checked = 0usize;
         let mut correct = 0usize;
         for (rr, sr) in run.reads.iter().zip(&d.reads) {
@@ -1424,8 +1447,8 @@ mod tests {
     fn cp_without_er_matches_conventional_outcomes() {
         let d = dataset();
         let config = GenPipConfig::for_dataset(&d.profile);
-        let conv = run_conventional(&d, &config);
-        let cp = run_genpip(&d, &config, ErMode::None);
+        let conv = batch_conventional(&d, &config);
+        let cp = batch_genpip(&d, &config, ErMode::None);
         assert!(cp.chunked);
         let mut agree = 0usize;
         for (a, b) in conv.reads.iter().zip(&cp.reads) {
@@ -1455,7 +1478,7 @@ mod tests {
     fn cp_basecalls_everything_once() {
         let d = dataset();
         let config = GenPipConfig::for_dataset(&d.profile);
-        let cp = run_genpip(&d, &config, ErMode::None);
+        let cp = batch_genpip(&d, &config, ErMode::None);
         for r in &cp.reads {
             assert_eq!(r.basecalled_samples(), r.signal_samples, "read {}", r.id);
             // Every chunk appears exactly twice: one basecall entry and one
@@ -1468,8 +1491,8 @@ mod tests {
     fn qsr_saves_work_on_low_quality_reads() {
         let d = dataset();
         let config = GenPipConfig::for_dataset(&d.profile);
-        let full = run_genpip(&d, &config, ErMode::None);
-        let qsr = run_genpip(&d, &config, ErMode::QsrOnly);
+        let full = batch_genpip(&d, &config, ErMode::None);
+        let qsr = batch_genpip(&d, &config, ErMode::QsrOnly);
         let rejected = qsr.count_outcomes(ReadOutcome::is_early_rejected);
         assert!(rejected > 0, "no reads rejected by QSR");
         let full_samples = full.totals().samples;
@@ -1491,7 +1514,7 @@ mod tests {
     fn cmr_rejects_contaminants() {
         let d = dataset();
         let config = GenPipConfig::for_dataset(&d.profile);
-        let run = run_genpip(&d, &config, ErMode::Full);
+        let run = batch_genpip(&d, &config, ErMode::Full);
         let mut cmr_rejected = 0usize;
         let mut cmr_rejected_contaminant = 0usize;
         for (rr, sr) in run.reads.iter().zip(&d.reads) {
@@ -1513,8 +1536,8 @@ mod tests {
     fn er_only_removes_reads_never_changes_survivors() {
         let d = dataset();
         let config = GenPipConfig::for_dataset(&d.profile);
-        let cp = run_genpip(&d, &config, ErMode::None);
-        let er = run_genpip(&d, &config, ErMode::Full);
+        let cp = batch_genpip(&d, &config, ErMode::None);
+        let er = batch_genpip(&d, &config, ErMode::Full);
         for (a, b) in cp.reads.iter().zip(&er.reads) {
             if !b.outcome.is_early_rejected() {
                 // A survivor must map to the same place. Sampled chunks are
@@ -1547,7 +1570,7 @@ mod tests {
     fn totals_are_internally_consistent() {
         let d = dataset();
         let config = GenPipConfig::for_dataset(&d.profile);
-        let run = run_genpip(&d, &config, ErMode::Full);
+        let run = batch_genpip(&d, &config, ErMode::Full);
         let t = run.totals();
         assert_eq!(t.reads, d.reads.len());
         assert!(t.samples <= d.total_samples());

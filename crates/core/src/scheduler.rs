@@ -32,21 +32,61 @@ pub enum Schedule {
     /// it up front. Exhausted sources drop out and their share is
     /// redistributed.
     Priority(Vec<u32>),
+    /// Latency-target scheduling: each source declares a residency target in
+    /// chunk-work units (the [`crate::stream::LatencyStats`] currency), and
+    /// the scheduler continuously re-weights a smooth weighted round-robin
+    /// by each source's *urgency* — the ratio of its observed residency
+    /// (an EWMA over retired reads, fed back by the engine) to its target.
+    /// A source running at its target holds a neutral share; one whose reads
+    /// are resident 4× longer than its target earns 4× the pulls until the
+    /// EWMA comes back down. Urgency is clamped to `[1, 16×]` neutral, so no
+    /// source is ever starved and a hopeless target cannot monopolize the
+    /// pool. Targets align with source **registration order** and must all
+    /// be ≥ 1 ([`crate::engine::SessionError::ZeroDeadlineTarget`]).
+    ///
+    /// Like every other policy the decision procedure is deterministic: the
+    /// pick sequence is a pure function of the availability and
+    /// residency-feedback sequences (integer arithmetic only, ties to the
+    /// lowest index), and — like every other policy — it changes latency
+    /// distribution, never results.
+    Deadline(Vec<u64>),
 }
 
 impl Schedule {
     /// Parses a CLI spelling: `"sequential"`/`"seq"`, `"fair"`/
-    /// `"fairshare"`/`"fair-share"`, or `"priority"` (which takes its
-    /// weights from per-source specs, so it parses to `Priority(vec![])` —
-    /// callers fill the weights in). `None` for anything else.
+    /// `"fairshare"`/`"fair-share"`, `"priority"`, or `"deadline"`.
+    /// `Priority` and `Deadline` take their weights/targets from per-source
+    /// specs, so they parse to empty vectors — callers fill them in. `None`
+    /// for anything else.
     pub fn parse(s: &str) -> Option<Schedule> {
         match s.trim().to_ascii_lowercase().as_str() {
             "sequential" | "seq" => Some(Schedule::Sequential),
             "fair" | "fairshare" | "fair-share" => Some(Schedule::FairShare),
             "priority" => Some(Schedule::Priority(Vec::new())),
+            "deadline" => Some(Schedule::Deadline(Vec::new())),
             _ => None,
         }
     }
+}
+
+/// Neutral urgency of a [`Schedule::Deadline`] lane: the weight a lane earns
+/// while its residency EWMA sits exactly at its target (or before any of its
+/// reads have retired).
+const DEADLINE_NEUTRAL: i64 = 8;
+
+/// Urgency cap: a lane can earn at most 16× the neutral share no matter how
+/// far past its target it is, so one hopeless target cannot starve the rest.
+const DEADLINE_MAX: i64 = 16 * DEADLINE_NEUTRAL;
+
+/// The SWRR weight a deadline lane earns this round: `neutral × ewma /
+/// target`, clamped to `[1, DEADLINE_MAX]`. Integer arithmetic keeps the
+/// whole policy deterministic.
+fn deadline_urgency(ewma: u64, target: u64) -> i64 {
+    if ewma == 0 {
+        return DEADLINE_NEUTRAL;
+    }
+    let urgency = (ewma.saturating_mul(DEADLINE_NEUTRAL as u64) / target.max(1)) as i64;
+    urgency.clamp(1, DEADLINE_MAX)
 }
 
 /// The mutable pick-next state behind a [`Schedule`], owned by the engine's
@@ -66,14 +106,24 @@ pub(crate) struct SchedulerState {
 
 enum Kind {
     Sequential,
-    FairShare { cursor: usize },
-    Priority { weights: Vec<u32>, credit: Vec<i64> },
+    FairShare {
+        cursor: usize,
+    },
+    Priority {
+        weights: Vec<u32>,
+        credit: Vec<i64>,
+    },
+    Deadline {
+        targets: Vec<u64>,
+        ewma: Vec<u64>,
+        credit: Vec<i64>,
+    },
 }
 
 impl SchedulerState {
-    /// Builds the state for `n` sources. `Priority` weights must already be
-    /// validated (length `n`, all ≥ 1) — [`crate::engine::Session::run`]
-    /// does that before construction.
+    /// Builds the state for `n` sources. `Priority` weights and `Deadline`
+    /// targets must already be validated (length `n`, all ≥ 1) —
+    /// [`crate::engine::Session::run`] does that before construction.
     pub(crate) fn new(schedule: &Schedule, n: usize) -> SchedulerState {
         let kind = match schedule {
             Schedule::Sequential => Kind::Sequential,
@@ -86,11 +136,63 @@ impl SchedulerState {
                     credit: vec![0; n],
                 }
             }
+            Schedule::Deadline(targets) => {
+                debug_assert_eq!(targets.len(), n, "targets validated by Session::run");
+                debug_assert!(targets.iter().all(|&t| t >= 1));
+                Kind::Deadline {
+                    targets: targets.clone(),
+                    ewma: vec![0; n],
+                    credit: vec![0; n],
+                }
+            }
         };
         SchedulerState {
             kind,
             active: vec![true; n],
             remaining: n,
+        }
+    }
+
+    /// Registers a lane attached to a *running* session: it starts active,
+    /// with a fresh SWRR credit of 0 (so it smoothly joins the rotation
+    /// rather than bursting). `weight` applies under `Priority`, `target`
+    /// under `Deadline`; the other policies ignore both.
+    pub(crate) fn add_lane(&mut self, weight: u32, target: u64) {
+        match &mut self.kind {
+            Kind::Sequential | Kind::FairShare { .. } => {}
+            Kind::Priority { weights, credit } => {
+                weights.push(weight.max(1));
+                credit.push(0);
+            }
+            Kind::Deadline {
+                targets,
+                ewma,
+                credit,
+            } => {
+                targets.push(target.max(1));
+                ewma.push(0);
+                credit.push(0);
+            }
+        }
+        self.active.push(true);
+        self.remaining += 1;
+    }
+
+    /// Feeds one retired read's residency (chunk-work units from admission
+    /// to retirement) back to the policy. Only [`Schedule::Deadline`] uses
+    /// it — the EWMA (`new = (3·old + sample) / 4`, integer) tracks each
+    /// lane's recent residency against its target. The engine calls this on
+    /// the dispatcher for every retirement, so the feedback sequence is as
+    /// deterministic as the execution that produced it.
+    pub(crate) fn observe(&mut self, lane: usize, resident_units: u64) {
+        if let Kind::Deadline { ewma, .. } = &mut self.kind {
+            let e = &mut ewma[lane];
+            let sample = resident_units.max(1);
+            *e = if *e == 0 {
+                sample
+            } else {
+                (3 * *e + sample) / 4
+            };
         }
     }
 
@@ -137,6 +239,35 @@ impl SchedulerState {
                     }
                     credit[i] += i64::from(weights[i]);
                     total += i64::from(weights[i]);
+                    match best {
+                        Some(b) if credit[i] <= credit[b as usize] => {}
+                        _ => best = Some(i as u32),
+                    }
+                }
+                let pick = best? as usize;
+                credit[pick] -= total;
+                pick
+            }
+            Kind::Deadline {
+                targets,
+                ewma,
+                credit,
+            } => {
+                // SWRR with dynamic weights: each available lane earns its
+                // current urgency in credit, the richest lane is picked and
+                // pays the total back. Identical mechanics to `Priority`,
+                // except the weight is recomputed from the residency EWMA
+                // every round, so lanes drifting past their target
+                // automatically earn a larger share.
+                let mut total = 0i64;
+                let mut best = None;
+                for i in 0..active.len() {
+                    if !up(i) {
+                        continue;
+                    }
+                    let urgency = deadline_urgency(ewma[i], targets[i]);
+                    credit[i] += urgency;
+                    total += urgency;
                     match best {
                         Some(b) if credit[i] <= credit[b as usize] => {}
                         _ => best = Some(i as u32),
@@ -272,6 +403,134 @@ mod tests {
             Schedule::parse("priority"),
             Some(Schedule::Priority(Vec::new()))
         );
+        assert_eq!(
+            Schedule::parse("deadline"),
+            Some(Schedule::Deadline(Vec::new()))
+        );
         assert_eq!(Schedule::parse("bogus"), None);
+    }
+
+    #[test]
+    fn deadline_without_feedback_is_fair() {
+        // Before any read retires every lane's urgency is the neutral
+        // weight, so the policy degenerates to plain round-robin — pinned.
+        assert_eq!(
+            picks(&Schedule::Deadline(vec![100, 100, 100]), 3, 6),
+            vec![0, 1, 2, 0, 1, 2]
+        );
+        // Unequal *targets* alone change nothing: urgency is residency
+        // relative to target, and nobody has residency yet.
+        assert_eq!(
+            picks(&Schedule::Deadline(vec![10, 1_000]), 2, 4),
+            vec![0, 1, 0, 1]
+        );
+    }
+
+    #[test]
+    fn deadline_boosts_a_lane_past_its_target() {
+        // Lane 1's reads are observed resident at 4× its target while lane 0
+        // sits exactly at its target: lane 1's urgency becomes 32 against
+        // lane 0's 8, so SWRR gives lane 1 four pulls to every one of lane
+        // 0's — the exact sequence is pinned, as determinism demands.
+        let mut s = SchedulerState::new(&Schedule::Deadline(vec![100, 100]), 2);
+        s.observe(0, 100);
+        s.observe(1, 400);
+        let seq: Vec<usize> = (0..10).map(|_| s.next().expect("active")).collect();
+        assert_eq!(seq, vec![1, 1, 0, 1, 1, 1, 1, 0, 1, 1]);
+        assert_eq!(seq.iter().filter(|&&p| p == 1).count(), 8);
+    }
+
+    #[test]
+    fn deadline_feedback_sequence_is_deterministic() {
+        // Same construction, same observe() calls, same availability — the
+        // pick sequence must be bit-for-bit reproducible.
+        let run = || {
+            let mut s = SchedulerState::new(&Schedule::Deadline(vec![50, 200, 100]), 3);
+            let mut seq = Vec::new();
+            for round in 0..30u64 {
+                if round == 5 {
+                    s.observe(0, 500);
+                }
+                if round == 10 {
+                    s.observe(1, 100);
+                    s.observe(2, 900);
+                }
+                if round == 20 {
+                    s.observe(0, 40);
+                }
+                seq.push(s.next_where(|l| l != 1 || round % 2 == 0).expect("active"));
+            }
+            seq
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn deadline_ewma_recovers_and_urgency_follows() {
+        // A burst of slow reads raises the EWMA; a stretch of fast reads
+        // brings it (and the lane's share) back down — no permanent penalty.
+        let mut s = SchedulerState::new(&Schedule::Deadline(vec![100, 100]), 2);
+        s.observe(0, 1_600);
+        // 16× target, clamped pressure: lane 0 dominates.
+        let burst: Vec<usize> = (0..9).map(|_| s.next().expect("active")).collect();
+        assert!(burst.iter().filter(|&&p| p == 0).count() >= 7, "{burst:?}");
+        // Fast reads decay the EWMA geometrically (3/4 per sample); lane 0's
+        // urgency falls from the cap (128) to 4 against lane 1's neutral 8.
+        for _ in 0..12 {
+            s.observe(0, 10);
+        }
+        // Lane 0 first drains the credit it banked during the burst (eight
+        // picks), then the steady state settles into the 4:8 pattern.
+        let calm: Vec<usize> = (0..20).map(|_| s.next().expect("active")).collect();
+        assert_eq!(&calm[..8], &[0; 8]);
+        assert_eq!(&calm[8..], &[1, 0, 1, 1, 0, 1, 1, 0, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn deadline_never_starves_within_the_cap() {
+        // Lane 0 pinned at the urgency cap (128) against a neutral lane (8):
+        // the neutral lane must still be picked at least once per
+        // sum-of-weights window.
+        let mut s = SchedulerState::new(&Schedule::Deadline(vec![1, 100]), 2);
+        s.observe(0, u64::MAX / 2); // astronomically past target → clamped
+        let window = (128 + 8) as usize;
+        let seq: Vec<usize> = (0..2 * window).map(|_| s.next().expect("active")).collect();
+        for chunk in seq.chunks(window) {
+            assert!(chunk.contains(&1), "neutral lane starved in {chunk:?}");
+        }
+    }
+
+    #[test]
+    fn lanes_can_be_added_to_a_running_scheduler() {
+        // FairShare: a lane added mid-rotation joins the wheel.
+        let mut f = SchedulerState::new(&Schedule::FairShare, 2);
+        assert_eq!(f.next(), Some(0));
+        f.add_lane(1, 1);
+        assert_eq!(f.next(), Some(1));
+        assert_eq!(f.next(), Some(2));
+        assert_eq!(f.next(), Some(0));
+        // Priority: the new lane starts at credit 0 and earns its weighted
+        // share smoothly — pinned sequence.
+        let mut p = SchedulerState::new(&Schedule::Priority(vec![1]), 1);
+        assert_eq!(p.next(), Some(0));
+        p.add_lane(2, 1);
+        let seq: Vec<usize> = (0..6).map(|_| p.next().expect("active")).collect();
+        assert_eq!(seq, vec![1, 0, 1, 1, 0, 1]);
+        // Deadline: the new lane starts neutral (credit ties break to the
+        // lowest index, so the incumbent goes first) and picks up feedback.
+        let mut d = SchedulerState::new(&Schedule::Deadline(vec![100]), 1);
+        assert_eq!(d.next(), Some(0));
+        d.add_lane(1, 100);
+        assert_eq!(d.next(), Some(0));
+        assert_eq!(d.next(), Some(1));
+        d.observe(1, 400);
+        let seq: Vec<usize> = (0..5).map(|_| d.next().expect("active")).collect();
+        assert_eq!(seq.iter().filter(|&&p| p == 1).count(), 4, "{seq:?}");
+        // Exhausting an added lane retires it like any other.
+        d.exhausted(1);
+        assert_eq!(d.next(), Some(0));
+        d.exhausted(0);
+        assert_eq!(d.next(), None);
+        assert!(d.all_exhausted());
     }
 }

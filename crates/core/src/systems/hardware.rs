@@ -246,7 +246,7 @@ pub fn evaluate_pim_baseline(
 mod tests {
     use super::*;
     use crate::config::GenPipConfig;
-    use crate::pipeline::{run_conventional, run_genpip, ErMode};
+    use crate::pipeline::{batch_conventional, batch_genpip, ErMode};
     use genpip_datasets::DatasetProfile;
 
     struct Setup {
@@ -261,9 +261,9 @@ mod tests {
         let d = DatasetProfile::ecoli().scaled(0.08).generate();
         let config = GenPipConfig::for_dataset(&d.profile);
         Setup {
-            conventional: run_conventional(&d, &config),
-            cp: run_genpip(&d, &config, ErMode::None),
-            full: run_genpip(&d, &config, ErMode::Full),
+            conventional: batch_conventional(&d, &config),
+            cp: batch_genpip(&d, &config, ErMode::None),
+            full: batch_genpip(&d, &config, ErMode::Full),
             costs: SoftwareCosts::calibrated(),
             tech: PimTech::paper_32nm(),
         }

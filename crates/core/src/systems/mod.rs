@@ -19,7 +19,7 @@ pub mod potential;
 pub mod software;
 
 use crate::config::GenPipConfig;
-use crate::pipeline::{run_conventional, run_genpip, ErMode, PipelineRun};
+use crate::pipeline::{batch_conventional, batch_genpip, ErMode, PipelineRun};
 use genpip_datasets::SimulatedDataset;
 use genpip_pim::PimTech;
 use genpip_sim::{EnergyMeter, SimTime};
@@ -108,10 +108,10 @@ impl WorkloadSet {
     /// Runs all four functional pipelines over a dataset.
     pub fn build(dataset: &SimulatedDataset, config: &GenPipConfig) -> WorkloadSet {
         WorkloadSet {
-            conventional: run_conventional(dataset, config),
-            cp_only: run_genpip(dataset, config, ErMode::None),
-            cp_qsr: run_genpip(dataset, config, ErMode::QsrOnly),
-            cp_full: run_genpip(dataset, config, ErMode::Full),
+            conventional: batch_conventional(dataset, config),
+            cp_only: batch_genpip(dataset, config, ErMode::None),
+            cp_qsr: batch_genpip(dataset, config, ErMode::QsrOnly),
+            cp_full: batch_genpip(dataset, config, ErMode::Full),
         }
     }
 }

@@ -146,16 +146,16 @@ pub fn evaluate_software(
 mod tests {
     use super::*;
     use crate::config::GenPipConfig;
-    use crate::pipeline::{run_conventional, run_genpip, ErMode};
+    use crate::pipeline::{batch_conventional, batch_genpip, ErMode};
     use genpip_datasets::DatasetProfile;
 
     fn workloads() -> (PipelineRun, PipelineRun, PipelineRun) {
         let d = DatasetProfile::ecoli().scaled(0.05).generate();
         let config = GenPipConfig::for_dataset(&d.profile);
         (
-            run_conventional(&d, &config),
-            run_genpip(&d, &config, ErMode::None),
-            run_genpip(&d, &config, ErMode::Full),
+            batch_conventional(&d, &config),
+            batch_genpip(&d, &config, ErMode::None),
+            batch_genpip(&d, &config, ErMode::Full),
         )
     }
 

@@ -137,6 +137,31 @@ impl<S: ReadSource + ?Sized> ReadSource for &mut S {
     }
 }
 
+/// Forwarding impl for boxed sources, the handoff currency of live
+/// sessions: a control plane attaching a source to a *running* session
+/// must ship it across a thread boundary as `Box<dyn ReadSource + Send>`.
+impl<S: ReadSource + ?Sized> ReadSource for Box<S> {
+    fn reference(&self) -> &Genome {
+        (**self).reference()
+    }
+
+    fn pore_model(&self) -> &PoreModel {
+        (**self).pore_model()
+    }
+
+    fn mean_dwell(&self) -> f64 {
+        (**self).mean_dwell()
+    }
+
+    fn next_read(&mut self) -> Option<SimulatedRead> {
+        (**self).next_read()
+    }
+
+    fn reads_remaining(&self) -> Option<usize> {
+        (**self).reads_remaining()
+    }
+}
+
 /// A [`ReadSource`] view over a materialized [`SimulatedDataset`]: yields
 /// clones of the dataset's reads in id order.
 pub struct DatasetStream<'a> {

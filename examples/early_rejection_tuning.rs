@@ -11,9 +11,36 @@
 //! how an operator would pick an operating point for a new chemistry.
 
 use genpip::core::analysis::{cmr_analysis, qsr_analysis};
-use genpip::core::pipeline::{run_conventional, run_genpip, ErMode};
-use genpip::core::GenPipConfig;
-use genpip::datasets::DatasetProfile;
+use genpip::core::pipeline::{ErMode, PipelineRun};
+use genpip::core::stream::StreamEvent;
+use genpip::core::{Flow, GenPipConfig, Session};
+use genpip::datasets::{DatasetProfile, SimulatedDataset};
+use std::sync::Arc;
+
+/// One batch run through the `Session` engine, packaged as the
+/// [`PipelineRun`] the analysis helpers consume.
+fn run_flow(dataset: &SimulatedDataset, config: &GenPipConfig, flow: Flow) -> PipelineRun {
+    let mut reads = Vec::new();
+    Session::new(config.clone())
+        .flow(flow)
+        .source("sweep", dataset.stream())
+        .sink("sweep", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads.push(run);
+            }
+        })
+        .run()
+        .expect("valid session");
+    PipelineRun {
+        config: Arc::new(config.clone()),
+        er: match flow {
+            Flow::GenPip(er) => er,
+            Flow::Conventional => ErMode::None,
+        },
+        chunked: matches!(flow, Flow::GenPip(_)),
+        reads,
+    }
+}
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -23,7 +50,7 @@ fn main() {
     let profile = DatasetProfile::ecoli().scaled(scale);
     let dataset = profile.generate();
     let base = GenPipConfig::for_dataset(&profile);
-    let oracle = run_conventional(&dataset, &base);
+    let oracle = run_flow(&dataset, &base, Flow::Conventional);
 
     println!("θ_qs sweep (QSR only, N_qs = {}):", base.n_qs);
     println!(
@@ -33,7 +60,7 @@ fn main() {
     for theta in [5.0, 6.0, 7.0, 8.0, 9.0] {
         let mut config = base.clone();
         config.theta_qs = theta;
-        let run = run_genpip(&dataset, &config, ErMode::QsrOnly);
+        let run = run_flow(&dataset, &config, Flow::GenPip(ErMode::QsrOnly));
         let a = qsr_analysis(&run, &oracle, theta);
         let saved = 1.0 - run.totals().samples as f64 / oracle.totals().samples as f64;
         println!(
@@ -52,7 +79,7 @@ fn main() {
     for theta in [15.0, 55.0, 150.0, 400.0, 800.0] {
         let mut config = base.clone();
         config.theta_cm = theta;
-        let run = run_genpip(&dataset, &config, ErMode::Full);
+        let run = run_flow(&dataset, &config, Flow::GenPip(ErMode::Full));
         let a = cmr_analysis(&run, &oracle);
         let saved = 1.0 - run.totals().samples as f64 / oracle.totals().samples as f64;
         println!(

@@ -20,11 +20,17 @@
 //!   `--source` specs) under a `--schedule` policy, with per-source
 //!   progress and summaries. The datasets are never materialized, and at
 //!   most `--queue` + workers reads are in memory across all sources;
+//! * `serve` — a *live* session driven by a script: sources attach and
+//!   detach while the session runs, exercising the control plane
+//!   (`SessionControl::attach`/`detach`/`drain`) without a network
+//!   listener. Script steps fire after a given number of emitted reads;
 //! * `experiment` — regenerate one of the paper's figures/tables.
 
-use genpip::core::engine::{Flow, Session, SessionControl};
+use genpip::core::engine::{
+    AttachSpec, Flow, PendingAttach, PendingDetach, Session, SessionControl,
+};
 use genpip::core::experiments;
-use genpip::core::pipeline::{run_genpip, ErMode, ReadOutcome};
+use genpip::core::pipeline::{ErMode, PipelineRun, ReadOutcome};
 use genpip::core::scheduler::Schedule;
 use genpip::core::stream::{FastqSink, StreamEvent, StreamOptions};
 use genpip::core::{FaultPolicy, GenPipConfig, Parallelism};
@@ -32,10 +38,11 @@ use genpip::datasets::{DatasetProfile, FaultInjector, ReadSource, StreamingSimul
 use genpip::genomics::fastx;
 use genpip::mapping::paf::{write_paf, PafRecord};
 use genpip::mapping::{Mapper, MapperParams, Shards};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +62,7 @@ fn main() -> ExitCode {
         "map" => cmd_map(&opts),
         "run" => cmd_run(&opts),
         "stream" => cmd_stream(&opts),
+        "serve" => cmd_serve(&opts),
         "experiment" => cmd_experiment(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -84,6 +92,10 @@ USAGE:
                [--queue N] [--progress N] [--threads <serial|auto|N>]
                [--shards <single|auto|N>] [--fastq-out PATH]
                [--on-fault <fail|quarantine|retry[:N]>] [--inject-faults RATE]
+  genpip serve --script <FILE> [--er <full|qsr|cp|off>]
+               [--schedule <fair|sequential|priority|deadline>]
+               [--queue N] [--threads <serial|auto|N>] [--shards <single|auto|N>]
+               [--max-sources N]
   genpip experiment <fig04|fig07|fig10|fig11|fig12|fig13|tab01|tab02|useless|ablations> [--scale F]
 
 OPTIONS:
@@ -117,7 +129,19 @@ OPTIONS:
   --inject-faults
               corrupt this fraction of reads in every `stream` source
               (deterministic, seeded) — a fault-tolerance testing aid.
-              Implies quarantine when --on-fault is not given";
+              Implies quarantine when --on-fault is not given
+  --script    `serve` driver script, one step per line (# starts a comment):
+                attach NAME profile=<ecoli|human>[,scale=F][,weight=N][,target=T]
+                at COUNT attach NAME profile=...
+                at COUNT detach NAME
+                at COUNT drain
+              Steps without `at` register before the run; `at COUNT` steps
+              fire through the live control plane once COUNT reads have
+              been emitted across all sources. target= is the source's
+              deadline-schedule residency goal in chunk-work units
+  --max-sources
+              `serve` admission bound: a live attach beyond this many
+              concurrently-attached sources is refused (default 64)";
 
 /// Parsed command line: repeatable options keep every occurrence in order
 /// (`--source` is the only multi-valued one today); single-valued lookups
@@ -320,7 +344,23 @@ fn cmd_run(parsed: &Parsed) -> Result<(), String> {
     let config = GenPipConfig::for_dataset(&profile)
         .with_shards(shards)
         .with_fault_policy(fault_policy);
-    let run = run_genpip(&dataset, &config, er);
+    let mut reads = Vec::new();
+    Session::new(config.clone())
+        .flow(Flow::GenPip(er))
+        .source(profile.name, dataset.stream())
+        .sink(profile.name, |event| {
+            if let StreamEvent::Read(run) = event {
+                reads.push(run);
+            }
+        })
+        .run()
+        .map_err(|e| e.to_string())?;
+    let run = PipelineRun {
+        config: Arc::new(config),
+        er,
+        chunked: true,
+        reads,
+    };
     let totals = run.totals();
     let count = |pred: fn(&ReadOutcome) -> bool| run.count_outcomes(pred);
     println!("reads:          {}", run.reads.len());
@@ -667,6 +707,358 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
         o.failed,
         explicit_fault && fault_policy != FaultPolicy::Fail,
     )
+}
+
+/// Deadline-schedule residency goal (chunk-work units) for scripted sources
+/// that do not spell their own `target=`.
+const SERVE_DEFAULT_TARGET: u64 = 64;
+
+/// A source named in a `serve` script attach step.
+struct ServeSpec {
+    name: String,
+    profile: DatasetProfile,
+    weight: u32,
+    target: Option<u64>,
+}
+
+/// What a `serve` script step does when it fires.
+enum ServeAction {
+    Attach(Box<ServeSpec>),
+    Detach(String),
+    Drain,
+}
+
+/// One scripted step: fires once `after` reads have been emitted across all
+/// sources. Steps written without `at` register before the run instead.
+struct ScriptStep {
+    line_no: usize,
+    after: usize,
+    action: ServeAction,
+}
+
+fn parse_serve_spec(name: &str, spec: &str, default_scale: f64) -> Result<ServeSpec, String> {
+    let mut profile_name = None;
+    let mut scale = default_scale;
+    let mut weight = 1u32;
+    let mut target = None;
+    for part in spec.split(',') {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("spec part {part:?} is not key=value"))?;
+        match key {
+            "profile" => profile_name = Some(value),
+            "scale" => scale = parse_scale(value)?,
+            "weight" => {
+                weight = value
+                    .parse()
+                    .map_err(|_| format!("invalid weight {value:?}"))?
+            }
+            "target" => {
+                target = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid target {value:?}"))?,
+                )
+            }
+            other => {
+                return Err(format!(
+                    "unknown key {other:?} (use profile, scale, weight, target)"
+                ))
+            }
+        }
+    }
+    let profile_name = profile_name.ok_or("attach spec needs profile=")?;
+    Ok(ServeSpec {
+        name: name.to_string(),
+        profile: profile_by_name(profile_name)?.scaled(scale),
+        weight,
+        target,
+    })
+}
+
+/// Parses a `serve` script into the sources registered before the run and
+/// the steps fired through the live control plane.
+fn parse_script(
+    text: &str,
+    default_scale: f64,
+) -> Result<(Vec<ServeSpec>, Vec<ScriptStep>), String> {
+    let mut initial = Vec::new();
+    let mut steps: Vec<ScriptStep> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("script line {line_no}: {msg}");
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let (after, rest) = if words[0] == "at" {
+            let count = words
+                .get(1)
+                .and_then(|w| w.parse::<usize>().ok())
+                .ok_or_else(|| err("`at` needs a read count".into()))?;
+            (Some(count), &words[2..])
+        } else {
+            (None, &words[..])
+        };
+        let action = match *rest {
+            ["attach", name, spec] => ServeAction::Attach(Box::new(
+                parse_serve_spec(name, spec, default_scale).map_err(err)?,
+            )),
+            ["detach", name] => ServeAction::Detach(name.to_string()),
+            ["drain"] => ServeAction::Drain,
+            _ => {
+                return Err(err(format!(
+                    "unrecognized step {line:?} \
+                     (use attach NAME SPEC, detach NAME, or drain)"
+                )))
+            }
+        };
+        match (after, action) {
+            (None, ServeAction::Attach(spec)) => initial.push(*spec),
+            (None, _) => return Err(err("detach and drain need `at COUNT`".into())),
+            (Some(after), action) => steps.push(ScriptStep {
+                line_no,
+                after,
+                action,
+            }),
+        }
+    }
+    if initial.is_empty() {
+        return Err(
+            "script has no initial `attach` step — a session needs at least one \
+             source to start"
+                .into(),
+        );
+    }
+    // Stable by count: same-count steps fire in script order.
+    steps.sort_by_key(|s| s.after);
+    Ok((initial, steps))
+}
+
+/// The scripted session driver, shared by every sink. Sinks count emitted
+/// reads and fire due steps; fired attaches install a sink that feeds the
+/// same counter, so later steps see the whole session's emissions.
+struct ServeDriver {
+    emitted: usize,
+    steps: VecDeque<ScriptStep>,
+    control: SessionControl,
+    parallelism: Parallelism,
+    shards: Shards,
+    attaches: Vec<(String, PendingAttach)>,
+    detaches: Vec<(String, PendingDetach)>,
+}
+
+/// Counts one emitted read and fires every step that has come due. Runs on
+/// the session's emitting thread; the fired attach/detach/drain calls only
+/// enqueue control commands, so nothing here blocks on the session.
+fn serve_note_read(driver: &Arc<Mutex<ServeDriver>>) {
+    let mut d = driver.lock().expect("serve driver poisoned");
+    d.emitted += 1;
+    while d.steps.front().is_some_and(|s| s.after <= d.emitted) {
+        let step = d.steps.pop_front().expect("front checked");
+        serve_fire(&mut d, driver, step);
+    }
+}
+
+fn serve_fire(d: &mut ServeDriver, driver: &Arc<Mutex<ServeDriver>>, step: ScriptStep) {
+    match step.action {
+        ServeAction::Attach(spec) => {
+            println!(
+                "  [script] at {} reads: attach {:?} ({}, {} reads)",
+                step.after, spec.name, spec.profile.name, spec.profile.n_reads
+            );
+            let config = GenPipConfig::for_dataset(&spec.profile)
+                .with_parallelism(d.parallelism)
+                .with_shards(d.shards);
+            let mut attach = AttachSpec::new().config(config).weight(spec.weight);
+            if let Some(target) = spec.target {
+                attach = attach.deadline_target(target);
+            }
+            let observer = Arc::clone(driver);
+            let attach = attach.sink(move |event| {
+                if let StreamEvent::Read(_) = event {
+                    serve_note_read(&observer);
+                }
+            });
+            let source = StreamingSimulator::new(&spec.profile);
+            let handle = d.control.attach_with(spec.name.as_str(), source, attach);
+            d.attaches.push((spec.name, handle));
+        }
+        ServeAction::Detach(name) => {
+            println!("  [script] at {} reads: detach {name:?}", step.after);
+            let handle = d.control.detach(name.as_str());
+            d.detaches.push((name, handle));
+        }
+        ServeAction::Drain => {
+            println!("  [script] at {} reads: drain", step.after);
+            d.control.drain();
+        }
+    }
+}
+
+fn cmd_serve(parsed: &Parsed) -> Result<(), String> {
+    let script_path = opt(parsed, "script").ok_or("serve needs --script <FILE>")?;
+    let script = std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?;
+    let er = er_from(parsed)?;
+    let shards = shards_from(parsed)?;
+    let usize_opt = |key: &str, default: usize| -> Result<usize, String> {
+        match opt(parsed, key) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("invalid --{key} {s:?}")),
+        }
+    };
+    let queue = usize_opt("queue", 8)?.max(1);
+    let max_sources = usize_opt("max-sources", 64)?;
+    let parallelism = match opt(parsed, "threads") {
+        None => Parallelism::from_env_or(Parallelism::Auto),
+        Some(s) => Parallelism::parse(s).ok_or_else(|| format!("invalid --threads {s:?}"))?,
+    };
+    let default_scale = scale_from(parsed, 0.05)?;
+    let (initial, steps) = parse_script(&script, default_scale)?;
+
+    let schedule = match opt(parsed, "schedule").unwrap_or("fair") {
+        "fair" => Schedule::FairShare,
+        "sequential" => Schedule::Sequential,
+        "priority" => Schedule::Priority(initial.iter().map(|s| s.weight).collect()),
+        "deadline" => Schedule::Deadline(
+            initial
+                .iter()
+                .map(|s| s.target.unwrap_or(SERVE_DEFAULT_TARGET))
+                .collect(),
+        ),
+        other => {
+            return Err(format!(
+                "invalid --schedule {other:?} (use fair, sequential, priority, or deadline)"
+            ))
+        }
+    };
+
+    println!(
+        "serve: GenPIP ({er:?}) under {schedule:?}, {} worker(s), queue {queue}, \
+         {} live step(s)",
+        parallelism.workers(),
+        steps.len(),
+    );
+
+    let control = SessionControl::new();
+    let driver = Arc::new(Mutex::new(ServeDriver {
+        emitted: 0,
+        steps: steps.into(),
+        control: control.clone(),
+        parallelism,
+        shards,
+        attaches: Vec::new(),
+        detaches: Vec::new(),
+    }));
+
+    let config_for = |profile: &DatasetProfile| {
+        GenPipConfig::for_dataset(profile)
+            .with_parallelism(parallelism)
+            .with_shards(shards)
+    };
+    let mut session = Session::new(config_for(&initial[0].profile))
+        .flow(Flow::GenPip(er))
+        .schedule(schedule)
+        .options(StreamOptions {
+            queue_capacity: queue,
+            max_sources,
+            progress_every: 0,
+            ..StreamOptions::default()
+        });
+    for spec in &initial {
+        println!(
+            "  source {:?}: {} reads ({}, weight {}{})",
+            spec.name,
+            spec.profile.n_reads,
+            spec.profile.name,
+            spec.weight,
+            match spec.target {
+                Some(t) => format!(", target {t}"),
+                None => String::new(),
+            },
+        );
+        let observer = Arc::clone(&driver);
+        session = session
+            .source_with_config(
+                spec.name.as_str(),
+                StreamingSimulator::new(&spec.profile),
+                config_for(&spec.profile),
+            )
+            .sink(spec.name.as_str(), move |event| {
+                if let StreamEvent::Read(_) = event {
+                    serve_note_read(&observer);
+                }
+            });
+    }
+    let report = session
+        .run_with_control(&control)
+        .map_err(|e| e.to_string())?;
+
+    let mut d = driver.lock().expect("serve driver poisoned");
+    let emitted = d.emitted;
+    let unfired: Vec<String> = d
+        .steps
+        .iter()
+        .map(|s| format!("line {}: at {}", s.line_no, s.after))
+        .collect();
+    let attaches = std::mem::take(&mut d.attaches);
+    let detaches = std::mem::take(&mut d.detaches);
+    drop(d);
+
+    // The session has finished, so every handle resolves without blocking.
+    let mut failures = unfired
+        .into_iter()
+        .map(|step| format!("script step never fired ({step}) — only {emitted} reads emitted"))
+        .collect::<Vec<_>>();
+    for (name, handle) in attaches {
+        if let Err(e) = handle.wait() {
+            failures.push(format!("attach {name:?} refused: {e}"));
+        }
+    }
+    for (name, handle) in detaches {
+        match handle.wait() {
+            Ok(summary) => println!(
+                "  detached {name:?}: {} reads emitted, residency p50/p99 {}/{}",
+                summary.outcomes.reads_emitted, summary.latency.p50, summary.latency.p99
+            ),
+            Err(e) => failures.push(format!("detach {name:?} refused: {e}")),
+        }
+    }
+
+    let name_width = report
+        .sources
+        .iter()
+        .map(|s| s.id.as_str().len())
+        .max()
+        .unwrap_or(0);
+    for source in &report.sources {
+        let o = source.summary.outcomes;
+        println!(
+            "source {:<name_width$}  reads {:>5}  mapped {:>5}  rejected {:>4}  \
+             QC {:>4}  unmapped {:>4}  residency p50/p99 {}/{}",
+            source.id,
+            o.reads_emitted,
+            o.mapped,
+            o.rejected_qsr + o.rejected_cmr,
+            o.filtered_qc,
+            o.unmapped,
+            source.summary.latency.p50,
+            source.summary.latency.p99,
+        );
+    }
+    println!(
+        "serve:          {} reads across {} source(s), peak in-flight {} (bound {})",
+        report.outcomes.reads_emitted,
+        report.sources.len(),
+        report.max_in_flight,
+        report.in_flight_limit
+    );
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
 }
 
 fn cmd_experiment(parsed: &Parsed) -> Result<(), String> {

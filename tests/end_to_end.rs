@@ -1,6 +1,10 @@
 //! Cross-crate integration tests: the full flow from raw synthetic signal
 //! to mapped reads, across both pipeline organizations.
 
+// Identity oracle: the deprecated `run_*` wrappers are the frozen reference
+// spelling of both pipeline organizations.
+#![allow(deprecated)]
+
 use genpip::core::pipeline::{run_conventional, run_genpip, ErMode, ReadOutcome};
 use genpip::core::{GenPipConfig, Parallelism};
 use genpip::datasets::DatasetProfile;

@@ -1,0 +1,499 @@
+//! Cross-crate properties of the *live* session control plane: a source
+//! attached mid-run is bit-identical to the same source registered
+//! statically (across `ErMode` × `Parallelism` × `Granularity`), a detach
+//! drains the source and finalizes its per-source summary without touching
+//! the survivors, the `Deadline` schedule changes only *when* chunks run
+//! (never results, deterministically so), admission control rejects bad
+//! attaches with typed errors, and a drain requested before the run starts
+//! is honored.
+
+use genpip::core::engine::{AttachSpec, Flow, Granularity, Session, SessionControl};
+use genpip::core::pipeline::ErMode;
+use genpip::core::scheduler::Schedule;
+use genpip::core::stream::{StreamEvent, StreamOptions};
+use genpip::core::{GenPipConfig, Parallelism, ReadRun, SessionError, SessionReport};
+use genpip::datasets::{DatasetProfile, ReadSource, StreamingSimulator};
+use std::sync::{Arc, Mutex};
+
+type Bucket = Arc<Mutex<Vec<ReadRun>>>;
+
+/// Pulls a control-plane handle parked in a sink-shared slot.
+fn take<T>(slot: &Arc<Mutex<Option<T>>>) -> T {
+    slot.lock().unwrap().take().expect("handle parked")
+}
+
+/// Two sources with *different* references (scaling changes the genome),
+/// so attach must install a second per-source context.
+fn profiles() -> (DatasetProfile, DatasetProfile) {
+    (
+        DatasetProfile::ecoli().scaled(0.06),
+        DatasetProfile::ecoli().scaled(0.03),
+    )
+}
+
+fn parallelism_sweep() -> Vec<Parallelism> {
+    let mut sweep = vec![Parallelism::Serial, Parallelism::Threads(3)];
+    if let Some(from_env) = Parallelism::from_env() {
+        if !sweep.contains(&from_env) {
+            sweep.push(from_env);
+        }
+    }
+    sweep
+}
+
+/// The reference run: both sources registered before the session starts.
+fn static_two_source(
+    a: &DatasetProfile,
+    b: &DatasetProfile,
+    config: &GenPipConfig,
+    er: ErMode,
+    granularity: Granularity,
+) -> (Vec<ReadRun>, Vec<ReadRun>, SessionReport) {
+    let mut reads_a = Vec::new();
+    let mut reads_b = Vec::new();
+    let report = Session::new(config.clone())
+        .flow(Flow::GenPip(er))
+        .schedule(Schedule::FairShare)
+        .granularity(granularity)
+        .source("a", StreamingSimulator::new(a))
+        .source_with_config(
+            "b",
+            StreamingSimulator::new(b),
+            GenPipConfig::for_dataset(b),
+        )
+        .sink("a", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads_a.push(run);
+            }
+        })
+        .sink("b", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads_b.push(run);
+            }
+        })
+        .run()
+        .expect("static session inputs are valid");
+    (reads_a, reads_b, report)
+}
+
+#[test]
+fn attach_mid_run_is_bit_identical_to_static_registration() {
+    let (pa, pb) = profiles();
+    for er in [ErMode::Full, ErMode::None] {
+        for parallelism in parallelism_sweep() {
+            for granularity in [Granularity::Read, Granularity::Chunk] {
+                let config = GenPipConfig::for_dataset(&pa).with_parallelism(parallelism);
+                let (static_a, static_b, _) = static_two_source(&pa, &pb, &config, er, granularity);
+
+                // Live: "b" attaches (with its own config) from inside
+                // "a"'s sink after the third emission.
+                let control = SessionControl::new();
+                let live_a: Bucket = Arc::new(Mutex::new(Vec::new()));
+                let live_b: Bucket = Arc::new(Mutex::new(Vec::new()));
+                let a_bucket = Arc::clone(&live_a);
+                let b_bucket = Arc::clone(&live_b);
+                let control_in_sink = control.clone();
+                let pb_for_sink = pb.clone();
+                let mut emitted = 0usize;
+                let handle = Arc::new(Mutex::new(None));
+                let handle_slot = Arc::clone(&handle);
+                Session::new(config.clone())
+                    .flow(Flow::GenPip(er))
+                    .schedule(Schedule::FairShare)
+                    .granularity(granularity)
+                    .source("a", StreamingSimulator::new(&pa))
+                    .sink("a", move |event| {
+                        if let StreamEvent::Read(run) = event {
+                            a_bucket.lock().unwrap().push(run);
+                            emitted += 1;
+                            if emitted == 3 {
+                                let sink_bucket = Arc::clone(&b_bucket);
+                                let pending = control_in_sink.attach_with(
+                                    "b",
+                                    StreamingSimulator::new(&pb_for_sink),
+                                    AttachSpec::new()
+                                        .config(GenPipConfig::for_dataset(&pb_for_sink))
+                                        .sink(move |event| {
+                                            if let StreamEvent::Read(run) = event {
+                                                sink_bucket.lock().unwrap().push(run);
+                                            }
+                                        }),
+                                );
+                                *handle_slot.lock().unwrap() = Some(pending);
+                            }
+                        }
+                    })
+                    .run_with_control(&control)
+                    .expect("live session inputs are valid");
+                let pending = handle.lock().unwrap().take().expect("attach fired");
+                pending.wait().expect("attach accepted");
+                assert_eq!(
+                    *live_a.lock().unwrap(),
+                    static_a,
+                    "{er:?}/{parallelism:?}/{granularity:?}: source a diverged"
+                );
+                assert_eq!(
+                    *live_b.lock().unwrap(),
+                    static_b,
+                    "{er:?}/{parallelism:?}/{granularity:?}: attached source b diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn detach_drains_the_source_and_finalizes_its_summary() {
+    let (pa, pb) = profiles();
+    for parallelism in parallelism_sweep() {
+        let config = GenPipConfig::for_dataset(&pa).with_parallelism(parallelism);
+        let (solo_a, _, _) = static_two_source(&pa, &pb, &config, ErMode::Full, Granularity::Chunk);
+
+        let control = SessionControl::new();
+        let survivor: Bucket = Arc::new(Mutex::new(Vec::new()));
+        let b_reads: Bucket = Arc::new(Mutex::new(Vec::new()));
+        let handle = Arc::new(Mutex::new(None));
+        let emitted = Arc::new(Mutex::new(0usize));
+        let mut session = Session::new(config.clone())
+            .flow(Flow::GenPip(ErMode::Full))
+            .schedule(Schedule::FairShare)
+            .source("a", StreamingSimulator::new(&pa))
+            .source_with_config(
+                "b",
+                StreamingSimulator::new(&pb),
+                GenPipConfig::for_dataset(&pb),
+            );
+        for id in ["a", "b"] {
+            let control_in_sink = control.clone();
+            let handle_slot = Arc::clone(&handle);
+            let counter = Arc::clone(&emitted);
+            let bucket = Arc::clone(if id == "a" { &survivor } else { &b_reads });
+            session = session.sink(id, move |event| {
+                if let StreamEvent::Read(run) = event {
+                    bucket.lock().unwrap().push(run);
+                    let mut n = counter.lock().unwrap();
+                    *n += 1;
+                    if *n == 4 {
+                        *handle_slot.lock().unwrap() = Some(control_in_sink.detach("b"));
+                    }
+                }
+            });
+        }
+        let report = session
+            .run_with_control(&control)
+            .expect("live session inputs are valid");
+
+        let pending = handle.lock().unwrap().take().expect("detach fired");
+        let summary = pending.wait().expect("detach honored");
+        let b_seen = b_reads.lock().unwrap().len();
+        assert_eq!(
+            summary.outcomes.reads_emitted, b_seen,
+            "{parallelism:?}: detach summary disagrees with the sink"
+        );
+        // The detached source stopped early; the survivor is untouched.
+        let b_total = StreamingSimulator::new(&pb)
+            .reads_remaining()
+            .expect("simulator knows its size");
+        assert!(
+            b_seen < b_total,
+            "{parallelism:?}: source b was never actually cut short \
+             ({b_seen} of {b_total} reads emitted)"
+        );
+        assert_eq!(
+            *survivor.lock().unwrap(),
+            solo_a,
+            "{parallelism:?}: detach disturbed the surviving source"
+        );
+        // The report still carries the detached source, same counters.
+        let b_report = report.source("b").expect("detached source reported");
+        assert_eq!(b_report.summary.outcomes, summary.outcomes);
+    }
+}
+
+#[test]
+fn deadline_schedule_preserves_bit_identity_and_is_deterministic() {
+    let (pa, pb) = profiles();
+    for parallelism in parallelism_sweep() {
+        let config = GenPipConfig::for_dataset(&pa).with_parallelism(parallelism);
+        let (fair_a, fair_b, _) =
+            static_two_source(&pa, &pb, &config, ErMode::Full, Granularity::Chunk);
+        let run_deadline = || {
+            let mut reads_a = Vec::new();
+            let mut reads_b = Vec::new();
+            let report = Session::new(config.clone())
+                .flow(Flow::GenPip(ErMode::Full))
+                .schedule(Schedule::Deadline(vec![20, 200]))
+                .source("a", StreamingSimulator::new(&pa))
+                .source_with_config(
+                    "b",
+                    StreamingSimulator::new(&pb),
+                    GenPipConfig::for_dataset(&pb),
+                )
+                .sink("a", |event| {
+                    if let StreamEvent::Read(run) = event {
+                        reads_a.push(run);
+                    }
+                })
+                .sink("b", |event| {
+                    if let StreamEvent::Read(run) = event {
+                        reads_b.push(run);
+                    }
+                })
+                .run()
+                .expect("deadline session inputs are valid");
+            (reads_a, reads_b, report)
+        };
+        let (a1, b1, r1) = run_deadline();
+        assert_eq!(a1, fair_a, "{parallelism:?}: Deadline changed source a");
+        assert_eq!(b1, fair_b, "{parallelism:?}: Deadline changed source b");
+        if parallelism == Parallelism::Serial {
+            // Serial runs have no racing workers, so the whole report —
+            // including residency percentiles — must be reproducible.
+            let (a2, b2, r2) = run_deadline();
+            assert_eq!(
+                (a1, b1, r1),
+                (a2, b2, r2),
+                "serial Deadline not deterministic"
+            );
+        }
+    }
+}
+
+#[test]
+fn admission_control_rejects_bad_attaches_with_typed_errors() {
+    let (pa, pb) = profiles();
+    let config = GenPipConfig::for_dataset(&pa);
+    let opts = StreamOptions {
+        max_sources: 2,
+        ..StreamOptions::default()
+    };
+
+    let control = SessionControl::new();
+    let duplicate = Arc::new(Mutex::new(None));
+    let over_limit = Arc::new(Mutex::new(None));
+    let bad_config = Arc::new(Mutex::new(None));
+    let unknown = Arc::new(Mutex::new(None));
+    {
+        let control_in_sink = control.clone();
+        let duplicate = Arc::clone(&duplicate);
+        let over_limit = Arc::clone(&over_limit);
+        let bad_config = Arc::clone(&bad_config);
+        let unknown = Arc::clone(&unknown);
+        let pa_for_sink = pa.clone();
+        let pb_for_sink = pb.clone();
+        let mut emitted = 0usize;
+        Session::new(config.clone())
+            .flow(Flow::GenPip(ErMode::Full))
+            .options(opts)
+            .source("a", StreamingSimulator::new(&pa))
+            .sink("a", move |event| {
+                if let StreamEvent::Read(_) = event {
+                    emitted += 1;
+                    if emitted == 2 {
+                        // Same id as a live source.
+                        *duplicate.lock().unwrap() = Some(
+                            control_in_sink.attach("a", StreamingSimulator::new(&pa_for_sink)),
+                        );
+                        // A config the source's chemistry can't satisfy:
+                        // QSR gating with zero QSR chunks.
+                        let mut zero_qs = GenPipConfig::for_dataset(&pb_for_sink);
+                        zero_qs.n_qs = 0;
+                        *bad_config.lock().unwrap() = Some(control_in_sink.attach_with(
+                            "zero-qs",
+                            StreamingSimulator::new(&pb_for_sink),
+                            AttachSpec::new().config(zero_qs),
+                        ));
+                        // Valid second source, then a third over the bound.
+                        control_in_sink.attach("b", StreamingSimulator::new(&pb_for_sink));
+                        *over_limit.lock().unwrap() = Some(
+                            control_in_sink.attach("c", StreamingSimulator::new(&pb_for_sink)),
+                        );
+                        // Detach of a never-registered id.
+                        *unknown.lock().unwrap() = Some(control_in_sink.detach("ghost"));
+                    }
+                }
+            })
+            .run_with_control(&control)
+            .expect("live session inputs are valid");
+    }
+    assert_eq!(
+        take(&duplicate).wait(),
+        Err(SessionError::DuplicateSource("a".into()))
+    );
+    assert_eq!(
+        take(&over_limit).wait(),
+        Err(SessionError::TooManySources { limit: 2 })
+    );
+    assert!(matches!(
+        take(&bad_config).wait(),
+        Err(SessionError::IncompatibleSourceConfig { .. })
+    ));
+    assert_eq!(
+        take(&unknown).wait().map(|_| ()),
+        Err(SessionError::UnknownSource("ghost".into()))
+    );
+
+    // The session is over: further commands are refused as closed.
+    assert_eq!(
+        control.attach("late", StreamingSimulator::new(&pb)).wait(),
+        Err(SessionError::SessionClosed)
+    );
+    assert_eq!(
+        control.detach("a").wait().map(|_| ()),
+        Err(SessionError::SessionClosed)
+    );
+}
+
+#[test]
+fn builder_sessions_respect_the_max_sources_bound() {
+    let (pa, pb) = profiles();
+    let err = Session::new(GenPipConfig::for_dataset(&pa))
+        .options(StreamOptions {
+            max_sources: 1,
+            ..StreamOptions::default()
+        })
+        .source("a", StreamingSimulator::new(&pa))
+        .source_with_config(
+            "b",
+            StreamingSimulator::new(&pb),
+            GenPipConfig::for_dataset(&pb),
+        )
+        .run()
+        .expect_err("two sources over a bound of one");
+    assert_eq!(err, SessionError::TooManySources { limit: 1 });
+}
+
+#[test]
+fn deadline_validation_rejects_bad_targets() {
+    let (pa, pb) = profiles();
+    let config = GenPipConfig::for_dataset(&pa);
+    let two_sources = |schedule: Schedule| {
+        Session::new(config.clone())
+            .schedule(schedule)
+            .source("a", StreamingSimulator::new(&pa))
+            .source_with_config(
+                "b",
+                StreamingSimulator::new(&pb),
+                GenPipConfig::for_dataset(&pb),
+            )
+            .run()
+    };
+    assert_eq!(
+        two_sources(Schedule::Deadline(vec![50])).expect_err("count mismatch"),
+        SessionError::DeadlineTargetCount {
+            sources: 2,
+            targets: 1
+        }
+    );
+    assert_eq!(
+        two_sources(Schedule::Deadline(vec![50, 0])).expect_err("zero target"),
+        SessionError::ZeroDeadlineTarget("b".into())
+    );
+
+    // The live twin: a zero deadline target on an attach is refused too.
+    let control = SessionControl::new();
+    let zero_target = Arc::new(Mutex::new(None));
+    {
+        let control_in_sink = control.clone();
+        let zero_target = Arc::clone(&zero_target);
+        let pb_for_sink = pb.clone();
+        let mut fired = false;
+        Session::new(config.clone())
+            .schedule(Schedule::Deadline(vec![50]))
+            .source("a", StreamingSimulator::new(&pa))
+            .sink("a", move |event| {
+                if let StreamEvent::Read(_) = event {
+                    if !fired {
+                        fired = true;
+                        *zero_target.lock().unwrap() = Some(
+                            control_in_sink.attach_with(
+                                "b",
+                                StreamingSimulator::new(&pb_for_sink),
+                                AttachSpec::new()
+                                    .config(GenPipConfig::for_dataset(&pb_for_sink))
+                                    .deadline_target(0),
+                            ),
+                        );
+                    }
+                }
+            })
+            .run_with_control(&control)
+            .expect("live session inputs are valid");
+    }
+    let pending = zero_target.lock().unwrap().take().expect("attach fired");
+    assert_eq!(
+        pending.wait(),
+        Err(SessionError::ZeroDeadlineTarget("b".into()))
+    );
+}
+
+#[test]
+fn drain_requested_before_the_run_starts_is_honored() {
+    let (pa, _) = profiles();
+    for parallelism in [Parallelism::Serial, Parallelism::Threads(3)] {
+        let config = GenPipConfig::for_dataset(&pa).with_parallelism(parallelism);
+        let control = SessionControl::new();
+        control.drain();
+        let mut reads = Vec::new();
+        let report = Session::new(config)
+            .flow(Flow::GenPip(ErMode::Full))
+            .source("a", StreamingSimulator::new(&pa))
+            .sink("a", |event| {
+                if let StreamEvent::Read(run) = event {
+                    reads.push(run);
+                }
+            })
+            .run_with_control(&control)
+            .expect("drained session inputs are valid");
+        assert_eq!(
+            reads.len(),
+            0,
+            "{parallelism:?}: drain-before-run still admitted reads"
+        );
+        assert_eq!(report.outcomes.reads_emitted, 0);
+    }
+}
+
+#[test]
+fn attach_queued_before_the_run_is_applied_at_startup() {
+    let (pa, pb) = profiles();
+    let config = GenPipConfig::for_dataset(&pa);
+    let (static_a, static_b, _) =
+        static_two_source(&pa, &pb, &config, ErMode::Full, Granularity::Chunk);
+
+    let control = SessionControl::new();
+    let early_b: Bucket = Arc::new(Mutex::new(Vec::new()));
+    let sink_bucket = Arc::clone(&early_b);
+    let pending = control.attach_with(
+        "b",
+        StreamingSimulator::new(&pb),
+        AttachSpec::new()
+            .config(GenPipConfig::for_dataset(&pb))
+            .sink(move |event| {
+                if let StreamEvent::Read(run) = event {
+                    sink_bucket.lock().unwrap().push(run);
+                }
+            }),
+    );
+    let mut reads_a = Vec::new();
+    Session::new(config)
+        .flow(Flow::GenPip(ErMode::Full))
+        .schedule(Schedule::FairShare)
+        .source("a", StreamingSimulator::new(&pa))
+        .sink("a", |event| {
+            if let StreamEvent::Read(run) = event {
+                reads_a.push(run);
+            }
+        })
+        .run_with_control(&control)
+        .expect("live session inputs are valid");
+    pending.wait().expect("pre-run attach accepted");
+    assert_eq!(reads_a, static_a, "pre-run attach disturbed source a");
+    // "b" joined at the first poll — before any admission — so its
+    // interleaving matches the static two-source session exactly.
+    assert_eq!(
+        *early_b.lock().unwrap(),
+        static_b,
+        "pre-run attach diverged"
+    );
+}

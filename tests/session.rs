@@ -6,6 +6,10 @@
 //! The parallelism sweep includes `GENPIP_PARALLELISM` (when set), which CI
 //! uses to force both threading paths through this suite.
 
+// Identity oracle: the deprecated `run_*` wrappers are the frozen reference
+// the Session engine is compared against.
+#![allow(deprecated)]
+
 use genpip::core::engine::{Flow, Session};
 use genpip::core::pipeline::{run_genpip, ErMode};
 use genpip::core::scheduler::Schedule;

@@ -7,6 +7,10 @@
 //! The parallelism sweep includes `GENPIP_PARALLELISM` (when set), which CI
 //! uses to force both threading paths through this suite.
 
+// Identity oracle: the deprecated `run_*` wrappers are the frozen reference
+// the sharded runs are compared against.
+#![allow(deprecated)]
+
 use genpip::core::pipeline::{run_genpip, ErMode};
 use genpip::core::stream::{run_genpip_streaming, StreamEvent, StreamOptions};
 use genpip::core::{GenPipConfig, Parallelism, ReadRun, Shards};

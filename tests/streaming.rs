@@ -5,6 +5,10 @@
 //! The parallelism sweep includes `GENPIP_PARALLELISM` (when set), which CI
 //! uses to force both threading paths through this suite.
 
+// Identity oracle: the deprecated `run_*` wrappers are the frozen reference
+// the streaming executor is compared against.
+#![allow(deprecated)]
+
 use genpip::core::pipeline::{run_conventional, run_genpip, ErMode};
 use genpip::core::stream::{
     run_conventional_streaming, run_genpip_streaming, StreamEvent, StreamOptions, StreamSummary,
