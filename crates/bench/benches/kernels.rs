@@ -6,7 +6,9 @@
 //! kernel, CAM search, Viterbi chunk decoding (allocation-free scratch
 //! path), minimizer extraction, chaining DP, sharded fan-out seeding at
 //! 1/2/4 index shards (with a shard-vs-monolithic bit-identity check),
-//! banded alignment, end-to-end single-read processing, the batch
+//! pan-genome mapping against 1 vs 3 named references (one shared sketch,
+//! per-reference seeding, deterministic merge; set-vs-solo bit-identity
+//! check), banded alignment, end-to-end single-read processing, the batch
 //! pipeline (one `Session` source) at 1/2/4 worker threads with a
 //! serial-vs-parallel bit-identity check, the streaming executor (a
 //! `Session` over a lazy `StreamingSimulator` source) across worker/queue
@@ -35,7 +37,7 @@ use genpip_datasets::{DatasetProfile, FaultInjector, SimulatedDataset, Streaming
 use genpip_genomics::GenomeBuilder;
 use genpip_mapping::{
     minimizers_into, Anchor, ChainParams, IncrementalChainer, Mapper, MapperParams,
-    MinimizerScratch, SeedBatch, SeedScratch, Shards,
+    MinimizerScratch, ReferenceSet, SeedBatch, SeedScratch, Shards,
 };
 use genpip_pim::{CamBank, CrossbarArray};
 use genpip_signal::{PoreModel, SignalSynthesizer};
@@ -150,7 +152,7 @@ fn main() {
 
     // --- Chaining DP ---
     {
-        let anchors: Vec<Anchor> = (0..2_000u32)
+        let anchors: Vec<Anchor> = (0..2_000u64)
             .map(|i| Anchor {
                 qpos: i * 7,
                 rpos: 10_000 + i * 7 + (i % 13),
@@ -225,6 +227,69 @@ fn main() {
         assert!(
             sharding_matches_monolithic,
             "sharded mapping diverged from the monolithic index"
+        );
+    }
+
+    // --- Pan-genome seeding: one read against 1 vs 3 named references ---
+    // The whole per-read fan-out (one shared sketch, per-reference seeding
+    // and chaining, deterministic best-hit merge) as the panel grows, with
+    // the headline property asserted: a one-reference set is bit-identical
+    // to the plain mapper, and the primary's candidate inside a three-way
+    // panel is bit-identical to its solo result.
+    let mut pan_rows = Vec::new();
+    let pan_matches_solo;
+    {
+        let primary = GenomeBuilder::new(200_000).seed(21).name("primary").build();
+        let decoys = [
+            GenomeBuilder::new(150_000).seed(22).name("decoy_a").build(),
+            GenomeBuilder::new(100_000).seed(23).name("decoy_b").build(),
+        ];
+        let query = primary.sequence().subseq(80_000, 4_000);
+        let params = MapperParams::default();
+        let solo = Mapper::build(&primary, params).map(&query);
+        let mut solo_ns = None;
+        let mut bitwise_equal = true;
+        for n_refs in [1usize, 3] {
+            let mut genomes = vec![primary.clone()];
+            if n_refs > 1 {
+                genomes.extend(decoys.iter().cloned());
+            }
+            let set = ReferenceSet::build(&genomes, params);
+            let mut scratch = SeedScratch::new();
+            let mut batches = Vec::new();
+            let mut pairs = set.new_chainer_pairs();
+            let r = bench(
+                &format!("pan_genome/map_{n_refs}_references"),
+                Some((query.len() as f64, "bases")),
+                || {
+                    set.map_with(black_box(&query), &mut scratch, &mut batches, &mut pairs)
+                        .best_chain_score
+                },
+            );
+            let result = set.map(&query);
+            if n_refs == 1 {
+                bitwise_equal &= result.best == solo.mapping
+                    && result.best_chain_score == solo.best_chain_score
+                    && result.counters == solo.counters;
+                solo_ns = Some(r.ns_per_iter);
+            } else {
+                bitwise_equal &= result.per_reference[0].mapping == solo.mapping
+                    && result.per_reference[0].best_chain_score == solo.best_chain_score;
+            }
+            pan_rows.push(Json::obj([
+                ("references", Json::Num(n_refs as f64)),
+                ("ns_per_iter", Json::Num(r.ns_per_iter)),
+                (
+                    "overhead_vs_solo",
+                    Json::Num(r.ns_per_iter / solo_ns.expect("solo row ran first") - 1.0),
+                ),
+            ]));
+            results.push(r);
+        }
+        pan_matches_solo = bitwise_equal;
+        assert!(
+            pan_matches_solo,
+            "pan-genome mapping diverged from the solo mapper"
         );
     }
 
@@ -930,6 +995,8 @@ fn main() {
             "sharding_matches_monolithic",
             Json::Bool(sharding_matches_monolithic),
         ),
+        ("pan_genome", Json::Arr(pan_rows)),
+        ("pan_genome_matches_solo", Json::Bool(pan_matches_solo)),
         ("multi_source", Json::Arr(multi_rows)),
         ("multi_source_matches_solo", Json::Bool(multi_matches_solo)),
         ("chunk_granularity", Json::Arr(granularity_rows)),

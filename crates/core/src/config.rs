@@ -1,7 +1,9 @@
 //! GenPIP configuration.
 
 use genpip_datasets::DatasetProfile;
+use genpip_genomics::Genome;
 use genpip_mapping::{MapperParams, Shards};
+use std::sync::Arc;
 
 /// How many software worker threads the [`Session`](crate::engine::Session)
 /// engine spreads reads across.
@@ -144,6 +146,12 @@ pub struct GenPipConfig {
     /// [`FaultPolicy`]). Per-source config overrides let each source of a
     /// session pick its own policy.
     pub fault_policy: FaultPolicy,
+    /// Additional references mapped alongside each source's own reference
+    /// (pan-genome sessions). Every read fans out across the source's
+    /// reference plus these, and the best hit is merged deterministically
+    /// (chain score, then reference name, then position). Empty by default —
+    /// single-reference runs stay byte-for-byte what they always were.
+    pub extra_references: Vec<Arc<Genome>>,
 }
 
 impl GenPipConfig {
@@ -207,6 +215,15 @@ impl GenPipConfig {
         self
     }
 
+    /// Adds references mapped alongside each source's own reference
+    /// (see [`GenPipConfig::extra_references`]). Reference names must be
+    /// unique across the source reference and all extras; the session
+    /// engine validates this at start/attach time.
+    pub fn with_extra_references(mut self, extra_references: Vec<Arc<Genome>>) -> GenPipConfig {
+        self.extra_references = extra_references;
+        self
+    }
+
     /// Signal samples per chunk for a given mean dwell (samples/base).
     pub fn samples_per_chunk(&self, mean_dwell: f64) -> usize {
         genpip_signal::chunk::samples_per_chunk(self.chunk_bases, mean_dwell)
@@ -226,6 +243,7 @@ impl Default for GenPipConfig {
             parallelism: Parallelism::default(),
             keep_bases: false,
             fault_policy: FaultPolicy::default(),
+            extra_references: Vec::new(),
         }
     }
 }

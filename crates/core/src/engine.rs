@@ -513,7 +513,7 @@ impl ControlState {
 }
 
 /// Why a per-source [`GenPipConfig`] cannot drive its source.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SourceConfigIssue {
     /// `chunk_bases` is 0 — the signal could never be chunked.
     ZeroChunkBases,
@@ -536,6 +536,15 @@ pub enum SourceConfigIssue {
         /// The source's reference length in bases.
         reference_len: usize,
     },
+    /// Two references in the effective pan-genome panel (the source's own
+    /// reference plus [`GenPipConfig::extra_references`]) share a name.
+    /// Per-reference attribution keys results by name, so the panel must
+    /// be unique; catching it here turns what would be a worker-thread
+    /// panic inside `ReferenceSet::build` into an up-front error.
+    DuplicateReferenceName {
+        /// The colliding reference name.
+        name: String,
+    },
 }
 
 impl fmt::Display for SourceConfigIssue {
@@ -550,8 +559,28 @@ impl fmt::Display for SourceConfigIssue {
                 f,
                 "minimizer k-mer length {k} exceeds the {reference_len} bp reference"
             ),
+            SourceConfigIssue::DuplicateReferenceName { name } => write!(
+                f,
+                "duplicate reference name {name:?} in the pan-genome panel"
+            ),
         }
     }
+}
+
+/// Finds a name collision in the pan-genome panel a source would map
+/// against: its own reference plus the config's extra references.
+fn duplicate_reference_name(
+    config: &GenPipConfig,
+    reference: &genpip_genomics::Genome,
+) -> Option<String> {
+    let mut names: Vec<&str> = Vec::with_capacity(1 + config.extra_references.len());
+    names.push(reference.name());
+    names.extend(config.extra_references.iter().map(|g| g.name()));
+    names.sort_unstable();
+    names
+        .windows(2)
+        .find(|pair| pair[0] == pair[1])
+        .map(|pair| pair[0].to_string())
 }
 
 /// Why a [`Session`] refused to run. All variants are detected up front,
@@ -943,7 +972,8 @@ impl<'a> Session<'a> {
                     reference_len: slot.source.reference().len(),
                 })
             } else {
-                None
+                duplicate_reference_name(config, slot.source.reference())
+                    .map(|name| SourceConfigIssue::DuplicateReferenceName { name })
             };
             if let Some(issue) = issue {
                 return Err(SessionError::IncompatibleSourceConfig {
@@ -1318,7 +1348,8 @@ impl SessionFeed<'_> {
                 reference_len: request.source.reference().len(),
             })
         } else {
-            None
+            duplicate_reference_name(config, request.source.reference())
+                .map(|name| SourceConfigIssue::DuplicateReferenceName { name })
         };
         match issue {
             Some(issue) => Err(SessionError::IncompatibleSourceConfig {
@@ -2753,6 +2784,58 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_panel_reference_names_are_rejected_up_front() {
+        // A pan-genome panel that repeats the source's own reference name
+        // (or repeats an extra) would panic inside a worker thread when
+        // `ReferenceSet::build` runs; validate() must catch it first.
+        use genpip_genomics::GenomeBuilder;
+
+        let profile = DatasetProfile::ecoli().scaled(0.03);
+        let clash = Arc::new(GenomeBuilder::new(512).seed(7).name(profile.name).build());
+        let config = GenPipConfig::for_dataset(&profile).with_extra_references(vec![clash]);
+        let err = Session::new(config)
+            .source("a", StreamingSimulator::new(&profile))
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::IncompatibleSourceConfig {
+                id: "a".into(),
+                issue: SourceConfigIssue::DuplicateReferenceName {
+                    name: profile.name.to_string(),
+                },
+            }
+        );
+
+        let twin_a = Arc::new(GenomeBuilder::new(512).seed(8).name("panel").build());
+        let twin_b = Arc::new(GenomeBuilder::new(768).seed(9).name("panel").build());
+        let config =
+            GenPipConfig::for_dataset(&profile).with_extra_references(vec![twin_a, twin_b]);
+        let err = Session::new(config)
+            .source("a", StreamingSimulator::new(&profile))
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::IncompatibleSourceConfig {
+                id: "a".into(),
+                issue: SourceConfigIssue::DuplicateReferenceName {
+                    name: "panel".to_string(),
+                },
+            }
+        );
+
+        // Distinct names pass validation and the session runs.
+        let extra = Arc::new(GenomeBuilder::new(512).seed(8).name("panel").build());
+        let config = GenPipConfig::for_dataset(&profile).with_extra_references(vec![extra]);
+        let report = Session::new(config)
+            .source("a", StreamingSimulator::new(&profile))
+            .run()
+            .expect("unique panel names are valid");
+        assert_eq!(report.outcomes.reads_emitted, profile.n_reads);
+    }
+
+    #[test]
     fn qsr_free_flows_accept_zero_qsr_samples() {
         // `n_qs` is only consulted by QSR, so flows that never run QSR must
         // keep accepting configs with n_qs = 0 — the legacy never-fail
@@ -2813,6 +2896,13 @@ mod tests {
                 issue: SourceConfigIssue::KmerExceedsReference {
                     k: 99,
                     reference_len: 10,
+                },
+            }
+            .to_string(),
+            SessionError::IncompatibleSourceConfig {
+                id: "x".into(),
+                issue: SourceConfigIssue::DuplicateReferenceName {
+                    name: "panel".into(),
                 },
             }
             .to_string(),

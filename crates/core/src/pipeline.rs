@@ -31,8 +31,9 @@
 //! in the chain (decoder cursor, basecalled chunks, incremental chainers);
 //! **worker-local scratch** holds only stateless buffers (decode, sketch,
 //! seed — so the hot path stays allocation-free in steady state). The
-//! shared state ([`Basecaller`], [`Mapper`] with its `Arc`-shared reference
-//! genome and `Arc`-shared sharded minimizer index) is immutable, therefore
+//! shared state ([`Basecaller`], [`ReferenceSet`] with its `Arc`-shared
+//! reference genomes and `Arc`-shared sharded minimizer indexes) is
+//! immutable, therefore
 //! one set of index shards serves every worker — workers never clone
 //! whole-genome index state, no matter the shard count
 //! ([`GenPipConfig::with_shards`]). Per-read computation never depends on
@@ -52,7 +53,8 @@ use genpip_datasets::{ReadSource, SimulatedDataset, SimulatedRead};
 use genpip_genomics::quality::AqsAccumulator;
 use genpip_genomics::{DnaSeq, Genome, Phred};
 use genpip_mapping::{
-    IncrementalChainer, Mapper, Mapping, MappingCounters, SeedBatch, SeedScratch,
+    IncrementalChainer, Mapping, MappingCounters, ReferenceMapping, ReferenceSet, SeedBatch,
+    SeedScratch,
 };
 use genpip_signal::{chunk_boundaries, PoreModel};
 use std::collections::BTreeMap;
@@ -190,6 +192,13 @@ pub struct ReadRun {
     /// [`crate::GenPipConfig::keep_bases`] is set and the read was fully
     /// basecalled (see [`CalledBases`]).
     pub called: Option<CalledBases>,
+    /// Per-reference candidates from a pan-genome run
+    /// ([`crate::GenPipConfig::extra_references`]), in reference-set order;
+    /// the merged winner is `outcome`'s mapping, attributed via
+    /// [`Mapping::ref_name`]. Empty for single-reference runs (whose
+    /// `ReadRun` stays byte-for-byte what it always was) and for reads that
+    /// never reached final mapping.
+    pub per_reference: Vec<ReferenceMapping>,
 }
 
 impl ReadRun {
@@ -320,7 +329,7 @@ impl PipelineRun {
 pub(crate) struct RunContext {
     pub(crate) config: GenPipConfig,
     caller: Basecaller,
-    mapper: Mapper,
+    refs: ReferenceSet,
     samples_per_chunk: usize,
 }
 
@@ -346,10 +355,16 @@ impl RunContext {
         mean_dwell: f64,
         config: &GenPipConfig,
     ) -> RunContext {
+        // The source's own reference is the set's primary; any configured
+        // extra references ride along as a pan-genome. With no extras the
+        // set degenerates to exactly the old single-mapper context.
+        let mut genomes: Vec<Arc<Genome>> = Vec::with_capacity(1 + config.extra_references.len());
+        genomes.push(Arc::new(reference.clone()));
+        genomes.extend(config.extra_references.iter().cloned());
         RunContext {
             config: config.clone(),
             caller: Basecaller::new(pore, mean_dwell),
-            mapper: Mapper::build(reference, config.mapper),
+            refs: ReferenceSet::build_shared(genomes, config.mapper),
             samples_per_chunk: config.samples_per_chunk(mean_dwell),
         }
     }
@@ -361,22 +376,28 @@ impl RunContext {
 pub(crate) struct WorkerScratch {
     call: CallScratch,
     seed: SeedScratch,
-    batch: SeedBatch,
-    fwd: IncrementalChainer,
-    rev: IncrementalChainer,
+    batches: Vec<SeedBatch>,
+    pairs: Vec<(IncrementalChainer, IncrementalChainer)>,
 }
 
 impl WorkerScratch {
     pub(crate) fn new(ctx: &RunContext) -> WorkerScratch {
-        let (fwd, rev) = ctx.mapper.new_chainers();
         WorkerScratch {
             call: CallScratch::new(),
             seed: SeedScratch::new(),
-            batch: SeedBatch::default(),
-            fwd,
-            rev,
+            batches: Vec::new(),
+            pairs: ctx.refs.new_chainer_pairs(),
         }
     }
+}
+
+/// Best chain score across a set of per-reference chainer pairs — the value
+/// ER-CMR thresholds against in a pan-genome run. With one reference this is
+/// exactly the old `fwd.max(rev)` score (chain scores are never negative).
+fn best_pair_score(pairs: &[(IncrementalChainer, IncrementalChainer)]) -> f64 {
+    pairs.iter().fold(0.0f64, |acc, (fwd, rev)| {
+        acc.max(fwd.best_score()).max(rev.best_score())
+    })
 }
 
 /// Runs one read through the flow selected by `er`: `None` is the
@@ -558,8 +579,7 @@ pub(crate) struct GenPipChain {
     seq: DnaSeq,
     quals: Vec<Phred>,
     aqs: AqsAccumulator,
-    fwd: IncrementalChainer,
-    rev: IncrementalChainer,
+    pairs: Vec<(IncrementalChainer, IncrementalChainer)>,
     cmr_checked: bool,
     phase: GenPipPhase,
 }
@@ -581,8 +601,9 @@ impl GenPipChain {
             align_cells: 0,
             map_counters: MappingCounters::default(),
             called: None,
+            per_reference: Vec::new(),
         };
-        let (fwd, rev) = ctx.mapper.new_chainers();
+        let pairs = ctx.refs.new_chainer_pairs();
         let phase = if total == 0 {
             GenPipPhase::Empty
         } else if er != ErMode::None {
@@ -603,8 +624,7 @@ impl GenPipChain {
             seq: DnaSeq::new(),
             quals: Vec::new(),
             aqs: AqsAccumulator::new(),
-            fwd,
-            rev,
+            pairs,
             cmr_checked: false,
             phase,
         }
@@ -699,32 +719,38 @@ impl GenPipChain {
                     );
                     units += 1;
                 }
-                let offset = self.seq.len() as u32;
+                let offset = self.seq.len() as u64;
                 let chunk = &self.called[&idx];
-                let n_mins = ctx.mapper.sketch_and_seed_into(
+                let n_mins = ctx.refs.sketch_and_seed_into(
                     &chunk.bases,
                     offset,
                     &mut scratch.seed,
-                    &mut scratch.batch,
+                    &mut scratch.batches,
                 );
-                let batch = &scratch.batch;
-                let evals_before = self.fwd.dp_evaluations() + self.rev.dp_evaluations();
-                self.fwd.extend(&batch.forward);
-                self.rev.extend(&batch.reverse);
-                let evals_after = self.fwd.dp_evaluations() + self.rev.dp_evaluations();
+                let mut queries = 0usize;
+                let mut anchors = 0usize;
+                let mut chain_evals = 0usize;
+                for (batch, (fwd, rev)) in scratch.batches.iter().zip(self.pairs.iter_mut()) {
+                    let evals_before = fwd.dp_evaluations() + rev.dp_evaluations();
+                    fwd.extend(&batch.forward);
+                    rev.extend(&batch.reverse);
+                    chain_evals += fwd.dp_evaluations() + rev.dp_evaluations() - evals_before;
+                    queries += batch.queries;
+                    anchors += batch.hits;
+                }
                 run.chunks.push(ChunkWork {
                     index: idx,
                     seed_bases: chunk.bases.len(),
                     minimizers: n_mins,
-                    anchors: batch.hits,
-                    chain_evals: evals_after - evals_before,
+                    anchors,
+                    chain_evals,
                     ..Default::default()
                 });
                 units += 1;
                 run.map_counters.minimizers += n_mins;
-                run.map_counters.seed_queries += batch.queries;
-                run.map_counters.anchors += batch.hits;
-                run.map_counters.chain_evals += evals_after - evals_before;
+                run.map_counters.seed_queries += queries;
+                run.map_counters.anchors += anchors;
+                run.map_counters.chain_evals += chain_evals;
                 self.aqs.add_chunk_sum(chunk.sqs, chunk.quals.len());
                 if ctx.config.keep_bases {
                     self.quals.extend_from_slice(&chunk.quals);
@@ -739,7 +765,7 @@ impl GenPipChain {
                     && total > ctx.config.n_cm
                 {
                     self.cmr_checked = true;
-                    let score = self.fwd.best_score().max(self.rev.best_score());
+                    let score = best_pair_score(&self.pairs);
                     let decision = cmr_check(score, ctx.config.theta_cm);
                     if decision.reject {
                         run.called_len = self.called.values().map(|c| c.bases.len()).sum();
@@ -763,13 +789,16 @@ impl GenPipChain {
                 }
                 let full_aqs = self.aqs.average();
                 run.full_aqs = Some(full_aqs);
-                run.best_chain_score = self.fwd.best_score().max(self.rev.best_score());
+                run.best_chain_score = best_pair_score(&self.pairs);
                 if full_aqs < ctx.config.theta_qs {
                     run.outcome = ReadOutcome::FilteredQc { aqs: full_aqs };
                     return self.finish(false, units);
                 }
-                let (mapping, best_score, align_cells) =
-                    ctx.mapper.finalize_mapping(&self.seq, &self.fwd, &self.rev);
+                let (per_reference, mapping, best_score, align_cells) =
+                    ctx.refs.finalize_mapping(&self.seq, &self.pairs);
+                if ctx.refs.len() > 1 {
+                    run.per_reference = per_reference;
+                }
                 run.best_chain_score = best_score;
                 run.align_cells = align_cells;
                 run.map_counters.align_cells = align_cells;
@@ -859,6 +888,7 @@ impl ConvChain {
             align_cells: 0,
             map_counters: MappingCounters::default(),
             called: None,
+            per_reference: Vec::new(),
         };
         if ctx.config.keep_bases {
             run.called = Some(CalledBases {
@@ -873,12 +903,11 @@ impl ConvChain {
                 cancelled: false,
             };
         }
-        let result = ctx.mapper.map_with(
+        let result = ctx.refs.map_with(
             &self.seq,
             &mut scratch.seed,
-            &mut scratch.batch,
-            &mut scratch.fwd,
-            &mut scratch.rev,
+            &mut scratch.batches,
+            &mut scratch.pairs,
         );
         run.map_counters = result.counters;
         run.best_chain_score = result.best_chain_score;
@@ -888,7 +917,10 @@ impl ConvChain {
         } else {
             0
         };
-        run.outcome = match result.mapping {
+        if ctx.refs.len() > 1 {
+            run.per_reference = result.per_reference;
+        }
+        run.outcome = match result.best {
             Some(m) => ReadOutcome::Mapped(m),
             None => ReadOutcome::Unmapped {
                 chain_score: result.best_chain_score,
@@ -1033,6 +1065,7 @@ fn conventional_read(
         align_cells: 0,
         map_counters: MappingCounters::default(),
         called: None,
+        per_reference: Vec::new(),
     };
     if ctx.config.keep_bases {
         run.called = Some(CalledBases {
@@ -1044,12 +1077,11 @@ fn conventional_read(
         return run; // QC filters the read before mapping.
     }
 
-    let result = ctx.mapper.map_with(
+    let result = ctx.refs.map_with(
         &seq,
         &mut scratch.seed,
-        &mut scratch.batch,
-        &mut scratch.fwd,
-        &mut scratch.rev,
+        &mut scratch.batches,
+        &mut scratch.pairs,
     );
     run.map_counters = result.counters;
     run.best_chain_score = result.best_chain_score;
@@ -1059,7 +1091,10 @@ fn conventional_read(
     } else {
         0
     };
-    run.outcome = match result.mapping {
+    if ctx.refs.len() > 1 {
+        run.per_reference = result.per_reference;
+    }
+    run.outcome = match result.best {
         Some(m) => ReadOutcome::Mapped(m),
         None => ReadOutcome::Unmapped {
             chain_score: result.best_chain_score,
@@ -1164,6 +1199,7 @@ fn genpip_read(
         align_cells: 0,
         map_counters: MappingCounters::default(),
         called: None,
+        per_reference: Vec::new(),
     };
     if total == 0 {
         run.outcome = match er {
@@ -1213,11 +1249,13 @@ fn genpip_read(
 
     // Sequential CP pass: basecall (or reuse) chunks in order; every chunk
     // immediately goes through quality accumulation, seeding, and
-    // incremental chaining. The chainer pair is worker-local and reset per
-    // read, so steady-state chaining reuses its buffers.
-    scratch.fwd.reset();
-    scratch.rev.reset();
-    let (fwd, rev) = (&mut scratch.fwd, &mut scratch.rev);
+    // incremental chaining. The chainer pairs (one per reference) are
+    // worker-local and reset per read, so steady-state chaining reuses
+    // their buffers.
+    for (fwd, rev) in scratch.pairs.iter_mut() {
+        fwd.reset();
+        rev.reset();
+    }
     let mut seq = DnaSeq::new();
     let mut quals: Vec<Phred> = Vec::new();
     let mut aqs = AqsAccumulator::new();
@@ -1241,31 +1279,37 @@ fn genpip_read(
                 &mut scratch.call,
             );
         }
-        let offset = seq.len() as u32;
+        let offset = seq.len() as u64;
         let chunk = &called[&idx];
-        let n_mins = ctx.mapper.sketch_and_seed_into(
+        let n_mins = ctx.refs.sketch_and_seed_into(
             &chunk.bases,
             offset,
             &mut scratch.seed,
-            &mut scratch.batch,
+            &mut scratch.batches,
         );
-        let batch = &scratch.batch;
-        let evals_before = fwd.dp_evaluations() + rev.dp_evaluations();
-        fwd.extend(&batch.forward);
-        rev.extend(&batch.reverse);
-        let evals_after = fwd.dp_evaluations() + rev.dp_evaluations();
+        let mut queries = 0usize;
+        let mut anchors = 0usize;
+        let mut chain_evals = 0usize;
+        for (batch, (fwd, rev)) in scratch.batches.iter().zip(scratch.pairs.iter_mut()) {
+            let evals_before = fwd.dp_evaluations() + rev.dp_evaluations();
+            fwd.extend(&batch.forward);
+            rev.extend(&batch.reverse);
+            chain_evals += fwd.dp_evaluations() + rev.dp_evaluations() - evals_before;
+            queries += batch.queries;
+            anchors += batch.hits;
+        }
         run.chunks.push(ChunkWork {
             index: idx,
             seed_bases: chunk.bases.len(),
             minimizers: n_mins,
-            anchors: batch.hits,
-            chain_evals: evals_after - evals_before,
+            anchors,
+            chain_evals,
             ..Default::default()
         });
         run.map_counters.minimizers += n_mins;
-        run.map_counters.seed_queries += batch.queries;
-        run.map_counters.anchors += batch.hits;
-        run.map_counters.chain_evals += evals_after - evals_before;
+        run.map_counters.seed_queries += queries;
+        run.map_counters.anchors += anchors;
+        run.map_counters.chain_evals += chain_evals;
         aqs.add_chunk_sum(chunk.sqs, chunk.quals.len());
         if ctx.config.keep_bases {
             quals.extend_from_slice(&chunk.quals);
@@ -1282,7 +1326,7 @@ fn genpip_read(
             && total > ctx.config.n_cm
         {
             cmr_checked = true;
-            let score = fwd.best_score().max(rev.best_score());
+            let score = best_pair_score(&scratch.pairs);
             let decision = cmr_check(score, ctx.config.theta_cm);
             if decision.reject {
                 run.called_len = called.values().map(|c| c.bases.len()).sum();
@@ -1302,14 +1346,18 @@ fn genpip_read(
     }
     let full_aqs = aqs.average();
     run.full_aqs = Some(full_aqs);
-    run.best_chain_score = fwd.best_score().max(rev.best_score());
+    run.best_chain_score = best_pair_score(&scratch.pairs);
     if full_aqs < ctx.config.theta_qs {
         // Whole-read quality control (the AQS calculator's final check).
         run.outcome = ReadOutcome::FilteredQc { aqs: full_aqs };
         return run;
     }
 
-    let (mapping, best_score, align_cells) = ctx.mapper.finalize_mapping(&seq, fwd, rev);
+    let (per_reference, mapping, best_score, align_cells) =
+        ctx.refs.finalize_mapping(&seq, &scratch.pairs);
+    if ctx.refs.len() > 1 {
+        run.per_reference = per_reference;
+    }
     run.best_chain_score = best_score;
     run.align_cells = align_cells;
     run.map_counters.align_cells = align_cells;

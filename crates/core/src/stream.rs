@@ -158,6 +158,11 @@ impl std::fmt::Display for ReadFault {
 }
 
 /// What streaming sinks receive.
+//
+// `Read` dwarfs the other variants, but it is also ~all of the traffic:
+// boxing it would cost an allocation per emitted read to shrink the rare
+// control-flow variants, and would churn every sink's match arms.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum StreamEvent {
     /// One finished read, delivered in its source's read order.

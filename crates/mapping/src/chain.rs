@@ -15,6 +15,7 @@
 //! output of seeding while the seeding step processes the next chunk").
 
 use crate::seed::Anchor;
+use crate::RefPos;
 
 /// Chaining-score parameters (minimap2-style).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,7 +23,7 @@ pub struct ChainParams {
     /// Minimizer k-mer length (full credit for a gap-free extension).
     pub k: usize,
     /// Maximum per-axis gap between chained anchors.
-    pub max_gap: u32,
+    pub max_gap: RefPos,
     /// Maximum number of predecessors examined per anchor (DP lookback).
     pub lookback: usize,
     /// Linear gap-cost coefficient (minimap2 uses `0.01 · k`).
@@ -46,9 +47,9 @@ impl ChainParams {
         if to.qpos <= from.qpos || to.rpos <= from.rpos {
             return None;
         }
-        let dq = (to.qpos - from.qpos) as u64;
-        let dr = (to.rpos - from.rpos) as u64;
-        if dq > self.max_gap as u64 || dr > self.max_gap as u64 {
+        let dq = to.qpos - from.qpos;
+        let dr = to.rpos - from.rpos;
+        if dq > self.max_gap || dr > self.max_gap {
             return None;
         }
         let gap = dq.abs_diff(dr);
@@ -195,7 +196,11 @@ impl IncrementalChainer {
     /// The best chain score among anchors whose (chain-coordinate) reference
     /// position lies outside `excluded`: the "second-best chain" used for
     /// MAPQ estimation.
-    pub fn best_score_outside(&self, excluded: std::ops::Range<u32>) -> f64 {
+    ///
+    /// Accepts any range form over [`RefPos`] (`lo..hi`, `..`, `lo..=hi`, …),
+    /// so "exclude everything" is the type-parametric full range `..` — no
+    /// caller has to spell a width-specific sentinel like `0..u32::MAX`.
+    pub fn best_score_outside<R: std::ops::RangeBounds<RefPos>>(&self, excluded: R) -> f64 {
         self.score
             .iter()
             .zip(&self.anchors)
@@ -209,7 +214,7 @@ impl IncrementalChainer {
 mod tests {
     use super::*;
 
-    fn colinear(n: u32, spacing: u32, q0: u32, r0: u32) -> Vec<Anchor> {
+    fn colinear(n: RefPos, spacing: RefPos, q0: RefPos, r0: RefPos) -> Vec<Anchor> {
         (0..n)
             .map(|i| Anchor {
                 qpos: q0 + i * spacing,
@@ -363,7 +368,13 @@ mod tests {
         let secondary = c.best_score_outside(0..10_000);
         assert!(primary > secondary);
         assert!(secondary > 0.0);
-        assert_eq!(c.best_score_outside(0..u32::MAX), 0.0);
+        // The full range excludes everything, regardless of coordinate width.
+        assert_eq!(c.best_score_outside(..), 0.0);
+        // And a chain at a beyond-u32 locus is excludable like any other.
+        let mut far = IncrementalChainer::new(ChainParams::for_k(15));
+        far.extend(&colinear(10, 30, 0, 5_000_000_000));
+        assert!(far.best_score() > 0.0);
+        assert_eq!(far.best_score_outside(5_000_000_000..5_000_001_000), 0.0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! contents get "programmed" into the `genpip-pim` seeding-unit model.
 
 use crate::minimizer::{minimizers, Minimizer};
+use crate::RefPos;
 use genpip_genomics::Genome;
 use std::collections::HashMap;
 use std::ops::Range;
@@ -14,13 +15,11 @@ use std::ops::Range;
 /// One reference hit: where a minimizer occurs in the genome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RefHit {
-    /// Position of the k-mer's first base in the reference.
-    ///
-    /// `u32` caps the addressable reference at 4 Gbp per index;
-    /// [`ReferenceIndex::build`] rejects longer genomes instead of silently
-    /// wrapping. A [`crate::ShardedReferenceIndex`] carries the same 4 Gbp
-    /// limit per shard (positions stay global coordinates).
-    pub pos: u32,
+    /// Position of the k-mer's first base in the reference coordinate space:
+    /// the index's [`ReferenceIndex::base_offset`] plus the position within
+    /// the indexed sequence. [`RefPos`] is 64-bit, so references are no
+    /// longer capped at the 4 Gbp `u32` horizon.
+    pub pos: RefPos,
     /// Strand flag of the canonical k-mer at that position.
     pub reverse: bool,
 }
@@ -31,6 +30,7 @@ pub struct ReferenceIndex {
     k: usize,
     w: usize,
     genome_len: usize,
+    base_offset: RefPos,
     table: HashMap<u64, Vec<RefHit>>,
     max_occurrences: usize,
 }
@@ -45,16 +45,21 @@ impl ReferenceIndex {
     ///
     /// # Panics
     ///
-    /// Panics if `k` is outside `1..=32` or `w` is 0, or if the genome does
-    /// not fit [`RefHit::pos`]'s `u32` position space (4 Gbp): build a
-    /// [`crate::ShardedReferenceIndex`] over sub-4 Gbp shards instead of
-    /// letting positions wrap.
+    /// Panics if `k` is outside `1..=32` or `w` is 0.
     pub fn build(genome: &Genome, k: usize, w: usize) -> ReferenceIndex {
-        Self::check_position_space(genome.len());
+        Self::build_at(genome, k, w, 0)
+    }
+
+    /// Builds the index of `genome` with its coordinate space starting at
+    /// `base_offset` instead of 0: every stored hit position is
+    /// `base_offset + position-in-genome`. This is how a sharded build places
+    /// each slice of a long reference into one global `u64` coordinate space
+    /// without ever materializing the whole sequence.
+    pub fn build_at(genome: &Genome, k: usize, w: usize, base_offset: RefPos) -> ReferenceIndex {
         let mut table: HashMap<u64, Vec<RefHit>> = HashMap::new();
         for m in minimizers(genome.sequence(), k, w) {
             table.entry(m.hash).or_default().push(RefHit {
-                pos: m.pos,
+                pos: base_offset + m.pos,
                 reverse: m.reverse,
             });
         }
@@ -62,13 +67,14 @@ impl ReferenceIndex {
             k,
             w,
             genome_len: genome.len(),
+            base_offset,
             table,
             max_occurrences: Self::DEFAULT_MAX_OCCURRENCES,
         }
     }
 
     /// Builds the index over only the minimizers **owned** by `span`
-    /// (a global position range of the genome) — one shard of a
+    /// (a position range of the genome) — one shard of a
     /// [`crate::ShardedReferenceIndex`].
     ///
     /// The sketched subsequence extends `w + k - 1` bases beyond each end of
@@ -77,19 +83,31 @@ impl ReferenceIndex {
     /// whole-genome sketch; hits are then filtered to `span`. The union of
     /// the indexes built from a partition of `0..genome.len()` therefore
     /// holds precisely the whole-genome minimizer set, each hit exactly
-    /// once, with global positions.
+    /// once.
     ///
     /// # Panics
     ///
     /// Panics on the same conditions as [`ReferenceIndex::build`], or if
     /// `span` exceeds the genome.
     pub fn build_span(genome: &Genome, k: usize, w: usize, span: Range<usize>) -> ReferenceIndex {
+        Self::build_span_at(genome, k, w, span, 0)
+    }
+
+    /// [`ReferenceIndex::build_span`] with the genome's coordinate space
+    /// starting at `base_offset`: `span` stays a range of positions within
+    /// the genome, while stored hits carry `base_offset + position`.
+    pub fn build_span_at(
+        genome: &Genome,
+        k: usize,
+        w: usize,
+        span: Range<usize>,
+        base_offset: RefPos,
+    ) -> ReferenceIndex {
         assert!(
             span.start <= span.end && span.end <= genome.len(),
             "shard span {span:?} exceeds genome of {} bases",
             genome.len()
         );
-        Self::check_position_space(genome.len());
         let halo = w + k - 1;
         let ext_start = span.start.saturating_sub(halo);
         let ext_end = (span.end + halo).min(genome.len());
@@ -99,7 +117,7 @@ impl ReferenceIndex {
             let pos = ext_start + m.pos as usize;
             if span.contains(&pos) {
                 table.entry(m.hash).or_default().push(RefHit {
-                    pos: pos as u32,
+                    pos: base_offset + pos as RefPos,
                     reverse: m.reverse,
                 });
             }
@@ -108,18 +126,10 @@ impl ReferenceIndex {
             k,
             w,
             genome_len: genome.len(),
+            base_offset,
             table,
             max_occurrences: Self::DEFAULT_MAX_OCCURRENCES,
         }
-    }
-
-    fn check_position_space(genome_len: usize) {
-        assert!(
-            u32::try_from(genome_len).is_ok(),
-            "reference of {genome_len} bases exceeds the u32 position space \
-             (4 Gbp limit per index/shard); split it across shards of a \
-             ShardedReferenceIndex"
-        );
     }
 
     /// Adjusts the repetitive-minimizer cap.
@@ -146,6 +156,18 @@ impl ReferenceIndex {
     /// Length of the indexed genome.
     pub fn genome_len(&self) -> usize {
         self.genome_len
+    }
+
+    /// First coordinate of the index's position space (0 unless built with
+    /// [`ReferenceIndex::build_at`]/[`ReferenceIndex::build_span_at`]).
+    pub fn base_offset(&self) -> RefPos {
+        self.base_offset
+    }
+
+    /// One past the last coordinate of the index's position space:
+    /// `base_offset + genome_len`.
+    pub fn coord_end(&self) -> RefPos {
+        self.base_offset + self.genome_len as RefPos
     }
 
     /// Number of distinct minimizer keys.
@@ -314,7 +336,7 @@ mod tests {
         let g = genome(10_000, 7);
         let (k, w) = (15, 10);
         let whole = ReferenceIndex::build(&g, k, w);
-        let mut whole_entries: HashSet<(u64, u32, bool)> = HashSet::new();
+        let mut whole_entries: HashSet<(u64, RefPos, bool)> = HashSet::new();
         for (hash, hits) in whole.iter() {
             for h in hits {
                 whole_entries.insert((*hash, h.pos, h.reverse));
@@ -322,7 +344,7 @@ mod tests {
         }
         for n in [2usize, 3, 7] {
             let step = g.len().div_ceil(n);
-            let mut seen: HashSet<(u64, u32, bool)> = HashSet::new();
+            let mut seen: HashSet<(u64, RefPos, bool)> = HashSet::new();
             for s in 0..n {
                 let span = (s * step).min(g.len())..((s + 1) * step).min(g.len());
                 let shard = ReferenceIndex::build_span(&g, k, w, span.clone());
@@ -350,5 +372,47 @@ mod tests {
     fn out_of_range_span_rejected() {
         let g = genome(1_000, 8);
         let _ = ReferenceIndex::build_span(&g, 15, 10, 500..2_000);
+    }
+
+    #[test]
+    fn base_offset_shifts_every_hit_past_the_u32_horizon() {
+        // An index whose coordinate space starts beyond 4 Gbp: every stored
+        // hit is the plain-index hit plus the offset, nothing truncates.
+        let g = genome(5_000, 9);
+        let offset: RefPos = 5_000_000_000; // > u32::MAX
+        let plain = ReferenceIndex::build(&g, 15, 10);
+        let shifted = ReferenceIndex::build_at(&g, 15, 10, offset);
+        assert_eq!(shifted.base_offset(), offset);
+        assert_eq!(shifted.coord_end(), offset + 5_000);
+        assert_eq!(shifted.total_entries(), plain.total_entries());
+        for (hash, hits) in plain.iter() {
+            let moved = shifted.lookup_hash(*hash);
+            assert_eq!(moved.len(), hits.len());
+            for (a, b) in hits.iter().zip(moved) {
+                assert_eq!(b.pos, offset + a.pos);
+                assert!(b.pos > u32::MAX as RefPos);
+                assert_eq!(b.reverse, a.reverse);
+            }
+        }
+    }
+
+    #[test]
+    fn span_shards_agree_with_whole_index_under_offset() {
+        let g = genome(4_000, 10);
+        let offset: RefPos = (u32::MAX as RefPos) - 1_000; // straddles the boundary
+        let whole = ReferenceIndex::build_at(&g, 15, 10, offset);
+        let mut seen = 0usize;
+        for span in [0..2_000usize, 2_000..4_000] {
+            let shard = ReferenceIndex::build_span_at(&g, 15, 10, span.clone(), offset);
+            for (hash, hits) in shard.iter() {
+                for h in hits {
+                    let local = (h.pos - offset) as usize;
+                    assert!(span.contains(&local), "hit {local} escaped span {span:?}");
+                    assert!(whole.lookup_hash(*hash).contains(h));
+                    seen += 1;
+                }
+            }
+        }
+        assert_eq!(seen, whole.total_entries());
     }
 }

@@ -47,13 +47,24 @@ pub mod index;
 pub mod mapper;
 pub mod minimizer;
 pub mod paf;
+pub mod refset;
 pub mod seed;
 pub mod shard;
+
+/// Repo-wide reference coordinate type.
+///
+/// Every position that names a base in a reference coordinate space —
+/// [`Minimizer::pos`], [`RefHit::pos`], [`Anchor::{qpos,rpos}`](Anchor),
+/// chain spans, index span ranges, PAF target coordinates — is 64-bit, so
+/// references (and sharded coordinate spaces assembled from per-shard
+/// offsets) are not capped at the 4 Gbp `u32` horizon.
+pub type RefPos = u64;
 
 pub use align::{Alignment, AlignmentParams, CigarOp};
 pub use chain::{Chain, ChainParams, IncrementalChainer};
 pub use index::{RefHit, ReferenceIndex};
 pub use mapper::{Mapper, MapperParams, Mapping, MappingCounters, MappingResult, SeedScratch};
 pub use minimizer::{minimizers, minimizers_into, Minimizer, MinimizerScratch};
+pub use refset::{ReferenceMapping, ReferenceSet, SetMappingResult};
 pub use seed::{Anchor, SeedBatch, Strand};
 pub use shard::{ShardedReferenceIndex, Shards};

@@ -11,6 +11,7 @@ use crate::chain::{ChainParams, IncrementalChainer};
 use crate::minimizer::{minimizers_into, Minimizer, MinimizerScratch};
 use crate::seed::{seed_batch_into, SeedBatch, Strand};
 use crate::shard::{ShardedReferenceIndex, Shards};
+use crate::RefPos;
 use genpip_genomics::{DnaSeq, Genome};
 use std::sync::Arc;
 
@@ -37,6 +38,12 @@ pub struct MapperParams {
     pub min_identity: f64,
     /// Extra band half-width beyond the chain's diagonal spread.
     pub band_margin: usize,
+    /// First coordinate of the reference's position space (default 0).
+    /// A nonzero offset shifts every reported coordinate by the same amount
+    /// and is how coordinate spaces past the 4 Gbp `u32` horizon are
+    /// exercised without materializing 4 GB of sequence; mapping behaviour is
+    /// otherwise identical.
+    pub base_offset: RefPos,
 }
 
 impl Default for MapperParams {
@@ -51,6 +58,7 @@ impl Default for MapperParams {
             min_chain_score: 30.0,
             min_identity: 0.55,
             band_margin: 32,
+            base_offset: 0,
         }
     }
 }
@@ -85,7 +93,12 @@ impl MappingCounters {
 /// A successful mapping.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mapping {
-    /// Reference start (forward-strand coordinates, inclusive).
+    /// The reference this mapping hit, set by a multi-reference
+    /// [`crate::ReferenceSet`] merge; `None` for plain single-reference
+    /// mapping (whose output stays byte-for-byte what it always was).
+    pub ref_name: Option<Arc<str>>,
+    /// Reference start (forward-strand coordinates including the index's
+    /// base offset, inclusive).
     pub ref_start: usize,
     /// Reference end (exclusive).
     pub ref_end: usize,
@@ -120,8 +133,8 @@ pub struct MappingResult {
 /// steady-state seeding free of per-chunk allocations.
 #[derive(Debug, Clone, Default)]
 pub struct SeedScratch {
-    mins: Vec<Minimizer>,
-    sketch: MinimizerScratch,
+    pub(crate) mins: Vec<Minimizer>,
+    pub(crate) sketch: MinimizerScratch,
 }
 
 impl SeedScratch {
@@ -159,11 +172,12 @@ impl Mapper {
     /// copying the reference data. The index is sharded per
     /// [`MapperParams::shards`] and shared behind an [`Arc`].
     pub fn build_shared(genome: Arc<Genome>, params: MapperParams) -> Mapper {
-        let index = Arc::new(ShardedReferenceIndex::build(
+        let index = Arc::new(ShardedReferenceIndex::build_at(
             &genome,
             params.k,
             params.w,
             params.shards,
+            params.base_offset,
         ));
         Mapper {
             genome,
@@ -207,7 +221,7 @@ impl Mapper {
     ///
     /// Convenience wrapper over [`Mapper::sketch_and_seed_into`]; hot loops
     /// should own a [`SeedScratch`] and a reusable [`SeedBatch`] instead.
-    pub fn sketch_and_seed(&self, seq: &DnaSeq, qpos_offset: u32) -> (SeedBatch, usize) {
+    pub fn sketch_and_seed(&self, seq: &DnaSeq, qpos_offset: RefPos) -> (SeedBatch, usize) {
         let mut batch = SeedBatch::default();
         let n = self.sketch_and_seed_into(seq, qpos_offset, &mut SeedScratch::new(), &mut batch);
         (batch, n)
@@ -219,7 +233,7 @@ impl Mapper {
     pub fn sketch_and_seed_into(
         &self,
         seq: &DnaSeq,
-        qpos_offset: u32,
+        qpos_offset: RefPos,
         scratch: &mut SeedScratch,
         batch: &mut SeedBatch,
     ) -> usize {
@@ -263,12 +277,20 @@ impl Mapper {
         let last = anchors[*chain.anchor_indices.last().expect("non-empty chain")];
 
         // Extrapolate the chain to the query ends to get the reference
-        // window, in chain coordinates.
+        // window, in chain coordinates. Forward chain coordinates carry the
+        // index's base offset; reverse chain coordinates are offset-free (the
+        // `coord_end - k - pos` transform cancels the offset), so each strand
+        // clamps to its own coordinate bounds.
+        let o = self.index.base_offset() as i64;
         let g = self.genome.len() as i64;
         let k = self.params.k as i64;
         let qlen = query.len() as i64;
-        let wstart = (first.rpos as i64 - first.qpos as i64).clamp(0, g);
-        let wend = (last.rpos as i64 + k + (qlen - last.qpos as i64)).clamp(0, g);
+        let (c_lo, c_hi) = match strand {
+            Strand::Forward => (o, o + g),
+            Strand::Reverse => (0, g),
+        };
+        let wstart = (first.rpos as i64 - first.qpos as i64).clamp(c_lo, c_hi);
+        let wend = (last.rpos as i64 + k + (qlen - last.qpos as i64)).clamp(c_lo, c_hi);
         if wend <= wstart {
             return (None, best_score, 0);
         }
@@ -277,7 +299,7 @@ impl Mapper {
         // Extract the window sequence (chain coordinates are RC-genome
         // coordinates on the reverse strand).
         let window = match strand {
-            Strand::Forward => self.genome.sequence().subseq(wstart as usize, wlen),
+            Strand::Forward => self.genome.sequence().subseq((wstart - o) as usize, wlen),
             Strand::Reverse => self
                 .genome
                 .sequence()
@@ -306,19 +328,20 @@ impl Mapper {
 
         // Second-best chain score for MAPQ: the best competitor is either the
         // other strand's best chain or a same-strand chain at another locus.
-        let exclusion_halo = query.len() as u32;
-        let lo = (wstart as u32).saturating_sub(exclusion_halo);
-        let hi = (wend as u32).saturating_add(exclusion_halo);
+        let exclusion_halo = query.len() as RefPos;
+        let lo = (wstart as RefPos).saturating_sub(exclusion_halo);
+        let hi = (wend as RefPos).saturating_add(exclusion_halo);
         let second = other_best.max(chainer.best_score_outside(lo..hi));
         let mapq = compute_mapq(chain.score, second, chain.anchor_indices.len());
 
-        // Report the window in forward-genome coordinates.
+        // Report the window in forward-genome coordinates (offset included).
         let (ref_start, ref_end) = match strand {
             Strand::Forward => (wstart as usize, wend as usize),
-            Strand::Reverse => ((g - wend) as usize, (g - wstart) as usize),
+            Strand::Reverse => ((o + g - wend) as usize, (o + g - wstart) as usize),
         };
 
         let mapping = Mapping {
+            ref_name: None,
             ref_start,
             ref_end,
             strand,
@@ -489,7 +512,7 @@ mod tests {
         while offset < q.len() {
             let len = chunk.min(q.len() - offset);
             let part = q.subseq(offset, len);
-            let (batch, _) = m.sketch_and_seed(&part, offset as u32);
+            let (batch, _) = m.sketch_and_seed(&part, offset as RefPos);
             fwd.extend(&batch.forward);
             rev.extend(&batch.reverse);
             offset += len;
@@ -616,6 +639,59 @@ mod tests {
         let unique_read = genome.sequence().subseq(140 * 400 + 5_000, 900);
         for q in [&repeat_read, &unique_read] {
             assert_eq!(sharded.map(q), single.map(q));
+        }
+    }
+
+    #[test]
+    fn beyond_4gbp_offset_reference_builds_and_maps() {
+        // The acceptance scenario for genuinely unbounded references: a
+        // coordinate space starting past 4 Gbp builds, and every mapping —
+        // forward, reverse, noisy — is the offset-0 mapping shifted by
+        // exactly the offset, with all non-coordinate fields bit-identical.
+        let genome = GenomeBuilder::new(50_000).seed(30).build();
+        let offset: RefPos = 5_000_000_000;
+        let plain = Mapper::build(&genome, MapperParams::default());
+        let shifted = Mapper::build(
+            &genome,
+            MapperParams {
+                base_offset: offset,
+                shards: Shards::Fixed(3),
+                ..MapperParams::default()
+            },
+        );
+        let mut rng = seeded(31);
+        let mut queries = Vec::new();
+        for start in [0usize, 17_000, 49_000] {
+            let len = 900.min(50_000 - start);
+            let truth = genome.sequence().subseq(start, len);
+            queries.push(truth.clone());
+            queries.push(truth.reverse_complement());
+            let (noisy, _) = ErrorModel::with_total_rate(0.1).apply(&truth, &mut rng);
+            queries.push(noisy);
+        }
+        for (i, q) in queries.iter().enumerate() {
+            let base = plain.map(q);
+            let moved = shifted.map(q);
+            assert_eq!(moved.best_chain_score, base.best_chain_score, "query {i}");
+            assert_eq!(moved.counters, base.counters, "query {i}");
+            match (base.mapping, moved.mapping) {
+                (None, None) => {}
+                (Some(b), Some(m)) => {
+                    assert_eq!(m.ref_start, b.ref_start + offset as usize, "query {i}");
+                    assert_eq!(m.ref_end, b.ref_end + offset as usize, "query {i}");
+                    assert!(m.ref_end > u32::MAX as usize);
+                    assert_eq!(
+                        Mapping {
+                            ref_start: b.ref_start,
+                            ref_end: b.ref_end,
+                            ..m
+                        },
+                        b,
+                        "query {i}: non-coordinate fields diverged"
+                    );
+                }
+                (b, m) => panic!("query {i}: mapped-ness diverged ({b:?} vs {m:?})"),
+            }
         }
     }
 

@@ -6,6 +6,7 @@
 //! winnowing guarantees that any two sequences sharing a window-length
 //! substring share a minimizer, which is what makes seeding complete.
 
+use crate::RefPos;
 use genpip_genomics::{DnaSeq, Kmer, KmerIter};
 
 /// One selected minimizer.
@@ -15,11 +16,9 @@ pub struct Minimizer {
     pub hash: u64,
     /// Position of the k-mer's first base in the sequence.
     ///
-    /// `u32` bounds the sketchable sequence at 4 Gbp; [`minimizers_into`]
-    /// panics instead of silently wrapping past that. References larger than
-    /// 4 Gbp must be split (see `ShardedReferenceIndex`, which inherits a
-    /// 4 Gbp-per-shard limit from this type).
-    pub pos: u32,
+    /// [`RefPos`] (64-bit), so the sketchable sequence length is bounded by
+    /// addressable memory, not the old 4 Gbp `u32` horizon.
+    pub pos: RefPos,
     /// `true` if the canonical k-mer is the reverse complement of the
     /// sequence's forward k-mer at `pos`.
     pub reverse: bool,
@@ -53,8 +52,7 @@ pub fn hash64(key: u64) -> u64 {
 ///
 /// # Panics
 ///
-/// Panics if `k` is outside `1..=32` or `w` is 0, or if a selected position
-/// does not fit [`Minimizer::pos`]'s `u32` (sequences of 4 Gbp or more).
+/// Panics if `k` is outside `1..=32` or `w` is 0.
 ///
 /// # Example
 ///
@@ -133,10 +131,7 @@ pub fn minimizers_into(
             if let Some(&(pos, hash, rev)) = deque.front() {
                 let candidate = Minimizer {
                     hash,
-                    pos: u32::try_from(pos).expect(
-                        "minimizer position exceeds u32: sequences are limited to \
-                         4 Gbp (shard the reference to stay under the limit)",
-                    ),
+                    pos: pos as RefPos,
                     reverse: rev,
                 };
                 if out.last() != Some(&candidate) {

@@ -12,6 +12,7 @@
 
 use crate::align::{cigar_string, CigarOp};
 use crate::mapper::Mapping;
+use crate::refset::ReferenceSet;
 use crate::seed::Strand;
 use std::io::{self, Write};
 
@@ -71,6 +72,35 @@ impl PafRecord {
             mapq: mapping.mapq,
             cigar: cigar_string(&mapping.cigar),
         }
+    }
+
+    /// Builds a record from a mapping produced against a [`ReferenceSet`],
+    /// resolving the target name and length from the mapping's reference
+    /// attribution. An unattributed mapping (`ref_name` is `None` — the
+    /// single-reference case) resolves to the set's primary reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping names a reference the set does not contain.
+    pub fn from_set_mapping(
+        qname: impl Into<String>,
+        qlen: usize,
+        set: &ReferenceSet,
+        mapping: &Mapping,
+    ) -> PafRecord {
+        let mapper = match mapping.ref_name.as_deref() {
+            Some(name) => set
+                .get(name)
+                .unwrap_or_else(|| panic!("mapping names unknown reference {name:?}")),
+            None => set.primary(),
+        };
+        PafRecord::from_mapping(
+            qname,
+            qlen,
+            mapper.genome().name(),
+            mapper.genome().len(),
+            mapping,
+        )
     }
 
     /// Renders the record as one PAF line (no trailing newline).
@@ -174,6 +204,28 @@ mod tests {
         write_paf(&mut buf, &[r.clone(), r]).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn set_mapping_resolves_target_from_attribution() {
+        use crate::refset::ReferenceSet;
+        let a = GenomeBuilder::new(25_000).seed(3).name("panel_a").build();
+        let b = GenomeBuilder::new(30_000).seed(4).name("panel_b").build();
+        let q = b.sequence().subseq(9_000, 700);
+        let set = ReferenceSet::build(&[a, b.clone()], MapperParams::default());
+        let best = set.map(&q).best.expect("read from panel_b maps");
+        let r = PafRecord::from_set_mapping("read1", q.len(), &set, &best);
+        assert_eq!(r.tname, "panel_b");
+        assert_eq!(r.tlen, b.len());
+        assert!(r.tend <= r.tlen);
+
+        // Unattributed mappings (single-reference path) fall back to the
+        // primary reference.
+        let solo = ReferenceSet::build(std::slice::from_ref(&b), MapperParams::default());
+        let best = solo.map(&q).best.expect("read maps on its own genome");
+        assert!(best.ref_name.is_none());
+        let r = PafRecord::from_set_mapping("read1", q.len(), &solo, &best);
+        assert_eq!(r.tname, "panel_b");
     }
 
     #[test]

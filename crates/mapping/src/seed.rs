@@ -13,6 +13,7 @@
 
 use crate::minimizer::Minimizer;
 use crate::shard::ShardedReferenceIndex;
+use crate::RefPos;
 
 /// Mapping strand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,19 +36,21 @@ impl std::fmt::Display for Strand {
 /// A seed match in *chain coordinates*.
 ///
 /// `qpos` is the k-mer's position in the query as sequenced. For
-/// forward-strand anchors `rpos` is the k-mer's reference position; for
-/// reverse-strand anchors it is the position in the *reverse-complemented*
-/// reference (`genome_len − k − pos`). The transform makes colinear matches
-/// on either strand satisfy the same "qpos and rpos both increase" criterion,
-/// so one chaining implementation serves both strands — and, crucially for
-/// GenPIP's chunk-based pipeline, it does not depend on the final read
-/// length, which is unknown while chunks are still streaming in.
+/// forward-strand anchors `rpos` is the k-mer's reference position (including
+/// the index's base offset); for reverse-strand anchors it is the position in
+/// the *reverse-complemented* reference (`coord_end − k − pos`, an
+/// offset-free coordinate). The transform makes colinear matches on either
+/// strand satisfy the same "qpos and rpos both increase" criterion, so one
+/// chaining implementation serves both strands — and, crucially for GenPIP's
+/// chunk-based pipeline, it does not depend on the final read length, which
+/// is unknown while chunks are still streaming in. Both fields are
+/// [`RefPos`] (64-bit), so no coordinate wraps at the 4 Gbp `u32` horizon.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Anchor {
     /// Query position of the k-mer's first base.
-    pub qpos: u32,
+    pub qpos: RefPos,
     /// Strand-transformed reference position (see type docs).
-    pub rpos: u32,
+    pub rpos: RefPos,
 }
 
 /// Anchors produced by seeding one batch of minimizers, split by strand.
@@ -71,7 +74,7 @@ pub struct SeedBatch {
 pub fn seed_batch(
     index: &ShardedReferenceIndex,
     mins: &[Minimizer],
-    qpos_offset: u32,
+    qpos_offset: RefPos,
 ) -> SeedBatch {
     let mut batch = SeedBatch::default();
     seed_batch_into(index, mins, qpos_offset, &mut batch);
@@ -84,11 +87,15 @@ pub fn seed_batch(
 pub fn seed_batch_into(
     index: &ShardedReferenceIndex,
     mins: &[Minimizer],
-    qpos_offset: u32,
+    qpos_offset: RefPos,
     batch: &mut SeedBatch,
 ) {
-    let k = index.k() as u32;
-    let rc_base = index.genome_len() as u32 - k; // rpos transform for reverse
+    let k = index.k() as RefPos;
+    // rpos transform for reverse anchors. `coord_end` (not `genome_len as
+    // u32`, which silently truncated past 4 Gbp) keeps the subtraction in the
+    // index's own coordinate space: `rc_base - (base_offset + pos)` is the
+    // offset-free reverse-complement coordinate `genome_len - k - pos`.
+    let rc_base = index.coord_end() - k;
     batch.forward.clear();
     batch.reverse.clear();
     batch.queries = 0;
@@ -228,6 +235,37 @@ mod tests {
             let sharded = ShardedReferenceIndex::build(&g, K, W, Shards::Fixed(n));
             let batch = seed_batch(&sharded, &mins, 0);
             assert_eq!(batch, reference, "{n} shards diverged");
+        }
+    }
+
+    #[test]
+    fn reverse_complement_positions_survive_the_u32_boundary() {
+        // Regression for the old `rc_base = genome_len as u32 - k`, which
+        // silently truncated once the coordinate space crossed 4 Gbp. A
+        // genome whose coordinate space straddles `u32::MAX` must seed
+        // exactly like the same genome at offset 0: reverse-strand chain
+        // coordinates are offset-free, forward coordinates shift by the
+        // offset — on both sides of the boundary, nothing wraps.
+        let g = genome(20_000, 7);
+        let offset: RefPos = (u32::MAX as RefPos) - 10_000; // end > u32::MAX
+        let at_zero = index(&g);
+        let at_offset = ShardedReferenceIndex::build_at(&g, K, W, Shards::Fixed(3), offset);
+        assert!(at_offset.coord_end() > u32::MAX as RefPos);
+        let start = 12_000; // forward positions of this window cross u32::MAX
+        let fwd_query = g.sequence().subseq(start, 800);
+        let rc_query = fwd_query.reverse_complement();
+        for query in [&fwd_query, &rc_query] {
+            let mins = minimizers(query, K, W);
+            let base = seed_batch(&at_zero, &mins, 0);
+            let moved = seed_batch(&at_offset, &mins, 0);
+            assert_eq!(moved.queries, base.queries);
+            assert_eq!(moved.hits, base.hits);
+            assert_eq!(moved.reverse, base.reverse, "reverse anchors wrapped");
+            assert_eq!(moved.forward.len(), base.forward.len());
+            for (m, b) in moved.forward.iter().zip(&base.forward) {
+                assert_eq!(m.qpos, b.qpos);
+                assert_eq!(m.rpos, b.rpos + offset);
+            }
         }
     }
 

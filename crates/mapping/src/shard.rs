@@ -23,6 +23,7 @@
 
 use crate::index::{RefHit, ReferenceIndex};
 use crate::minimizer::Minimizer;
+use crate::RefPos;
 use genpip_genomics::Genome;
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
@@ -80,17 +81,18 @@ impl Shards {
 /// with fan-out seeding. See the [module docs](self) for the layout and the
 /// bit-identity / global-masking guarantees.
 ///
-/// Positions stored in every shard are **global** forward-strand coordinates
-/// (`u32`, so each shard — and, until anchors widen to `u64`, the whole
-/// reference — is limited to 4 Gbp; [`ReferenceIndex::build`] enforces this
-/// at build time instead of wrapping).
+/// Positions stored in every shard are **global** forward-strand coordinates:
+/// [`RefPos`] (64-bit), starting at the index's
+/// [`base_offset`](ShardedReferenceIndex::base_offset). Neither the shard nor
+/// the whole reference is capped at the 4 Gbp `u32` horizon any more.
 #[derive(Debug, Clone)]
 pub struct ShardedReferenceIndex {
     k: usize,
     w: usize,
     genome_len: usize,
+    base_offset: RefPos,
     max_occurrences: usize,
-    spans: Vec<Range<usize>>,
+    spans: Vec<Range<RefPos>>,
     shards: Vec<ReferenceIndex>,
     /// Hashes whose summed-across-shards occurrence count exceeds the cap.
     masked: HashSet<u64>,
@@ -120,6 +122,28 @@ impl ShardedReferenceIndex {
         )
     }
 
+    /// [`ShardedReferenceIndex::build`] with the genome's coordinate space
+    /// starting at `base_offset`: every stored hit position and every span
+    /// bound is `base_offset + position-in-genome`. This is how coordinate
+    /// spaces beyond 4 Gbp are exercised (and how slices of a long reference
+    /// can be indexed independently) without materializing 4 GB of sequence.
+    pub fn build_at(
+        genome: &Genome,
+        k: usize,
+        w: usize,
+        shards: Shards,
+        base_offset: RefPos,
+    ) -> ShardedReferenceIndex {
+        Self::build_full(
+            genome,
+            k,
+            w,
+            shards,
+            ReferenceIndex::DEFAULT_MAX_OCCURRENCES,
+            base_offset,
+        )
+    }
+
     /// [`ShardedReferenceIndex::build`] with an explicit repetitive cap, so
     /// the global mask is computed once with the final cap.
     ///
@@ -134,24 +158,47 @@ impl ShardedReferenceIndex {
         shards: Shards,
         cap: usize,
     ) -> ShardedReferenceIndex {
+        Self::build_full(genome, k, w, shards, cap, 0)
+    }
+
+    /// The full builder: explicit repetitive cap and base offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`ReferenceIndex::build`], or if
+    /// `cap` is 0.
+    pub fn build_full(
+        genome: &Genome,
+        k: usize,
+        w: usize,
+        shards: Shards,
+        cap: usize,
+        base_offset: RefPos,
+    ) -> ShardedReferenceIndex {
         assert!(cap > 0, "occurrence cap must be positive");
         let n = shards.resolve(genome.len());
-        let spans = shard_spans(genome.len(), n);
+        let local_spans = shard_spans(genome.len(), n);
         let shards: Vec<ReferenceIndex> = if n == 1 {
             // Single shard: sketch the genome directly, no halo subsequence.
-            vec![ReferenceIndex::build(genome, k, w).with_max_occurrences(cap)]
+            vec![ReferenceIndex::build_at(genome, k, w, base_offset).with_max_occurrences(cap)]
         } else {
-            spans
+            local_spans
                 .iter()
                 .map(|span| {
-                    ReferenceIndex::build_span(genome, k, w, span.clone()).with_max_occurrences(cap)
+                    ReferenceIndex::build_span_at(genome, k, w, span.clone(), base_offset)
+                        .with_max_occurrences(cap)
                 })
                 .collect()
         };
+        let spans = local_spans
+            .into_iter()
+            .map(|s| base_offset + s.start as RefPos..base_offset + s.end as RefPos)
+            .collect();
         let mut index = ShardedReferenceIndex {
             k,
             w,
             genome_len: genome.len(),
+            base_offset,
             max_occurrences: cap,
             spans,
             shards,
@@ -237,6 +284,18 @@ impl ShardedReferenceIndex {
         self.genome_len
     }
 
+    /// First coordinate of the index's position space (0 unless built with
+    /// [`ShardedReferenceIndex::build_at`]).
+    pub fn base_offset(&self) -> RefPos {
+        self.base_offset
+    }
+
+    /// One past the last coordinate of the index's position space:
+    /// `base_offset + genome_len`.
+    pub fn coord_end(&self) -> RefPos {
+        self.base_offset + self.genome_len as RefPos
+    }
+
     /// The repetitive-minimizer cap, applied to global occurrence counts.
     pub fn max_occurrences(&self) -> usize {
         self.max_occurrences
@@ -247,8 +306,9 @@ impl ShardedReferenceIndex {
         self.shards.len()
     }
 
-    /// The owned (halo-free) position range of each shard, in order.
-    pub fn spans(&self) -> &[Range<usize>] {
+    /// The owned (halo-free) coordinate range of each shard, in order
+    /// (offset-applied [`RefPos`] bounds).
+    pub fn spans(&self) -> &[Range<RefPos>] {
         &self.spans
     }
 

@@ -110,14 +110,14 @@ fn chain_extension_is_monotone_in_anchors() {
         let n = rng.random_range(1..30usize);
         // Adding colinear anchors never lowers the best chain score.
         let mut chainer = IncrementalChainer::new(ChainParams::for_k(15));
-        let (mut q, mut r) = (0u32, 500u32);
+        let (mut q, mut r) = (0u64, 500u64);
         let mut last = 0.0f64;
         for _ in 0..n {
             chainer.extend(&[Anchor { qpos: q, rpos: r }]);
             let score = chainer.best_score();
             assert!(score >= last, "score dropped from {last} to {score}");
             last = score;
-            let s = rng.random_range(5..40u32);
+            let s = rng.random_range(5..40u64);
             q += s;
             r += s;
         }
@@ -130,12 +130,12 @@ fn step_score_never_exceeds_k() {
         let mut rng = seeded(0x57E ^ case);
         let p = ChainParams::for_k(15);
         let from = Anchor {
-            qpos: rng.random_range(0..10_000u32),
-            rpos: rng.random_range(0..10_000u32),
+            qpos: rng.random_range(0..10_000u64),
+            rpos: rng.random_range(0..10_000u64),
         };
         let to = Anchor {
-            qpos: rng.random_range(0..10_000u32),
-            rpos: rng.random_range(0..10_000u32),
+            qpos: rng.random_range(0..10_000u64),
+            rpos: rng.random_range(0..10_000u64),
         };
         if let Some(score) = p.step_score(from, to) {
             assert!(score <= p.k as f64 + 1e-12);

@@ -42,7 +42,7 @@ pub use arrays::{CamArray, CamBank, CrossbarArray};
 pub use edram::EdramBuffer;
 pub use modules::{BasecallModule, CqsModule, DpModule, SeedingModule};
 pub use params::PimTech;
-pub use seeding::{SeedingUnitMap, ShardGroup};
+pub use seeding::{ReferenceSeedingImage, SeedingUnitMap, ShardGroup};
 
 /// Bytes per raw signal sample (16-bit DAC), mirrored from `genpip-signal`
 /// for buffer-sizing checks without a dependency cycle.

@@ -18,8 +18,9 @@
 //!   included) is deterministic run to run despite hash-map iteration.
 
 use crate::arrays::CamBank;
-use genpip_mapping::ShardedReferenceIndex;
+use genpip_mapping::{RefPos, ReferenceSet, ShardedReferenceIndex};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// One shard's CAM subarray group: the programmed bank plus its load
 /// statistics for the hardware report.
@@ -27,8 +28,10 @@ use std::ops::Range;
 pub struct ShardGroup {
     /// Shard number (index into [`ShardedReferenceIndex::spans`]).
     pub shard: usize,
-    /// The genome position range this group serves.
-    pub span: Range<usize>,
+    /// The reference position range this group serves (global [`RefPos`]
+    /// coordinates — the index's base offset included, so spans past the
+    /// 4 Gbp `u32` horizon program correctly).
+    pub span: Range<RefPos>,
     /// Distinct minimizer hashes programmed (CAM rows in use).
     pub keys: usize,
     /// Reference-location entries stored in the group's RAM arrays.
@@ -155,6 +158,85 @@ impl SeedingUnitMap {
     }
 }
 
+/// The CAM image of a whole pan-genome [`ReferenceSet`]: one
+/// [`SeedingUnitMap`] per reference.
+///
+/// Each reference keeps its own sharded index, so each gets its own family
+/// of CAM subarray groups; a query minimizer broadcast fans out across
+/// *every* reference's groups in parallel, exactly mirroring the functional
+/// model's seed-once-per-reference fan-out in
+/// [`ReferenceSet::sketch_and_seed_into`].
+#[derive(Debug, Clone)]
+pub struct ReferenceSeedingImage {
+    references: Vec<(Arc<str>, SeedingUnitMap)>,
+}
+
+impl ReferenceSeedingImage {
+    /// Programs every reference of `set` into its own CAM image,
+    /// `rows_per_array` keys per CAM subarray.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_array` is 0.
+    pub fn load(set: &ReferenceSet, rows_per_array: usize) -> ReferenceSeedingImage {
+        ReferenceSeedingImage {
+            references: set
+                .names()
+                .iter()
+                .zip(set.mappers())
+                .map(|(name, mapper)| {
+                    (
+                        Arc::clone(name),
+                        SeedingUnitMap::load(mapper.index(), rows_per_array),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The per-reference images, in set order.
+    pub fn references(&self) -> &[(Arc<str>, SeedingUnitMap)] {
+        &self.references
+    }
+
+    /// One reference's image, by name.
+    pub fn get(&self, name: &str) -> Option<&SeedingUnitMap> {
+        self.references
+            .iter()
+            .find(|(n, _)| n.as_ref() == name)
+            .map(|(_, map)| map)
+    }
+
+    /// Total CAM rows in use across every reference.
+    pub fn total_keys(&self) -> usize {
+        self.references.iter().map(|(_, m)| m.total_keys()).sum()
+    }
+
+    /// Total RAM location entries across every reference.
+    pub fn total_entries(&self) -> usize {
+        self.references.iter().map(|(_, m)| m.total_entries()).sum()
+    }
+
+    /// Total CAM subarrays allocated across every reference.
+    pub fn total_cam_arrays(&self) -> usize {
+        self.references
+            .iter()
+            .map(|(_, m)| m.total_cam_arrays())
+            .sum()
+    }
+
+    /// The per-reference load tables, concatenated with headers.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, map) in &self.references {
+            let _ = writeln!(out, "reference {name}");
+            out.push_str(&map.report());
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +324,43 @@ mod tests {
             }
         }
         assert!(checked_hit && checked_miss);
+    }
+
+    #[test]
+    fn reference_set_image_programs_each_reference_into_its_own_groups() {
+        use genpip_mapping::{MapperParams, ReferenceSet};
+        let a = GenomeBuilder::new(18_000).seed(54).name("panel_a").build();
+        let b = GenomeBuilder::new(12_000).seed(55).name("panel_b").build();
+        let params = MapperParams {
+            shards: Shards::Fixed(3),
+            ..MapperParams::default()
+        };
+        let set = ReferenceSet::build(&[a, b], params);
+        let image = ReferenceSeedingImage::load(&set, 128);
+        assert_eq!(image.references().len(), 2);
+        // Each reference's image is exactly what loading its index alone
+        // produces.
+        for name in ["panel_a", "panel_b"] {
+            let solo = SeedingUnitMap::load(set.get(name).unwrap().index(), 128);
+            let in_set = image.get(name).expect("reference present");
+            assert_eq!(in_set.total_keys(), solo.total_keys());
+            assert_eq!(in_set.total_entries(), solo.total_entries());
+            assert_eq!(in_set.groups().len(), 3, "{name}");
+        }
+        let (a_map, b_map) = (image.get("panel_a").unwrap(), image.get("panel_b").unwrap());
+        assert_eq!(
+            image.total_entries(),
+            a_map.total_entries() + b_map.total_entries()
+        );
+        assert_eq!(image.total_keys(), a_map.total_keys() + b_map.total_keys());
+        assert_eq!(
+            image.total_cam_arrays(),
+            a_map.total_cam_arrays() + b_map.total_cam_arrays()
+        );
+        assert!(image.get("panel_c").is_none());
+        let report = image.report();
+        assert!(report.contains("reference panel_a"));
+        assert!(report.contains("reference panel_b"));
     }
 
     #[test]

@@ -36,8 +36,9 @@ use genpip::core::stream::{FastqSink, StreamEvent, StreamOptions};
 use genpip::core::{FaultPolicy, GenPipConfig, Parallelism};
 use genpip::datasets::{DatasetProfile, FaultInjector, ReadSource, StreamingSimulator};
 use genpip::genomics::fastx;
+use genpip::genomics::{Genome, GenomeBuilder};
 use genpip::mapping::paf::{write_paf, PafRecord};
-use genpip::mapping::{Mapper, MapperParams, Shards};
+use genpip::mapping::{MapperParams, ReferenceSet, Shards};
 use std::collections::{HashMap, VecDeque};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -83,10 +84,11 @@ const USAGE: &str = "genpip — in-memory genome analysis (GenPIP reproduction)
 
 USAGE:
   genpip simulate --profile <ecoli|human> [--scale F] --out <prefix>
-  genpip map --reference <ref.fasta> --reads <reads.fastq> [--paf <out.paf>]
+  genpip map --reference <ref.fasta>... --reads <reads.fastq> [--paf <out.paf>]
              [--shards <single|auto|N>]
   genpip run [--profile <ecoli|human>] [--scale F] [--er <full|qsr|cp|off>]
              [--shards <single|auto|N>] [--on-fault <fail|quarantine|retry[:N]>]
+             [--reference SPEC]...
   genpip stream [--profile <ecoli|human>] [--scale F] [--er <full|qsr|cp|off>]
                [--source SPEC]... [--schedule <fair|sequential|priority>]
                [--queue N] [--progress N] [--threads <serial|auto|N>]
@@ -104,6 +106,13 @@ OPTIONS:
   --er        early-rejection mode for `run`/`stream` (default full)
   --out       output file prefix for `simulate`
   --paf       PAF output path for `map` (default: stdout)
+  --reference for `map`: a reference FASTA, repeatable — several files form
+              a pan-genome panel; each read maps against every reference and
+              the deterministic best hit (chain score, then reference name,
+              then position) names its reference in the PAF target column.
+              For `run`: an extra synthetic reference mapped alongside the
+              profile's own, repeatable. SPEC is comma-joined key=value
+              pairs: len=N (required), name=ID (default refN), seed=S
   --source    one read source for `stream`, repeatable. SPEC is comma-joined
               key=value pairs: profile=<ecoli|human> (required),
               scale=F (default: --scale), name=ID (default: profileN),
@@ -234,39 +243,53 @@ fn cmd_simulate(parsed: &Parsed) -> Result<(), String> {
 }
 
 fn cmd_map(parsed: &Parsed) -> Result<(), String> {
-    let reference = opt(parsed, "reference").ok_or("map needs --reference")?;
+    let reference_paths = opt_all(parsed, "reference");
+    if reference_paths.is_empty() {
+        return Err("map needs --reference (repeat the flag for a pan-genome panel)".into());
+    }
     let reads_path = opt(parsed, "reads").ok_or("map needs --reads")?;
-    let genome = fastx::read_fasta(BufReader::new(
-        File::open(reference).map_err(|e| format!("{reference}: {e}"))?,
-    ))
-    .map_err(|e| e.to_string())?;
+    let mut genomes = Vec::with_capacity(reference_paths.len());
+    for path in reference_paths {
+        let genome = fastx::read_fasta(BufReader::new(
+            File::open(path).map_err(|e| format!("{path}: {e}"))?,
+        ))
+        .map_err(|e| e.to_string())?;
+        if genomes.iter().any(|g: &Genome| g.name() == genome.name()) {
+            return Err(format!(
+                "duplicate reference name {:?} (from {path}); every --reference \
+                 needs a unique FASTA header",
+                genome.name()
+            ));
+        }
+        genomes.push(genome);
+    }
     let reads = fastx::read_fastq(BufReader::new(
         File::open(reads_path).map_err(|e| format!("{reads_path}: {e}"))?,
     ))
     .map_err(|e| e.to_string())?;
     let shards = shards_from(parsed)?;
-    eprintln!("indexing {}…", genome);
     let params = MapperParams {
         shards,
         ..MapperParams::default()
     };
-    let mapper = Mapper::build(&genome, params);
-    eprintln!(
-        "index: {} shard(s), {} entries (largest shard {})",
-        mapper.index().shard_count(),
-        mapper.index().total_entries(),
-        mapper.index().max_shard_entries()
-    );
+    let set = ReferenceSet::build(&genomes, params);
+    for (name, mapper) in set.names().iter().zip(set.mappers()) {
+        eprintln!(
+            "indexed {name}: {} shard(s), {} entries (largest shard {})",
+            mapper.index().shard_count(),
+            mapper.index().total_entries(),
+            mapper.index().max_shard_entries()
+        );
+    }
 
     let mut records = Vec::new();
     let mut unmapped = 0usize;
     for read in &reads {
-        match mapper.map(&read.seq).mapping {
-            Some(m) => records.push(PafRecord::from_mapping(
+        match set.map(&read.seq).best {
+            Some(m) => records.push(PafRecord::from_set_mapping(
                 format!("read{}", read.id),
                 read.len(),
-                genome.name(),
-                genome.len(),
+                &set,
                 &m,
             )),
             None => unmapped += 1,
@@ -329,21 +352,85 @@ fn er_from(parsed: &Parsed) -> Result<ErMode, String> {
     }
 }
 
+/// One `run` `--reference` spec, parsed into a synthetic extra reference:
+/// `name=ID,len=N[,seed=S]`. Every spec becomes one additional pan-genome
+/// reference mapped alongside the profile's own.
+fn parse_reference_spec(spec: &str, index: usize) -> Result<Arc<Genome>, String> {
+    let mut name = None;
+    let mut len = None;
+    let mut seed = None;
+    for part in spec.split(',') {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--reference part {part:?} is not key=value (in {spec:?})"))?;
+        match key {
+            "name" => name = Some(value.to_string()),
+            "len" => {
+                len = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("--reference {spec:?}: invalid len {value:?}"))?,
+                )
+            }
+            "seed" => {
+                seed = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("--reference {spec:?}: invalid seed {value:?}"))?,
+                )
+            }
+            other => {
+                return Err(format!(
+                    "--reference {spec:?}: unknown key {other:?} (use name, len, seed)"
+                ))
+            }
+        }
+    }
+    let len = len.ok_or_else(|| format!("--reference {spec:?} needs len="))?;
+    if len == 0 {
+        return Err(format!("--reference {spec:?}: len must be positive"));
+    }
+    Ok(Arc::new(
+        GenomeBuilder::new(len)
+            .seed(seed.unwrap_or(1_000 + index as u64))
+            .name(name.unwrap_or_else(|| format!("ref{index}")))
+            .build(),
+    ))
+}
+
+fn extra_references_from(parsed: &Parsed) -> Result<Vec<Arc<Genome>>, String> {
+    opt_all(parsed, "reference")
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| parse_reference_spec(spec, i))
+        .collect()
+}
+
 fn cmd_run(parsed: &Parsed) -> Result<(), String> {
     let profile = profile_from(parsed)?;
     let er = er_from(parsed)?;
     let shards = shards_from(parsed)?;
     let (fault_policy, explicit_fault) = fault_policy_from(parsed)?;
+    let extra_references = extra_references_from(parsed)?;
     println!(
         "running GenPIP ({:?}) on {} ({} index shard(s))…",
         er,
         profile.name,
         shards.resolve(profile.genome_len)
     );
+    if !extra_references.is_empty() {
+        let names: Vec<&str> = extra_references.iter().map(|g| g.name()).collect();
+        println!(
+            "pan-genome: mapping against {} + {}",
+            profile.name,
+            names.join(" + ")
+        );
+    }
     let dataset = profile.generate();
     let config = GenPipConfig::for_dataset(&profile)
         .with_shards(shards)
-        .with_fault_policy(fault_policy);
+        .with_fault_policy(fault_policy)
+        .with_extra_references(extra_references);
     let mut reads = Vec::new();
     Session::new(config.clone())
         .flow(Flow::GenPip(er))

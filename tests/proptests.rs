@@ -96,10 +96,10 @@ fn chaining_is_batch_order_invariant() {
         // Build a colinear anchor walk; feeding it in any chunking must give
         // the same best chain score.
         let mut anchors = Vec::new();
-        let (mut q, mut r) = (0u32, 1000u32);
+        let (mut q, mut r) = (0u64, 1000u64);
         for _ in 0..n {
             anchors.push(Anchor { qpos: q, rpos: r });
-            let s = rng.random_range(1..60u32);
+            let s = rng.random_range(1..60u64);
             q += s;
             r += s;
         }
@@ -120,8 +120,8 @@ fn chain_score_is_bounded_by_k_per_anchor() {
         let n = rng.random_range(1..60usize);
         let anchors: Vec<Anchor> = (0..n)
             .map(|_| Anchor {
-                qpos: rng.random_range(0..5_000u32),
-                rpos: rng.random_range(0..5_000u32),
+                qpos: rng.random_range(0..5_000u64),
+                rpos: rng.random_range(0..5_000u64),
             })
             .collect();
         let mut chainer = IncrementalChainer::new(ChainParams::for_k(15));
