@@ -12,7 +12,9 @@
 //! pipeline (one `Session` source) at 1/2/4 worker threads with a
 //! serial-vs-parallel bit-identity check, the streaming executor (a
 //! `Session` over a lazy `StreamingSimulator` source) across worker/queue
-//! settings with a streaming-vs-batch bit-identity check, the
+//! settings with a streaming-vs-batch bit-identity check, on-disk GSC
+//! container replay (pack throughput plus the file read-path tax vs the
+//! in-memory source, bit-identity asserted), the
 //! multi-source `Session` engine (1 vs 2 fair-share-interleaved sources
 //! over one worker pool) with a per-source-vs-solo bit-identity check,
 //! and the *live* session control plane: mid-run attach/detach overhead
@@ -35,6 +37,7 @@ use genpip_core::stream::{StreamEvent, StreamOptions};
 use genpip_core::{GenPipConfig, Parallelism};
 use genpip_datasets::{DatasetProfile, FaultInjector, SimulatedDataset, StreamingSimulator};
 use genpip_genomics::GenomeBuilder;
+use genpip_io::{pack_source, GscReadSource};
 use genpip_mapping::{
     minimizers_into, Anchor, ChainParams, IncrementalChainer, Mapper, MapperParams,
     MinimizerScratch, ReferenceSet, SeedBatch, SeedScratch, Shards,
@@ -482,6 +485,109 @@ fn main() {
     assert!(
         streaming_matches_batch,
         "streaming pipeline diverged from batch output"
+    );
+
+    // --- File streaming: on-disk GSC container replay vs in-memory source ---
+    // Packs the bench dataset into a GSC container once (pack throughput is
+    // its own row), then replays the file through the same session the
+    // in-memory rows above used. The file rows time the whole read path —
+    // open, per-record decode, checksum verification — and report the tax
+    // against the equivalent in-memory run, with the headline property
+    // asserted: file-backed streaming is bit-identical to the batch
+    // reference at every worker count.
+    println!("\n=== file streaming bench (GSC container read path) ===");
+    let mut file_rows = Vec::new();
+    let mut file_streaming_matches_memory = true;
+    {
+        let gsc_path =
+            std::env::temp_dir().join(format!("genpip-bench-{}.gsc", std::process::id()));
+        let (packed, pack_seconds) = time_once(|| {
+            let mut source = StreamingSimulator::new(&dataset.profile);
+            pack_source(&gsc_path, &mut source).expect("pack bench container")
+        });
+        println!(
+            "pack: {pack_seconds:.3} s  {:>8.1} reads/s  {} bytes ({:.1} MB/s)",
+            packed.reads as f64 / pack_seconds,
+            packed.file_bytes,
+            packed.file_bytes as f64 / pack_seconds / 1e6
+        );
+        file_rows.push(Json::obj([
+            ("case", Json::Str("pack".into())),
+            ("seconds", Json::Num(pack_seconds)),
+            ("reads_per_s", Json::Num(packed.reads as f64 / pack_seconds)),
+            ("file_bytes", Json::Num(packed.file_bytes as f64)),
+            (
+                "bytes_per_s",
+                Json::Num(packed.file_bytes as f64 / pack_seconds),
+            ),
+        ]));
+        for workers in [1usize, 4] {
+            let config =
+                GenPipConfig::for_dataset(&dataset.profile).with_parallelism(if workers == 1 {
+                    Parallelism::Serial
+                } else {
+                    Parallelism::Threads(workers)
+                });
+            let opts = StreamOptions {
+                queue_capacity: 8,
+                ..StreamOptions::default()
+            };
+            let run_from = |label: &str, file_backed: bool| {
+                let mut reads = Vec::new();
+                let (_, seconds) = time_once(|| {
+                    let session = Session::new(config.clone())
+                        .flow(Flow::GenPip(ErMode::Full))
+                        .options(opts);
+                    let session = if file_backed {
+                        session.source(
+                            label,
+                            GscReadSource::open(&gsc_path).expect("open bench container"),
+                        )
+                    } else {
+                        session.source(label, StreamingSimulator::new(&dataset.profile))
+                    };
+                    session
+                        .sink(label, |event| {
+                            if let StreamEvent::Read(run) = event {
+                                reads.push(run);
+                            }
+                        })
+                        .run()
+                        .expect("bench session inputs are valid")
+                });
+                (reads, seconds)
+            };
+            let (memory_reads, memory_seconds) = run_from("memory", false);
+            let (file_reads, file_seconds) = run_from("file", true);
+            file_streaming_matches_memory &=
+                &file_reads == batch_reference && memory_reads == file_reads;
+            println!(
+                "threads {workers}: file {file_seconds:.3} s  {:>8.1} reads/s  \
+                 (memory {memory_seconds:.3} s, file tax {:+.1}%)",
+                file_reads.len() as f64 / file_seconds,
+                (file_seconds / memory_seconds - 1.0) * 100.0
+            );
+            file_rows.push(Json::obj([
+                ("case", Json::Str(format!("replay_threads_{workers}"))),
+                ("threads", Json::Num(workers as f64)),
+                ("seconds", Json::Num(file_seconds)),
+                (
+                    "reads_per_s",
+                    Json::Num(file_reads.len() as f64 / file_seconds),
+                ),
+                ("memory_seconds", Json::Num(memory_seconds)),
+                (
+                    "overhead_vs_memory",
+                    Json::Num(file_seconds / memory_seconds - 1.0),
+                ),
+            ]));
+        }
+        std::fs::remove_file(&gsc_path).ok();
+    }
+    println!("file-backed streaming bit-identical to memory: {file_streaming_matches_memory}");
+    assert!(
+        file_streaming_matches_memory,
+        "GSC container replay diverged from the in-memory source"
     );
 
     // --- Multi-source session: 1 vs 2 interleaved sources, one pool ---
@@ -989,6 +1095,11 @@ fn main() {
         (
             "streaming_matches_batch",
             Json::Bool(streaming_matches_batch),
+        ),
+        ("file_streaming", Json::Arr(file_rows)),
+        (
+            "file_streaming_matches_memory",
+            Json::Bool(file_streaming_matches_memory),
         ),
         ("sharded_seeding", Json::Arr(sharded_rows)),
         (

@@ -157,8 +157,17 @@ pub struct GenPipConfig {
 impl GenPipConfig {
     /// The paper's operating point for a dataset profile.
     pub fn for_dataset(profile: &DatasetProfile) -> GenPipConfig {
+        GenPipConfig::for_reference_name(profile.name)
+    }
+
+    /// The paper's operating point, keyed by reference name alone — for
+    /// sources whose dataset profile is not available, such as an on-disk
+    /// signal container that only embeds its reference genome. Matches
+    /// [`GenPipConfig::for_dataset`] for every built-in profile, so a file
+    /// replay of a simulated dataset runs the same `N_qs`/`N_cm`.
+    pub fn for_reference_name(name: &str) -> GenPipConfig {
         let mut config = GenPipConfig::default();
-        match profile.name {
+        match name {
             "human" => {
                 config.n_qs = 5;
                 config.n_cm = 3;

@@ -114,9 +114,10 @@ use crate::stream::{
     FaultKind, LatencyStats, ProgressSnapshot, ReadFault, StreamEvent, StreamOptions, StreamSummary,
 };
 use genpip_datasets::{ReadSource, SourceId};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, Once, RwLock};
 
@@ -640,6 +641,8 @@ pub enum SessionError {
     /// The control-plane command arrived when no session was running on
     /// this control (before any run, or after the run returned).
     SessionClosed,
+    /// A checkpoint cadence of 0 reads would never fire.
+    ZeroCheckpointInterval,
 }
 
 impl fmt::Display for SessionError {
@@ -698,6 +701,9 @@ impl fmt::Display for SessionError {
             }
             SessionError::SessionClosed => {
                 write!(f, "no session is running on this control")
+            }
+            SessionError::ZeroCheckpointInterval => {
+                write!(f, "checkpoint cadence must be at least 1 read (got 0)")
             }
         }
     }
@@ -760,8 +766,49 @@ impl SessionReport {
     }
 }
 
+/// One source's share of a [`SessionCheckpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceCheckpoint {
+    /// The id the source was registered (or attached) under.
+    pub id: SourceId,
+    /// The source's outcome counters at the cut. Emission is in-order per
+    /// source, so `outcomes.reads_emitted` is exactly the length of the
+    /// source's fully-delivered prefix — the read index to resume a
+    /// seekable source at.
+    pub outcomes: ProgressSnapshot,
+    /// `true` once the source has retired (ran dry, or was detached).
+    pub done: bool,
+}
+
+/// A consistent cut of a running session, handed to the sink registered
+/// with [`Session::checkpoint`].
+///
+/// Checkpoints are taken on the emitting thread between in-order result
+/// deliveries, so every counter refers to results that have already passed
+/// through the sinks — nothing in a checkpoint is ahead of what a sink
+/// (e.g. a FASTQ writer) has seen. Persisting one (see
+/// `genpip_io::CheckpointFile`) is enough to restart a killed run with a
+/// byte-identical output suffix, provided the sources can be reopened at
+/// their recorded offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionCheckpoint {
+    /// Per-source state, in registration order (attached sources included).
+    pub sources: Vec<SourceCheckpoint>,
+    /// Aggregate outcome counters over all sources.
+    pub outcomes: ProgressSnapshot,
+    /// Fault-retry attempts consumed so far across all sources.
+    pub retried: usize,
+    /// `false` for periodic mid-run checkpoints; `true` for the final
+    /// checkpoint emitted after the session finishes (including a
+    /// [`SessionControl::drain`]).
+    pub complete: bool,
+}
+
 /// A boxed per-source event sink.
 type BoxedSink<'a> = Box<dyn FnMut(StreamEvent) + 'a>;
+
+/// A boxed checkpoint sink with its cadence (in emitted reads).
+type BoxedCheckpointSink<'a> = Box<dyn FnMut(&SessionCheckpoint) + 'a>;
 
 struct SourceSlot<'a> {
     id: SourceId,
@@ -788,6 +835,8 @@ pub struct Session<'a> {
     /// Sinks attached before their source was registered — matched up at
     /// [`Session::run`], so builder call order doesn't matter.
     pending_sinks: Vec<(SourceId, BoxedSink<'a>)>,
+    /// Checkpoint cadence and sink, if checkpointing was requested.
+    checkpoint: Option<(usize, BoxedCheckpointSink<'a>)>,
 }
 
 impl<'a> Session<'a> {
@@ -803,6 +852,7 @@ impl<'a> Session<'a> {
             granularity: Granularity::Chunk,
             slots: Vec::new(),
             pending_sinks: Vec::new(),
+            checkpoint: None,
         }
     }
 
@@ -893,6 +943,25 @@ impl<'a> Session<'a> {
         self
     }
 
+    /// Registers a checkpoint sink, invoked on the calling thread with a
+    /// [`SessionCheckpoint`] every `every` emitted reads (counted across
+    /// all sources) and once more — with
+    /// [`SessionCheckpoint::complete`] set — after the session finishes,
+    /// whether it ran dry or was drained via [`SessionControl::drain`].
+    ///
+    /// Checkpoints are cut between in-order emissions, so the counters
+    /// never run ahead of what the sinks have seen; a sink that persists
+    /// them (plus its own output offsets) makes the run resumable. A later
+    /// call replaces an earlier one.
+    pub fn checkpoint(
+        mut self,
+        every: usize,
+        sink: impl FnMut(&SessionCheckpoint) + 'a,
+    ) -> Session<'a> {
+        self.checkpoint = Some((every, Box::new(sink)));
+        self
+    }
+
     /// Moves pending sinks onto their slots (later attachments win), then
     /// reports the first sink whose source never appeared.
     fn attach_sinks(&mut self) -> Result<(), SessionError> {
@@ -917,6 +986,9 @@ impl<'a> Session<'a> {
         }
         if self.slots.is_empty() {
             return Err(SessionError::NoSources);
+        }
+        if matches!(self.checkpoint, Some((0, _))) {
+            return Err(SessionError::ZeroCheckpointInterval);
         }
         if self.slots.len() > self.options.max_sources {
             return Err(SessionError::TooManySources {
@@ -1019,6 +1091,7 @@ impl<'a> Session<'a> {
             options,
             granularity,
             slots,
+            checkpoint,
             ..
         } = self;
         let n = slots.len();
@@ -1089,6 +1162,14 @@ impl<'a> Session<'a> {
         let mut outcomes = ProgressSnapshot::default();
         let mut totals = WorkloadTotals::default();
 
+        // Checkpoint plumbing. The sink is shared (Rc) between the emit
+        // closure (periodic cuts) and the post-run code (the final,
+        // `complete` cut) — both run on the calling thread. The retry
+        // counter is the one number the emitter can't see locally (retries
+        // happen on the dispatcher), so it crosses over atomically.
+        let checkpoint = checkpoint.map(|(every, sink)| (every, Rc::new(RefCell::new(sink))));
+        let retried_live = Arc::new(AtomicUsize::new(0));
+
         /// What a retired chain hands the emitter: a normal result or a
         /// quarantined fault, both delivered in-order through the sink.
         /// `Run` dwarfs `Faulted` but is also the overwhelmingly common
@@ -1109,6 +1190,13 @@ impl<'a> Session<'a> {
             let outcomes = &mut outcomes;
             let totals = &mut totals;
             let mut sinks = sinks;
+            let emit_checkpoint = checkpoint
+                .as_ref()
+                .map(|(every, sink)| (*every, Rc::clone(sink)));
+            let emit_retried = Arc::clone(&retried_live);
+            let retry_retried = Arc::clone(&retried_live);
+            let mut checkpoint_emitted = 0usize;
+            let mut lane_done: Vec<bool> = vec![false; n];
             session_engine(
                 EngineConfig {
                     workers,
@@ -1146,7 +1234,10 @@ impl<'a> Session<'a> {
                         },
                     }
                 },
-                |_lane, chain: ReadChain| chain.retry(),
+                move |_lane, chain: ReadChain| {
+                    retry_retried.fetch_add(1, Ordering::Relaxed);
+                    chain.retry()
+                },
                 |_lane, chain: ReadChain, info: FaultInfo| ChainOutput::Failed {
                     id: chain.read_id(),
                     fault: ReadFault {
@@ -1178,6 +1269,10 @@ impl<'a> Session<'a> {
                             }
                         }
                         LaneEvent::Detached(lane_stats) => {
+                            if lane_done.len() <= lane {
+                                lane_done.resize(lane + 1, false);
+                            }
+                            lane_done[lane] = true;
                             // The lane's last output has been emitted:
                             // finalize and deliver its summary.
                             let summary = StreamSummary {
@@ -1223,9 +1318,40 @@ impl<'a> Session<'a> {
                                     sink(StreamEvent::Progress(per_outcomes[lane]));
                                 }
                             }
-                            let mut inner = emit_control.inner.lock().expect("control poisoned");
-                            if let Some(stats) = inner.stats.sources.get_mut(lane) {
-                                stats.outcomes = per_outcomes[lane];
+                            {
+                                let mut inner =
+                                    emit_control.inner.lock().expect("control poisoned");
+                                if let Some(stats) = inner.stats.sources.get_mut(lane) {
+                                    stats.outcomes = per_outcomes[lane];
+                                }
+                            }
+                            if let Some((every, sink)) = &emit_checkpoint {
+                                checkpoint_emitted += 1;
+                                if checkpoint_emitted.is_multiple_of(*every) {
+                                    let ids = emit_registry
+                                        .lock()
+                                        .expect("registry poisoned")
+                                        .ids
+                                        .clone();
+                                    let cut = SessionCheckpoint {
+                                        sources: ids
+                                            .into_iter()
+                                            .enumerate()
+                                            .map(|(s, id)| SourceCheckpoint {
+                                                id,
+                                                outcomes: per_outcomes
+                                                    .get(s)
+                                                    .copied()
+                                                    .unwrap_or_default(),
+                                                done: lane_done.get(s).copied().unwrap_or(false),
+                                            })
+                                            .collect(),
+                                        outcomes: *outcomes,
+                                        retried: emit_retried.load(Ordering::Relaxed),
+                                        complete: false,
+                                    };
+                                    (sink.borrow_mut())(&cut);
+                                }
                             }
                         }
                     }
@@ -1238,6 +1364,27 @@ impl<'a> Session<'a> {
         let ids: Vec<SourceId> = registry.lock().expect("registry poisoned").ids.clone();
         per_outcomes.resize_with(ids.len(), Default::default);
         per_totals.resize_with(ids.len(), Default::default);
+        // The final checkpoint: every lane has retired (run dry, detached,
+        // or drained), all results are through the sinks, and the engine's
+        // exact retry total is in hand.
+        if let Some((_, sink)) = &checkpoint {
+            let cut = SessionCheckpoint {
+                sources: ids
+                    .iter()
+                    .cloned()
+                    .enumerate()
+                    .map(|(s, id)| SourceCheckpoint {
+                        id,
+                        outcomes: per_outcomes[s],
+                        done: true,
+                    })
+                    .collect(),
+                outcomes,
+                retried: stats.retried,
+                complete: true,
+            };
+            (sink.borrow_mut())(&cut);
+        }
         let sources = ids
             .into_iter()
             .enumerate()
@@ -2660,6 +2807,77 @@ mod tests {
             .run()
             .unwrap_err();
         assert_eq!(err, SessionError::ZeroRejectBacklog);
+    }
+
+    #[test]
+    fn zero_checkpoint_interval_is_rejected() {
+        let err = tiny_session().checkpoint(0, |_| {}).run().unwrap_err();
+        assert_eq!(err, SessionError::ZeroCheckpointInterval);
+    }
+
+    #[test]
+    fn checkpoints_cut_consistent_prefixes() {
+        let profile = DatasetProfile::ecoli().scaled(0.03);
+        let cuts: Rc<RefCell<Vec<SessionCheckpoint>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink_cuts = Rc::clone(&cuts);
+        let report = Session::new(GenPipConfig::for_dataset(&profile))
+            .source("a", StreamingSimulator::new(&profile))
+            .checkpoint(5, move |cut| sink_cuts.borrow_mut().push(cut.clone()))
+            .run()
+            .expect("valid session");
+        let cuts = cuts.borrow();
+        let (finals, mids): (Vec<_>, Vec<_>) = cuts.iter().partition(|c| c.complete);
+        assert_eq!(finals.len(), 1, "exactly one final checkpoint");
+        assert!(report.outcomes.reads_emitted / 5 >= 2, "cadence exercised");
+        assert_eq!(mids.len(), report.outcomes.reads_emitted / 5);
+        let mut last = 0;
+        for (i, cut) in mids.iter().enumerate() {
+            assert_eq!(cut.outcomes.reads_emitted, 5 * (i + 1));
+            assert_eq!(cut.sources.len(), 1);
+            assert_eq!(cut.sources[0].id.as_str(), "a");
+            // Single source: the aggregate is the source's own prefix.
+            assert_eq!(cut.sources[0].outcomes, cut.outcomes);
+            assert!(cut.outcomes.reads_emitted > last);
+            last = cut.outcomes.reads_emitted;
+        }
+        let fin = finals[0];
+        assert_eq!(fin.outcomes, report.outcomes);
+        assert_eq!(fin.retried, report.retried);
+        assert!(fin.sources[0].done);
+    }
+
+    #[test]
+    fn drain_emits_a_final_complete_checkpoint() {
+        let profile = DatasetProfile::ecoli().scaled(0.03);
+        let control = SessionControl::new();
+        let drainer = control.clone();
+        let seen = Rc::new(Cell::new(0usize));
+        let sink_seen = Rc::clone(&seen);
+        let cuts: Rc<RefCell<Vec<SessionCheckpoint>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink_cuts = Rc::clone(&cuts);
+        let report = Session::new(GenPipConfig::for_dataset(&profile))
+            .source("a", StreamingSimulator::new(&profile))
+            .sink("a", move |event| {
+                if matches!(event, StreamEvent::Read(_) | StreamEvent::Failed { .. }) {
+                    sink_seen.set(sink_seen.get() + 1);
+                    if sink_seen.get() == 7 {
+                        drainer.drain();
+                    }
+                }
+            })
+            .checkpoint(3, move |cut| sink_cuts.borrow_mut().push(cut.clone()))
+            .run_with_control(&control)
+            .expect("valid session");
+        assert!(
+            report.outcomes.reads_emitted < DatasetProfile::ecoli().scaled(0.03).n_reads,
+            "drain cut the run short"
+        );
+        let cuts = cuts.borrow();
+        let fin = cuts.last().expect("final checkpoint");
+        assert!(fin.complete);
+        assert_eq!(fin.outcomes, report.outcomes);
+        // The drained prefix is exactly what the sinks saw.
+        assert_eq!(fin.outcomes.reads_emitted, seen.get());
     }
 
     #[test]

@@ -73,8 +73,9 @@ pub mod systems;
 
 pub use config::{FaultPolicy, GenPipConfig, Parallelism};
 pub use engine::{
-    AttachSpec, Flow, Granularity, PendingAttach, PendingDetach, Session, SessionControl,
-    SessionError, SessionReport, SessionStats, SourceConfigIssue, SourceReport, SourceStats,
+    AttachSpec, Flow, Granularity, PendingAttach, PendingDetach, Session, SessionCheckpoint,
+    SessionControl, SessionError, SessionReport, SessionStats, SourceCheckpoint, SourceConfigIssue,
+    SourceReport, SourceStats,
 };
 pub use genpip_datasets::SourceId;
 pub use genpip_mapping::Shards;

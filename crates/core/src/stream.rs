@@ -398,6 +398,31 @@ impl<W: io::Write> FastqSink<W> {
         self.error.is_some()
     }
 
+    /// Flushes buffered records to the underlying writer — the
+    /// checkpoint-time operation. (Dropping the sink also flushes,
+    /// best-effort, via [`FastqWriter`]'s drop.)
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the flush.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Flushes, then reports the underlying writer's byte position — what a
+    /// checkpoint records so a resumed run can truncate the file back to a
+    /// record boundary before appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the flush or the seek.
+    pub fn position(&mut self) -> io::Result<u64>
+    where
+        W: io::Seek,
+    {
+        self.writer.position()
+    }
+
     /// Flushes and returns the record count and the underlying writer, or
     /// the first error hit.
     pub fn finish(self) -> io::Result<(usize, W)> {

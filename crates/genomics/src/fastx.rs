@@ -117,15 +117,29 @@ pub fn read_fasta<R: BufRead>(r: R) -> Result<Genome, ParseFastxError> {
 ///
 /// Records use `@<name>` headers and Sanger-encoded qualities and
 /// round-trip through [`read_fastq`].
+///
+/// Dropping the writer flushes it (best-effort, errors swallowed), so a
+/// drained or checkpointed streaming run never leaves a partially buffered
+/// final record behind; call [`FastqWriter::finish`] to observe flush
+/// errors instead.
 pub struct FastqWriter<W: Write> {
-    inner: W,
+    /// `Some` until [`FastqWriter::finish`] takes the writer out; the
+    /// `Option` exists so `Drop` and `finish` can coexist.
+    inner: Option<W>,
     records: usize,
 }
 
 impl<W: Write> FastqWriter<W> {
     /// Wraps a writer (hand it a `BufWriter` for file output).
     pub fn new(inner: W) -> FastqWriter<W> {
-        FastqWriter { inner, records: 0 }
+        FastqWriter {
+            inner: Some(inner),
+            records: 0,
+        }
+    }
+
+    fn writer(&mut self) -> &mut W {
+        self.inner.as_mut().expect("writer taken by finish")
     }
 
     /// Appends one record.
@@ -135,11 +149,12 @@ impl<W: Write> FastqWriter<W> {
     /// Returns any I/O error from the underlying writer.
     pub fn write_record(&mut self, name: &str, seq: &DnaSeq, quals: &[Phred]) -> io::Result<()> {
         debug_assert_eq!(seq.len(), quals.len(), "one quality per base");
-        writeln!(self.inner, "@{name}")?;
-        writeln!(self.inner, "{seq}")?;
-        writeln!(self.inner, "+")?;
         let quals: String = quals.iter().map(|q| q.to_fastq_char()).collect();
-        writeln!(self.inner, "{quals}")?;
+        let w = self.writer();
+        writeln!(w, "@{name}")?;
+        writeln!(w, "{seq}")?;
+        writeln!(w, "+")?;
+        writeln!(w, "{quals}")?;
         self.records += 1;
         Ok(())
     }
@@ -149,14 +164,52 @@ impl<W: Write> FastqWriter<W> {
         self.records
     }
 
+    /// Flushes buffered records to the underlying writer without consuming
+    /// it — the checkpoint-time operation: after it returns, every record
+    /// written so far is on disk (modulo OS caching).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the flush.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer().flush()
+    }
+
+    /// Flushes, then reports the writer's byte position — the offset a
+    /// resumed run truncates the output file to before appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the flush or the seek.
+    pub fn position(&mut self) -> io::Result<u64>
+    where
+        W: io::Seek,
+    {
+        let w = self.writer();
+        w.flush()?;
+        w.stream_position()
+    }
+
     /// Flushes and returns the underlying writer.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from the flush.
     pub fn finish(mut self) -> io::Result<W> {
-        self.inner.flush()?;
-        Ok(self.inner)
+        let mut inner = self.inner.take().expect("writer taken by finish");
+        inner.flush()?;
+        Ok(inner)
+    }
+}
+
+impl<W: Write> Drop for FastqWriter<W> {
+    /// Best-effort flush so buffered records survive an un-`finish`ed drop
+    /// (e.g. a sink discarded after a drain). Errors are swallowed — use
+    /// [`FastqWriter::finish`] to observe them.
+    fn drop(&mut self) {
+        if let Some(w) = self.inner.as_mut() {
+            let _ = w.flush();
+        }
     }
 }
 
@@ -335,6 +388,55 @@ mod tests {
         }
         assert_eq!(incremental.records(), reads.len());
         assert_eq!(incremental.finish().unwrap(), batch);
+    }
+
+    #[test]
+    fn incremental_writer_flushes_on_drop() {
+        // A buffered writer abandoned mid-run (the drained-session case)
+        // must still land every record it accepted on disk.
+        let mut path = std::env::temp_dir();
+        path.push(format!("genpip-fastx-drop-{}.fastq", std::process::id()));
+        let seq: DnaSeq = "ACGTACGT".parse().unwrap();
+        let quals: Vec<Phred> = (0..seq.len()).map(|q| Phred(q as f32)).collect();
+        {
+            let file = std::fs::File::create(&path).unwrap();
+            let mut writer = FastqWriter::new(std::io::BufWriter::new(file));
+            for i in 0..3 {
+                writer
+                    .write_record(&format!("read{i}"), &seq, &quals)
+                    .unwrap();
+            }
+            // Dropped without finish(): the BufWriter still holds the
+            // records unless FastqWriter's drop flushes it first.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = read_fastq(text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 3, "all buffered records reached disk");
+        assert!(text.ends_with('\n'), "no partial final record");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn incremental_writer_reports_flushed_position() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("genpip-fastx-pos-{}.fastq", std::process::id()));
+        let seq: DnaSeq = "ACGT".parse().unwrap();
+        let quals: Vec<Phred> = (0..seq.len()).map(|q| Phred(q as f32)).collect();
+        let file = std::fs::File::create(&path).unwrap();
+        let mut writer = FastqWriter::new(std::io::BufWriter::new(file));
+        writer.write_record("a", &seq, &quals).unwrap();
+        let after_one = writer.position().unwrap();
+        assert_eq!(
+            after_one,
+            std::fs::metadata(&path).unwrap().len(),
+            "position() flushed the record"
+        );
+        writer.write_record("b", &seq, &quals).unwrap();
+        let after_two = writer.position().unwrap();
+        assert!(after_two > after_one);
+        writer.finish().unwrap();
+        assert_eq!(after_two, std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -64,6 +64,44 @@ impl PoreModel {
         }
     }
 
+    /// Rebuilds a model from its raw parts — the deserialization twin of
+    /// [`PoreModel::levels`] / [`PoreModel::event_std`], used by on-disk
+    /// signal containers that embed their chemistry so a file is
+    /// self-describing.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= 6`, `levels.len() == 4^k`, and every level
+    /// and `event_std` is finite (with `event_std > 0`).
+    pub fn from_parts(k: usize, levels: Vec<f32>, event_std: f32) -> PoreModel {
+        assert!((1..=6).contains(&k), "pore model k must be in 1..=6");
+        assert_eq!(
+            levels.len(),
+            1usize << (2 * k),
+            "pore model must carry 4^k levels"
+        );
+        assert!(
+            levels.iter().all(|l| l.is_finite()),
+            "pore model levels must be finite"
+        );
+        assert!(
+            event_std.is_finite() && event_std > 0.0,
+            "event std must be finite and positive"
+        );
+        PoreModel {
+            k,
+            levels,
+            event_std,
+        }
+    }
+
+    /// The full level table, indexed by packed k-mer bits — the
+    /// serialization twin of [`PoreModel::from_parts`].
+    #[inline]
+    pub fn levels(&self) -> &[f32] {
+        &self.levels
+    }
+
     /// Lowest mean current in the table (pA).
     pub const CURRENT_MIN: f32 = 60.0;
     /// Highest mean current in the table (pA).
@@ -228,5 +266,24 @@ mod tests {
     #[should_panic(expected = "k must be in")]
     fn k_zero_rejected() {
         let _ = PoreModel::synthetic(0, 7);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let m = PoreModel::synthetic(3, 7);
+        let rebuilt = PoreModel::from_parts(m.k(), m.levels().to_vec(), m.event_std());
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "4^k levels")]
+    fn from_parts_rejects_wrong_table_size() {
+        let _ = PoreModel::from_parts(3, vec![0.0; 16], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn from_parts_rejects_non_finite_levels() {
+        let _ = PoreModel::from_parts(1, vec![60.0, f32::NAN, 80.0, 90.0], 1.0);
     }
 }

@@ -24,6 +24,11 @@
 //!   detach while the session runs, exercising the control plane
 //!   (`SessionControl::attach`/`detach`/`drain`) without a network
 //!   listener. Script steps fire after a given number of emitted reads;
+//!   `attach NAME file=PATH` replays an on-disk GSC container;
+//! * `pack` — export a simulated dataset into an on-disk GSC raw-signal
+//!   container, optionally verifying the round-trip bit-for-bit;
+//! * `inspect` — dump a GSC container's header, layout, and (optionally)
+//!   per-read records, verifying checksums on request;
 //! * `experiment` — regenerate one of the paper's figures/tables.
 
 use genpip::core::engine::{
@@ -37,12 +42,17 @@ use genpip::core::{FaultPolicy, GenPipConfig, Parallelism};
 use genpip::datasets::{DatasetProfile, FaultInjector, ReadSource, StreamingSimulator};
 use genpip::genomics::fastx;
 use genpip::genomics::{Genome, GenomeBuilder};
+use genpip::io::{
+    pack_source, CheckpointFile, FastqMark, GscReadSource, GscReader, GscStatus, SourceMark,
+};
 use genpip::mapping::paf::{write_paf, PafRecord};
 use genpip::mapping::{MapperParams, ReferenceSet, Shards};
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
-use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Seek, SeekFrom};
 use std::process::ExitCode;
+use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 
 fn main() -> ExitCode {
@@ -64,6 +74,8 @@ fn main() -> ExitCode {
         "run" => cmd_run(&opts),
         "stream" => cmd_stream(&opts),
         "serve" => cmd_serve(&opts),
+        "pack" => cmd_pack(&opts),
+        "inspect" => cmd_inspect(&opts),
         "experiment" => cmd_experiment(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -90,10 +102,15 @@ USAGE:
              [--shards <single|auto|N>] [--on-fault <fail|quarantine|retry[:N]>]
              [--reference SPEC]...
   genpip stream [--profile <ecoli|human>] [--scale F] [--er <full|qsr|cp|off>]
-               [--source SPEC]... [--schedule <fair|sequential|priority>]
+               [--source SPEC]... [--signal-in SPEC]...
+               [--schedule <fair|sequential|priority>]
                [--queue N] [--progress N] [--threads <serial|auto|N>]
                [--shards <single|auto|N>] [--fastq-out PATH]
                [--on-fault <fail|quarantine|retry[:N]>] [--inject-faults RATE]
+               [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
+               [--drain-after N]
+  genpip pack [--profile <ecoli|human>] [--scale F] --out <file.gsc> [--verify]
+  genpip inspect <file.gsc> [--reads N] [--verify]
   genpip serve --script <FILE> [--er <full|qsr|cp|off>]
                [--schedule <fair|sequential|priority|deadline>]
                [--queue N] [--threads <serial|auto|N>] [--shards <single|auto|N>]
@@ -118,6 +135,29 @@ OPTIONS:
               scale=F (default: --scale), name=ID (default: profileN),
               weight=N (priority schedule share, default 1).
               Without --source, one source is built from --profile/--scale.
+  --signal-in one on-disk GSC signal container streamed as a read source,
+              repeatable (after every --source). SPEC is a path followed by
+              optional comma-joined key=value pairs:
+              PATH[,name=ID][,offset=K][,weight=N]. offset=K starts the
+              replay at read index K; output is bit-identical to streaming
+              the same dataset from memory
+  --checkpoint
+              `stream` writes a resumable checkpoint to PATH (atomically,
+              via rename) every --checkpoint-every reads and once more when
+              the session finishes. Checkpoints record per-source read
+              offsets and, with --fastq-out, the flushed FASTQ byte
+              position of every output file
+  --checkpoint-every
+              checkpoint cadence in emitted reads (default 25)
+  --resume    restart a `stream` run from a checkpoint written by
+              --checkpoint. Sources must be --signal-in containers (file
+              sources are seekable; simulated ones are not); FASTQ outputs
+              are truncated to the recorded byte position and appended to,
+              so the resumed file is byte-identical to an uninterrupted run
+  --drain-after
+              drain the session (stop intake, finish in-flight reads) once
+              N reads have been emitted — a deterministic stand-in for an
+              interrupted run when testing --checkpoint/--resume
   --schedule  how `stream` interleaves its sources over the one worker
               pool: fair (round-robin, default), sequential (drain in
               registration order), priority (weighted by each source's
@@ -139,9 +179,16 @@ OPTIONS:
               corrupt this fraction of reads in every `stream` source
               (deterministic, seeded) — a fault-tolerance testing aid.
               Implies quarantine when --on-fault is not given
+  --out       for `pack`: the GSC container path to write
+  --verify    for `pack`: re-open the container after writing, check every
+              checksum, and compare each decoded read bit-for-bit against a
+              fresh simulation of the profile. For `inspect`: check every
+              record checksum
+  --reads     for `inspect`: also dump the first N per-read records
   --script    `serve` driver script, one step per line (# starts a comment):
                 attach NAME profile=<ecoli|human>[,scale=F][,weight=N][,target=T]
-                at COUNT attach NAME profile=...
+                attach NAME file=PATH[,offset=K][,weight=N][,target=T]
+                at COUNT attach NAME profile=...|file=...
                 at COUNT detach NAME
                 at COUNT drain
               Steps without `at` register before the run; `at COUNT` steps
@@ -157,16 +204,23 @@ OPTIONS:
 /// take the last occurrence.
 type Options = HashMap<String, Vec<String>>;
 
+/// Options that are bare flags: present or absent, never consuming a value.
+const FLAG_OPTIONS: &[&str] = &["verify"];
+
 fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
     let mut opts: Options = HashMap::new();
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if let Some(key) = arg.strip_prefix("--") {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("option --{key} needs a value"))?;
-            opts.entry(key.to_string()).or_default().push(value.clone());
+            let value = if FLAG_OPTIONS.contains(&key) {
+                "true".to_string()
+            } else {
+                it.next()
+                    .ok_or_else(|| format!("option --{key} needs a value"))?
+                    .clone()
+            };
+            opts.entry(key.to_string()).or_default().push(value);
         } else {
             positional.push(arg.clone());
         }
@@ -239,6 +293,110 @@ fn cmd_simulate(parsed: &Parsed) -> Result<(), String> {
         "wrote {fasta_path} (reference) and {fastq_path} ({} basecalled reads)",
         reads.len()
     );
+    Ok(())
+}
+
+fn cmd_pack(parsed: &Parsed) -> Result<(), String> {
+    let profile = profile_from(parsed)?;
+    let out = opt(parsed, "out").ok_or("pack needs --out <file.gsc>")?;
+    println!(
+        "packing {} ({} reads, {} bp genome) into {out}…",
+        profile.name, profile.n_reads, profile.genome_len
+    );
+    let mut source = StreamingSimulator::new(&profile);
+    let summary = pack_source(out, &mut source).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {} reads, {} record bytes ({} file bytes)",
+        summary.reads, summary.data_bytes, summary.file_bytes
+    );
+    if opt(parsed, "verify").is_some() {
+        let mut reader = GscReader::open(out).map_err(|e| format!("{out}: {e}"))?;
+        let checked = reader
+            .verify()
+            .map_err(|e| format!("{out}: verification failed: {e}"))?;
+        reader
+            .seek_to(0)
+            .map_err(|e| format!("{out}: verification failed: {e}"))?;
+        let mut fresh = StreamingSimulator::new(&profile);
+        let mut index = 0usize;
+        loop {
+            let stored = reader
+                .next_record()
+                .map_err(|e| format!("{out}: verification failed: {e}"))?;
+            let simulated = fresh.next_read();
+            match (stored, simulated) {
+                (None, None) => break,
+                (Some(stored), Some(simulated)) if stored == simulated => index += 1,
+                _ => {
+                    return Err(format!(
+                        "{out}: verification failed: read {index} does not round-trip \
+                         bit-identically"
+                    ))
+                }
+            }
+        }
+        println!("verified: {checked} reads round-trip bit-identically");
+    }
+    Ok(())
+}
+
+fn cmd_inspect(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed
+        .1
+        .first()
+        .ok_or("inspect needs a container path (genpip inspect <file.gsc>)")?;
+    let mut reader = GscReader::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let model = reader.pore_model();
+    println!("container:  {path}");
+    println!(
+        "reference:  {} ({} bp, 2-bit packed)",
+        reader.reference().name(),
+        reader.reference().len()
+    );
+    println!(
+        "pore model: k={} ({} levels), event σ {:.4}, mean dwell {:.3} samples/base",
+        model.k(),
+        model.states(),
+        model.event_std(),
+        reader.mean_dwell()
+    );
+    println!(
+        "layout:     {} header bytes, {} record bytes, {} file bytes",
+        reader.header_bytes(),
+        reader.data_bytes(),
+        reader.file_bytes()
+    );
+    let offsets = reader.offsets();
+    match (offsets.first(), offsets.last()) {
+        (Some(first), Some(last)) => println!(
+            "records:    {} (offset table spans {first}..{last})",
+            reader.read_count()
+        ),
+        _ => println!("records:    0"),
+    }
+    let dump: usize = match opt(parsed, "reads") {
+        None => 0,
+        Some(s) => s.parse().map_err(|_| format!("invalid --reads {s:?}"))?,
+    };
+    for index in 0..dump.min(reader.read_count()) {
+        let read = reader
+            .read_at(index)
+            .map_err(|e| format!("{path}: read {index}: {e}"))?;
+        println!(
+            "  read {:>4}  id {:>5}  {:>7} samples  {:>6} bases  {:?}",
+            index,
+            read.id,
+            read.signal.samples.len(),
+            read.signal.truth.len(),
+            read.origin,
+        );
+    }
+    if opt(parsed, "verify").is_some() {
+        let checked = reader
+            .verify()
+            .map_err(|e| format!("{path}: verification failed: {e}"))?;
+        println!("verified:   {checked} record checksums OK");
+    }
     Ok(())
 }
 
@@ -485,11 +643,21 @@ fn cmd_run(parsed: &Parsed) -> Result<(), String> {
     fault_exit(failed, explicit_fault && fault_policy != FaultPolicy::Fail)
 }
 
-/// One `--source` spec, parsed: `profile=<ecoli|human>[,scale=F][,name=ID]
-/// [,weight=N]`.
+/// Where a `stream` source's reads come from.
+enum SourceKind {
+    /// Simulated on the fly from a dataset profile (`--source`).
+    Simulated(DatasetProfile),
+    /// Replayed from an on-disk GSC signal container (`--signal-in`),
+    /// starting at read index `offset`.
+    Container { path: String, offset: usize },
+}
+
+/// One `--source` spec (`profile=<ecoli|human>[,scale=F][,name=ID]
+/// [,weight=N]`) or `--signal-in` spec (`PATH[,name=ID][,offset=K]
+/// [,weight=N]`), parsed.
 struct SourceSpec {
     name: String,
-    profile: DatasetProfile,
+    kind: SourceKind,
     weight: u32,
 }
 
@@ -523,7 +691,59 @@ fn parse_source_spec(spec: &str, index: usize, default_scale: f64) -> Result<Sou
     let profile = profile_by_name(profile_name)?.scaled(scale);
     Ok(SourceSpec {
         name: name.unwrap_or_else(|| format!("{profile_name}{index}")),
-        profile,
+        kind: SourceKind::Simulated(profile),
+        weight,
+    })
+}
+
+/// One `--signal-in` spec: a GSC container path, then optional comma-joined
+/// `name=`/`offset=`/`weight=` pairs. The default name is the file stem.
+fn parse_signal_spec(spec: &str, index: usize) -> Result<SourceSpec, String> {
+    let mut parts = spec.split(',');
+    let path = parts
+        .next()
+        .filter(|p| !p.is_empty() && !p.contains('='))
+        .ok_or_else(|| format!("--signal-in {spec:?} must start with a container path"))?;
+    let mut name = None;
+    let mut offset = 0usize;
+    let mut weight = 1u32;
+    for part in parts {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--signal-in part {part:?} is not key=value (in {spec:?})"))?;
+        match key {
+            "name" => name = Some(value.to_string()),
+            "offset" => {
+                offset = value
+                    .parse()
+                    .map_err(|_| format!("--signal-in {spec:?}: invalid offset {value:?}"))?
+            }
+            "weight" => {
+                weight = value
+                    .parse()
+                    .map_err(|_| format!("--signal-in {spec:?}: invalid weight {value:?}"))?
+            }
+            other => {
+                return Err(format!(
+                    "--signal-in {spec:?}: unknown key {other:?} \
+                     (use name, offset, weight)"
+                ))
+            }
+        }
+    }
+    let name = name.unwrap_or_else(|| {
+        std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("gsc{index}"))
+    });
+    Ok(SourceSpec {
+        name,
+        kind: SourceKind::Container {
+            path: path.to_string(),
+            offset,
+        },
         weight,
     })
 }
@@ -575,23 +795,27 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
         Some(s) => Parallelism::parse(s).ok_or_else(|| format!("invalid --threads {s:?}"))?,
     };
 
-    // Sources: repeated --source specs, or a single one synthesized from
+    // Sources: repeated --source (simulated) and --signal-in (on-disk GSC
+    // container) specs, or a single simulated one synthesized from
     // --profile/--scale for the classic one-run invocation.
     let default_scale = scale_from(parsed, 0.1)?;
-    let specs: Vec<SourceSpec> = if opt_all(parsed, "source").is_empty() {
+    let mut specs: Vec<SourceSpec> = opt_all(parsed, "source")
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| parse_source_spec(spec, i, default_scale))
+        .collect::<Result<_, _>>()?;
+    let n_sim = specs.len();
+    for (i, spec) in opt_all(parsed, "signal-in").iter().enumerate() {
+        specs.push(parse_signal_spec(spec, n_sim + i)?);
+    }
+    if specs.is_empty() {
         let profile = profile_from(parsed)?;
-        vec![SourceSpec {
+        specs.push(SourceSpec {
             name: profile.name.to_string(),
-            profile,
+            kind: SourceKind::Simulated(profile),
             weight: 1,
-        }]
-    } else {
-        opt_all(parsed, "source")
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| parse_source_spec(spec, i, default_scale))
-            .collect::<Result<_, _>>()?
-    };
+        });
+    }
     // Session::run would reject duplicates too, but catching them here
     // keeps the error ahead of the session banner.
     for (i, spec) in specs.iter().enumerate() {
@@ -601,28 +825,122 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
     }
     let schedule = schedule_from(parsed, specs.iter().map(|s| s.weight).collect())?;
 
+    // Checkpoint/resume plumbing. A checkpoint records, per source, how
+    // many reads were delivered in order (the index to reseek a container
+    // to) and, with --fastq-out, the flushed byte size of every output
+    // file (the length to truncate back to before appending).
+    let checkpoint_path = opt(parsed, "checkpoint").map(str::to_string);
+    let checkpoint_every = usize_opt("checkpoint-every", 25)?.max(1);
+    let drain_after = match opt(parsed, "drain-after") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<usize>()
+                .map_err(|_| format!("invalid --drain-after {s:?}"))?,
+        ),
+    };
+    let resume = match opt(parsed, "resume") {
+        None => None,
+        Some(path) => {
+            let file = CheckpointFile::load(path).map_err(|e| format!("{path}: {e}"))?;
+            // `complete` marks a finalized cut (the prior session wound
+            // down cleanly, e.g. after a drain); a mid-run cut means the
+            // run was killed between checkpoints. Both resume the same way.
+            println!(
+                "resuming from {path} ({} cut)",
+                if file.complete {
+                    "finalized"
+                } else {
+                    "mid-run"
+                }
+            );
+            Some(file)
+        }
+    };
+    if resume.is_some()
+        && specs
+            .iter()
+            .any(|s| matches!(s.kind, SourceKind::Simulated(_)))
+    {
+        return Err("--resume needs every source to be a seekable --signal-in container".into());
+    }
+    // What each source already delivered before this process started.
+    let mut base_marks: Vec<(u64, u64)> = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        match &resume {
+            None => base_marks.push((0, 0)),
+            Some(ckpt) => {
+                let mark = ckpt
+                    .source(&spec.name)
+                    .ok_or_else(|| format!("checkpoint has no entry for source {:?}", spec.name))?;
+                base_marks.push((mark.emitted, mark.failed));
+            }
+        }
+    }
+    let base_retried: u64 = resume.as_ref().map(|c| c.retried).unwrap_or(0);
+
     let fastq_out = opt(parsed, "fastq-out").map(str::to_string);
     // Every source runs its own operating point (N_qs, N_cm follow its
-    // profile) via a per-source config; the session-wide config (first
-    // source's) only contributes transport-level knobs like parallelism.
+    // profile, or a container's embedded reference name) via a per-source
+    // config; the session-wide config (first source's) only contributes
+    // transport-level knobs like parallelism.
     let keep_bases = fastq_out.is_some();
-    let source_config = |profile: &DatasetProfile| {
-        GenPipConfig::for_dataset(profile)
-            .with_parallelism(parallelism)
+    let source_config = |base: GenPipConfig| {
+        base.with_parallelism(parallelism)
             .with_shards(shards)
             .with_keep_bases(keep_bases)
             .with_fault_policy(fault_policy)
     };
-    if specs
+    // Open container sources up front: the session needs the handles, the
+    // embedded reference name picks each one's operating point, and a bad
+    // file should fail the invocation before the session banner.
+    enum SourceInput {
+        Sim(DatasetProfile),
+        File(GscReadSource),
+    }
+    let mut inputs: Vec<SourceInput> = Vec::with_capacity(specs.len());
+    let mut configs: Vec<GenPipConfig> = Vec::with_capacity(specs.len());
+    let mut expected: Vec<usize> = Vec::with_capacity(specs.len());
+    let mut descs: Vec<String> = Vec::with_capacity(specs.len());
+    let mut shard_counts: Vec<usize> = Vec::with_capacity(specs.len());
+    let mut statuses: Vec<(String, GscStatus)> = Vec::new();
+    for (spec, &(base_emitted, _)) in specs.iter().zip(&base_marks) {
+        match &spec.kind {
+            SourceKind::Simulated(profile) => {
+                configs.push(source_config(GenPipConfig::for_dataset(profile)));
+                expected.push(profile.n_reads);
+                descs.push(format!(
+                    "{}, {} bp genome",
+                    profile.name, profile.genome_len
+                ));
+                shard_counts.push(shards.resolve(profile.genome_len));
+                inputs.push(SourceInput::Sim(profile.clone()));
+            }
+            SourceKind::Container { path, offset } => {
+                let start = offset + base_emitted as usize;
+                let source =
+                    GscReadSource::open_at(path, start).map_err(|e| format!("{path}: {e}"))?;
+                let reader = source.reader();
+                configs.push(source_config(GenPipConfig::for_reference_name(
+                    reader.reference().name(),
+                )));
+                expected.push(reader.read_count().saturating_sub(start));
+                descs.push(format!("{path}, reads {start}..{}", reader.read_count()));
+                shard_counts.push(shards.resolve(reader.reference().len()));
+                statuses.push((spec.name.clone(), source.status()));
+                inputs.push(SourceInput::File(source));
+            }
+        }
+    }
+    if configs
         .iter()
-        .any(|s| s.profile.name != specs[0].profile.name)
+        .any(|c| (c.n_qs, c.n_cm) != (configs[0].n_qs, configs[0].n_cm))
     {
         eprintln!(
             "note: mixed profiles in one session — each source runs its own \
              early-rejection operating point (N_qs, N_cm)"
         );
     }
-    let config = source_config(&specs[0].profile);
+    let config = configs[0].clone();
     let opts = StreamOptions {
         queue_capacity: queue,
         progress_every: progress,
@@ -636,9 +954,11 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
         parallelism.workers(),
     );
     // One FASTQ writer per source: a single source writes --fastq-out
-    // verbatim, several write `<path>.<name>` each.
+    // verbatim, several write `<path>.<name>` each. A resumed run truncates
+    // each file back to its checkpointed (flushed) byte size and appends,
+    // so the final file is byte-identical to an uninterrupted run's.
     let mut fastq_paths: Vec<Option<String>> = Vec::new();
-    let mut fastq_sinks: Vec<Option<std::cell::RefCell<FastqSink<BufWriter<File>>>>> = Vec::new();
+    let mut fastq_sinks: Vec<Option<RefCell<FastqSink<BufWriter<File>>>>> = Vec::new();
     for spec in &specs {
         match &fastq_out {
             None => {
@@ -651,10 +971,27 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
                 } else {
                     format!("{path}.{}", spec.name)
                 };
-                let file = File::create(&path).map_err(|e| format!("{path}: {e}"))?;
-                fastq_sinks.push(Some(std::cell::RefCell::new(FastqSink::new(
-                    BufWriter::new(file),
-                ))));
+                let file = match &resume {
+                    None => File::create(&path).map_err(|e| format!("{path}: {e}"))?,
+                    Some(ckpt) => {
+                        let bytes = ckpt.fastq_for(&spec.name).map(|m| m.bytes).unwrap_or(0);
+                        // Keep the file's prefix: resume truncates to the
+                        // checkpointed byte position, not to zero.
+                        let mut file = OpenOptions::new()
+                            .read(true)
+                            .write(true)
+                            .create(true)
+                            .truncate(false)
+                            .open(&path)
+                            .map_err(|e| format!("{path}: {e}"))?;
+                        file.set_len(bytes).map_err(|e| format!("{path}: {e}"))?;
+                        file.seek(SeekFrom::Start(bytes))
+                            .map_err(|e| format!("{path}: {e}"))?;
+                        println!("  resuming {path} at byte {bytes}");
+                        file
+                    }
+                };
+                fastq_sinks.push(Some(RefCell::new(FastqSink::new(BufWriter::new(file)))));
                 fastq_paths.push(Some(path));
             }
         }
@@ -667,59 +1004,114 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
     // turning an unwritable output into a graceful wind-down instead of a
     // torrent of dropped records.
     let control = SessionControl::new();
+    let emitted_total = Rc::new(Cell::new(0usize));
     let name_width = specs.iter().map(|s| s.name.len()).max().unwrap_or(0);
-    for (i, (spec, fastq)) in specs.iter().zip(&fastq_sinks).enumerate() {
-        // Rate 0 makes the injector a transparent wrapper, so every source
-        // goes through it and the types stay uniform.
-        let source = FaultInjector::new(
-            StreamingSimulator::new(&spec.profile),
-            inject_rate,
-            0x9E1F + i as u64,
-        );
-        let expected = source.reads_remaining().unwrap_or(0);
+    for (i, ((spec, input), fastq)) in specs.iter().zip(inputs).zip(&fastq_sinks).enumerate() {
         println!(
-            "  source {:<name_width$}  {} reads ({}, {} bp genome, weight {}, \
-             {} index shard(s))",
-            spec.name,
-            expected,
-            spec.profile.name,
-            spec.profile.genome_len,
-            spec.weight,
-            shards.resolve(spec.profile.genome_len),
+            "  source {:<name_width$}  {} reads ({}, weight {}, {} index shard(s))",
+            spec.name, expected[i], descs[i], spec.weight, shard_counts[i],
         );
         let name = spec.name.clone();
         let fastq = fastq.as_ref();
         let control_for_sink = control.clone();
-        session = session
-            .source_with_config(spec.name.as_str(), source, source_config(&spec.profile))
-            .sink(spec.name.as_str(), move |event| {
-                if let Some(sink) = fastq {
-                    sink.borrow_mut().handle(&event);
-                    if sink.borrow().has_error() && !control_for_sink.is_draining() {
-                        eprintln!("  [{name}] FASTQ writer failed — draining session");
-                        control_for_sink.drain();
+        let emitted_total = Rc::clone(&emitted_total);
+        let source_expected = expected[i];
+        let config = configs[i].clone();
+        // Rate 0 makes the injector a transparent wrapper, so every source
+        // goes through it and the per-kind types stay uniform.
+        let seed = 0x9E1F + i as u64;
+        session = match input {
+            SourceInput::Sim(profile) => session.source_with_config(
+                spec.name.as_str(),
+                FaultInjector::new(StreamingSimulator::new(&profile), inject_rate, seed),
+                config,
+            ),
+            SourceInput::File(source) => session.source_with_config(
+                spec.name.as_str(),
+                FaultInjector::new(source, inject_rate, seed),
+                config,
+            ),
+        };
+        session = session.sink(spec.name.as_str(), move |event| {
+            if let Some(sink) = fastq {
+                sink.borrow_mut().handle(&event);
+                if sink.borrow().has_error() && !control_for_sink.is_draining() {
+                    eprintln!("  [{name}] FASTQ writer failed — draining session");
+                    control_for_sink.drain();
+                }
+            }
+            match event {
+                StreamEvent::Failed { read_id, fault } => {
+                    eprintln!("  [{name:<name_width$}] read {read_id} failed: {fault}");
+                    note_emitted(&emitted_total, drain_after, &control_for_sink);
+                }
+                StreamEvent::Progress(p) => {
+                    println!(
+                        "  [{name:<name_width$} {:>5}/{source_expected} reads]  mapped {:>5}  \
+                         rejected {:>5}  qc-filtered {:>4}  unmapped {:>4}  \
+                         ({} samples basecalled)",
+                        p.reads_emitted,
+                        p.mapped,
+                        p.rejected_qsr + p.rejected_cmr,
+                        p.filtered_qc,
+                        p.unmapped,
+                        p.samples_basecalled
+                    );
+                }
+                StreamEvent::Read(_) => {
+                    note_emitted(&emitted_total, drain_after, &control_for_sink);
+                }
+            }
+        });
+    }
+    // The checkpoint sink runs on the emitting thread between in-order
+    // emissions, after every per-source sink has seen its events — so
+    // flushing the FASTQ writers here yields byte offsets exactly
+    // consistent with the recorded read counts.
+    let ckpt_error: Rc<RefCell<Option<String>>> = Rc::new(RefCell::new(None));
+    if let Some(path) = checkpoint_path {
+        let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+        let fastq_sinks = &fastq_sinks;
+        let ckpt_error = Rc::clone(&ckpt_error);
+        let base_marks = base_marks.clone();
+        session = session.checkpoint(checkpoint_every, move |cut| {
+            if ckpt_error.borrow().is_some() {
+                return;
+            }
+            let write = || -> Result<(), String> {
+                let mut file = CheckpointFile {
+                    retried: base_retried + cut.retried as u64,
+                    complete: cut.complete,
+                    ..CheckpointFile::default()
+                };
+                for sc in &cut.sources {
+                    let (base_emitted, base_failed) = names
+                        .iter()
+                        .position(|n| n == sc.id.as_str())
+                        .map(|i| base_marks[i])
+                        .unwrap_or((0, 0));
+                    file.sources.push(SourceMark {
+                        name: sc.id.as_str().to_string(),
+                        emitted: base_emitted + sc.outcomes.reads_emitted as u64,
+                        failed: base_failed + sc.outcomes.failed as u64,
+                    });
+                }
+                for (name, sink) in names.iter().zip(fastq_sinks) {
+                    if let Some(sink) = sink {
+                        let bytes = sink.borrow_mut().position().map_err(|e| e.to_string())?;
+                        file.fastq.push(FastqMark {
+                            source: name.clone(),
+                            bytes,
+                        });
                     }
                 }
-                match event {
-                    StreamEvent::Failed { read_id, fault } => {
-                        eprintln!("  [{name:<name_width$}] read {read_id} failed: {fault}");
-                    }
-                    StreamEvent::Progress(p) => {
-                        println!(
-                            "  [{name:<name_width$} {:>5}/{expected} reads]  mapped {:>5}  \
-                             rejected {:>5}  qc-filtered {:>4}  unmapped {:>4}  \
-                             ({} samples basecalled)",
-                            p.reads_emitted,
-                            p.mapped,
-                            p.rejected_qsr + p.rejected_cmr,
-                            p.filtered_qc,
-                            p.unmapped,
-                            p.samples_basecalled
-                        );
-                    }
-                    _ => {}
-                }
-            });
+                file.write_atomic(&path).map_err(|e| format!("{path}: {e}"))
+            };
+            if let Err(e) = write() {
+                eprintln!("  checkpoint write failed: {e}");
+                *ckpt_error.borrow_mut() = Some(e);
+            }
+        });
     }
     let report = session
         .run_with_control(&control)
@@ -790,22 +1182,79 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
             per_source.join("; ")
         );
     }
+    if let Some(e) = ckpt_error.borrow_mut().take() {
+        return Err(format!("checkpoint write failed: {e}"));
+    }
+    // A container error (corruption, truncation, a failed read) ended its
+    // source early; the session completed, but the invocation must not
+    // claim success.
+    let container_errors: Vec<String> = statuses
+        .iter()
+        .filter_map(|(name, status)| status.error().map(|e| format!("source {name:?}: {e}")))
+        .collect();
+    if !container_errors.is_empty() {
+        return Err(container_errors.join("; "));
+    }
     fault_exit(
         o.failed,
         explicit_fault && fault_policy != FaultPolicy::Fail,
     )
 }
 
+/// Counts one emitted read toward `--drain-after`, draining the session
+/// once the threshold is reached — a deterministic stand-in for killing a
+/// run mid-flight when exercising `--checkpoint`/`--resume`.
+fn note_emitted(count: &Cell<usize>, drain_after: Option<usize>, control: &SessionControl) {
+    count.set(count.get() + 1);
+    if drain_after == Some(count.get()) {
+        eprintln!(
+            "  draining session after {} emitted read(s) (--drain-after)",
+            count.get()
+        );
+        control.drain();
+    }
+}
+
 /// Deadline-schedule residency goal (chunk-work units) for scripted sources
 /// that do not spell their own `target=`.
 const SERVE_DEFAULT_TARGET: u64 = 64;
 
-/// A source named in a `serve` script attach step.
+/// A source named in a `serve` script attach step: simulated from a
+/// profile, or replayed from an on-disk GSC container.
 struct ServeSpec {
     name: String,
-    profile: DatasetProfile,
+    kind: SourceKind,
     weight: u32,
     target: Option<u64>,
+}
+
+/// A serve source opened and ready to register or attach.
+enum ServeInput {
+    Sim(DatasetProfile),
+    File(Box<GscReadSource>),
+}
+
+/// Opens a serve spec's read source. Returns the input, its untuned
+/// operating point, the number of reads it will deliver, and a banner
+/// description.
+fn serve_input(spec: &ServeSpec) -> Result<(ServeInput, GenPipConfig, usize, String), String> {
+    match &spec.kind {
+        SourceKind::Simulated(profile) => Ok((
+            ServeInput::Sim(profile.clone()),
+            GenPipConfig::for_dataset(profile),
+            profile.n_reads,
+            profile.name.to_string(),
+        )),
+        SourceKind::Container { path, offset } => {
+            let source =
+                GscReadSource::open_at(path, *offset).map_err(|e| format!("{path}: {e}"))?;
+            let reader = source.reader();
+            let config = GenPipConfig::for_reference_name(reader.reference().name());
+            let expected = reader.read_count().saturating_sub(*offset);
+            let desc = format!("{path}, reads {offset}..{}", reader.read_count());
+            Ok((ServeInput::File(Box::new(source)), config, expected, desc))
+        }
+    }
 }
 
 /// What a `serve` script step does when it fires.
@@ -825,6 +1274,8 @@ struct ScriptStep {
 
 fn parse_serve_spec(name: &str, spec: &str, default_scale: f64) -> Result<ServeSpec, String> {
     let mut profile_name = None;
+    let mut file = None;
+    let mut offset = 0usize;
     let mut scale = default_scale;
     let mut weight = 1u32;
     let mut target = None;
@@ -834,6 +1285,12 @@ fn parse_serve_spec(name: &str, spec: &str, default_scale: f64) -> Result<ServeS
             .ok_or_else(|| format!("spec part {part:?} is not key=value"))?;
         match key {
             "profile" => profile_name = Some(value),
+            "file" => file = Some(value.to_string()),
+            "offset" => {
+                offset = value
+                    .parse()
+                    .map_err(|_| format!("invalid offset {value:?}"))?
+            }
             "scale" => scale = parse_scale(value)?,
             "weight" => {
                 weight = value
@@ -849,15 +1306,20 @@ fn parse_serve_spec(name: &str, spec: &str, default_scale: f64) -> Result<ServeS
             }
             other => {
                 return Err(format!(
-                    "unknown key {other:?} (use profile, scale, weight, target)"
+                    "unknown key {other:?} (use profile, file, offset, scale, weight, target)"
                 ))
             }
         }
     }
-    let profile_name = profile_name.ok_or("attach spec needs profile=")?;
+    let kind = match (profile_name, file) {
+        (Some(profile), None) => SourceKind::Simulated(profile_by_name(profile)?.scaled(scale)),
+        (None, Some(path)) => SourceKind::Container { path, offset },
+        (Some(_), Some(_)) => return Err("attach spec has both profile= and file=".into()),
+        (None, None) => return Err("attach spec needs profile= or file=".into()),
+    };
     Ok(ServeSpec {
         name: name.to_string(),
-        profile: profile_by_name(profile_name)?.scaled(scale),
+        kind,
         weight,
         target,
     })
@@ -934,6 +1396,11 @@ struct ServeDriver {
     shards: Shards,
     attaches: Vec<(String, PendingAttach)>,
     detaches: Vec<(String, PendingDetach)>,
+    /// Error handles of every GSC container source, checked after the run.
+    statuses: Vec<(String, GscStatus)>,
+    /// Failures raised by fired steps (e.g. a container that would not
+    /// open), reported after the run.
+    errors: Vec<String>,
 }
 
 /// Counts one emitted read and fires every step that has come due. Runs on
@@ -951,13 +1418,22 @@ fn serve_note_read(driver: &Arc<Mutex<ServeDriver>>) {
 fn serve_fire(d: &mut ServeDriver, driver: &Arc<Mutex<ServeDriver>>, step: ScriptStep) {
     match step.action {
         ServeAction::Attach(spec) => {
+            let (input, base, expected, desc) = match serve_input(&spec) {
+                Ok(opened) => opened,
+                Err(e) => {
+                    println!(
+                        "  [script] at {} reads: attach {:?} failed: {e}",
+                        step.after, spec.name
+                    );
+                    d.errors.push(format!("attach {:?}: {e}", spec.name));
+                    return;
+                }
+            };
             println!(
-                "  [script] at {} reads: attach {:?} ({}, {} reads)",
-                step.after, spec.name, spec.profile.name, spec.profile.n_reads
+                "  [script] at {} reads: attach {:?} ({desc}, {expected} reads)",
+                step.after, spec.name
             );
-            let config = GenPipConfig::for_dataset(&spec.profile)
-                .with_parallelism(d.parallelism)
-                .with_shards(d.shards);
+            let config = base.with_parallelism(d.parallelism).with_shards(d.shards);
             let mut attach = AttachSpec::new().config(config).weight(spec.weight);
             if let Some(target) = spec.target {
                 attach = attach.deadline_target(target);
@@ -968,8 +1444,17 @@ fn serve_fire(d: &mut ServeDriver, driver: &Arc<Mutex<ServeDriver>>, step: Scrip
                     serve_note_read(&observer);
                 }
             });
-            let source = StreamingSimulator::new(&spec.profile);
-            let handle = d.control.attach_with(spec.name.as_str(), source, attach);
+            let handle = match input {
+                ServeInput::Sim(profile) => d.control.attach_with(
+                    spec.name.as_str(),
+                    StreamingSimulator::new(&profile),
+                    attach,
+                ),
+                ServeInput::File(source) => {
+                    d.statuses.push((spec.name.clone(), source.status()));
+                    d.control.attach_with(spec.name.as_str(), *source, attach)
+                }
+            };
             d.attaches.push((spec.name, handle));
         }
         ServeAction::Detach(name) => {
@@ -1037,14 +1522,19 @@ fn cmd_serve(parsed: &Parsed) -> Result<(), String> {
         shards,
         attaches: Vec::new(),
         detaches: Vec::new(),
+        statuses: Vec::new(),
+        errors: Vec::new(),
     }));
 
-    let config_for = |profile: &DatasetProfile| {
-        GenPipConfig::for_dataset(profile)
-            .with_parallelism(parallelism)
-            .with_shards(shards)
-    };
-    let mut session = Session::new(config_for(&initial[0].profile))
+    let tune = |config: GenPipConfig| config.with_parallelism(parallelism).with_shards(shards);
+    // Open every initial source before the session starts: a bad container
+    // in the script header should fail the invocation outright.
+    let mut initial_inputs = Vec::with_capacity(initial.len());
+    for spec in &initial {
+        initial_inputs.push(serve_input(spec)?);
+    }
+    let first_config = tune(initial_inputs[0].1.clone());
+    let mut session = Session::new(first_config)
         .flow(Flow::GenPip(er))
         .schedule(schedule)
         .options(StreamOptions {
@@ -1053,12 +1543,12 @@ fn cmd_serve(parsed: &Parsed) -> Result<(), String> {
             progress_every: 0,
             ..StreamOptions::default()
         });
-    for spec in &initial {
+    for (spec, (input, base, expected, desc)) in initial.iter().zip(initial_inputs) {
         println!(
             "  source {:?}: {} reads ({}, weight {}{})",
             spec.name,
-            spec.profile.n_reads,
-            spec.profile.name,
+            expected,
+            desc,
             spec.weight,
             match spec.target {
                 Some(t) => format!(", target {t}"),
@@ -1066,17 +1556,27 @@ fn cmd_serve(parsed: &Parsed) -> Result<(), String> {
             },
         );
         let observer = Arc::clone(&driver);
-        session = session
-            .source_with_config(
+        let config = tune(base);
+        session = match input {
+            ServeInput::Sim(profile) => session.source_with_config(
                 spec.name.as_str(),
-                StreamingSimulator::new(&spec.profile),
-                config_for(&spec.profile),
-            )
-            .sink(spec.name.as_str(), move |event| {
-                if let StreamEvent::Read(_) = event {
-                    serve_note_read(&observer);
-                }
-            });
+                StreamingSimulator::new(&profile),
+                config,
+            ),
+            ServeInput::File(source) => {
+                driver
+                    .lock()
+                    .expect("serve driver poisoned")
+                    .statuses
+                    .push((spec.name.clone(), source.status()));
+                session.source_with_config(spec.name.as_str(), *source, config)
+            }
+        };
+        session = session.sink(spec.name.as_str(), move |event| {
+            if let StreamEvent::Read(_) = event {
+                serve_note_read(&observer);
+            }
+        });
     }
     let report = session
         .run_with_control(&control)
@@ -1091,6 +1591,8 @@ fn cmd_serve(parsed: &Parsed) -> Result<(), String> {
         .collect();
     let attaches = std::mem::take(&mut d.attaches);
     let detaches = std::mem::take(&mut d.detaches);
+    let statuses = std::mem::take(&mut d.statuses);
+    let step_errors = std::mem::take(&mut d.errors);
     drop(d);
 
     // The session has finished, so every handle resolves without blocking.
@@ -1098,6 +1600,12 @@ fn cmd_serve(parsed: &Parsed) -> Result<(), String> {
         .into_iter()
         .map(|step| format!("script step never fired ({step}) — only {emitted} reads emitted"))
         .collect::<Vec<_>>();
+    failures.extend(step_errors);
+    for (name, status) in &statuses {
+        if let Some(e) = status.error() {
+            failures.push(format!("source {name:?}: {e}"));
+        }
+    }
     for (name, handle) in attaches {
         if let Err(e) = handle.wait() {
             failures.push(format!("attach {name:?} refused: {e}"));

@@ -15,6 +15,7 @@
 //! | [`sim`] | deterministic pipeline scheduler and energy accounting |
 //! | [`pim`] | NVM crossbar / CAM models, GenPIP hardware modules, Table 2 |
 //! | [`datasets`] | synthetic E. coli / human dataset profiles |
+//! | [`io`] | on-disk GSC signal containers, seekable file sources, checkpoint files |
 //! | [`core`] | chunk-based pipeline, early rejection, system models, experiments |
 //!
 //! # Quickstart
@@ -35,6 +36,7 @@ pub use genpip_basecall as basecall;
 pub use genpip_core as core;
 pub use genpip_datasets as datasets;
 pub use genpip_genomics as genomics;
+pub use genpip_io as io;
 pub use genpip_mapping as mapping;
 pub use genpip_pim as pim;
 pub use genpip_signal as signal;
