@@ -2,7 +2,10 @@
 
 use crate::emission::EmissionModel;
 use crate::quality::QualityCalibration;
-use crate::viterbi::{decode_with, DecodeScratch, Transitions};
+use crate::viterbi::{
+    decode_lanes_with, decode_with, DecodeScratch, DecodeStats, LaneDecodeScratch, LaneJob,
+    Transitions, MAX_LANES,
+};
 use genpip_genomics::{Base, DnaSeq, Phred};
 use genpip_signal::{chunk_boundaries, normalize_to_model, PoreModel};
 
@@ -116,6 +119,152 @@ impl ReadDecoder {
         self.carry = chunk.carry;
         self.chunks_called += 1;
         chunk
+    }
+
+    /// Advances the cursor past a chunk that was basecalled out of band —
+    /// e.g. by a lane-batched prefetch ([`LaneDecoder::call_batch`]) that
+    /// decoded the chunk from this cursor's current carry. Bookkeeping is
+    /// exactly [`ReadDecoder::call_next`]'s: the cursor adopts the chunk's
+    /// carry and counts it as called.
+    pub fn adopt(&mut self, chunk: &BasecalledChunk) {
+        self.carry = chunk.carry;
+        self.chunks_called += 1;
+    }
+}
+
+/// One chunk job for [`LaneDecoder::call_batch`]: the raw samples plus the
+/// carry that stitches the chunk to its read's previous chunk.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChunkJob<'a> {
+    /// The chunk's raw signal samples.
+    pub samples: &'a [f32],
+    /// Carry from the read's previous chunk (`None` for a first chunk).
+    pub carry: Option<CarryState>,
+}
+
+/// Reusable workspace of [`LaneDecoder::call_batch`]: the lane-interleaved
+/// decode scratch, one normalization buffer per job slot, and a scalar
+/// fallback workspace for `width == 1` batches.
+#[derive(Debug, Clone, Default)]
+pub struct LaneScratch {
+    decode: LaneDecodeScratch,
+    normalized: Vec<Vec<f32>>,
+    scalar: CallScratch,
+}
+
+impl LaneScratch {
+    /// Creates an empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> LaneScratch {
+        LaneScratch::default()
+    }
+}
+
+/// Lane-batched basecaller front end: decodes W independent chunks in
+/// lockstep through [`decode_lanes_with`] while producing, per job, a
+/// [`BasecalledChunk`] **bit-identical** to
+/// [`Basecaller::call_chunk_with`] on the same `(samples, carry)`.
+///
+/// The width is a throughput knob only — `1` is the scalar path itself
+/// (the fallback and oracle), and any wider batch reuses the scalar
+/// code for everything outside the DP (normalization and chunk assembly)
+/// so the outputs cannot drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneDecoder {
+    width: usize,
+}
+
+impl LaneDecoder {
+    /// Widest supported lane batch (= [`MAX_LANES`]).
+    pub const MAX_WIDTH: usize = MAX_LANES;
+
+    /// Creates a decoder with the given lane width, clamped to
+    /// `1..=MAX_WIDTH`.
+    pub fn new(width: usize) -> LaneDecoder {
+        LaneDecoder {
+            width: width.clamp(1, Self::MAX_WIDTH),
+        }
+    }
+
+    /// The (clamped) lane width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Basecalls a batch of independent chunk jobs, pushing one
+    /// [`BasecalledChunk`] per job (in job order) onto `out`.
+    ///
+    /// Jobs may come from different reads and have different lengths; a
+    /// lane whose chunk ends early refills from the remaining jobs without
+    /// stalling the batch, so `jobs.len()` may exceed the width. Batches
+    /// of fewer than two jobs, and `width == 1` decoders, take the scalar
+    /// path directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a typed [`SignalFault`] if any job contains a non-finite
+    /// sample. Unlike the scalar path — which faults when the offending
+    /// chunk is reached — the batch checks every job up front, before any
+    /// decoding; batching callers that need per-read fault attribution
+    /// (the `Session` engine) pre-screen jobs and route corrupt chunks to
+    /// the scalar path so the fault fires inside the owning read's task.
+    pub fn call_batch(
+        &self,
+        caller: &Basecaller,
+        jobs: &[ChunkJob],
+        scratch: &mut LaneScratch,
+        out: &mut Vec<BasecalledChunk>,
+    ) {
+        out.clear();
+        if self.width == 1 || jobs.len() < 2 {
+            for job in jobs {
+                out.push(caller.call_chunk_with(job.samples, job.carry, &mut scratch.scalar));
+            }
+            return;
+        }
+        for job in jobs {
+            if let Some(sample_index) = job.samples.iter().position(|s| !s.is_finite()) {
+                std::panic::panic_any(SignalFault { sample_index });
+            }
+        }
+        if scratch.normalized.len() < jobs.len() {
+            scratch.normalized.resize_with(jobs.len(), Vec::new);
+        }
+        for (buf, job) in scratch.normalized.iter_mut().zip(jobs) {
+            buf.clear();
+            buf.extend_from_slice(job.samples);
+            if caller.normalize {
+                normalize_to_model(buf, &caller.pore);
+            }
+        }
+        let lane_jobs: Vec<LaneJob> = scratch.normalized[..jobs.len()]
+            .iter()
+            .zip(jobs)
+            .map(|(buf, job)| LaneJob {
+                samples: buf,
+                init_state: job.carry.map(|c| c.0),
+            })
+            .collect();
+        // A batch smaller than the configured width would leave lanes empty
+        // for the whole decode, forcing every row down the partial-occupancy
+        // path; output is bit-identical at every width, so shrink to fit.
+        let width = self.width.min(lane_jobs.len());
+        decode_lanes_with(
+            &caller.emission,
+            caller.transitions,
+            &lane_jobs,
+            width,
+            &mut scratch.decode,
+        );
+        for (j, job) in jobs.iter().enumerate() {
+            let outcome = scratch.decode.outcome(j);
+            out.push(caller.assemble_chunk(
+                &scratch.normalized[j],
+                outcome.states(),
+                outcome.advanced(),
+                job.carry,
+                outcome.stats(),
+            ));
+        }
     }
 }
 
@@ -286,8 +435,36 @@ impl Basecaller {
             carry.map(|c| c.0),
             &mut scratch.decode,
         );
-        let (dec_states, dec_advanced) = (scratch.decode.states(), scratch.decode.advanced());
+        self.assemble_chunk(
+            normalized,
+            scratch.decode.states(),
+            scratch.decode.advanced(),
+            carry,
+            stats,
+        )
+    }
 
+    /// Turns one chunk's decoded state path into bases, qualities, and the
+    /// carry — the post-decode half of [`Basecaller::call_chunk_with`],
+    /// shared verbatim with the lane-batched path so both are structurally
+    /// bit-identical.
+    fn assemble_chunk(
+        &self,
+        normalized: &[f32],
+        dec_states: &[u16],
+        dec_advanced: &[bool],
+        carry: Option<CarryState>,
+        stats: DecodeStats,
+    ) -> BasecalledChunk {
+        if normalized.is_empty() {
+            return BasecalledChunk {
+                bases: DnaSeq::new(),
+                quals: Vec::new(),
+                sqs: 0.0,
+                carry,
+                stats: ChunkStats::default(),
+            };
+        }
         let k = self.pore.k();
         let assumed_var = {
             let s = self.emission.assumed_std();
@@ -600,6 +777,100 @@ mod tests {
             .map(|c| decoder.call_next(&caller, c, &mut scratch))
             .collect();
         assert_eq!(first_pass, second_pass);
+    }
+
+    #[test]
+    fn lane_batch_matches_scalar_chunks_bit_identically() {
+        // Chunks from different reads, different lengths, with and without
+        // carries, through every interesting width — each output chunk must
+        // equal the scalar call on the same (samples, carry).
+        let (synth, caller) = setup();
+        let sigs: Vec<Vec<f32>> = (0..5u64)
+            .map(|seed| {
+                synth
+                    .synthesize(&truth(300 + 140 * seed as usize, seed * 2 + 1), 1.2, seed)
+                    .samples
+            })
+            .collect();
+        let mut jobs: Vec<ChunkJob> = Vec::new();
+        let mut scratch = CallScratch::new();
+        for sig in &sigs {
+            let mut carry = None;
+            for chunk in sig.chunks(900) {
+                jobs.push(ChunkJob {
+                    samples: chunk,
+                    carry,
+                });
+                carry = caller.call_chunk_with(chunk, carry, &mut scratch).carry;
+            }
+        }
+        assert!(jobs.len() > 8, "want a deep job queue, got {}", jobs.len());
+        let expected: Vec<BasecalledChunk> = jobs
+            .iter()
+            .map(|j| caller.call_chunk_with(j.samples, j.carry, &mut scratch))
+            .collect();
+        let mut lanes = LaneScratch::new();
+        let mut got = Vec::new();
+        for width in [1usize, 2, 4, 8, 16] {
+            LaneDecoder::new(width).call_batch(&caller, &jobs, &mut lanes, &mut got);
+            assert_eq!(got, expected, "width {width}");
+        }
+    }
+
+    #[test]
+    fn lane_decoder_clamps_width() {
+        assert_eq!(LaneDecoder::new(0).width(), 1);
+        assert_eq!(LaneDecoder::new(7).width(), 7);
+        assert_eq!(LaneDecoder::new(1000).width(), LaneDecoder::MAX_WIDTH);
+    }
+
+    #[test]
+    fn lane_batch_faults_on_corrupt_job() {
+        let (synth, caller) = setup();
+        let good = synth.synthesize(&truth(400, 21), 1.0, 22).samples;
+        let mut bad = good.clone();
+        bad[11] = f32::NAN;
+        let jobs = [
+            ChunkJob {
+                samples: &good,
+                carry: None,
+            },
+            ChunkJob {
+                samples: &bad,
+                carry: None,
+            },
+        ];
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut lanes = LaneScratch::new();
+            let mut out = Vec::new();
+            LaneDecoder::new(4).call_batch(&caller, &jobs, &mut lanes, &mut out);
+        }))
+        .expect_err("NaN job must fault the batch");
+        assert_eq!(
+            payload
+                .downcast_ref::<SignalFault>()
+                .map(|f| f.sample_index),
+            Some(11)
+        );
+    }
+
+    #[test]
+    fn adopting_a_prefetched_chunk_matches_call_next() {
+        let (synth, caller) = setup();
+        let sig = synth.synthesize(&truth(900, 19), 1.0, 20);
+        let mut scratch = CallScratch::new();
+
+        let mut via_call = ReadDecoder::new();
+        let mut via_adopt = ReadDecoder::new();
+        for chunk_samples in sig.samples.chunks(700) {
+            // Prefetch: decode out of band from the cursor's current carry.
+            let prefetched = caller.call_chunk_with(chunk_samples, via_adopt.carry(), &mut scratch);
+            let called = via_call.call_next(&caller, chunk_samples, &mut scratch);
+            assert_eq!(prefetched, called);
+            via_adopt.adopt(&prefetched);
+            assert_eq!(via_adopt, via_call);
+        }
+        assert!(via_adopt.chunks_called() > 1);
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub mod quality;
 pub mod viterbi;
 
 pub use basecaller::{
-    BasecalledChunk, BasecalledRead, Basecaller, CallScratch, CarryState, ReadDecoder, SignalFault,
+    BasecalledChunk, BasecalledRead, Basecaller, CallScratch, CarryState, ChunkJob, LaneDecoder,
+    LaneScratch, ReadDecoder, SignalFault,
 };
 pub use emission::EmissionModel;
 pub use quality::QualityCalibration;
+pub use viterbi::MAX_LANES;

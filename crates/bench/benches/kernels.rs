@@ -4,7 +4,9 @@
 //! These measure the *real* wall-clock cost of this reproduction's
 //! implementations (not the modelled hardware times): the MVM emission
 //! kernel, CAM search, Viterbi chunk decoding (allocation-free scratch
-//! path), minimizer extraction, chaining DP, sharded fan-out seeding at
+//! path), the lane-batched SoA Viterbi kernel at widths 1/4/8 (scalar
+//! bit-identity asserted in-bench) plus the pipeline throughput at decode
+//! lane widths, minimizer extraction, chaining DP, sharded fan-out seeding at
 //! 1/2/4 index shards (with a shard-vs-monolithic bit-identity check),
 //! pan-genome mapping against 1 vs 3 named references (one shared sketch,
 //! per-reference seeding, deterministic merge; set-vs-solo bit-identity
@@ -27,14 +29,16 @@
 //! `host_threads` in the report: a single-core host shows ~1× regardless of
 //! worker count.
 
-use genpip_basecall::{Basecaller, CallScratch, EmissionModel};
+use genpip_basecall::{
+    BasecalledChunk, Basecaller, CallScratch, ChunkJob, EmissionModel, LaneDecoder, LaneScratch,
+};
 use genpip_bench::micro::{bench, bench_json, time_once, Json};
 use genpip_core::engine::Granularity;
 use genpip_core::engine::{AttachSpec, Flow, Session, SessionControl};
 use genpip_core::pipeline::{ErMode, ReadRun};
 use genpip_core::scheduler::Schedule;
 use genpip_core::stream::{StreamEvent, StreamOptions};
-use genpip_core::{GenPipConfig, Parallelism};
+use genpip_core::{GenPipConfig, Lanes, Parallelism};
 use genpip_datasets::{DatasetProfile, FaultInjector, SimulatedDataset, StreamingSimulator};
 use genpip_genomics::GenomeBuilder;
 use genpip_io::{pack_source, GscReadSource};
@@ -66,6 +70,33 @@ fn batch_via_session(
         .run()
         .expect("bench session inputs are valid");
     reads
+}
+
+/// Best SIMD extension the host advertises, recorded next to
+/// `host_threads` in the report so the lane-batch rows can be compared
+/// across machines (the SoA kernel's stride-1 inner loop is what the
+/// auto-vectorizer targets).
+fn host_simd() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            "avx512f"
+        } else if is_x86_feature_detected!("avx2") {
+            "avx2"
+        } else if is_x86_feature_detected!("sse4.2") {
+            "sse4.2"
+        } else {
+            "sse2"
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        "neon"
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        "unknown"
+    }
 }
 
 fn main() {
@@ -132,6 +163,95 @@ fn main() {
                     .len()
             },
         ));
+    }
+
+    // --- Lane-batched Viterbi decode: W chunks in lockstep (SoA kernel) ---
+    // The same chunk decode, batched W-wide through the structure-of-arrays
+    // lane kernel. Chunks share one base count — the engine's lane batches
+    // are chunk tasks cut at a fixed `chunk_bases`, so equal-sized chunks
+    // are the representative load — while dwell noise still staggers the
+    // exact sample counts, so the tail exercises lane drain. Every width's
+    // outputs are asserted bit-identical to the scalar decoder on the same
+    // jobs, and the W>1 rows report per-sample speedup over the W=1
+    // (scalar-path) row.
+    let mut lane_rows = Vec::new();
+    let mut lane_batch_matches_scalar = true;
+    {
+        let signals: Vec<_> = (0..8usize)
+            .map(|i| {
+                let truth = GenomeBuilder::new(300)
+                    .seed(40 + i as u64)
+                    .build()
+                    .sequence()
+                    .clone();
+                synth.synthesize(&truth, 1.0, 2)
+            })
+            .collect();
+        let mut scalar_scratch = CallScratch::new();
+        let reference: Vec<BasecalledChunk> = signals
+            .iter()
+            .map(|sig| caller.call_chunk_with(&sig.samples, None, &mut scalar_scratch))
+            .collect();
+        // Each width is measured in 3 rounds that alternate widths, and the
+        // reported row is the per-width median: this host's load drifts on
+        // a multi-second scale, and back-to-back per-width measurement
+        // would let one slow window poison a single row's speedup ratio.
+        let widths = [1usize, 4, 8];
+        let mut trials: Vec<Vec<_>> = widths.iter().map(|_| Vec::new()).collect();
+        for _round in 0..3 {
+            for (wi, &width) in widths.iter().enumerate() {
+                let jobs: Vec<ChunkJob> = signals[..width]
+                    .iter()
+                    .map(|sig| ChunkJob {
+                        samples: &sig.samples,
+                        carry: None,
+                    })
+                    .collect();
+                let total_samples: usize = signals[..width].iter().map(|s| s.samples.len()).sum();
+                let decoder = LaneDecoder::new(width);
+                let mut scratch = LaneScratch::new();
+                let mut chunks = Vec::new();
+                let r = bench(
+                    &format!("basecall/viterbi_lanes_{width}"),
+                    Some((total_samples as f64, "samples")),
+                    || {
+                        decoder.call_batch(&caller, black_box(&jobs), &mut scratch, &mut chunks);
+                        chunks.len()
+                    },
+                );
+                decoder.call_batch(&caller, &jobs, &mut scratch, &mut chunks);
+                lane_batch_matches_scalar &= chunks == reference[..width];
+                trials[wi].push((r, total_samples));
+            }
+        }
+        let mut width1_ns_per_sample = None;
+        for (wi, &width) in widths.iter().enumerate() {
+            trials[wi].sort_by(|a, b| {
+                a.0.ns_per_iter
+                    .partial_cmp(&b.0.ns_per_iter)
+                    .expect("finite timings")
+            });
+            let (r, total_samples) = trials[wi].swap_remove(1);
+            let ns_per_sample = r.ns_per_iter / total_samples as f64;
+            if width == 1 {
+                width1_ns_per_sample = Some(ns_per_sample);
+            }
+            lane_rows.push(Json::obj([
+                ("kind", Json::Str("kernel".into())),
+                ("width", Json::Num(width as f64)),
+                ("ns_per_iter", Json::Num(r.ns_per_iter)),
+                ("samples_per_s", Json::Num(1e9 / ns_per_sample)),
+                (
+                    "speedup_vs_width1",
+                    Json::Num(width1_ns_per_sample.expect("width-1 row ran first") / ns_per_sample),
+                ),
+            ]));
+            results.push(r);
+        }
+        assert!(
+            lane_batch_matches_scalar,
+            "lane-batched kernel diverged from the scalar decoder"
+        );
     }
 
     // --- Minimizer sketching, scratch-reuse path ---
@@ -426,6 +546,57 @@ fn main() {
     assert!(
         bit_identical,
         "parallel pipeline diverged from serial output"
+    );
+
+    // --- Pipeline at decode lane widths: lanes 1 vs auto, same 4 workers ---
+    // The end-to-end effect of worker-side lane batching: lanes=1 disables
+    // batch draining (every chunk decodes through the scalar path), the
+    // auto width lets each worker drain queued chunk tasks into one SoA
+    // batch. Same session, same threads — only the decode width moves —
+    // and the outputs must stay bit-identical to the serial reference.
+    // Each row is the median of 3 runs: end-to-end seconds on a shared
+    // host swing more than the decode-width effect being measured.
+    println!("\n=== lane-batched pipeline bench (4 threads) ===");
+    {
+        let lane_reference = &serial_reads.as_ref().expect("serial pass ran").0;
+        let mut lanes1_seconds = None;
+        for decode_lanes in [1usize, Lanes::Auto.width()] {
+            let config = GenPipConfig::for_dataset(&dataset.profile)
+                .with_parallelism(Parallelism::Threads(4))
+                .with_lanes(Lanes::Width(decode_lanes));
+            let _ = batch_via_session(&dataset, &config, ErMode::Full);
+            let mut trials: Vec<(Vec<_>, f64)> = (0..3)
+                .map(|_| time_once(|| batch_via_session(&dataset, &config, ErMode::Full)))
+                .collect();
+            trials.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite timings"));
+            for (reads, _) in &trials {
+                lane_batch_matches_scalar &= reads == lane_reference;
+            }
+            let (reads, seconds) = trials.swap_remove(1);
+            if decode_lanes == 1 {
+                lanes1_seconds = Some(seconds);
+            }
+            let speedup = lanes1_seconds.expect("lanes-1 row ran first") / seconds;
+            println!(
+                "lanes {decode_lanes}: {seconds:.3} s  {:>8.1} reads/s  \
+                 speedup vs lanes-1 {speedup:.2}x",
+                reads.len() as f64 / seconds
+            );
+            lane_rows.push(Json::obj([
+                ("kind", Json::Str("pipeline".into())),
+                ("width", Json::Num(decode_lanes as f64)),
+                ("threads", Json::Num(4.0)),
+                ("seconds", Json::Num(seconds)),
+                ("reads_per_s", Json::Num(reads.len() as f64 / seconds)),
+                ("samples_per_s", Json::Num(total_samples as f64 / seconds)),
+                ("speedup_vs_lanes1", Json::Num(speedup)),
+            ]));
+        }
+    }
+    println!("lane-batched outputs bit-identical to scalar: {lane_batch_matches_scalar}");
+    assert!(
+        lane_batch_matches_scalar,
+        "lane-batched decode diverged from the scalar path"
     );
 
     // --- Streaming pipeline: lazy source → bounded queue → in-order sink ---
@@ -1082,6 +1253,9 @@ fn main() {
             "host_threads",
             Json::Num(Parallelism::Auto.workers() as f64),
         ),
+        ("host_simd", Json::Str(host_simd().into())),
+        ("host_lanes_auto", Json::Num(Lanes::Auto.width() as f64)),
+        ("host_lanes_max", Json::Num(LaneDecoder::MAX_WIDTH as f64)),
         ("dataset_scale", Json::Num(scale)),
         ("dataset_reads", Json::Num(dataset.reads.len() as f64)),
         ("dataset_samples", Json::Num(total_samples as f64)),
@@ -1091,6 +1265,11 @@ fn main() {
         ),
         ("pipeline_threads", Json::Arr(thread_rows)),
         ("pipeline_bit_identical", Json::Bool(bit_identical)),
+        ("lane_batch", Json::Arr(lane_rows)),
+        (
+            "lane_batch_matches_scalar",
+            Json::Bool(lane_batch_matches_scalar),
+        ),
         ("streaming", Json::Arr(streaming_rows)),
         (
             "streaming_matches_batch",

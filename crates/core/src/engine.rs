@@ -1098,6 +1098,12 @@ impl<'a> Session<'a> {
         let er = flow.er();
         let uses_qsr = matches!(flow, Flow::GenPip(ErMode::QsrOnly | ErMode::Full));
         let workers = config.parallelism.workers().max(1);
+        // The Viterbi lane width: how many dispatchable chunk tasks a worker
+        // may drain into one lane-batched decode. Captured here because
+        // `config` moves into the feed below. Per-source overrides narrow
+        // this inside the prefetch hook; the session-level width only caps
+        // the worker's batch drain.
+        let decode_lanes = config.lanes.width();
         // The engine's resident-chain bound, mirrored here so detach-time
         // summaries can carry it before the engine returns.
         let in_flight_limit = if workers <= 1 {
@@ -1183,6 +1189,7 @@ impl<'a> Session<'a> {
 
         let stats = {
             let step_contexts = Arc::clone(&contexts);
+            let prefetch_contexts = Arc::clone(&contexts);
             let emit_registry = Arc::clone(&registry);
             let emit_control = Arc::clone(&control_state);
             let per_outcomes = &mut per_outcomes;
@@ -1203,6 +1210,7 @@ impl<'a> Session<'a> {
                     queue_capacity: options.queue_capacity,
                     reject_backlog: options.reject_backlog,
                     lanes: n,
+                    decode_lanes,
                     schedule: &schedule,
                     policies: &policies,
                     control,
@@ -1233,6 +1241,9 @@ impl<'a> Session<'a> {
                             cancelled,
                         },
                     }
+                },
+                move |scratch, batch: &mut [Task<ReadChain>]| {
+                    crate::pipeline::prefetch_lane_batch(&prefetch_contexts, scratch, batch);
                 },
                 move |_lane, chain: ReadChain| {
                     retry_retried.fetch_add(1, Ordering::Relaxed);
@@ -1889,12 +1900,13 @@ impl LaneCounters {
 
 /// A chunk task in flight to a worker. Carries its lane's fault policy so
 /// workers never index shared per-lane state (which grows when lanes
-/// attach mid-run).
-struct Task<C> {
-    token: usize,
-    lane: usize,
-    policy: FaultPolicy,
-    chain: C,
+/// attach mid-run). Visible to [`crate::pipeline`] so the lane-batch
+/// prefetch hook can inspect a worker's drained batch in place.
+pub(crate) struct Task<C> {
+    pub(crate) token: usize,
+    pub(crate) lane: usize,
+    pub(crate) policy: FaultPolicy,
+    pub(crate) chain: C,
 }
 
 /// What a worker sends back after running one task. `Faulted` is a
@@ -1959,6 +1971,11 @@ pub(crate) struct EngineConfig<'s> {
     pub(crate) queue_capacity: usize,
     pub(crate) reject_backlog: usize,
     pub(crate) lanes: usize,
+    /// How many dispatchable chunk tasks a worker may drain into one decode
+    /// batch before calling `prefetch` (the Viterbi lane width, W). `1`
+    /// disables batching: every task is received and stepped one at a time,
+    /// exactly the pre-lane worker loop.
+    pub(crate) decode_lanes: usize,
     pub(crate) schedule: &'s Schedule,
     pub(crate) policies: &'s [FaultPolicy],
     pub(crate) control: &'s SessionControl,
@@ -2056,11 +2073,13 @@ fn step_contained<T>(f: impl FnOnce() -> T) -> Result<T, Box<dyn std::any::Any +
 /// Before concluding an idle session the engine waits for the emitter to
 /// catch up and polls once more, so commands raised by the final
 /// emissions (a sink attaching the next flowcell) still revive the run.
-pub(crate) fn session_engine<C, O, S, B, L, F, R, Q, G>(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn session_engine<C, O, S, B, L, F, P, R, Q, G>(
     cfg: EngineConfig<'_>,
     worker_state: B,
     mut feed: L,
     step: F,
+    prefetch: P,
     mut retry: R,
     mut fault: Q,
     mut emit: G,
@@ -2071,6 +2090,7 @@ where
     B: Fn() -> S + Sync,
     L: LaneFeed<C>,
     F: Fn(&mut S, usize, &mut C) -> ChainStep<O> + Sync,
+    P: Fn(&mut S, &mut [Task<C>]) + Sync,
     R: FnMut(usize, C) -> C + Send,
     Q: FnMut(usize, C, FaultInfo) -> O + Send,
     G: FnMut(usize, LaneEvent<O>),
@@ -2080,6 +2100,7 @@ where
         queue_capacity,
         reject_backlog,
         lanes,
+        decode_lanes,
         schedule,
         policies,
         control,
@@ -2254,6 +2275,7 @@ where
             let counters = &counters;
             let worker_state = &worker_state;
             let step = &step;
+            let prefetch = &prefetch;
             let task_rx = &task_rx;
             let feed = &mut feed;
             let retry = &mut retry;
@@ -2410,68 +2432,102 @@ where
                             let msg_tx = msg_tx.clone();
                             scope.spawn(move || {
                                 let mut state = worker_state();
-                                loop {
-                                    let received = task_rx.lock().expect("queue poisoned").recv();
-                                    let Ok(Task {
-                                        token,
-                                        lane,
-                                        policy,
-                                        mut chain,
-                                    }) = received
-                                    else {
-                                        break;
-                                    };
-                                    // A panicking `step` would otherwise
-                                    // strand this chain's permit and deadlock
-                                    // the dispatcher: catch it. Under a
-                                    // containing policy the chain survives
-                                    // and the dispatcher decides its fate;
-                                    // under `Fail`, tell the dispatcher to
-                                    // abort, then rethrow so the scope
-                                    // propagates it after teardown.
-                                    let contain = policy != FaultPolicy::Fail;
-                                    let outcome = if contain {
-                                        step_contained(|| step(&mut state, lane, &mut chain))
-                                    } else {
-                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                            || step(&mut state, lane, &mut chain),
-                                        ))
-                                    };
-                                    let msg = match outcome {
-                                        Ok(ChainStep::Parked { units }) => WorkerMsg::Parked {
-                                            token,
-                                            chain,
-                                            units,
-                                        },
-                                        Ok(ChainStep::Finished {
-                                            output,
-                                            units,
-                                            cancelled,
-                                        }) => WorkerMsg::Finished {
-                                            token,
-                                            output,
-                                            units,
-                                            cancelled,
-                                        },
-                                        Err(panic) if contain => {
-                                            // The closure only borrowed the
-                                            // chain, so it survived the
-                                            // unwind intact.
-                                            let (kind, message) = classify_panic(panic);
-                                            WorkerMsg::Faulted {
-                                                token,
-                                                chain,
-                                                kind,
-                                                message,
+                                let mut batch: Vec<Task<C>> = Vec::new();
+                                'worker: loop {
+                                    // Drain up to `decode_lanes` dispatchable
+                                    // tasks into one lane batch: one blocking
+                                    // recv (the worker is idle anyway), then
+                                    // whatever is already queued, without ever
+                                    // blocking mid-batch — so a lone task
+                                    // proceeds immediately and batching never
+                                    // adds latency, only amortizes work that
+                                    // had already piled up.
+                                    batch.clear();
+                                    {
+                                        let rx = task_rx.lock().expect("queue poisoned");
+                                        match rx.recv() {
+                                            Ok(task) => batch.push(task),
+                                            Err(_) => break 'worker,
+                                        }
+                                        while batch.len() < decode_lanes {
+                                            match rx.try_recv() {
+                                                Ok(task) => batch.push(task),
+                                                Err(_) => break,
                                             }
                                         }
-                                        Err(panic) => {
-                                            let _ = msg_tx.send(WorkerMsg::Panicked);
-                                            std::panic::resume_unwind(panic);
+                                    }
+                                    if batch.len() > 1 {
+                                        // Best-effort lane-batched decode
+                                        // across the batch's chains. Contained
+                                        // so a prefetch bug can never take
+                                        // down chains that `step` would have
+                                        // processed fine — any panic here is
+                                        // swallowed and every task simply
+                                        // falls through to its own scalar
+                                        // step (which re-faults in the
+                                        // faulting task's own context, with
+                                        // correct attribution).
+                                        let _ = step_contained(|| prefetch(&mut state, &mut batch));
+                                    }
+                                    for task in batch.drain(..) {
+                                        let Task {
+                                            token,
+                                            lane,
+                                            policy,
+                                            mut chain,
+                                        } = task;
+                                        // A panicking `step` would otherwise
+                                        // strand this chain's permit and deadlock
+                                        // the dispatcher: catch it. Under a
+                                        // containing policy the chain survives
+                                        // and the dispatcher decides its fate;
+                                        // under `Fail`, tell the dispatcher to
+                                        // abort, then rethrow so the scope
+                                        // propagates it after teardown.
+                                        let contain = policy != FaultPolicy::Fail;
+                                        let outcome = if contain {
+                                            step_contained(|| step(&mut state, lane, &mut chain))
+                                        } else {
+                                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                                || step(&mut state, lane, &mut chain),
+                                            ))
+                                        };
+                                        let msg = match outcome {
+                                            Ok(ChainStep::Parked { units }) => WorkerMsg::Parked {
+                                                token,
+                                                chain,
+                                                units,
+                                            },
+                                            Ok(ChainStep::Finished {
+                                                output,
+                                                units,
+                                                cancelled,
+                                            }) => WorkerMsg::Finished {
+                                                token,
+                                                output,
+                                                units,
+                                                cancelled,
+                                            },
+                                            Err(panic) if contain => {
+                                                // The closure only borrowed the
+                                                // chain, so it survived the
+                                                // unwind intact.
+                                                let (kind, message) = classify_panic(panic);
+                                                WorkerMsg::Faulted {
+                                                    token,
+                                                    chain,
+                                                    kind,
+                                                    message,
+                                                }
+                                            }
+                                            Err(panic) => {
+                                                let _ = msg_tx.send(WorkerMsg::Panicked);
+                                                std::panic::resume_unwind(panic);
+                                            }
+                                        };
+                                        if msg_tx.send(msg).is_err() {
+                                            break 'worker;
                                         }
-                                    };
-                                    if msg_tx.send(msg).is_err() {
-                                        break;
                                     }
                                 }
                             });
@@ -3237,6 +3293,7 @@ mod tests {
                 queue_capacity: 2,
                 reject_backlog: 256,
                 lanes: 1,
+                decode_lanes: 1,
                 schedule: &Schedule::Sequential,
                 policies: &[FaultPolicy::Retry { attempts: 1 }],
                 control: &control,
@@ -3254,6 +3311,7 @@ mod tests {
                     output: run,
                 }
             },
+            |_, _: &mut [Task<_>]| {},
             |_lane, chain| chain,
             |_lane, _chain, info: FaultInfo| -> crate::pipeline::ReadRun {
                 unreachable!("no read should exhaust its retry budget: {}", info.message)
@@ -3287,6 +3345,7 @@ mod tests {
                         queue_capacity: 1,
                         reject_backlog: 256,
                         lanes: 1,
+                        decode_lanes: 1,
                         schedule: &Schedule::Sequential,
                         policies: &[FaultPolicy::Fail],
                         control: &control,
@@ -3302,6 +3361,7 @@ mod tests {
                             output: run,
                         }
                     },
+                    |_, _: &mut [Task<_>]| {},
                     |_lane, chain| chain,
                     |_lane, _chain, _info| -> crate::pipeline::ReadRun {
                         unreachable!("FaultPolicy::Fail never quarantines")

@@ -71,7 +71,7 @@ pub mod scheduler;
 pub mod stream;
 pub mod systems;
 
-pub use config::{FaultPolicy, GenPipConfig, Parallelism};
+pub use config::{FaultPolicy, GenPipConfig, Lanes, Parallelism};
 pub use engine::{
     AttachSpec, Flow, Granularity, PendingAttach, PendingDetach, Session, SessionCheckpoint,
     SessionControl, SessionError, SessionReport, SessionStats, SourceCheckpoint, SourceConfigIssue,

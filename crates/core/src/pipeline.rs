@@ -48,7 +48,10 @@ use crate::early_reject::{cmr_check, qsr_check, qsr_sample_indices};
 use crate::engine::{ChainStep, Flow, Granularity, Session};
 use crate::scheduler::Schedule;
 use crate::stream::{StreamEvent, StreamOptions};
-use genpip_basecall::{BasecalledChunk, Basecaller, CallScratch, CarryState};
+use genpip_basecall::{
+    BasecalledChunk, Basecaller, CallScratch, CarryState, ChunkJob, LaneDecoder, LaneScratch,
+    MAX_LANES,
+};
 use genpip_datasets::{ReadSource, SimulatedDataset, SimulatedRead};
 use genpip_genomics::quality::AqsAccumulator;
 use genpip_genomics::{DnaSeq, Genome, Phred};
@@ -58,7 +61,7 @@ use genpip_mapping::{
 };
 use genpip_signal::{chunk_boundaries, PoreModel};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Which early-rejection stages are active on top of CP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -378,6 +381,12 @@ pub(crate) struct WorkerScratch {
     seed: SeedScratch,
     batches: Vec<SeedBatch>,
     pairs: Vec<(IncrementalChainer, IncrementalChainer)>,
+    /// Lane-batched decode buffers for [`prefetch_lane_batch`]: the SoA
+    /// Viterbi scratch plus the per-batch output staging vector. Both reach
+    /// steady state after the first full batch and are then reused
+    /// allocation-free by the decode kernel.
+    lanes: LaneScratch,
+    lane_chunks: Vec<BasecalledChunk>,
 }
 
 impl WorkerScratch {
@@ -387,6 +396,8 @@ impl WorkerScratch {
             seed: SeedScratch::new(),
             batches: Vec::new(),
             pairs: ctx.refs.new_chainer_pairs(),
+            lanes: LaneScratch::new(),
+            lane_chunks: Vec::new(),
         }
     }
 }
@@ -545,6 +556,110 @@ impl ReadChain {
             ReadChain::Conventional(chain) => (chain.idx < chain.specs.len()).then_some(chain.idx),
         }
     }
+
+    /// Describes the basecall the chain's *next* task will perform, if that
+    /// task starts with one — the contract [`prefetch_lane_batch`] batches
+    /// against. Materializes a [`ReadChain::Pending`] chain exactly as
+    /// [`ReadChain::step`] would have (same construction, same worker), so
+    /// peeking never changes what the chain computes. Returns `None` when
+    /// the next task does no basecalling (verdict/mapping tasks, chunks
+    /// already basecalled by QSR, undelivered earlier prefetches).
+    fn peek_basecall(&mut self, ctx: &RunContext) -> Option<PrefetchSpec> {
+        match self {
+            ReadChain::Whole { .. } => None,
+            ReadChain::Pending { read, er } => {
+                let read = read.take().expect("pending chain materialized once");
+                *self = match er {
+                    Some(er) => ReadChain::GenPip(Box::new(GenPipChain::new(ctx, *er, read))),
+                    None => ReadChain::Conventional(Box::new(ConvChain::new(ctx, read))),
+                };
+                self.peek_basecall(ctx)
+            }
+            ReadChain::GenPip(chain) => {
+                if chain.prefetched.is_some() {
+                    return None;
+                }
+                match &chain.phase {
+                    GenPipPhase::Empty => None,
+                    GenPipPhase::Qsr { samples, next } => {
+                        // QSR samples decode from scratch: no carry.
+                        let idx = samples[*next];
+                        let spec = chain.specs[idx];
+                        Some(PrefetchSpec {
+                            idx,
+                            start: spec.start,
+                            end: spec.end,
+                            carry: None,
+                        })
+                    }
+                    GenPipPhase::Sequential { idx } => {
+                        let idx = *idx;
+                        if chain.called.contains_key(&idx) {
+                            return None; // reuses a QSR-sampled chunk
+                        }
+                        let carry = if idx == 0 {
+                            None
+                        } else {
+                            chain.called[&(idx - 1)].carry
+                        };
+                        let spec = chain.specs[idx];
+                        Some(PrefetchSpec {
+                            idx,
+                            start: spec.start,
+                            end: spec.end,
+                            carry,
+                        })
+                    }
+                }
+            }
+            ReadChain::Conventional(chain) => {
+                if chain.prefetched.is_some() || chain.idx >= chain.specs.len() {
+                    return None;
+                }
+                let spec = chain.specs[chain.idx];
+                Some(PrefetchSpec {
+                    idx: chain.idx,
+                    start: spec.start,
+                    end: spec.end,
+                    carry: chain.decoder.carry(),
+                })
+            }
+        }
+    }
+
+    /// The read's raw signal, for slicing a peeked chunk's samples. `None`
+    /// until the chain has materialized (peek materializes first).
+    fn prefetch_signal(&self) -> Option<&[f32]> {
+        match self {
+            ReadChain::Whole { .. } | ReadChain::Pending { .. } => None,
+            ReadChain::GenPip(chain) => Some(&chain.read.signal.samples),
+            ReadChain::Conventional(chain) => Some(&chain.read.signal.samples),
+        }
+    }
+
+    /// Hands the chain a chunk basecalled ahead of time for chunk `idx`.
+    /// The chain's next task consumes it via [`basecall_chunk`]'s
+    /// `prefetched` path (adopting the decoder state it would have computed
+    /// itself); an index mismatch is dropped there, falling back to the
+    /// scalar decode — delivery is an optimization, never a correctness
+    /// dependency.
+    fn accept_prefetch(&mut self, idx: usize, chunk: BasecalledChunk) {
+        match self {
+            ReadChain::Whole { .. } | ReadChain::Pending { .. } => {}
+            ReadChain::GenPip(chain) => chain.prefetched = Some((idx, chunk)),
+            ReadChain::Conventional(chain) => chain.prefetched = Some((idx, chunk)),
+        }
+    }
+}
+
+/// What [`ReadChain::peek_basecall`] promises the chain's next task will
+/// decode: chunk `idx`, over `samples[start..end]`, resuming from `carry`.
+#[derive(Debug, Clone, Copy)]
+struct PrefetchSpec {
+    idx: usize,
+    start: usize,
+    end: usize,
+    carry: Option<CarryState>,
 }
 
 /// Where a [`GenPipChain`] is in the Figure 6 flow.
@@ -582,6 +697,10 @@ pub(crate) struct GenPipChain {
     pairs: Vec<(IncrementalChainer, IncrementalChainer)>,
     cmr_checked: bool,
     phase: GenPipPhase,
+    /// A chunk basecalled ahead of time by [`prefetch_lane_batch`], waiting
+    /// for the chain's next task to consume it (keyed by chunk index so a
+    /// stale prefetch can never be mistaken for the right chunk).
+    prefetched: Option<(usize, BasecalledChunk)>,
 }
 
 impl GenPipChain {
@@ -627,6 +746,7 @@ impl GenPipChain {
             pairs,
             cmr_checked: false,
             phase,
+            prefetched: None,
         }
     }
 
@@ -660,6 +780,10 @@ impl GenPipChain {
                 // `genpip_read`.
                 let run = self.run.as_mut().expect("chain not finished");
                 let idx = sample_idx[*next];
+                let prefetched = match self.prefetched.take() {
+                    Some((pidx, chunk)) if pidx == idx => Some(chunk),
+                    _ => None,
+                };
                 basecall_chunk(
                     ctx,
                     samples,
@@ -667,6 +791,7 @@ impl GenPipChain {
                     idx,
                     &mut self.decoder,
                     None,
+                    prefetched,
                     &mut self.called,
                     &mut run.chunks,
                     &mut scratch.call,
@@ -706,6 +831,10 @@ impl GenPipChain {
                     } else {
                         self.called[&(idx - 1)].carry
                     };
+                    let prefetched = match self.prefetched.take() {
+                        Some((pidx, chunk)) if pidx == idx => Some(chunk),
+                        _ => None,
+                    };
                     basecall_chunk(
                         ctx,
                         samples,
@@ -713,6 +842,7 @@ impl GenPipChain {
                         idx,
                         &mut self.decoder,
                         carry,
+                        prefetched,
                         &mut self.called,
                         &mut run.chunks,
                         &mut scratch.call,
@@ -828,6 +958,8 @@ pub(crate) struct ConvChain {
     quals: Vec<Phred>,
     aqs: AqsAccumulator,
     idx: usize,
+    /// See [`GenPipChain::prefetched`].
+    prefetched: Option<(usize, BasecalledChunk)>,
 }
 
 impl ConvChain {
@@ -842,6 +974,7 @@ impl ConvChain {
             quals: Vec::new(),
             aqs: AqsAccumulator::new(),
             idx: 0,
+            prefetched: None,
         }
     }
 
@@ -849,11 +982,17 @@ impl ConvChain {
         let mut units = 0u64;
         if self.idx < self.specs.len() {
             let spec = self.specs[self.idx];
-            let called = self.decoder.call_next(
-                &ctx.caller,
-                &self.read.signal.samples[spec.start..spec.end],
-                &mut scratch.call,
-            );
+            let called = match self.prefetched.take() {
+                Some((pidx, chunk)) if pidx == self.idx => {
+                    self.decoder.adopt(&chunk);
+                    chunk
+                }
+                _ => self.decoder.call_next(
+                    &ctx.caller,
+                    &self.read.signal.samples[spec.start..spec.end],
+                    &mut scratch.call,
+                ),
+            };
             self.aqs.add_chunk_sum(called.sqs, called.quals.len());
             self.chunks.push(ChunkWork {
                 index: spec.index,
@@ -1152,6 +1291,11 @@ pub(crate) fn batch_genpip(
 /// guarantee is structural, not coincidental. The decoder is repositioned
 /// to `carry` first (QSR samples decode from scratch; sequential chunks
 /// stitch to their predecessor).
+///
+/// When a lane batch already basecalled this chunk ([`prefetch_lane_batch`]),
+/// the decoded chunk arrives via `prefetched` and the decoder *adopts* it —
+/// same cursor state, zero recompute. The lane kernel is bit-identical to
+/// the scalar decode, so everything downstream is too.
 #[allow(clippy::too_many_arguments)]
 fn basecall_chunk(
     ctx: &RunContext,
@@ -1160,13 +1304,20 @@ fn basecall_chunk(
     idx: usize,
     decoder: &mut genpip_basecall::ReadDecoder,
     carry: Option<CarryState>,
+    prefetched: Option<BasecalledChunk>,
     called: &mut BTreeMap<usize, BasecalledChunk>,
     chunks: &mut Vec<ChunkWork>,
     call_scratch: &mut CallScratch,
 ) {
     decoder.resume_from(carry);
     let spec = specs[idx];
-    let chunk = decoder.call_next(&ctx.caller, &samples[spec.start..spec.end], call_scratch);
+    let chunk = match prefetched {
+        Some(chunk) => {
+            decoder.adopt(&chunk);
+            chunk
+        }
+        None => decoder.call_next(&ctx.caller, &samples[spec.start..spec.end], call_scratch),
+    };
     chunks.push(ChunkWork {
         index: idx,
         samples: chunk.stats.samples,
@@ -1175,6 +1326,100 @@ fn basecall_chunk(
         ..Default::default()
     });
     called.insert(idx, chunk);
+}
+
+/// The engine's lane-batch hook: a worker drained up to W dispatchable
+/// chunk tasks into one batch; decode their next chunks *together* through
+/// the SoA lane-batched Viterbi kernel and hand each chain its finished
+/// chunk before the tasks are stepped one by one. Pure optimization —
+/// bit-identity is the lane kernel's contract (asserted by the basecall
+/// crate's suites and the cross-width suites over this path), and any task
+/// that cannot join a batch (its next task does no basecalling, its samples
+/// are non-finite, its source's lane width is 1) simply falls through to
+/// its unchanged scalar step.
+pub(crate) fn prefetch_lane_batch(
+    contexts: &RwLock<Vec<Arc<RunContext>>>,
+    scratch: &mut Vec<Option<WorkerScratch>>,
+    tasks: &mut [crate::engine::Task<ReadChain>],
+) {
+    // Group tasks per engine lane (source): each source has its own context
+    // — basecaller, chunk geometry, lane-width override — so chunks only
+    // batch within one. Everything is stack-bounded: the engine never
+    // drains more than the session lane width ≤ MAX_LANES tasks.
+    let n = tasks.len().min(MAX_LANES);
+    let mut lanes_seen = [usize::MAX; MAX_LANES];
+    let mut n_seen = 0usize;
+    for task in tasks[..n].iter() {
+        if !lanes_seen[..n_seen].contains(&task.lane) {
+            lanes_seen[n_seen] = task.lane;
+            n_seen += 1;
+        }
+    }
+    for &lane in &lanes_seen[..n_seen] {
+        let ctx = Arc::clone(&contexts.read().expect("contexts poisoned")[lane]);
+        let width = ctx.config.lanes.width();
+        if width < 2 {
+            continue;
+        }
+        // Pass A (one mutable chain at a time): peek what each of the
+        // lane's tasks would basecall next.
+        let mut members = [usize::MAX; MAX_LANES];
+        let mut specs = [None::<PrefetchSpec>; MAX_LANES];
+        let mut n_members = 0usize;
+        for (i, task) in tasks[..n].iter_mut().enumerate() {
+            if task.lane != lane {
+                continue;
+            }
+            if n_members == width {
+                break;
+            }
+            specs[n_members] = task.chain.peek_basecall(&ctx);
+            members[n_members] = i;
+            n_members += 1;
+        }
+        // Pass B (simultaneous shared borrows): assemble the lane jobs over
+        // the chains' signal slices. Non-finite samples are excluded here —
+        // not faulted — so a corrupt chunk panics inside its *own* task's
+        // scalar step and the engine attributes the fault to the right read.
+        let mut jobs = [ChunkJob::default(); MAX_LANES];
+        let mut job_member = [usize::MAX; MAX_LANES];
+        let mut eligible = 0usize;
+        for m in 0..n_members {
+            let Some(spec) = specs[m] else { continue };
+            let Some(signal) = tasks[members[m]].chain.prefetch_signal() else {
+                continue;
+            };
+            let samples = &signal[spec.start..spec.end];
+            if samples.iter().any(|x| !x.is_finite()) {
+                continue;
+            }
+            jobs[eligible] = ChunkJob {
+                samples,
+                carry: spec.carry,
+            };
+            job_member[eligible] = m;
+            eligible += 1;
+        }
+        if eligible < 2 {
+            continue; // a lone chunk gains nothing over its scalar step
+        }
+        if scratch.len() <= lane {
+            scratch.resize_with(lane + 1, || None);
+        }
+        let slot = scratch[lane].get_or_insert_with(|| WorkerScratch::new(&ctx));
+        LaneDecoder::new(width).call_batch(
+            &ctx.caller,
+            &jobs[..eligible],
+            &mut slot.lanes,
+            &mut slot.lane_chunks,
+        );
+        // Pass C (mutable again): deliver the decoded chunks, in job order.
+        for (j, chunk) in slot.lane_chunks.drain(..).enumerate() {
+            let m = job_member[j];
+            let spec = specs[m].expect("eligible job had a spec");
+            tasks[members[m]].chain.accept_prefetch(spec.idx, chunk);
+        }
+    }
 }
 
 fn genpip_read(
@@ -1225,6 +1470,7 @@ fn genpip_read(
                 idx,
                 &mut decoder,
                 None,
+                None,
                 &mut called,
                 &mut run.chunks,
                 &mut scratch.call,
@@ -1274,6 +1520,7 @@ fn genpip_read(
                 idx,
                 &mut decoder,
                 carry,
+                None,
                 &mut called,
                 &mut run.chunks,
                 &mut scratch.call,

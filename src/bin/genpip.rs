@@ -38,7 +38,7 @@ use genpip::core::experiments;
 use genpip::core::pipeline::{ErMode, PipelineRun, ReadOutcome};
 use genpip::core::scheduler::Schedule;
 use genpip::core::stream::{FastqSink, StreamEvent, StreamOptions};
-use genpip::core::{FaultPolicy, GenPipConfig, Parallelism};
+use genpip::core::{FaultPolicy, GenPipConfig, Lanes, Parallelism};
 use genpip::datasets::{DatasetProfile, FaultInjector, ReadSource, StreamingSimulator};
 use genpip::genomics::fastx;
 use genpip::genomics::{Genome, GenomeBuilder};
@@ -99,13 +99,15 @@ USAGE:
   genpip map --reference <ref.fasta>... --reads <reads.fastq> [--paf <out.paf>]
              [--shards <single|auto|N>]
   genpip run [--profile <ecoli|human>] [--scale F] [--er <full|qsr|cp|off>]
-             [--shards <single|auto|N>] [--on-fault <fail|quarantine|retry[:N]>]
+             [--shards <single|auto|N>] [--lanes <auto|N>]
+             [--on-fault <fail|quarantine|retry[:N]>]
              [--reference SPEC]...
   genpip stream [--profile <ecoli|human>] [--scale F] [--er <full|qsr|cp|off>]
                [--source SPEC]... [--signal-in SPEC]...
                [--schedule <fair|sequential|priority>]
                [--queue N] [--progress N] [--threads <serial|auto|N>]
-               [--shards <single|auto|N>] [--fastq-out PATH]
+               [--shards <single|auto|N>] [--lanes <auto|N>]
+               [--fastq-out PATH]
                [--on-fault <fail|quarantine|retry[:N]>] [--inject-faults RATE]
                [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
                [--drain-after N]
@@ -114,7 +116,7 @@ USAGE:
   genpip serve --script <FILE> [--er <full|qsr|cp|off>]
                [--schedule <fair|sequential|priority|deadline>]
                [--queue N] [--threads <serial|auto|N>] [--shards <single|auto|N>]
-               [--max-sources N]
+               [--lanes <auto|N>] [--max-sources N]
   genpip experiment <fig04|fig07|fig10|fig11|fig12|fig13|tab01|tab02|useless|ablations> [--scale F]
 
 OPTIONS:
@@ -170,6 +172,12 @@ OPTIONS:
   --threads   `stream` worker threads (default: GENPIP_PARALLELISM env or auto)
   --shards    reference-index shard count for `map`/`run`/`stream`; results
               are bit-identical for every setting (default single)
+  --lanes     Viterbi lane-batch width for `run`/`stream`/`serve`: how many
+              chunks a worker decodes in lockstep through the SoA kernel.
+              auto picks the default width; N >= 1 fixes it (1 = scalar
+              decode, widths above the kernel maximum clamp); 0 is an
+              error. Results are bit-identical for every setting.
+              Default: GENPIP_LANES env, then auto
   --on-fault  what a faulting read does to the run (default fail):
               fail aborts the process, quarantine contains the read and
               keeps going, retry[:N] re-runs the read up to N times
@@ -477,6 +485,18 @@ fn shards_from(parsed: &Parsed) -> Result<Shards, String> {
     }
 }
 
+/// `--lanes`: the Viterbi lane-batch width for `run`/`stream`/`serve`.
+/// Defaults to the `GENPIP_LANES` environment variable, then auto. `0` and
+/// unparsable widths are user errors (exit nonzero), not silent clamps —
+/// only widths above the kernel maximum clamp.
+fn lanes_from(parsed: &Parsed) -> Result<Lanes, String> {
+    match opt(parsed, "lanes") {
+        None => Ok(Lanes::from_env_or(Lanes::Auto)),
+        Some(s) => Lanes::parse(s)
+            .ok_or_else(|| format!("invalid --lanes {s:?} (use auto or a width ≥ 1)")),
+    }
+}
+
 /// `--on-fault`: the policy, plus whether the user asked for it explicitly
 /// (an explicit quarantine/retry request means quarantined reads are an
 /// expected outcome, not a failure exit).
@@ -569,6 +589,7 @@ fn cmd_run(parsed: &Parsed) -> Result<(), String> {
     let er = er_from(parsed)?;
     let shards = shards_from(parsed)?;
     let (fault_policy, explicit_fault) = fault_policy_from(parsed)?;
+    let lanes = lanes_from(parsed)?;
     let extra_references = extra_references_from(parsed)?;
     println!(
         "running GenPIP ({:?}) on {} ({} index shard(s))…",
@@ -587,6 +608,7 @@ fn cmd_run(parsed: &Parsed) -> Result<(), String> {
     let dataset = profile.generate();
     let config = GenPipConfig::for_dataset(&profile)
         .with_shards(shards)
+        .with_lanes(lanes)
         .with_fault_policy(fault_policy)
         .with_extra_references(extra_references);
     let mut reads = Vec::new();
@@ -770,6 +792,7 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
     let queue = usize_opt("queue", 8)?.max(1);
     let progress = usize_opt("progress", 50)?;
     let shards = shards_from(parsed)?;
+    let lanes = lanes_from(parsed)?;
     let (mut fault_policy, explicit_fault) = fault_policy_from(parsed)?;
     let inject_rate = match opt(parsed, "inject-faults") {
         None => 0.0,
@@ -887,6 +910,7 @@ fn cmd_stream(parsed: &Parsed) -> Result<(), String> {
     let source_config = |base: GenPipConfig| {
         base.with_parallelism(parallelism)
             .with_shards(shards)
+            .with_lanes(lanes)
             .with_keep_bases(keep_bases)
             .with_fault_policy(fault_policy)
     };
@@ -1394,6 +1418,7 @@ struct ServeDriver {
     control: SessionControl,
     parallelism: Parallelism,
     shards: Shards,
+    lanes: Lanes,
     attaches: Vec<(String, PendingAttach)>,
     detaches: Vec<(String, PendingDetach)>,
     /// Error handles of every GSC container source, checked after the run.
@@ -1433,7 +1458,10 @@ fn serve_fire(d: &mut ServeDriver, driver: &Arc<Mutex<ServeDriver>>, step: Scrip
                 "  [script] at {} reads: attach {:?} ({desc}, {expected} reads)",
                 step.after, spec.name
             );
-            let config = base.with_parallelism(d.parallelism).with_shards(d.shards);
+            let config = base
+                .with_parallelism(d.parallelism)
+                .with_shards(d.shards)
+                .with_lanes(d.lanes);
             let mut attach = AttachSpec::new().config(config).weight(spec.weight);
             if let Some(target) = spec.target {
                 attach = attach.deadline_target(target);
@@ -1482,6 +1510,7 @@ fn cmd_serve(parsed: &Parsed) -> Result<(), String> {
     };
     let queue = usize_opt("queue", 8)?.max(1);
     let max_sources = usize_opt("max-sources", 64)?;
+    let lanes = lanes_from(parsed)?;
     let parallelism = match opt(parsed, "threads") {
         None => Parallelism::from_env_or(Parallelism::Auto),
         Some(s) => Parallelism::parse(s).ok_or_else(|| format!("invalid --threads {s:?}"))?,
@@ -1520,13 +1549,19 @@ fn cmd_serve(parsed: &Parsed) -> Result<(), String> {
         control: control.clone(),
         parallelism,
         shards,
+        lanes,
         attaches: Vec::new(),
         detaches: Vec::new(),
         statuses: Vec::new(),
         errors: Vec::new(),
     }));
 
-    let tune = |config: GenPipConfig| config.with_parallelism(parallelism).with_shards(shards);
+    let tune = |config: GenPipConfig| {
+        config
+            .with_parallelism(parallelism)
+            .with_shards(shards)
+            .with_lanes(lanes)
+    };
     // Open every initial source before the session starts: a bad container
     // in the script header should fail the invocation outright.
     let mut initial_inputs = Vec::with_capacity(initial.len());
